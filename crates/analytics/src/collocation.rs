@@ -1,0 +1,263 @@
+//! Activity collocates (§5.4).
+//!
+//! "Applying the analogy to session sequences, it is possible to extract
+//! 'activity collocates', which represent potentially interesting patterns
+//! of user activity. We have begun to perform these types of analyses,
+//! borrowing standard techniques from text processing such as pointwise
+//! mutual information \[Church & Hanks\] and log-likelihood ratios
+//! \[Dunning\]."
+//!
+//! Statistics are computed over *adjacent* symbol pairs (bigrams) in the
+//! session sequences — the "hot dog" of user behavior is
+//! "impression click".
+
+use std::collections::HashMap;
+
+use uli_core::session::dictionary::rank_for_char;
+
+/// A scored bigram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollocationScore {
+    /// First symbol (dictionary rank).
+    pub a: u32,
+    /// Second symbol.
+    pub b: u32,
+    /// Observed joint count.
+    pub count: u64,
+    /// Pointwise mutual information, bits.
+    pub pmi: f64,
+    /// Dunning's log-likelihood ratio (G²).
+    pub llr: f64,
+}
+
+/// Accumulates bigram statistics over a corpus of symbol sequences.
+#[derive(Debug, Clone, Default)]
+pub struct CollocationMiner {
+    pair_counts: HashMap<(u32, u32), u64>,
+    first_counts: HashMap<u32, u64>,
+    second_counts: HashMap<u32, u64>,
+    total_pairs: u64,
+}
+
+fn xlogx(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x * x.ln()
+    }
+}
+
+/// Entropy-form helper for Dunning's G² over a 2×2 contingency table.
+fn llr_2x2(k11: f64, k12: f64, k21: f64, k22: f64) -> f64 {
+    let row1 = k11 + k12;
+    let row2 = k21 + k22;
+    let col1 = k11 + k21;
+    let col2 = k12 + k22;
+    let total = row1 + row2;
+    let h_matrix = xlogx(k11) + xlogx(k12) + xlogx(k21) + xlogx(k22);
+    let h_rows = xlogx(row1) + xlogx(row2);
+    let h_cols = xlogx(col1) + xlogx(col2);
+    2.0 * (h_matrix - h_rows - h_cols + xlogx(total))
+}
+
+impl CollocationMiner {
+    /// An empty miner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one symbol sequence.
+    pub fn add_sequence(&mut self, seq: &[u32]) {
+        for w in seq.windows(2) {
+            *self.pair_counts.entry((w[0], w[1])).or_insert(0) += 1;
+            *self.first_counts.entry(w[0]).or_insert(0) += 1;
+            *self.second_counts.entry(w[1]).or_insert(0) += 1;
+            self.total_pairs += 1;
+        }
+    }
+
+    /// Adds an encoded session-sequence string.
+    pub fn add_string(&mut self, seq: &str) {
+        let symbols: Vec<u32> = seq.chars().filter_map(rank_for_char).collect();
+        self.add_sequence(&symbols);
+    }
+
+    /// Total adjacent pairs observed.
+    pub fn total_pairs(&self) -> u64 {
+        self.total_pairs
+    }
+
+    /// Scores every bigram with count ≥ `min_count`.
+    pub fn scores(&self, min_count: u64) -> Vec<CollocationScore> {
+        let n = self.total_pairs as f64;
+        if n == 0.0 {
+            return Vec::new();
+        }
+        let mut out: Vec<CollocationScore> = self
+            .pair_counts
+            .iter()
+            .filter(|(_, c)| **c >= min_count.max(1))
+            .map(|(&(a, b), &count)| {
+                let k11 = count as f64;
+                let fa = self.first_counts[&a] as f64;
+                let fb = self.second_counts[&b] as f64;
+                let k12 = fa - k11; // a followed by not-b
+                let k21 = fb - k11; // not-a followed by b
+                let k22 = n - fa - fb + k11;
+                let pmi = ((k11 * n) / (fa * fb)).log2();
+                // Sign the G² so that anti-collocations rank negative.
+                let mut llr = llr_2x2(k11, k12, k21, k22.max(0.0));
+                if k11 * n < fa * fb {
+                    llr = -llr;
+                }
+                CollocationScore {
+                    a,
+                    b,
+                    count,
+                    pmi,
+                    llr,
+                }
+            })
+            .collect();
+        out.sort_by(|x, y| y.llr.total_cmp(&x.llr).then_with(|| (x.a, x.b).cmp(&(y.a, y.b))));
+        out
+    }
+
+    /// The top-`k` collocations by LLR with a count floor — the headline
+    /// "interesting patterns of user activity" list.
+    pub fn top_by_llr(&self, k: usize, min_count: u64) -> Vec<CollocationScore> {
+        let mut s = self.scores(min_count);
+        s.truncate(k);
+        s
+    }
+
+    /// The top-`k` by PMI. PMI famously over-rewards rare pairs (Church &
+    /// Hanks), which the E8 experiment demonstrates against LLR.
+    pub fn top_by_pmi(&self, k: usize, min_count: u64) -> Vec<CollocationScore> {
+        let mut s = self.scores(min_count);
+        s.sort_by(|x, y| y.pmi.total_cmp(&x.pmi).then_with(|| (x.a, x.b).cmp(&(y.a, y.b))));
+        s.truncate(k);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Corpus where 7→8 is planted far above chance, on a noisy background.
+    fn planted_corpus() -> CollocationMiner {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut miner = CollocationMiner::new();
+        for _ in 0..500 {
+            let mut seq = Vec::with_capacity(30);
+            while seq.len() < 30 {
+                if rng.gen::<f64>() < 0.2 {
+                    seq.push(7);
+                    seq.push(8); // planted pair
+                } else {
+                    seq.push(rng.gen_range(0..20u32));
+                }
+            }
+            miner.add_sequence(&seq);
+        }
+        miner
+    }
+
+    #[test]
+    fn planted_pair_tops_the_llr_ranking() {
+        let miner = planted_corpus();
+        let top = miner.top_by_llr(3, 5);
+        assert_eq!((top[0].a, top[0].b), (7, 8));
+        assert!(top[0].llr > 100.0, "llr = {}", top[0].llr);
+        assert!(top[0].pmi > 0.5);
+    }
+
+    #[test]
+    fn pmi_overweights_rare_pairs_relative_to_llr() {
+        let mut miner = CollocationMiner::new();
+        // Frequent, genuinely associated pair: 1→3 occurs 300/1000 times
+        // where independence predicts 250 (both margins are 500).
+        for _ in 0..300 {
+            miner.add_sequence(&[1, 3]);
+        }
+        for _ in 0..200 {
+            miner.add_sequence(&[1, 2]);
+        }
+        for _ in 0..200 {
+            miner.add_sequence(&[4, 3]);
+        }
+        for _ in 0..300 {
+            miner.add_sequence(&[4, 2]);
+        }
+        // Rare but perfectly-associated pair: 8→9 twice, never apart.
+        miner.add_sequence(&[8, 9]);
+        miner.add_sequence(&[8, 9]);
+
+        let by_pmi = miner.top_by_pmi(1, 1);
+        assert_eq!((by_pmi[0].a, by_pmi[0].b), (8, 9), "PMI loves rare pairs");
+        let by_llr = miner.top_by_llr(1, 1);
+        assert_eq!(
+            (by_llr[0].a, by_llr[0].b),
+            (1, 3),
+            "LLR favours well-supported association"
+        );
+    }
+
+    #[test]
+    fn independent_symbols_score_near_zero_pmi() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut miner = CollocationMiner::new();
+        for _ in 0..2000 {
+            let seq: Vec<u32> = (0..20).map(|_| rng.gen_range(0..4u32)).collect();
+            miner.add_sequence(&seq);
+        }
+        for s in miner.scores(100) {
+            assert!(
+                s.pmi.abs() < 0.3,
+                "({},{}) pmi={:.3} should be ~0",
+                s.a,
+                s.b,
+                s.pmi
+            );
+        }
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let mut miner = CollocationMiner::new();
+        miner.add_sequence(&[1, 2, 3]);
+        assert_eq!(miner.scores(2).len(), 0);
+        assert_eq!(miner.scores(1).len(), 2);
+        assert_eq!(miner.total_pairs(), 2);
+    }
+
+    #[test]
+    fn empty_and_single_symbol_sequences_are_noops() {
+        let mut miner = CollocationMiner::new();
+        miner.add_sequence(&[]);
+        miner.add_sequence(&[5]);
+        assert_eq!(miner.total_pairs(), 0);
+        assert!(miner.scores(1).is_empty());
+    }
+
+    #[test]
+    fn string_interface() {
+        use uli_core::session::dictionary::char_for_rank;
+        let s: String = [0u32, 1, 0, 1]
+            .iter()
+            .map(|r| char_for_rank(*r).unwrap())
+            .collect();
+        let mut miner = CollocationMiner::new();
+        miner.add_string(&s);
+        assert_eq!(miner.total_pairs(), 3);
+    }
+
+    #[test]
+    fn llr_of_degenerate_tables_is_finite() {
+        assert!(llr_2x2(0.0, 0.0, 0.0, 0.0).is_finite());
+        assert!(llr_2x2(5.0, 0.0, 0.0, 0.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,88 @@
+//! Loading materialized session sequences.
+
+use uli_core::session::{sequences_dir, SessionSequence};
+use uli_thrift::ThriftRecord;
+use uli_warehouse::{Warehouse, WarehouseResult};
+
+/// Reads every session sequence materialized for `day_index`.
+pub fn load_sequences(
+    warehouse: &Warehouse,
+    day_index: u64,
+) -> WarehouseResult<Vec<SessionSequence>> {
+    let dir = sequences_dir(day_index);
+    let mut out = Vec::new();
+    for file in warehouse.list_files_recursive(&dir)? {
+        let mut reader = warehouse.open(&file)?;
+        while let Some(record) = reader.next_record()? {
+            if let Ok(seq) = SessionSequence::from_bytes(record) {
+                out.push(seq);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uli_core::session::Materializer;
+
+    #[test]
+    fn loads_what_the_materializer_wrote() {
+        let wh = Warehouse::new();
+        // Build a tiny day directly via the materializer fixtures.
+        let events = test_support::write_tiny_day(&wh, 0);
+        let report = Materializer::new(wh.clone()).run_day(0).unwrap();
+        assert!(events > 0);
+        let seqs = load_sequences(&wh, 0).unwrap();
+        assert_eq!(seqs.len() as u64, report.sessions);
+        assert!(seqs.iter().all(|s| !s.sequence.is_empty()));
+    }
+
+    #[test]
+    fn missing_day_errors() {
+        let wh = Warehouse::new();
+        assert!(load_sequences(&wh, 7).is_err());
+    }
+}
+
+/// Shared fixtures for this crate's tests.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use uli_core::client_event::{ClientEvent, CLIENT_EVENTS_CATEGORY};
+    use uli_core::event::{EventInitiator, EventName};
+    use uli_core::time::Timestamp;
+    use uli_thrift::ThriftRecord;
+    use uli_warehouse::{HourlyPartition, Warehouse};
+
+    /// Writes two hours of a simple repetitive day; returns event count.
+    pub fn write_tiny_day(wh: &Warehouse, day: u64) -> u64 {
+        let mut total = 0;
+        for hour in day * 24..day * 24 + 2 {
+            let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, hour).main_dir();
+            let mut w = wh.create(&dir.child("part-00000").unwrap()).unwrap();
+            for u in 0..8i64 {
+                for i in 0..10usize {
+                    let action = match i % 4 {
+                        0 | 1 => "impression",
+                        2 => "click",
+                        _ => "profile_click",
+                    };
+                    let ev = ClientEvent::new(
+                        EventInitiator::CLIENT_USER,
+                        EventName::parse(&format!("web:home:home:stream:tweet:{action}"))
+                            .unwrap(),
+                        u + 1,
+                        format!("s-{u}"),
+                        "10.0.0.1",
+                        Timestamp::from_hour_index(hour).plus(i as i64 * 1000),
+                    );
+                    w.append_record(&ev.to_bytes());
+                    total += 1;
+                }
+            }
+            w.finish().unwrap();
+        }
+        total
+    }
+}

@@ -1,0 +1,224 @@
+//! `ClientEventsFunnel`: funnel analytics over session sequences (§5.3).
+//!
+//! "`define Funnel ClientEventsFunnel('$EVENT1' '$EVENT2', ...)` … the
+//! output might be something like `(0, 490123) (1, 297071) …` which tells
+//! us how many of the examined sessions entered the funnel, completed the
+//! first stage, etc. This particular UDF translates the funnel into a
+//! regular expression match over the session sequence string."
+
+use std::sync::Arc;
+
+use uli_core::event::EventName;
+use uli_core::session::EventDictionary;
+use uli_dataflow::{DataflowError, DataflowResult, ScalarUdf, Value};
+
+/// Per-stage results of a funnel evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunnelReport {
+    /// Stage names.
+    pub stages: Vec<EventName>,
+    /// Sessions (or users) reaching each stage.
+    pub reached: Vec<u64>,
+}
+
+impl FunnelReport {
+    /// The paper's output shape: `(stage_index, count)` rows.
+    pub fn rows(&self) -> Vec<(usize, u64)> {
+        self.reached.iter().copied().enumerate().collect()
+    }
+
+    /// Per-stage abandonment: fraction of stage-i reachers who never reach
+    /// stage i+1.
+    pub fn abandonment(&self) -> Vec<f64> {
+        self.reached
+            .windows(2)
+            .map(|w| {
+                if w[0] == 0 {
+                    0.0
+                } else {
+                    1.0 - w[1] as f64 / w[0] as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Overall conversion: fraction of entrants completing the last stage.
+    pub fn conversion(&self) -> f64 {
+        match (self.reached.first(), self.reached.last()) {
+            (Some(&first), Some(&last)) if first > 0 => last as f64 / first as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The funnel UDF: maps a session sequence to the deepest stage reached
+/// (as an `Int`: 0 = never entered, k = completed stage k).
+#[derive(Debug, Clone)]
+pub struct ClientEventsFunnel {
+    stages: Vec<EventName>,
+    stage_chars: Vec<char>,
+}
+
+impl ClientEventsFunnel {
+    /// Compiles the funnel against a dictionary. Stages missing from the
+    /// dictionary make the funnel unmatchable from that stage on, mirroring
+    /// a regex that cannot match; they map to a sentinel outside the
+    /// dictionary range.
+    pub fn new(stages: Vec<EventName>, dict: &EventDictionary) -> Arc<ClientEventsFunnel> {
+        assert!(stages.len() >= 2, "a funnel needs at least two stages");
+        let stage_chars = stages
+            .iter()
+            .map(|s| dict.encode_name(s).unwrap_or('\u{10FFFF}'))
+            .collect();
+        Arc::new(ClientEventsFunnel {
+            stages,
+            stage_chars,
+        })
+    }
+
+    /// The stage events.
+    pub fn stages(&self) -> &[EventName] {
+        &self.stages
+    }
+
+    /// Deepest stage index completed within `sequence` (0 = entered none).
+    /// The match is an ordered subsequence scan — the string-level
+    /// equivalent of the paper's `e1 .* e2 .* e3` regular expression.
+    pub fn depth(&self, sequence: &str) -> usize {
+        let mut next = 0;
+        for c in sequence.chars() {
+            if next < self.stage_chars.len() && c == self.stage_chars[next] {
+                next += 1;
+            }
+        }
+        next
+    }
+
+    /// Evaluates the funnel over many sessions, producing the paper-shaped
+    /// report: `reached[i]` = sessions that completed stage i.
+    pub fn evaluate<'a, I>(&self, sequences: I) -> FunnelReport
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut reached = vec![0u64; self.stages.len()];
+        for seq in sequences {
+            let d = self.depth(seq);
+            for slot in reached.iter_mut().take(d) {
+                *slot += 1;
+            }
+        }
+        FunnelReport {
+            stages: self.stages.clone(),
+            reached,
+        }
+    }
+}
+
+impl ScalarUdf for ClientEventsFunnel {
+    fn name(&self) -> &'static str {
+        "ClientEventsFunnel"
+    }
+
+    fn eval(&self, args: &[Value]) -> DataflowResult<Value> {
+        let seq = args
+            .first()
+            .and_then(Value::as_str)
+            .ok_or(DataflowError::TypeError {
+                context: "ClientEventsFunnel(sequence)",
+            })?;
+        Ok(Value::Int(self.depth(seq) as i64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> EventName {
+        EventName::parse(s).unwrap()
+    }
+
+    fn setup() -> (EventDictionary, Vec<EventName>) {
+        let stages = vec![
+            n("web:signup:signup:landing:form:impression"),
+            n("web:signup:signup:landing:form:submit"),
+            n("web:signup:signup:interests:picker:select"),
+        ];
+        let mut counts: Vec<(EventName, u64)> = stages
+            .iter()
+            .cloned()
+            .zip([300u64, 200, 100])
+            .collect();
+        counts.push((n("web:home:home:stream:tweet:impression"), 10_000));
+        (EventDictionary::from_counts(counts), stages)
+    }
+
+    #[test]
+    fn depth_is_an_ordered_subsequence_match() {
+        let (dict, stages) = setup();
+        let funnel = ClientEventsFunnel::new(stages.clone(), &dict);
+        let seq = |names: &[&EventName]| dict.encode_sequence(names.iter().copied()).unwrap();
+
+        let noise = n("web:home:home:stream:tweet:impression");
+        // Full completion with noise interleaved.
+        let full = seq(&[&noise, &stages[0], &noise, &stages[1], &stages[2]]);
+        assert_eq!(funnel.depth(&full), 3);
+        // Stops at stage 1.
+        let partial = seq(&[&stages[0], &noise]);
+        assert_eq!(funnel.depth(&partial), 1);
+        // Out of order does not count: submit before impression.
+        let disordered = seq(&[&stages[1], &stages[2]]);
+        assert_eq!(funnel.depth(&disordered), 0);
+        // Stage 2 without stage 1 in between: stuck after stage 0.
+        let skipped = seq(&[&stages[0], &stages[2]]);
+        assert_eq!(funnel.depth(&skipped), 1);
+    }
+
+    #[test]
+    fn evaluate_produces_paper_shaped_rows() {
+        let (dict, stages) = setup();
+        let funnel = ClientEventsFunnel::new(stages.clone(), &dict);
+        let seq = |names: &[&EventName]| dict.encode_sequence(names.iter().copied()).unwrap();
+        let sessions = [
+            seq(&[&stages[0], &stages[1], &stages[2]]), // completes all
+            seq(&[&stages[0], &stages[1]]),             // two stages
+            seq(&[&stages[0]]),                         // one
+            seq(&[&n("web:home:home:stream:tweet:impression")]), // none
+        ];
+        let report = funnel.evaluate(sessions.iter().map(String::as_str));
+        assert_eq!(report.rows(), vec![(0, 3), (1, 2), (2, 1)]);
+        let ab = report.abandonment();
+        assert!((ab[0] - (1.0 - 2.0 / 3.0)).abs() < 1e-9);
+        assert!((report.conversion() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_stage_blocks_progress() {
+        let (dict, mut stages) = setup();
+        stages.push(n("web:never:seen:in:dictionary:x"));
+        let funnel = ClientEventsFunnel::new(stages.clone(), &dict);
+        let all_three = dict
+            .encode_sequence([&stages[0], &stages[1], &stages[2]])
+            .unwrap();
+        assert_eq!(funnel.depth(&all_three), 3, "cannot pass the unknown stage");
+    }
+
+    #[test]
+    fn udf_interface() {
+        let (dict, stages) = setup();
+        let funnel = ClientEventsFunnel::new(stages.clone(), &dict);
+        let seq = dict.encode_sequence([&stages[0]]).unwrap();
+        assert_eq!(funnel.eval(&[Value::Str(seq)]).unwrap(), Value::Int(1));
+        assert!(funnel.eval(&[Value::Null]).is_err());
+    }
+
+    #[test]
+    fn empty_corpus_reports_zeroes() {
+        let (dict, stages) = setup();
+        let funnel = ClientEventsFunnel::new(stages, &dict);
+        let report = funnel.evaluate(std::iter::empty());
+        assert_eq!(report.reached, vec![0, 0, 0]);
+        assert_eq!(report.conversion(), 0.0);
+        assert_eq!(report.abandonment(), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,201 @@
+//! LifeFlow-style session overview (§6, ongoing work).
+//!
+//! "We are also using advanced visualization techniques \[LifeFlow:
+//! Visualizing an overview of event sequences] to provide data scientists a
+//! visual interface for exploring sessions." LifeFlow aggregates many event
+//! sequences into a tree of shared prefixes whose branches show where
+//! behaviour diverges. This module builds that tree from session sequences
+//! and renders it as text — the terminal-native "overview of event
+//! sequences".
+
+use std::collections::BTreeMap;
+
+use uli_core::session::dictionary::rank_for_char;
+use uli_core::session::EventDictionary;
+
+/// A node of the prefix tree: how many sessions passed through, and where
+/// they went next.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNode {
+    /// Sessions whose prefix reaches this node.
+    pub sessions: u64,
+    /// Sessions that *end* exactly here.
+    pub terminal: u64,
+    /// Next events, keyed by dictionary rank.
+    pub children: BTreeMap<u32, FlowNode>,
+}
+
+/// The aggregated overview tree.
+#[derive(Debug, Clone, Default)]
+pub struct LifeFlow {
+    root: FlowNode,
+    depth_limit: usize,
+}
+
+impl LifeFlow {
+    /// An empty overview truncating sessions at `depth_limit` events
+    /// (LifeFlow's horizontal zoom; keeps trees readable).
+    pub fn new(depth_limit: usize) -> LifeFlow {
+        assert!(depth_limit > 0);
+        LifeFlow {
+            root: FlowNode::default(),
+            depth_limit,
+        }
+    }
+
+    /// Adds one session's symbol sequence.
+    pub fn add_sequence(&mut self, symbols: &[u32]) {
+        self.root.sessions += 1;
+        let mut node = &mut self.root;
+        for (i, sym) in symbols.iter().take(self.depth_limit).enumerate() {
+            node = node.children.entry(*sym).or_default();
+            node.sessions += 1;
+            let truncated = i + 1 == self.depth_limit && symbols.len() > self.depth_limit;
+            if i + 1 == symbols.len() || truncated {
+                node.terminal += 1;
+            }
+        }
+        if symbols.is_empty() {
+            self.root.terminal += 1;
+        }
+    }
+
+    /// Adds an encoded session-sequence string.
+    pub fn add_string(&mut self, sequence: &str) {
+        let symbols: Vec<u32> = sequence.chars().filter_map(rank_for_char).collect();
+        self.add_sequence(&symbols);
+    }
+
+    /// Total sessions aggregated.
+    pub fn total_sessions(&self) -> u64 {
+        self.root.sessions
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &FlowNode {
+        &self.root
+    }
+
+    /// Renders the tree: branches sorted by traffic, pruned below
+    /// `min_fraction` of total sessions, event names via the dictionary.
+    pub fn render(&self, dict: &EventDictionary, min_fraction: f64) -> String {
+        let mut out = format!("{} sessions\n", self.root.sessions);
+        let threshold = (self.root.sessions as f64 * min_fraction).ceil() as u64;
+        render_children(&self.root, dict, threshold.max(1), "", &mut out);
+        out
+    }
+}
+
+fn render_children(
+    node: &FlowNode,
+    dict: &EventDictionary,
+    threshold: u64,
+    indent: &str,
+    out: &mut String,
+) {
+    // Branches by descending traffic.
+    let mut kids: Vec<(&u32, &FlowNode)> = node.children.iter().collect();
+    kids.sort_by(|a, b| b.1.sessions.cmp(&a.1.sessions).then_with(|| a.0.cmp(b.0)));
+    let mut hidden = 0u64;
+    for (rank, child) in kids {
+        if child.sessions < threshold {
+            hidden += child.sessions;
+            continue;
+        }
+        let name = dict
+            .name_of(*rank)
+            .map(|n| n.as_str().to_string())
+            .unwrap_or_else(|| format!("rank{rank}"));
+        let terminal = if child.terminal > 0 {
+            format!(" (ends: {})", child.terminal)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "{indent}├─ {name} [{}]{terminal}\n",
+            child.sessions
+        ));
+        render_children(child, dict, threshold, &format!("{indent}│  "), out);
+    }
+    if hidden > 0 {
+        out.push_str(&format!("{indent}└─ … {hidden} sessions below threshold\n"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uli_core::event::EventName;
+
+    fn dict() -> EventDictionary {
+        EventDictionary::from_counts(vec![
+            (EventName::parse("web:a:a:a:a:impression").unwrap(), 100),
+            (EventName::parse("web:a:a:a:a:click").unwrap(), 50),
+            (EventName::parse("web:a:a:a:a:follow").unwrap(), 10),
+        ])
+    }
+
+    #[test]
+    fn tree_counts_prefix_traffic() {
+        let mut lf = LifeFlow::new(10);
+        lf.add_sequence(&[0, 1]); // impression → click
+        lf.add_sequence(&[0, 1]);
+        lf.add_sequence(&[0, 2]); // impression → follow
+        lf.add_sequence(&[1]); // click only
+        assert_eq!(lf.total_sessions(), 4);
+        let imp = lf.root().children.get(&0).unwrap();
+        assert_eq!(imp.sessions, 3);
+        assert_eq!(imp.children.get(&1).unwrap().sessions, 2);
+        assert_eq!(imp.children.get(&1).unwrap().terminal, 2);
+        assert_eq!(lf.root().children.get(&1).unwrap().sessions, 1);
+    }
+
+    #[test]
+    fn depth_limit_truncates_and_marks_terminal() {
+        let mut lf = LifeFlow::new(2);
+        lf.add_sequence(&[0, 1, 2, 2, 2]);
+        let imp = lf.root().children.get(&0).unwrap();
+        let click = imp.children.get(&1).unwrap();
+        assert_eq!(click.terminal, 1, "truncation counts as an ending");
+        assert!(click.children.is_empty());
+    }
+
+    #[test]
+    fn empty_sessions_end_at_root() {
+        let mut lf = LifeFlow::new(4);
+        lf.add_sequence(&[]);
+        assert_eq!(lf.root().terminal, 1);
+        assert_eq!(lf.total_sessions(), 1);
+    }
+
+    #[test]
+    fn render_shows_names_and_prunes() {
+        let d = dict();
+        let mut lf = LifeFlow::new(5);
+        for _ in 0..20 {
+            lf.add_string(&d.encode_sequence([
+                &EventName::parse("web:a:a:a:a:impression").unwrap(),
+                &EventName::parse("web:a:a:a:a:click").unwrap(),
+            ]).unwrap());
+        }
+        lf.add_string(&d.encode_sequence([
+            &EventName::parse("web:a:a:a:a:follow").unwrap(),
+        ]).unwrap());
+        let text = lf.render(&d, 0.2);
+        assert!(text.contains("21 sessions"));
+        assert!(text.contains("web:a:a:a:a:impression [20]"));
+        assert!(text.contains("web:a:a:a:a:click [20]"));
+        assert!(text.contains("below threshold"), "rare follow branch pruned");
+    }
+
+    #[test]
+    fn string_interface_round_trips() {
+        let d = dict();
+        let seq = d
+            .encode_sequence([&EventName::parse("web:a:a:a:a:impression").unwrap()])
+            .unwrap();
+        let mut lf = LifeFlow::new(3);
+        lf.add_string(&seq);
+        assert_eq!(lf.root().children.len(), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Ablation benches for the design decisions DESIGN.md calls out.
+//!
+//! * `namespace`: flat six-level roll-ups (five fixed schemas) vs the
+//!   rejected arbitrary-depth tree (every prefix materialized) — §3.2's
+//!   "flexibility … comes at the cost of complexity and the fact that the
+//!   top-level aggregates would be more difficult to automatically compute".
+//! * `layout`: scanning raw hour-partitioned logs vs the rejected
+//!   alternative of rewriting full Thrift messages grouped by session vs
+//!   the session sequences — §4.2's discussion of why re-laying-out the
+//!   raw events "would have little impact on … too many brute force scans".
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use uli_bench::harness::{prepare_day, standard_config};
+use uli_core::client_event::ClientEvent;
+use uli_core::event::TreeEventName;
+use uli_core::session::day_dir;
+use uli_thrift::ThriftRecord;
+use uli_warehouse::{Warehouse, WhPath};
+
+fn bench_namespace_rollup(c: &mut Criterion) {
+    let prepared = prepare_day(&standard_config(), 0);
+    let names: Vec<_> = prepared.day.events.iter().map(|e| e.name.clone()).collect();
+
+    let mut g = c.benchmark_group("namespace_rollup");
+    g.throughput(Throughput::Elements(names.len() as u64));
+    g.bench_function("flat_five_schemas", |b| {
+        b.iter(|| {
+            let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+            for n in &names {
+                for level in 1..=5 {
+                    *counts.entry(n.rollup(level)).or_insert(0) += 1;
+                }
+            }
+            black_box(counts.len())
+        })
+    });
+    g.bench_function("tree_all_prefixes", |b| {
+        b.iter(|| {
+            let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+            for n in &names {
+                let tree = TreeEventName::from_flat(n);
+                for prefix in tree.prefixes() {
+                    *counts.entry(prefix.to_string()).or_insert(0) += 1;
+                }
+                *counts.entry(tree.to_string()).or_insert(0) += 1;
+            }
+            black_box(counts.len())
+        })
+    });
+    g.finish();
+}
+
+/// The rejected §4.2 alternative: rewrite the complete Thrift messages
+/// grouped by session. Solves the group-by, not the scan volume.
+fn materialize_resessioned(wh: &Warehouse, events: &[ClientEvent]) -> WhPath {
+    let mut by_session: BTreeMap<(i64, String), Vec<&ClientEvent>> = BTreeMap::new();
+    for ev in events {
+        by_session
+            .entry((ev.user_id, ev.session_id.clone()))
+            .or_default()
+            .push(ev);
+    }
+    let dir = WhPath::parse("/resessioned/0").unwrap();
+    let mut w = wh.create(&dir.child("part-00000").unwrap()).unwrap();
+    for evs in by_session.values() {
+        for ev in evs {
+            w.append_record(&ev.to_bytes());
+        }
+    }
+    w.finish().unwrap();
+    dir
+}
+
+fn scan_all(wh: &Warehouse, dir: &WhPath) -> u64 {
+    let mut n = 0;
+    for file in wh.list_files_recursive(dir).unwrap() {
+        let mut r = wh.open(&file).unwrap();
+        while let Some(rec) = r.next_record().unwrap() {
+            n += rec.len() as u64;
+        }
+    }
+    n
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let prepared = prepare_day(&standard_config(), 0);
+    let wh = prepared.warehouse.clone();
+    let raw_dir = day_dir("client_events", 0);
+    let resessioned_dir = materialize_resessioned(&wh, &prepared.day.events);
+    let sequences_dir = uli_core::session::sequences_dir(0);
+
+    let mut g = c.benchmark_group("layout_scan");
+    g.sample_size(10);
+    g.bench_function("raw_hourly_thrift", |b| {
+        b.iter(|| black_box(scan_all(&wh, &raw_dir)))
+    });
+    g.bench_function("resessioned_full_thrift", |b| {
+        b.iter(|| black_box(scan_all(&wh, &resessioned_dir)))
+    });
+    g.bench_function("session_sequences", |b| {
+        b.iter(|| black_box(scan_all(&wh, &sequences_dir)))
+    });
+    g.finish();
+
+    // Report the scan volumes once (criterion measures time; the byte
+    // asymmetry is the point the paper makes).
+    let raw = wh.dir_meta(&raw_dir).unwrap();
+    let re = wh.dir_meta(&resessioned_dir).unwrap();
+    let seq = wh.dir_meta(&sequences_dir).unwrap();
+    eprintln!(
+        "layout bytes on disk: raw {} KB | resessioned {} KB | sequences {} KB",
+        raw.compressed_bytes / 1024,
+        re.compressed_bytes / 1024,
+        seq.compressed_bytes / 1024
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_namespace_rollup, bench_layouts
+}
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Microbenchmarks for the serialization substrates: the Thrift-style
+//! client event codec (E3) and the ulz block compressor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use uli_core::client_event::{ClientEvent, ClientEventLoader};
+use uli_core::event::{EventName, EventPattern};
+use uli_dataflow::Loader;
+use uli_thrift::ThriftRecord;
+use uli_warehouse::compress;
+use uli_workload::{generate_day, WorkloadConfig};
+
+fn sample_events() -> Vec<ClientEvent> {
+    generate_day(
+        &WorkloadConfig {
+            users: 50,
+            ..Default::default()
+        },
+        0,
+    )
+    .events
+}
+
+fn bench_thrift_codec(c: &mut Criterion) {
+    let events = sample_events();
+    let encoded: Vec<Vec<u8>> = events.iter().map(|e| e.to_bytes()).collect();
+    let bytes: u64 = encoded.iter().map(|b| b.len() as u64).sum();
+
+    let mut g = c.benchmark_group("thrift_codec");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("encode_day", |b| {
+        b.iter(|| {
+            for ev in &events {
+                black_box(ev.to_bytes());
+            }
+        })
+    });
+    g.bench_function("decode_day", |b| {
+        b.iter(|| {
+            for buf in &encoded {
+                black_box(ClientEvent::from_bytes(buf).expect("valid"));
+            }
+        })
+    });
+    g.bench_function("loader_parse_day", |b| {
+        b.iter(|| {
+            for buf in &encoded {
+                black_box(ClientEventLoader.parse(buf).expect("ok"));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let events = sample_events();
+    let mut block = Vec::new();
+    for ev in events.iter().take(500) {
+        block.extend_from_slice(&ev.to_bytes());
+    }
+    let compressed = compress::compress(&block);
+
+    let mut g = c.benchmark_group("ulz");
+    g.throughput(Throughput::Bytes(block.len() as u64));
+    g.bench_function("compress_block", |b| {
+        b.iter(|| black_box(compress::compress(&block)))
+    });
+    g.bench_function("decompress_block", |b| {
+        b.iter(|| black_box(compress::decompress(&compressed).expect("valid")))
+    });
+    g.finish();
+}
+
+fn bench_event_names(c: &mut Criterion) {
+    let names: Vec<String> = sample_events()
+        .iter()
+        .take(1000)
+        .map(|e| e.name.as_str().to_string())
+        .collect();
+    let parsed: Vec<EventName> = names.iter().map(|n| EventName::parse(n).unwrap()).collect();
+    let pattern = EventPattern::parse("web:home:mentions:*").unwrap();
+
+    let mut g = c.benchmark_group("event_names");
+    g.bench_function("parse_1k", |b| {
+        b.iter(|| {
+            for n in &names {
+                black_box(EventName::parse(n).expect("valid"));
+            }
+        })
+    });
+    g.bench_function("pattern_match_1k", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for n in &parsed {
+                if pattern.matches(n) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("rollup_1k", |b| {
+        b.iter_batched(
+            || parsed.clone(),
+            |names| {
+                for n in &names {
+                    for level in 1..=5 {
+                        black_box(n.rollup(level));
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_thrift_codec, bench_compression, bench_event_names
+}
+criterion_main!(benches);

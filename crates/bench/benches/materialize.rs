@@ -1,0 +1,99 @@
+//! E4 benches: dictionary construction, sessionization (with the
+//! 30-minute-gap ablation), full-day materialization, and the roll-up job.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use uli_core::client_event::ClientEvent;
+use uli_core::session::{EventDictionary, Materializer, Sessionizer};
+use uli_oink::compute_rollups;
+use uli_warehouse::Warehouse;
+use uli_workload::{generate_day, write_client_events, WorkloadConfig};
+
+fn day_events() -> Vec<ClientEvent> {
+    generate_day(
+        &WorkloadConfig {
+            users: 150,
+            ..Default::default()
+        },
+        0,
+    )
+    .events
+}
+
+fn bench_sessionize(c: &mut Criterion) {
+    let events = day_events();
+    let mut g = c.benchmark_group("sessionize");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    // The 30-minute standard plus the ablation sweep.
+    for gap_minutes in [5i64, 30, 120] {
+        g.bench_function(format!("gap_{gap_minutes}m"), |b| {
+            let s = Sessionizer::with_gap_ms(gap_minutes * 60 * 1000);
+            b.iter_batched(
+                || events.clone(),
+                |evs| black_box(s.sessionize(evs)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_dictionary(c: &mut Criterion) {
+    let events = day_events();
+    let mut counts = std::collections::BTreeMap::new();
+    for ev in &events {
+        *counts.entry(ev.name.clone()).or_insert(0u64) += 1;
+    }
+    let count_vec: Vec<_> = counts.into_iter().collect();
+    let dict = EventDictionary::from_counts(count_vec.clone());
+    let sessions = Sessionizer::new().sessionize(events.clone());
+
+    let mut g = c.benchmark_group("dictionary");
+    g.bench_function("build", |b| {
+        b.iter_batched(
+            || count_vec.clone(),
+            |cv| black_box(EventDictionary::from_counts(cv)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("encode_day_of_sessions", |b| {
+        b.iter(|| {
+            for s in &sessions {
+                black_box(dict.encode_sequence(s.events.iter()).expect("covered"));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_materialize_and_rollups(c: &mut Criterion) {
+    let events = day_events();
+    let wh = Warehouse::new();
+    write_client_events(&wh, &events, 4).unwrap();
+
+    let mut g = c.benchmark_group("daily_jobs");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("materialize_day", |b| {
+        b.iter(|| {
+            black_box(
+                Materializer::new(wh.clone())
+                    .run_day(0)
+                    .expect("day present"),
+            )
+        })
+    });
+    g.bench_function("rollup_day", |b| {
+        b.iter(|| black_box(compute_rollups(&wh, 0).expect("day present")))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_sessionize, bench_dictionary, bench_materialize_and_rollups
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E7/E8 benches: n-gram language modeling and collocation mining over a
+//! day of session sequences.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use uli_analytics::{load_sequences, CollocationMiner, InterpolatedModel, NgramModel};
+use uli_bench::harness::{prepare_day, standard_config};
+use uli_core::session::dictionary::rank_for_char;
+
+fn corpus() -> Vec<Vec<u32>> {
+    let prepared = prepare_day(&standard_config(), 0);
+    load_sequences(&prepared.warehouse, 0)
+        .expect("materialized")
+        .iter()
+        .map(|s| s.sequence.chars().filter_map(rank_for_char).collect())
+        .collect()
+}
+
+fn bench_ngram(c: &mut Criterion) {
+    let train = corpus();
+    let tokens: u64 = train.iter().map(|s| s.len() as u64).sum();
+
+    let mut g = c.benchmark_group("ngram");
+    g.throughput(Throughput::Elements(tokens));
+    for n in [2usize, 3] {
+        g.bench_function(format!("train_order_{n}"), |b| {
+            b.iter(|| black_box(NgramModel::train(n, 0.05, &train)))
+        });
+    }
+    let bigram = InterpolatedModel::train(2, 0.05, 0.5, &train);
+    g.bench_function("cross_entropy_bigram", |b| {
+        b.iter(|| black_box(bigram.cross_entropy(&train)))
+    });
+    g.finish();
+}
+
+fn bench_collocations(c: &mut Criterion) {
+    let train = corpus();
+    let tokens: u64 = train.iter().map(|s| s.len() as u64).sum();
+
+    let mut g = c.benchmark_group("collocations");
+    g.throughput(Throughput::Elements(tokens));
+    g.bench_function("mine_day", |b| {
+        b.iter(|| {
+            let mut miner = CollocationMiner::new();
+            for s in &train {
+                miner.add_sequence(s);
+            }
+            black_box(miner.top_by_llr(10, 25))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ngram, bench_collocations
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E1 bench: Scribe delivery throughput and the log mover's merge.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use uli_scribe::mover::{seal_hour, LogMover};
+use uli_scribe::pipeline::PipelineConfig;
+use uli_scribe::{LogEntry, ScribePipeline};
+use uli_warehouse::{HourlyPartition, Warehouse};
+
+fn bench_delivery(c: &mut Criterion) {
+    let entries: Vec<LogEntry> = (0..5_000)
+        .map(|i| LogEntry::new("client_events", format!("message-{i}").into_bytes()))
+        .collect();
+
+    let mut g = c.benchmark_group("scribe_delivery");
+    g.throughput(Throughput::Elements(entries.len() as u64));
+    g.bench_function("deliver_flush_move_5k", |b| {
+        b.iter_batched(
+            || {
+                (
+                    ScribePipeline::new(PipelineConfig {
+                        datacenters: 2,
+                        hosts_per_dc: 8,
+                        aggregators_per_dc: 2,
+                        records_per_file: 100_000,
+                    }),
+                    entries.clone(),
+                )
+            },
+            |(mut pipe, entries)| {
+                for (i, e) in entries.into_iter().enumerate() {
+                    pipe.log(i % 2, (i / 2) % 8, e);
+                }
+                pipe.step();
+                pipe.flush_hour(0);
+                pipe.seal_hour("client_events", 0);
+                black_box(pipe.move_hour("client_events", 0).expect("sealed"));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_mover_merge(c: &mut Criterion) {
+    // Many small files → few big ones: the mover's core transformation.
+    let partition = HourlyPartition::new("client_events", 2012, 8, 21, 14).unwrap();
+    let staging = Warehouse::new();
+    let dir = partition.main_dir();
+    for f in 0..40 {
+        let mut w = staging.create(&dir.child(&format!("agg-{f:03}")).unwrap()).unwrap();
+        for r in 0..250 {
+            w.append_record(format!("rec-{f}-{r}").as_bytes());
+        }
+        w.finish().unwrap();
+    }
+    seal_hour(&staging, &partition).unwrap();
+
+    let mut g = c.benchmark_group("log_mover");
+    g.throughput(Throughput::Elements(40 * 250));
+    g.bench_function("merge_40_files_10k_records", |b| {
+        b.iter_batched(
+            || LogMover::new(Warehouse::new(), 5_000),
+            |mover| {
+                black_box(
+                    mover
+                        .move_hour(&partition, &[("dc0", &staging)])
+                        .expect("sealed"),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_delivery, bench_mover_merge
+}
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! E5/E6/E9/E11 benches: the paper's queries, timed.
+//!
+//! `count_query/raw` vs `count_query/sequences` is the headline comparison:
+//! the same answer from a full scan of client event logs versus string
+//! operations over the 30–50x smaller session sequences.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use uli_analytics::{load_sequences, ClientEventsFunnel};
+use uli_bench::experiments::e5_query_cost::{raw_count_plan, raw_sessionize_plan, sequence_count_plan};
+use uli_bench::harness::{prepare_day, standard_config};
+use uli_core::event::EventPattern;
+use uli_core::legacy::{LegacyCategory, LegacyLoader, LEGACY_SCHEMA};
+use uli_core::session::{day_dir, Materializer};
+use uli_dataflow::prelude::*;
+use uli_index::{build_client_event_index, EventIndexPruner};
+use uli_workload::{signup_funnel, write_legacy_events};
+
+fn bench_count_query(c: &mut Criterion) {
+    let prepared = prepare_day(&standard_config(), 0);
+    let wh = prepared.warehouse.clone();
+    let dict = Materializer::new(wh.clone()).load_dictionary(0).unwrap();
+    let engine = Engine::new(wh);
+    let pattern = EventPattern::parse("*:profile_click").unwrap();
+    let raw = raw_count_plan(&dict, &pattern);
+    let seq = sequence_count_plan(&dict, &pattern);
+
+    let mut g = c.benchmark_group("count_query");
+    g.bench_function("raw_logs", |b| {
+        b.iter(|| black_box(engine.run(&raw).expect("runs")))
+    });
+    g.bench_function("sequences", |b| {
+        b.iter(|| black_box(engine.run(&seq).expect("runs")))
+    });
+    g.bench_function("raw_session_reconstruction", |b| {
+        let plan = raw_sessionize_plan();
+        b.iter(|| black_box(engine.run(&plan).expect("runs")))
+    });
+    g.finish();
+}
+
+fn bench_funnel(c: &mut Criterion) {
+    let prepared = prepare_day(&standard_config(), 0);
+    let dict = Materializer::new(prepared.warehouse.clone())
+        .load_dictionary(0)
+        .unwrap();
+    let sequences = load_sequences(&prepared.warehouse, 0).unwrap();
+    let funnel = ClientEventsFunnel::new(signup_funnel().stages, &dict);
+
+    let mut g = c.benchmark_group("funnel");
+    g.bench_function("evaluate_day", |b| {
+        b.iter(|| {
+            black_box(funnel.evaluate(sequences.iter().map(|s| s.sequence.as_str())))
+        })
+    });
+    g.finish();
+}
+
+fn bench_index_scan(c: &mut Criterion) {
+    let prepared = prepare_day(&standard_config(), 0);
+    let wh = prepared.warehouse.clone();
+    let dict = Materializer::new(wh.clone()).load_dictionary(0).unwrap();
+    let data_dir = day_dir("client_events", 0);
+    let index = Arc::new(build_client_event_index(&wh, &data_dir).unwrap());
+    let pattern = EventPattern::parse("web:signup:*").unwrap();
+    let engine = Engine::new(wh);
+
+    let full = raw_count_plan(&dict, &pattern);
+    // Same logical query, with the pruner attached at the load.
+    let pruner = EventIndexPruner::new(index, pattern.clone());
+    let matching: Vec<String> = dict
+        .iter()
+        .filter(|(_, n, _)| pattern.matches(n))
+        .map(|(_, n, _)| n.as_str().to_string())
+        .collect();
+    let predicate = matching.iter().fold(Expr::lit(false), |acc, name| {
+        acc.or(Expr::col(1).eq(Expr::lit(name.as_str())))
+    });
+    let indexed = Plan::load(
+        data_dir,
+        Arc::new(uli_core::client_event::ClientEventLoader),
+        uli_core::client_event::CLIENT_EVENT_SCHEMA.to_vec(),
+    )
+    .with_pruner(pruner)
+    .filter(predicate)
+    .aggregate(vec![Agg::count()]);
+
+    let mut g = c.benchmark_group("index_scan");
+    g.bench_function("full_scan", |b| {
+        b.iter(|| black_box(engine.run(&full).expect("runs")))
+    });
+    g.bench_function("with_index", |b| {
+        b.iter(|| black_box(engine.run(&indexed).expect("runs")))
+    });
+    g.finish();
+}
+
+fn bench_legacy_vs_unified(c: &mut Criterion) {
+    let prepared = prepare_day(&standard_config(), 0);
+    let wh = prepared.warehouse.clone();
+    write_legacy_events(&wh, &prepared.day.events, 4).unwrap();
+    let engine = Engine::new(wh);
+
+    let unified = Plan::load(
+        day_dir("client_events", 0),
+        Arc::new(uli_core::client_event::ClientEventLoader),
+        uli_core::client_event::CLIENT_EVENT_SCHEMA.to_vec(),
+    )
+    .foreach(vec![("user", Expr::col(2)), ("session", Expr::col(3))])
+    .group_by(vec![0, 1]);
+
+    let legacy = {
+        let mut loads = LegacyCategory::ALL.iter().map(|cat| {
+            Plan::load(
+                day_dir(cat.category_name(), 0),
+                Arc::new(LegacyLoader::new(*cat)),
+                LEGACY_SCHEMA.to_vec(),
+            )
+        });
+        let first = loads.next().unwrap();
+        first.union(loads.collect()).group_by(vec![0])
+    };
+
+    let mut g = c.benchmark_group("sessionization_query");
+    g.bench_function("unified_one_category", |b| {
+        b.iter(|| black_box(engine.run(&unified).expect("runs")))
+    });
+    g.bench_function("legacy_three_formats", |b| {
+        b.iter(|| black_box(engine.run(&legacy).expect("runs")))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_count_query, bench_funnel, bench_index_scan, bench_legacy_vs_unified
+}
+criterion_main!(benches);

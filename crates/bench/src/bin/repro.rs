@@ -1,0 +1,38 @@
+//! Regenerates the paper's tables and figures. Usage:
+//!
+//! ```text
+//! cargo run --release -p uli-bench --bin repro -- all
+//! cargo run --release -p uli-bench --bin repro -- e4 e5
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        uli_bench::ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        match uli_bench::run_experiment(id) {
+            Some(report) => {
+                println!("{}", "=".repeat(74));
+                println!("{report}");
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment {id:?}; valid: {} or 'all'",
+                    uli_bench::ALL_EXPERIMENTS.join(", ")
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,188 @@
+//! E13 — §4.2's design discussion: why materialize *sequences* rather than
+//! re-lay-out the raw Thrift or go columnar.
+//!
+//! "We had originally considered an alternative design where we simply
+//! reorganized (i.e., rewrote) the complete Thrift messages by
+//! reconstructing user sessions. This would have solved the second issue
+//! (large group-by operations) but would have little impact on the first
+//! (too many brute force scans). To mitigate that issue, we could adopt a
+//! columnar storage format such as RCFile. However, this solution primarily
+//! focuses on reducing the running time of each map task; without
+//! modification, RCFiles would not reduce the number of mappers …
+//! Our materialized session sequences … address both the group-by and brute
+//! force scan issues at the same time."
+//!
+//! The experiment materializes all four layouts from one day of ground
+//! truth and scores them on the two §4 costs: scan volume (bytes a
+//! name-only counting query must process; scan units ≈ mappers) and
+//! whether session reconstruction still needs a shuffle.
+
+use std::collections::BTreeMap;
+
+use uli_core::client_event::ClientEvent;
+use uli_core::session::{day_dir, sequences_dir};
+use uli_thrift::ThriftRecord;
+use uli_warehouse::{ColumnarReader, ColumnarWriter, Warehouse, WhPath};
+
+use crate::cells;
+use crate::harness::{prepare_day, standard_config, Table};
+
+/// The rejected "rewrite the complete Thrift messages grouped by session".
+fn materialize_resessioned(wh: &Warehouse, events: &[ClientEvent]) -> WhPath {
+    let mut by_session: BTreeMap<(i64, &str), Vec<&ClientEvent>> = BTreeMap::new();
+    for ev in events {
+        by_session
+            .entry((ev.user_id, ev.session_id.as_str()))
+            .or_default()
+            .push(ev);
+    }
+    let dir = WhPath::parse("/layouts/resessioned").expect("valid");
+    let mut w = wh.create(&dir.child("part-00000").expect("valid")).expect("fresh dir");
+    for evs in by_session.values() {
+        for ev in evs {
+            w.append_record(&ev.to_bytes());
+        }
+    }
+    w.finish().expect("writes succeed");
+    dir
+}
+
+/// The rejected RCFile-like columnar layout over the seven event fields.
+/// Returns the directory and the total uncompressed cell bytes (the logical
+/// data volume splits are computed over).
+fn materialize_columnar(wh: &Warehouse, events: &[ClientEvent]) -> (WhPath, u64) {
+    let dir = WhPath::parse("/layouts/columnar").expect("valid");
+    let path = dir.child("part-00000").expect("valid");
+    let mut logical_bytes = 0u64;
+    let mut w = ColumnarWriter::create(wh, &path, 7, 256).expect("fresh dir");
+    for ev in events {
+        let initiator = ev.initiator.to_string();
+        let ts = ev.timestamp.millis().to_string();
+        let user = ev.user_id.to_string();
+        let details = format!("{:?}", ev.details);
+        let cells = [
+            initiator.as_bytes(),
+            ev.name.as_str().as_bytes(),
+            user.as_bytes(),
+            ev.session_id.as_bytes(),
+            ev.ip.as_bytes(),
+            ts.as_bytes(),
+            details.as_bytes(),
+        ];
+        logical_bytes += cells.iter().map(|c| c.len() as u64).sum::<u64>();
+        w.append_row(&cells);
+    }
+    w.finish().expect("writes succeed");
+    (dir, logical_bytes)
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let prepared = prepare_day(&standard_config(), 0);
+    let wh = prepared.warehouse.clone();
+    let events = &prepared.day.events;
+
+    let raw_dir = day_dir("client_events", 0);
+    let re_dir = materialize_resessioned(&wh, events);
+    let (col_dir, col_logical_bytes) = materialize_columnar(&wh, events);
+    let seq_dir = sequences_dir(0);
+    // Scan units are 64 KiB input splits over each layout's logical data
+    // volume — the quantity Hadoop derives mapper counts from. Using a
+    // uniform rule removes small-file artifacts from the comparison.
+    let block = wh.block_capacity() as u64;
+    let units_of = |bytes: u64| bytes.div_ceil(block).max(1);
+
+    // --- The counting query's scan cost per layout: what must be read to
+    //     see every event *name*. ---
+    // Row formats (raw, resessioned): full records decompress.
+    let scan_rows = |dir: &WhPath| -> u64 {
+        wh.reset_stats();
+        for f in wh.list_files_recursive(dir).expect("dir exists") {
+            let mut r = wh.open(&f).expect("file opens");
+            while let Some(rec) = r.next_record().expect("clean read") {
+                std::hint::black_box(rec.len());
+            }
+        }
+        wh.stats().uncompressed_bytes_read
+    };
+    let raw_bytes = scan_rows(&raw_dir);
+    let re_bytes = scan_rows(&re_dir);
+    let seq_bytes = scan_rows(&seq_dir);
+    let (raw_units, re_units, seq_units) =
+        (units_of(raw_bytes), units_of(re_bytes), units_of(seq_bytes));
+
+    // Columnar: project only the name column.
+    let col_path = col_dir.child("part-00000").expect("valid");
+    let mut col = ColumnarReader::open(&wh, &col_path, &[1]).expect("file opens");
+    while col.next_row().expect("clean read").is_some() {}
+    let col_stats = col.stats();
+
+    let mut out = String::from(
+        "E13 — storage layout ablation (§4.2's design discussion)\n\
+         cost of a name-only counting query plus whether session\n\
+         reconstruction still needs a cluster-wide group-by.\n\n",
+    );
+    let mut t = Table::new(&[
+        "layout",
+        "on-disk KB",
+        "scan units (≈mappers)",
+        "KB processed for names",
+        "group-by needed?",
+    ]);
+    let disk = |dir: &WhPath| wh.dir_meta(dir).map(|m| m.compressed_bytes / 1024).unwrap_or(0);
+    t.row(cells![
+        "raw hourly thrift (status quo)",
+        disk(&raw_dir),
+        raw_units,
+        raw_bytes / 1024,
+        "yes — every query"
+    ]);
+    t.row(cells![
+        "resessioned full thrift (rejected #1)",
+        disk(&re_dir),
+        re_units,
+        re_bytes / 1024,
+        "no"
+    ]);
+    t.row(cells![
+        "RCFile-like columnar (rejected #2)",
+        disk(&col_dir),
+        units_of(col_logical_bytes),
+        col_stats.bytes_decompressed / 1024,
+        "yes — every query"
+    ]);
+    t.row(cells![
+        "session sequences (chosen)",
+        disk(&seq_dir),
+        seq_units,
+        seq_bytes / 1024,
+        "no"
+    ]);
+    out.push_str(&t.render());
+
+    // The paper's three comparative claims, asserted.
+    assert!(
+        re_bytes >= raw_bytes / 2,
+        "resessioning leaves scan volume essentially unchanged"
+    );
+    assert!(
+        col_stats.bytes_decompressed * 2 < raw_bytes,
+        "columnar projection cuts per-task bytes"
+    );
+    let col_units = units_of(col_logical_bytes);
+    assert!(
+        col_units * 2 > raw_units,
+        "columnar scan units stay the same order of magnitude: {col_units} vs {raw_units}"
+    );
+    assert!(
+        seq_bytes * 5 < raw_bytes && seq_units * 5 < raw_units,
+        "sequences cut BOTH bytes and scan units"
+    );
+    out.push_str(
+        "\nchecked: resessioning leaves scan volume unchanged; columnar cuts\n\
+         per-task bytes but not scan units; only the sequences cut both —\n\
+         'address both the group-by and brute force scan issues at the same\n\
+         time' (§4.2).\n",
+    );
+    out
+}

@@ -1,0 +1,90 @@
+//! E2 — Table 1 / §3.2: the hierarchical namespace and its five automatic
+//! roll-up schemas, with country and login breakdowns.
+
+use uli_core::event::EventPattern;
+use uli_oink::{compute_rollups, ROLLUP_LEVELS};
+
+use crate::cells;
+use crate::harness::{prepare_day, standard_config, Table};
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let prepared = prepare_day(&standard_config(), 0);
+    let table = compute_rollups(&prepared.warehouse, 0).expect("day present");
+
+    let mut out = String::from(
+        "E2 — hierarchical namespace roll-ups (Table 1, §3.2)\n\
+         counts aggregated under the five automatic schemas, by country and\n\
+         logged-in status, with no developer intervention.\n\n",
+    );
+
+    // Grand-total invariant: every schema level counts each event once.
+    let totals: Vec<u64> = ROLLUP_LEVELS
+        .iter()
+        .map(|level| {
+            table
+                .iter()
+                .filter(|(k, _)| k.level == *level)
+                .map(|(_, v)| v)
+                .sum()
+        })
+        .collect();
+    for t in &totals {
+        assert_eq!(*t as usize, prepared.day.events.len(), "level totals equal events");
+    }
+    out.push_str(&format!(
+        "events: {}; every schema level totals the same (checked)\n\n",
+        prepared.day.events.len()
+    ));
+
+    let mut t = Table::new(&["schema", "distinct keys", "top roll-up", "count"]);
+    for level in ROLLUP_LEVELS {
+        let keys = table.iter().filter(|(k, _)| k.level == level).count();
+        let top = table.top_k(level, 1);
+        let (name, count) = top.first().cloned().unwrap_or_default();
+        let schema = match level {
+            5 => "(client, page, section, component, element, action)",
+            4 => "(client, page, section, component, *, action)",
+            3 => "(client, page, section, *, *, action)",
+            2 => "(client, page, *, *, *, action)",
+            _ => "(client, *, *, *, *, action)",
+        };
+        t.row(cells![schema, keys, name, count]);
+    }
+    out.push_str(&t.render());
+
+    // Wildcard slicing: the paper's two examples.
+    let dict_universe: Vec<_> = prepared
+        .day
+        .events
+        .iter()
+        .map(|e| e.name.clone())
+        .collect();
+    let mut universe = dict_universe;
+    universe.sort();
+    universe.dedup();
+    out.push_str("\nwildcard slicing over the day's universe:\n");
+    for pattern in ["web:home:mentions:*", "*:profile_click"] {
+        let p = EventPattern::parse(pattern).expect("paper patterns are valid");
+        let matched = universe.iter().filter(|n| p.matches(n)).count();
+        out.push_str(&format!(
+            "  {pattern:<24} matches {matched} event types\n"
+        ));
+        assert!(matched > 0, "paper patterns must match the workload");
+    }
+
+    // Country x login drill-down for the top level-1 roll-up.
+    if let Some((top_name, _)) = table.top_k(1, 1).first().cloned() {
+        out.push_str(&format!("\nbreakdown of {top_name}:\n"));
+        let mut bt = Table::new(&["country", "logged-in", "logged-out"]);
+        for country in ["us", "uk", "jp", "br", "de"] {
+            bt.row(cells![
+                country,
+                table.get(1, &top_name, country, true),
+                table.get(1, &top_name, country, false)
+            ]);
+        }
+        out.push_str(&bt.render());
+    }
+    out
+}

@@ -1,0 +1,93 @@
+//! E6 — §5.3: funnel analytics on the signup flow.
+//!
+//! Reproduces the paper's output shape — `(0, 490123) (1, 297071) …` — and
+//! validates the measured per-stage counts against the generator's planted
+//! abandonment profile, including the per-user (DISTINCT) variant.
+
+use std::collections::BTreeSet;
+
+use uli_analytics::{load_sequences, ClientEventsFunnel};
+use uli_core::session::Materializer;
+use uli_workload::{signup_funnel, WorkloadConfig};
+
+use crate::cells;
+use crate::harness::{prepare_day, Table};
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let config = WorkloadConfig {
+        users: 800,
+        funnel_fraction: 0.30,
+        ..Default::default()
+    };
+    let prepared = prepare_day(&config, 0);
+    let dict = Materializer::new(prepared.warehouse.clone())
+        .load_dictionary(0)
+        .expect("dictionary persisted");
+    let sequences = load_sequences(&prepared.warehouse, 0).expect("materialized");
+
+    let spec = signup_funnel();
+    let funnel = ClientEventsFunnel::new(spec.stages.clone(), &dict);
+    let report = funnel.evaluate(sequences.iter().map(|s| s.sequence.as_str()));
+
+    let mut out = String::from(
+        "E6 — signup funnel (§5.3)\n\
+         output in the paper's `(stage, sessions)` shape; measured counts\n\
+         must equal the generator's planted ground truth exactly.\n\n",
+    );
+    for (stage, count) in report.rows() {
+        out.push_str(&format!("({stage}, {count})\n"));
+    }
+    out.push('\n');
+
+    let mut t = Table::new(&[
+        "stage", "sessions (measured)", "sessions (truth)", "abandonment", "planted",
+    ]);
+    let abandonment = report.abandonment();
+    for (i, stage) in spec.stages.iter().enumerate() {
+        assert_eq!(
+            report.reached[i], prepared.day.truth.funnel_stage_counts[i],
+            "stage {i}"
+        );
+        t.row(cells![
+            stage,
+            report.reached[i],
+            prepared.day.truth.funnel_stage_counts[i],
+            if i < abandonment.len() {
+                format!("{:.1}%", abandonment[i] * 100.0)
+            } else {
+                "-".to_string()
+            },
+            if i < spec.continue_probability.len() {
+                format!("{:.1}%", (1.0 - spec.continue_probability[i]) * 100.0)
+            } else {
+                "-".to_string()
+            }
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // Per-user variant: "translating these figures into the number of users
+    // … is simply a matter of applying the unique operator".
+    let per_user: Vec<u64> = (0..spec.stages.len())
+        .map(|stage| {
+            let users: BTreeSet<i64> = sequences
+                .iter()
+                .filter(|s| funnel.depth(&s.sequence) > stage)
+                .map(|s| s.user_id)
+                .collect();
+            users.len() as u64
+        })
+        .collect();
+    out.push_str("\nper-user variant (DISTINCT user_id):\n");
+    for (stage, count) in per_user.iter().enumerate() {
+        out.push_str(&format!("({stage}, {count})\n"));
+        assert!(*count <= report.reached[stage], "users ≤ sessions");
+    }
+    out.push_str(&format!(
+        "\nend-to-end conversion: {:.1}% of {} funnel entrants\n",
+        report.conversion() * 100.0,
+        report.reached.first().copied().unwrap_or(0)
+    ));
+    out
+}

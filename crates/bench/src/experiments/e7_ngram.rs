@@ -1,0 +1,107 @@
+//! E7 — §5.4: n-gram language models over session sequences.
+//!
+//! "Intuitively, how the user behaves right now is strongly influenced by
+//! immediately preceding actions; less so by an action 5 steps ago …
+//! Language modeling techniques allow us to more precisely quantify this."
+//! The expected shape: cross entropy drops sharply from unigram to bigram
+//! (the planted impression→click structure) and then flattens.
+//!
+//! Methodology notes, both learned the hard way and both instructive:
+//! dictionaries are rebuilt daily, so symbols of different days live in
+//! different rank spaces — the held-out day must be re-encoded under the
+//! training day's dictionary; and pure add-λ models degrade with order on
+//! sparse session corpora, so Jelinek–Mercer interpolation is used (with
+//! the naive model shown alongside for contrast).
+
+use uli_analytics::{load_sequences, InterpolatedModel, NgramModel};
+use uli_core::session::dictionary::rank_for_char;
+use uli_core::session::Materializer;
+use uli_workload::WorkloadConfig;
+
+use crate::cells;
+use crate::harness::{prepare_days, Table};
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let config = WorkloadConfig {
+        users: 800,
+        ..Default::default()
+    };
+    let (wh, _days) = prepare_days(&config, 2);
+    let m = Materializer::new(wh.clone());
+    let dict0 = m.load_dictionary(0).expect("day 0 dictionary");
+    let dict1 = m.load_dictionary(1).expect("day 1 dictionary");
+
+    // Train on day 0 in its own rank space.
+    let train: Vec<Vec<u32>> = load_sequences(&wh, 0)
+        .expect("day 0")
+        .iter()
+        .map(|s| s.sequence.chars().filter_map(rank_for_char).collect())
+        .collect();
+    // Re-encode day 1 under day 0's dictionary via event names; events
+    // unseen on day 0 are dropped (they have no day-0 symbol).
+    let test: Vec<Vec<u32>> = load_sequences(&wh, 1)
+        .expect("day 1")
+        .iter()
+        .map(|s| {
+            dict1
+                .decode_sequence(&s.sequence)
+                .expect("day-1 dictionary covers day 1")
+                .into_iter()
+                .filter_map(|name| dict0.rank_of(name))
+                .collect()
+        })
+        .collect();
+
+    let mut out = format!(
+        "E7 — temporal signal via n-gram models (§5.4)\n\
+         train: day 0 ({} sessions); test: day 1 ({} sessions), re-encoded\n\
+         under day 0's dictionary. Interpolated (Jelinek-Mercer) smoothing,\n\
+         w=0.5, lambda=0.05; naive add-lambda shown for contrast.\n\n",
+        train.len(),
+        test.len()
+    );
+    let mut t = Table::new(&[
+        "n", "interpolated H (bits)", "perplexity", "delta vs n-1", "naive add-lambda H",
+    ]);
+    let mut entropies = Vec::new();
+    for n in 1..=5usize {
+        let model = InterpolatedModel::train(n, 0.05, 0.5, &train);
+        let h = model.cross_entropy(&test);
+        let naive = NgramModel::train(n, 0.05, train.iter().map(Vec::as_slice))
+            .cross_entropy(test.iter().map(Vec::as_slice));
+        let delta = entropies
+            .last()
+            .map(|prev: &f64| format!("{:+.3}", h - prev))
+            .unwrap_or_else(|| "-".to_string());
+        t.row(cells![
+            n,
+            format!("{h:.3}"),
+            format!("{:.1}", 2f64.powf(h)),
+            delta,
+            format!("{naive:.3}")
+        ]);
+        entropies.push(h);
+    }
+    out.push_str(&t.render());
+
+    // The paper's qualitative claim, checked quantitatively.
+    let unigram_to_bigram = entropies[0] - entropies[1];
+    let bigram_to_trigram = entropies[1] - entropies[2];
+    assert!(
+        unigram_to_bigram > 0.2,
+        "bigram context must capture real signal: {unigram_to_bigram:.3}"
+    );
+    assert!(
+        bigram_to_trigram < unigram_to_bigram,
+        "gains diminish with context: {bigram_to_trigram:.3} vs {unigram_to_bigram:.3}"
+    );
+    out.push_str(&format!(
+        "\nunigram→bigram gain {unigram_to_bigram:.3} bits; \
+         bigram→trigram change {bigram_to_trigram:+.3} bits —\n\
+         behaviour is 'strongly influenced by immediately preceding actions;\n\
+         less so' by older context (checked: gains diminish after n=2,\n\
+         matching the first-order Markov process that generated the data).\n"
+    ));
+    out
+}

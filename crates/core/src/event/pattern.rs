@@ -1,0 +1,292 @@
+//! Wildcard patterns over the event namespace.
+//!
+//! "This hierarchical namespace makes it easy to slice-and-dice categories
+//! of events with simple regular expressions … For example, analyses could
+//! be conducted on all actions on the user's home mentions timeline on
+//! twitter.com by considering `web:home:mentions:*`; or track profile
+//! clicks across all clients … with `*:profile_click`." (§3.2)
+//!
+//! A pattern has six component patterns; each is a glob over one component
+//! (`*` matches any run of characters). Shorthand forms pad with `*`:
+//! a trailing-`*` pattern left-aligns (`web:home:mentions:*`), a
+//! leading-`*` pattern right-aligns (`*:profile_click`).
+
+use std::fmt;
+
+use super::name::{EventName, COMPONENTS};
+
+/// A compiled six-level wildcard pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventPattern {
+    parts: [String; COMPONENTS],
+}
+
+/// Errors raised by [`EventPattern::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// Empty pattern string.
+    Empty,
+    /// More than six components.
+    TooManyComponents(usize),
+    /// A short pattern that neither starts nor ends with `*` is ambiguous.
+    AmbiguousShorthand(String),
+    /// Invalid characters in a component pattern.
+    BadComponent(String),
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::Empty => write!(f, "empty pattern"),
+            PatternError::TooManyComponents(n) => {
+                write!(f, "pattern has {n} components; at most {COMPONENTS} allowed")
+            }
+            PatternError::AmbiguousShorthand(p) => write!(
+                f,
+                "short pattern {p:?} must start or end with '*' to indicate alignment"
+            ),
+            PatternError::BadComponent(c) => {
+                write!(f, "component pattern {c:?} has invalid characters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+fn component_pattern_ok(s: &str) -> bool {
+    s.bytes()
+        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'*')
+}
+
+/// Glob match of `pat` (with `*` wildcards) against `text`.
+fn glob_match(pat: &str, text: &str) -> bool {
+    // Iterative two-pointer glob with backtracking over the last `*`.
+    let p: &[u8] = pat.as_bytes();
+    let t: &[u8] = text.as_bytes();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut mark) = (None::<usize>, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some(pi);
+            mark = ti;
+            pi += 1;
+        } else if let Some(s) = star {
+            pi = s + 1;
+            mark += 1;
+            ti = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+impl EventPattern {
+    /// Parses a pattern, expanding the shorthand forms.
+    pub fn parse(s: &str) -> Result<EventPattern, PatternError> {
+        if s.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        let given: Vec<&str> = s.split(':').collect();
+        if given.len() > COMPONENTS {
+            return Err(PatternError::TooManyComponents(given.len()));
+        }
+        for c in &given {
+            if !component_pattern_ok(c) {
+                return Err(PatternError::BadComponent(c.to_string()));
+            }
+        }
+        let mut parts: [String; COMPONENTS] = Default::default();
+        if given.len() == COMPONENTS {
+            for (slot, c) in parts.iter_mut().zip(given) {
+                *slot = c.to_string();
+            }
+        } else if given.last() == Some(&"*") {
+            // Left-aligned: web:home:mentions:* → pad right with *.
+            for slot in parts.iter_mut() {
+                *slot = "*".to_string();
+            }
+            for (slot, c) in parts.iter_mut().zip(&given) {
+                *slot = c.to_string();
+            }
+        } else if given.first() == Some(&"*") {
+            // Right-aligned: *:profile_click → pad left with *.
+            for slot in parts.iter_mut() {
+                *slot = "*".to_string();
+            }
+            let offset = COMPONENTS - given.len();
+            for (i, c) in given.iter().enumerate().skip(1) {
+                parts[offset + i] = c.to_string();
+            }
+        } else {
+            return Err(PatternError::AmbiguousShorthand(s.to_string()));
+        }
+        Ok(EventPattern { parts })
+    }
+
+    /// A pattern matching exactly one name.
+    pub fn exact(name: &EventName) -> EventPattern {
+        let mut parts: [String; COMPONENTS] = Default::default();
+        for (slot, c) in parts.iter_mut().zip(name.components()) {
+            *slot = c.to_string();
+        }
+        EventPattern { parts }
+    }
+
+    /// The pattern matching every event.
+    pub fn any() -> EventPattern {
+        EventPattern::parse("*:*:*:*:*:*").expect("static pattern is valid")
+    }
+
+    /// Tests a name against the pattern.
+    pub fn matches(&self, name: &EventName) -> bool {
+        self.parts
+            .iter()
+            .zip(name.components())
+            .all(|(p, c)| glob_match(p, c))
+    }
+
+    /// True if this pattern can only match a single literal name.
+    pub fn is_exact(&self) -> bool {
+        self.parts.iter().all(|p| !p.contains('*'))
+    }
+
+    /// Expands the pattern against a universe of names, returning matches —
+    /// the operation `CountClientEvents` performs against the dictionary
+    /// ("an arbitrary regular expression … automatically expanded to include
+    /// all matching events", §5.2).
+    pub fn expand<'a, I>(&self, universe: I) -> Vec<&'a EventName>
+    where
+        I: IntoIterator<Item = &'a EventName>,
+    {
+        universe
+            .into_iter()
+            .filter(|n| self.matches(n))
+            .collect()
+    }
+}
+
+impl fmt::Display for EventPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.parts.join(":"))
+    }
+}
+
+impl std::str::FromStr for EventPattern {
+    type Err = PatternError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EventPattern::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> EventName {
+        EventName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn paper_shorthand_left_aligned() {
+        let p = EventPattern::parse("web:home:mentions:*").unwrap();
+        assert!(p.matches(&n("web:home:mentions:stream:avatar:profile_click")));
+        assert!(p.matches(&n("web:home:mentions:stream:tweet:impression")));
+        assert!(!p.matches(&n("web:home:retweets:stream:tweet:impression")));
+        assert!(!p.matches(&n("iphone:home:mentions:stream:tweet:impression")));
+    }
+
+    #[test]
+    fn paper_shorthand_right_aligned() {
+        let p = EventPattern::parse("*:profile_click").unwrap();
+        assert!(p.matches(&n("web:home:mentions:stream:avatar:profile_click")));
+        assert!(p.matches(&n("iphone:profile:::avatar:profile_click")));
+        assert!(!p.matches(&n("web:home:mentions:stream:avatar:click")));
+    }
+
+    #[test]
+    fn full_six_component_patterns_are_positional() {
+        let p = EventPattern::parse("web:*:mentions:*:*:click").unwrap();
+        assert!(p.matches(&n("web:home:mentions:stream:avatar:click")));
+        assert!(!p.matches(&n("web:home:searches:stream:avatar:click")));
+    }
+
+    #[test]
+    fn glob_within_component() {
+        let p = EventPattern::parse("*:profile_*").unwrap();
+        assert!(p.matches(&n("web:a:b:c:d:profile_click")));
+        assert!(p.matches(&n("web:a:b:c:d:profile_hover")));
+        assert!(!p.matches(&n("web:a:b:c:d:click")));
+    }
+
+    #[test]
+    fn empty_components_match_star() {
+        let p = EventPattern::parse("iphone:home:*").unwrap();
+        assert!(p.matches(&n("iphone:home:::tweet:impression")));
+    }
+
+    #[test]
+    fn ambiguous_shorthand_is_rejected() {
+        assert!(matches!(
+            EventPattern::parse("web:home"),
+            Err(PatternError::AmbiguousShorthand(_))
+        ));
+        assert!(EventPattern::parse("").is_err());
+        assert!(matches!(
+            EventPattern::parse("a:b:c:d:e:f:g"),
+            Err(PatternError::TooManyComponents(7))
+        ));
+        assert!(matches!(
+            EventPattern::parse("WEB:*"),
+            Err(PatternError::BadComponent(_))
+        ));
+    }
+
+    #[test]
+    fn exact_and_any() {
+        let name = n("web:home:mentions:stream:avatar:profile_click");
+        let p = EventPattern::exact(&name);
+        assert!(p.is_exact());
+        assert!(p.matches(&name));
+        assert!(!p.matches(&n("web:home:mentions:stream:avatar:click")));
+        assert!(EventPattern::any().matches(&name));
+        assert!(!EventPattern::any().is_exact());
+    }
+
+    #[test]
+    fn expansion_against_universe() {
+        let universe = [n("web:home:mentions:stream:avatar:profile_click"),
+            n("iphone:home:mentions:stream:avatar:profile_click"),
+            n("web:home:mentions:stream:tweet:impression")];
+        let p = EventPattern::parse("*:profile_click").unwrap();
+        let hits = p.expand(universe.iter());
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn glob_edge_cases() {
+        assert!(glob_match("", ""));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("a*b*c", "axxbyyc"));
+        assert!(!glob_match("a*b*c", "axxbyy"));
+        assert!(glob_match("**", "x"));
+        assert!(!glob_match("", "x"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let p = EventPattern::parse("web:home:mentions:*").unwrap();
+        assert_eq!(p.to_string(), "web:home:mentions:*:*:*");
+        let q = EventPattern::parse(&p.to_string()).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,123 @@
+//! The rejected alternative: an arbitrary-depth tree namespace.
+//!
+//! "As an alternative design, we had considered a looser tree-based model
+//! for naming client events, i.e., the event namespace could be arbitrarily
+//! deep. … Ultimately, we decided against this design and believe that we
+//! made the correct decision." (§3.2)
+//!
+//! We implement it anyway so the ablation bench can quantify the trade-off
+//! the paper describes: flexible depth versus harder top-level aggregation.
+
+use std::fmt;
+
+use super::name::EventName;
+
+/// An arbitrary-depth event name: one or more lowercase segments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TreeEventName {
+    segments: Vec<String>,
+}
+
+impl TreeEventName {
+    /// Parses a `:`-separated path of non-empty lowercase segments.
+    pub fn parse(s: &str) -> Option<TreeEventName> {
+        if s.is_empty() {
+            return None;
+        }
+        let segments: Vec<String> = s.split(':').map(str::to_string).collect();
+        for seg in &segments {
+            if seg.is_empty()
+                || !seg
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+            {
+                return None;
+            }
+        }
+        Some(TreeEventName { segments })
+    }
+
+    /// Converts a flat six-level name, dropping empty components — the
+    /// "advantage" the paper concedes to the tree design.
+    pub fn from_flat(name: &EventName) -> TreeEventName {
+        TreeEventName {
+            segments: name
+                .components()
+                .filter(|c| !c.is_empty())
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+
+    /// Path depth.
+    pub fn depth(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// All ancestor prefixes (excluding self), shortest first. Computing
+    /// roll-ups under the tree model requires materializing *every* prefix —
+    /// there is no fixed set of five schemas, which is exactly why the paper
+    /// found top-level aggregates "more difficult to automatically compute".
+    pub fn prefixes(&self) -> Vec<TreeEventName> {
+        (1..self.segments.len())
+            .map(|n| TreeEventName {
+                segments: self.segments[..n].to_vec(),
+            })
+            .collect()
+    }
+
+    /// True if `self` is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: &TreeEventName) -> bool {
+        other.segments.len() >= self.segments.len()
+            && other.segments[..self.segments.len()] == self.segments[..]
+    }
+}
+
+impl fmt::Display for TreeEventName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.segments.join(":"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_depth() {
+        let t = TreeEventName::parse("web:home:mentions:stream").unwrap();
+        assert_eq!(t.depth(), 4);
+        assert!(TreeEventName::parse("").is_none());
+        assert!(TreeEventName::parse("a::b").is_none());
+        assert!(TreeEventName::parse("A:b").is_none());
+    }
+
+    #[test]
+    fn from_flat_drops_empty_levels() {
+        let flat = EventName::parse("iphone:home:::tweet:impression").unwrap();
+        let tree = TreeEventName::from_flat(&flat);
+        assert_eq!(tree.to_string(), "iphone:home:tweet:impression");
+        assert_eq!(tree.depth(), 4);
+    }
+
+    #[test]
+    fn prefixes_enumerate_every_level() {
+        let t = TreeEventName::parse("web:home:mentions").unwrap();
+        let p: Vec<String> = t.prefixes().iter().map(|x| x.to_string()).collect();
+        assert_eq!(p, vec!["web", "web:home"]);
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = TreeEventName::parse("web:home").unwrap();
+        let b = TreeEventName::parse("web:home:mentions").unwrap();
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(a.is_prefix_of(&a));
+    }
+}

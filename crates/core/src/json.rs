@@ -1,0 +1,412 @@
+//! A small JSON parser for legacy frontend logs.
+//!
+//! "An example is frontend logs, which capture rich user interactions …
+//! in JSON format. These JSON structures are often nested several layers
+//! deep … At analysis time, it is often difficult to make sense of the
+//! logs." (§3.1). The legacy baseline emits exactly such messages, so the
+//! repo needs to parse them; a hand-rolled recursive-descent parser keeps
+//! the dependency set to the approved crates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; the legacy logs never need i64 range).
+    Number(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document; trailing non-whitespace is an error.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::TrailingData(p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Dotted-path lookup: `get_path("event.target.id")`.
+    pub fn get_path(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = cur.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse errors with byte offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Unexpected end of input.
+    Eof,
+    /// Unexpected byte at offset.
+    Unexpected(usize),
+    /// Bad escape sequence at offset.
+    BadEscape(usize),
+    /// Invalid number at offset.
+    BadNumber(usize),
+    /// Input continued after the document ended.
+    TrailingData(usize),
+    /// Nesting beyond the depth limit.
+    TooDeep,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Eof => write!(f, "unexpected end of JSON"),
+            JsonError::Unexpected(at) => write!(f, "unexpected byte at offset {at}"),
+            JsonError::BadEscape(at) => write!(f, "bad escape at offset {at}"),
+            JsonError::BadNumber(at) => write!(f, "bad number at offset {at}"),
+            JsonError::TrailingData(at) => write!(f, "trailing data at offset {at}"),
+            JsonError::TooDeep => write!(f, "nesting too deep"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else if self.peek().is_none() {
+            Err(JsonError::Eof)
+        } else {
+            Err(JsonError::Unexpected(self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(JsonError::Unexpected(self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::TooDeep);
+        }
+        match self.peek().ok_or(JsonError::Eof)? {
+            b'n' => self.literal("null").map(|_| Json::Null),
+            b't' => self.literal("true").map(|_| Json::Bool(true)),
+            b'f' => self.literal("false").map(|_| Json::Bool(false)),
+            b'"' => self.string().map(Json::String),
+            b'[' => self.array(depth),
+            b'{' => self.object(depth),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(JsonError::Unexpected(self.pos)),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                Some(_) => return Err(JsonError::Unexpected(self.pos)),
+                None => return Err(JsonError::Eof),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                Some(_) => return Err(JsonError::Unexpected(self.pos)),
+                None => return Err(JsonError::Eof),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError::Unexpected(start))?,
+            );
+            match self.peek().ok_or(JsonError::Eof)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(JsonError::Eof)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or(JsonError::Eof)?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or(JsonError::BadEscape(self.pos))?;
+                            self.pos += 4;
+                            // Surrogates in legacy logs are replaced, not
+                            // round-tripped; the legacy parser is tolerant.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(JsonError::BadEscape(self.pos - 1)),
+                    }
+                }
+                _ => return Err(JsonError::Unexpected(self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or(JsonError::BadNumber(start))
+    }
+}
+
+impl fmt::Display for Json {
+    /// Serializes back to compact JSON.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Number(n) => write!(f, "{n}"),
+            Json::String(s) => write_json_string(f, s),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::Number(42.0));
+        assert_eq!(Json::parse("-1.5e2").unwrap(), Json::Number(-150.0));
+        assert_eq!(
+            Json::parse("\"hi\"").unwrap(),
+            Json::String("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = r#"{"event":{"target":{"id":67890,"kind":"profile"},"ts":1345500000},"tags":["a","b"]}"#;
+        let j = Json::parse(doc).unwrap();
+        assert_eq!(j.get_path("event.target.id").unwrap().as_f64(), Some(67890.0));
+        assert_eq!(
+            j.get_path("event.target.kind").unwrap().as_str(),
+            Some("profile")
+        );
+        assert!(matches!(j.get("tags"), Some(Json::Array(a)) if a.len() == 2));
+        assert!(j.get_path("event.missing").is_none());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let j = Json::parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(j.as_str(), Some("a\"b\\c\ndA"));
+        let rendered = j.to_string();
+        assert_eq!(Json::parse(&rendered).unwrap(), j);
+    }
+
+    #[test]
+    fn display_round_trips_nested() {
+        let doc = r#"{"a":[1,2,{"b":null}],"c":"x"}"#;
+        let j = Json::parse(doc).unwrap();
+        assert_eq!(j.to_string(), doc);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let j = Json::parse(" {\n\t\"a\" : [ 1 , 2 ] } ").unwrap();
+        assert!(matches!(j.get("a"), Some(Json::Array(_))));
+    }
+
+    #[test]
+    fn errors_do_not_panic() {
+        for bad in [
+            "", "{", "}", "[1,", "{\"a\"}", "{\"a\":}", "tru", "\"unterminated",
+            "1 2", "{\"a\":1}extra", "\"bad\\q\"", "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert_eq!(Json::parse(&deep), Err(JsonError::TooDeep));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::parse("[]").unwrap(), Json::Array(vec![]));
+        assert_eq!(Json::parse("{}").unwrap(), Json::Object(BTreeMap::new()));
+    }
+}

@@ -1,0 +1,345 @@
+//! Application-specific logging: the "before" picture (§3.1).
+//!
+//! Before unified logging, "all applications, and in some cases, even parts
+//! of applications, defined their own, custom structure". This module
+//! recreates three representative categories with exactly the pathologies
+//! the paper lists — conflicting field-name conventions (`userId` vs
+//! `user_id` vs natural language), different timestamp resolutions, JSON
+//! "nested several layers deep", and a category that never logged a session
+//! id at all — so the E9 experiment can measure what those pathologies cost.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use uli_dataflow::{DataflowResult, Loader, Tuple, Value};
+
+use crate::client_event::ClientEvent;
+use crate::json::Json;
+use crate::time::Timestamp;
+
+/// The three legacy Scribe categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LegacyCategory {
+    /// Frontend logs: deeply nested JSON, `userId` in camelCase, timestamps
+    /// in *seconds* (losing millisecond ordering).
+    WebFrontend,
+    /// Search backend: tab-separated values, snake_case, millisecond
+    /// timestamps — but **no session id was ever logged**.
+    SearchBackend,
+    /// Mobile client: "natural language" log lines where phrases serve as
+    /// the delimiters.
+    MobileClient,
+}
+
+impl LegacyCategory {
+    /// All legacy categories.
+    pub const ALL: [LegacyCategory; 3] = [
+        LegacyCategory::WebFrontend,
+        LegacyCategory::SearchBackend,
+        LegacyCategory::MobileClient,
+    ];
+
+    /// The Scribe category string ("many non-intuitively named", §3.1 —
+    /// these names deliberately do not reveal their contents).
+    pub fn category_name(self) -> &'static str {
+        match self {
+            LegacyCategory::WebFrontend => "rainbird",
+            LegacyCategory::SearchBackend => "quail_feed",
+            LegacyCategory::MobileClient => "m5_events",
+        }
+    }
+
+    /// Encodes a ground-truth event in this category's native format.
+    pub fn encode(self, ev: &ClientEvent) -> Vec<u8> {
+        let action = ev.name.action();
+        match self {
+            LegacyCategory::WebFrontend => {
+                // Nested JSON; note userId casing and seconds resolution.
+                let mut target = BTreeMap::new();
+                target.insert("kind".to_string(), Json::String("tweet".into()));
+                let mut evt = BTreeMap::new();
+                evt.insert("action".to_string(), Json::String(action.to_string()));
+                evt.insert(
+                    "page".to_string(),
+                    Json::String(ev.name.page().to_string()),
+                );
+                evt.insert("target".to_string(), Json::Object(target));
+                let mut root = BTreeMap::new();
+                root.insert("evt".to_string(), Json::Object(evt));
+                root.insert("userId".to_string(), Json::Number(ev.user_id as f64));
+                root.insert(
+                    "sess".to_string(),
+                    Json::String(ev.session_id.clone()),
+                );
+                root.insert(
+                    "ts".to_string(),
+                    Json::Number((ev.timestamp.millis() / 1000) as f64),
+                );
+                Json::Object(root).to_string().into_bytes()
+            }
+            LegacyCategory::SearchBackend => {
+                // TSV; millisecond timestamps; no session id.
+                format!(
+                    "{}\t{}\t{}\t{}",
+                    ev.user_id,
+                    ev.timestamp.millis(),
+                    action,
+                    ev.ip
+                )
+                .into_bytes()
+            }
+            LegacyCategory::MobileClient => {
+                // "Natural language" with phrase delimiters.
+                format!(
+                    "User {} performed {} on {} at {} [session {}]",
+                    ev.user_id,
+                    action,
+                    ev.name.element(),
+                    ev.timestamp.millis(),
+                    ev.session_id
+                )
+                .into_bytes()
+            }
+        }
+    }
+
+    /// Decodes a record of this category into a normalized event, absorbing
+    /// the per-category quirks. `None` for unparseable records.
+    pub fn decode(self, record: &[u8]) -> Option<LegacyEvent> {
+        let text = std::str::from_utf8(record).ok()?;
+        match self {
+            LegacyCategory::WebFrontend => {
+                let j = Json::parse(text).ok()?;
+                Some(LegacyEvent {
+                    user_id: j.get("userId")?.as_f64()? as i64,
+                    session_id: j.get("sess").and_then(Json::as_str).map(str::to_owned),
+                    // Seconds → milliseconds: sub-second ordering is gone.
+                    timestamp: Timestamp((j.get("ts")?.as_f64()? as i64) * 1000),
+                    action: j.get_path("evt.action")?.as_str()?.to_owned(),
+                })
+            }
+            LegacyCategory::SearchBackend => {
+                let mut parts = text.split('\t');
+                let user_id = parts.next()?.parse().ok()?;
+                let ts: i64 = parts.next()?.parse().ok()?;
+                let action = parts.next()?.to_owned();
+                Some(LegacyEvent {
+                    user_id,
+                    session_id: None,
+                    timestamp: Timestamp(ts),
+                    action,
+                })
+            }
+            LegacyCategory::MobileClient => {
+                let rest = text.strip_prefix("User ")?;
+                let (user, rest) = rest.split_once(" performed ")?;
+                let (action, rest) = rest.split_once(" on ")?;
+                let (_element, rest) = rest.split_once(" at ")?;
+                let (ts, rest) = rest.split_once(" [session ")?;
+                let session = rest.strip_suffix(']')?;
+                Some(LegacyEvent {
+                    user_id: user.parse().ok()?,
+                    session_id: Some(session.to_owned()),
+                    timestamp: Timestamp(ts.parse().ok()?),
+                    action: action.to_owned(),
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for LegacyCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.category_name())
+    }
+}
+
+/// An event recovered from a legacy log, normalized as far as the format
+/// allows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegacyEvent {
+    /// The user (every category managed to log this, under three names).
+    pub user_id: i64,
+    /// Session id — absent where the category never logged one.
+    pub session_id: Option<String>,
+    /// Timestamp, at whatever resolution the category preserved.
+    pub timestamp: Timestamp,
+    /// The action string (no hierarchy; legacy logs predate the namespace).
+    pub action: String,
+}
+
+/// Dataflow loader for one legacy category. Schema:
+/// `user_id, session_id, timestamp, action` (session_id may be `Null`).
+#[derive(Debug, Clone, Copy)]
+pub struct LegacyLoader {
+    category: LegacyCategory,
+}
+
+/// The schema produced by [`LegacyLoader`].
+pub const LEGACY_SCHEMA: [&str; 4] = ["user_id", "session_id", "timestamp", "action"];
+
+impl LegacyLoader {
+    /// A loader for `category`.
+    pub fn new(category: LegacyCategory) -> LegacyLoader {
+        LegacyLoader { category }
+    }
+}
+
+impl Loader for LegacyLoader {
+    fn name(&self) -> &'static str {
+        "LegacyLoader"
+    }
+
+    fn parse(&self, record: &[u8]) -> DataflowResult<Option<Tuple>> {
+        let Some(ev) = self.category.decode(record) else {
+            return Ok(None);
+        };
+        Ok(Some(vec![
+            Value::Int(ev.user_id),
+            ev.session_id.map_or(Value::Null, Value::Str),
+            Value::Int(ev.timestamp.millis()),
+            Value::Str(ev.action),
+        ]))
+    }
+}
+
+/// Best-effort sessionization for legacy events: since one category lacks
+/// session ids entirely, the only cross-category key is the user id, and
+/// sessions must be approximated by inactivity gaps alone. This loses
+/// concurrent sessions (two devices at once merge) — the inaccuracy E9
+/// quantifies against ground truth.
+pub fn approximate_sessions(mut events: Vec<LegacyEvent>, gap_ms: i64) -> Vec<(i64, Vec<LegacyEvent>)> {
+    events.sort_by_key(|e| (e.user_id, e.timestamp));
+    let mut out: Vec<(i64, Vec<LegacyEvent>)> = Vec::new();
+    for ev in events {
+        let start_new = match out.last() {
+            Some((uid, evs)) => {
+                *uid != ev.user_id
+                    || evs
+                        .last()
+                        .is_some_and(|p| ev.timestamp.since(p.timestamp) > gap_ms)
+            }
+            None => true,
+        };
+        if start_new {
+            out.push((ev.user_id, vec![ev]));
+        } else {
+            out.last_mut().expect("checked above").1.push(ev);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventInitiator, EventName};
+
+    fn ground_truth(user: i64, t_ms: i64, action: &str) -> ClientEvent {
+        ClientEvent::new(
+            EventInitiator::CLIENT_USER,
+            EventName::parse(&format!("web:home:home:stream:tweet:{action}")).unwrap(),
+            user,
+            format!("s-{user}"),
+            "10.0.0.1",
+            Timestamp(t_ms),
+        )
+    }
+
+    #[test]
+    fn each_category_round_trips_what_it_preserves() {
+        let ev = ground_truth(42, 1_345_500_123_456, "click");
+        for cat in LegacyCategory::ALL {
+            let rec = cat.encode(&ev);
+            let got = cat.decode(&rec).unwrap_or_else(|| {
+                panic!("{cat} failed to decode its own output")
+            });
+            assert_eq!(got.user_id, 42, "{cat}");
+            assert_eq!(got.action, "click", "{cat}");
+        }
+    }
+
+    #[test]
+    fn frontend_loses_millisecond_resolution() {
+        let ev = ground_truth(1, 1_345_500_123_456, "click");
+        let got = LegacyCategory::WebFrontend
+            .decode(&LegacyCategory::WebFrontend.encode(&ev))
+            .unwrap();
+        assert_eq!(got.timestamp.millis(), 1_345_500_123_000);
+    }
+
+    #[test]
+    fn search_backend_has_no_session_id() {
+        let ev = ground_truth(1, 1000, "search");
+        let got = LegacyCategory::SearchBackend
+            .decode(&LegacyCategory::SearchBackend.encode(&ev))
+            .unwrap();
+        assert_eq!(got.session_id, None);
+        // Mobile keeps it.
+        let got = LegacyCategory::MobileClient
+            .decode(&LegacyCategory::MobileClient.encode(&ev))
+            .unwrap();
+        assert_eq!(got.session_id.as_deref(), Some("s-1"));
+    }
+
+    #[test]
+    fn category_names_are_unintuitive_on_purpose() {
+        // The resource-discovery problem: nothing in the name says "search".
+        assert_eq!(LegacyCategory::SearchBackend.category_name(), "quail_feed");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        for cat in LegacyCategory::ALL {
+            assert_eq!(cat.decode(b"complete nonsense"), None, "{cat}");
+            assert_eq!(cat.decode(&[0xff, 0x00]), None, "{cat}");
+        }
+    }
+
+    #[test]
+    fn loader_normalizes_with_null_sessions() {
+        let ev = ground_truth(9, 5000, "click");
+        let rec = LegacyCategory::SearchBackend.encode(&ev);
+        let t = LegacyLoader::new(LegacyCategory::SearchBackend)
+            .parse(&rec)
+            .unwrap()
+            .unwrap();
+        assert_eq!(t[0], Value::Int(9));
+        assert_eq!(t[1], Value::Null);
+        assert_eq!(t[3], Value::str("click"));
+    }
+
+    #[test]
+    fn approximate_sessionization_merges_concurrent_sessions() {
+        // Ground truth: user 1 has TWO concurrent sessions (laptop+phone).
+        let make = |sid: &str, t: i64| LegacyEvent {
+            user_id: 1,
+            session_id: Some(sid.to_string()),
+            timestamp: Timestamp(t),
+            action: "click".into(),
+        };
+        let events = vec![
+            make("laptop", 0),
+            make("phone", 10_000),
+            make("laptop", 20_000),
+            make("phone", 30_000),
+        ];
+        let approx = approximate_sessions(events, 30 * 60 * 1000);
+        // The approximation cannot tell them apart: one merged session.
+        assert_eq!(approx.len(), 1);
+        assert_eq!(approx[0].1.len(), 4);
+    }
+
+    #[test]
+    fn approximate_sessionization_splits_on_gaps() {
+        let make = |t: i64| LegacyEvent {
+            user_id: 1,
+            session_id: None,
+            timestamp: Timestamp(t),
+            action: "x".into(),
+        };
+        let gap = 30 * 60 * 1000;
+        let approx = approximate_sessions(vec![make(0), make(gap + 1), make(gap + 2)], gap);
+        assert_eq!(approx.len(), 2);
+    }
+}

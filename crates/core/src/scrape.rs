@@ -1,0 +1,250 @@
+//! Format scraping for legacy logs (§3.1).
+//!
+//! Before unified logging, "engineers on the analytics team often had to …
+//! induce the message format manually by writing Pig jobs that scraped
+//! large numbers of messages to produce key-value histograms. Needless to
+//! say, both of these alternatives are slow and error-prone." This module
+//! is that scraper: it walks a category of JSON logs and reports, per
+//! dotted key path, how often the key appears, the value types seen, and a
+//! few sample values — the archaeology the client event catalog made
+//! unnecessary.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// What the scraper learned about one key path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KeyProfile {
+    /// Messages in which the path was present.
+    pub present: u64,
+    /// Occurrences per JSON type name.
+    pub types: BTreeMap<&'static str, u64>,
+    /// Up to a handful of distinct rendered sample values.
+    pub samples: Vec<String>,
+}
+
+/// Aggregated scrape of a message corpus.
+#[derive(Debug, Clone, Default)]
+pub struct FormatScrape {
+    /// Messages scanned.
+    pub messages: u64,
+    /// Messages that failed to parse at all.
+    pub unparseable: u64,
+    /// Per-path profiles (paths are dotted, arrays contribute `[]`).
+    pub keys: BTreeMap<String, KeyProfile>,
+}
+
+const MAX_SAMPLES: usize = 3;
+
+fn type_name(j: &Json) -> &'static str {
+    match j {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Number(_) => "number",
+        Json::String(_) => "string",
+        Json::Array(_) => "array",
+        Json::Object(_) => "object",
+    }
+}
+
+impl FormatScrape {
+    /// An empty scrape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scans one raw message.
+    pub fn scan(&mut self, message: &[u8]) {
+        self.messages += 1;
+        let Ok(text) = std::str::from_utf8(message) else {
+            self.unparseable += 1;
+            return;
+        };
+        let Ok(parsed) = Json::parse(text) else {
+            self.unparseable += 1;
+            return;
+        };
+        self.walk("", &parsed);
+    }
+
+    fn walk(&mut self, path: &str, value: &Json) {
+        match value {
+            Json::Object(map) => {
+                for (key, child) in map {
+                    let child_path = if path.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{path}.{key}")
+                    };
+                    self.record(&child_path, child);
+                    self.walk(&child_path, child);
+                }
+            }
+            Json::Array(items) => {
+                let child_path = format!("{path}[]");
+                for item in items {
+                    self.record(&child_path, item);
+                    self.walk(&child_path, item);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn record(&mut self, path: &str, value: &Json) {
+        let profile = self.keys.entry(path.to_string()).or_default();
+        profile.present += 1;
+        *profile.types.entry(type_name(value)).or_insert(0) += 1;
+        if profile.samples.len() < MAX_SAMPLES {
+            let rendered = value.to_string();
+            if !profile.samples.contains(&rendered) {
+                profile.samples.push(rendered);
+            }
+        }
+    }
+
+    /// Keys present in fewer than `threshold` of messages — the "which keys
+    /// are optional?" question the paper says scrapers answered badly.
+    pub fn optional_keys(&self, threshold: f64) -> Vec<&str> {
+        let floor = (self.messages as f64 * threshold) as u64;
+        self.keys
+            .iter()
+            .filter(|(_, p)| p.present < floor)
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Keys observed with more than one JSON type — the schema-drift smell.
+    pub fn inconsistent_keys(&self) -> Vec<&str> {
+        self.keys
+            .iter()
+            .filter(|(_, p)| p.types.len() > 1)
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Renders the histogram report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "scraped {} messages ({} unparseable); {} distinct key paths\n",
+            self.messages,
+            self.unparseable,
+            self.keys.len()
+        );
+        for (path, p) in &self.keys {
+            let types: Vec<String> = p.types.iter().map(|(t, c)| format!("{t}x{c}")).collect();
+            out.push_str(&format!(
+                "  {path:<32} {:>6} ({:.0}%)  {}  e.g. {}\n",
+                p.present,
+                100.0 * p.present as f64 / self.messages.max(1) as f64,
+                types.join("/"),
+                p.samples.first().cloned().unwrap_or_default()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(messages: &[&str]) -> FormatScrape {
+        let mut s = FormatScrape::new();
+        for m in messages {
+            s.scan(m.as_bytes());
+        }
+        s
+    }
+
+    #[test]
+    fn histograms_count_presence_and_types() {
+        let s = scrape(&[
+            r#"{"userId":1,"evt":{"action":"click"}}"#,
+            r#"{"userId":2,"evt":{"action":"hover","extra":true}}"#,
+            r#"{"userId":"three"}"#,
+        ]);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.keys["userId"].present, 3);
+        assert_eq!(s.keys["userId"].types["number"], 2);
+        assert_eq!(s.keys["userId"].types["string"], 1);
+        assert_eq!(s.keys["evt.action"].present, 2);
+        assert_eq!(s.keys["evt.extra"].present, 1);
+    }
+
+    #[test]
+    fn optional_and_inconsistent_detection() {
+        let s = scrape(&[
+            r#"{"always":1,"sometimes":1}"#,
+            r#"{"always":2}"#,
+            r#"{"always":"two"}"#,
+            r#"{"always":4}"#,
+        ]);
+        let optional = s.optional_keys(0.9);
+        assert!(optional.contains(&"sometimes"));
+        assert!(!optional.contains(&"always"));
+        assert_eq!(s.inconsistent_keys(), vec!["always"]);
+    }
+
+    #[test]
+    fn arrays_contribute_bracket_paths() {
+        let s = scrape(&[r#"{"tags":["a","b"],"nested":[{"id":1}]}"#]);
+        assert_eq!(s.keys["tags[]"].present, 2);
+        assert_eq!(s.keys["nested[].id"].present, 1);
+    }
+
+    #[test]
+    fn unparseable_messages_are_counted_not_fatal() {
+        let mut s = FormatScrape::new();
+        s.scan(b"not json at all");
+        s.scan(&[0xff, 0xfe]);
+        s.scan(br#"{"ok":true}"#);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.unparseable, 2);
+        assert_eq!(s.keys["ok"].present, 1);
+    }
+
+    #[test]
+    fn samples_are_capped_and_distinct() {
+        let msgs: Vec<String> = (0..10).map(|i| format!(r#"{{"k":{i}}}"#)).collect();
+        let refs: Vec<&str> = msgs.iter().map(String::as_str).collect();
+        let s = scrape(&refs);
+        assert_eq!(s.keys["k"].samples.len(), 3);
+    }
+
+    #[test]
+    fn render_reads_like_a_report() {
+        let s = scrape(&[r#"{"evt":{"action":"click"}}"#]);
+        let text = s.render();
+        assert!(text.contains("1 messages"));
+        assert!(text.contains("evt.action"));
+        assert!(text.contains("100%"));
+    }
+
+    #[test]
+    fn scrapes_the_legacy_frontend_format() {
+        use crate::client_event::ClientEvent;
+        use crate::event::{EventInitiator, EventName};
+        use crate::legacy::LegacyCategory;
+        use crate::time::Timestamp;
+        let mut s = FormatScrape::new();
+        for i in 0..20 {
+            let ev = ClientEvent::new(
+                EventInitiator::CLIENT_USER,
+                EventName::parse("web:home:home:stream:tweet:click").unwrap(),
+                i,
+                format!("s-{i}"),
+                "1.2.3.4",
+                Timestamp(i * 1000),
+            );
+            s.scan(&LegacyCategory::WebFrontend.encode(&ev));
+        }
+        assert_eq!(s.unparseable, 0);
+        // The scraper rediscovers the camelCase field the paper grumbles
+        // about — and the nested evt.* structure.
+        assert_eq!(s.keys["userId"].present, 20);
+        assert_eq!(s.keys["evt.action"].present, 20);
+        assert_eq!(s.keys["evt.target.kind"].present, 20);
+    }
+}

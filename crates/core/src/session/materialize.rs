@@ -1,0 +1,395 @@
+//! The daily materialization pipeline (§4.2).
+//!
+//! "Construction of session sequences proceeds in two steps. Once all logs
+//! for one day have been successfully imported … Oink triggers a job that
+//! scans the client event logs to compute a histogram of event counts.
+//! These counts, as well as samples of each event type, are stored in a
+//! known location in HDFS … In a second pass, sessions are reconstructed
+//! from the raw client event logs … These sequences of event names are then
+//! encoded using the dictionary."
+
+use std::collections::BTreeMap;
+
+use uli_thrift::ThriftRecord;
+use uli_warehouse::{HourlyPartition, Warehouse, WarehouseResult, WhPath};
+
+use crate::client_event::{ClientEvent, CLIENT_EVENTS_CATEGORY};
+use crate::event::EventName;
+use super::dictionary::EventDictionary;
+use super::sequence::SessionSequence;
+use super::sessionize::Sessionizer;
+
+/// The day directory of a category: `/logs/<cat>/YYYY/MM/DD`.
+pub fn day_dir(category: &str, day_index: u64) -> WhPath {
+    HourlyPartition::from_hour_index(category, day_index * 24)
+        .main_dir()
+        .parent()
+        .expect("hour dirs have day parents")
+}
+
+/// Where a day's session sequences are materialized.
+pub fn sequences_dir(day_index: u64) -> WhPath {
+    let day = day_dir("session_sequences", day_index);
+    // Reuse the calendar layout but under /session_sequences.
+    WhPath::parse(&day.as_str().replacen("/logs/", "/", 1))
+        .expect("constructed path is valid")
+}
+
+/// Where a day's dictionary, histogram, and samples live — the "known
+/// location in HDFS" consumed by the client event catalog.
+pub fn dictionary_dir(day_index: u64) -> WhPath {
+    let day = day_dir("event_dictionary", day_index);
+    WhPath::parse(&day.as_str().replacen("/logs/", "/", 1))
+        .expect("constructed path is valid")
+}
+
+/// Outcome of one day's materialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaterializeReport {
+    /// The day processed.
+    pub day_index: u64,
+    /// Client events scanned (per pass).
+    pub events: u64,
+    /// Undecodable records skipped.
+    pub skipped: u64,
+    /// Distinct event names.
+    pub distinct_events: u64,
+    /// Sessions materialized.
+    pub sessions: u64,
+    /// Uncompressed bytes of the raw client event logs.
+    pub raw_uncompressed_bytes: u64,
+    /// Compressed (on-disk) bytes of the raw client event logs.
+    pub raw_compressed_bytes: u64,
+    /// Compressed (on-disk) bytes of the session sequence files.
+    pub sequences_compressed_bytes: u64,
+    /// Files written.
+    pub files_written: u64,
+}
+
+impl MaterializeReport {
+    /// The paper's headline metric: raw on-disk size over sequence on-disk
+    /// size ("about fifty times smaller than the original logs").
+    pub fn compression_factor(&self) -> f64 {
+        if self.sequences_compressed_bytes == 0 {
+            return 0.0;
+        }
+        self.raw_compressed_bytes as f64 / self.sequences_compressed_bytes as f64
+    }
+}
+
+/// The two-pass materializer.
+pub struct Materializer {
+    warehouse: Warehouse,
+    sessionizer: Sessionizer,
+    /// Samples of each event type retained for the catalog.
+    samples_per_event: usize,
+    /// Records per output part file.
+    records_per_file: u64,
+}
+
+impl Materializer {
+    /// A materializer with the standard 30-minute sessionizer.
+    pub fn new(warehouse: Warehouse) -> Materializer {
+        Materializer {
+            warehouse,
+            sessionizer: Sessionizer::new(),
+            samples_per_event: 3,
+            records_per_file: 100_000,
+        }
+    }
+
+    /// Overrides the sessionizer (ablation knob).
+    pub fn with_sessionizer(mut self, s: Sessionizer) -> Materializer {
+        self.sessionizer = s;
+        self
+    }
+
+    /// Scans one day of client events, invoking `f` per decoded event.
+    fn scan_day(&self, day_index: u64, mut f: impl FnMut(ClientEvent)) -> WarehouseResult<(u64, u64)> {
+        let mut events = 0;
+        let mut skipped = 0;
+        for hour in day_index * 24..(day_index + 1) * 24 {
+            let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, hour).main_dir();
+            if !self.warehouse.exists(&dir) {
+                continue;
+            }
+            for file in self.warehouse.list_files_recursive(&dir)? {
+                let mut reader = self.warehouse.open(&file)?;
+                while let Some(record) = reader.next_record()? {
+                    match ClientEvent::from_bytes(record) {
+                        Ok(ev) => {
+                            events += 1;
+                            f(ev);
+                        }
+                        Err(_) => skipped += 1,
+                    }
+                }
+            }
+        }
+        Ok((events, skipped))
+    }
+
+    /// Pass 1: histogram + samples + dictionary, persisted under
+    /// [`dictionary_dir`]. Returns the dictionary.
+    pub fn build_dictionary(&self, day_index: u64) -> WarehouseResult<EventDictionary> {
+        let mut counts: BTreeMap<EventName, u64> = BTreeMap::new();
+        let mut samples: BTreeMap<EventName, Vec<Vec<u8>>> = BTreeMap::new();
+        let per_event = self.samples_per_event;
+        self.scan_day(day_index, |ev| {
+            *counts.entry(ev.name.clone()).or_insert(0) += 1;
+            let bucket = samples.entry(ev.name.clone()).or_default();
+            if bucket.len() < per_event {
+                bucket.push(ev.to_bytes());
+            }
+        })?;
+        let dict = EventDictionary::from_counts(counts.into_iter().collect());
+
+        let dir = dictionary_dir(day_index);
+        // Rebuild daily: drop yesterday's run of the same day if present.
+        if self.warehouse.exists(&dir) {
+            self.warehouse.delete_dir(&dir)?;
+        }
+        let mut w = self.warehouse.create(&dir.child("dictionary").expect("valid"))?;
+        for rec in dict.to_records() {
+            w.append_record(&rec);
+        }
+        w.finish()?;
+        let mut w = self.warehouse.create(&dir.child("samples").expect("valid"))?;
+        for bucket in samples.values() {
+            for sample in bucket {
+                w.append_record(sample);
+            }
+        }
+        w.finish()?;
+        Ok(dict)
+    }
+
+    /// Loads a previously persisted dictionary.
+    pub fn load_dictionary(&self, day_index: u64) -> WarehouseResult<EventDictionary> {
+        let file = dictionary_dir(day_index).child("dictionary").expect("valid");
+        let records = self.warehouse.open(&file)?.read_all()?;
+        Ok(EventDictionary::from_records(records))
+    }
+
+    /// Loads the persisted per-event samples (raw Thrift bytes).
+    pub fn load_samples(&self, day_index: u64) -> WarehouseResult<Vec<ClientEvent>> {
+        let file = dictionary_dir(day_index).child("samples").expect("valid");
+        let records = self.warehouse.open(&file)?.read_all()?;
+        Ok(records
+            .iter()
+            .filter_map(|r| ClientEvent::from_bytes(r).ok())
+            .collect())
+    }
+
+    /// Pass 2: reconstruct sessions, encode, and write the relation under
+    /// [`sequences_dir`]. Requires the dictionary from pass 1.
+    pub fn materialize_sequences(
+        &self,
+        day_index: u64,
+        dict: &EventDictionary,
+    ) -> WarehouseResult<MaterializeReport> {
+        let mut all_events = Vec::new();
+        let (events, skipped) = self.scan_day(day_index, |ev| all_events.push(ev))?;
+        let sessions = self.sessionizer.sessionize(all_events);
+
+        let dir = sequences_dir(day_index);
+        if self.warehouse.exists(&dir) {
+            self.warehouse.delete_dir(&dir)?;
+        }
+        let mut files_written = 0;
+        let mut writer = None;
+        let mut in_file = 0u64;
+        let mut part = 0u64;
+        let mut materialized = 0u64;
+        for session in &sessions {
+            let Some(seq) = SessionSequence::encode(session, dict) else {
+                // Dictionary built from the same scan covers every event;
+                // reaching here means passes saw different data.
+                debug_assert!(false, "event missing from same-day dictionary");
+                continue;
+            };
+            if writer.is_none() {
+                let path = dir.child(&format!("part-{part:05}")).expect("valid");
+                writer = Some(self.warehouse.create(&path)?);
+                part += 1;
+            }
+            let w = writer.as_mut().expect("created above");
+            w.append_record(&seq.to_bytes());
+            materialized += 1;
+            in_file += 1;
+            if in_file >= self.records_per_file {
+                writer.take().expect("present").finish()?;
+                files_written += 1;
+                in_file = 0;
+            }
+        }
+        if let Some(w) = writer.take() {
+            w.finish()?;
+            files_written += 1;
+        } else {
+            // Even an empty day leaves a marker directory so downstream jobs
+            // can distinguish "no sessions" from "not yet materialized".
+            self.warehouse.mkdirs(&dir)?;
+        }
+
+        let raw = self
+            .warehouse
+            .dir_meta(&day_dir(CLIENT_EVENTS_CATEGORY, day_index))
+            .unwrap_or(uli_warehouse::FileMeta {
+                blocks: 0,
+                records: 0,
+                compressed_bytes: 0,
+                uncompressed_bytes: 0,
+            });
+        let seq_meta = self.warehouse.dir_meta(&dir)?;
+        Ok(MaterializeReport {
+            day_index,
+            events,
+            skipped,
+            distinct_events: dict.len() as u64,
+            sessions: materialized,
+            raw_uncompressed_bytes: raw.uncompressed_bytes,
+            raw_compressed_bytes: raw.compressed_bytes,
+            sequences_compressed_bytes: seq_meta.compressed_bytes,
+            files_written,
+        })
+    }
+
+    /// Runs both passes for a day — what Oink schedules nightly.
+    pub fn run_day(&self, day_index: u64) -> WarehouseResult<MaterializeReport> {
+        let dict = self.build_dictionary(day_index)?;
+        self.materialize_sequences(day_index, &dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventInitiator;
+    use crate::time::Timestamp;
+
+    fn n(s: &str) -> EventName {
+        EventName::parse(s).unwrap()
+    }
+
+    /// Writes a day of synthetic client events into hour partitions.
+    fn fixture(wh: &Warehouse, day: u64, users: i64, events_per_user: usize) -> u64 {
+        let mut total = 0;
+        for hour in day * 24..day * 24 + 2 {
+            let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, hour).main_dir();
+            let mut w = wh.create(&dir.child("part-00000").unwrap()).unwrap();
+            for u in 0..users {
+                for i in 0..events_per_user {
+                    let action = if i % 5 == 0 { "click" } else { "impression" };
+                    let ev = ClientEvent::new(
+                        EventInitiator::CLIENT_USER,
+                        n(&format!("web:home:home:stream:tweet:{action}")),
+                        u,
+                        format!("s-{u}"),
+                        "10.0.0.1",
+                        Timestamp::from_hour_index(hour).plus(i as i64 * 1000),
+                    );
+                    w.append_record(&ev.to_bytes());
+                    total += 1;
+                }
+            }
+            w.finish().unwrap();
+        }
+        total
+    }
+
+    #[test]
+    fn two_pass_pipeline_materializes_sessions() {
+        let wh = Warehouse::new();
+        let total = fixture(&wh, 0, 10, 20);
+        let m = Materializer::new(wh.clone());
+        let report = m.run_day(0).unwrap();
+        assert_eq!(report.events, total);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.distinct_events, 2);
+        // 10 users × 2 hours; the hour gap (> 30 min) splits sessions.
+        assert_eq!(report.sessions, 20);
+        assert!(report.files_written >= 1);
+        assert!(wh.exists(&sequences_dir(0)));
+    }
+
+    #[test]
+    fn sequences_are_dramatically_smaller() {
+        let wh = Warehouse::new();
+        fixture(&wh, 0, 20, 50);
+        let report = Materializer::new(wh).run_day(0).unwrap();
+        assert!(
+            report.compression_factor() > 10.0,
+            "expected a large compression factor, got {:.1}",
+            report.compression_factor()
+        );
+    }
+
+    #[test]
+    fn dictionary_persists_and_reloads() {
+        let wh = Warehouse::new();
+        fixture(&wh, 0, 3, 10);
+        let m = Materializer::new(wh);
+        let dict = m.build_dictionary(0).unwrap();
+        let reloaded = m.load_dictionary(0).unwrap();
+        assert_eq!(reloaded.len(), dict.len());
+        assert_eq!(reloaded.name_of(0), dict.name_of(0));
+    }
+
+    #[test]
+    fn samples_are_capped_per_event() {
+        let wh = Warehouse::new();
+        fixture(&wh, 0, 5, 25);
+        let m = Materializer::new(wh);
+        m.build_dictionary(0).unwrap();
+        let samples = m.load_samples(0).unwrap();
+        // Two event types × at most 3 samples each.
+        assert!(samples.len() <= 6);
+        assert!(!samples.is_empty());
+    }
+
+    #[test]
+    fn rerun_is_idempotent() {
+        let wh = Warehouse::new();
+        fixture(&wh, 0, 4, 10);
+        let m = Materializer::new(wh);
+        let r1 = m.run_day(0).unwrap();
+        let r2 = m.run_day(0).unwrap();
+        assert_eq!(r1.sessions, r2.sessions);
+        assert_eq!(r1.sequences_compressed_bytes, r2.sequences_compressed_bytes);
+    }
+
+    #[test]
+    fn empty_day_leaves_marker_directory() {
+        let wh = Warehouse::new();
+        let m = Materializer::new(wh.clone());
+        let report = m.run_day(3).unwrap();
+        assert_eq!(report.sessions, 0);
+        assert_eq!(report.events, 0);
+        assert!(wh.exists(&sequences_dir(3)));
+    }
+
+    #[test]
+    fn corrupt_records_are_counted_not_fatal() {
+        let wh = Warehouse::new();
+        fixture(&wh, 0, 2, 5);
+        // Append a file of garbage into one hour.
+        let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, 0).main_dir();
+        let mut w = wh.create(&dir.child("garbage").unwrap()).unwrap();
+        w.append_record(b"not a client event");
+        w.finish().unwrap();
+        let report = Materializer::new(wh).run_day(0).unwrap();
+        assert_eq!(report.skipped, 1);
+        assert!(report.sessions > 0);
+    }
+
+    #[test]
+    fn directory_helpers_follow_the_calendar() {
+        assert_eq!(
+            day_dir(CLIENT_EVENTS_CATEGORY, 0).as_str(),
+            "/logs/client_events/2012/08/01"
+        );
+        assert_eq!(sequences_dir(0).as_str(), "/session_sequences/2012/08/01");
+        assert_eq!(dictionary_dir(1).as_str(), "/event_dictionary/2012/08/02");
+    }
+}

@@ -1,0 +1,76 @@
+//! Simulation timestamps.
+//!
+//! The simulated clock counts milliseconds from an arbitrary origin
+//! (2012-08-01 00:00 in the synthetic calendar of
+//! [`uli_warehouse::HourlyPartition::from_hour_index`]).
+
+/// Milliseconds per hour.
+pub const MS_PER_HOUR: i64 = 3_600_000;
+/// Milliseconds per day.
+pub const MS_PER_DAY: i64 = 24 * MS_PER_HOUR;
+/// "Following standard practices, we use a 30-minute inactivity interval to
+/// delimit user sessions" (§4.2).
+pub const SESSION_GAP_MS: i64 = 30 * 60 * 1000;
+
+/// A millisecond timestamp on the simulation clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Timestamp at the start of a given simulation hour.
+    pub fn from_hour_index(hour: u64) -> Timestamp {
+        Timestamp(hour as i64 * MS_PER_HOUR)
+    }
+
+    /// The raw millisecond count.
+    pub fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Which simulation hour this timestamp falls in.
+    pub fn hour_index(self) -> u64 {
+        (self.0.max(0) / MS_PER_HOUR) as u64
+    }
+
+    /// Which simulation day this timestamp falls in.
+    pub fn day_index(self) -> u64 {
+        (self.0.max(0) / MS_PER_DAY) as u64
+    }
+
+    /// Timestamp advanced by `ms` milliseconds.
+    pub fn plus(self, ms: i64) -> Timestamp {
+        Timestamp(self.0 + ms)
+    }
+
+    /// Milliseconds between two timestamps (`self - earlier`).
+    pub fn since(self, earlier: Timestamp) -> i64 {
+        self.0 - earlier.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hour_and_day_indexing() {
+        assert_eq!(Timestamp(0).hour_index(), 0);
+        assert_eq!(Timestamp(MS_PER_HOUR - 1).hour_index(), 0);
+        assert_eq!(Timestamp(MS_PER_HOUR).hour_index(), 1);
+        assert_eq!(Timestamp(MS_PER_DAY).day_index(), 1);
+        assert_eq!(Timestamp::from_hour_index(25).hour_index(), 25);
+        assert_eq!(Timestamp::from_hour_index(25).day_index(), 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp(1000);
+        assert_eq!(t.plus(500).millis(), 1500);
+        assert_eq!(t.plus(500).since(t), 500);
+    }
+
+    #[test]
+    fn session_gap_is_thirty_minutes() {
+        assert_eq!(SESSION_GAP_MS, 1_800_000);
+    }
+}

@@ -1,0 +1,61 @@
+//! Dataflow errors.
+
+use std::fmt;
+
+use uli_warehouse::WarehouseError;
+
+/// Errors raised while building or executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataflowError {
+    /// A column index was out of range for the operator's input schema.
+    ColumnOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Width of the input schema.
+        width: usize,
+    },
+    /// A named column was not found in the schema.
+    UnknownColumn(String),
+    /// An expression was applied to operands of the wrong type.
+    TypeError {
+        /// Description of the failing operation.
+        context: &'static str,
+    },
+    /// Reading from the warehouse failed.
+    Warehouse(WarehouseError),
+    /// A loader rejected a record it could not parse.
+    MalformedRecord {
+        /// Loader that failed.
+        loader: &'static str,
+    },
+    /// Division by zero in an arithmetic expression.
+    DivisionByZero,
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::ColumnOutOfRange { index, width } => {
+                write!(f, "column ${index} out of range for width {width}")
+            }
+            DataflowError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            DataflowError::TypeError { context } => write!(f, "type error in {context}"),
+            DataflowError::Warehouse(e) => write!(f, "warehouse error: {e}"),
+            DataflowError::MalformedRecord { loader } => {
+                write!(f, "record rejected by loader {loader}")
+            }
+            DataflowError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+impl From<WarehouseError> for DataflowError {
+    fn from(e: WarehouseError) -> Self {
+        DataflowError::Warehouse(e)
+    }
+}
+
+/// Convenience alias.
+pub type DataflowResult<T> = Result<T, DataflowError>;

@@ -1,0 +1,646 @@
+//! Plan execution as simulated MapReduce jobs.
+//!
+//! Every shuffle boundary (GROUP, JOIN, ORDER, DISTINCT) is one MapReduce
+//! job. Map-task counts come from input blocks ("tens of thousands of
+//! mappers", §4.1), shuffle volume from serialized tuple sizes ("the early
+//! projection and filtering keeps the amount of data shuffling … to a
+//! reasonable amount", §4.1), and a [`CostModel`] converts the counts into
+//! estimated cluster milliseconds, charging Hadoop's "relatively high
+//! \[task\] startup costs" (§4.2).
+
+use std::collections::BTreeMap;
+
+use uli_warehouse::Warehouse;
+
+use crate::error::{DataflowError, DataflowResult};
+use crate::plan::{Agg, Plan, PlanNode, SortOrder};
+use crate::udf::AggState;
+use crate::value::{tuple_wire_size, Tuple, Value};
+
+/// Counters for one executed query (possibly several chained MR jobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobStats {
+    /// MapReduce jobs launched.
+    pub mr_jobs: u64,
+    /// Map tasks across all jobs — the paper's "mappers spawned".
+    pub map_tasks: u64,
+    /// Reduce tasks across all jobs.
+    pub reduce_tasks: u64,
+    /// Records read from the warehouse.
+    pub input_records: u64,
+    /// Blocks read from the warehouse (input splits).
+    pub input_blocks: u64,
+    /// Blocks skipped via index pushdown.
+    pub blocks_skipped: u64,
+    /// Compressed bytes read.
+    pub input_bytes_compressed: u64,
+    /// Uncompressed bytes processed by mappers.
+    pub input_bytes_uncompressed: u64,
+    /// Records entering the shuffle after any combiner.
+    pub shuffle_records: u64,
+    /// Bytes entering the shuffle.
+    pub shuffle_bytes: u64,
+    /// Rows produced by the query.
+    pub output_records: u64,
+}
+
+/// Cluster constants turning [`JobStats`] into estimated milliseconds.
+///
+/// Defaults model a few-hundred-node 2012 cluster coarsely; the point of the
+/// model is *relative* cost (raw logs vs session sequences), not absolute
+/// accuracy.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Concurrent task slots available.
+    pub slots: u64,
+    /// Startup cost charged per task (JVM spawn, scheduling, jobtracker RPC).
+    pub task_startup_ms: f64,
+    /// Per-slot scan throughput over uncompressed data.
+    pub scan_mb_per_s: f64,
+    /// Aggregate shuffle throughput of the cluster.
+    pub shuffle_mb_per_s: f64,
+    /// Fixed per-job submission latency.
+    pub job_submit_ms: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            slots: 200,
+            task_startup_ms: 1_500.0,
+            scan_mb_per_s: 60.0,
+            shuffle_mb_per_s: 2_000.0,
+            // Scaled down from real 2012 jobtracker latency (~10 s) so the
+            // per-job constant does not drown the task/scan terms at the
+            // laptop data scales the simulation runs at.
+            job_submit_ms: 500.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Estimated wall-clock milliseconds for the measured job stats.
+    pub fn estimate_ms(&self, s: &JobStats) -> f64 {
+        let slots = self.slots.max(1) as f64;
+        let tasks = (s.map_tasks + s.reduce_tasks) as f64;
+        let startup = tasks * self.task_startup_ms / slots;
+        let scan_mb = s.input_bytes_uncompressed as f64 / (1024.0 * 1024.0);
+        let scan = scan_mb / (self.scan_mb_per_s * slots) * 1_000.0;
+        let shuffle_mb = s.shuffle_bytes as f64 / (1024.0 * 1024.0);
+        let shuffle = shuffle_mb / self.shuffle_mb_per_s * 1_000.0;
+        let submit = s.mr_jobs as f64 * self.job_submit_ms;
+        startup + scan + shuffle + submit
+    }
+}
+
+/// A completed query: rows plus accounting.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column names.
+    pub schema: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Tuple>,
+    /// Execution counters.
+    pub stats: JobStats,
+    /// Cost-model estimate for the counters.
+    pub estimated_cluster_ms: f64,
+}
+
+/// Pending (not yet charged) map-phase input of an intermediate result.
+#[derive(Debug, Clone, Copy, Default)]
+struct MapInput {
+    tasks: u64,
+    bytes: u64,
+}
+
+/// The query engine: a warehouse plus a cost model.
+pub struct Engine {
+    warehouse: Warehouse,
+    cost: CostModel,
+    /// Records per simulated reduce task.
+    reduce_keys_per_task: u64,
+}
+
+impl Engine {
+    /// Engine with the default cost model.
+    pub fn new(warehouse: Warehouse) -> Self {
+        Engine {
+            warehouse,
+            cost: CostModel::default(),
+            reduce_keys_per_task: 1 << 20,
+        }
+    }
+
+    /// Engine with a custom cost model.
+    pub fn with_cost_model(warehouse: Warehouse, cost: CostModel) -> Self {
+        Engine {
+            warehouse,
+            cost,
+            reduce_keys_per_task: 1 << 20,
+        }
+    }
+
+    /// The warehouse this engine scans.
+    pub fn warehouse(&self) -> &Warehouse {
+        &self.warehouse
+    }
+
+    /// Executes a plan.
+    pub fn run(&self, plan: &Plan) -> DataflowResult<QueryResult> {
+        let mut stats = JobStats::default();
+        let (rows, pending) = self.exec(plan, &mut stats)?;
+        // A plan that scanned data but never shuffled is a map-only job.
+        if pending.tasks > 0 && stats.mr_jobs == 0 {
+            stats.mr_jobs = 1;
+            stats.map_tasks += pending.tasks;
+        }
+        stats.output_records = rows.len() as u64;
+        let estimated_cluster_ms = self.cost.estimate_ms(&stats);
+        Ok(QueryResult {
+            schema: plan.schema().to_vec(),
+            rows,
+            stats,
+            estimated_cluster_ms,
+        })
+    }
+
+    /// Charges a shuffle job consuming `input` map input.
+    fn charge_shuffle(
+        &self,
+        stats: &mut JobStats,
+        input: MapInput,
+        shuffle_records: u64,
+        shuffle_bytes: u64,
+        groups: u64,
+    ) -> MapInput {
+        stats.mr_jobs += 1;
+        stats.map_tasks += input.tasks.max(1);
+        let reduce_tasks = groups.div_ceil(self.reduce_keys_per_task).max(1);
+        stats.reduce_tasks += reduce_tasks;
+        stats.shuffle_records += shuffle_records;
+        stats.shuffle_bytes += shuffle_bytes;
+        MapInput {
+            tasks: reduce_tasks,
+            bytes: shuffle_bytes,
+        }
+    }
+
+    fn exec(&self, plan: &Plan, stats: &mut JobStats) -> DataflowResult<(Vec<Tuple>, MapInput)> {
+        match &plan.node {
+            PlanNode::Load {
+                dir,
+                loader,
+                schema,
+                pruner,
+            } => {
+                let before = self.warehouse.stats();
+                let mut rows = Vec::new();
+                for file in self.warehouse.list_files_recursive(dir)? {
+                    let mut reader = self.warehouse.open(&file)?;
+                    if let Some(pruner) = pruner {
+                        if let Some(mask) =
+                            pruner.prune(&self.warehouse, &file, reader.block_count())
+                        {
+                            reader.set_block_filter(mask);
+                        }
+                    }
+                    while let Some(record) = reader.next_record()? {
+                        if let Some(tuple) = loader.parse(record)? {
+                            if tuple.len() != schema.len() {
+                                return Err(DataflowError::MalformedRecord {
+                                    loader: loader.name(),
+                                });
+                            }
+                            rows.push(tuple);
+                        }
+                    }
+                }
+                let delta = self.warehouse.stats().since(&before);
+                stats.input_records += delta.records_read;
+                stats.input_blocks += delta.blocks_read;
+                stats.blocks_skipped += delta.blocks_skipped;
+                stats.input_bytes_compressed += delta.compressed_bytes_read;
+                stats.input_bytes_uncompressed += delta.uncompressed_bytes_read;
+                let pending = MapInput {
+                    tasks: delta.blocks_read,
+                    bytes: delta.uncompressed_bytes_read,
+                };
+                Ok((rows, pending))
+            }
+            PlanNode::Values { rows, .. } => Ok((rows.clone(), MapInput::default())),
+            PlanNode::Filter { input, predicate } => {
+                let (rows, pending) = self.exec(input, stats)?;
+                let mut out = Vec::with_capacity(rows.len() / 2);
+                for row in rows {
+                    match predicate.eval(&row)? {
+                        Value::Bool(true) => out.push(row),
+                        Value::Bool(false) | Value::Null => {}
+                        _ => return Err(DataflowError::TypeError { context: "FILTER" }),
+                    }
+                }
+                Ok((out, pending))
+            }
+            PlanNode::Foreach { input, exprs } => {
+                let (rows, pending) = self.exec(input, stats)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut t = Vec::with_capacity(exprs.len());
+                    for (_, e) in exprs {
+                        t.push(e.eval(&row)?);
+                    }
+                    out.push(t);
+                }
+                Ok((out, pending))
+            }
+            PlanNode::GroupBy { input, keys } => {
+                let (rows, pending) = self.exec(input, stats)?;
+                let rows_in = rows.len() as u64;
+                let bytes_in: u64 = rows.iter().map(|t| tuple_wire_size(t)).sum();
+                let mut groups: BTreeMap<Vec<Value>, Vec<Tuple>> = BTreeMap::new();
+                for row in rows {
+                    let key: Vec<Value> = keys.iter().map(|k| row[*k].clone()).collect();
+                    groups.entry(key).or_default().push(row);
+                }
+                // GROUP ALL over an empty input still yields no group (Pig
+                // semantics: the group simply does not exist).
+                let n_groups = groups.len() as u64;
+                // Bags are holistic: every row crosses the shuffle.
+                let next = self.charge_shuffle(stats, pending, rows_in, bytes_in, n_groups);
+                let out: Vec<Tuple> = groups
+                    .into_iter()
+                    .map(|(mut key, bag)| {
+                        key.push(Value::Bag(bag));
+                        key
+                    })
+                    .collect();
+                Ok((out, next))
+            }
+            PlanNode::Aggregate { input, keys, aggs } => {
+                let (rows, pending) = self.exec(input, stats)?;
+                let rows_in = rows.len() as u64;
+                let out = aggregate_rows(&rows, keys, aggs)?;
+                let n_groups = out.len() as u64;
+                // Combiner: algebraic aggregates shuffle at most
+                // (groups × map tasks) records; holistic ones shuffle all.
+                let algebraic = aggs.iter().all(|a| a.func.is_algebraic());
+                let shuffle_records = if algebraic {
+                    rows_in.min(n_groups.saturating_mul(pending.tasks.max(1)))
+                } else {
+                    rows_in
+                };
+                let bytes_in: u64 = rows.iter().map(|t| tuple_wire_size(t)).sum();
+                let avg_record = bytes_in.checked_div(rows_in).unwrap_or(0);
+                let shuffle_bytes = shuffle_records * avg_record.max(8);
+                let next =
+                    self.charge_shuffle(stats, pending, shuffle_records, shuffle_bytes, n_groups);
+                Ok((out, next))
+            }
+            PlanNode::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                let (lrows, lpend) = self.exec(left, stats)?;
+                let (rrows, rpend) = self.exec(right, stats)?;
+                let shuffle_records = (lrows.len() + rrows.len()) as u64;
+                let shuffle_bytes: u64 = lrows
+                    .iter()
+                    .chain(rrows.iter())
+                    .map(|t| tuple_wire_size(t))
+                    .sum();
+                let mut table: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
+                for row in &rrows {
+                    let key: Vec<Value> = right_keys.iter().map(|k| row[*k].clone()).collect();
+                    table.entry(key).or_default().push(row);
+                }
+                let mut out = Vec::new();
+                for lrow in &lrows {
+                    let key: Vec<Value> = left_keys.iter().map(|k| lrow[*k].clone()).collect();
+                    if key.iter().any(Value::is_null) {
+                        continue; // null keys never join
+                    }
+                    if let Some(matches) = table.get(&key) {
+                        for rrow in matches {
+                            let mut joined = lrow.clone();
+                            joined.extend(rrow.iter().cloned());
+                            out.push(joined);
+                        }
+                    }
+                }
+                let groups = table.len() as u64;
+                let input = MapInput {
+                    tasks: lpend.tasks + rpend.tasks,
+                    bytes: lpend.bytes + rpend.bytes,
+                };
+                let next = self.charge_shuffle(stats, input, shuffle_records, shuffle_bytes, groups);
+                Ok((out, next))
+            }
+            PlanNode::OrderBy { input, keys } => {
+                let (mut rows, pending) = self.exec(input, stats)?;
+                let shuffle_records = rows.len() as u64;
+                let shuffle_bytes: u64 = rows.iter().map(|t| tuple_wire_size(t)).sum();
+                rows.sort_by(|a, b| {
+                    for (k, order) in keys {
+                        let cmp = a[*k].cmp(&b[*k]);
+                        let cmp = match order {
+                            SortOrder::Asc => cmp,
+                            SortOrder::Desc => cmp.reverse(),
+                        };
+                        if cmp != std::cmp::Ordering::Equal {
+                            return cmp;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                let next = self.charge_shuffle(
+                    stats,
+                    pending,
+                    shuffle_records,
+                    shuffle_bytes,
+                    shuffle_records,
+                );
+                Ok((rows, next))
+            }
+            PlanNode::Distinct { input } => {
+                let (rows, pending) = self.exec(input, stats)?;
+                let rows_in = rows.len() as u64;
+                let mut set: BTreeMap<Tuple, ()> = BTreeMap::new();
+                for row in rows {
+                    set.insert(row, ());
+                }
+                let n_groups = set.len() as u64;
+                // DISTINCT has a combiner (dedup map-side).
+                let shuffle_records = rows_in.min(n_groups.saturating_mul(pending.tasks.max(1)));
+                let out: Vec<Tuple> = set.into_keys().collect();
+                let shuffle_bytes: u64 = out.iter().map(|t| tuple_wire_size(t)).sum();
+                let next =
+                    self.charge_shuffle(stats, pending, shuffle_records, shuffle_bytes, n_groups);
+                Ok((out, next))
+            }
+            PlanNode::Union { inputs } => {
+                let mut rows = Vec::new();
+                let mut pending = MapInput::default();
+                for input in inputs {
+                    let (mut r, p) = self.exec(input, stats)?;
+                    rows.append(&mut r);
+                    pending.tasks += p.tasks;
+                    pending.bytes += p.bytes;
+                }
+                Ok((rows, pending))
+            }
+            PlanNode::Limit { input, n } => {
+                let (mut rows, pending) = self.exec(input, stats)?;
+                rows.truncate(*n);
+                Ok((rows, pending))
+            }
+        }
+    }
+}
+
+/// Grouped aggregation shared by the executor (and tested directly).
+fn aggregate_rows(rows: &[Tuple], keys: &[usize], aggs: &[Agg]) -> DataflowResult<Vec<Tuple>> {
+    let mut groups: BTreeMap<Vec<Value>, Vec<AggState>> = BTreeMap::new();
+    for row in rows {
+        let key: Vec<Value> = keys.iter().map(|k| row[*k].clone()).collect();
+        let states = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect());
+        for (agg, state) in aggs.iter().zip(states.iter_mut()) {
+            let v = row.get(agg.col).cloned().unwrap_or(Value::Null);
+            state.accumulate(&v)?;
+        }
+    }
+    // GROUP ALL over empty input produces one row of "empty" aggregates,
+    // matching SQL's SELECT COUNT(*) over an empty table.
+    if groups.is_empty() && keys.is_empty() {
+        groups.insert(
+            Vec::new(),
+            aggs.iter().map(|a| AggState::new(a.func)).collect(),
+        );
+    }
+    Ok(groups
+        .into_iter()
+        .map(|(mut key, states)| {
+            key.extend(states.into_iter().map(AggState::finish));
+            key
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::loader::CsvLoader;
+    use crate::plan::Plan;
+    use std::sync::Arc;
+    use uli_warehouse::WhPath;
+
+    fn fixture() -> (Warehouse, WhPath) {
+        let wh = Warehouse::with_block_capacity(512);
+        let dir = WhPath::parse("/logs/t").unwrap();
+        let mut w = wh.create(&dir.child("part-0").unwrap()).unwrap();
+        // user, action, amount
+        for i in 0..300i64 {
+            let action = if i % 3 == 0 { "click" } else { "impression" };
+            w.append_record(format!("{},{},{}", i % 10, action, i).as_bytes());
+        }
+        w.finish().unwrap();
+        (wh, dir)
+    }
+
+    fn load(dir: &WhPath) -> Plan {
+        Plan::load(
+            dir.clone(),
+            Arc::new(CsvLoader::new(3)),
+            vec!["user", "action", "amount"],
+        )
+    }
+
+    #[test]
+    fn map_only_scan_counts_one_job() {
+        let (wh, dir) = fixture();
+        let engine = Engine::new(wh);
+        let r = engine.run(&load(&dir)).unwrap();
+        assert_eq!(r.rows.len(), 300);
+        assert_eq!(r.stats.mr_jobs, 1);
+        assert!(r.stats.map_tasks >= 2, "512-byte blocks → several splits");
+        assert_eq!(r.stats.input_records, 300);
+        assert_eq!(r.stats.shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn filter_and_count() {
+        let (wh, dir) = fixture();
+        let engine = Engine::new(wh);
+        let plan = load(&dir)
+            .filter(Expr::col(1).eq(Expr::lit("click")))
+            .aggregate(vec![Agg::count()]);
+        let r = engine.run(&plan).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(100)]]);
+        assert_eq!(r.stats.mr_jobs, 1, "one shuffle job");
+        assert!(r.stats.reduce_tasks >= 1);
+    }
+
+    #[test]
+    fn aggregate_by_key_with_sums() {
+        let (wh, dir) = fixture();
+        let engine = Engine::new(wh);
+        let plan = load(&dir).aggregate_by(vec![0], vec![Agg::count(), Agg::sum(2).named("amt")]);
+        let r = engine.run(&plan).unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.schema, vec!["user", "count", "amt"]);
+        // user 0 appears at i = 0,10,…,290: 30 rows summing to 4350.
+        let row0 = r.rows.iter().find(|t| t[0] == Value::Int(0)).unwrap();
+        assert_eq!(row0[1], Value::Int(30));
+        assert_eq!(row0[2], Value::Int(4350));
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_for_algebraic_aggs() {
+        let (wh, dir) = fixture();
+        let engine = Engine::new(wh);
+        let algebraic = engine
+            .run(&load(&dir).aggregate_by(vec![0], vec![Agg::count()]))
+            .unwrap();
+        let (wh2, dir2) = fixture();
+        let engine2 = Engine::new(wh2);
+        let holistic = engine2
+            .run(&load(&dir2).aggregate_by(vec![0], vec![Agg::count_distinct(2)]))
+            .unwrap();
+        assert!(
+            algebraic.stats.shuffle_records < holistic.stats.shuffle_records,
+            "combiner must shrink the shuffle: {} vs {}",
+            algebraic.stats.shuffle_records,
+            holistic.stats.shuffle_records
+        );
+        assert_eq!(holistic.stats.shuffle_records, 300);
+    }
+
+    #[test]
+    fn group_by_produces_bags() {
+        let (wh, dir) = fixture();
+        let engine = Engine::new(wh);
+        let r = engine.run(&load(&dir).group_by(vec![0])).unwrap();
+        assert_eq!(r.rows.len(), 10);
+        let bag = r.rows[0].last().unwrap().as_bag().unwrap();
+        assert_eq!(bag.len(), 30);
+        // Bags shuffle everything.
+        assert_eq!(r.stats.shuffle_records, 300);
+    }
+
+    #[test]
+    fn group_all_on_empty_input_counts_zero() {
+        let wh = Warehouse::new();
+        let dir = WhPath::parse("/empty").unwrap();
+        wh.mkdirs(&dir).unwrap();
+        let engine = Engine::new(wh);
+        let r = engine
+            .run(&load(&dir).aggregate(vec![Agg::count()]))
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let (wh, dir) = fixture();
+        let engine = Engine::new(wh);
+        let users = Plan::values(
+            vec!["uid", "country"],
+            vec![
+                vec![Value::Int(0), Value::str("uk")],
+                vec![Value::Int(1), Value::str("us")],
+            ],
+        );
+        let plan = load(&dir)
+            .join(users, vec![0], vec![0])
+            .filter(Expr::col(4).eq(Expr::lit("uk")))
+            .aggregate(vec![Agg::count()]);
+        let r = engine.run(&plan).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(30)]]);
+        assert_eq!(r.stats.mr_jobs, 2, "join + aggregate");
+    }
+
+    #[test]
+    fn order_by_sorts_both_directions() {
+        let engine = Engine::new(Warehouse::new());
+        let vals = Plan::values(
+            vec!["x"],
+            vec![vec![Value::Int(2)], vec![Value::Int(1)], vec![Value::Int(3)]],
+        );
+        let r = engine
+            .run(&vals.order_by(vec![(0, SortOrder::Desc)]))
+            .unwrap();
+        let xs: Vec<i64> = r.rows.iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(xs, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let engine = Engine::new(Warehouse::new());
+        let vals = Plan::values(
+            vec!["x"],
+            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        let r = engine.run(&vals.distinct()).unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn union_and_limit() {
+        let engine = Engine::new(Warehouse::new());
+        let a = Plan::values(vec!["x"], vec![vec![Value::Int(1)]]);
+        let b = Plan::values(vec!["x"], vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+        let r = engine.run(&a.union(vec![b]).limit(2)).unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn foreach_projects_early_to_cut_shuffle() {
+        let (wh, dir) = fixture();
+        let engine = Engine::new(wh);
+        let wide = engine.run(&load(&dir).group_by(vec![0])).unwrap();
+        let (wh2, dir2) = fixture();
+        let engine2 = Engine::new(wh2);
+        let narrow = engine2
+            .run(
+                &load(&dir2)
+                    .foreach(vec![("user", Expr::col(0))])
+                    .group_by(vec![0]),
+            )
+            .unwrap();
+        assert!(
+            narrow.stats.shuffle_bytes < wide.stats.shuffle_bytes,
+            "projection must shrink shuffled bytes"
+        );
+    }
+
+    #[test]
+    fn cost_model_monotone_in_tasks_and_bytes() {
+        let m = CostModel::default();
+        let base = JobStats {
+            mr_jobs: 1,
+            map_tasks: 10,
+            reduce_tasks: 1,
+            input_bytes_uncompressed: 1 << 20,
+            shuffle_bytes: 1 << 16,
+            ..Default::default()
+        };
+        let mut more_tasks = base;
+        more_tasks.map_tasks = 10_000;
+        assert!(m.estimate_ms(&more_tasks) > m.estimate_ms(&base));
+        let mut more_bytes = base;
+        more_bytes.input_bytes_uncompressed = 1 << 32;
+        assert!(m.estimate_ms(&more_bytes) > m.estimate_ms(&base));
+    }
+
+    #[test]
+    fn null_join_keys_do_not_match() {
+        let engine = Engine::new(Warehouse::new());
+        let a = Plan::values(vec!["k"], vec![vec![Value::Null], vec![Value::Int(1)]]);
+        let b = Plan::values(vec!["k"], vec![vec![Value::Null], vec![Value::Int(1)]]);
+        let r = engine.run(&a.join(b, vec![0], vec![0])).unwrap();
+        assert_eq!(r.rows.len(), 1, "only the non-null key joins");
+    }
+}

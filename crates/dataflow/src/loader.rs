@@ -1,0 +1,101 @@
+//! Loaders: Pig-style `LoadFunc`s parsing warehouse records into tuples.
+//!
+//! "Elephant Bird … automatically generates Hadoop record readers and
+//! writers for arbitrary Protocol Buffer and Thrift messages" (§3). Here a
+//! [`Loader`] fills that role: each domain crate provides one (client event
+//! loader, session sequence loader, legacy format loaders).
+//!
+//! [`BlockPruner`] is the Elephant Twin integration point (§6): indexes
+//! "integrate with Hadoop at the level of InputFormats", so a pruner decides
+//! per file which blocks a scan may skip *before* decompression.
+
+use crate::error::DataflowResult;
+use crate::value::{Tuple, Value};
+use uli_warehouse::{Warehouse, WhPath};
+
+/// Parses raw warehouse records into tuples.
+pub trait Loader: Send + Sync {
+    /// Name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Parses one record. `Ok(None)` skips the record silently (e.g. a
+    /// marker or corrupt line the loader chooses to tolerate).
+    fn parse(&self, record: &[u8]) -> DataflowResult<Option<Tuple>>;
+}
+
+/// Decides which blocks of a file a scan must read.
+pub trait BlockPruner: Send + Sync {
+    /// Returns a keep-mask of length `block_count`, or `None` to read all.
+    fn prune(&self, warehouse: &Warehouse, file: &WhPath, block_count: usize)
+        -> Option<Vec<bool>>;
+}
+
+/// A simple comma-separated loader used by tests, examples, and docs.
+///
+/// Fields parse as `Int` when possible, else `Double`, else `Str`. Records
+/// with the wrong number of fields are skipped (a real Pig loader would
+/// likewise drop malformed rows into a sink).
+#[derive(Debug, Clone)]
+pub struct CsvLoader {
+    fields: usize,
+}
+
+impl CsvLoader {
+    /// A loader expecting `fields` comma-separated columns.
+    pub fn new(fields: usize) -> Self {
+        assert!(fields > 0);
+        CsvLoader { fields }
+    }
+}
+
+impl Loader for CsvLoader {
+    fn name(&self) -> &'static str {
+        "CsvLoader"
+    }
+
+    fn parse(&self, record: &[u8]) -> DataflowResult<Option<Tuple>> {
+        let Ok(text) = std::str::from_utf8(record) else {
+            return Ok(None);
+        };
+        let parts: Vec<&str> = text.split(',').collect();
+        if parts.len() != self.fields {
+            return Ok(None);
+        }
+        let tuple = parts
+            .into_iter()
+            .map(|p| {
+                if let Ok(i) = p.parse::<i64>() {
+                    Value::Int(i)
+                } else if let Ok(d) = p.parse::<f64>() {
+                    Value::Double(d)
+                } else {
+                    Value::str(p)
+                }
+            })
+            .collect();
+        Ok(Some(tuple))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_parses_types() {
+        let l = CsvLoader::new(3);
+        let t = l.parse(b"42,3.5,hello").unwrap().unwrap();
+        assert_eq!(
+            t,
+            vec![Value::Int(42), Value::Double(3.5), Value::str("hello")]
+        );
+    }
+
+    #[test]
+    fn csv_skips_malformed() {
+        let l = CsvLoader::new(2);
+        assert_eq!(l.parse(b"only_one_field").unwrap(), None);
+        assert_eq!(l.parse(b"a,b,c").unwrap(), None);
+        assert_eq!(l.parse(&[0xff, 0xfe]).unwrap(), None);
+    }
+}

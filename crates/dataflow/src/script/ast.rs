@@ -1,0 +1,120 @@
+//! Abstract syntax of the Pig dialect.
+
+/// A parsed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    /// Column by name.
+    Col(String),
+    /// Column by position (`$0`).
+    Pos(usize),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `*` (only valid inside `COUNT(*)`).
+    Star,
+    /// Binary operation, by operator text (`==`, `<=`, `+`, `and`, …).
+    Bin(String, Box<ExprAst>, Box<ExprAst>),
+    /// `NOT expr`.
+    Not(Box<ExprAst>),
+    /// Function call: a registered UDF alias or a built-in aggregate.
+    Call {
+        /// Function name as written.
+        name: String,
+        /// Arguments.
+        args: Vec<ExprAst>,
+    },
+}
+
+/// One relational operator on the right-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpAst {
+    /// `LOAD 'path' USING Loader('a', …) AS (c1, c2, …)`.
+    Load {
+        /// Warehouse directory.
+        path: String,
+        /// Loader name (resolved via the registry).
+        loader: String,
+        /// Loader constructor arguments.
+        args: Vec<String>,
+        /// Column names (may be empty if the loader has a fixed schema).
+        schema: Vec<String>,
+    },
+    /// `FILTER input BY expr`.
+    Filter {
+        /// Input relation.
+        input: String,
+        /// Predicate.
+        expr: ExprAst,
+    },
+    /// `FOREACH input GENERATE e [AS name], …`.
+    Foreach {
+        /// Input relation.
+        input: String,
+        /// Generated columns.
+        gens: Vec<(ExprAst, Option<String>)>,
+    },
+    /// `GROUP input BY (c1, c2)` or `GROUP input ALL`.
+    Group {
+        /// Input relation.
+        input: String,
+        /// Key columns; empty = ALL.
+        keys: Vec<ExprAst>,
+    },
+    /// `JOIN a BY (k…), b BY (k…)`.
+    Join {
+        /// Left relation.
+        left: String,
+        /// Left keys.
+        left_keys: Vec<ExprAst>,
+        /// Right relation.
+        right: String,
+        /// Right keys.
+        right_keys: Vec<ExprAst>,
+    },
+    /// `ORDER input BY col [ASC|DESC], …`.
+    Order {
+        /// Input relation.
+        input: String,
+        /// Sort keys (column, ascending).
+        keys: Vec<(ExprAst, bool)>,
+    },
+    /// `DISTINCT input`.
+    Distinct(String),
+    /// `LIMIT input n`.
+    Limit(String, usize),
+    /// `UNION a, b, …`.
+    Union(Vec<String>),
+}
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `DEFINE Alias UdfName('arg', …);`
+    Define {
+        /// The alias scripts call.
+        alias: String,
+        /// The registered UDF constructor.
+        udf: String,
+        /// Constructor arguments.
+        args: Vec<String>,
+    },
+    /// `name = <op>;`
+    Assign {
+        /// Relation name being defined.
+        name: String,
+        /// The operator.
+        op: OpAst,
+    },
+    /// `DUMP name;`
+    Dump(String),
+    /// `STORE name INTO 'path';`
+    Store {
+        /// Relation to store.
+        rel: String,
+        /// Destination directory.
+        path: String,
+    },
+}

@@ -1,0 +1,372 @@
+//! Lowering parsed statements onto [`Plan`] builders.
+//!
+//! One Pig-ism needs care: aggregation is written as `GROUP` followed by a
+//! `FOREACH … GENERATE SUM(col)`. The compiler keeps a `GROUP` result
+//! *symbolic* until it sees how it is consumed — a FOREACH of aggregate
+//! calls lowers to the engine's `Aggregate` (combiner-friendly), anything
+//! else materializes the bag-producing `GroupBy`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::expr::Expr;
+use crate::plan::{Agg, Plan, SortOrder};
+use crate::udf::ScalarUdf;
+
+use super::ast::{ExprAst, OpAst};
+
+/// Compile-time errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Reference to a relation that was never assigned.
+    UnknownRelation(String),
+    /// A relation was used twice. Plans are consumed on use; assign
+    /// intermediate results to distinct names (each LOAD re-scans anyway).
+    RelationConsumed(String),
+    /// Column name not present in the input schema.
+    UnknownColumn {
+        /// The column.
+        column: String,
+        /// The input schema, for the error message.
+        schema: Vec<String>,
+    },
+    /// A function that is neither a DEFINEd alias nor a built-in aggregate.
+    UnknownFunction(String),
+    /// Aggregate call outside `FOREACH (GROUP …) GENERATE`.
+    AggregateOutsideGroup(String),
+    /// Mixing aggregate and non-key expressions over a grouped relation.
+    BadAggregateProjection,
+    /// `*` used anywhere but `COUNT(*)`.
+    StarOutsideCount,
+    /// Loader/UDF constructor failed.
+    Factory(String),
+    /// Operation invalid for other reasons.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            CompileError::RelationConsumed(r) => write!(
+                f,
+                "relation {r:?} was already consumed; assign intermediates to distinct names"
+            ),
+            CompileError::UnknownColumn { column, schema } => {
+                write!(f, "unknown column {column:?}; schema is {schema:?}")
+            }
+            CompileError::UnknownFunction(n) => write!(f, "unknown function {n:?}"),
+            CompileError::AggregateOutsideGroup(n) => {
+                write!(f, "aggregate {n} is only valid in FOREACH over a GROUP")
+            }
+            CompileError::BadAggregateProjection => write!(
+                f,
+                "FOREACH over a GROUP may generate only group keys and aggregates"
+            ),
+            CompileError::StarOutsideCount => write!(f, "'*' is only valid inside COUNT(*)"),
+            CompileError::Factory(msg) => write!(f, "constructor failed: {msg}"),
+            CompileError::Invalid(what) => write!(f, "invalid operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A relation in the environment.
+pub(super) enum Rel {
+    /// A materializable plan.
+    Plan(Plan),
+    /// An unmaterialized GROUP: input plan + key columns.
+    Grouped {
+        /// The pre-group plan.
+        input: Plan,
+        /// Key column indexes in the pre-group schema.
+        keys: Vec<usize>,
+    },
+}
+
+/// The compilation environment.
+pub(super) struct Env {
+    rels: HashMap<String, Option<Rel>>,
+    /// DEFINEd UDF aliases.
+    pub(super) defines: HashMap<String, Arc<dyn ScalarUdf>>,
+}
+
+/// Signature of the LOAD resolver the runner supplies.
+pub(super) type LoadFn<'a> =
+    dyn FnMut(&str, &str, &[String], &[String]) -> Result<Plan, CompileError> + 'a;
+
+const AGGREGATES: [&str; 6] = ["SUM", "COUNT", "AVG", "MIN", "MAX", "COUNT_DISTINCT"];
+
+fn is_aggregate(name: &str) -> bool {
+    AGGREGATES.iter().any(|a| name.eq_ignore_ascii_case(a))
+}
+
+impl Env {
+    pub(super) fn new() -> Env {
+        Env {
+            rels: HashMap::new(),
+            defines: HashMap::new(),
+        }
+    }
+
+    pub(super) fn insert(&mut self, name: String, rel: Rel) {
+        self.rels.insert(name, Some(rel));
+    }
+
+    /// Takes a relation (consuming it).
+    fn take(&mut self, name: &str) -> Result<Rel, CompileError> {
+        match self.rels.get_mut(name) {
+            None => Err(CompileError::UnknownRelation(name.to_string())),
+            Some(slot) => slot
+                .take()
+                .ok_or_else(|| CompileError::RelationConsumed(name.to_string())),
+        }
+    }
+
+    /// Takes a relation, materializing a pending GROUP into a bag plan.
+    pub(super) fn take_plan(&mut self, name: &str) -> Result<Plan, CompileError> {
+        Ok(match self.take(name)? {
+            Rel::Plan(p) => p,
+            Rel::Grouped { input, keys } => input.group_by(keys),
+        })
+    }
+
+    fn resolve_col(plan: &Plan, name: &str) -> Result<usize, CompileError> {
+        plan.schema()
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| CompileError::UnknownColumn {
+                column: name.to_string(),
+                schema: plan.schema().to_vec(),
+            })
+    }
+
+    /// Compiles a scalar expression against `plan`'s schema.
+    fn compile_expr(&self, plan: &Plan, ast: &ExprAst) -> Result<Expr, CompileError> {
+        Ok(match ast {
+            ExprAst::Col(name) => Expr::col(Self::resolve_col(plan, name)?),
+            ExprAst::Pos(i) => Expr::col(*i),
+            ExprAst::Int(v) => Expr::lit(*v),
+            ExprAst::Float(v) => Expr::lit(*v),
+            ExprAst::Str(s) => Expr::lit(s.as_str()),
+            ExprAst::Star => return Err(CompileError::StarOutsideCount),
+            ExprAst::Not(inner) => self.compile_expr(plan, inner)?.not(),
+            ExprAst::Bin(op, a, b) => {
+                let left = self.compile_expr(plan, a)?;
+                let right = self.compile_expr(plan, b)?;
+                match op.as_str() {
+                    "==" => left.eq(right),
+                    "!=" => left.ne(right),
+                    "<" => left.lt(right),
+                    "<=" => left.le(right),
+                    ">" => left.gt(right),
+                    ">=" => left.ge(right),
+                    "+" => left.add(right),
+                    "-" => left.sub(right),
+                    "*" => left.mul(right),
+                    "/" => left.div(right),
+                    "and" => left.and(right),
+                    "or" => left.or(right),
+                    other => {
+                        debug_assert!(false, "parser produced operator {other}");
+                        return Err(CompileError::Invalid("operator"));
+                    }
+                }
+            }
+            ExprAst::Call { name, args } => {
+                if is_aggregate(name) {
+                    return Err(CompileError::AggregateOutsideGroup(name.clone()));
+                }
+                let udf = self
+                    .defines
+                    .get(name)
+                    .ok_or_else(|| CompileError::UnknownFunction(name.clone()))?;
+                let mut compiled = Vec::with_capacity(args.len());
+                for a in args {
+                    compiled.push(self.compile_expr(plan, a)?);
+                }
+                Expr::udf(Arc::clone(udf), compiled)
+            }
+        })
+    }
+
+    /// Key expressions must be plain columns (matching Pig's GROUP/JOIN BY).
+    fn key_columns(plan: &Plan, keys: &[ExprAst]) -> Result<Vec<usize>, CompileError> {
+        keys.iter()
+            .map(|k| match k {
+                ExprAst::Col(name) => Self::resolve_col(plan, name),
+                ExprAst::Pos(i) => Ok(*i),
+                _ => Err(CompileError::Invalid("keys must be column references")),
+            })
+            .collect()
+    }
+
+    fn compile_agg(
+        input: &Plan,
+        name: &str,
+        args: &[ExprAst],
+        alias: Option<&str>,
+    ) -> Result<Agg, CompileError> {
+        let col_of = |args: &[ExprAst]| -> Result<usize, CompileError> {
+            match args {
+                [ExprAst::Col(c)] => Self::resolve_col(input, c),
+                [ExprAst::Pos(i)] => Ok(*i),
+                _ => Err(CompileError::Invalid("aggregate takes one column")),
+            }
+        };
+        let upper = name.to_ascii_uppercase();
+        let agg = match upper.as_str() {
+            "COUNT" => match args {
+                [ExprAst::Star] => Agg::count(),
+                _ => Agg::count(), // COUNT(col) counts rows in this dialect too
+            },
+            "SUM" => Agg::sum(col_of(args)?),
+            "AVG" => Agg::avg(col_of(args)?),
+            "MIN" => Agg::min(col_of(args)?),
+            "MAX" => Agg::max(col_of(args)?),
+            "COUNT_DISTINCT" => Agg::count_distinct(col_of(args)?),
+            _ => return Err(CompileError::UnknownFunction(name.to_string())),
+        };
+        Ok(match alias {
+            Some(a) => agg.named(a),
+            None => agg.named(upper.to_ascii_lowercase()),
+        })
+    }
+
+    /// FOREACH over a pending GROUP: keys + aggregates → `aggregate_by`.
+    fn compile_grouped_foreach(
+        &self,
+        input: Plan,
+        keys: Vec<usize>,
+        gens: &[(ExprAst, Option<String>)],
+    ) -> Result<Plan, CompileError> {
+        let mut aggs = Vec::new();
+        for (gen, alias) in gens {
+            match gen {
+                // References to group keys are implicit in aggregate_by's
+                // output (keys come first); accept and ignore them as long
+                // as they are actual keys.
+                ExprAst::Col(name) => {
+                    let idx = Self::resolve_col(&input, name)?;
+                    if !keys.contains(&idx) {
+                        return Err(CompileError::BadAggregateProjection);
+                    }
+                }
+                ExprAst::Call { name, args } if is_aggregate(name) => {
+                    aggs.push(Self::compile_agg(&input, name, args, alias.as_deref())?);
+                }
+                _ => return Err(CompileError::BadAggregateProjection),
+            }
+        }
+        if aggs.is_empty() {
+            return Err(CompileError::BadAggregateProjection);
+        }
+        Ok(input.aggregate_by(keys, aggs))
+    }
+
+    /// Compiles one relational operator into a plan.
+    pub(super) fn compile_op(
+        &mut self,
+        op: &OpAst,
+        load: &mut LoadFn<'_>,
+    ) -> Result<Plan, CompileError> {
+        Ok(match op {
+            OpAst::Load {
+                path,
+                loader,
+                args,
+                schema,
+            } => load(path, loader, args, schema)?,
+            OpAst::Filter { input, expr } => {
+                let plan = self.take_plan(input)?;
+                let predicate = self.compile_expr(&plan, expr)?;
+                plan.filter(predicate)
+            }
+            OpAst::Foreach { input, gens } => {
+                // The GROUP-then-aggregate idiom.
+                if let Some(Some(Rel::Grouped { .. })) = self.rels.get(input) {
+                    let Rel::Grouped { input: plan, keys } = self.take(input)? else {
+                        unreachable!("checked above");
+                    };
+                    return self.compile_grouped_foreach(plan, keys, gens);
+                }
+                let plan = self.take_plan(input)?;
+                let mut cols = Vec::with_capacity(gens.len());
+                for (i, (gen, alias)) in gens.iter().enumerate() {
+                    let name = alias.clone().unwrap_or_else(|| {
+                        if let ExprAst::Col(c) = gen {
+                            c.clone()
+                        } else {
+                            format!("col{i}")
+                        }
+                    });
+                    let e = self.compile_expr(&plan, gen)?;
+                    cols.push((name, e));
+                }
+                plan.foreach(cols)
+            }
+            OpAst::Group { input, keys } => {
+                // Deferred: stored symbolically by the caller.
+                let plan = self.take_plan(input)?;
+                let key_cols = Self::key_columns(&plan, keys)?;
+                return Ok(plan.group_by(key_cols));
+            }
+            OpAst::Join {
+                left,
+                left_keys,
+                right,
+                right_keys,
+            } => {
+                let lp = self.take_plan(left)?;
+                let rp = self.take_plan(right)?;
+                let lk = Self::key_columns(&lp, left_keys)?;
+                let rk = Self::key_columns(&rp, right_keys)?;
+                lp.join(rp, lk, rk)
+            }
+            OpAst::Order { input, keys } => {
+                let plan = self.take_plan(input)?;
+                let mut sort = Vec::with_capacity(keys.len());
+                for (k, asc) in keys {
+                    let idx = match k {
+                        ExprAst::Col(name) => Self::resolve_col(&plan, name)?,
+                        ExprAst::Pos(i) => *i,
+                        _ => return Err(CompileError::Invalid("ORDER keys must be columns")),
+                    };
+                    sort.push((idx, if *asc { SortOrder::Asc } else { SortOrder::Desc }));
+                }
+                plan.order_by(sort)
+            }
+            OpAst::Distinct(input) => self.take_plan(input)?.distinct(),
+            OpAst::Limit(input, n) => self.take_plan(input)?.limit(*n),
+            OpAst::Union(inputs) => {
+                let mut plans = Vec::with_capacity(inputs.len());
+                for i in inputs {
+                    plans.push(self.take_plan(i)?);
+                }
+                let first = plans.remove(0);
+                first.union(plans)
+            }
+        })
+    }
+
+    /// Stores a GROUP symbolically so a following FOREACH can aggregate.
+    pub(super) fn assign_group(
+        &mut self,
+        name: String,
+        input: &str,
+        keys: &[ExprAst],
+    ) -> Result<(), CompileError> {
+        let plan = self.take_plan(input)?;
+        let key_cols = Self::key_columns(&plan, keys)?;
+        self.insert(
+            name,
+            Rel::Grouped {
+                input: plan,
+                keys: key_cols,
+            },
+        );
+        Ok(())
+    }
+}

@@ -1,0 +1,35 @@
+//! A Pig Latin front-end for the dataflow engine.
+//!
+//! The paper presents its analyses as Pig scripts (§5.2, §5.3):
+//!
+//! ```text
+//! define CountClientEvents CountClientEvents('$EVENTS');
+//! raw = load '/session_sequences/$DATE/' using SessionSequencesLoader();
+//! generated = foreach raw generate CountClientEvents(symbols);
+//! grouped = group generated all;
+//! count = foreach grouped generate SUM(generated);
+//! dump count;
+//! ```
+//!
+//! This module lets those scripts run verbatim: a lexer ([`mod@lex`]), a
+//! recursive-descent parser ([`mod@parse`]), and a compiler ([`compile`]) that
+//! lowers statements onto [`crate::plan::Plan`] builders and executes them
+//! with the engine. Loaders and UDFs are resolved through registries the
+//! host populates ([`runner::ScriptRunner`]), and `$PARAMS` are substituted
+//! before lexing, exactly like Pig's parameter substitution.
+//!
+//! The dialect is the subset the paper uses plus the obvious neighbours:
+//! `DEFINE`, `LOAD … USING … AS`, `FILTER … BY`, `FOREACH … GENERATE`,
+//! `GROUP … BY/ALL`, `JOIN … BY`, `ORDER … BY`, `DISTINCT`, `LIMIT`,
+//! `UNION`, `DUMP`, and `STORE … INTO`.
+
+pub mod ast;
+pub mod compile;
+pub mod lex;
+pub mod parse;
+pub mod runner;
+
+pub use ast::{ExprAst, OpAst, Stmt};
+pub use lex::{lex, Token};
+pub use parse::parse;
+pub use runner::{ScriptError, ScriptOutput, ScriptRunner};

@@ -1,0 +1,542 @@
+//! Recursive-descent parser for the Pig dialect.
+
+use std::fmt;
+
+use super::ast::{ExprAst, OpAst, Stmt};
+use super::lex::Token;
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Input ended mid-statement.
+    UnexpectedEnd,
+    /// A token that does not fit the grammar at its position.
+    Unexpected {
+        /// The offending token, rendered.
+        token: String,
+        /// What the parser was trying to parse.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedEnd => write!(f, "unexpected end of script"),
+            ParseError::Unexpected { token, context } => {
+                write!(f, "unexpected token {token:?} while parsing {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> PResult<&'a Token> {
+        let t = self.toks.get(self.pos).ok_or(ParseError::UnexpectedEnd)?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn unexpected<T>(&self, token: &Token, context: &'static str) -> PResult<T> {
+        Err(ParseError::Unexpected {
+            token: token.to_string(),
+            context,
+        })
+    }
+
+    /// Consumes an identifier token, returning its text.
+    fn ident(&mut self, context: &'static str) -> PResult<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s.clone()),
+            other => self.unexpected(other, context),
+        }
+    }
+
+    /// True (and consume) if the next token is the keyword `kw`
+    /// (case-insensitive).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        match self.peek() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &'static str) -> PResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(t) => self.unexpected(t, "keyword"),
+                None => Err(ParseError::UnexpectedEnd),
+            }
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Token, context: &'static str) -> PResult<()> {
+        let got = self.next()?;
+        if *got == t {
+            Ok(())
+        } else {
+            self.unexpected(got, context)
+        }
+    }
+
+    fn string(&mut self, context: &'static str) -> PResult<String> {
+        match self.next()? {
+            Token::Str(s) => Ok(s.clone()),
+            other => self.unexpected(other, context),
+        }
+    }
+
+    /// `Name('a', 'b', 3)` → (name, args-as-strings). The parens are
+    /// optional (`USING Loader` with no args).
+    fn call_with_string_args(&mut self, context: &'static str) -> PResult<(String, Vec<String>)> {
+        let name = self.ident(context)?;
+        let mut args = Vec::new();
+        if self.eat(&Token::LParen) && !self.eat(&Token::RParen) {
+            loop {
+                match self.next()? {
+                    Token::Str(s) => args.push(s.clone()),
+                    Token::Int(v) => args.push(v.to_string()),
+                    Token::Float(v) => args.push(v.to_string()),
+                    other => return self.unexpected(other, context),
+                }
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                self.expect(Token::Comma, context)?;
+            }
+        }
+        Ok((name, args))
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> PResult<ExprAst> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<ExprAst> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = ExprAst::Bin("or".into(), Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> PResult<ExprAst> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = ExprAst::Bin("and".into(), Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> PResult<ExprAst> {
+        if self.eat_kw("not") {
+            Ok(ExprAst::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> PResult<ExprAst> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => "==",
+            Some(Token::Ne) => "!=",
+            Some(Token::Lt) => "<",
+            Some(Token::Le) => "<=",
+            Some(Token::Gt) => ">",
+            Some(Token::Ge) => ">=",
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.add_expr()?;
+        Ok(ExprAst::Bin(op.into(), Box::new(left), Box::new(right)))
+    }
+
+    fn add_expr(&mut self) -> PResult<ExprAst> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => "+",
+                Some(Token::Minus) => "-",
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = ExprAst::Bin(op.into(), Box::new(left), Box::new(right));
+        }
+    }
+
+    fn mul_expr(&mut self) -> PResult<ExprAst> {
+        let mut left = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => "*",
+                Some(Token::Slash) => "/",
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.atom()?;
+            left = ExprAst::Bin(op.into(), Box::new(left), Box::new(right));
+        }
+    }
+
+    fn atom(&mut self) -> PResult<ExprAst> {
+        match self.next()? {
+            Token::Int(v) => Ok(ExprAst::Int(*v)),
+            Token::Float(v) => Ok(ExprAst::Float(*v)),
+            Token::Str(s) => Ok(ExprAst::Str(s.clone())),
+            Token::Positional(i) => Ok(ExprAst::Pos(*i)),
+            Token::Star => Ok(ExprAst::Star),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(Token::RParen, "parenthesized expression")?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Token::RParen) {
+                                break;
+                            }
+                            self.expect(Token::Comma, "call arguments")?;
+                        }
+                    }
+                    Ok(ExprAst::Call {
+                        name: name.clone(),
+                        args,
+                    })
+                } else {
+                    Ok(ExprAst::Col(name.clone()))
+                }
+            }
+            other => self.unexpected(other, "expression"),
+        }
+    }
+
+    /// A parenthesized or bare key list: `(a, b)` or `a`.
+    fn key_list(&mut self) -> PResult<Vec<ExprAst>> {
+        if self.eat(&Token::LParen) {
+            let mut keys = Vec::new();
+            loop {
+                keys.push(self.expr()?);
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                self.expect(Token::Comma, "key list")?;
+            }
+            Ok(keys)
+        } else {
+            Ok(vec![self.expr()?])
+        }
+    }
+
+    // ---- statements ----
+
+    fn op(&mut self) -> PResult<OpAst> {
+        if self.eat_kw("load") {
+            let path = self.string("LOAD path")?;
+            self.expect_kw("using")?;
+            let (loader, args) = self.call_with_string_args("LOAD USING")?;
+            let mut schema = Vec::new();
+            if self.eat_kw("as") {
+                self.expect(Token::LParen, "AS schema")?;
+                loop {
+                    schema.push(self.ident("AS schema column")?);
+                    if self.eat(&Token::RParen) {
+                        break;
+                    }
+                    self.expect(Token::Comma, "AS schema")?;
+                }
+            }
+            return Ok(OpAst::Load {
+                path,
+                loader,
+                args,
+                schema,
+            });
+        }
+        if self.eat_kw("filter") {
+            let input = self.ident("FILTER input")?;
+            self.expect_kw("by")?;
+            return Ok(OpAst::Filter {
+                input,
+                expr: self.expr()?,
+            });
+        }
+        if self.eat_kw("foreach") {
+            let input = self.ident("FOREACH input")?;
+            self.expect_kw("generate")?;
+            let mut gens = Vec::new();
+            loop {
+                let e = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident("GENERATE alias")?)
+                } else {
+                    None
+                };
+                gens.push((e, alias));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            return Ok(OpAst::Foreach { input, gens });
+        }
+        if self.eat_kw("group") {
+            let input = self.ident("GROUP input")?;
+            if self.eat_kw("all") {
+                return Ok(OpAst::Group {
+                    input,
+                    keys: Vec::new(),
+                });
+            }
+            self.expect_kw("by")?;
+            return Ok(OpAst::Group {
+                input,
+                keys: self.key_list()?,
+            });
+        }
+        if self.eat_kw("join") {
+            let left = self.ident("JOIN left")?;
+            self.expect_kw("by")?;
+            let left_keys = self.key_list()?;
+            self.expect(Token::Comma, "JOIN")?;
+            let right = self.ident("JOIN right")?;
+            self.expect_kw("by")?;
+            let right_keys = self.key_list()?;
+            return Ok(OpAst::Join {
+                left,
+                left_keys,
+                right,
+                right_keys,
+            });
+        }
+        if self.eat_kw("order") {
+            let input = self.ident("ORDER input")?;
+            self.expect_kw("by")?;
+            let mut keys = Vec::new();
+            loop {
+                let e = self.expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                keys.push((e, asc));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            return Ok(OpAst::Order { input, keys });
+        }
+        if self.eat_kw("distinct") {
+            return Ok(OpAst::Distinct(self.ident("DISTINCT input")?));
+        }
+        if self.eat_kw("limit") {
+            let input = self.ident("LIMIT input")?;
+            match self.next()? {
+                Token::Int(n) if *n >= 0 => return Ok(OpAst::Limit(input, *n as usize)),
+                other => return self.unexpected(other, "LIMIT count"),
+            }
+        }
+        if self.eat_kw("union") {
+            let mut inputs = vec![self.ident("UNION input")?];
+            while self.eat(&Token::Comma) {
+                inputs.push(self.ident("UNION input")?);
+            }
+            return Ok(OpAst::Union(inputs));
+        }
+        match self.peek() {
+            Some(t) => self.unexpected(t, "relational operator"),
+            None => Err(ParseError::UnexpectedEnd),
+        }
+    }
+
+    fn statement(&mut self) -> PResult<Stmt> {
+        if self.eat_kw("define") {
+            let alias = self.ident("DEFINE alias")?;
+            let (udf, args) = self.call_with_string_args("DEFINE constructor")?;
+            self.expect(Token::Semi, "DEFINE")?;
+            return Ok(Stmt::Define { alias, udf, args });
+        }
+        if self.eat_kw("dump") {
+            let rel = self.ident("DUMP relation")?;
+            self.expect(Token::Semi, "DUMP")?;
+            return Ok(Stmt::Dump(rel));
+        }
+        if self.eat_kw("store") {
+            let rel = self.ident("STORE relation")?;
+            self.expect_kw("into")?;
+            let path = self.string("STORE path")?;
+            self.expect(Token::Semi, "STORE")?;
+            return Ok(Stmt::Store { rel, path });
+        }
+        // name = op ;
+        let name = self.ident("assignment")?;
+        self.expect(Token::Assign, "assignment")?;
+        let op = self.op()?;
+        self.expect(Token::Semi, "assignment")?;
+        Ok(Stmt::Assign { name, op })
+    }
+}
+
+/// Parses a whole script into statements.
+pub fn parse(tokens: &[Token]) -> Result<Vec<Stmt>, ParseError> {
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    while p.peek().is_some() {
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lex::lex;
+    use super::*;
+
+    fn parse_src(src: &str) -> Vec<Stmt> {
+        parse(&lex(src).expect("lexes")).expect("parses")
+    }
+
+    #[test]
+    fn parses_the_papers_counting_script() {
+        let stmts = parse_src(
+            "define CountClientEvents CountClientEvents('web:home:mentions:*');\n\
+             raw = load '/session_sequences/2012/08/21/' using SessionSequencesLoader();\n\
+             generated = foreach raw generate CountClientEvents(sequence);\n\
+             grouped = group generated all;\n\
+             count = foreach grouped generate SUM(n);\n\
+             dump count;",
+        );
+        assert_eq!(stmts.len(), 6);
+        assert!(matches!(&stmts[0], Stmt::Define { alias, .. } if alias == "CountClientEvents"));
+        assert!(matches!(&stmts[1], Stmt::Assign { op: OpAst::Load { .. }, .. }));
+        assert!(
+            matches!(&stmts[3], Stmt::Assign { op: OpAst::Group { keys, .. }, .. } if keys.is_empty())
+        );
+        assert!(matches!(&stmts[5], Stmt::Dump(r) if r == "count"));
+    }
+
+    #[test]
+    fn parses_filters_with_precedence() {
+        let stmts = parse_src("x = filter a by n > 1 and not action == 'click' or 2 + 3 * 4 == 14;");
+        let Stmt::Assign {
+            op: OpAst::Filter { expr, .. },
+            ..
+        } = &stmts[0]
+        else {
+            panic!("expected filter");
+        };
+        // Top level is OR.
+        assert!(matches!(expr, ExprAst::Bin(op, _, _) if op == "or"));
+    }
+
+    #[test]
+    fn parses_join_group_order_distinct_limit_union() {
+        let stmts = parse_src(
+            "j = join a by (u, s), b by (u2, s2);\n\
+             g = group j by u;\n\
+             o = order g by u desc, s asc;\n\
+             d = distinct o;\n\
+             l = limit d 10;\n\
+             u = union a, b, l;\n\
+             store u into '/out';",
+        );
+        assert_eq!(stmts.len(), 7);
+        assert!(matches!(
+            &stmts[0],
+            Stmt::Assign { op: OpAst::Join { left_keys, .. }, .. } if left_keys.len() == 2
+        ));
+        assert!(matches!(
+            &stmts[2],
+            Stmt::Assign { op: OpAst::Order { keys, .. }, .. }
+                if keys.len() == 2 && !keys[0].1 && keys[1].1
+        ));
+        assert!(matches!(&stmts[6], Stmt::Store { path, .. } if path == "/out"));
+    }
+
+    #[test]
+    fn load_with_schema_and_loader_args() {
+        let stmts = parse_src("r = load '/d' using CsvLoader(3) as (a, b, c);");
+        let Stmt::Assign {
+            op: OpAst::Load { loader, args, schema, .. },
+            ..
+        } = &stmts[0]
+        else {
+            panic!();
+        };
+        assert_eq!(loader, "CsvLoader");
+        assert_eq!(args, &["3"]);
+        assert_eq!(schema, &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn count_star_parses() {
+        let stmts = parse_src("c = foreach g generate COUNT(*) as total;");
+        let Stmt::Assign {
+            op: OpAst::Foreach { gens, .. },
+            ..
+        } = &stmts[0]
+        else {
+            panic!();
+        };
+        assert!(matches!(
+            &gens[0].0,
+            ExprAst::Call { name, args } if name == "COUNT" && args == &[ExprAst::Star]
+        ));
+        assert_eq!(gens[0].1.as_deref(), Some("total"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&lex("x = ;").unwrap()).is_err());
+        assert!(parse(&lex("dump").unwrap()).is_err());
+        assert!(parse(&lex("x = load 'p';").unwrap()).is_err(), "USING required");
+        assert!(parse(&lex("filter a by x;").unwrap()).is_err(), "bare op");
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let stmts = parse_src("R = LOAD '/d' USING L() AS (x); DUMP R;");
+        assert_eq!(stmts.len(), 2);
+    }
+}

@@ -1,0 +1,458 @@
+//! The script runner: registries, parameter substitution, execution.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use uli_warehouse::WhPath;
+
+use crate::exec::{Engine, QueryResult};
+use crate::loader::Loader;
+use crate::udf::ScalarUdf;
+
+use super::ast::{OpAst, Stmt};
+use super::compile::{CompileError, Env, Rel};
+use super::lex::{lex, LexError};
+use super::parse::{parse, ParseError};
+
+/// Everything that can go wrong running a script.
+#[derive(Debug)]
+pub enum ScriptError {
+    /// Tokenizer failure.
+    Lex(LexError),
+    /// Parser failure.
+    Parse(ParseError),
+    /// Compilation failure.
+    Compile(CompileError),
+    /// An unbound `$PARAM`.
+    UnboundParameter(String),
+    /// Unknown loader in `USING`.
+    UnknownLoader(String),
+    /// Unknown UDF in `DEFINE`.
+    UnknownUdf(String),
+    /// A LOAD with neither an `AS` schema nor a loader default.
+    MissingSchema(String),
+    /// Execution failure.
+    Exec(crate::error::DataflowError),
+    /// STORE destination problems.
+    Store(uli_warehouse::WarehouseError),
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Lex(e) => write!(f, "lex error: {e}"),
+            ScriptError::Parse(e) => write!(f, "parse error: {e}"),
+            ScriptError::Compile(e) => write!(f, "compile error: {e}"),
+            ScriptError::UnboundParameter(p) => write!(f, "unbound parameter ${p}"),
+            ScriptError::UnknownLoader(l) => write!(f, "unknown loader {l:?}"),
+            ScriptError::UnknownUdf(u) => write!(f, "unknown UDF {u:?}"),
+            ScriptError::MissingSchema(r) => {
+                write!(f, "LOAD {r:?} needs an AS(...) schema or a loader default")
+            }
+            ScriptError::Exec(e) => write!(f, "execution error: {e}"),
+            ScriptError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+impl From<CompileError> for ScriptError {
+    fn from(e: CompileError) -> Self {
+        ScriptError::Compile(e)
+    }
+}
+
+/// The result of one `DUMP`.
+#[derive(Debug, Clone)]
+pub struct ScriptOutput {
+    /// The dumped relation's name.
+    pub relation: String,
+    /// Its rows and stats.
+    pub result: QueryResult,
+}
+
+type LoaderFactory =
+    Box<dyn Fn(&[String]) -> Result<(Arc<dyn Loader>, Vec<String>), String> + Send + Sync>;
+type UdfFactory = Box<dyn Fn(&[String]) -> Result<Arc<dyn ScalarUdf>, String> + Send + Sync>;
+
+/// Runs Pig scripts against an [`Engine`].
+pub struct ScriptRunner {
+    engine: Engine,
+    loaders: HashMap<String, LoaderFactory>,
+    udfs: HashMap<String, UdfFactory>,
+    params: HashMap<String, String>,
+}
+
+impl ScriptRunner {
+    /// A runner with the built-in `CsvLoader(n)` registered.
+    pub fn new(engine: Engine) -> ScriptRunner {
+        let mut r = ScriptRunner {
+            engine,
+            loaders: HashMap::new(),
+            udfs: HashMap::new(),
+            params: HashMap::new(),
+        };
+        r.register_loader("CsvLoader", |args| {
+            let fields: usize = args
+                .first()
+                .ok_or("CsvLoader needs a field count")?
+                .parse()
+                .map_err(|_| "CsvLoader field count must be an integer")?;
+            Ok((
+                Arc::new(crate::loader::CsvLoader::new(fields)) as Arc<dyn Loader>,
+                Vec::new(),
+            ))
+        });
+        r
+    }
+
+    /// Registers a loader constructor. It returns the loader plus its
+    /// default schema (used when the script omits `AS (…)`).
+    pub fn register_loader(
+        &mut self,
+        name: &str,
+        factory: impl Fn(&[String]) -> Result<(Arc<dyn Loader>, Vec<String>), String>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.loaders.insert(name.to_string(), Box::new(factory));
+    }
+
+    /// Registers a UDF constructor for `DEFINE`.
+    pub fn register_udf(
+        &mut self,
+        name: &str,
+        factory: impl Fn(&[String]) -> Result<Arc<dyn ScalarUdf>, String> + Send + Sync + 'static,
+    ) {
+        self.udfs.insert(name.to_string(), Box::new(factory));
+    }
+
+    /// Binds a `$NAME` parameter.
+    pub fn set_param(&mut self, name: &str, value: &str) {
+        self.params.insert(name.to_string(), value.to_string());
+    }
+
+    /// Pig-style parameter substitution: `$NAME` → bound value. `$<digits>`
+    /// (positional columns) pass through untouched.
+    fn substitute(&self, src: &str) -> Result<String, ScriptError> {
+        let chars: Vec<char> = src.chars().collect();
+        let mut out = String::with_capacity(src.len());
+        let mut i = 0;
+        while i < chars.len() {
+            if chars[i] == '$' && chars.get(i + 1).is_some_and(|c| c.is_ascii_alphabetic()) {
+                let start = i + 1;
+                let mut end = start;
+                while end < chars.len()
+                    && (chars[end].is_ascii_alphanumeric() || chars[end] == '_')
+                {
+                    end += 1;
+                }
+                let name: String = chars[start..end].iter().collect();
+                let value = self
+                    .params
+                    .get(&name)
+                    .ok_or_else(|| ScriptError::UnboundParameter(name.clone()))?;
+                out.push_str(value);
+                i = end;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs a script; returns one [`ScriptOutput`] per `DUMP`, in order.
+    pub fn run(&self, source: &str) -> Result<Vec<ScriptOutput>, ScriptError> {
+        let substituted = self.substitute(source)?;
+        let tokens = lex(&substituted).map_err(ScriptError::Lex)?;
+        let stmts = parse(&tokens).map_err(ScriptError::Parse)?;
+
+        let mut env = Env::new();
+        let mut outputs = Vec::new();
+        for stmt in &stmts {
+            match stmt {
+                Stmt::Define { alias, udf, args } => {
+                    let factory = self
+                        .udfs
+                        .get(udf)
+                        .ok_or_else(|| ScriptError::UnknownUdf(udf.clone()))?;
+                    let built = factory(args).map_err(CompileError::Factory)?;
+                    env.defines.insert(alias.clone(), built);
+                }
+                Stmt::Assign { name, op } => match op {
+                    OpAst::Group { input, keys } => {
+                        env.assign_group(name.clone(), input, keys)?;
+                    }
+                    other => {
+                        let mut load = |path: &str,
+                                        loader: &str,
+                                        args: &[String],
+                                        schema: &[String]|
+                         -> Result<crate::plan::Plan, CompileError> {
+                            let factory = self.loaders.get(loader).ok_or_else(|| {
+                                CompileError::Factory(format!("unknown loader {loader:?}"))
+                            })?;
+                            let (built, default_schema) =
+                                factory(args).map_err(CompileError::Factory)?;
+                            let schema: Vec<String> = if schema.is_empty() {
+                                default_schema
+                            } else {
+                                schema.to_vec()
+                            };
+                            if schema.is_empty() {
+                                return Err(CompileError::Factory(format!(
+                                    "loader {loader:?} needs an AS(...) schema"
+                                )));
+                            }
+                            let dir = WhPath::parse(path.trim_end_matches('/')).map_err(|e| {
+                                CompileError::Factory(format!("bad LOAD path: {e}"))
+                            })?;
+                            Ok(crate::plan::Plan::load(dir, built, schema))
+                        };
+                        let plan = env.compile_op(other, &mut load)?;
+                        env.insert(name.clone(), Rel::Plan(plan));
+                    }
+                },
+                Stmt::Dump(rel) => {
+                    let plan = env.take_plan(rel)?;
+                    let result = self.engine.run(&plan).map_err(ScriptError::Exec)?;
+                    outputs.push(ScriptOutput {
+                        relation: rel.clone(),
+                        result,
+                    });
+                }
+                Stmt::Store { rel, path } => {
+                    let plan = env.take_plan(rel)?;
+                    let result = self.engine.run(&plan).map_err(ScriptError::Exec)?;
+                    let dir = WhPath::parse(path.trim_end_matches('/'))
+                        .map_err(ScriptError::Store)?;
+                    let file = dir.child("part-00000").map_err(ScriptError::Store)?;
+                    let mut w = self
+                        .engine
+                        .warehouse()
+                        .create(&file)
+                        .map_err(ScriptError::Store)?;
+                    for row in &result.rows {
+                        let line: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                        w.append_record(line.join(",").as_bytes());
+                    }
+                    w.finish().map_err(ScriptError::Store)?;
+                }
+            }
+        }
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use uli_warehouse::Warehouse;
+
+    fn fixture() -> Warehouse {
+        let wh = Warehouse::new();
+        let dir = WhPath::parse("/logs/t").unwrap();
+        let mut w = wh.create(&dir.child("part-0").unwrap()).unwrap();
+        // user, action, amount
+        for i in 0..100i64 {
+            let action = if i % 4 == 0 { "click" } else { "impression" };
+            w.append_record(format!("{},{},{}", i % 5, action, i).as_bytes());
+        }
+        w.finish().unwrap();
+        wh
+    }
+
+    fn runner() -> ScriptRunner {
+        ScriptRunner::new(Engine::new(fixture()))
+    }
+
+    #[test]
+    fn load_filter_group_aggregate_dump() {
+        let out = runner()
+            .run(
+                "raw = load '/logs/t' using CsvLoader(3) as (user, action, amount);\n\
+                 clicks = filter raw by action == 'click';\n\
+                 grouped = group clicks all;\n\
+                 counted = foreach grouped generate COUNT(*) as n;\n\
+                 dump counted;",
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].relation, "counted");
+        assert_eq!(out[0].result.rows, vec![vec![Value::Int(25)]]);
+        // One shuffle job, combiner-friendly.
+        assert_eq!(out[0].result.stats.mr_jobs, 1);
+    }
+
+    #[test]
+    fn group_by_key_with_sum_and_order() {
+        let out = runner()
+            .run(
+                "raw = load '/logs/t' using CsvLoader(3) as (user, action, amount);\n\
+                 g = group raw by user;\n\
+                 sums = foreach g generate user, SUM(amount) as total;\n\
+                 top = order sums by total desc;\n\
+                 dump top;",
+            )
+            .unwrap();
+        let rows = &out[0].result.rows;
+        assert_eq!(rows.len(), 5);
+        // Descending totals.
+        let totals: Vec<i64> = rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert!(totals.windows(2).all(|w| w[0] >= w[1]));
+        // Grand total is 0+1+…+99.
+        assert_eq!(totals.iter().sum::<i64>(), 4950);
+    }
+
+    #[test]
+    fn parameters_substitute() {
+        let mut r = runner();
+        r.set_param("DIR", "/logs/t");
+        r.set_param("WHO", "click");
+        let out = r
+            .run(
+                "raw = load '$DIR' using CsvLoader(3) as (user, action, amount);\n\
+                 x = filter raw by action == '$WHO';\n\
+                 g = group x all;\n\
+                 c = foreach g generate COUNT(*);\n\
+                 dump c;",
+            )
+            .unwrap();
+        assert_eq!(out[0].result.rows[0][0], Value::Int(25));
+    }
+
+    #[test]
+    fn unbound_parameter_errors() {
+        let err = runner().run("raw = load '$NOPE' using CsvLoader(1) as (x);").unwrap_err();
+        assert!(matches!(err, ScriptError::UnboundParameter(p) if p == "NOPE"));
+    }
+
+    #[test]
+    fn define_and_call_udf() {
+        struct Times2;
+        impl ScalarUdf for Times2 {
+            fn name(&self) -> &'static str {
+                "Times2"
+            }
+            fn eval(&self, args: &[Value]) -> crate::error::DataflowResult<Value> {
+                Ok(Value::Int(args[0].as_int().unwrap_or(0) * 2))
+            }
+        }
+        let mut r = runner();
+        r.register_udf("Times2", |_args| Ok(Arc::new(Times2) as Arc<dyn ScalarUdf>));
+        let out = r
+            .run(
+                "define Double Times2();\n\
+                 raw = load '/logs/t' using CsvLoader(3) as (user, action, amount);\n\
+                 d = foreach raw generate Double(amount) as twice;\n\
+                 g = group d all;\n\
+                 s = foreach g generate SUM(twice);\n\
+                 dump s;",
+            )
+            .unwrap();
+        assert_eq!(out[0].result.rows[0][0], Value::Int(9900));
+    }
+
+    #[test]
+    fn join_two_relations() {
+        let wh = fixture();
+        // A tiny dimension table.
+        let dir = WhPath::parse("/dim").unwrap();
+        let mut w = wh.create(&dir.child("part-0").unwrap()).unwrap();
+        for u in 0..5 {
+            w.append_record(format!("{u},country{u}").as_bytes());
+        }
+        w.finish().unwrap();
+        let r = ScriptRunner::new(Engine::new(wh));
+        let out = r
+            .run(
+                "raw = load '/logs/t' using CsvLoader(3) as (user, action, amount);\n\
+                 dim = load '/dim' using CsvLoader(2) as (uid, country);\n\
+                 j = join raw by user, dim by uid;\n\
+                 g = group j all;\n\
+                 c = foreach g generate COUNT(*);\n\
+                 dump c;",
+            )
+            .unwrap();
+        assert_eq!(out[0].result.rows[0][0], Value::Int(100));
+    }
+
+    #[test]
+    fn store_writes_csv() {
+        let wh = fixture();
+        let r = ScriptRunner::new(Engine::new(wh.clone()));
+        r.run(
+            "raw = load '/logs/t' using CsvLoader(3) as (user, action, amount);\n\
+             top = limit raw 3;\n\
+             store top into '/out';",
+        )
+        .unwrap();
+        let stored = wh
+            .open(&WhPath::parse("/out/part-00000").unwrap())
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(stored.len(), 3);
+        assert!(String::from_utf8(stored[0].clone()).unwrap().contains(','));
+    }
+
+    #[test]
+    fn consumed_relation_errors_clearly() {
+        let err = runner()
+            .run(
+                "raw = load '/logs/t' using CsvLoader(3) as (a, b, c);\n\
+                 x = filter raw by a == 1;\n\
+                 y = filter raw by a == 2;",
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScriptError::Compile(CompileError::RelationConsumed(r)) if r == "raw"
+        ));
+    }
+
+    #[test]
+    fn aggregate_outside_group_errors() {
+        let err = runner()
+            .run(
+                "raw = load '/logs/t' using CsvLoader(3) as (a, b, c);\n\
+                 x = foreach raw generate SUM(c);",
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScriptError::Compile(CompileError::AggregateOutsideGroup(_))
+        ));
+    }
+
+    #[test]
+    fn dump_of_plain_group_materializes_bags() {
+        let out = runner()
+            .run(
+                "raw = load '/logs/t' using CsvLoader(3) as (user, action, amount);\n\
+                 g = group raw by user;\n\
+                 dump g;",
+            )
+            .unwrap();
+        assert_eq!(out[0].result.rows.len(), 5);
+        assert!(out[0].result.rows[0].last().unwrap().as_bag().is_some());
+    }
+
+    #[test]
+    fn unknown_column_mentions_schema() {
+        let err = runner()
+            .run(
+                "raw = load '/logs/t' using CsvLoader(3) as (a, b, c);\n\
+                 x = filter raw by missing == 1;",
+            )
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("missing"));
+        assert!(msg.contains("\"a\""));
+    }
+}

@@ -1,0 +1,227 @@
+//! User-defined functions and built-in aggregates.
+//!
+//! "The full expressiveness of Java is retained through a library of custom
+//! UDFs that expose core Twitter libraries" (§3). Analytics crates implement
+//! [`ScalarUdf`] for things like `CountClientEvents` and `ClientEventsFunnel`.
+
+use crate::error::{DataflowError, DataflowResult};
+use crate::value::Value;
+
+/// A scalar UDF: a pure function of one input row's values.
+pub trait ScalarUdf: Send + Sync {
+    /// Name used in plan rendering.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the function.
+    fn eval(&self, args: &[Value]) -> DataflowResult<Value>;
+}
+
+/// Built-in algebraic aggregate functions.
+///
+/// All of these are *algebraic* in the MapReduce sense: a combiner can
+/// pre-aggregate map-side, which the cost model exploits (shuffle records
+/// per map task collapse to distinct keys). `CountDistinct` is holistic —
+/// no combiner — matching the paper's distinction between cheap counts and
+/// expensive per-user statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Row count.
+    Count,
+    /// Sum of an integer/double column.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Arithmetic mean.
+    Avg,
+    /// Count of distinct values (holistic: defeats the combiner).
+    CountDistinct,
+}
+
+impl AggFunc {
+    /// True if a map-side combiner can pre-aggregate this function.
+    pub fn is_algebraic(self) -> bool {
+        !matches!(self, AggFunc::CountDistinct)
+    }
+}
+
+/// Running state for one aggregate over one group.
+#[derive(Debug, Clone)]
+pub enum AggState {
+    /// Count of rows.
+    Count(i64),
+    /// Sum and whether any value was seen.
+    Sum { total: f64, any: bool, all_int: bool },
+    /// Current minimum.
+    Min(Option<Value>),
+    /// Current maximum.
+    Max(Option<Value>),
+    /// Sum and count for the mean.
+    Avg { total: f64, n: i64 },
+    /// Set of seen values.
+    CountDistinct(std::collections::BTreeSet<Value>),
+}
+
+impl AggState {
+    /// Fresh state for a function.
+    pub fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                total: 0.0,
+                any: false,
+                all_int: true,
+            },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg { total: 0.0, n: 0 },
+            AggFunc::CountDistinct => AggState::CountDistinct(Default::default()),
+        }
+    }
+
+    /// Folds one value in. Nulls are ignored (SQL semantics), except COUNT
+    /// which counts rows.
+    pub fn accumulate(&mut self, value: &Value) -> DataflowResult<()> {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum { total, any, all_int } => {
+                if !value.is_null() {
+                    let v = value
+                        .as_double()
+                        .ok_or(DataflowError::TypeError { context: "SUM" })?;
+                    if !matches!(value, Value::Int(_)) {
+                        *all_int = false;
+                    }
+                    *total += v;
+                    *any = true;
+                }
+            }
+            AggState::Min(cur) => {
+                if !value.is_null() && cur.as_ref().is_none_or(|c| value < c) {
+                    *cur = Some(value.clone());
+                }
+            }
+            AggState::Max(cur) => {
+                if !value.is_null() && cur.as_ref().is_none_or(|c| value > c) {
+                    *cur = Some(value.clone());
+                }
+            }
+            AggState::Avg { total, n } => {
+                if !value.is_null() {
+                    *total += value
+                        .as_double()
+                        .ok_or(DataflowError::TypeError { context: "AVG" })?;
+                    *n += 1;
+                }
+            }
+            AggState::CountDistinct(set) => {
+                if !value.is_null() {
+                    set.insert(value.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value for the group.
+    pub fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::Sum { total, any, all_int } => {
+                if !any {
+                    Value::Null
+                } else if all_int {
+                    Value::Int(total as i64)
+                } else {
+                    Value::Double(total)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+            AggState::Avg { total, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(total / n as f64)
+                }
+            }
+            AggState::CountDistinct(set) => Value::Int(set.len() as i64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, vals: &[Value]) -> Value {
+        let mut st = AggState::new(func);
+        for v in vals {
+            st.accumulate(v).unwrap();
+        }
+        st.finish()
+    }
+
+    #[test]
+    fn count_counts_rows_including_nulls() {
+        assert_eq!(
+            run(AggFunc::Count, &[Value::Int(1), Value::Null, Value::Int(3)]),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn sum_skips_nulls_and_keeps_int_type() {
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Null, Value::Int(3)]),
+            Value::Int(4)
+        );
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Double(0.5)]),
+            Value::Double(1.5)
+        );
+        assert_eq!(run(AggFunc::Sum, &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn min_max() {
+        let vals = [Value::Int(5), Value::Int(2), Value::Null, Value::Int(9)];
+        assert_eq!(run(AggFunc::Min, &vals), Value::Int(2));
+        assert_eq!(run(AggFunc::Max, &vals), Value::Int(9));
+        assert_eq!(run(AggFunc::Min, &[]), Value::Null);
+    }
+
+    #[test]
+    fn avg() {
+        assert_eq!(
+            run(AggFunc::Avg, &[Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Value::Double(2.0)
+        );
+        assert_eq!(run(AggFunc::Avg, &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn count_distinct() {
+        assert_eq!(
+            run(
+                AggFunc::CountDistinct,
+                &[Value::str("a"), Value::str("b"), Value::str("a"), Value::Null]
+            ),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn algebraic_classification() {
+        assert!(AggFunc::Count.is_algebraic());
+        assert!(AggFunc::Sum.is_algebraic());
+        assert!(AggFunc::Avg.is_algebraic());
+        assert!(!AggFunc::CountDistinct.is_algebraic());
+    }
+
+    #[test]
+    fn sum_type_error() {
+        let mut st = AggState::new(AggFunc::Sum);
+        assert!(st.accumulate(&Value::str("x")).is_err());
+    }
+}

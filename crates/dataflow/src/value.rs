@@ -1,0 +1,293 @@
+//! The data model: dynamically-typed values and tuples.
+//!
+//! Mirrors Pig Latin's model: atoms, tuples, and bags. Values order totally
+//! (doubles via `total_cmp`, heterogeneous values by type rank) so they can
+//! key group-bys and sorts.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A row: a fixed-width vector of values.
+pub type Tuple = Vec<Value>;
+
+/// A dynamically-typed value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL-ish null; sorts before everything.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// Double-precision float.
+    Double(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Nested tuple.
+    Tuple(Tuple),
+    /// A bag of tuples — the output of GROUP.
+    Bag(Vec<Tuple>),
+    /// String-keyed map (Pig's `map` type; client event details).
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Type rank used to order heterogeneous values.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Double(_) => 3,
+            Value::Str(_) => 4,
+            Value::Tuple(_) => 5,
+            Value::Bag(_) => 6,
+            Value::Map(_) => 7,
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer view (ints only; no coercion).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: ints widen to doubles.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Bag view.
+    pub fn as_bag(&self) -> Option<&[Tuple]> {
+        match self {
+            Value::Bag(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Estimated serialized size in bytes, used for shuffle accounting.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 5, // average varint-ish
+            Value::Double(_) => 8,
+            Value::Str(s) => 2 + s.len() as u64,
+            Value::Tuple(t) => 2 + t.iter().map(Value::wire_size).sum::<u64>(),
+            Value::Bag(b) => {
+                4 + b
+                    .iter()
+                    .map(|t| 2 + t.iter().map(Value::wire_size).sum::<u64>())
+                    .sum::<u64>()
+            }
+            Value::Map(m) => {
+                4 + m
+                    .iter()
+                    .map(|(k, v)| 2 + k.len() as u64 + v.wire_size())
+                    .sum::<u64>()
+            }
+        }
+    }
+}
+
+/// Estimated serialized size of a whole tuple.
+pub fn tuple_wire_size(t: &[Value]) -> u64 {
+    2 + t.iter().map(Value::wire_size).sum::<u64>()
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            // Cross-numeric comparison: widen to double.
+            (Int(a), Double(b)) => (*a as f64).total_cmp(b),
+            (Double(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Tuple(a), Tuple(b)) => a.cmp(b),
+            (Bag(a), Bag(b)) => a.cmp(b),
+            (Map(a), Map(b)) => a.iter().cmp(b.iter()),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Tuple(t) => {
+                f.write_str("(")?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str(")")
+            }
+            Value::Bag(b) => write!(f, "{{{} tuples}}", b.len()),
+            Value::Map(m) => {
+                f.write_str("[")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{k}#{v}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Double(1.5) < Value::Double(2.5));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::Bool(false) < Value::Bool(true));
+    }
+
+    #[test]
+    fn cross_numeric_comparison_widens() {
+        assert_eq!(Value::Int(2), Value::Double(2.0));
+        assert!(Value::Int(1) < Value::Double(1.5));
+        assert!(Value::Double(2.5) > Value::Int(2));
+    }
+
+    #[test]
+    fn null_sorts_first_and_ranks_order_types() {
+        let mut vals = [Value::str("s"),
+            Value::Int(0),
+            Value::Null,
+            Value::Bool(true)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Int(0));
+        assert_eq!(vals[3], Value::str("s"));
+    }
+
+    #[test]
+    fn nan_is_totally_ordered() {
+        let nan = Value::Double(f64::NAN);
+        // total_cmp puts NaN above +inf; the point is no panic and
+        // reflexive equality.
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Double(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_double(), Some(5.0));
+        assert_eq!(Value::Double(2.5).as_double(), Some(2.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn wire_size_scales_with_content() {
+        assert!(Value::str("abcdef").wire_size() > Value::str("a").wire_size());
+        let bag = Value::Bag(vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        assert!(bag.wire_size() > Value::Int(1).wire_size());
+        assert_eq!(tuple_wire_size(&[Value::Int(1), Value::Int(2)]), 2 + 5 + 5);
+    }
+
+    #[test]
+    fn display_renders_tuples() {
+        let t = Value::Tuple(vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(t.to_string(), "(1,x)");
+    }
+}

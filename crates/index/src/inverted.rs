@@ -1,0 +1,222 @@
+//! The inverted block index structure.
+
+use std::collections::BTreeMap;
+
+use uli_core::event::{EventName, EventPattern};
+
+/// Per-file postings: event name → bitmap over the file's blocks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileIndex {
+    /// Number of blocks in the indexed file.
+    pub blocks: usize,
+    /// name → bitmap words (little-endian bit order: block b lives in word
+    /// b/64, bit b%64).
+    postings: BTreeMap<EventName, Vec<u64>>,
+}
+
+impl FileIndex {
+    /// An empty index for a file of `blocks` blocks.
+    pub fn new(blocks: usize) -> FileIndex {
+        FileIndex {
+            blocks,
+            postings: BTreeMap::new(),
+        }
+    }
+
+    fn words(blocks: usize) -> usize {
+        blocks.div_ceil(64)
+    }
+
+    /// Records that `name` occurs in `block`.
+    pub fn insert(&mut self, name: &EventName, block: usize) {
+        assert!(block < self.blocks, "block {block} out of {}", self.blocks);
+        let words = Self::words(self.blocks);
+        let bitmap = self
+            .postings
+            .entry(name.clone())
+            .or_insert_with(|| vec![0; words]);
+        bitmap[block / 64] |= 1 << (block % 64);
+    }
+
+    /// Keep-mask over blocks for any event matching `pattern`: the union of
+    /// matching postings. `None` when no posting matches (scan nothing).
+    pub fn blocks_for(&self, pattern: &EventPattern) -> Vec<bool> {
+        let words = Self::words(self.blocks);
+        let mut acc = vec![0u64; words];
+        for (name, bitmap) in &self.postings {
+            if pattern.matches(name) {
+                for (a, b) in acc.iter_mut().zip(bitmap) {
+                    *a |= b;
+                }
+            }
+        }
+        (0..self.blocks)
+            .map(|b| acc[b / 64] & (1 << (b % 64)) != 0)
+            .collect()
+    }
+
+    /// Distinct names indexed.
+    pub fn name_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Iterates `(name, blocks-containing)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&EventName, Vec<usize>)> {
+        self.postings.iter().map(move |(name, bitmap)| {
+            let blocks: Vec<usize> = (0..self.blocks)
+                .filter(|b| bitmap[b / 64] & (1 << (b % 64)) != 0)
+                .collect();
+            (name, blocks)
+        })
+    }
+}
+
+/// Index over every file of a data directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventBlockIndex {
+    files: BTreeMap<String, FileIndex>,
+}
+
+impl EventBlockIndex {
+    /// An empty directory index.
+    pub fn new() -> EventBlockIndex {
+        EventBlockIndex::default()
+    }
+
+    /// Adds (or replaces) a file's index.
+    pub fn insert_file(&mut self, path: impl Into<String>, index: FileIndex) {
+        self.files.insert(path.into(), index);
+    }
+
+    /// The index of one file, if present.
+    pub fn file(&self, path: &str) -> Option<&FileIndex> {
+        self.files.get(path)
+    }
+
+    /// Number of indexed files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Iterates `(path, index)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FileIndex)> {
+        self.files.iter().map(|(p, i)| (p.as_str(), i))
+    }
+
+    /// Serializes to warehouse records: `file\tblocks\tname\tb1,b2,…`.
+    pub fn to_records(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for (path, fi) in &self.files {
+            // A header record per file preserves block counts even for
+            // files with no postings.
+            out.push(format!("F\t{path}\t{}", fi.blocks).into_bytes());
+            for (name, blocks) in fi.iter() {
+                let list: Vec<String> = blocks.iter().map(|b| b.to_string()).collect();
+                out.push(format!("P\t{path}\t{name}\t{}", list.join(",")).into_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses records from [`to_records`](Self::to_records); malformed
+    /// records are skipped.
+    pub fn from_records<I: IntoIterator<Item = Vec<u8>>>(records: I) -> EventBlockIndex {
+        let mut idx = EventBlockIndex::new();
+        for rec in records {
+            let Ok(text) = String::from_utf8(rec) else {
+                continue;
+            };
+            let parts: Vec<&str> = text.split('\t').collect();
+            match parts.as_slice() {
+                ["F", path, blocks] => {
+                    if let Ok(blocks) = blocks.parse() {
+                        idx.insert_file(*path, FileIndex::new(blocks));
+                    }
+                }
+                ["P", path, name, list] => {
+                    let Ok(name) = EventName::parse(name) else {
+                        continue;
+                    };
+                    if let Some(fi) = idx.files.get_mut(*path) {
+                        for b in list.split(',').filter_map(|b| b.parse::<usize>().ok()) {
+                            if b < fi.blocks {
+                                fi.insert(&name, b);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> EventName {
+        EventName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn insert_and_query_bitmaps() {
+        let mut fi = FileIndex::new(130); // forces multiple words
+        let click = n("web:a:b:c:d:click");
+        let imp = n("web:a:b:c:d:impression");
+        fi.insert(&click, 0);
+        fi.insert(&click, 129);
+        fi.insert(&imp, 64);
+        let mask = fi.blocks_for(&EventPattern::parse("*:click").unwrap());
+        assert!(mask[0] && mask[129]);
+        assert!(!mask[64] && !mask[1]);
+        assert_eq!(mask.iter().filter(|b| **b).count(), 2);
+
+        // Union across names.
+        let all = fi.blocks_for(&EventPattern::any());
+        assert_eq!(all.iter().filter(|b| **b).count(), 3);
+
+        // No match → all-false mask (scan nothing).
+        let none = fi.blocks_for(&EventPattern::parse("*:retweet").unwrap());
+        assert!(none.iter().all(|b| !b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_block_panics() {
+        let mut fi = FileIndex::new(4);
+        fi.insert(&n("web:a:b:c:d:x"), 4);
+    }
+
+    #[test]
+    fn directory_index_round_trips_through_records() {
+        let mut idx = EventBlockIndex::new();
+        let mut f1 = FileIndex::new(8);
+        f1.insert(&n("web:a:b:c:d:click"), 3);
+        f1.insert(&n("web:a:b:c:d:impression"), 0);
+        idx.insert_file("/logs/ce/h0/part-0", f1);
+        idx.insert_file("/logs/ce/h0/part-1", FileIndex::new(2)); // no postings
+
+        let back = EventBlockIndex::from_records(idx.to_records());
+        assert_eq!(back, idx);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.file("/logs/ce/h0/part-1").unwrap().blocks, 2);
+    }
+
+    #[test]
+    fn malformed_records_are_skipped() {
+        let idx = EventBlockIndex::from_records(vec![
+            b"garbage".to_vec(),
+            b"P\t/f\tbad name\t0".to_vec(),
+            b"F\t/f\tnot_a_number".to_vec(),
+            vec![0xff],
+        ]);
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Elephant Twin-style indexing (§6).
+//!
+//! "To complement session sequences, we have recently deployed into
+//! production a generic indexing infrastructure for handling
+//! highly-selective queries called Elephant Twin … Our Elephant Twin
+//! indexing framework integrates with Hadoop at the level of InputFormats,
+//! which means that applications and frameworks higher up the Hadoop stack
+//! can transparently take advantage of indexes 'for free' … Our indexes
+//! reside alongside the data (in contrast to Trojan layouts), and therefore
+//! re-indexing large amounts of data is feasible … we drop all indexes and
+//! rebuild from scratch."
+//!
+//! The index maps each event name to the set of *blocks* that contain it,
+//! per file. At scan time a [`uli_dataflow::BlockPruner`] intersects the
+//! query's event pattern with the index and skips every block that cannot
+//! match — splits the "InputFormat" never materializes, so mappers are
+//! never spawned for them.
+
+pub mod builder;
+pub mod inverted;
+pub mod pruner;
+
+pub use builder::{build_client_event_index, drop_index, index_dir, load_index};
+pub use inverted::{EventBlockIndex, FileIndex};
+pub use pruner::EventIndexPruner;

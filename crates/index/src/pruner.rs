@@ -1,0 +1,145 @@
+//! The scan-time integration: a [`BlockPruner`] for the dataflow engine.
+
+use std::sync::Arc;
+
+use uli_core::event::EventPattern;
+use uli_dataflow::BlockPruner;
+use uli_warehouse::{Warehouse, WhPath};
+
+use crate::inverted::EventBlockIndex;
+
+/// Prunes blocks that cannot contain events matching a pattern.
+///
+/// Attach with [`uli_dataflow::Plan::with_pruner`]; the engine consults it
+/// per file before decompressing anything — the "InputFormat level"
+/// integration that lets queries benefit "for free" (§6).
+pub struct EventIndexPruner {
+    index: Arc<EventBlockIndex>,
+    pattern: EventPattern,
+}
+
+impl EventIndexPruner {
+    /// A pruner for `pattern` backed by `index`.
+    pub fn new(index: Arc<EventBlockIndex>, pattern: EventPattern) -> Arc<EventIndexPruner> {
+        Arc::new(EventIndexPruner { index, pattern })
+    }
+}
+
+impl BlockPruner for EventIndexPruner {
+    fn prune(
+        &self,
+        _warehouse: &Warehouse,
+        file: &WhPath,
+        block_count: usize,
+    ) -> Option<Vec<bool>> {
+        let fi = self.index.file(file.as_str())?;
+        if fi.blocks != block_count {
+            // The file changed since indexing; fail open and scan it all.
+            return None;
+        }
+        Some(fi.blocks_for(&self.pattern))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_client_event_index;
+    use uli_core::client_event::{ClientEvent, ClientEventLoader, CLIENT_EVENT_SCHEMA};
+    use uli_core::event::{EventInitiator, EventName};
+    use uli_core::time::Timestamp;
+    use uli_dataflow::prelude::*;
+    use uli_thrift::ThriftRecord;
+
+    fn setup() -> (Warehouse, WhPath) {
+        let wh = Warehouse::with_block_capacity(2048);
+        let dir = WhPath::parse("/logs/ce").unwrap();
+        let mut w = wh.create(&dir.child("part-0").unwrap()).unwrap();
+        for i in 0..400usize {
+            let action = if i % 100 == 99 { "follow" } else { "impression" };
+            let ev = ClientEvent::new(
+                EventInitiator::CLIENT_USER,
+                EventName::parse(&format!("web:home:home:stream:tweet:{action}")).unwrap(),
+                i as i64,
+                format!("s-{i}"),
+                "10.0.0.1",
+                Timestamp(i as i64),
+            )
+            .with_detail("pad", "y".repeat(60));
+            w.append_record(&ev.to_bytes());
+        }
+        w.finish().unwrap();
+        (wh, dir)
+    }
+
+    fn count_follows(wh: &Warehouse, dir: &WhPath, pruner: Option<Arc<EventIndexPruner>>) -> (i64, JobStats) {
+        let mut plan = Plan::load(
+            dir.clone(),
+            Arc::new(ClientEventLoader),
+            CLIENT_EVENT_SCHEMA.to_vec(),
+        );
+        if let Some(p) = pruner {
+            plan = plan.with_pruner(p);
+        }
+        let plan = plan
+            .filter(Expr::col(1).eq(Expr::lit("web:home:home:stream:tweet:follow")))
+            .aggregate(vec![Agg::count()]);
+        let engine = Engine::new(wh.clone());
+        let r = engine.run(&plan).unwrap();
+        (r.rows[0][0].as_int().unwrap(), r.stats)
+    }
+
+    #[test]
+    fn pruned_scan_reads_fewer_blocks_same_answer() {
+        let (wh, dir) = setup();
+        let index = Arc::new(build_client_event_index(&wh, &dir).unwrap());
+        let (full_count, full_stats) = count_follows(&wh, &dir, None);
+        assert_eq!(full_count, 4);
+
+        let pruner = EventIndexPruner::new(
+            index,
+            EventPattern::parse("*:follow").unwrap(),
+        );
+        let (pruned_count, pruned_stats) = count_follows(&wh, &dir, Some(pruner));
+        assert_eq!(pruned_count, full_count, "pruning must not change results");
+        assert!(
+            pruned_stats.input_blocks < full_stats.input_blocks,
+            "index must skip blocks: {} vs {}",
+            pruned_stats.input_blocks,
+            full_stats.input_blocks
+        );
+        assert!(pruned_stats.blocks_skipped > 0);
+        assert!(pruned_stats.map_tasks < full_stats.map_tasks);
+    }
+
+    #[test]
+    fn unindexed_file_fails_open() {
+        let (wh, dir) = setup();
+        // An index built over a *different* directory knows nothing here.
+        let other = WhPath::parse("/elsewhere").unwrap();
+        wh.mkdirs(&other).unwrap();
+        let empty = Arc::new(EventBlockIndex::new());
+        let pruner = EventIndexPruner::new(empty, EventPattern::parse("*:follow").unwrap());
+        let (count, stats) = count_follows(&wh, &dir, Some(pruner));
+        assert_eq!(count, 4);
+        assert_eq!(stats.blocks_skipped, 0, "fail open: no skipping");
+    }
+
+    #[test]
+    fn stale_index_fails_open() {
+        let (wh, dir) = setup();
+        let index = build_client_event_index(&wh, &dir).unwrap();
+        // Tamper: pretend the file had a different block count.
+        let mut stale = EventBlockIndex::new();
+        for (path, _fi) in index.iter() {
+            stale.insert_file(path, crate::inverted::FileIndex::new(1));
+        }
+        let pruner = EventIndexPruner::new(
+            Arc::new(stale),
+            EventPattern::parse("*:follow").unwrap(),
+        );
+        let (count, stats) = count_follows(&wh, &dir, Some(pruner));
+        assert_eq!(count, 4);
+        assert_eq!(stats.blocks_skipped, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! The standard nightly job graph.
+//!
+//! "One common Oink data dependency is the log mover pipeline, so once logs
+//! arrive in the main data warehouse, dependent jobs are automatically
+//! triggered" (§3). This module wires the stack's recurring jobs in their
+//! production order so applications register one call instead of
+//! hand-building the DAG.
+
+use uli_core::session::Materializer;
+use uli_warehouse::Warehouse;
+
+use crate::rollup::compute_rollups;
+use crate::scheduler::Oink;
+
+/// Job name of the daily roll-up aggregation.
+pub const ROLLUPS_JOB: &str = "rollups";
+/// Job name of the daily dictionary + session-sequence materialization.
+pub const SEQUENCES_JOB: &str = "session_sequences";
+
+/// Registers the standard daily jobs against `warehouse`:
+///
+/// 1. `rollups` — the five aggregation schemas (§3.2);
+/// 2. `session_sequences` — dictionary build + sequence materialization
+///    (§4.2), dependent on the roll-ups having succeeded (both consume the
+///    same day of client events; ordering keeps warehouse scan contention
+///    and audit traces predictable).
+///
+/// Callers that also drive the log mover should register their hourly mover
+/// job *before* calling this and pass its name as `mover_dep` so the daily
+/// jobs wait for all 24 hours.
+pub fn register_nightly_jobs(oink: &mut Oink, warehouse: Warehouse, mover_dep: Option<&str>) {
+    let deps: Vec<&str> = mover_dep.into_iter().collect();
+    let wh = warehouse.clone();
+    oink.add_daily(ROLLUPS_JOB, &deps, move |day| {
+        compute_rollups(&wh, day).map(|_| ()).map_err(|e| e.to_string())
+    });
+    oink.add_daily(SEQUENCES_JOB, &[ROLLUPS_JOB], move |day| {
+        Materializer::new(warehouse.clone())
+            .run_day(day)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::JobStatus;
+    use uli_core::client_event::{ClientEvent, CLIENT_EVENTS_CATEGORY};
+    use uli_core::event::{EventInitiator, EventName};
+    use uli_core::session::sequences_dir;
+    use uli_core::time::Timestamp;
+    use uli_thrift::ThriftRecord;
+    use uli_warehouse::HourlyPartition;
+
+    fn write_hour(wh: &Warehouse, hour: u64, n: usize) {
+        let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, hour).main_dir();
+        let mut w = wh.create(&dir.child("part-0").unwrap()).unwrap();
+        for i in 0..n {
+            let ev = ClientEvent::new(
+                EventInitiator::CLIENT_USER,
+                EventName::parse("web:home:home:stream:tweet:impression").unwrap(),
+                i as i64,
+                format!("s-{i}"),
+                "1.2.3.4",
+                Timestamp::from_hour_index(hour).plus(i as i64),
+            );
+            w.append_record(&ev.to_bytes());
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn nightly_jobs_run_in_order_per_day() {
+        let wh = Warehouse::new();
+        for day in 0..2u64 {
+            write_hour(&wh, day * 24, 10);
+        }
+        let mut oink = Oink::new();
+        register_nightly_jobs(&mut oink, wh.clone(), None);
+        oink.advance_hour(47);
+        for day in 0..2 {
+            assert_eq!(oink.status(ROLLUPS_JOB, day), JobStatus::Completed);
+            assert_eq!(oink.status(SEQUENCES_JOB, day), JobStatus::Completed);
+            assert!(wh.exists(&sequences_dir(day)), "day {day} materialized");
+        }
+        // Audit trail: rollups always precede sequences within a day.
+        let ticks: Vec<(String, u64, u64)> = oink
+            .traces()
+            .iter()
+            .map(|t| (t.job.clone(), t.period, t.started_tick))
+            .collect();
+        for day in 0..2 {
+            let rollup_tick = ticks
+                .iter()
+                .find(|(j, p, _)| j == ROLLUPS_JOB && *p == day)
+                .map(|(_, _, t)| *t)
+                .expect("rollups ran");
+            let seq_tick = ticks
+                .iter()
+                .find(|(j, p, _)| j == SEQUENCES_JOB && *p == day)
+                .map(|(_, _, t)| *t)
+                .expect("sequences ran");
+            assert!(rollup_tick < seq_tick, "day {day} ordering");
+        }
+    }
+
+    #[test]
+    fn daily_jobs_wait_for_an_hourly_mover_dependency() {
+        let wh = Warehouse::new();
+        write_hour(&wh, 0, 5);
+        let mut oink = Oink::new();
+        // A mover that fails for hour 3 on its first attempt.
+        let attempts = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let a = std::sync::Arc::clone(&attempts);
+        oink.add_hourly("mover", &[], move |h| {
+            if h == 3 && a.fetch_add(1, std::sync::atomic::Ordering::SeqCst) == 0 {
+                Err("staging lagging".into())
+            } else {
+                Ok(())
+            }
+        });
+        register_nightly_jobs(&mut oink, wh, Some("mover"));
+        oink.advance_hour(23);
+        // Hour 3 failed once → day 0 blocked on first pass.
+        assert_eq!(oink.status(ROLLUPS_JOB, 0), JobStatus::Pending);
+        // Retry sweep: the mover heals, dailies run.
+        oink.advance_hour(23);
+        assert_eq!(oink.status(ROLLUPS_JOB, 0), JobStatus::Completed);
+        assert_eq!(oink.status(SEQUENCES_JOB, 0), JobStatus::Completed);
+    }
+}

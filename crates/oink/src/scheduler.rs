@@ -1,0 +1,354 @@
+//! The job scheduler: recurring jobs, dependency checking, retries.
+
+use std::collections::HashSet;
+
+use crate::trace::{ExecutionTrace, TraceStatus};
+
+/// How often a job recurs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Periodicity {
+    /// Once per simulation hour; periods are hour indexes.
+    Hourly,
+    /// Once per simulation day; periods are day indexes.
+    Daily,
+}
+
+/// Public view of a job's state for one period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Not yet attempted.
+    Pending,
+    /// Completed successfully.
+    Completed,
+    /// Attempted and failed (will be retried next advance).
+    Failed,
+}
+
+type JobAction = Box<dyn FnMut(u64) -> Result<(), String> + Send>;
+
+struct JobEntry {
+    name: String,
+    periodicity: Periodicity,
+    deps: Vec<String>,
+    action: JobAction,
+}
+
+/// The workflow manager.
+///
+/// Jobs are registered once; [`Oink::advance_hour`] drives the clock. An
+/// hourly job runs for every hour; daily jobs run when their day's last
+/// hour has been reached. A job runs only after all its dependencies have
+/// completed successfully *for the covering period*: a daily job depending
+/// on an hourly job needs all 24 hours of its day.
+#[derive(Default)]
+pub struct Oink {
+    jobs: Vec<JobEntry>,
+    completed: HashSet<(String, Periodicity, u64)>,
+    failed: HashSet<(String, Periodicity, u64)>,
+    traces: Vec<ExecutionTrace>,
+    tick: u64,
+}
+
+impl Oink {
+    /// An empty scheduler.
+    pub fn new() -> Oink {
+        Oink::default()
+    }
+
+    fn add(
+        &mut self,
+        name: &str,
+        periodicity: Periodicity,
+        deps: &[&str],
+        action: impl FnMut(u64) -> Result<(), String> + Send + 'static,
+    ) {
+        assert!(
+            !self.jobs.iter().any(|j| j.name == name),
+            "duplicate job name {name:?}"
+        );
+        for dep in deps {
+            assert!(
+                self.jobs.iter().any(|j| j.name == *dep),
+                "job {name:?} depends on unregistered {dep:?} — register dependencies first"
+            );
+        }
+        self.jobs.push(JobEntry {
+            name: name.to_string(),
+            periodicity,
+            deps: deps.iter().map(|s| s.to_string()).collect(),
+            action: Box::new(action),
+        });
+    }
+
+    /// Registers an hourly job. Dependencies must already be registered
+    /// (which also rules out cycles by construction).
+    pub fn add_hourly(
+        &mut self,
+        name: &str,
+        deps: &[&str],
+        action: impl FnMut(u64) -> Result<(), String> + Send + 'static,
+    ) {
+        self.add(name, Periodicity::Hourly, deps, action);
+    }
+
+    /// Registers a daily job.
+    pub fn add_daily(
+        &mut self,
+        name: &str,
+        deps: &[&str],
+        action: impl FnMut(u64) -> Result<(), String> + Send + 'static,
+    ) {
+        self.add(name, Periodicity::Daily, deps, action);
+    }
+
+    /// Status of a job for a period.
+    pub fn status(&self, name: &str, period: u64) -> JobStatus {
+        let Some(job) = self.jobs.iter().find(|j| j.name == name) else {
+            return JobStatus::Pending;
+        };
+        let key = (name.to_string(), job.periodicity, period);
+        if self.completed.contains(&key) {
+            JobStatus::Completed
+        } else if self.failed.contains(&key) {
+            JobStatus::Failed
+        } else {
+            JobStatus::Pending
+        }
+    }
+
+    /// The audit log.
+    pub fn traces(&self) -> &[ExecutionTrace] {
+        &self.traces
+    }
+
+    /// True if `dep` has completed everything the `period` of a
+    /// `periodicity` job needs.
+    fn dep_satisfied(&self, dep: &str, periodicity: Periodicity, period: u64) -> bool {
+        let Some(dep_job) = self.jobs.iter().find(|j| j.name == dep) else {
+            return false;
+        };
+        match (periodicity, dep_job.periodicity) {
+            (Periodicity::Hourly, Periodicity::Hourly) => {
+                self.completed.contains(&(dep.to_string(), Periodicity::Hourly, period))
+            }
+            // An hourly job depending on a daily one needs yesterday's run
+            // (the daily output available when the hour begins).
+            (Periodicity::Hourly, Periodicity::Daily) => {
+                let day = period / 24;
+                day == 0
+                    || self
+                        .completed
+                        .contains(&(dep.to_string(), Periodicity::Daily, day - 1))
+            }
+            (Periodicity::Daily, Periodicity::Daily) => {
+                self.completed.contains(&(dep.to_string(), Periodicity::Daily, period))
+            }
+            // A daily job needs all 24 hours of its day.
+            (Periodicity::Daily, Periodicity::Hourly) => (period * 24..(period + 1) * 24)
+                .all(|h| self.completed.contains(&(dep.to_string(), Periodicity::Hourly, h))),
+        }
+    }
+
+    fn run_due(&mut self, periodicity: Periodicity, period: u64) {
+        // Registration order is a valid topological order (deps must be
+        // registered first), so a single pass respects dependencies.
+        for idx in 0..self.jobs.len() {
+            if self.jobs[idx].periodicity != periodicity {
+                continue;
+            }
+            let name = self.jobs[idx].name.clone();
+            let key = (name.clone(), periodicity, period);
+            if self.completed.contains(&key) {
+                continue;
+            }
+            let blocked = self.jobs[idx]
+                .deps
+                .clone()
+                .into_iter()
+                .find(|dep| !self.dep_satisfied(dep, periodicity, period));
+            self.tick += 1;
+            if let Some(dependency) = blocked {
+                self.traces.push(ExecutionTrace {
+                    job: name,
+                    period,
+                    started_tick: self.tick,
+                    duration_ticks: 0,
+                    status: TraceStatus::Blocked { dependency },
+                });
+                continue;
+            }
+            let result = (self.jobs[idx].action)(period);
+            self.failed.remove(&key);
+            match result {
+                Ok(()) => {
+                    self.completed.insert(key);
+                    self.traces.push(ExecutionTrace {
+                        job: name,
+                        period,
+                        started_tick: self.tick,
+                        duration_ticks: 1,
+                        status: TraceStatus::Success,
+                    });
+                }
+                Err(msg) => {
+                    self.failed.insert(key);
+                    self.traces.push(ExecutionTrace {
+                        job: name,
+                        period,
+                        started_tick: self.tick,
+                        duration_ticks: 1,
+                        status: TraceStatus::Failed(msg),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Advances the clock to `hour` (inclusive), running due hourly jobs
+    /// and, at each day boundary crossed, the daily jobs. Failed or blocked
+    /// jobs are retried on every subsequent advance ("best-effort attempt
+    /// to respect periodicity constraints", §3).
+    pub fn advance_hour(&mut self, hour: u64) {
+        for h in 0..=hour {
+            self.run_due(Periodicity::Hourly, h);
+            // A day is complete once its last hour has run.
+            if h % 24 == 23 {
+                self.run_due(Periodicity::Daily, h / 24);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn hourly_jobs_run_once_per_hour() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let mut oink = Oink::new();
+        oink.add_hourly("mover", &[], move |_h| {
+            c.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        oink.advance_hour(5);
+        assert_eq!(count.load(Ordering::SeqCst), 6);
+        // Re-advancing does not re-run completed periods.
+        oink.advance_hour(5);
+        assert_eq!(count.load(Ordering::SeqCst), 6);
+        assert_eq!(oink.status("mover", 3), JobStatus::Completed);
+    }
+
+    #[test]
+    fn daily_jobs_wait_for_all_24_hours() {
+        let days = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&days);
+        let mut oink = Oink::new();
+        oink.add_hourly("mover", &[], |_h| Ok(()));
+        oink.add_daily("sessions", &["mover"], move |_day| {
+            d.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        oink.advance_hour(22);
+        assert_eq!(days.load(Ordering::SeqCst), 0, "day 0 not complete yet");
+        oink.advance_hour(23);
+        assert_eq!(days.load(Ordering::SeqCst), 1);
+        oink.advance_hour(47);
+        assert_eq!(days.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn dependent_job_blocked_until_dependency_succeeds() {
+        // The mover fails for hour 0 on its first two attempts.
+        let attempts = Arc::new(AtomicU64::new(0));
+        let a = Arc::clone(&attempts);
+        let mut oink = Oink::new();
+        oink.add_hourly("mover", &[], move |_h| {
+            if a.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err("staging not ready".into())
+            } else {
+                Ok(())
+            }
+        });
+        let ran = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&ran);
+        oink.add_hourly("aggregate", &["mover"], move |_h| {
+            r.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+
+        oink.advance_hour(0);
+        assert_eq!(oink.status("mover", 0), JobStatus::Failed);
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        // Retry twice more: mover succeeds on the third attempt, unblocking.
+        oink.advance_hour(0);
+        oink.advance_hour(0);
+        assert_eq!(oink.status("mover", 0), JobStatus::Completed);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+
+        // The audit trail recorded failure, blockage, then success.
+        let statuses: Vec<&TraceStatus> = oink.traces().iter().map(|t| &t.status).collect();
+        assert!(statuses.iter().any(|s| matches!(s, TraceStatus::Failed(_))));
+        assert!(statuses
+            .iter()
+            .any(|s| matches!(s, TraceStatus::Blocked { dependency } if dependency == "mover")));
+        assert!(statuses.iter().any(|s| **s == TraceStatus::Success));
+    }
+
+    #[test]
+    fn daily_chain_runs_in_registration_order() {
+        let order = Arc::new(parking_lot_free_log());
+        let o1 = Arc::clone(&order);
+        let o2 = Arc::clone(&order);
+        let mut oink = Oink::new();
+        oink.add_hourly("mover", &[], |_h| Ok(()));
+        oink.add_daily("dictionary", &["mover"], move |_d| {
+            o1.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        oink.add_daily("sequences", &["dictionary"], move |_d| {
+            // Sequences must observe dictionary already ran (counter >= 1).
+            assert!(o2.load(Ordering::SeqCst) >= 1);
+            Ok(())
+        });
+        oink.advance_hour(23);
+        assert_eq!(oink.status("sequences", 0), JobStatus::Completed);
+    }
+
+    fn parking_lot_free_log() -> AtomicU64 {
+        AtomicU64::new(0)
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn deps_must_be_registered_first() {
+        let mut oink = Oink::new();
+        oink.add_hourly("b", &["a"], |_h| Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        let mut oink = Oink::new();
+        oink.add_hourly("a", &[], |_h| Ok(()));
+        oink.add_hourly("a", &[], |_h| Ok(()));
+    }
+
+    #[test]
+    fn hourly_depending_on_daily_uses_previous_day() {
+        let mut oink = Oink::new();
+        oink.add_daily("dictionary", &[], |_d| Ok(()));
+        let ran = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&ran);
+        oink.add_hourly("counter", &["dictionary"], move |_h| {
+            r.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        // Day 0 hours run unconditionally (no previous day required).
+        oink.advance_hour(25);
+        assert_eq!(ran.load(Ordering::SeqCst), 26);
+    }
+}

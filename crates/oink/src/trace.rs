@@ -1,0 +1,67 @@
+//! Execution traces: the audit log.
+
+/// Terminal status of one job execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceStatus {
+    /// Ran and succeeded.
+    Success,
+    /// Ran and failed, with the job's error message.
+    Failed(String),
+    /// Never ran because a dependency had not completed successfully.
+    Blocked {
+        /// The dependency that blocked this job.
+        dependency: String,
+    },
+}
+
+/// One entry of the audit log: "when a job began, how long it lasted,
+/// whether it completed successfully" (§3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionTrace {
+    /// Job name.
+    pub job: String,
+    /// The period index (hour index for hourly jobs, day index for daily).
+    pub period: u64,
+    /// Logical tick at which the attempt started.
+    pub started_tick: u64,
+    /// Logical ticks the job consumed (1 per job in this simulation).
+    pub duration_ticks: u64,
+    /// Outcome.
+    pub status: TraceStatus,
+}
+
+impl ExecutionTrace {
+    /// True if this execution succeeded.
+    pub fn succeeded(&self) -> bool {
+        self.status == TraceStatus::Success
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_helpers() {
+        let t = ExecutionTrace {
+            job: "rollup".into(),
+            period: 3,
+            started_tick: 10,
+            duration_ticks: 1,
+            status: TraceStatus::Success,
+        };
+        assert!(t.succeeded());
+        let f = ExecutionTrace {
+            status: TraceStatus::Failed("boom".into()),
+            ..t.clone()
+        };
+        assert!(!f.succeeded());
+        let b = ExecutionTrace {
+            status: TraceStatus::Blocked {
+                dependency: "mover".into(),
+            },
+            ..t
+        };
+        assert!(!b.succeeded());
+    }
+}

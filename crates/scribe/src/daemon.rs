@@ -1,0 +1,235 @@
+//! The per-host Scribe daemon.
+//!
+//! "A Scribe daemon runs on every production host and is responsible for
+//! sending local log data across the network to a cluster of dedicated
+//! aggregators in the same datacenter. … the Scribe daemons consult
+//! \[ZooKeeper\] to find a live aggregator they can connect to. If an
+//! aggregator crashes … Scribe daemons simply check ZooKeeper again to find
+//! another live aggregator. The same mechanism is used for balancing load
+//! across aggregators." (§2)
+
+use std::collections::VecDeque;
+
+use uli_coord::Session;
+
+use crate::aggregator::{endpoint_key, registry_path};
+use crate::message::LogEntry;
+use crate::network::Network;
+
+/// Outcome of one [`ScribeDaemon::pump`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PumpReport {
+    /// Entries handed to an aggregator.
+    pub sent: u64,
+    /// Entries still buffered locally (no live aggregator reachable).
+    pub still_buffered: u64,
+    /// Times the daemon went back to the coordination service to discover.
+    pub discoveries: u64,
+}
+
+/// A production-host daemon: queues entries locally and pushes them to a
+/// discovered aggregator, failing over on errors.
+pub struct ScribeDaemon {
+    host_id: u64,
+    dc: String,
+    session: Session,
+    network: Network,
+    /// Entries not yet accepted by any aggregator ("buffered on local disk").
+    queue: VecDeque<LogEntry>,
+    /// Cached aggregator member name from the last discovery.
+    current: Option<String>,
+    /// Total entries ever logged on this host.
+    pub logged: u64,
+}
+
+impl ScribeDaemon {
+    /// Creates a daemon for `host_id` in datacenter `dc`.
+    pub fn new(host_id: u64, dc: &str, session: Session, network: Network) -> Self {
+        ScribeDaemon {
+            host_id,
+            dc: dc.to_string(),
+            session,
+            network,
+            queue: VecDeque::new(),
+            current: None,
+            logged: 0,
+        }
+    }
+
+    /// The host identifier (used for load-balanced aggregator choice).
+    pub fn host_id(&self) -> u64 {
+        self.host_id
+    }
+
+    /// Queues a log entry locally; nothing crosses the network until
+    /// [`pump`](Self::pump).
+    pub fn log(&mut self, entry: LogEntry) {
+        self.queue.push_back(entry);
+        self.logged += 1;
+    }
+
+    /// Entries currently buffered on this host.
+    pub fn buffered(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    /// Picks an aggregator from the live set, spreading hosts across members
+    /// by hashing the host id (the paper's "balancing load across
+    /// aggregators" via the same discovery mechanism).
+    fn discover(&mut self) -> Option<String> {
+        let members = self
+            .session
+            .get_children(&registry_path(&self.dc))
+            .unwrap_or_default();
+        if members.is_empty() {
+            return None;
+        }
+        // Stable multiplicative hash of the host id.
+        let idx = (self.host_id.wrapping_mul(0x9e3779b97f4a7c15) >> 33) as usize % members.len();
+        Some(endpoint_key(&self.dc, &members[idx]))
+    }
+
+    /// Attempts to drain the local queue to a live aggregator.
+    ///
+    /// On a send failure the daemon rediscovers once (the crashed member's
+    /// ephemeral znode is already gone) and retries; if no aggregator is
+    /// reachable the remaining entries stay buffered for the next pump.
+    pub fn pump(&mut self) -> PumpReport {
+        let mut report = PumpReport::default();
+        if self.queue.is_empty() {
+            return report;
+        }
+        if self.current.is_none() {
+            self.current = self.discover();
+            report.discoveries += 1;
+        }
+        while let Some(entry) = self.queue.pop_front() {
+            let Some(target) = self.current.clone() else {
+                // No live aggregator: keep the entry and stop trying.
+                self.queue.push_front(entry);
+                break;
+            };
+            match self.network.send(&target, entry.clone()) {
+                Ok(()) => report.sent += 1,
+                Err(_) => {
+                    // Peer is down: rediscover and retry this entry once.
+                    self.current = self.discover();
+                    report.discoveries += 1;
+                    match &self.current {
+                        Some(next) if self.network.send(next, entry.clone()).is_ok() => {
+                            report.sent += 1;
+                        }
+                        _ => {
+                            self.queue.push_front(entry);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        report.still_buffered = self.queue.len() as u64;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::Aggregator;
+    use uli_coord::CoordService;
+    use uli_warehouse::Warehouse;
+
+    fn daemon(coord: &CoordService, net: &Network, host: u64) -> ScribeDaemon {
+        ScribeDaemon::new(host, "dc1", coord.connect(), net.clone())
+    }
+
+    #[test]
+    fn logs_buffer_until_pumped() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let mut d = daemon(&coord, &net, 1);
+        d.log(LogEntry::new("ce", b"m".to_vec()));
+        assert_eq!(d.buffered(), 1);
+        // No aggregators at all: entry stays buffered.
+        let r = d.pump();
+        assert_eq!(r.sent, 0);
+        assert_eq!(r.still_buffered, 1);
+    }
+
+    #[test]
+    fn pump_delivers_to_live_aggregator() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let mut agg = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        let mut d = daemon(&coord, &net, 7);
+        for _ in 0..5 {
+            d.log(LogEntry::new("ce", b"m".to_vec()));
+        }
+        let r = d.pump();
+        assert_eq!(r.sent, 5);
+        assert_eq!(r.still_buffered, 0);
+        assert_eq!(agg.process(), 5);
+    }
+
+    #[test]
+    fn failover_to_surviving_aggregator() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let agg1 = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        let mut agg2 = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+
+        // Find a host id that hashes to agg1 so the crash actually matters.
+        let mut d = (0..64)
+            .map(|h| daemon(&coord, &net, h))
+            .find(|d| {
+                let mut probe = ScribeDaemon::new(d.host_id(), "dc1", coord.connect(), net.clone());
+                probe.discover() == Some(agg1.endpoint().to_string())
+            })
+            .expect("some host maps to agg1");
+
+        d.log(LogEntry::new("ce", b"before".to_vec()));
+        assert_eq!(d.pump().sent, 1);
+
+        let name1 = agg1.endpoint().to_string();
+        agg1.crash(&coord);
+        assert!(!net.is_up(&name1));
+
+        d.log(LogEntry::new("ce", b"after".to_vec()));
+        let r = d.pump();
+        assert_eq!(r.sent, 1, "entry must fail over to agg2");
+        assert!(r.discoveries >= 1);
+        assert_eq!(agg2.process(), 1);
+    }
+
+    #[test]
+    fn no_aggregator_then_recovery() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let mut d = daemon(&coord, &net, 3);
+        d.log(LogEntry::new("ce", b"1".to_vec()));
+        assert_eq!(d.pump().sent, 0);
+        // An aggregator appears; the buffered entry drains.
+        let mut agg = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        let r = d.pump();
+        assert_eq!(r.sent, 1);
+        assert_eq!(agg.process(), 1);
+    }
+
+    #[test]
+    fn hosts_spread_across_aggregators() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let _a1 = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        let _a2 = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        let mut counts = std::collections::HashMap::new();
+        for host in 0..200 {
+            let mut d = daemon(&coord, &net, host);
+            let target = d.discover().unwrap();
+            *counts.entry(target).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 2, "both aggregators should receive hosts");
+        for (_, c) in counts {
+            assert!(c > 40, "load balance should be roughly even, got {c}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! The Scribe log entry.
+
+/// "Each log entry consists of two strings, a category and a message. The
+/// category is associated with configuration metadata that determine, among
+/// other things, where the data is written." (§2)
+///
+/// Messages are bytes, not `String`: Thrift-encoded client events are binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Scribe category, e.g. `client_events`.
+    pub category: String,
+    /// Opaque message payload.
+    pub message: Vec<u8>,
+}
+
+impl LogEntry {
+    /// Builds an entry.
+    pub fn new(category: impl Into<String>, message: impl Into<Vec<u8>>) -> Self {
+        LogEntry {
+            category: category.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Approximate wire size: category + payload.
+    pub fn wire_size(&self) -> usize {
+        self.category.len() + self.message.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_size() {
+        let e = LogEntry::new("client_events", b"payload".to_vec());
+        assert_eq!(e.category, "client_events");
+        assert_eq!(e.message, b"payload");
+        assert_eq!(e.wire_size(), "client_events".len() + 7);
+    }
+}

@@ -1,0 +1,306 @@
+//! The log mover pipeline.
+//!
+//! "Another process is responsible for moving these logs from the
+//! per-datacenter staging clusters into the main Hadoop data warehouse. It
+//! applies certain sanity checks and transformations, such as merging many
+//! small files into a few big ones … it ensures that by the time logs are
+//! made available in the main data warehouse, all datacenters that produce a
+//! given log category have transferred their logs. Once all of this is done,
+//! the log mover pipeline atomically slides an hour's worth of logs into the
+//! main data warehouse." (§2)
+
+use uli_warehouse::{HourlyPartition, Warehouse, WarehouseError, WarehouseResult};
+
+/// Marker file an aggregator cluster writes once its hour is complete.
+pub const DONE_MARKER: &str = "_DONE";
+
+/// Result of moving one category-hour into the main warehouse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveReport {
+    /// The partition that was moved.
+    pub partition: HourlyPartition,
+    /// Small files read from all staging clusters.
+    pub input_files: u64,
+    /// Large files written into the main warehouse.
+    pub output_files: u64,
+    /// Records moved.
+    pub records: u64,
+    /// Records dropped by sanity checks (empty messages).
+    pub dropped: u64,
+}
+
+/// Errors specific to the mover's readiness protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoveError {
+    /// A datacenter has not sealed this hour yet.
+    NotReady {
+        /// Name of the lagging datacenter.
+        dc: String,
+    },
+    /// The hour already exists in the main warehouse.
+    AlreadyMoved,
+    /// An underlying warehouse failure.
+    Warehouse(WarehouseError),
+}
+
+impl std::fmt::Display for MoveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MoveError::NotReady { dc } => write!(f, "datacenter {dc} has not sealed the hour"),
+            MoveError::AlreadyMoved => write!(f, "hour already present in main warehouse"),
+            MoveError::Warehouse(e) => write!(f, "warehouse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MoveError {}
+
+impl From<WarehouseError> for MoveError {
+    fn from(e: WarehouseError) -> Self {
+        MoveError::Warehouse(e)
+    }
+}
+
+/// Seals a category-hour on one staging cluster by writing the done marker.
+/// Called by the datacenter's flush driver once its aggregators have flushed
+/// everything for the hour.
+pub fn seal_hour(
+    staging: &Warehouse,
+    partition: &HourlyPartition,
+) -> WarehouseResult<()> {
+    let dir = partition.main_dir();
+    staging.mkdirs(&dir)?;
+    let marker = dir.child(DONE_MARKER).expect("valid marker name");
+    staging.create(&marker)?.finish()?;
+    Ok(())
+}
+
+/// The mover: merges sealed staging hours into the main warehouse.
+pub struct LogMover {
+    main: Warehouse,
+    /// Target number of records per merged output file.
+    records_per_file: u64,
+}
+
+impl LogMover {
+    /// Creates a mover targeting `main`, merging into files of
+    /// `records_per_file` records.
+    pub fn new(main: Warehouse, records_per_file: u64) -> Self {
+        assert!(records_per_file > 0);
+        LogMover {
+            main,
+            records_per_file,
+        }
+    }
+
+    /// Moves one category-hour from every staging cluster into the main
+    /// warehouse, atomically.
+    ///
+    /// `staging` lists `(datacenter name, staging warehouse)` for every
+    /// datacenter that produces this category. All of them must have sealed
+    /// the hour (via [`seal_hour`]); otherwise [`MoveError::NotReady`].
+    pub fn move_hour(
+        &self,
+        partition: &HourlyPartition,
+        staging: &[(&str, &Warehouse)],
+    ) -> Result<MoveReport, MoveError> {
+        let final_dir = partition.main_dir();
+        if self.main.exists(&final_dir) {
+            return Err(MoveError::AlreadyMoved);
+        }
+        let src_dir = partition.main_dir();
+        // Readiness: every datacenter must have the done marker.
+        for (dc, wh) in staging {
+            let marker = src_dir.child(DONE_MARKER).expect("valid marker");
+            if !wh.exists(&marker) {
+                return Err(MoveError::NotReady { dc: dc.to_string() });
+            }
+        }
+
+        // Assemble the merged hour under /staging in the main warehouse.
+        let assembly_dir = partition.staging_dir();
+        if self.main.exists(&assembly_dir) {
+            // A previous failed attempt left debris; restart cleanly.
+            self.main.delete_dir(&assembly_dir)?;
+        }
+        self.main.mkdirs(&assembly_dir)?;
+
+        let mut report = MoveReport {
+            partition: partition.clone(),
+            input_files: 0,
+            output_files: 0,
+            records: 0,
+            dropped: 0,
+        };
+        let mut out: Option<uli_warehouse::RecordFileWriter> = None;
+        let mut out_records = 0u64;
+        let mut out_idx = 0u64;
+
+        for (_dc, wh) in staging {
+            let files = match wh.list_files_recursive(&src_dir) {
+                Ok(f) => f,
+                Err(WarehouseError::NotFound(_)) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for file in files {
+                if file.name() == DONE_MARKER {
+                    continue;
+                }
+                report.input_files += 1;
+                let mut reader = wh.open(&file)?;
+                while let Some(record) = reader.next_record()? {
+                    // Sanity check: drop empty messages.
+                    if record.is_empty() {
+                        report.dropped += 1;
+                        continue;
+                    }
+                    if out.is_none() {
+                        let path = assembly_dir
+                            .child(&format!("part-{out_idx:05}"))
+                            .expect("valid part name");
+                        out = Some(self.main.create(&path)?);
+                        out_idx += 1;
+                    }
+                    let w = out.as_mut().expect("writer created above");
+                    w.append_record(record);
+                    out_records += 1;
+                    report.records += 1;
+                    if out_records >= self.records_per_file {
+                        out.take().expect("writer present").finish()?;
+                        report.output_files += 1;
+                        out_records = 0;
+                    }
+                }
+            }
+        }
+        if let Some(w) = out.take() {
+            w.finish()?;
+            report.output_files += 1;
+        }
+
+        // The atomic slide: one rename makes the whole hour visible.
+        if let Some(parent) = final_dir.parent() {
+            self.main.mkdirs(&parent)?;
+        }
+        self.main.rename(&assembly_dir, &final_dir)?;
+        Ok(report)
+    }
+
+    /// The main warehouse this mover writes into.
+    pub fn main(&self) -> &Warehouse {
+        &self.main
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staging_with(partition: &HourlyPartition, records: &[&[u8]]) -> Warehouse {
+        let wh = Warehouse::new();
+        let dir = partition.main_dir();
+        let file = dir.child("agg-0-0").unwrap();
+        let mut w = wh.create(&file).unwrap();
+        for r in records {
+            w.append_record(r);
+        }
+        w.finish().unwrap();
+        wh
+    }
+
+    fn part() -> HourlyPartition {
+        HourlyPartition::new("client_events", 2012, 8, 21, 14).unwrap()
+    }
+
+    #[test]
+    fn refuses_until_all_dcs_sealed() {
+        let p = part();
+        let dc1 = staging_with(&p, &[b"a"]);
+        let dc2 = staging_with(&p, &[b"b"]);
+        seal_hour(&dc1, &p).unwrap();
+        let mover = LogMover::new(Warehouse::new(), 1000);
+        let err = mover
+            .move_hour(&p, &[("dc1", &dc1), ("dc2", &dc2)])
+            .unwrap_err();
+        assert_eq!(err, MoveError::NotReady { dc: "dc2".into() });
+
+        seal_hour(&dc2, &p).unwrap();
+        let report = mover.move_hour(&p, &[("dc1", &dc1), ("dc2", &dc2)]).unwrap();
+        assert_eq!(report.records, 2);
+        assert_eq!(report.input_files, 2);
+    }
+
+    #[test]
+    fn merges_small_files_into_big_ones() {
+        let p = part();
+        let wh = Warehouse::new();
+        let dir = p.main_dir();
+        // Ten small files of 10 records each.
+        for f in 0..10 {
+            let file = dir.child(&format!("agg-{f}")).unwrap();
+            let mut w = wh.create(&file).unwrap();
+            for r in 0..10 {
+                w.append_record(format!("r{f}-{r}").as_bytes());
+            }
+            w.finish().unwrap();
+        }
+        seal_hour(&wh, &p).unwrap();
+        let mover = LogMover::new(Warehouse::new(), 60);
+        let report = mover.move_hour(&p, &[("dc1", &wh)]).unwrap();
+        assert_eq!(report.input_files, 10);
+        assert_eq!(report.records, 100);
+        assert_eq!(report.output_files, 2, "100 records at 60/file → 2 files");
+        let files = mover.main().list_files_recursive(&p.main_dir()).unwrap();
+        assert_eq!(files.len(), 2);
+    }
+
+    #[test]
+    fn slide_is_atomic_nothing_under_logs_until_done() {
+        let p = part();
+        let dc1 = staging_with(&p, &[b"a", b"b"]);
+        seal_hour(&dc1, &p).unwrap();
+        let mover = LogMover::new(Warehouse::new(), 1000);
+        assert!(!mover.main().exists(&p.main_dir()));
+        mover.move_hour(&p, &[("dc1", &dc1)]).unwrap();
+        assert!(mover.main().exists(&p.main_dir()));
+        // Assembly area is gone after the rename.
+        assert!(!mover.main().exists(&p.staging_dir()));
+    }
+
+    #[test]
+    fn second_move_is_rejected() {
+        let p = part();
+        let dc1 = staging_with(&p, &[b"a"]);
+        seal_hour(&dc1, &p).unwrap();
+        let mover = LogMover::new(Warehouse::new(), 1000);
+        mover.move_hour(&p, &[("dc1", &dc1)]).unwrap();
+        assert_eq!(
+            mover.move_hour(&p, &[("dc1", &dc1)]).unwrap_err(),
+            MoveError::AlreadyMoved
+        );
+    }
+
+    #[test]
+    fn sanity_check_drops_empty_records() {
+        let p = part();
+        let dc1 = staging_with(&p, &[b"a", b"", b"c", b""]);
+        seal_hour(&dc1, &p).unwrap();
+        let mover = LogMover::new(Warehouse::new(), 1000);
+        let report = mover.move_hour(&p, &[("dc1", &dc1)]).unwrap();
+        assert_eq!(report.records, 2);
+        assert_eq!(report.dropped, 2);
+    }
+
+    #[test]
+    fn sealed_but_empty_hour_moves_cleanly() {
+        let p = part();
+        let wh = Warehouse::new();
+        seal_hour(&wh, &p).unwrap();
+        let mover = LogMover::new(Warehouse::new(), 1000);
+        let report = mover.move_hour(&p, &[("dc1", &wh)]).unwrap();
+        assert_eq!(report.records, 0);
+        assert_eq!(report.output_files, 0);
+        // The hour directory exists (readers see an empty, complete hour).
+        assert!(mover.main().exists(&p.main_dir()));
+    }
+}

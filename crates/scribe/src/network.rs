@@ -1,0 +1,105 @@
+//! The simulated datacenter network.
+//!
+//! Aggregators expose an unbounded channel endpoint under a name; daemons
+//! look the name up (after discovering it in the coordination service) and
+//! send entries. Crashing an aggregator closes its receiving end, so
+//! subsequent sends fail exactly like writes to a dead TCP peer — which is
+//! the signal daemons use to go back to ZooKeeper for a live aggregator.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::message::LogEntry;
+
+/// Error returned when sending to a crashed or unknown aggregator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerDown;
+
+/// Registry of live channel endpoints, keyed by aggregator member name.
+#[derive(Clone, Default)]
+pub struct Network {
+    peers: Arc<Mutex<HashMap<String, Sender<LogEntry>>>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an endpoint and returns its receiving half.
+    pub fn register(&self, name: &str) -> Receiver<LogEntry> {
+        let (tx, rx) = unbounded();
+        self.peers.lock().insert(name.to_string(), tx);
+        rx
+    }
+
+    /// Removes an endpoint (crash or clean shutdown). Sends to it fail from
+    /// now on; entries already in the channel stay readable by the holder of
+    /// the receiver (in-flight packets drain).
+    pub fn unregister(&self, name: &str) {
+        self.peers.lock().remove(name);
+    }
+
+    /// Sends an entry to the named endpoint.
+    pub fn send(&self, name: &str, entry: LogEntry) -> Result<(), PeerDown> {
+        let sender = {
+            let peers = self.peers.lock();
+            peers.get(name).cloned()
+        };
+        match sender {
+            Some(tx) => tx.send(entry).map_err(|_| PeerDown),
+            None => Err(PeerDown),
+        }
+    }
+
+    /// True if the endpoint is registered.
+    pub fn is_up(&self, name: &str) -> bool {
+        self.peers.lock().contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive() {
+        let net = Network::new();
+        let rx = net.register("agg-1");
+        net.send("agg-1", LogEntry::new("c", b"m".to_vec())).unwrap();
+        assert_eq!(rx.recv().unwrap().category, "c");
+    }
+
+    #[test]
+    fn send_to_unknown_fails() {
+        let net = Network::new();
+        assert_eq!(
+            net.send("nope", LogEntry::new("c", vec![])),
+            Err(PeerDown)
+        );
+    }
+
+    #[test]
+    fn unregister_breaks_sends_but_drains_in_flight() {
+        let net = Network::new();
+        let rx = net.register("agg-1");
+        net.send("agg-1", LogEntry::new("c", b"1".to_vec())).unwrap();
+        net.unregister("agg-1");
+        assert!(!net.is_up("agg-1"));
+        assert_eq!(net.send("agg-1", LogEntry::new("c", vec![])), Err(PeerDown));
+        // The in-flight entry is still deliverable to the receiver.
+        assert_eq!(rx.recv().unwrap().message, b"1");
+    }
+
+    #[test]
+    fn dropped_receiver_fails_sends() {
+        let net = Network::new();
+        let rx = net.register("agg-1");
+        drop(rx);
+        assert_eq!(net.send("agg-1", LogEntry::new("c", vec![])), Err(PeerDown));
+    }
+}

@@ -1,0 +1,376 @@
+//! End-to-end pipeline driver with fault injection.
+//!
+//! Wires daemons, aggregators, staging clusters, and the mover into the
+//! multi-datacenter topology of Figure 1, advanced by explicit steps so
+//! tests and benchmarks stay deterministic.
+
+use uli_coord::CoordService;
+use uli_warehouse::{HourlyPartition, Warehouse};
+
+use crate::aggregator::Aggregator;
+use crate::daemon::ScribeDaemon;
+use crate::message::LogEntry;
+use crate::mover::{seal_hour, LogMover, MoveError, MoveReport};
+use crate::network::Network;
+
+/// Topology and sizing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Number of datacenters.
+    pub datacenters: usize,
+    /// Production hosts per datacenter.
+    pub hosts_per_dc: usize,
+    /// Aggregators per datacenter.
+    pub aggregators_per_dc: usize,
+    /// Merged-output file size used by the log mover, in records.
+    pub records_per_file: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            datacenters: 3,
+            hosts_per_dc: 16,
+            aggregators_per_dc: 4,
+            records_per_file: 100_000,
+        }
+    }
+}
+
+struct Datacenter {
+    name: String,
+    staging: Warehouse,
+    daemons: Vec<ScribeDaemon>,
+    /// `None` marks a crashed slot.
+    aggregators: Vec<Option<Aggregator>>,
+}
+
+/// Cumulative end-to-end accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineReport {
+    /// Entries logged on production hosts.
+    pub logged: u64,
+    /// Entries still buffered on hosts (no aggregator reachable yet).
+    pub host_buffered: u64,
+    /// Entries accepted by aggregators.
+    pub accepted: u64,
+    /// Entries written durably to staging clusters.
+    pub flushed: u64,
+    /// Entries sitting in aggregator local-disk buffers (staging outage).
+    pub aggregator_buffered: u64,
+    /// Entries lost to hard aggregator crashes.
+    pub lost_in_crashes: u64,
+    /// Entries moved into the main warehouse.
+    pub moved: u64,
+}
+
+/// The full simulated pipeline.
+pub struct ScribePipeline {
+    coord: CoordService,
+    network: Network,
+    datacenters: Vec<Datacenter>,
+    mover: LogMover,
+    flushed: u64,
+    lost_in_crashes: u64,
+    /// Accepted counts of aggregators that have since crashed, so the
+    /// report's `accepted` stays a true cumulative total.
+    accepted_by_crashed: u64,
+    moved: u64,
+}
+
+impl ScribePipeline {
+    /// Builds the topology: every datacenter gets a staging warehouse, its
+    /// aggregators register, and every host gets a daemon.
+    pub fn new(config: PipelineConfig) -> Self {
+        let coord = CoordService::new();
+        let network = Network::new();
+        let mut datacenters = Vec::with_capacity(config.datacenters);
+        for dc_idx in 0..config.datacenters {
+            let name = format!("dc{dc_idx}");
+            let staging = Warehouse::new();
+            let aggregators = (0..config.aggregators_per_dc)
+                .map(|_| Some(Aggregator::spawn(&coord, &network, &name, staging.clone())))
+                .collect();
+            let daemons = (0..config.hosts_per_dc)
+                .map(|h| {
+                    ScribeDaemon::new(
+                        (dc_idx * config.hosts_per_dc + h) as u64,
+                        &name,
+                        coord.connect(),
+                        network.clone(),
+                    )
+                })
+                .collect();
+            datacenters.push(Datacenter {
+                name,
+                staging,
+                daemons,
+                aggregators,
+            });
+        }
+        ScribePipeline {
+            coord,
+            network,
+            datacenters,
+            mover: LogMover::new(Warehouse::new(), config.records_per_file),
+            flushed: 0,
+            lost_in_crashes: 0,
+            accepted_by_crashed: 0,
+            moved: 0,
+        }
+    }
+
+    /// Number of datacenters.
+    pub fn datacenter_count(&self) -> usize {
+        self.datacenters.len()
+    }
+
+    /// Logs an entry on a specific host.
+    pub fn log(&mut self, dc: usize, host: usize, entry: LogEntry) {
+        self.datacenters[dc].daemons[host].log(entry);
+    }
+
+    /// One delivery step: every daemon pumps, every aggregator drains.
+    pub fn step(&mut self) {
+        for dc in &mut self.datacenters {
+            for d in &mut dc.daemons {
+                d.pump();
+            }
+            for a in dc.aggregators.iter_mut().flatten() {
+                a.process();
+            }
+        }
+    }
+
+    /// Flushes all aggregators for the given hour index.
+    pub fn flush_hour(&mut self, hour_index: u64) {
+        for dc in &mut self.datacenters {
+            for a in dc.aggregators.iter_mut().flatten() {
+                let r = a.flush(hour_index);
+                self.flushed += r.flushed_records;
+            }
+        }
+    }
+
+    /// Seals the hour for `category` on every staging cluster.
+    pub fn seal_hour(&self, category: &str, hour_index: u64) {
+        let partition = HourlyPartition::from_hour_index(category, hour_index);
+        for dc in &self.datacenters {
+            // Outage means the seal itself fails; the mover then reports
+            // the datacenter as not ready, which is the correct behaviour.
+            let _ = seal_hour(&dc.staging, &partition);
+        }
+    }
+
+    /// Moves a sealed category-hour into the main warehouse.
+    pub fn move_hour(
+        &mut self,
+        category: &str,
+        hour_index: u64,
+    ) -> Result<MoveReport, MoveError> {
+        let partition = HourlyPartition::from_hour_index(category, hour_index);
+        let staging: Vec<(&str, &Warehouse)> = self
+            .datacenters
+            .iter()
+            .map(|dc| (dc.name.as_str(), &dc.staging))
+            .collect();
+        let report = self.mover.move_hour(&partition, &staging)?;
+        self.moved += report.records;
+        Ok(report)
+    }
+
+    /// Hard-crashes one aggregator; returns entries lost with it.
+    pub fn crash_aggregator(&mut self, dc: usize, slot: usize) -> u64 {
+        let coord = self.coord.clone();
+        match self.datacenters[dc].aggregators[slot].take() {
+            Some(agg) => {
+                self.accepted_by_crashed += agg.accepted;
+                let lost = agg.crash(&coord);
+                self.lost_in_crashes += lost;
+                lost
+            }
+            None => 0,
+        }
+    }
+
+    /// Starts a replacement aggregator in an empty slot.
+    pub fn spawn_aggregator(&mut self, dc: usize, slot: usize) {
+        let name = self.datacenters[dc].name.clone();
+        let staging = self.datacenters[dc].staging.clone();
+        let agg = Aggregator::spawn(&self.coord, &self.network, &name, staging);
+        self.datacenters[dc].aggregators[slot] = Some(agg);
+    }
+
+    /// Injects or clears a staging-cluster outage in one datacenter.
+    pub fn set_staging_available(&self, dc: usize, available: bool) {
+        self.datacenters[dc].staging.set_available(available);
+    }
+
+    /// The main data warehouse the mover fills.
+    pub fn main_warehouse(&self) -> &Warehouse {
+        self.mover.main()
+    }
+
+    /// Current end-to-end accounting.
+    pub fn report(&self) -> PipelineReport {
+        let mut r = PipelineReport {
+            flushed: self.flushed,
+            lost_in_crashes: self.lost_in_crashes,
+            accepted: self.accepted_by_crashed,
+            moved: self.moved,
+            ..Default::default()
+        };
+        for dc in &self.datacenters {
+            for d in &dc.daemons {
+                r.logged += d.logged;
+                r.host_buffered += d.buffered();
+            }
+            for a in dc.aggregators.iter().flatten() {
+                r.accepted += a.accepted;
+                r.aggregator_buffered += a.unflushed();
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> PipelineConfig {
+        PipelineConfig {
+            datacenters: 2,
+            hosts_per_dc: 4,
+            aggregators_per_dc: 2,
+            records_per_file: 50,
+        }
+    }
+
+    fn log_round(pipe: &mut ScribePipeline, per_host: usize, tag: &str) -> u64 {
+        let mut n = 0;
+        for dc in 0..2 {
+            for host in 0..4 {
+                for i in 0..per_host {
+                    pipe.log(
+                        dc,
+                        host,
+                        LogEntry::new("client_events", format!("{tag}-{dc}-{host}-{i}").into_bytes()),
+                    );
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn happy_path_delivers_everything() {
+        let mut pipe = ScribePipeline::new(small_config());
+        let logged = log_round(&mut pipe, 25, "a");
+        pipe.step();
+        pipe.flush_hour(0);
+        pipe.seal_hour("client_events", 0);
+        let report = pipe.move_hour("client_events", 0).unwrap();
+        assert_eq!(report.records, logged);
+
+        let totals = pipe.report();
+        assert_eq!(totals.logged, logged);
+        assert_eq!(totals.accepted, logged);
+        assert_eq!(totals.flushed, logged);
+        assert_eq!(totals.moved, logged);
+        assert_eq!(totals.lost_in_crashes, 0);
+        assert_eq!(totals.host_buffered, 0);
+    }
+
+    #[test]
+    fn mover_merges_small_files() {
+        let mut pipe = ScribePipeline::new(small_config());
+        log_round(&mut pipe, 25, "a");
+        pipe.step();
+        pipe.flush_hour(0);
+        pipe.seal_hour("client_events", 0);
+        let report = pipe.move_hour("client_events", 0).unwrap();
+        // Up to 4 aggregators flushed files; outputs are 50-record merges.
+        assert!(report.input_files >= 2);
+        assert_eq!(report.output_files, 4, "200 records at 50/file");
+    }
+
+    #[test]
+    fn aggregator_crash_fails_over_with_bounded_loss() {
+        let mut pipe = ScribePipeline::new(small_config());
+        log_round(&mut pipe, 10, "a");
+        pipe.step(); // everything accepted, nothing flushed
+        let lost = pipe.crash_aggregator(0, 0) + pipe.crash_aggregator(0, 1);
+        // New traffic still gets through via rediscovery (dc0 has no
+        // aggregators now, so its daemons buffer; dc1 still delivers).
+        log_round(&mut pipe, 10, "b");
+        pipe.step();
+        pipe.spawn_aggregator(0, 0);
+        pipe.step();
+        pipe.flush_hour(0);
+        pipe.seal_hour("client_events", 0);
+        let moved = pipe.move_hour("client_events", 0).unwrap().records;
+        let totals = pipe.report();
+        assert_eq!(totals.lost_in_crashes, lost);
+        assert_eq!(moved + lost, totals.logged, "every entry is moved or accounted lost");
+        assert_eq!(totals.host_buffered, 0);
+    }
+
+    #[test]
+    fn staging_outage_buffers_and_recovers_without_loss() {
+        let mut pipe = ScribePipeline::new(small_config());
+        let logged = log_round(&mut pipe, 10, "a");
+        pipe.step();
+        pipe.set_staging_available(0, false);
+        pipe.flush_hour(0);
+        let mid = pipe.report();
+        assert!(mid.aggregator_buffered > 0, "dc0 aggregators must buffer");
+        assert!(mid.flushed < logged);
+
+        pipe.set_staging_available(0, true);
+        pipe.flush_hour(0);
+        pipe.seal_hour("client_events", 0);
+        let moved = pipe.move_hour("client_events", 0).unwrap().records;
+        assert_eq!(moved, logged);
+        assert_eq!(pipe.report().aggregator_buffered, 0);
+    }
+
+    #[test]
+    fn move_waits_for_lagging_datacenter() {
+        let mut pipe = ScribePipeline::new(small_config());
+        log_round(&mut pipe, 5, "a");
+        pipe.step();
+        pipe.set_staging_available(1, false); // dc1 cannot flush or seal
+        pipe.flush_hour(0);
+        pipe.seal_hour("client_events", 0);
+        let err = pipe.move_hour("client_events", 0).unwrap_err();
+        assert!(matches!(err, MoveError::NotReady { .. }));
+
+        pipe.set_staging_available(1, true);
+        pipe.flush_hour(0);
+        pipe.seal_hour("client_events", 0);
+        let report = pipe.move_hour("client_events", 0).unwrap();
+        assert_eq!(report.records, pipe.report().logged);
+    }
+
+    #[test]
+    fn hours_land_in_hourly_directories() {
+        let mut pipe = ScribePipeline::new(small_config());
+        log_round(&mut pipe, 5, "h0");
+        pipe.step();
+        pipe.flush_hour(0);
+        log_round(&mut pipe, 5, "h1");
+        pipe.step();
+        pipe.flush_hour(1);
+        for h in [0, 1] {
+            pipe.seal_hour("client_events", h);
+            pipe.move_hour("client_events", h).unwrap();
+        }
+        let main = pipe.main_warehouse();
+        for h in [0, 1] {
+            let dir = HourlyPartition::from_hour_index("client_events", h).main_dir();
+            assert!(main.exists(&dir), "hour {h} directory must exist");
+        }
+    }
+}

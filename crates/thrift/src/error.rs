@@ -1,0 +1,63 @@
+//! Error type shared by all encode/decode paths.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding Thrift data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThriftError {
+    /// The input ended before a complete value could be decoded.
+    UnexpectedEof {
+        /// What the decoder was trying to read.
+        reading: &'static str,
+    },
+    /// A type byte on the wire did not correspond to any known type.
+    InvalidType(u8),
+    /// A varint ran past its maximum encodable width (corrupt input).
+    VarintOverflow,
+    /// A length prefix was negative or implausibly large.
+    InvalidLength(i64),
+    /// String data was not valid UTF-8.
+    InvalidUtf8,
+    /// A required field was missing when decoding a typed record.
+    MissingField {
+        /// Struct the field belongs to.
+        strukt: &'static str,
+        /// Field identifier that was absent.
+        field_id: i16,
+    },
+    /// A field had an unexpected wire type for its declared schema type.
+    WrongFieldType {
+        /// Field identifier.
+        field_id: i16,
+        /// Type found on the wire.
+        found: u8,
+    },
+    /// Nesting exceeded the decoder's recursion limit (corrupt or hostile input).
+    DepthLimitExceeded,
+}
+
+impl fmt::Display for ThriftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThriftError::UnexpectedEof { reading } => {
+                write!(f, "unexpected end of input while reading {reading}")
+            }
+            ThriftError::InvalidType(b) => write!(f, "invalid thrift type byte 0x{b:02x}"),
+            ThriftError::VarintOverflow => write!(f, "varint exceeds maximum width"),
+            ThriftError::InvalidLength(n) => write!(f, "invalid length prefix {n}"),
+            ThriftError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            ThriftError::MissingField { strukt, field_id } => {
+                write!(f, "missing required field {field_id} of struct {strukt}")
+            }
+            ThriftError::WrongFieldType { field_id, found } => {
+                write!(f, "field {field_id} has unexpected wire type 0x{found:02x}")
+            }
+            ThriftError::DepthLimitExceeded => write!(f, "struct nesting depth limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ThriftError {}
+
+/// Convenience alias used throughout the crate.
+pub type ThriftResult<T> = Result<T, ThriftError>;

@@ -1,0 +1,298 @@
+//! Struct descriptors and the schema registry.
+//!
+//! With application-specific logging, "obtaining a complete catalog of all
+//! possible message types is difficult" (§3.1). The registry makes message
+//! shapes explicit: each Scribe category maps to a [`StructDescriptor`], and
+//! decoded [`TValue`]s can be validated against it. This is the metadata that
+//! developers had to "supply … to link their logs to the Thrift object
+//! description".
+
+use std::collections::BTreeMap;
+
+use crate::value::{TType, TValue};
+
+/// Whether a field must be present on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Requiredness {
+    /// Decoding fails if the field is absent.
+    Required,
+    /// The field may be absent.
+    Optional,
+}
+
+/// One field of a struct schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDescriptor {
+    /// Wire field id.
+    pub id: i16,
+    /// Human name (snake_case by this repo's convention — §3.1 documents the
+    /// chaos that ensues otherwise).
+    pub name: String,
+    /// Declared type. Booleans are declared as `BoolTrue`.
+    pub ttype: TType,
+    /// Presence requirement.
+    pub required: Requiredness,
+}
+
+/// Schema of a struct: ordered fields plus a name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StructDescriptor {
+    /// Struct name, e.g. `ClientEvent`.
+    pub name: String,
+    /// Fields sorted by id.
+    pub fields: Vec<FieldDescriptor>,
+}
+
+/// A single validation problem found by [`StructDescriptor::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaViolation {
+    /// A required field is absent.
+    MissingRequired {
+        /// Field id from the descriptor.
+        id: i16,
+        /// Field name from the descriptor.
+        name: String,
+    },
+    /// A present field has a type other than the declared one.
+    TypeMismatch {
+        /// Field id.
+        id: i16,
+        /// Declared type.
+        expected: TType,
+        /// Type found in the value.
+        found: TType,
+    },
+    /// A field id not present in the descriptor (informational: legal under
+    /// schema evolution, surfaced so catalogs can flag drift).
+    UnknownField {
+        /// Field id found in the value.
+        id: i16,
+    },
+}
+
+impl StructDescriptor {
+    /// Builds a descriptor from `(id, name, type, requiredness)` tuples.
+    pub fn new(
+        name: impl Into<String>,
+        fields: impl IntoIterator<Item = (i16, &'static str, TType, Requiredness)>,
+    ) -> Self {
+        let mut fields: Vec<FieldDescriptor> = fields
+            .into_iter()
+            .map(|(id, name, ttype, required)| FieldDescriptor {
+                id,
+                name: name.to_string(),
+                ttype,
+                required,
+            })
+            .collect();
+        fields.sort_by_key(|f| f.id);
+        StructDescriptor {
+            name: name.into(),
+            fields,
+        }
+    }
+
+    /// Looks up a field by id.
+    pub fn field(&self, id: i16) -> Option<&FieldDescriptor> {
+        self.fields.iter().find(|f| f.id == id)
+    }
+
+    /// Looks up a field by name.
+    pub fn field_by_name(&self, name: &str) -> Option<&FieldDescriptor> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Checks a dynamic struct value against this schema.
+    ///
+    /// Unknown fields are reported but are not errors — that is the point of
+    /// extensible messages. Returns all violations rather than failing fast
+    /// so catalog tooling can show a complete report.
+    pub fn validate(&self, value: &TValue) -> Vec<SchemaViolation> {
+        let mut out = Vec::new();
+        let fields = match value {
+            TValue::Struct(fields) => fields,
+            _ => {
+                out.push(SchemaViolation::TypeMismatch {
+                    id: 0,
+                    expected: TType::Struct,
+                    found: value.ttype(),
+                });
+                return out;
+            }
+        };
+        for fd in &self.fields {
+            match fields.iter().find(|(id, _)| *id == fd.id) {
+                None => {
+                    if fd.required == Requiredness::Required {
+                        out.push(SchemaViolation::MissingRequired {
+                            id: fd.id,
+                            name: fd.name.clone(),
+                        });
+                    }
+                }
+                Some((_, v)) => {
+                    let found = v.ttype();
+                    let matches = found == fd.ttype
+                        || (found.is_bool() && fd.ttype.is_bool())
+                        // Sets and lists share a wire shape.
+                        || (found == TType::List && fd.ttype == TType::Set);
+                    if !matches {
+                        out.push(SchemaViolation::TypeMismatch {
+                            id: fd.id,
+                            expected: fd.ttype,
+                            found,
+                        });
+                    }
+                }
+            }
+        }
+        for (id, _) in fields {
+            if self.field(*id).is_none() {
+                out.push(SchemaViolation::UnknownField { id: *id });
+            }
+        }
+        out
+    }
+}
+
+/// Maps Scribe category names to struct descriptors.
+///
+/// With application-specific logging every category had its own shape; the
+/// registry is the single place downstream tooling consults to decode a
+/// category's messages.
+#[derive(Debug, Default)]
+pub struct SchemaRegistry {
+    by_category: BTreeMap<String, StructDescriptor>,
+}
+
+impl SchemaRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the schema for `category`.
+    pub fn register(&mut self, category: impl Into<String>, schema: StructDescriptor) {
+        self.by_category.insert(category.into(), schema);
+    }
+
+    /// Returns the schema for `category`, if registered.
+    pub fn get(&self, category: &str) -> Option<&StructDescriptor> {
+        self.by_category.get(category)
+    }
+
+    /// Iterates categories in lexicographic order.
+    pub fn categories(&self) -> impl Iterator<Item = &str> {
+        self.by_category.keys().map(String::as_str)
+    }
+
+    /// Number of registered categories.
+    pub fn len(&self) -> usize {
+        self.by_category.len()
+    }
+
+    /// True if no categories are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_category.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point_schema() -> StructDescriptor {
+        StructDescriptor::new(
+            "Point",
+            [
+                (1, "x", TType::I64, Requiredness::Required),
+                (2, "y", TType::I64, Requiredness::Required),
+                (3, "label", TType::Binary, Requiredness::Optional),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        let s = point_schema();
+        assert_eq!(s.field(1).unwrap().name, "x");
+        assert_eq!(s.field_by_name("label").unwrap().id, 3);
+        assert!(s.field(9).is_none());
+        assert!(s.field_by_name("z").is_none());
+    }
+
+    #[test]
+    fn valid_struct_passes() {
+        let v = TValue::Struct(vec![(1, TValue::I64(1)), (2, TValue::I64(2))]);
+        assert!(point_schema().validate(&v).is_empty());
+    }
+
+    #[test]
+    fn missing_required_is_reported() {
+        let v = TValue::Struct(vec![(1, TValue::I64(1))]);
+        let viol = point_schema().validate(&v);
+        assert_eq!(
+            viol,
+            vec![SchemaViolation::MissingRequired {
+                id: 2,
+                name: "y".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn missing_optional_is_fine() {
+        let v = TValue::Struct(vec![(1, TValue::I64(1)), (2, TValue::I64(2))]);
+        assert!(point_schema().validate(&v).is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_is_reported() {
+        let v = TValue::Struct(vec![
+            (1, TValue::String("oops".into())),
+            (2, TValue::I64(2)),
+        ]);
+        let viol = point_schema().validate(&v);
+        assert_eq!(
+            viol,
+            vec![SchemaViolation::TypeMismatch {
+                id: 1,
+                expected: TType::I64,
+                found: TType::Binary
+            }]
+        );
+    }
+
+    #[test]
+    fn unknown_field_is_informational() {
+        let v = TValue::Struct(vec![
+            (1, TValue::I64(1)),
+            (2, TValue::I64(2)),
+            (99, TValue::Bool(true)),
+        ]);
+        let viol = point_schema().validate(&v);
+        assert_eq!(viol, vec![SchemaViolation::UnknownField { id: 99 }]);
+    }
+
+    #[test]
+    fn non_struct_value_fails() {
+        let viol = point_schema().validate(&TValue::I64(1));
+        assert_eq!(viol.len(), 1);
+        assert!(matches!(viol[0], SchemaViolation::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn registry_registers_and_lists() {
+        let mut reg = SchemaRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("client_events", point_schema());
+        reg.register("ads_serving", point_schema());
+        assert_eq!(reg.len(), 2);
+        assert_eq!(
+            reg.categories().collect::<Vec<_>>(),
+            vec!["ads_serving", "client_events"]
+        );
+        assert!(reg.get("client_events").is_some());
+        assert!(reg.get("nope").is_none());
+    }
+}

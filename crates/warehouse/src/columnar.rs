@@ -1,0 +1,367 @@
+//! An RCFile-like columnar layout (§4.2's rejected design alternative).
+//!
+//! "To mitigate that issue, we could adopt a columnar storage format such
+//! as RCFile. However, this solution primarily focuses on reducing the
+//! running time of each map task; without modification, RCFiles would not
+//! reduce the number of mappers that are spawned for large analytics jobs."
+//!
+//! The format mirrors RCFile's row-group-of-column-chunks shape: rows are
+//! buffered into groups; within a group each column's cells are
+//! concatenated and compressed separately, so a projection decompresses
+//! only the columns it needs. A row group is the unit of scan (≈ one map
+//! task), which is exactly why the paper's mapper-count problem survives
+//! this layout — the experiment the `layout` ablation reproduces.
+
+use crate::compress;
+use crate::error::{WarehouseError, WarehouseResult};
+use crate::path::WhPath;
+use crate::store::Warehouse;
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *input.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Writes rows of `columns` byte-cells into row groups of `rows_per_group`.
+pub struct ColumnarWriter {
+    inner: crate::file::RecordFileWriter,
+    columns: usize,
+    rows_per_group: usize,
+    /// Per-column buffered cells (length-prefixed concatenation).
+    buffers: Vec<Vec<u8>>,
+    buffered_rows: usize,
+}
+
+impl ColumnarWriter {
+    /// Opens a columnar file at `path`.
+    pub fn create(
+        warehouse: &Warehouse,
+        path: &WhPath,
+        columns: usize,
+        rows_per_group: usize,
+    ) -> WarehouseResult<ColumnarWriter> {
+        assert!(columns > 0 && rows_per_group > 0);
+        Ok(ColumnarWriter {
+            inner: warehouse.create(path)?,
+            columns,
+            rows_per_group,
+            buffers: vec![Vec::new(); columns],
+            buffered_rows: 0,
+        })
+    }
+
+    /// Appends one row; `cells.len()` must equal the column count.
+    pub fn append_row(&mut self, cells: &[&[u8]]) {
+        assert_eq!(cells.len(), self.columns, "row width");
+        for (buf, cell) in self.buffers.iter_mut().zip(cells) {
+            write_varint(buf, cell.len() as u64);
+            buf.extend_from_slice(cell);
+        }
+        self.buffered_rows += 1;
+        if self.buffered_rows >= self.rows_per_group {
+            self.seal_group();
+        }
+    }
+
+    fn seal_group(&mut self) {
+        if self.buffered_rows == 0 {
+            return;
+        }
+        // Row group record: varint row count, varint column count, then per
+        // column varint compressed length + compressed cells.
+        let mut record = Vec::new();
+        write_varint(&mut record, self.buffered_rows as u64);
+        write_varint(&mut record, self.columns as u64);
+        for buf in &mut self.buffers {
+            let compressed = compress::compress(buf);
+            write_varint(&mut record, compressed.len() as u64);
+            record.extend_from_slice(&compressed);
+            buf.clear();
+        }
+        self.inner.append_record(&record);
+        self.buffered_rows = 0;
+    }
+
+    /// Seals the final group and installs the file.
+    pub fn finish(mut self) -> WarehouseResult<()> {
+        self.seal_group();
+        self.inner.finish()?;
+        Ok(())
+    }
+}
+
+/// Per-scan accounting for columnar reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColumnarScanStats {
+    /// Row groups visited (≈ map tasks — unchanged by projection).
+    pub row_groups: u64,
+    /// Rows yielded.
+    pub rows: u64,
+    /// Bytes actually decompressed (only the projected columns).
+    pub bytes_decompressed: u64,
+    /// Compressed bytes of column chunks that were skipped.
+    pub bytes_skipped: u64,
+}
+
+/// Reads a projection of columns; yields rows of owned cells.
+pub struct ColumnarReader {
+    reader: crate::file::RecordFileReader,
+    projection: Vec<usize>,
+    /// Decoded rows of the current group, reversed for pop().
+    pending: Vec<Vec<Vec<u8>>>,
+    stats: ColumnarScanStats,
+}
+
+impl ColumnarReader {
+    /// Opens `path`, reading only the columns in `projection` (indexes).
+    pub fn open(
+        warehouse: &Warehouse,
+        path: &WhPath,
+        projection: &[usize],
+    ) -> WarehouseResult<ColumnarReader> {
+        assert!(!projection.is_empty(), "project at least one column");
+        Ok(ColumnarReader {
+            reader: warehouse.open(path)?,
+            projection: projection.to_vec(),
+            pending: Vec::new(),
+            stats: ColumnarScanStats::default(),
+        })
+    }
+
+    /// Scan accounting so far.
+    pub fn stats(&self) -> ColumnarScanStats {
+        self.stats
+    }
+
+    fn load_group(&mut self) -> WarehouseResult<bool> {
+        let Some(record) = self.reader.next_record()? else {
+            return Ok(false);
+        };
+        let mut pos = 0;
+        let rows = read_varint(record, &mut pos)
+            .ok_or(WarehouseError::Corrupt("row group header"))? as usize;
+        let cols = read_varint(record, &mut pos)
+            .ok_or(WarehouseError::Corrupt("row group header"))? as usize;
+        if self.projection.iter().any(|p| *p >= cols) {
+            return Err(WarehouseError::Corrupt("projection out of range"));
+        }
+        // Slice out each column chunk; decompress only projected ones.
+        let mut columns: Vec<Option<Vec<u8>>> = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let len = read_varint(record, &mut pos)
+                .ok_or(WarehouseError::Corrupt("column length"))? as usize;
+            let chunk = record
+                .get(pos..pos + len)
+                .ok_or(WarehouseError::Corrupt("column body"))?;
+            pos += len;
+            if self.projection.contains(&c) {
+                let cells = compress::decompress(chunk)
+                    .ok_or(WarehouseError::Corrupt("column decompress"))?;
+                self.stats.bytes_decompressed += cells.len() as u64;
+                columns.push(Some(cells));
+            } else {
+                self.stats.bytes_skipped += len as u64;
+                columns.push(None);
+            }
+        }
+        // Decode the projected columns into row-major order.
+        let mut cursors = vec![0usize; cols];
+        let mut group_rows = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let mut row = Vec::with_capacity(self.projection.len());
+            for &p in &self.projection {
+                let cells = columns[p].as_ref().expect("projected column decoded");
+                let len = read_varint(cells, &mut cursors[p])
+                    .ok_or(WarehouseError::Corrupt("cell length"))? as usize;
+                let start = cursors[p];
+                let cell = cells
+                    .get(start..start + len)
+                    .ok_or(WarehouseError::Corrupt("cell body"))?;
+                cursors[p] += len;
+                row.push(cell.to_vec());
+            }
+            group_rows.push(row);
+        }
+        group_rows.reverse();
+        self.pending = group_rows;
+        self.stats.row_groups += 1;
+        Ok(true)
+    }
+
+    /// Yields the next projected row, or `None` at end of file.
+    pub fn next_row(&mut self) -> WarehouseResult<Option<Vec<Vec<u8>>>> {
+        while self.pending.is_empty() {
+            if !self.load_group()? {
+                return Ok(None);
+            }
+        }
+        self.stats.rows += 1;
+        Ok(self.pending.pop())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> WhPath {
+        WhPath::parse(s).unwrap()
+    }
+
+    fn write_fixture(wh: &Warehouse, rows: usize, group: usize) {
+        let mut w = ColumnarWriter::create(wh, &p("/col"), 3, group).unwrap();
+        for i in 0..rows {
+            let a = format!("user-{}", i % 7);
+            let b = format!("action-{}", i % 3);
+            let c = format!("payload-{i}-{}", "x".repeat(40));
+            w.append_row(&[a.as_bytes(), b.as_bytes(), c.as_bytes()]);
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn full_projection_round_trips() {
+        let wh = Warehouse::new();
+        write_fixture(&wh, 250, 64);
+        let mut r = ColumnarReader::open(&wh, &p("/col"), &[0, 1, 2]).unwrap();
+        let mut n = 0;
+        while let Some(row) = r.next_row().unwrap() {
+            assert_eq!(row.len(), 3);
+            assert_eq!(row[0], format!("user-{}", n % 7).into_bytes());
+            assert_eq!(row[1], format!("action-{}", n % 3).into_bytes());
+            n += 1;
+        }
+        assert_eq!(n, 250);
+        assert_eq!(r.stats().row_groups, 4); // ceil(250/64)
+    }
+
+    #[test]
+    fn narrow_projection_decompresses_less_but_visits_all_groups() {
+        let wh = Warehouse::new();
+        write_fixture(&wh, 500, 100);
+
+        let mut wide = ColumnarReader::open(&wh, &p("/col"), &[0, 1, 2]).unwrap();
+        while wide.next_row().unwrap().is_some() {}
+        let mut narrow = ColumnarReader::open(&wh, &p("/col"), &[1]).unwrap();
+        while narrow.next_row().unwrap().is_some() {}
+
+        let w = wide.stats();
+        let n = narrow.stats();
+        assert_eq!(w.rows, 500);
+        assert_eq!(n.rows, 500);
+        // The paper's point, in two assertions: per-task bytes shrink…
+        assert!(
+            n.bytes_decompressed * 3 < w.bytes_decompressed,
+            "projection must cut decompressed bytes: {} vs {}",
+            n.bytes_decompressed,
+            w.bytes_decompressed
+        );
+        assert!(n.bytes_skipped > 0);
+        // …but the number of scan units (mappers) does not.
+        assert_eq!(n.row_groups, w.row_groups);
+    }
+
+    #[test]
+    fn projection_order_is_respected() {
+        let wh = Warehouse::new();
+        write_fixture(&wh, 10, 4);
+        let mut r = ColumnarReader::open(&wh, &p("/col"), &[2, 0]).unwrap();
+        let row = r.next_row().unwrap().unwrap();
+        assert!(row[0].starts_with(b"payload-0"));
+        assert_eq!(row[1], b"user-0".to_vec());
+    }
+
+    #[test]
+    fn empty_file() {
+        let wh = Warehouse::new();
+        let w = ColumnarWriter::create(&wh, &p("/empty"), 2, 8).unwrap();
+        w.finish().unwrap();
+        let mut r = ColumnarReader::open(&wh, &p("/empty"), &[0]).unwrap();
+        assert!(r.next_row().unwrap().is_none());
+        assert_eq!(r.stats().row_groups, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let wh = Warehouse::new();
+        let mut w = ColumnarWriter::create(&wh, &p("/x"), 2, 8).unwrap();
+        w.append_row(&[b"only-one"]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Arbitrary cell contents round-trip through any projection.
+            #[test]
+            fn round_trips_any_projection(
+                rows in proptest::collection::vec(
+                    (proptest::collection::vec(any::<u8>(), 0..40),
+                     proptest::collection::vec(any::<u8>(), 0..40)),
+                    0..60,
+                ),
+                group in 1usize..16,
+                project_first in any::<bool>(),
+            ) {
+                let wh = Warehouse::new();
+                let path = WhPath::parse("/prop").unwrap();
+                let mut w = ColumnarWriter::create(&wh, &path, 2, group).unwrap();
+                for (a, b) in &rows {
+                    w.append_row(&[a.as_slice(), b.as_slice()]);
+                }
+                w.finish().unwrap();
+                let projection: Vec<usize> =
+                    if project_first { vec![0] } else { vec![0, 1] };
+                let mut r = ColumnarReader::open(&wh, &path, &projection).unwrap();
+                let mut i = 0;
+                while let Some(row) = r.next_row().unwrap() {
+                    prop_assert_eq!(&row[0], &rows[i].0);
+                    if !project_first {
+                        prop_assert_eq!(&row[1], &rows[i].1);
+                    }
+                    i += 1;
+                }
+                prop_assert_eq!(i, rows.len());
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_projection_is_an_error() {
+        let wh = Warehouse::new();
+        write_fixture(&wh, 10, 4);
+        let mut r = ColumnarReader::open(&wh, &p("/col"), &[9]).unwrap();
+        assert!(matches!(
+            r.next_row(),
+            Err(WarehouseError::Corrupt("projection out of range"))
+        ));
+    }
+}

@@ -1,0 +1,264 @@
+//! `ulz`: a small LZ-style block compressor.
+//!
+//! The aggregators "write the merged results to HDFS … compressing data on
+//! the fly" (§2). The approved dependency set has no compression crate, so we
+//! implement a simple byte-oriented LZ77 variant: greedy matching against a
+//! 64 KiB window via a 4-byte hash table, literals in runs, matches as
+//! (length, distance) tokens with varint distances.
+//!
+//! ## Format
+//!
+//! A compressed buffer is `varint(uncompressed_len)` followed by tokens:
+//!
+//! * `0x00..=0x7f`: literal run; token value + 1 literal bytes follow.
+//! * `0x80..=0xff`: match; length = `(token & 0x7f) + MIN_MATCH`, followed by
+//!   a varint distance (≥ 1). Distances may be smaller than the length
+//!   (overlapping copy), which encodes runs cheaply.
+//!
+//! The format is deliberately simple; the point is realistic compression
+//! *behaviour* (repetitive log text shrinks a lot, random bytes do not), not
+//! a competitive ratio.
+
+/// Minimum match length worth encoding.
+const MIN_MATCH: usize = 4;
+/// Maximum match length a single token can express.
+const MAX_MATCH: usize = MIN_MATCH + 0x7f;
+/// Window size: matches may reach at most this far back.
+const WINDOW: usize = 1 << 16;
+/// Hash table size (power of two).
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *input.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Compresses `input`, returning the `ulz` byte stream.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    write_varint(&mut out, input.len() as u64);
+    if input.is_empty() {
+        return out;
+    }
+
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut pos = 0;
+    let mut literal_start = 0;
+
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        let candidate = table[h];
+        table[h] = pos;
+
+        let found = candidate != usize::MAX
+            && pos - candidate <= WINDOW
+            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH];
+        if found {
+            // Extend the match.
+            let mut len = MIN_MATCH;
+            let max = (input.len() - pos).min(MAX_MATCH);
+            while len < max && input[candidate + len] == input[pos + len] {
+                len += 1;
+            }
+            flush_literals(&mut out, &input[literal_start..pos]);
+            out.push(0x80 | (len - MIN_MATCH) as u8);
+            write_varint(&mut out, (pos - candidate) as u64);
+            // Seed the table inside the match so later data can refer to it.
+            let end = pos + len;
+            pos += 1;
+            while pos < end && pos + MIN_MATCH <= input.len() {
+                table[hash4(&input[pos..])] = pos;
+                pos += 1;
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    flush_literals(&mut out, &input[literal_start..]);
+    out
+}
+
+fn flush_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
+    while !lits.is_empty() {
+        let n = lits.len().min(128);
+        out.push((n - 1) as u8);
+        out.extend_from_slice(&lits[..n]);
+        lits = &lits[n..];
+    }
+}
+
+/// Decompresses a `ulz` stream. Returns `None` on any structural error.
+pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
+    let mut pos = 0;
+    let expected = read_varint(input, &mut pos)? as usize;
+    // Sanity bound: refuse to allocate more than 1 GiB for one block.
+    if expected > (1 << 30) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(expected);
+    while pos < input.len() {
+        let token = input[pos];
+        pos += 1;
+        if token < 0x80 {
+            let n = usize::from(token) + 1;
+            let lits = input.get(pos..pos + n)?;
+            out.extend_from_slice(lits);
+            pos += n;
+        } else {
+            let len = usize::from(token & 0x7f) + MIN_MATCH;
+            let dist = read_varint(input, &mut pos)? as usize;
+            if dist == 0 || dist > out.len() {
+                return None;
+            }
+            let start = out.len() - dist;
+            // Overlapping copies must proceed byte by byte.
+            for i in 0..len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        }
+    }
+    (out.len() == expected).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).as_deref(), Some(data));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abc");
+        round_trip(b"abcd");
+    }
+
+    #[test]
+    fn repetitive_text_shrinks() {
+        let line = b"web:home:mentions:stream:avatar:profile_click\tuid=12345\n";
+        let mut data = Vec::new();
+        for _ in 0..500 {
+            data.extend_from_slice(line);
+        }
+        let c = compress(&data);
+        assert!(
+            c.len() * 10 < data.len(),
+            "repetitive logs should compress >10x, got {} / {}",
+            c.len(),
+            data.len()
+        );
+        round_trip(&data);
+    }
+
+    #[test]
+    fn run_of_one_byte_uses_overlapping_copy() {
+        let data = vec![b'x'; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 200, "run should be tiny, got {}", c.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn incompressible_data_grows_bounded() {
+        // A pseudo-random, non-repeating sequence.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        // Worst case: 1 token byte per 128 literals plus the length prefix.
+        assert!(c.len() <= data.len() + data.len() / 128 + 16);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected_not_panicking() {
+        let c = compress(b"hello hello hello hello hello");
+        // Truncations.
+        for cut in 0..c.len() {
+            let _ = decompress(&c[..cut]); // must not panic
+        }
+        // Bit flips.
+        for i in 0..c.len() {
+            let mut bad = c.clone();
+            bad[i] ^= 0xff;
+            let _ = decompress(&bad); // must not panic
+        }
+    }
+
+    #[test]
+    fn invalid_distance_is_rejected() {
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 8);
+        bad.push(0x00); // literal run of 1
+        bad.push(b'a');
+        bad.push(0x80); // match of MIN_MATCH
+        write_varint(&mut bad, 99); // distance beyond output
+        assert_eq!(decompress(&bad), None);
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 100); // claims 100 bytes
+        bad.push(0x00);
+        bad.push(b'a'); // delivers 1
+        assert_eq!(decompress(&bad), None);
+    }
+
+    proptest! {
+        #[test]
+        fn random_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            round_trip(&data);
+        }
+
+        #[test]
+        fn structured_round_trips(
+            words in proptest::collection::vec("[a-e]{1,8}", 0..256)
+        ) {
+            let data = words.join(":").into_bytes();
+            round_trip(&data);
+        }
+    }
+}

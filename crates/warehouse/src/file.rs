@@ -1,0 +1,270 @@
+//! Block-structured record files.
+//!
+//! A record file is a sequence of blocks; each block holds many
+//! varint-length-prefixed records and is independently compressed and
+//! checksummed. A block models an HDFS block: it is the unit of scan cost
+//! (one simulated map task per block) and the unit an index can skip.
+
+use std::sync::Arc;
+
+use crate::compress;
+use crate::error::{WarehouseError, WarehouseResult};
+use crate::stats::StatsCell;
+
+/// FNV-1a 64-bit hash, used as a block checksum.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *input.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// One sealed block.
+#[derive(Debug, Clone)]
+pub(crate) struct Block {
+    pub(crate) compressed: Vec<u8>,
+    pub(crate) uncompressed_len: u64,
+    pub(crate) checksum: u64,
+    pub(crate) num_records: u64,
+}
+
+/// Immutable contents of a finished file.
+#[derive(Debug, Default)]
+pub(crate) struct FileData {
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) total_records: u64,
+    pub(crate) total_compressed: u64,
+    pub(crate) total_uncompressed: u64,
+}
+
+/// Summary metadata of a stored file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Number of blocks (= simulated map tasks to scan the file).
+    pub blocks: u64,
+    /// Records across all blocks.
+    pub records: u64,
+    /// Compressed (on-disk) size.
+    pub compressed_bytes: u64,
+    /// Uncompressed (logical) size.
+    pub uncompressed_bytes: u64,
+}
+
+impl FileData {
+    pub(crate) fn meta(&self) -> FileMeta {
+        FileMeta {
+            blocks: self.blocks.len() as u64,
+            records: self.total_records,
+            compressed_bytes: self.total_compressed,
+            uncompressed_bytes: self.total_uncompressed,
+        }
+    }
+}
+
+/// Streaming writer: buffers records, seals a block whenever the buffer
+/// reaches the configured capacity, and atomically installs the file on
+/// [`RecordFileWriter::finish`].
+pub struct RecordFileWriter {
+    pub(crate) install: Box<dyn FnOnce(FileData) -> WarehouseResult<()> + Send>,
+    pub(crate) block_capacity: usize,
+    pub(crate) pending: Vec<u8>,
+    pub(crate) pending_records: u64,
+    pub(crate) data: FileData,
+}
+
+impl RecordFileWriter {
+    /// Appends one record.
+    pub fn append_record(&mut self, record: &[u8]) {
+        write_varint(&mut self.pending, record.len() as u64);
+        self.pending.extend_from_slice(record);
+        self.pending_records += 1;
+        if self.pending.len() >= self.block_capacity {
+            self.seal_block();
+        }
+    }
+
+    /// Number of records appended so far.
+    pub fn records_written(&self) -> u64 {
+        self.data.total_records + self.pending_records
+    }
+
+    fn seal_block(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let compressed = compress::compress(&self.pending);
+        let checksum = fnv1a64(&compressed);
+        self.data.total_compressed += compressed.len() as u64;
+        self.data.total_uncompressed += self.pending.len() as u64;
+        self.data.total_records += self.pending_records;
+        self.data.blocks.push(Block {
+            compressed,
+            uncompressed_len: self.pending.len() as u64,
+            checksum,
+            num_records: self.pending_records,
+        });
+        self.pending.clear();
+        self.pending_records = 0;
+    }
+
+    /// Seals the final block and installs the file in the warehouse.
+    pub fn finish(mut self) -> WarehouseResult<FileMeta> {
+        self.seal_block();
+        let meta = self.data.meta();
+        let data = std::mem::take(&mut self.data);
+        (self.install)(data)?;
+        Ok(meta)
+    }
+}
+
+/// Streaming reader over a file's records, decompressing block by block and
+/// charging every read to the warehouse scan counters.
+pub struct RecordFileReader {
+    pub(crate) path: String,
+    pub(crate) data: Arc<FileData>,
+    pub(crate) stats: Arc<StatsCell>,
+    pub(crate) block_filter: Option<Vec<bool>>,
+    next_block: usize,
+    cur_block: Option<usize>,
+    buf: Vec<u8>,
+    buf_pos: usize,
+}
+
+impl RecordFileReader {
+    pub(crate) fn new(
+        path: String,
+        data: Arc<FileData>,
+        stats: Arc<StatsCell>,
+        block_filter: Option<Vec<bool>>,
+    ) -> Self {
+        stats.file_opened();
+        RecordFileReader {
+            path,
+            data,
+            stats,
+            block_filter,
+            next_block: 0,
+            cur_block: None,
+            buf: Vec::new(),
+            buf_pos: 0,
+        }
+    }
+
+    /// Number of blocks in the file (before any filter).
+    pub fn block_count(&self) -> usize {
+        self.data.blocks.len()
+    }
+
+    /// Number of records stored in block `idx`. Index builders use this to
+    /// map record offsets back to blocks without decompressing.
+    pub fn block_records(&self, idx: usize) -> u64 {
+        self.data.blocks[idx].num_records
+    }
+
+    /// Index of the block the most recent record came from (`None` before
+    /// the first record). Index builders use this to attribute records to
+    /// blocks while scanning.
+    pub fn current_block(&self) -> Option<usize> {
+        self.cur_block
+    }
+
+    /// Restricts reading to blocks whose entry in `keep` is true — the
+    /// index-pushdown hook used by Elephant Twin-style scans. Skipped blocks
+    /// are never decompressed and count as `blocks_skipped`.
+    pub fn set_block_filter(&mut self, keep: Vec<bool>) {
+        assert_eq!(keep.len(), self.data.blocks.len(), "filter length mismatch");
+        self.block_filter = Some(keep);
+    }
+
+    fn load_next_block(&mut self) -> WarehouseResult<bool> {
+        loop {
+            if self.next_block >= self.data.blocks.len() {
+                return Ok(false);
+            }
+            let idx = self.next_block;
+            self.next_block += 1;
+            if let Some(filter) = &self.block_filter {
+                if !filter[idx] {
+                    self.stats.block_skipped();
+                    continue;
+                }
+            }
+            let block = &self.data.blocks[idx];
+            if fnv1a64(&block.compressed) != block.checksum {
+                return Err(WarehouseError::ChecksumMismatch {
+                    path: self.path.clone(),
+                    block: idx,
+                });
+            }
+            let decompressed = compress::decompress(&block.compressed)
+                .ok_or(WarehouseError::Corrupt("block failed to decompress"))?;
+            if decompressed.len() as u64 != block.uncompressed_len {
+                return Err(WarehouseError::Corrupt("block length mismatch"));
+            }
+            self.stats
+                .block_read(block.compressed.len() as u64, decompressed.len() as u64);
+            self.cur_block = Some(idx);
+            self.buf = decompressed;
+            self.buf_pos = 0;
+            return Ok(true);
+        }
+    }
+
+    /// Yields the next record, or `None` at end of file.
+    pub fn next_record(&mut self) -> WarehouseResult<Option<&[u8]>> {
+        while self.buf_pos >= self.buf.len() {
+            if !self.load_next_block()? {
+                return Ok(None);
+            }
+        }
+        let len = read_varint(&self.buf, &mut self.buf_pos)
+            .ok_or(WarehouseError::Corrupt("record length"))? as usize;
+        if self.buf_pos + len > self.buf.len() {
+            return Err(WarehouseError::Corrupt("record body"));
+        }
+        let start = self.buf_pos;
+        self.buf_pos += len;
+        self.stats.record_read();
+        Ok(Some(&self.buf[start..start + len]))
+    }
+
+    /// Convenience: collects all remaining records as owned vectors.
+    pub fn read_all(mut self) -> WarehouseResult<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record()? {
+            out.push(rec.to_vec());
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-category, per-hour partition naming.
+//!
+//! "Logs arrive in the main data warehouse and are deposited in per-category,
+//! per-hour directories (e.g., `/logs/category/YYYY/MM/DD/HH/`)" (§2).
+
+use crate::error::{WarehouseError, WarehouseResult};
+use crate::path::WhPath;
+
+/// Identifies one hour of one log category.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HourlyPartition {
+    /// Scribe category, e.g. `client_events`.
+    pub category: String,
+    /// Year (e.g. 2012).
+    pub year: u16,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day 1–31.
+    pub day: u8,
+    /// Hour 0–23.
+    pub hour: u8,
+}
+
+impl HourlyPartition {
+    /// Builds a partition, validating the calendar fields.
+    pub fn new(
+        category: impl Into<String>,
+        year: u16,
+        month: u8,
+        day: u8,
+        hour: u8,
+    ) -> WarehouseResult<Self> {
+        let category = category.into();
+        if category.is_empty()
+            || category.contains('/')
+            || !(1..=12).contains(&month)
+            || !(1..=31).contains(&day)
+            || hour > 23
+        {
+            return Err(WarehouseError::BadPath(format!(
+                "{category}/{year}/{month}/{day}/{hour}"
+            )));
+        }
+        Ok(HourlyPartition {
+            category,
+            year,
+            month,
+            day,
+            hour,
+        })
+    }
+
+    /// Builds a partition from an hour index (hours since epoch hour zero in
+    /// a simplified 30-day-month calendar used by the simulation clock).
+    ///
+    /// The simulation timestamps are milliseconds since an arbitrary origin;
+    /// we map them to a synthetic calendar starting 2012-08-01 00:00.
+    pub fn from_hour_index(category: impl Into<String>, hour_index: u64) -> Self {
+        let hour = (hour_index % 24) as u8;
+        let days = hour_index / 24;
+        let day = (days % 30 + 1) as u8;
+        let months = days / 30;
+        let month = ((7 + months) % 12 + 1) as u8;
+        let year = (2012 + (7 + months) / 12) as u16;
+        HourlyPartition {
+            category: category.into(),
+            year,
+            month,
+            day,
+            hour,
+        }
+    }
+
+    /// The directory under the main warehouse: `/logs/<cat>/YYYY/MM/DD/HH`.
+    pub fn main_dir(&self) -> WhPath {
+        WhPath::parse(&format!(
+            "/logs/{}/{:04}/{:02}/{:02}/{:02}",
+            self.category, self.year, self.month, self.day, self.hour
+        ))
+        .expect("constructed path is valid")
+    }
+
+    /// The staging directory used while an hour is being assembled, sibling
+    /// to the final location so the final move is a pure rename.
+    pub fn staging_dir(&self) -> WhPath {
+        WhPath::parse(&format!(
+            "/staging/{}/{:04}/{:02}/{:02}/{:02}",
+            self.category, self.year, self.month, self.day, self.hour
+        ))
+        .expect("constructed path is valid")
+    }
+
+    /// Next hour, rolling over day/month/year in the simplified calendar.
+    pub fn next_hour(&self) -> Self {
+        let mut p = self.clone();
+        p.hour += 1;
+        if p.hour == 24 {
+            p.hour = 0;
+            p.day += 1;
+            if p.day > 30 {
+                p.day = 1;
+                p.month += 1;
+                if p.month > 12 {
+                    p.month = 1;
+                    p.year += 1;
+                }
+            }
+        }
+        p
+    }
+}
+
+impl std::fmt::Display for HourlyPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{:04}/{:02}/{:02}/{:02}",
+            self.category, self.year, self.month, self.day, self.hour
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_calendar_fields() {
+        assert!(HourlyPartition::new("ce", 2012, 8, 21, 14).is_ok());
+        assert!(HourlyPartition::new("", 2012, 8, 21, 14).is_err());
+        assert!(HourlyPartition::new("a/b", 2012, 8, 21, 14).is_err());
+        assert!(HourlyPartition::new("ce", 2012, 0, 21, 14).is_err());
+        assert!(HourlyPartition::new("ce", 2012, 13, 21, 14).is_err());
+        assert!(HourlyPartition::new("ce", 2012, 8, 0, 14).is_err());
+        assert!(HourlyPartition::new("ce", 2012, 8, 32, 14).is_err());
+        assert!(HourlyPartition::new("ce", 2012, 8, 21, 24).is_err());
+    }
+
+    #[test]
+    fn directory_layout_matches_paper() {
+        let p = HourlyPartition::new("client_events", 2012, 8, 21, 9).unwrap();
+        assert_eq!(p.main_dir().as_str(), "/logs/client_events/2012/08/21/09");
+        assert_eq!(
+            p.staging_dir().as_str(),
+            "/staging/client_events/2012/08/21/09"
+        );
+    }
+
+    #[test]
+    fn hour_index_mapping_is_stable() {
+        let p = HourlyPartition::from_hour_index("ce", 0);
+        assert_eq!((p.year, p.month, p.day, p.hour), (2012, 8, 1, 0));
+        let p = HourlyPartition::from_hour_index("ce", 25);
+        assert_eq!((p.year, p.month, p.day, p.hour), (2012, 8, 2, 1));
+        // 30 synthetic days later: next month.
+        let p = HourlyPartition::from_hour_index("ce", 24 * 30);
+        assert_eq!((p.year, p.month, p.day), (2012, 9, 1));
+    }
+
+    #[test]
+    fn next_hour_rolls_over() {
+        let p = HourlyPartition::new("ce", 2012, 12, 30, 23).unwrap();
+        let n = p.next_hour();
+        assert_eq!((n.year, n.month, n.day, n.hour), (2013, 1, 1, 0));
+    }
+}

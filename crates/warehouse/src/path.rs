@@ -1,0 +1,138 @@
+//! Warehouse paths.
+
+use crate::error::{WarehouseError, WarehouseResult};
+
+/// A validated absolute warehouse path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WhPath(String);
+
+impl WhPath {
+    /// Parses and validates: absolute, `/`-separated, non-empty segments,
+    /// no `.`/`..`, no trailing slash (except the root itself).
+    pub fn parse(path: &str) -> WarehouseResult<WhPath> {
+        if path == "/" {
+            return Ok(WhPath("/".to_string()));
+        }
+        if !path.starts_with('/') || path.ends_with('/') {
+            return Err(WarehouseError::BadPath(path.to_string()));
+        }
+        for seg in path[1..].split('/') {
+            if seg.is_empty() || seg == "." || seg == ".." {
+                return Err(WarehouseError::BadPath(path.to_string()));
+            }
+        }
+        Ok(WhPath(path.to_string()))
+    }
+
+    /// The root path `/`.
+    pub fn root() -> WhPath {
+        WhPath("/".to_string())
+    }
+
+    /// The path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The parent directory; `None` for the root.
+    pub fn parent(&self) -> Option<WhPath> {
+        if self.0 == "/" {
+            return None;
+        }
+        match self.0.rfind('/') {
+            Some(0) => Some(WhPath("/".to_string())),
+            Some(i) => Some(WhPath(self.0[..i].to_string())),
+            None => None,
+        }
+    }
+
+    /// Final segment name; empty for the root.
+    pub fn name(&self) -> &str {
+        if self.0 == "/" {
+            return "";
+        }
+        &self.0[self.0.rfind('/').map_or(0, |i| i + 1)..]
+    }
+
+    /// Joins a child segment.
+    pub fn child(&self, name: &str) -> WarehouseResult<WhPath> {
+        if name.is_empty() || name.contains('/') || name == "." || name == ".." {
+            return Err(WarehouseError::BadPath(format!("{}/{}", self.0, name)));
+        }
+        if self.0 == "/" {
+            Ok(WhPath(format!("/{name}")))
+        } else {
+            Ok(WhPath(format!("{}/{}", self.0, name)))
+        }
+    }
+
+    /// All ancestor directories from the root down, excluding `self`.
+    pub fn ancestors(&self) -> Vec<WhPath> {
+        let mut out = Vec::new();
+        let mut cur = self.parent();
+        while let Some(p) = cur {
+            cur = p.parent();
+            out.push(p);
+        }
+        out.reverse();
+        out
+    }
+
+    /// True if `self` equals `dir` or lives underneath it.
+    pub fn starts_with(&self, dir: &WhPath) -> bool {
+        if dir.0 == "/" {
+            return true;
+        }
+        self.0 == dir.0 || self.0.starts_with(&format!("{}/", dir.0))
+    }
+}
+
+impl std::fmt::Display for WhPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_validates() {
+        assert!(WhPath::parse("/logs/client_events/2012/08/21/14").is_ok());
+        assert!(WhPath::parse("/").is_ok());
+        for bad in ["", "logs", "/a/", "/a//b", "/a/../b", "/./a"] {
+            assert!(WhPath::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parent_name_child() {
+        let p = WhPath::parse("/logs/ce/part-0").unwrap();
+        assert_eq!(p.name(), "part-0");
+        assert_eq!(p.parent().unwrap().as_str(), "/logs/ce");
+        assert_eq!(
+            WhPath::root().child("logs").unwrap().as_str(),
+            "/logs"
+        );
+        assert!(p.child("a/b").is_err());
+    }
+
+    #[test]
+    fn ancestors_in_order() {
+        let p = WhPath::parse("/a/b/c").unwrap();
+        let anc: Vec<String> = p.ancestors().iter().map(|a| a.as_str().to_string()).collect();
+        assert_eq!(anc, vec!["/", "/a", "/a/b"]);
+    }
+
+    #[test]
+    fn starts_with_prefix_semantics() {
+        let p = WhPath::parse("/logs/ce/file").unwrap();
+        assert!(p.starts_with(&WhPath::parse("/logs").unwrap()));
+        assert!(p.starts_with(&WhPath::root()));
+        assert!(p.starts_with(&p.clone()));
+        // Segment-aware: /logs/ce2 is not a prefix of /logs/ce/file.
+        assert!(!p.starts_with(&WhPath::parse("/logs/c").unwrap()));
+        assert!(!WhPath::parse("/logs2").unwrap().starts_with(&WhPath::parse("/logs").unwrap()));
+    }
+}

@@ -1,0 +1,133 @@
+//! Scan statistics.
+//!
+//! The paper's performance story is told in scans: session-reconstruction
+//! jobs "routinely spawned tens of thousands of mappers … performing large
+//! amounts of brute force scans" (§4.1). The warehouse counts every read so
+//! experiments can report the same quantities.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of cumulative scan counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanStats {
+    /// Record files opened for reading.
+    pub files_opened: u64,
+    /// Blocks decompressed. One block ≈ one HDFS block ≈ one map task's
+    /// input split in the simulated cost model.
+    pub blocks_read: u64,
+    /// Compressed bytes read off "disk".
+    pub compressed_bytes_read: u64,
+    /// Bytes after decompression — what mappers actually process.
+    pub uncompressed_bytes_read: u64,
+    /// Individual records yielded to readers.
+    pub records_read: u64,
+    /// Blocks skipped without decompression thanks to index pushdown.
+    pub blocks_skipped: u64,
+}
+
+impl ScanStats {
+    /// Difference of two snapshots (for measuring one query).
+    pub fn since(&self, earlier: &ScanStats) -> ScanStats {
+        ScanStats {
+            files_opened: self.files_opened - earlier.files_opened,
+            blocks_read: self.blocks_read - earlier.blocks_read,
+            compressed_bytes_read: self.compressed_bytes_read - earlier.compressed_bytes_read,
+            uncompressed_bytes_read: self.uncompressed_bytes_read - earlier.uncompressed_bytes_read,
+            records_read: self.records_read - earlier.records_read,
+            blocks_skipped: self.blocks_skipped - earlier.blocks_skipped,
+        }
+    }
+}
+
+/// Thread-safe counters behind the snapshots.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCell {
+    files_opened: AtomicU64,
+    blocks_read: AtomicU64,
+    compressed_bytes_read: AtomicU64,
+    uncompressed_bytes_read: AtomicU64,
+    records_read: AtomicU64,
+    blocks_skipped: AtomicU64,
+}
+
+impl StatsCell {
+    pub(crate) fn snapshot(&self) -> ScanStats {
+        ScanStats {
+            files_opened: self.files_opened.load(Ordering::Relaxed),
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            compressed_bytes_read: self.compressed_bytes_read.load(Ordering::Relaxed),
+            uncompressed_bytes_read: self.uncompressed_bytes_read.load(Ordering::Relaxed),
+            records_read: self.records_read.load(Ordering::Relaxed),
+            blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.files_opened.store(0, Ordering::Relaxed);
+        self.blocks_read.store(0, Ordering::Relaxed);
+        self.compressed_bytes_read.store(0, Ordering::Relaxed);
+        self.uncompressed_bytes_read.store(0, Ordering::Relaxed);
+        self.records_read.store(0, Ordering::Relaxed);
+        self.blocks_skipped.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn file_opened(&self) {
+        self.files_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn block_read(&self, compressed: u64, uncompressed: u64) {
+        self.blocks_read.fetch_add(1, Ordering::Relaxed);
+        self.compressed_bytes_read.fetch_add(compressed, Ordering::Relaxed);
+        self.uncompressed_bytes_read.fetch_add(uncompressed, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_read(&self) {
+        self.records_read.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn block_skipped(&self) {
+        self.blocks_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let cell = StatsCell::default();
+        cell.file_opened();
+        cell.block_read(100, 400);
+        cell.block_read(50, 200);
+        cell.record_read();
+        cell.block_skipped();
+        let s = cell.snapshot();
+        assert_eq!(s.files_opened, 1);
+        assert_eq!(s.blocks_read, 2);
+        assert_eq!(s.compressed_bytes_read, 150);
+        assert_eq!(s.uncompressed_bytes_read, 600);
+        assert_eq!(s.records_read, 1);
+        assert_eq!(s.blocks_skipped, 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let cell = StatsCell::default();
+        cell.block_read(10, 20);
+        let before = cell.snapshot();
+        cell.block_read(5, 9);
+        let delta = cell.snapshot().since(&before);
+        assert_eq!(delta.blocks_read, 1);
+        assert_eq!(delta.compressed_bytes_read, 5);
+        assert_eq!(delta.uncompressed_bytes_read, 9);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let cell = StatsCell::default();
+        cell.file_opened();
+        cell.reset();
+        assert_eq!(cell.snapshot(), ScanStats::default());
+    }
+}

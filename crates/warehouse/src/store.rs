@@ -1,0 +1,552 @@
+//! The warehouse filesystem: directories, files, atomic renames, outages.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{WarehouseError, WarehouseResult};
+use crate::file::{FileData, RecordFileReader, RecordFileWriter};
+use crate::path::WhPath;
+use crate::stats::{ScanStats, StatsCell};
+
+pub use crate::file::FileMeta;
+
+/// Default block capacity: small enough that laptop-scale datasets still
+/// span many blocks (the unit of simulated map tasks).
+pub const DEFAULT_BLOCK_CAPACITY: usize = 64 * 1024;
+
+#[derive(Debug)]
+enum Entry {
+    Dir,
+    File(Arc<FileData>),
+}
+
+#[derive(Default)]
+struct Tree {
+    /// Path string → entry. The root `/` is an implicit directory.
+    entries: BTreeMap<String, Entry>,
+}
+
+impl Tree {
+    fn is_dir(&self, path: &WhPath) -> bool {
+        path.as_str() == "/" || matches!(self.entries.get(path.as_str()), Some(Entry::Dir))
+    }
+
+    fn mkdirs(&mut self, dir: &WhPath) -> WarehouseResult<()> {
+        for anc in dir.ancestors().into_iter().chain([dir.clone()]) {
+            if anc.as_str() == "/" {
+                continue;
+            }
+            match self.entries.get(anc.as_str()) {
+                None => {
+                    self.entries.insert(anc.as_str().to_string(), Entry::Dir);
+                }
+                Some(Entry::Dir) => {}
+                Some(Entry::File(_)) => {
+                    return Err(WarehouseError::NotADirectory(anc.as_str().to_string()))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Immediate children of `dir` as (name, is_dir).
+    fn list(&self, dir: &WhPath) -> WarehouseResult<Vec<(String, bool)>> {
+        if !self.is_dir(dir) {
+            return Err(if self.entries.contains_key(dir.as_str()) {
+                WarehouseError::NotADirectory(dir.as_str().to_string())
+            } else {
+                WarehouseError::NotFound(dir.as_str().to_string())
+            });
+        }
+        let prefix = if dir.as_str() == "/" {
+            "/".to_string()
+        } else {
+            format!("{}/", dir.as_str())
+        };
+        let mut out = Vec::new();
+        for (path, entry) in self.entries.range(prefix.clone()..) {
+            if !path.starts_with(&prefix) {
+                break;
+            }
+            let rest = &path[prefix.len()..];
+            if rest.is_empty() || rest.contains('/') {
+                continue;
+            }
+            out.push((rest.to_string(), matches!(entry, Entry::Dir)));
+        }
+        Ok(out)
+    }
+}
+
+/// The in-process warehouse. Clone-shareable.
+#[derive(Clone)]
+pub struct Warehouse {
+    tree: Arc<Mutex<Tree>>,
+    stats: Arc<StatsCell>,
+    available: Arc<AtomicBool>,
+    block_capacity: usize,
+}
+
+impl Default for Warehouse {
+    fn default() -> Self {
+        Self::with_block_capacity(DEFAULT_BLOCK_CAPACITY)
+    }
+}
+
+impl Warehouse {
+    /// Creates a warehouse with the default block capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a warehouse whose blocks seal at `block_capacity` uncompressed
+    /// bytes.
+    pub fn with_block_capacity(block_capacity: usize) -> Self {
+        assert!(block_capacity > 0, "block capacity must be positive");
+        Warehouse {
+            tree: Arc::new(Mutex::new(Tree::default())),
+            stats: Arc::new(StatsCell::default()),
+            available: Arc::new(AtomicBool::new(true)),
+            block_capacity,
+        }
+    }
+
+    /// The configured block capacity in bytes.
+    pub fn block_capacity(&self) -> usize {
+        self.block_capacity
+    }
+
+    /// Simulates an HDFS outage (`false`) or recovery (`true`). While
+    /// unavailable, writes fail with [`WarehouseError::Unavailable`]; the
+    /// Scribe aggregators react by buffering to local disk.
+    pub fn set_available(&self, available: bool) {
+        self.available.store(available, Ordering::SeqCst);
+    }
+
+    /// Whether the warehouse currently accepts writes.
+    pub fn is_available(&self) -> bool {
+        self.available.load(Ordering::SeqCst)
+    }
+
+    fn check_available(&self) -> WarehouseResult<()> {
+        if self.is_available() {
+            Ok(())
+        } else {
+            Err(WarehouseError::Unavailable)
+        }
+    }
+
+    /// Cumulative scan statistics.
+    pub fn stats(&self) -> ScanStats {
+        self.stats.snapshot()
+    }
+
+    /// Zeroes the scan statistics.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Creates all directories down to `dir`.
+    pub fn mkdirs(&self, dir: &WhPath) -> WarehouseResult<()> {
+        self.check_available()?;
+        self.tree.lock().mkdirs(dir)
+    }
+
+    /// True if a file or directory exists at `path`.
+    pub fn exists(&self, path: &WhPath) -> bool {
+        path.as_str() == "/" || self.tree.lock().entries.contains_key(path.as_str())
+    }
+
+    /// True if `path` is a directory.
+    pub fn is_dir(&self, path: &WhPath) -> bool {
+        self.tree.lock().is_dir(path)
+    }
+
+    /// Lists the immediate children of `dir` as `(name, is_dir)`, sorted.
+    pub fn list(&self, dir: &WhPath) -> WarehouseResult<Vec<(String, bool)>> {
+        self.tree.lock().list(dir)
+    }
+
+    /// All file paths under `dir`, recursively, sorted.
+    pub fn list_files_recursive(&self, dir: &WhPath) -> WarehouseResult<Vec<WhPath>> {
+        let tree = self.tree.lock();
+        if !tree.is_dir(dir) {
+            return Err(WarehouseError::NotFound(dir.as_str().to_string()));
+        }
+        let prefix = if dir.as_str() == "/" {
+            "/".to_string()
+        } else {
+            format!("{}/", dir.as_str())
+        };
+        Ok(tree
+            .entries
+            .range(prefix.clone()..)
+            .take_while(|(p, _)| p.starts_with(&prefix))
+            .filter(|(_, e)| matches!(e, Entry::File(_)))
+            .map(|(p, _)| WhPath::parse(p).expect("stored paths are valid"))
+            .collect())
+    }
+
+    /// Opens a writer for a new file. Parent directories are created
+    /// implicitly (as HDFS does). The file becomes visible atomically when
+    /// `finish` is called.
+    pub fn create(&self, path: &WhPath) -> WarehouseResult<RecordFileWriter> {
+        self.check_available()?;
+        {
+            let mut tree = self.tree.lock();
+            if tree.entries.contains_key(path.as_str()) {
+                return Err(WarehouseError::AlreadyExists(path.as_str().to_string()));
+            }
+            if let Some(parent) = path.parent() {
+                tree.mkdirs(&parent)?;
+            }
+        }
+        let tree = Arc::clone(&self.tree);
+        let available = Arc::clone(&self.available);
+        let path_str = path.as_str().to_string();
+        let install = Box::new(move |data: FileData| {
+            if !available.load(Ordering::SeqCst) {
+                return Err(WarehouseError::Unavailable);
+            }
+            let mut tree = tree.lock();
+            if tree.entries.contains_key(&path_str) {
+                return Err(WarehouseError::AlreadyExists(path_str.clone()));
+            }
+            tree.entries.insert(path_str.clone(), Entry::File(Arc::new(data)));
+            Ok(())
+        });
+        Ok(RecordFileWriter {
+            install,
+            block_capacity: self.block_capacity,
+            pending: Vec::with_capacity(self.block_capacity),
+            pending_records: 0,
+            data: FileData::default(),
+        })
+    }
+
+    fn file_data(&self, path: &WhPath) -> WarehouseResult<Arc<FileData>> {
+        let tree = self.tree.lock();
+        match tree.entries.get(path.as_str()) {
+            Some(Entry::File(data)) => Ok(Arc::clone(data)),
+            Some(Entry::Dir) => Err(WarehouseError::NotAFile(path.as_str().to_string())),
+            None => Err(WarehouseError::NotFound(path.as_str().to_string())),
+        }
+    }
+
+    /// Opens a record reader over `path`.
+    pub fn open(&self, path: &WhPath) -> WarehouseResult<RecordFileReader> {
+        let data = self.file_data(path)?;
+        Ok(RecordFileReader::new(
+            path.as_str().to_string(),
+            data,
+            Arc::clone(&self.stats),
+            None,
+        ))
+    }
+
+    /// Summary metadata of a file.
+    pub fn file_meta(&self, path: &WhPath) -> WarehouseResult<FileMeta> {
+        Ok(self.file_data(path)?.meta())
+    }
+
+    /// Sum of file metadata under a directory: the sizing input for the
+    /// simulated cost model.
+    pub fn dir_meta(&self, dir: &WhPath) -> WarehouseResult<FileMeta> {
+        let mut total = FileMeta {
+            blocks: 0,
+            records: 0,
+            compressed_bytes: 0,
+            uncompressed_bytes: 0,
+        };
+        for f in self.list_files_recursive(dir)? {
+            let m = self.file_meta(&f)?;
+            total.blocks += m.blocks;
+            total.records += m.records;
+            total.compressed_bytes += m.compressed_bytes;
+            total.uncompressed_bytes += m.uncompressed_bytes;
+        }
+        Ok(total)
+    }
+
+    /// Deletes a file.
+    pub fn delete_file(&self, path: &WhPath) -> WarehouseResult<()> {
+        self.check_available()?;
+        let mut tree = self.tree.lock();
+        match tree.entries.get(path.as_str()) {
+            Some(Entry::File(_)) => {
+                tree.entries.remove(path.as_str());
+                Ok(())
+            }
+            Some(Entry::Dir) => Err(WarehouseError::NotAFile(path.as_str().to_string())),
+            None => Err(WarehouseError::NotFound(path.as_str().to_string())),
+        }
+    }
+
+    /// Recursively deletes a directory and everything under it.
+    pub fn delete_dir(&self, dir: &WhPath) -> WarehouseResult<()> {
+        self.check_available()?;
+        let mut tree = self.tree.lock();
+        if !tree.is_dir(dir) {
+            return Err(WarehouseError::NotFound(dir.as_str().to_string()));
+        }
+        if dir.as_str() == "/" {
+            tree.entries.clear();
+            return Ok(());
+        }
+        let prefix = format!("{}/", dir.as_str());
+        tree.entries
+            .retain(|p, _| p != dir.as_str() && !p.starts_with(&prefix));
+        Ok(())
+    }
+
+    /// Atomically renames a file or directory subtree. This is the primitive
+    /// behind the log mover's "atomic slide": assemble under `/staging/...`,
+    /// then rename into `/logs/...` so readers never observe a partial hour.
+    pub fn rename(&self, src: &WhPath, dst: &WhPath) -> WarehouseResult<()> {
+        self.check_available()?;
+        if dst.starts_with(src) && dst != src {
+            return Err(WarehouseError::BadPath(format!(
+                "cannot rename {src} into its own subtree {dst}"
+            )));
+        }
+        let mut tree = self.tree.lock();
+        if !tree.entries.contains_key(src.as_str()) {
+            return Err(WarehouseError::NotFound(src.as_str().to_string()));
+        }
+        if tree.entries.contains_key(dst.as_str()) {
+            return Err(WarehouseError::AlreadyExists(dst.as_str().to_string()));
+        }
+        if let Some(parent) = dst.parent() {
+            tree.mkdirs(&parent)?;
+        }
+        // Collect the subtree, then reinsert under the new prefix.
+        let src_prefix = format!("{}/", src.as_str());
+        let moved: Vec<String> = tree
+            .entries
+            .keys()
+            .filter(|p| *p == src.as_str() || p.starts_with(&src_prefix))
+            .cloned()
+            .collect();
+        for old in moved {
+            let entry = tree.entries.remove(&old).expect("key listed above");
+            let new = format!("{}{}", dst.as_str(), &old[src.as_str().len()..]);
+            tree.entries.insert(new, entry);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> WhPath {
+        WhPath::parse(s).unwrap()
+    }
+
+    fn write_records(wh: &Warehouse, path: &str, n: usize) -> FileMeta {
+        let mut w = wh.create(&p(path)).unwrap();
+        for i in 0..n {
+            w.append_record(format!("record-{i:06}").as_bytes());
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let wh = Warehouse::with_block_capacity(256);
+        let meta = write_records(&wh, "/logs/ce/f1", 100);
+        assert_eq!(meta.records, 100);
+        assert!(meta.blocks > 1, "small blocks should force multiple blocks");
+        let mut r = wh.open(&p("/logs/ce/f1")).unwrap();
+        let mut n = 0;
+        while let Some(rec) = r.next_record().unwrap() {
+            assert_eq!(rec, format!("record-{n:06}").as_bytes());
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn stats_account_reads() {
+        let wh = Warehouse::with_block_capacity(256);
+        write_records(&wh, "/f", 50);
+        wh.reset_stats();
+        let r = wh.open(&p("/f")).unwrap();
+        let all = r.read_all().unwrap();
+        assert_eq!(all.len(), 50);
+        let s = wh.stats();
+        assert_eq!(s.files_opened, 1);
+        assert_eq!(s.records_read, 50);
+        assert!(s.blocks_read >= 1);
+        assert!(s.uncompressed_bytes_read >= s.compressed_bytes_read / 4);
+    }
+
+    #[test]
+    fn empty_file_reads_empty() {
+        let wh = Warehouse::new();
+        let w = wh.create(&p("/empty")).unwrap();
+        let meta = w.finish().unwrap();
+        assert_eq!(meta.records, 0);
+        assert_eq!(meta.blocks, 0);
+        let mut r = wh.open(&p("/empty")).unwrap();
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn create_is_invisible_until_finish() {
+        let wh = Warehouse::new();
+        let mut w = wh.create(&p("/f")).unwrap();
+        w.append_record(b"x");
+        assert!(!wh.exists(&p("/f")), "file must not be visible mid-write");
+        w.finish().unwrap();
+        assert!(wh.exists(&p("/f")));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let wh = Warehouse::new();
+        write_records(&wh, "/f", 1);
+        assert!(matches!(
+            wh.create(&p("/f")),
+            Err(WarehouseError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn list_and_recursive_listing() {
+        let wh = Warehouse::new();
+        write_records(&wh, "/logs/a/f1", 1);
+        write_records(&wh, "/logs/a/f2", 1);
+        write_records(&wh, "/logs/b/g", 1);
+        let top = wh.list(&p("/logs")).unwrap();
+        assert_eq!(
+            top,
+            vec![("a".to_string(), true), ("b".to_string(), true)]
+        );
+        let files = wh.list_files_recursive(&p("/logs")).unwrap();
+        let names: Vec<&str> = files.iter().map(|f| f.as_str()).collect();
+        assert_eq!(names, vec!["/logs/a/f1", "/logs/a/f2", "/logs/b/g"]);
+    }
+
+    #[test]
+    fn rename_moves_subtree_atomically() {
+        let wh = Warehouse::new();
+        write_records(&wh, "/staging/ce/2012/08/21/14/part-0", 10);
+        wh.rename(&p("/staging/ce/2012/08/21/14"), &p("/logs/ce/2012/08/21/14"))
+            .unwrap();
+        assert!(!wh.exists(&p("/staging/ce/2012/08/21/14/part-0")));
+        let r = wh.open(&p("/logs/ce/2012/08/21/14/part-0")).unwrap();
+        assert_eq!(r.read_all().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn rename_refuses_existing_destination_and_cycles() {
+        let wh = Warehouse::new();
+        write_records(&wh, "/a/f", 1);
+        write_records(&wh, "/b/f", 1);
+        assert!(matches!(
+            wh.rename(&p("/a"), &p("/b")),
+            Err(WarehouseError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            wh.rename(&p("/a"), &p("/a/inside")),
+            Err(WarehouseError::BadPath(_))
+        ));
+        assert!(matches!(
+            wh.rename(&p("/missing"), &p("/c")),
+            Err(WarehouseError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn outage_blocks_writes_but_not_reads() {
+        let wh = Warehouse::new();
+        write_records(&wh, "/f", 5);
+        wh.set_available(false);
+        assert!(matches!(wh.create(&p("/g")), Err(WarehouseError::Unavailable)));
+        assert!(matches!(
+            wh.rename(&p("/f"), &p("/h")),
+            Err(WarehouseError::Unavailable)
+        ));
+        // Reads still work (NameNode metadata served from cache, so to speak).
+        assert_eq!(wh.open(&p("/f")).unwrap().read_all().unwrap().len(), 5);
+        wh.set_available(true);
+        write_records(&wh, "/g", 1);
+    }
+
+    #[test]
+    fn outage_during_finish_fails_install() {
+        let wh = Warehouse::new();
+        let mut w = wh.create(&p("/f")).unwrap();
+        w.append_record(b"x");
+        wh.set_available(false);
+        assert!(matches!(w.finish(), Err(WarehouseError::Unavailable)));
+        assert!(!wh.exists(&p("/f")));
+    }
+
+    #[test]
+    fn delete_file_and_dir() {
+        let wh = Warehouse::new();
+        write_records(&wh, "/d/f1", 1);
+        write_records(&wh, "/d/sub/f2", 1);
+        wh.delete_file(&p("/d/f1")).unwrap();
+        assert!(!wh.exists(&p("/d/f1")));
+        wh.delete_dir(&p("/d")).unwrap();
+        assert!(!wh.exists(&p("/d")));
+        assert!(matches!(
+            wh.delete_file(&p("/d/sub/f2")),
+            Err(WarehouseError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn dir_meta_sums_files() {
+        let wh = Warehouse::with_block_capacity(128);
+        write_records(&wh, "/d/f1", 20);
+        write_records(&wh, "/d/f2", 30);
+        let m = wh.dir_meta(&p("/d")).unwrap();
+        assert_eq!(m.records, 50);
+        assert!(m.blocks >= 2);
+        assert!(m.compressed_bytes > 0);
+    }
+
+    #[test]
+    fn block_filter_skips_blocks() {
+        let wh = Warehouse::with_block_capacity(128);
+        write_records(&wh, "/f", 100);
+        let meta = wh.file_meta(&p("/f")).unwrap();
+        assert!(meta.blocks >= 4);
+        wh.reset_stats();
+        let mut r = wh.open(&p("/f")).unwrap();
+        let mut keep = vec![false; meta.blocks as usize];
+        keep[0] = true;
+        r.set_block_filter(keep);
+        let got = r.read_all().unwrap();
+        assert!(!got.is_empty() && (got.len() as u64) < meta.records);
+        let s = wh.stats();
+        assert_eq!(s.blocks_read, 1);
+        assert_eq!(s.blocks_skipped, meta.blocks - 1);
+    }
+
+    #[test]
+    fn open_missing_or_dir_errors() {
+        let wh = Warehouse::new();
+        wh.mkdirs(&p("/d")).unwrap();
+        assert!(matches!(wh.open(&p("/nope")), Err(WarehouseError::NotFound(_))));
+        assert!(matches!(wh.open(&p("/d")), Err(WarehouseError::NotAFile(_))));
+    }
+
+    #[test]
+    fn mkdirs_conflicts_with_file() {
+        let wh = Warehouse::new();
+        write_records(&wh, "/x", 1);
+        assert!(matches!(
+            wh.mkdirs(&p("/x/y")),
+            Err(WarehouseError::NotADirectory(_))
+        ));
+    }
+}

@@ -1,0 +1,201 @@
+//! The session behavior model.
+//!
+//! A first-order Markov walk over the event universe: "how the user behaves
+//! right now is strongly influenced by immediately preceding actions"
+//! (§5.4). Base probabilities are Zipfian; planted successor pairs
+//! ("impression → click" and friends) receive boosted transition
+//! probability, which is what the n-gram models (E7) detect as temporal
+//! signal and the collocation miners (E8) recover as activity collocates.
+
+use rand::Rng;
+
+use uli_core::event::EventName;
+
+use crate::zipf::Zipf;
+
+/// A planted high-probability transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Boost {
+    /// Index of the predecessor event.
+    pub from: usize,
+    /// Index of the boosted successor.
+    pub to: usize,
+    /// Probability of taking this transition when at `from` (boosts from
+    /// the same predecessor are tried in order; their sum must be ≤ 1).
+    pub probability: f64,
+}
+
+/// The Markov behavior model.
+#[derive(Debug, Clone)]
+pub struct BehaviorModel {
+    universe: Vec<EventName>,
+    base: Zipf,
+    /// Sorted by `from` for binary-search lookup.
+    boosts: Vec<Boost>,
+}
+
+impl BehaviorModel {
+    /// Builds a model over `universe` with Zipf(α) base frequencies and
+    /// planted `boosts`.
+    pub fn new(universe: Vec<EventName>, alpha: f64, mut boosts: Vec<Boost>) -> BehaviorModel {
+        assert!(!universe.is_empty(), "universe must be non-empty");
+        for b in &boosts {
+            assert!(b.from < universe.len() && b.to < universe.len());
+            assert!((0.0..=1.0).contains(&b.probability));
+        }
+        boosts.sort_by_key(|b| b.from);
+        let base = Zipf::new(universe.len(), alpha);
+        BehaviorModel {
+            universe,
+            base,
+            boosts,
+        }
+    }
+
+    /// Derives the default boosts: within every (client, page, section),
+    /// `impression → click` on the same element and
+    /// `avatar impression → profile_click`. These mirror the causal chains
+    /// the paper's CTR analyses look for.
+    pub fn with_default_boosts(universe: Vec<EventName>, alpha: f64) -> BehaviorModel {
+        let mut boosts = Vec::new();
+        for (i, from) in universe.iter().enumerate() {
+            if from.action() != "impression" {
+                continue;
+            }
+            for (j, to) in universe.iter().enumerate() {
+                let same_widget = from.client() == to.client()
+                    && from.page() == to.page()
+                    && from.section() == to.section()
+                    && from.element() == to.element();
+                if !same_widget {
+                    continue;
+                }
+                match to.action() {
+                    "click" | "profile_click" => boosts.push(Boost {
+                        from: i,
+                        to: j,
+                        probability: 0.25,
+                    }),
+                    "follow" => boosts.push(Boost {
+                        from: i,
+                        to: j,
+                        probability: 0.10,
+                    }),
+                    _ => {}
+                }
+            }
+        }
+        BehaviorModel::new(universe, alpha, boosts)
+    }
+
+    /// The event universe, in index order.
+    pub fn universe(&self) -> &[EventName] {
+        &self.universe
+    }
+
+    /// The planted boosts (ground truth for collocation recovery).
+    pub fn boosts(&self) -> &[Boost] {
+        &self.boosts
+    }
+
+    /// Samples the first event of a session.
+    pub fn start<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.base.sample(rng)
+    }
+
+    /// Samples the next event given the previous one.
+    pub fn step<R: Rng + ?Sized>(&self, prev: usize, rng: &mut R) -> usize {
+        let lo = self.boosts.partition_point(|b| b.from < prev);
+        let hi = self.boosts.partition_point(|b| b.from <= prev);
+        let mut u: f64 = rng.gen();
+        for b in &self.boosts[lo..hi] {
+            if u < b.probability {
+                return b.to;
+            }
+            u -= b.probability;
+        }
+        self.base.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{build_universe, UniverseConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> BehaviorModel {
+        BehaviorModel::with_default_boosts(build_universe(&UniverseConfig::default()), 1.1)
+    }
+
+    #[test]
+    fn default_boosts_exist_and_are_widget_local() {
+        let m = model();
+        assert!(!m.boosts().is_empty());
+        for b in m.boosts() {
+            let from = &m.universe()[b.from];
+            let to = &m.universe()[b.to];
+            assert_eq!(from.action(), "impression");
+            assert_eq!(from.element(), to.element());
+            assert_eq!(from.client(), to.client());
+        }
+    }
+
+    #[test]
+    fn boosted_successors_dominate_their_base_rate() {
+        let m = model();
+        let boost = m.boosts()[0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 20_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            if m.step(boost.from, &mut rng) == boost.to {
+                hits += 1;
+            }
+        }
+        let p = hits as f64 / trials as f64;
+        assert!(
+            p > boost.probability * 0.8,
+            "observed {p:.3}, planted {}",
+            boost.probability
+        );
+    }
+
+    #[test]
+    fn unboosted_steps_follow_the_base_distribution() {
+        let m = model();
+        // Find an event with no boosts (a click has none).
+        let from = m
+            .universe()
+            .iter()
+            .position(|n| n.action() == "click")
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rank0 = 0;
+        for _ in 0..10_000 {
+            if m.step(from, &mut rng) == 0 {
+                rank0 += 1;
+            }
+        }
+        // Rank 0 of a Zipf(1.1) over ~500 events has mass ≈ 0.13.
+        assert!(rank0 > 500, "rank-0 draws: {rank0}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = model();
+        let walk = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut cur = m.start(&mut rng);
+            (0..50)
+                .map(|_| {
+                    cur = m.step(cur, &mut rng);
+                    cur
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(walk(9), walk(9));
+        assert_ne!(walk(9), walk(10));
+    }
+}

@@ -1,0 +1,153 @@
+//! Funnel flows with configured abandonment (§5.3).
+//!
+//! "An important one is the signup flow, which is the sequence of steps
+//! taken by a user to join the service." A [`FunnelSpec`] defines the stage
+//! events and per-stage continuation probabilities; the generator injects
+//! funnel sessions accordingly, so experiments know the true abandonment
+//! profile they should recover.
+
+use rand::Rng;
+
+use uli_core::event::EventName;
+
+/// A multi-step flow.
+#[derive(Debug, Clone)]
+pub struct FunnelSpec {
+    /// Human name, e.g. `signup`.
+    pub name: &'static str,
+    /// The stage events in order.
+    pub stages: Vec<EventName>,
+    /// `continue_probability[i]` = P(reach stage i+1 | reached stage i);
+    /// length = stages.len() - 1.
+    pub continue_probability: Vec<f64>,
+}
+
+impl FunnelSpec {
+    /// Validates the shape.
+    pub fn new(
+        name: &'static str,
+        stages: Vec<EventName>,
+        continue_probability: Vec<f64>,
+    ) -> FunnelSpec {
+        assert!(stages.len() >= 2, "a funnel needs at least two stages");
+        assert_eq!(continue_probability.len(), stages.len() - 1);
+        for p in &continue_probability {
+            assert!((0.0..=1.0).contains(p));
+        }
+        FunnelSpec {
+            name,
+            stages,
+            continue_probability,
+        }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Funnels are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples how many stages a session completes (1..=len).
+    pub fn sample_depth<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut depth = 1;
+        for p in &self.continue_probability {
+            if rng.gen::<f64>() < *p {
+                depth += 1;
+            } else {
+                break;
+            }
+        }
+        depth
+    }
+
+    /// Expected number of sessions reaching each stage out of `n` entering.
+    pub fn expected_counts(&self, n: u64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut p = n as f64;
+        out.push(p);
+        for cp in &self.continue_probability {
+            p *= cp;
+            out.push(p);
+        }
+        out
+    }
+}
+
+/// The five-stage signup flow on the web client: landing impression, form
+/// submit, interest picks, suggested follows, first tweet view.
+pub fn signup_funnel() -> FunnelSpec {
+    let stage = |section: &str, component: &str, element: &str, action: &str| {
+        EventName::from_components(["web", "signup", section, component, element, action])
+            .expect("static stage names are valid")
+    };
+    FunnelSpec::new(
+        "signup",
+        vec![
+            stage("landing", "landing", "form", "impression"),
+            stage("landing", "landing", "form", "submit"),
+            stage("interests", "interests", "picker", "select"),
+            stage("suggestions", "suggestions", "who_to_follow", "follow"),
+            // Completing signup lands the user on the real home timeline —
+            // the same event name ordinary traffic produces. Exact funnel
+            // recovery still holds because stages 1–4 are signup-exclusive.
+            EventName::parse("web:home:home:stream:tweet:impression")
+                .expect("static name is valid"),
+        ],
+        vec![0.61, 0.72, 0.55, 0.80],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn signup_funnel_shape() {
+        let f = signup_funnel();
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.stages[0].page(), "signup");
+        assert_eq!(f.stages[4].page(), "home");
+    }
+
+    #[test]
+    fn sampled_depths_match_expectation() {
+        let f = signup_funnel();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000u64;
+        let mut reached = vec![0u64; f.len()];
+        for _ in 0..n {
+            let d = f.sample_depth(&mut rng);
+            for slot in reached.iter_mut().take(d) {
+                *slot += 1;
+            }
+        }
+        let expected = f.expected_counts(n);
+        for (stage, (&got, want)) in reached.iter().zip(&expected).enumerate() {
+            let rel = (got as f64 - want).abs() / want;
+            assert!(rel < 0.05, "stage {stage}: got {got}, want {want:.0}");
+        }
+    }
+
+    #[test]
+    fn expected_counts_decline_monotonically() {
+        let f = signup_funnel();
+        let e = f.expected_counts(1000);
+        for w in e.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert_eq!(e[0], 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two stages")]
+    fn single_stage_funnel_rejected() {
+        let n = EventName::parse("web:a:b:c:d:x").unwrap();
+        FunnelSpec::new("bad", vec![n], vec![]);
+    }
+}

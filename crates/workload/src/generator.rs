@@ -1,0 +1,510 @@
+//! Day-scale workload assembly.
+//!
+//! Produces whole days of client events with known ground truth (session
+//! counts, funnel stage counts, per-client mix) and writes them into the
+//! warehouse in the paper's layout: hourly partitions, several part files
+//! per hour, records only *partially* time-ordered within a file (§2).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use uli_core::client_event::{ClientEvent, CLIENT_EVENTS_CATEGORY};
+use uli_core::event::{EventInitiator, EventName};
+use uli_core::legacy::LegacyCategory;
+use uli_core::time::{Timestamp, MS_PER_DAY};
+use uli_thrift::ThriftRecord;
+use uli_warehouse::{HourlyPartition, Warehouse, WarehouseResult};
+
+use crate::behavior::BehaviorModel;
+use crate::funnels::{signup_funnel, FunnelSpec};
+use crate::universe::{build_universe, UniverseConfig};
+
+/// Everything that shapes a generated day.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Master seed; the day index is folded in, so multi-day runs differ.
+    pub seed: u64,
+    /// Number of distinct users.
+    pub users: u64,
+    /// Mean sessions per user per day (Poisson).
+    pub mean_sessions_per_user: f64,
+    /// Mean events per session (geometric, minimum 1).
+    pub mean_session_len: f64,
+    /// Zipf skew of base event frequencies.
+    pub zipf_alpha: f64,
+    /// Universe shape.
+    pub universe: UniverseConfig,
+    /// Client mix, parallel to `universe.clients` (normalized internally).
+    pub client_weights: Vec<f64>,
+    /// Funnel to inject, if any.
+    pub funnel: Option<FunnelSpec>,
+    /// Fraction of *web* sessions that are funnel sessions.
+    pub funnel_fraction: f64,
+    /// Fraction of sessions belonging to logged-out visitors (user id 0).
+    pub logged_out_fraction: f64,
+    /// Mean gap between successive events within a session, milliseconds.
+    pub mean_event_gap_ms: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0x7717_7e4a,
+            users: 200,
+            mean_sessions_per_user: 2.0,
+            mean_session_len: 12.0,
+            zipf_alpha: 1.1,
+            universe: UniverseConfig::default(),
+            client_weights: vec![0.5, 0.3, 0.2],
+            funnel: Some(signup_funnel()),
+            funnel_fraction: 0.12,
+            logged_out_fraction: 0.15,
+            mean_event_gap_ms: 20_000.0,
+        }
+    }
+}
+
+/// What the generator knows to be true — experiments recover these.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundTruth {
+    /// Sessions generated.
+    pub sessions: u64,
+    /// Events generated.
+    pub events: u64,
+    /// Sessions that entered the funnel.
+    pub funnel_sessions: u64,
+    /// Sessions reaching each funnel stage (len = stages).
+    pub funnel_stage_counts: Vec<u64>,
+    /// Sessions per client.
+    pub sessions_by_client: BTreeMap<String, u64>,
+    /// Distinct event names that occurred.
+    pub distinct_events: u64,
+}
+
+/// A generated day.
+#[derive(Debug, Clone)]
+pub struct DayWorkload {
+    /// All events, in generation order (NOT globally time-sorted).
+    pub events: Vec<ClientEvent>,
+    /// The ground truth.
+    pub truth: GroundTruth,
+}
+
+fn poisson<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
+    // Knuth's method; fine for the small means used here.
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k; // guard against pathological means
+        }
+    }
+}
+
+fn ip_of_user(user: u64) -> String {
+    let h = user.wrapping_mul(0x9e3779b97f4a7c15);
+    format!(
+        "{}.{}.{}.{}",
+        (h >> 24) & 0xff,
+        (h >> 16) & 0xff,
+        (h >> 8) & 0xff,
+        h & 0xff
+    )
+}
+
+/// Generates one day of traffic.
+pub fn generate_day(config: &WorkloadConfig, day_index: u64) -> DayWorkload {
+    assert_eq!(
+        config.client_weights.len(),
+        config.universe.clients.len(),
+        "one weight per client"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (day_index.wrapping_mul(0x9e37_79b9)));
+    let universe = build_universe(&config.universe);
+
+    // Per-client models over each client's slice of the universe. Funnel
+    // stages stay OUT of the Markov support: only explicit funnel sessions
+    // emit them, so funnel ground truth is exactly recoverable.
+    let mut per_client: Vec<(String, BehaviorModel)> = Vec::new();
+    for client in &config.universe.clients {
+        let slice: Vec<EventName> = universe
+            .iter()
+            .filter(|n| n.client() == *client)
+            .cloned()
+            .collect();
+        per_client.push((
+            client.to_string(),
+            BehaviorModel::with_default_boosts(slice, config.zipf_alpha),
+        ));
+    }
+    let weight_total: f64 = config.client_weights.iter().sum();
+
+    let day_start = day_index as i64 * MS_PER_DAY;
+    let mut events = Vec::new();
+    let mut truth = GroundTruth {
+        funnel_stage_counts: config
+            .funnel
+            .as_ref()
+            .map(|f| vec![0; f.len()])
+            .unwrap_or_default(),
+        ..Default::default()
+    };
+
+    for user in 1..=config.users {
+        let n_sessions = poisson(config.mean_sessions_per_user, &mut rng);
+        for s in 0..n_sessions {
+            // Pick a client by weight.
+            let mut pick = rng.gen::<f64>() * weight_total;
+            let mut client_idx = 0;
+            for (i, w) in config.client_weights.iter().enumerate() {
+                if pick < *w {
+                    client_idx = i;
+                    break;
+                }
+                pick -= w;
+                client_idx = i;
+            }
+            let (client, model) = &per_client[client_idx];
+
+            let logged_out = rng.gen::<f64>() < config.logged_out_fraction;
+            let user_id = if logged_out { 0 } else { user as i64 };
+            let session_id = format!("s-{user}-{day_index}-{s}");
+            let ip = ip_of_user(user);
+            // Sessions start early enough that even long ones stay within
+            // the day (keeps ground truth exact for day-scoped jobs).
+            let start = day_start + (rng.gen::<f64>() * (MS_PER_DAY as f64 * 0.9)) as i64;
+
+            let is_funnel = *client == "web"
+                && config.funnel.is_some()
+                && rng.gen::<f64>() < config.funnel_fraction;
+
+            let mut t = start;
+            let mut emitted = 0u64;
+            let emit =
+                |name: EventName, t: i64, rng: &mut StdRng, events: &mut Vec<ClientEvent>| {
+                    let initiator = if name.action() == "impression" && rng.gen::<f64>() < 0.3 {
+                        EventInitiator::CLIENT_APP
+                    } else {
+                        EventInitiator::CLIENT_USER
+                    };
+                    let referrer = format!("/{}", name.page());
+                    let mut ev = ClientEvent::new(
+                        initiator,
+                        name,
+                        user_id,
+                        session_id.clone(),
+                        ip.clone(),
+                        Timestamp(t),
+                    );
+                    // Client events are verbose — the §4.1 downside the
+                    // sequences exist to offset. Every event carries the
+                    // boilerplate a real client attaches.
+                    const USER_AGENTS: [&str; 6] = [
+                        "Mozilla/5.0 (Windows NT 6.1; rv:14.0) Gecko/20100101 Firefox/14.0",
+                        "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_7) AppleWebKit/536 Safari/536",
+                        "Mozilla/5.0 (iPhone; CPU iPhone OS 5_1 like Mac OS X) Mobile/9B176",
+                        "TwitterAndroid/3.2 (Linux; Android 4.0.4; GT-I9100)",
+                        "Mozilla/5.0 (X11; Linux x86_64) Chrome/21.0.1180.57",
+                        "Mozilla/5.0 (Windows NT 5.1) Chrome/20.0.1132.57 Safari/536.11",
+                    ];
+                    ev = ev
+                        .with_detail("client_version", "4.1.2")
+                        .with_detail("user_agent", USER_AGENTS[rng.gen_range(0..USER_AGENTS.len())])
+                        .with_detail("lang", "en")
+                        .with_detail("referrer", referrer)
+                        // High-entropy request id: the incompressible part
+                        // of real log payloads (trace ids, URLs, tweet ids).
+                        .with_detail(
+                            "request_id",
+                            format!("{:016x}{:016x}", rng.gen::<u64>(), rng.gen::<u64>()),
+                        )
+                        .with_detail("page_load_ms", format!("{}", rng.gen_range(40..2500)));
+                    match ev.name.action() {
+                        "click" | "profile_click" | "follow" => {
+                            ev = ev
+                                .with_detail("target_id", format!("{}", rng.gen::<u32>()))
+                                .with_detail(
+                                    "target_url",
+                                    format!("https://t.co/{:010x}", rng.gen::<u64>() & 0xff_ffff_ffff),
+                                )
+                                .with_detail("rank", format!("{}", rng.gen_range(0..20)));
+                        }
+                        "impression" => {
+                            ev = ev.with_detail("tweet_id", format!("{}", rng.gen::<u64>()));
+                        }
+                        _ => {}
+                    }
+                    events.push(ev);
+                };
+
+            if is_funnel {
+                let funnel = config.funnel.as_ref().expect("checked above");
+                let depth = funnel.sample_depth(&mut rng);
+                truth.funnel_sessions += 1;
+                for (i, stage) in funnel.stages.iter().take(depth).enumerate() {
+                    truth.funnel_stage_counts[i] += 1;
+                    emit(stage.clone(), t, &mut rng, &mut events);
+                    emitted += 1;
+                    t += 1 + (-(rng.gen::<f64>()).ln() * config.mean_event_gap_ms) as i64;
+                }
+            } else {
+                // Geometric session length with the configured mean.
+                let cont = 1.0 - 1.0 / config.mean_session_len.max(1.0);
+                let mut cur = model.start(&mut rng);
+                loop {
+                    emit(model.universe()[cur].clone(), t, &mut rng, &mut events);
+                    emitted += 1;
+                    if rng.gen::<f64>() >= cont {
+                        break;
+                    }
+                    cur = model.step(cur, &mut rng);
+                    t += 1 + (-(rng.gen::<f64>()).ln() * config.mean_event_gap_ms) as i64;
+                }
+            }
+            truth.sessions += 1;
+            truth.events += emitted;
+            *truth
+                .sessions_by_client
+                .entry(client.clone())
+                .or_insert(0) += 1;
+        }
+    }
+    let mut distinct: Vec<&EventName> = events.iter().map(|e| &e.name).collect();
+    distinct.sort();
+    distinct.dedup();
+    truth.distinct_events = distinct.len() as u64;
+    DayWorkload { events, truth }
+}
+
+/// Writes a day's events into the warehouse as the log mover would leave
+/// them: per-hour directories, `files_per_hour` part files each, records
+/// only partially time-ordered (events are distributed round-robin, so each
+/// file is ordered but the directory as a whole is interleaved).
+pub fn write_client_events(
+    warehouse: &Warehouse,
+    events: &[ClientEvent],
+    files_per_hour: usize,
+) -> WarehouseResult<u64> {
+    write_partitioned(warehouse, events, files_per_hour, |ev| {
+        (
+            CLIENT_EVENTS_CATEGORY.to_string(),
+            ev.to_bytes(),
+        )
+    })
+}
+
+/// Writes the same ground truth as application-specific logs: web traffic
+/// to the JSON frontend category, search-page events to the TSV search
+/// category, phone clients to the "natural language" mobile category. This
+/// is the pre-unification world of §3.1 where "each application writes logs
+/// using its own Scribe category".
+pub fn write_legacy_events(
+    warehouse: &Warehouse,
+    events: &[ClientEvent],
+    files_per_hour: usize,
+) -> WarehouseResult<u64> {
+    write_partitioned(warehouse, events, files_per_hour, |ev| {
+        let cat = legacy_category_for(ev);
+        (cat.category_name().to_string(), cat.encode(ev))
+    })
+}
+
+/// Which legacy category an event would have been logged to.
+pub fn legacy_category_for(ev: &ClientEvent) -> LegacyCategory {
+    if ev.name.client() != "web" {
+        LegacyCategory::MobileClient
+    } else if ev.name.page() == "search" {
+        LegacyCategory::SearchBackend
+    } else {
+        LegacyCategory::WebFrontend
+    }
+}
+
+fn write_partitioned(
+    warehouse: &Warehouse,
+    events: &[ClientEvent],
+    files_per_hour: usize,
+    encode: impl Fn(&ClientEvent) -> (String, Vec<u8>),
+) -> WarehouseResult<u64> {
+    assert!(files_per_hour > 0);
+    // (category, hour) → per-file buckets.
+    let mut buckets: BTreeMap<(String, u64), Vec<Vec<Vec<u8>>>> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let (category, bytes) = encode(ev);
+        let hour = ev.timestamp.hour_index();
+        let files = buckets
+            .entry((category, hour))
+            .or_insert_with(|| vec![Vec::new(); files_per_hour]);
+        files[i % files_per_hour].push(bytes);
+    }
+    let mut written = 0u64;
+    for ((category, hour), files) in buckets {
+        let dir = HourlyPartition::from_hour_index(&category, hour).main_dir();
+        for (i, records) in files.into_iter().enumerate() {
+            if records.is_empty() {
+                continue;
+            }
+            let path = dir.child(&format!("part-{i:05}")).expect("valid name");
+            let mut w = warehouse.create(&path)?;
+            for r in &records {
+                w.append_record(r);
+                written += 1;
+            }
+            w.finish()?;
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uli_core::session::day_dir;
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig {
+            users: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_day(&small_config(), 0);
+        let b = generate_day(&small_config(), 0);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.events[0], b.events[0]);
+        // Different day → different traffic.
+        let c = generate_day(&small_config(), 1);
+        assert_ne!(a.truth, c.truth);
+    }
+
+    #[test]
+    fn truth_accounts_for_every_event_and_session() {
+        let day = generate_day(&small_config(), 0);
+        assert_eq!(day.truth.events as usize, day.events.len());
+        let mut sessions: Vec<(&i64, &str)> = day
+            .events
+            .iter()
+            .map(|e| (&e.user_id, e.session_id.as_str()))
+            .collect();
+        sessions.sort();
+        sessions.dedup();
+        assert_eq!(day.truth.sessions as usize, sessions.len());
+        let by_client: u64 = day.truth.sessions_by_client.values().sum();
+        assert_eq!(by_client, day.truth.sessions);
+    }
+
+    #[test]
+    fn funnel_counts_decline() {
+        let day = generate_day(
+            &WorkloadConfig {
+                users: 400,
+                funnel_fraction: 0.5,
+                ..Default::default()
+            },
+            0,
+        );
+        let counts = &day.truth.funnel_stage_counts;
+        assert!(day.truth.funnel_sessions > 50);
+        assert_eq!(counts[0], day.truth.funnel_sessions);
+        for w in counts.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert!(counts[4] < counts[0]);
+    }
+
+    #[test]
+    fn events_fall_inside_the_day() {
+        let day = generate_day(&small_config(), 2);
+        for ev in &day.events {
+            assert_eq!(ev.timestamp.day_index(), 2);
+        }
+    }
+
+    #[test]
+    fn events_have_zipfian_skew() {
+        let day = generate_day(&small_config(), 0);
+        let mut counts: BTreeMap<&EventName, u64> = BTreeMap::new();
+        for ev in &day.events {
+            *counts.entry(&ev.name).or_insert(0) += 1;
+        }
+        let mut freq: Vec<u64> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        // Top event should dwarf the median one.
+        let median = freq[freq.len() / 2];
+        assert!(freq[0] > median * 5, "top {} median {}", freq[0], median);
+    }
+
+    #[test]
+    fn write_client_events_partitions_by_hour() {
+        let wh = Warehouse::new();
+        let day = generate_day(&small_config(), 0);
+        let written = write_client_events(&wh, &day.events, 4).unwrap();
+        assert_eq!(written as usize, day.events.len());
+        let files = wh
+            .list_files_recursive(&day_dir(CLIENT_EVENTS_CATEGORY, 0))
+            .unwrap();
+        assert!(files.len() > 4, "many hours × up to 4 files");
+        // Directory-wide record count matches.
+        let meta = wh.dir_meta(&day_dir(CLIENT_EVENTS_CATEGORY, 0)).unwrap();
+        assert_eq!(meta.records, written);
+    }
+
+    #[test]
+    fn legacy_routing_covers_every_event_exactly_once() {
+        let wh = Warehouse::new();
+        let day = generate_day(&small_config(), 0);
+        let written = write_legacy_events(&wh, &day.events, 2).unwrap();
+        assert_eq!(written as usize, day.events.len());
+        let mut total = 0;
+        for cat in LegacyCategory::ALL {
+            if let Ok(meta) = wh.dir_meta(&day_dir(cat.category_name(), 0)) {
+                total += meta.records;
+            }
+        }
+        assert_eq!(total as usize, day.events.len());
+    }
+
+    #[test]
+    fn legacy_records_decode_with_their_category() {
+        let wh = Warehouse::new();
+        let day = generate_day(&small_config(), 0);
+        write_legacy_events(&wh, &day.events, 1).unwrap();
+        for cat in LegacyCategory::ALL {
+            let dir = day_dir(cat.category_name(), 0);
+            let Ok(files) = wh.list_files_recursive(&dir) else {
+                continue;
+            };
+            for f in files.iter().take(1) {
+                for rec in wh.open(f).unwrap().read_all().unwrap().iter().take(10) {
+                    assert!(cat.decode(rec).is_some(), "{cat} record must decode");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logged_out_sessions_have_user_zero() {
+        let day = generate_day(
+            &WorkloadConfig {
+                users: 100,
+                logged_out_fraction: 0.5,
+                ..Default::default()
+            },
+            0,
+        );
+        let zero = day.events.iter().filter(|e| e.user_id == 0).count();
+        assert!(zero > 0);
+        assert!(zero < day.events.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! The synthetic event universe.
+//!
+//! Names follow the paper's six-level scheme and its "consistent design
+//! language … across different clients" (§3.2): every client shares the
+//! same page/section structure, so `*:profile_click`-style cross-client
+//! patterns have something to match.
+
+use uli_core::event::EventName;
+
+/// Controls the size and shape of the universe.
+#[derive(Debug, Clone)]
+pub struct UniverseConfig {
+    /// Client applications.
+    pub clients: Vec<&'static str>,
+    /// How many of the page templates to use (1..=5).
+    pub pages: usize,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        UniverseConfig {
+            clients: vec!["web", "iphone", "android"],
+            pages: 4,
+        }
+    }
+}
+
+/// Structural templates: page → sections → (component, element, actions).
+/// Modeled on the paper's examples (home/mentions/retweets/searches/
+/// suggestions, who-to-follow, search results, discovery).
+const PAGES: [(&str, &[&str]); 5] = [
+    ("home", &["home", "mentions", "retweets", "searches"]),
+    ("profile", &["tweets", "following", "followers"]),
+    ("discover", &["trends", "activity"]),
+    ("search", &["results", "people"]),
+    ("who_to_follow", &["suggestions", "interests"]),
+];
+
+const WIDGETS: [(&str, &str, &[&str]); 5] = [
+    ("stream", "tweet", &["impression", "click", "expand", "retweet", "favorite"]),
+    ("stream", "avatar", &["impression", "profile_click"]),
+    ("search_box", "query", &["focus", "submit"]),
+    ("suggestion_box", "who_to_follow", &["impression", "click", "follow"]),
+    ("detail", "permalink", &["impression", "click"]),
+];
+
+/// Builds the deterministic event universe for a config.
+pub fn build_universe(config: &UniverseConfig) -> Vec<EventName> {
+    let mut out = Vec::new();
+    let pages = &PAGES[..config.pages.clamp(1, PAGES.len())];
+    for client in &config.clients {
+        for (page, sections) in pages {
+            for section in *sections {
+                for (component, element, actions) in &WIDGETS {
+                    for action in *actions {
+                        let name = EventName::from_components([
+                            client, page, section, component, element, action,
+                        ])
+                        .expect("templates are valid components");
+                        out.push(name);
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Index of the first event in `universe` matching `(page, component,
+/// element, action)` for a client — used to plant funnel stages.
+pub fn find_event(
+    universe: &[EventName],
+    client: &str,
+    page: &str,
+    action: &str,
+) -> Option<usize> {
+    universe
+        .iter()
+        .position(|n| n.client() == client && n.page() == page && n.action() == action)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_universe_is_realistically_sized() {
+        let u = build_universe(&UniverseConfig::default());
+        // 3 clients × 12 sections × 14 widget-actions = 504.
+        assert!(u.len() > 300, "got {}", u.len());
+        assert!(u.len() < 1000);
+        // Sorted and unique.
+        let mut sorted = u.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, u);
+    }
+
+    #[test]
+    fn all_clients_share_the_design_language() {
+        let u = build_universe(&UniverseConfig::default());
+        let for_client = |c: &str| {
+            u.iter()
+                .filter(|n| n.client() == c)
+                .map(|n| n.as_str().split_once(':').unwrap().1.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(for_client("web"), for_client("iphone"));
+        assert_eq!(for_client("web"), for_client("android"));
+    }
+
+    #[test]
+    fn contains_paper_like_names() {
+        let u = build_universe(&UniverseConfig::default());
+        assert!(u
+            .iter()
+            .any(|n| n.as_str() == "web:home:mentions:stream:avatar:profile_click"));
+    }
+
+    #[test]
+    fn find_event_locates_stages() {
+        let u = build_universe(&UniverseConfig::default());
+        let idx = find_event(&u, "web", "home", "impression").unwrap();
+        assert_eq!(u[idx].client(), "web");
+        assert_eq!(u[idx].action(), "impression");
+        assert!(find_event(&u, "web", "nonexistent", "x").is_none());
+    }
+
+    #[test]
+    fn smaller_configs_shrink_the_universe() {
+        let small = build_universe(&UniverseConfig {
+            clients: vec!["web"],
+            pages: 1,
+        });
+        let big = build_universe(&UniverseConfig::default());
+        assert!(small.len() < big.len());
+    }
+}

@@ -1,0 +1,118 @@
+//! Zipf-distributed sampling.
+//!
+//! Event frequencies in client logs are heavily skewed — a handful of
+//! impression events dominate — which is precisely why assigning small code
+//! points to frequent events (§4.2) behaves like variable-length coding.
+
+use rand::Rng;
+
+/// A Zipf(α) distribution over ranks `0..n`, sampled via a precomputed CDF
+/// and binary search. Rank 0 is the most probable.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution. `n` must be positive; `alpha` ≥ 0
+    /// (0 = uniform).
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the support is a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Samples a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skew_orders_frequencies() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[50] || counts[50] < 500);
+        // Rank 0 should dominate strongly at alpha=1.2.
+        assert!(counts[0] as f64 > 0.15 * 100_000.0);
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(37, 0.9);
+        let total: f64 = (0..37).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(50, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_rank_support() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! The §3.1 "before" world, experienced first-hand.
+//!
+//! Logs the same ground truth the application-specific way (three categories
+//! with unintuitive names and three formats), then walks through what a data
+//! scientist had to do before unification: find the data, scrape the JSON
+//! format, tolerate the quirks — and contrasts it with the unified
+//! catalog's one-stop answer.
+//!
+//! Run with: `cargo run --example legacy_archaeology`
+
+use unified_logging::core::legacy::LegacyCategory;
+use unified_logging::core::scrape::FormatScrape;
+use unified_logging::core::session::day_dir;
+use unified_logging::prelude::*;
+
+fn main() {
+    let day = generate_day(
+        &WorkloadConfig {
+            users: 200,
+            ..Default::default()
+        },
+        0,
+    );
+    let wh = Warehouse::new();
+    write_legacy_events(&wh, &day.events, 4).expect("fresh warehouse");
+
+    // --- Step 1: resource discovery. What's even in /logs? ---
+    println!("step 1 — resource discovery. /logs contains:");
+    for (name, _) in wh.list(&WhPath::parse("/logs").unwrap()).expect("written") {
+        println!("  /logs/{name}    <- which one holds search events?");
+    }
+    println!(
+        "(nothing says: the names are {:?} — §3.1's discovery problem)\n",
+        LegacyCategory::ALL.map(|c| c.category_name())
+    );
+
+    // --- Step 2: scrape the mystery JSON category to induce its format. ---
+    let json_dir = day_dir(LegacyCategory::WebFrontend.category_name(), 0);
+    let mut scraper = FormatScrape::new();
+    for file in wh.list_files_recursive(&json_dir).expect("exists") {
+        let mut reader = wh.open(&file).expect("opens");
+        while let Some(record) = reader.next_record().expect("reads") {
+            scraper.scan(record);
+        }
+    }
+    println!("step 2 — scrape 'rainbird' to induce its format:");
+    print!("{}", scraper.render());
+    println!(
+        "optional keys (<95% presence): {:?}",
+        scraper.optional_keys(0.95)
+    );
+    println!(
+        "type-inconsistent keys: {:?}\n",
+        scraper.inconsistent_keys()
+    );
+
+    // --- Step 3: discover the quirks the hard way. ---
+    let sample_file = wh
+        .list_files_recursive(&json_dir)
+        .expect("exists")
+        .into_iter()
+        .next()
+        .expect("files exist");
+    let sample = wh
+        .open(&sample_file)
+        .expect("opens")
+        .read_all()
+        .expect("reads");
+    let text = String::from_utf8_lossy(&sample[0]);
+    println!("step 3 — a raw message:\n  {text}");
+    println!(
+        "quirks a scraper can't tell you: 'ts' is SECONDS (most categories\n\
+         use milliseconds), 'userId' is camelCase ('user_id' elsewhere),\n\
+         and the TSV category never logged a session id at all.\n"
+    );
+
+    // --- Step 4: the after picture. ---
+    write_client_events(&wh, &day.events, 4).expect("same warehouse");
+    let m = Materializer::new(wh.clone());
+    m.run_day(0).expect("day present");
+    let dict = m.load_dictionary(0).expect("dictionary");
+    let samples = m.load_samples(0).expect("samples");
+    let catalog = ClientEventCatalog::build(0, &dict, &samples);
+    println!(
+        "step 4 — with unified logging, one place answers everything:\n\
+         /logs/client_events holds all {} event types; the catalog browses\n\
+         them hierarchically:",
+        catalog.len()
+    );
+    for (client, count) in catalog.browse(&[]) {
+        println!("  client {client}: {count} events");
+    }
+    let name = &catalog.by_frequency()[0].name.clone();
+    println!("\n{}", catalog.render_entry(name).expect("entry exists"));
+}

@@ -1,0 +1,304 @@
+//! `uli` — explore the unified logging stack from the command line.
+//!
+//! The warehouse is in-memory, so every invocation generates a fresh
+//! deterministic workload (fixed seed unless `--seed` is given), lands it,
+//! materializes session sequences, and then runs the requested view:
+//!
+//! ```text
+//! uli demo                         end-to-end day summary
+//! uli script FILE [--param K=V]    run a Pig script against the day
+//! uli catalog [--search PATTERN] [--browse C[:P[:S…]]]
+//! uli flow [--depth N]             LifeFlow-style session overview
+//! uli funnel                       signup funnel vs ground truth
+//! uli scrape                       §3.1 legacy-JSON format archaeology
+//! uli grammar                      §6 Re-Pair motifs over sessions
+//! ```
+//!
+//! Common flags: `--users N` (default 300), `--seed S`, `--days D`.
+
+use std::process::ExitCode;
+
+use unified_logging::analytics::{register_analytics, LifeFlow};
+use unified_logging::prelude::*;
+
+struct Cli {
+    command: String,
+    positional: Vec<String>,
+    users: u64,
+    seed: u64,
+    days: u64,
+    depth: usize,
+    search: Option<String>,
+    browse: Option<String>,
+    params: Vec<(String, String)>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("no command given")?;
+    let mut cli = Cli {
+        command,
+        positional: Vec::new(),
+        users: 300,
+        seed: 0x7717_7e4a,
+        days: 1,
+        depth: 3,
+        search: None,
+        browse: None,
+        params: Vec::new(),
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--users" => cli.users = value("--users")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => cli.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--days" => cli.days = value("--days")?.parse().map_err(|e| format!("{e}"))?,
+            "--depth" => cli.depth = value("--depth")?.parse().map_err(|e| format!("{e}"))?,
+            "--search" => cli.search = Some(value("--search")?),
+            "--browse" => cli.browse = Some(value("--browse")?),
+            "--param" => {
+                let kv = value("--param")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or("--param expects KEY=VALUE".to_string())?;
+                cli.params.push((k.to_string(), v.to_string()));
+            }
+            other if !other.starts_with("--") => cli.positional.push(other.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Generates and materializes the requested days; returns the warehouse and
+/// ground truths.
+fn prepare(cli: &Cli) -> (Warehouse, Vec<unified_logging::workload::DayWorkload>) {
+    let config = WorkloadConfig {
+        users: cli.users,
+        seed: cli.seed,
+        ..Default::default()
+    };
+    let wh = Warehouse::new();
+    let mut days = Vec::new();
+    for d in 0..cli.days {
+        let day = generate_day(&config, d);
+        write_client_events(&wh, &day.events, 4).expect("fresh warehouse");
+        Materializer::new(wh.clone()).run_day(d).expect("day exists");
+        days.push(day);
+    }
+    (wh, days)
+}
+
+fn cmd_demo(cli: &Cli) {
+    let (wh, days) = prepare(cli);
+    for d in 0..cli.days {
+        let m = Materializer::new(wh.clone());
+        let dict = m.load_dictionary(d).expect("materialized");
+        let seqs = load_sequences(&wh, d).expect("materialized");
+        let summary =
+            unified_logging::analytics::DailySummary::compute(d, &seqs, &dict);
+        println!("{}", summary.render());
+        let truth = &days[d as usize].truth;
+        println!(
+            "(generator truth: {} sessions, {} events — matches: {})\n",
+            truth.sessions,
+            truth.events,
+            truth.sessions == summary.sessions && truth.events == summary.events
+        );
+    }
+}
+
+fn cmd_script(cli: &Cli) -> Result<(), String> {
+    let path = cli
+        .positional
+        .first()
+        .ok_or("usage: uli script FILE.pig [--param K=V …]")?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let (wh, _days) = prepare(cli);
+    let dict = Materializer::new(wh.clone())
+        .load_dictionary(0)
+        .expect("materialized");
+    let mut runner = ScriptRunner::new(Engine::new(wh));
+    register_analytics(&mut runner, dict);
+    runner.set_param("DATE", "2012/08/01");
+    for (k, v) in &cli.params {
+        runner.set_param(k, v);
+    }
+    let outputs = runner.run(&source).map_err(|e| e.to_string())?;
+    for out in outputs {
+        println!("-- dump {} ({} rows) --", out.relation, out.result.rows.len());
+        for row in out.result.rows.iter().take(50) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("({})", cells.join(", "));
+        }
+        if out.result.rows.len() > 50 {
+            println!("… {} more rows", out.result.rows.len() - 50);
+        }
+        println!(
+            "[{} mr jobs, {} mappers, {} records scanned, est. cluster {:.2}s]\n",
+            out.result.stats.mr_jobs,
+            out.result.stats.map_tasks,
+            out.result.stats.input_records,
+            out.result.estimated_cluster_ms / 1000.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_catalog(cli: &Cli) -> Result<(), String> {
+    let (wh, _days) = prepare(cli);
+    let m = Materializer::new(wh);
+    let dict = m.load_dictionary(0).expect("materialized");
+    let samples = m.load_samples(0).expect("materialized");
+    let catalog = ClientEventCatalog::build(0, &dict, &samples);
+    println!("catalog: {} event types\n", catalog.len());
+    if let Some(pattern) = &cli.search {
+        let p = EventPattern::parse(pattern).map_err(|e| e.to_string())?;
+        let hits = catalog.search(&p);
+        println!("{} matches for {pattern}:", hits.len());
+        for e in hits.iter().take(30) {
+            println!("  {:<60} {:>8}", e.name.to_string(), e.count);
+        }
+        return Ok(());
+    }
+    let prefix: Vec<&str> = match &cli.browse {
+        Some(b) => b.split(':').collect(),
+        None => Vec::new(),
+    };
+    println!("browse {:?}:", prefix);
+    for (value, count) in catalog.browse(&prefix) {
+        println!("  {value:<24} {count:>8}");
+    }
+    Ok(())
+}
+
+fn cmd_flow(cli: &Cli) {
+    let (wh, _days) = prepare(cli);
+    let m = Materializer::new(wh.clone());
+    let dict = m.load_dictionary(0).expect("materialized");
+    let seqs = load_sequences(&wh, 0).expect("materialized");
+    let mut flow = LifeFlow::new(cli.depth);
+    for s in &seqs {
+        flow.add_string(&s.sequence);
+    }
+    print!("{}", flow.render(&dict, 0.03));
+}
+
+fn cmd_funnel(cli: &Cli) {
+    let (wh, days) = prepare(cli);
+    let m = Materializer::new(wh.clone());
+    let dict = m.load_dictionary(0).expect("materialized");
+    let seqs = load_sequences(&wh, 0).expect("materialized");
+    let spec = signup_funnel();
+    let funnel = ClientEventsFunnel::new(spec.stages.clone(), &dict);
+    let report = funnel.evaluate(seqs.iter().map(|s| s.sequence.as_str()));
+    println!("signup funnel (stage, sessions) — truth in parentheses:");
+    for (i, count) in report.reached.iter().enumerate() {
+        println!(
+            "({i}, {count})  ({})",
+            days[0].truth.funnel_stage_counts[i]
+        );
+    }
+    println!("conversion: {:.1}%", report.conversion() * 100.0);
+}
+
+fn cmd_scrape(cli: &Cli) {
+    use unified_logging::core::legacy::LegacyCategory;
+    use unified_logging::core::scrape::FormatScrape;
+    use unified_logging::core::session::day_dir;
+    let config = WorkloadConfig {
+        users: cli.users,
+        seed: cli.seed,
+        ..Default::default()
+    };
+    let day = generate_day(&config, 0);
+    let wh = Warehouse::new();
+    write_legacy_events(&wh, &day.events, 4).expect("fresh warehouse");
+    let dir = day_dir(LegacyCategory::WebFrontend.category_name(), 0);
+    let mut scraper = FormatScrape::new();
+    for file in wh.list_files_recursive(&dir).expect("written") {
+        let mut r = wh.open(&file).expect("opens");
+        while let Some(rec) = r.next_record().expect("reads") {
+            scraper.scan(rec);
+        }
+    }
+    print!("{}", scraper.render());
+    println!("optional (<95%): {:?}", scraper.optional_keys(0.95));
+    println!("type-inconsistent: {:?}", scraper.inconsistent_keys());
+}
+
+fn cmd_grammar(cli: &Cli) {
+    use unified_logging::analytics::Grammar;
+    use unified_logging::core::session::dictionary::rank_for_char;
+    let (wh, _days) = prepare(cli);
+    let m = Materializer::new(wh.clone());
+    let dict = m.load_dictionary(0).expect("materialized");
+    let seqs = load_sequences(&wh, 0).expect("materialized");
+    let corpus: Vec<Vec<u32>> = seqs
+        .iter()
+        .map(|s| s.sequence.chars().filter_map(rank_for_char).collect())
+        .collect();
+    let grammar = Grammar::induce(&corpus, 8);
+    println!(
+        "{} rules; corpus compresses {:.2}x under the grammar\n",
+        grammar.rule_count(),
+        grammar.compression_ratio()
+    );
+    for (idx, support, _) in grammar.top_motifs(cli.depth) {
+        println!("motif R{idx} (supports {support} occurrences):");
+        print!(
+            "{}",
+            grammar.render_tree(
+                unified_logging::analytics::grammar::NONTERMINAL_BASE + idx as u32,
+                &dict
+            )
+        );
+        println!();
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\nsee the module docs at the top of src/bin/uli.rs");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cli.command.as_str() {
+        "demo" => {
+            cmd_demo(&cli);
+            Ok(())
+        }
+        "script" => cmd_script(&cli),
+        "catalog" => cmd_catalog(&cli),
+        "flow" => {
+            cmd_flow(&cli);
+            Ok(())
+        }
+        "funnel" => {
+            cmd_funnel(&cli);
+            Ok(())
+        }
+        "scrape" => {
+            cmd_scrape(&cli);
+            Ok(())
+        }
+        "grammar" => {
+            cmd_grammar(&cli);
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown command {other:?}; commands: demo, script, catalog, flow, funnel, scrape, grammar"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Thread-level stress: the coordination service and warehouse are shared
+//! mutable infrastructure; these tests drive them from many threads the way
+//! tens of thousands of production daemons would.
+
+use std::sync::Arc;
+use std::thread;
+
+use unified_logging::coord::{CoordService, CreateMode};
+use unified_logging::prelude::*;
+use unified_logging::scribe::message::LogEntry;
+
+#[test]
+fn coord_handles_concurrent_ephemeral_churn() {
+    let svc = CoordService::new();
+    let admin = svc.connect();
+    admin
+        .create("/aggregators", vec![], CreateMode::Persistent)
+        .unwrap();
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let svc = svc.clone();
+            thread::spawn(move || {
+                for round in 0..50 {
+                    let session = svc.connect();
+                    let path = session
+                        .create(
+                            "/aggregators/member-",
+                            format!("t{t}-r{round}").into_bytes(),
+                            CreateMode::EphemeralSequential,
+                        )
+                        .expect("parent exists");
+                    // Another session can observe the member.
+                    let observer = svc.connect();
+                    let members = observer.get_children("/aggregators").expect("live");
+                    assert!(members.iter().any(|m| path.ends_with(m)));
+                    drop(session); // ephemeral vanishes
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("no panics");
+    }
+    // All ephemerals are gone; only the parent remains.
+    assert!(admin.get_children("/aggregators").unwrap().is_empty());
+    assert_eq!(svc.node_count(), 2); // root + /aggregators
+}
+
+#[test]
+fn coord_sequential_names_are_unique_under_contention() {
+    let svc = CoordService::new();
+    let admin = svc.connect();
+    admin.create("/seq", vec![], CreateMode::Persistent).unwrap();
+    let created: Vec<String> = {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let svc = svc.clone();
+                thread::spawn(move || {
+                    let s = svc.connect();
+                    (0..100)
+                        .map(|_| {
+                            s.create("/seq/n-", vec![], CreateMode::PersistentSequential)
+                                .expect("parent exists")
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("no panics"))
+            .collect()
+    };
+    let mut unique = created.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), created.len(), "no duplicate sequence names");
+    assert_eq!(created.len(), 800);
+}
+
+#[test]
+fn warehouse_concurrent_writers_and_readers() {
+    let wh = Arc::new(Warehouse::with_block_capacity(4096));
+    // Writers create disjoint files while readers scan whatever exists.
+    let writers: Vec<_> = (0..4)
+        .map(|t| {
+            let wh = Arc::clone(&wh);
+            thread::spawn(move || {
+                for f in 0..20 {
+                    let path = WhPath::parse(&format!("/logs/t{t}/file-{f}")).unwrap();
+                    let mut w = wh.create(&path).expect("distinct paths");
+                    for r in 0..200 {
+                        w.append_record(format!("t{t}-f{f}-r{r}").as_bytes());
+                    }
+                    w.finish().expect("available");
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let wh = Arc::clone(&wh);
+            thread::spawn(move || {
+                let mut seen = 0u64;
+                for _ in 0..50 {
+                    let root = WhPath::parse("/logs").unwrap();
+                    if !wh.exists(&root) {
+                        continue;
+                    }
+                    let Ok(files) = wh.list_files_recursive(&root) else {
+                        continue;
+                    };
+                    for f in files {
+                        // Files are atomic: a visible file is fully readable.
+                        let records = wh.open(&f).expect("visible implies complete");
+                        seen += records.read_all().expect("no torn reads").len() as u64;
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writers never panic");
+    }
+    for r in readers {
+        r.join().expect("readers never panic");
+    }
+    // Final state: exactly the written records.
+    let total: u64 = wh
+        .list_files_recursive(&WhPath::parse("/logs").unwrap())
+        .unwrap()
+        .iter()
+        .map(|f| wh.file_meta(f).unwrap().records)
+        .sum();
+    assert_eq!(total, 4 * 20 * 200);
+}
+
+#[test]
+fn scribe_network_delivery_from_many_threads() {
+    let coord = CoordService::new();
+    let net = unified_logging::scribe::Network::new();
+    let mut agg = unified_logging::scribe::Aggregator::spawn(
+        &coord,
+        &net,
+        "dc0",
+        Warehouse::new(),
+    );
+    let endpoint = agg.endpoint().to_string();
+
+    let senders: Vec<_> = (0..8)
+        .map(|t| {
+            let net = net.clone();
+            let endpoint = endpoint.clone();
+            thread::spawn(move || {
+                for i in 0..500 {
+                    net.send(
+                        &endpoint,
+                        LogEntry::new("client_events", format!("t{t}-{i}").into_bytes()),
+                    )
+                    .expect("aggregator is up");
+                }
+            })
+        })
+        .collect();
+    for s in senders {
+        s.join().expect("no panics");
+    }
+    assert_eq!(agg.process(), 8 * 500);
+    let report = agg.flush(0);
+    assert_eq!(report.flushed_records, 8 * 500);
+}

@@ -1,0 +1,139 @@
+//! Integration-level fault injection: the pipeline's delivery guarantees
+//! under aggregator crashes, staging outages, and lagging datacenters (§2).
+
+use unified_logging::prelude::*;
+use unified_logging::scribe::message::LogEntry;
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        datacenters: 2,
+        hosts_per_dc: 4,
+        aggregators_per_dc: 2,
+        records_per_file: 1_000,
+    }
+}
+
+fn log_batch(pipe: &mut ScribePipeline, n_per_host: usize, tag: &str) -> u64 {
+    let mut total = 0;
+    for dc in 0..2 {
+        for host in 0..4 {
+            for i in 0..n_per_host {
+                pipe.log(
+                    dc,
+                    host,
+                    LogEntry::new("client_events", format!("{tag}-{dc}-{host}-{i}").into_bytes()),
+                );
+                total += 1;
+            }
+        }
+    }
+    total
+}
+
+#[test]
+fn repeated_crashes_never_lose_flushed_data() {
+    let mut pipe = ScribePipeline::new(config());
+    let mut logged = 0;
+    let mut crash_lost = 0;
+    for round in 0..6 {
+        logged += log_batch(&mut pipe, 10, &format!("r{round}"));
+        pipe.step();
+        if round % 2 == 0 {
+            // Crash one aggregator per even round, then replace it.
+            crash_lost += pipe.crash_aggregator(round % 2, 0);
+            pipe.spawn_aggregator(round % 2, 0);
+            pipe.step();
+        }
+        pipe.flush_hour(0);
+    }
+    pipe.step();
+    pipe.flush_hour(0);
+    pipe.seal_hour("client_events", 0);
+    let moved = pipe.move_hour("client_events", 0).unwrap().records;
+    let report = pipe.report();
+    assert_eq!(report.lost_in_crashes, crash_lost);
+    assert_eq!(
+        moved + crash_lost,
+        logged,
+        "moved + crash-lost must equal logged"
+    );
+    // Loss is bounded by what was unflushed at crash time; with flushes
+    // every round, that is at most two rounds of one DC's traffic.
+    assert!(crash_lost <= 2 * 40, "loss {crash_lost} out of bounds");
+}
+
+#[test]
+fn total_aggregator_loss_buffers_at_hosts_until_replacement() {
+    let mut pipe = ScribePipeline::new(config());
+    // Kill every aggregator in dc0 before anything is logged.
+    pipe.crash_aggregator(0, 0);
+    pipe.crash_aggregator(0, 1);
+    let logged = log_batch(&mut pipe, 5, "a");
+    pipe.step();
+    let mid = pipe.report();
+    assert!(
+        mid.host_buffered > 0,
+        "dc0 hosts must hold data while no aggregator lives"
+    );
+    // Replacement arrives; everything drains.
+    pipe.spawn_aggregator(0, 0);
+    pipe.step();
+    pipe.flush_hour(0);
+    pipe.seal_hour("client_events", 0);
+    let moved = pipe.move_hour("client_events", 0).unwrap().records;
+    assert_eq!(moved, logged);
+    assert_eq!(pipe.report().host_buffered, 0);
+}
+
+#[test]
+fn staging_outage_defers_but_never_duplicates() {
+    let mut pipe = ScribePipeline::new(config());
+    let logged = log_batch(&mut pipe, 8, "a");
+    pipe.step();
+    pipe.set_staging_available(0, false);
+    pipe.flush_hour(0); // dc0 buffers to "local disk"
+    pipe.flush_hour(0); // repeated flush attempts must not duplicate
+    pipe.set_staging_available(0, true);
+    pipe.flush_hour(0);
+    pipe.flush_hour(0); // idempotent once drained
+    pipe.seal_hour("client_events", 0);
+    let moved = pipe.move_hour("client_events", 0).unwrap().records;
+    assert_eq!(moved, logged, "no loss and no duplication through outage");
+}
+
+#[test]
+fn mover_is_exactly_once_per_hour() {
+    let mut pipe = ScribePipeline::new(config());
+    log_batch(&mut pipe, 5, "a");
+    pipe.step();
+    pipe.flush_hour(0);
+    pipe.seal_hour("client_events", 0);
+    pipe.move_hour("client_events", 0).unwrap();
+    // A second move of the same hour is rejected, not duplicated.
+    assert!(pipe.move_hour("client_events", 0).is_err());
+    let meta = pipe
+        .main_warehouse()
+        .dir_meta(&unified_logging::core::session::day_dir("client_events", 0))
+        .unwrap();
+    assert_eq!(meta.records, pipe.report().logged);
+}
+
+#[test]
+fn warehouse_checksums_catch_corruption() {
+    // Not a scribe test, but the recovery story depends on it: a corrupt
+    // block surfaces as an error, never as silent garbage.
+    use unified_logging::warehouse::WarehouseError;
+    let wh = Warehouse::with_block_capacity(128);
+    let path = WhPath::parse("/f").unwrap();
+    let mut w = wh.create(&path).unwrap();
+    for i in 0..100 {
+        w.append_record(format!("record-{i}").as_bytes());
+    }
+    w.finish().unwrap();
+    // Reading with a tampered checksum is simulated via the corrupt-stream
+    // guards in the compressor; here we verify a clean read passes its
+    // checksums end to end.
+    let records = wh.open(&path).unwrap().read_all();
+    assert!(records.is_ok());
+    assert!(!matches!(records, Err(WarehouseError::ChecksumMismatch { .. })));
+}
