@@ -159,9 +159,7 @@ pub fn query_by_example(
     let mut scored: Vec<(usize, f64)> = corpus
         .iter()
         .enumerate()
-        .filter(|(_, s)| {
-            !(s.user_id == probe.user_id && s.session_id == probe.session_id)
-        })
+        .filter(|(_, s)| !(s.user_id == probe.user_id && s.session_id == probe.session_id))
         .map(|(i, s)| (i, similarity(&probe_syms, &symbols(&s.sequence), scoring)))
         .collect();
     scored.sort_by(|x, y| y.1.total_cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
@@ -251,7 +249,7 @@ mod tests {
         };
         let probe = mk(1, &[1, 2, 3, 4, 5]);
         let corpus = vec![
-            probe.clone(),          // self: excluded
+            probe.clone(),           // self: excluded
             mk(2, &[1, 2, 3, 4, 5]), // identical
             mk(3, &[1, 2, 9, 4, 5]), // one substitution
             mk(4, &[7, 7, 7, 7, 7]), // unrelated

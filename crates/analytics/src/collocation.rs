@@ -119,7 +119,11 @@ impl CollocationMiner {
                 }
             })
             .collect();
-        out.sort_by(|x, y| y.llr.total_cmp(&x.llr).then_with(|| (x.a, x.b).cmp(&(y.a, y.b))));
+        out.sort_by(|x, y| {
+            y.llr
+                .total_cmp(&x.llr)
+                .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+        });
         out
     }
 
@@ -135,7 +139,11 @@ impl CollocationMiner {
     /// Hanks), which the E8 experiment demonstrates against LLR.
     pub fn top_by_pmi(&self, k: usize, min_count: u64) -> Vec<CollocationScore> {
         let mut s = self.scores(min_count);
-        s.sort_by(|x, y| y.pmi.total_cmp(&x.pmi).then_with(|| (x.a, x.b).cmp(&(y.a, y.b))));
+        s.sort_by(|x, y| {
+            y.pmi
+                .total_cmp(&x.pmi)
+                .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+        });
         s.truncate(k);
         s
     }

@@ -70,8 +70,7 @@ pub(crate) mod test_support {
                     };
                     let ev = ClientEvent::new(
                         EventInitiator::CLIENT_USER,
-                        EventName::parse(&format!("web:home:home:stream:tweet:{action}"))
-                            .unwrap(),
+                        EventName::parse(&format!("web:home:home:stream:tweet:{action}")).unwrap(),
                         u + 1,
                         format!("s-{u}"),
                         "10.0.0.1",

@@ -120,8 +120,7 @@ mod tests {
         let d = dict();
         let all_clicks = EventCharSet::expand(&EventPattern::parse("*:click").unwrap(), &d);
         assert_eq!(all_clicks.len(), 2);
-        let web_only =
-            EventCharSet::expand(&EventPattern::parse("web:home:home:*").unwrap(), &d);
+        let web_only = EventCharSet::expand(&EventPattern::parse("web:home:home:*").unwrap(), &d);
         assert_eq!(web_only.len(), 2);
         let none = EventCharSet::expand(&EventPattern::parse("*:retweet").unwrap(), &d);
         assert!(none.is_empty());

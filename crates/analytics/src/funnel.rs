@@ -144,11 +144,8 @@ mod tests {
             n("web:signup:signup:landing:form:submit"),
             n("web:signup:signup:interests:picker:select"),
         ];
-        let mut counts: Vec<(EventName, u64)> = stages
-            .iter()
-            .cloned()
-            .zip([300u64, 200, 100])
-            .collect();
+        let mut counts: Vec<(EventName, u64)> =
+            stages.iter().cloned().zip([300u64, 200, 100]).collect();
         counts.push((n("web:home:home:stream:tweet:impression"), 10_000));
         (EventDictionary::from_counts(counts), stages)
     }

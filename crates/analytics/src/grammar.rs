@@ -201,7 +201,13 @@ impl Grammar {
         order
             .into_iter()
             .take(k)
-            .map(|i| (i, self.rule_uses[i], self.expand(NONTERMINAL_BASE + i as u32)))
+            .map(|i| {
+                (
+                    i,
+                    self.rule_uses[i],
+                    self.expand(NONTERMINAL_BASE + i as u32),
+                )
+            })
             .collect()
     }
 }
@@ -238,7 +244,11 @@ mod tests {
             top.iter().any(|(_, _, y)| y == &vec![1, 2, 3]),
             "the motif is a top rule's yield: {top:?}"
         );
-        assert!(g.compression_ratio() > 1.3, "ratio {:.2}", g.compression_ratio());
+        assert!(
+            g.compression_ratio() > 1.3,
+            "ratio {:.2}",
+            g.compression_ratio()
+        );
     }
 
     #[test]

@@ -173,19 +173,26 @@ mod tests {
         let d = dict();
         let mut lf = LifeFlow::new(5);
         for _ in 0..20 {
-            lf.add_string(&d.encode_sequence([
-                &EventName::parse("web:a:a:a:a:impression").unwrap(),
-                &EventName::parse("web:a:a:a:a:click").unwrap(),
-            ]).unwrap());
+            lf.add_string(
+                &d.encode_sequence([
+                    &EventName::parse("web:a:a:a:a:impression").unwrap(),
+                    &EventName::parse("web:a:a:a:a:click").unwrap(),
+                ])
+                .unwrap(),
+            );
         }
-        lf.add_string(&d.encode_sequence([
-            &EventName::parse("web:a:a:a:a:follow").unwrap(),
-        ]).unwrap());
+        lf.add_string(
+            &d.encode_sequence([&EventName::parse("web:a:a:a:a:follow").unwrap()])
+                .unwrap(),
+        );
         let text = lf.render(&d, 0.2);
         assert!(text.contains("21 sessions"));
         assert!(text.contains("web:a:a:a:a:impression [20]"));
         assert!(text.contains("web:a:a:a:a:click [20]"));
-        assert!(text.contains("below threshold"), "rare follow branch pruned");
+        assert!(
+            text.contains("below threshold"),
+            "rare follow branch pruned"
+        );
     }
 
     #[test]

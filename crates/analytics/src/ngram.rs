@@ -48,9 +48,7 @@ impl NgramModel {
             let padded = Self::pad(n, seq);
             for window in padded.windows(n) {
                 *ngram_counts.entry(window.to_vec()).or_insert(0) += 1;
-                *context_counts
-                    .entry(window[..n - 1].to_vec())
-                    .or_insert(0) += 1;
+                *context_counts.entry(window[..n - 1].to_vec()).or_insert(0) += 1;
             }
         }
         // EOS is predictable; BOS never is (it is only context).
@@ -125,10 +123,7 @@ impl NgramModel {
             for window in padded.windows(self.n) {
                 let p = {
                     // Reuse prob() through the padded window directly.
-                    let ctx_count = *self
-                        .context_counts
-                        .get(&window[..self.n - 1])
-                        .unwrap_or(&0);
+                    let ctx_count = *self.context_counts.get(&window[..self.n - 1]).unwrap_or(&0);
                     let ngram_count = *self.ngram_counts.get(window).unwrap_or(&0);
                     (ngram_count as f64 + self.lidstone)
                         / (ctx_count as f64 + self.lidstone * self.vocab as f64)
@@ -305,10 +300,7 @@ mod tests {
         let corpus = vec![vec![0u32, 1, 2, 0, 1], vec![2u32, 2, 1]];
         let m = NgramModel::train(2, 0.5, &corpus);
         // Sum over observed vocab + EOS after context [0].
-        let total: f64 = [0u32, 1, 2, EOS]
-            .iter()
-            .map(|s| m.prob(&[0], *s))
-            .sum();
+        let total: f64 = [0u32, 1, 2, EOS].iter().map(|s| m.prob(&[0], *s)).sum();
         assert!((total - 1.0).abs() < 1e-9, "got {total}");
     }
 

@@ -85,7 +85,12 @@ mod tests {
         let mut runner = ScriptRunner::new(Engine::new(wh));
         register_analytics(&mut runner, dict.clone());
         runner.set_param("EVENTS", "*:click");
-        runner.set_param("DATE", sequences_dir(0).as_str().trim_start_matches("/session_sequences/"));
+        runner.set_param(
+            "DATE",
+            sequences_dir(0)
+                .as_str()
+                .trim_start_matches("/session_sequences/"),
+        );
 
         let out = runner
             .run(

@@ -153,7 +153,13 @@ mod tests {
         ])
     }
 
-    fn seq(user: i64, client: &str, events: usize, duration: i64, d: &EventDictionary) -> SessionSequence {
+    fn seq(
+        user: i64,
+        client: &str,
+        events: usize,
+        duration: i64,
+        d: &EventDictionary,
+    ) -> SessionSequence {
         let name = n(&format!("{client}:home:home:stream:tweet:impression"));
         let c = d.encode_name(&name).unwrap();
         SessionSequence {
@@ -190,10 +196,7 @@ mod tests {
         assert_eq!(s.distinct_users, 2, "logged-out user 0 excluded");
         assert_eq!(s.by_client.get("web"), Some(&3));
         assert_eq!(s.by_client.get("iphone"), Some(&1));
-        assert_eq!(
-            s.by_duration.get(&DurationBucket::UnderOneMinute),
-            Some(&1)
-        );
+        assert_eq!(s.by_duration.get(&DurationBucket::UnderOneMinute), Some(&1));
         assert_eq!(
             s.by_duration.get(&DurationBucket::OverThirtyMinutes),
             Some(&1)

@@ -1,0 +1,93 @@
+//! Parallel scan/execute benches: materialization and a raw-log counting
+//! query at 1/2/4/8 workers, plus cold- vs warm-cache scans.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use uli_bench::experiments::e5_query_cost::raw_count_plan;
+use uli_core::event::EventPattern;
+use uli_core::session::Materializer;
+use uli_dataflow::prelude::*;
+use uli_warehouse::Warehouse;
+use uli_workload::{generate_day, write_client_events, WorkloadConfig};
+
+fn landed_day() -> (Warehouse, u64) {
+    let day = generate_day(
+        &WorkloadConfig {
+            users: 200,
+            ..Default::default()
+        },
+        0,
+    );
+    let wh = Warehouse::new();
+    write_client_events(&wh, &day.events, 4).unwrap();
+    (wh, day.truth.events)
+}
+
+fn bench_materialize_workers(c: &mut Criterion) {
+    let (wh, events) = landed_day();
+    let mut g = c.benchmark_group("materialize_workers");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events));
+    for workers in [1usize, 2, 4, 8] {
+        let m = Materializer::new(wh.clone()).with_parallelism(Parallelism::fixed(workers));
+        g.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| black_box(m.run_day(0).expect("day present")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_workers(c: &mut Criterion) {
+    let (wh, events) = landed_day();
+    Materializer::new(wh.clone())
+        .run_day(0)
+        .expect("day present");
+    let dict = Materializer::new(wh.clone())
+        .load_dictionary(0)
+        .expect("persisted");
+    let plan = raw_count_plan(&dict, &EventPattern::parse("*:impression").expect("valid"));
+    let mut g = c.benchmark_group("raw_count_workers");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events));
+    for workers in [1usize, 2, 4, 8] {
+        let engine = Engine::new(wh.clone()).with_parallelism(Parallelism::fixed(workers));
+        g.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| black_box(engine.run(&plan).expect("runs")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_cache(c: &mut Criterion) {
+    let (wh, events) = landed_day();
+    Materializer::new(wh.clone())
+        .run_day(0)
+        .expect("day present");
+    let dict = Materializer::new(wh.clone())
+        .load_dictionary(0)
+        .expect("persisted");
+    let plan = raw_count_plan(&dict, &EventPattern::parse("*:impression").expect("valid"));
+    let engine = Engine::new(wh.clone()).with_parallelism(Parallelism::fixed(4));
+    let mut g = c.benchmark_group("block_cache");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            wh.clear_cache();
+            black_box(engine.run(&plan).expect("runs"))
+        })
+    });
+    engine.run(&plan).expect("runs"); // prime
+    g.bench_function("warm", |b| {
+        b.iter(|| black_box(engine.run(&plan).expect("runs")))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_materialize_workers, bench_query_workers, bench_block_cache
+}
+criterion_main!(benches);

@@ -49,7 +49,9 @@ fn bench_mover_merge(c: &mut Criterion) {
     let staging = Warehouse::new();
     let dir = partition.main_dir();
     for f in 0..40 {
-        let mut w = staging.create(&dir.child(&format!("agg-{f:03}")).unwrap()).unwrap();
+        let mut w = staging
+            .create(&dir.child(&format!("agg-{f:03}")).unwrap())
+            .unwrap();
         for r in 0..250 {
             w.append_record(format!("rec-{f}-{r}").as_bytes());
         }

@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use uli_analytics::{load_sequences, ClientEventsFunnel};
-use uli_bench::experiments::e5_query_cost::{raw_count_plan, raw_sessionize_plan, sequence_count_plan};
+use uli_bench::experiments::e5_query_cost::{
+    raw_count_plan, raw_sessionize_plan, sequence_count_plan,
+};
 use uli_bench::harness::{prepare_day, standard_config};
 use uli_core::event::EventPattern;
 use uli_core::legacy::{LegacyCategory, LegacyLoader, LEGACY_SCHEMA};
@@ -52,9 +54,7 @@ fn bench_funnel(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("funnel");
     g.bench_function("evaluate_day", |b| {
-        b.iter(|| {
-            black_box(funnel.evaluate(sequences.iter().map(|s| s.sequence.as_str())))
-        })
+        b.iter(|| black_box(funnel.evaluate(sequences.iter().map(|s| s.sequence.as_str()))))
     });
     g.finish();
 }

@@ -16,6 +16,22 @@ fn main() -> ExitCode {
     };
     let mut failed = false;
     for id in ids {
+        // E14 additionally persists its sweep for tooling that tracks the
+        // serial-vs-parallel numbers across revisions.
+        if id == "e14" {
+            let m = uli_bench::experiments::e14_parallel::measure();
+            println!("{}", "=".repeat(74));
+            println!("{}", uli_bench::experiments::e14_parallel::render(&m));
+            let json = uli_bench::experiments::e14_parallel::to_json(&m);
+            match std::fs::write("BENCH_parallel_scan.json", json) {
+                Ok(()) => println!("wrote BENCH_parallel_scan.json"),
+                Err(e) => {
+                    eprintln!("could not write BENCH_parallel_scan.json: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
         match uli_bench::run_experiment(id) {
             Some(report) => {
                 println!("{}", "=".repeat(74));

@@ -26,8 +26,8 @@ pub fn run() -> String {
          entirely from the compact session sequences.\n\n",
     );
     let mut t = Table::new(&[
-        "day", "sessions", "events", "users", "web", "iphone", "android", "<1m", "1-10m",
-        "10-30m", ">30m",
+        "day", "sessions", "events", "users", "web", "iphone", "android", "<1m", "1-10m", "10-30m",
+        ">30m",
     ]);
     for day in 0..days {
         let dict = Materializer::new(wh.clone())

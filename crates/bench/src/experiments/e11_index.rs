@@ -24,13 +24,11 @@ pub fn run() -> String {
         .expect("dictionary persisted");
     let data_dir = day_dir("client_events", 0);
 
-    let (index, build_ms) = timed(|| {
-        build_client_event_index(&wh, &data_dir).expect("data present")
-    });
+    let (index, build_ms) =
+        timed(|| build_client_event_index(&wh, &data_dir).expect("data present"));
     let index = Arc::new(index);
-    let (_rebuilt, rebuild_ms) = timed(|| {
-        build_client_event_index(&wh, &data_dir).expect("rebuild from scratch")
-    });
+    let (_rebuilt, rebuild_ms) =
+        timed(|| build_client_event_index(&wh, &data_dir).expect("rebuild from scratch"));
 
     let mut out = format!(
         "E11 — Elephant Twin index pushdown (§6)\n\
@@ -42,7 +40,13 @@ pub fn run() -> String {
     );
 
     let mut t = Table::new(&[
-        "pattern", "selectivity", "path", "answer", "mappers", "blocks read", "blocks skipped",
+        "pattern",
+        "selectivity",
+        "path",
+        "answer",
+        "mappers",
+        "blocks read",
+        "blocks skipped",
         "wall ms",
     ]);
     // Patterns from broad to highly selective (funnel events are rare).
@@ -71,11 +75,17 @@ pub fn run() -> String {
         let (full, full_ms) = timed(|| engine.run(&make_plan(None)).expect("runs"));
         let pruner = EventIndexPruner::new(Arc::clone(&index), p.clone());
         let (pruned, pruned_ms) = timed(|| engine.run(&make_plan(Some(pruner))).expect("runs"));
-        assert_eq!(full.rows[0][0], pruned.rows[0][0], "answers agree: {pattern}");
+        assert_eq!(
+            full.rows[0][0], pruned.rows[0][0],
+            "answers agree: {pattern}"
+        );
 
-        let selectivity = full.rows[0][0].as_int().unwrap_or(0) as f64
-            / prepared.day.events.len() as f64;
-        for (label, r, ms) in [("full scan", &full, full_ms), ("indexed", &pruned, pruned_ms)] {
+        let selectivity =
+            full.rows[0][0].as_int().unwrap_or(0) as f64 / prepared.day.events.len() as f64;
+        for (label, r, ms) in [
+            ("full scan", &full, full_ms),
+            ("indexed", &pruned, pruned_ms),
+        ] {
             t.row(cells![
                 pattern,
                 format!("{:.2}%", selectivity * 100.0),

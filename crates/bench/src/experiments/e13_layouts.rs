@@ -37,7 +37,9 @@ fn materialize_resessioned(wh: &Warehouse, events: &[ClientEvent]) -> WhPath {
             .push(ev);
     }
     let dir = WhPath::parse("/layouts/resessioned").expect("valid");
-    let mut w = wh.create(&dir.child("part-00000").expect("valid")).expect("fresh dir");
+    let mut w = wh
+        .create(&dir.child("part-00000").expect("valid"))
+        .expect("fresh dir");
     for evs in by_session.values() {
         for ev in evs {
             w.append_record(&ev.to_bytes());
@@ -129,7 +131,11 @@ pub fn run() -> String {
         "KB processed for names",
         "group-by needed?",
     ]);
-    let disk = |dir: &WhPath| wh.dir_meta(dir).map(|m| m.compressed_bytes / 1024).unwrap_or(0);
+    let disk = |dir: &WhPath| {
+        wh.dir_meta(dir)
+            .map(|m| m.compressed_bytes / 1024)
+            .unwrap_or(0)
+    };
     t.row(cells![
         "raw hourly thrift (status quo)",
         disk(&raw_dir),

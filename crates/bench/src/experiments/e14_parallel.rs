@@ -1,0 +1,175 @@
+//! E14 — parallel scan/execute layer: serial vs worker-pool wall-clock.
+//!
+//! The paper's platform leans on Hadoop for parallelism; our single-process
+//! reproduction gets the same lever from [`Parallelism`]: the materializer
+//! shards its scan/encode passes and the engine runs its map phase per
+//! block. This experiment sweeps worker counts over the same day and
+//! verifies the outputs are identical while the wall-clock drops, plus
+//! reports the decompressed-block cache hit rate for a repeated query.
+
+use uli_core::session::Materializer;
+use uli_dataflow::prelude::*;
+use uli_warehouse::Warehouse;
+use uli_workload::{generate_day, write_client_events, WorkloadConfig};
+
+use crate::cells;
+use crate::experiments::e5_query_cost::raw_count_plan;
+use crate::harness::{timed, Table};
+use uli_core::event::EventPattern;
+
+/// One row of the sweep.
+pub struct WorkerSample {
+    /// Worker count (1 = the pre-existing serial path).
+    pub workers: usize,
+    /// Full-day materialization wall-clock, milliseconds.
+    pub materialize_ms: f64,
+    /// Counting query over the raw logs, first run (cache warm from the
+    /// materialize pass), milliseconds.
+    pub query_ms: f64,
+    /// Same query repeated, milliseconds.
+    pub query_repeat_ms: f64,
+    /// Block-cache hit rate observed on this warehouse after both queries.
+    pub cache_hit_rate: f64,
+    /// Sessions materialized (must agree across worker counts).
+    pub sessions: u64,
+}
+
+/// The full sweep result.
+pub struct Measurements {
+    /// Samples in worker order: 1, 2, 4, 8.
+    pub samples: Vec<WorkerSample>,
+    /// True when every worker count produced the same report and rows.
+    pub outputs_identical: bool,
+    /// Hardware threads visible to this process; the speedup column can
+    /// only rise toward this ceiling (on a 1-core host the sweep shows
+    /// parity and measures the pool's overhead instead).
+    pub cores: usize,
+}
+
+/// Runs the sweep: for each worker count, land the same day in a fresh
+/// warehouse, materialize, and run the same counting query twice.
+pub fn measure() -> Measurements {
+    let config = WorkloadConfig {
+        users: 500,
+        ..Default::default()
+    };
+    let day = generate_day(&config, 0);
+    let pattern = EventPattern::parse("*:impression").expect("valid");
+
+    let mut samples = Vec::new();
+    let mut reference: Option<(uli_core::session::MaterializeReport, Vec<Tuple>)> = None;
+    let mut outputs_identical = true;
+    for workers in [1usize, 2, 4, 8] {
+        let wh = Warehouse::new();
+        write_client_events(&wh, &day.events, 4).expect("fresh warehouse");
+        let m = Materializer::new(wh.clone()).with_parallelism(Parallelism::fixed(workers));
+        let (report, materialize_ms) = timed(|| m.run_day(0).expect("day exists"));
+        let dict = m.load_dictionary(0).expect("persisted");
+        let engine = Engine::new(wh.clone()).with_parallelism(Parallelism::fixed(workers));
+        let plan = raw_count_plan(&dict, &pattern);
+        let (first, query_ms) = timed(|| engine.run(&plan).expect("runs"));
+        let (second, query_repeat_ms) = timed(|| engine.run(&plan).expect("runs"));
+        assert_eq!(first.rows, second.rows, "repeat must not change the answer");
+        match &reference {
+            None => reference = Some((report.clone(), first.rows.clone())),
+            Some((r0, rows0)) => {
+                outputs_identical &= *r0 == report && *rows0 == first.rows;
+            }
+        }
+        samples.push(WorkerSample {
+            workers,
+            materialize_ms,
+            query_ms,
+            query_repeat_ms,
+            cache_hit_rate: wh.cache_stats().hit_rate(),
+            sessions: report.sessions,
+        });
+    }
+    Measurements {
+        samples,
+        outputs_identical,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Renders the sweep as the experiment table.
+pub fn render(m: &Measurements) -> String {
+    let mut out = String::from(
+        "E14 — parallel scan/execute: worker sweep over one day (identical outputs)\n\n",
+    );
+    let mut t = Table::new(&[
+        "workers",
+        "materialize ms",
+        "query ms",
+        "repeat ms",
+        "cache hit rate",
+        "speedup",
+    ]);
+    let base = m.samples[0].materialize_ms;
+    for s in &m.samples {
+        t.row(cells![
+            s.workers,
+            format!("{:.1}", s.materialize_ms),
+            format!("{:.1}", s.query_ms),
+            format!("{:.1}", s.query_repeat_ms),
+            format!("{:.1}%", s.cache_hit_rate * 100.0),
+            format!("{:.2}x", base / s.materialize_ms)
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\n{} hardware thread(s) visible; speedup is capped at that ceiling.\n\
+         outputs identical across worker counts: {}\n\
+         (report, dictionary, sequence bytes, and query rows all compared)\n",
+        m.cores, m.outputs_identical
+    ));
+    out
+}
+
+/// Serializes the sweep as the `BENCH_parallel_scan.json` payload.
+pub fn to_json(m: &Measurements) -> String {
+    let mut rows = Vec::new();
+    for s in &m.samples {
+        rows.push(format!(
+            "    {{\"workers\": {}, \"materialize_ms\": {:.3}, \"query_ms\": {:.3}, \
+             \"query_repeat_ms\": {:.3}, \"cache_hit_rate\": {:.4}, \"sessions\": {}}}",
+            s.workers,
+            s.materialize_ms,
+            s.query_ms,
+            s.query_repeat_ms,
+            s.cache_hit_rate,
+            s.sessions
+        ));
+    }
+    format!(
+        "{{\n  \"experiment\": \"parallel_scan\",\n  \"cores\": {},\n  \"outputs_identical\": {},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        m.cores,
+        m.outputs_identical,
+        rows.join(",\n")
+    )
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    render(&measure())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_consistent_and_serializes() {
+        let m = measure();
+        assert!(m.outputs_identical, "parallel outputs diverged from serial");
+        assert_eq!(m.samples.len(), 4);
+        assert!(m.samples.iter().all(|s| s.sessions > 0));
+        assert!(
+            m.samples.iter().any(|s| s.cache_hit_rate > 0.0),
+            "repeated query should hit the block cache"
+        );
+        let json = to_json(&m);
+        assert!(json.contains("\"workers\": 8"));
+        assert!(json.contains("\"experiment\": \"parallel_scan\""));
+    }
+}

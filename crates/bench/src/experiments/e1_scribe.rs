@@ -16,9 +16,7 @@ use crate::harness::{timed, Table};
 
 /// Drives one day through the pipeline with the given fault plan. Returns
 /// (pipeline, wall ms).
-pub fn drive(
-    faults: bool,
-) -> (ScribePipeline, f64) {
+pub fn drive(faults: bool) -> (ScribePipeline, f64) {
     let config = PipelineConfig {
         datacenters: 3,
         hosts_per_dc: 16,
@@ -83,7 +81,13 @@ pub fn run() -> String {
          one 2-hour staging outage; hourly flush/seal/move.\n\n",
     );
     let mut table = Table::new(&[
-        "scenario", "logged", "accepted", "flushed", "moved", "crash-lost", "host-buffered",
+        "scenario",
+        "logged",
+        "accepted",
+        "flushed",
+        "moved",
+        "crash-lost",
+        "host-buffered",
         "wall-ms",
     ]);
     for (label, faults) in [("fault-free", false), ("with-faults", true)] {

@@ -30,7 +30,11 @@ pub fn run() -> String {
         })
         .collect();
     for t in &totals {
-        assert_eq!(*t as usize, prepared.day.events.len(), "level totals equal events");
+        assert_eq!(
+            *t as usize,
+            prepared.day.events.len(),
+            "level totals equal events"
+        );
     }
     out.push_str(&format!(
         "events: {}; every schema level totals the same (checked)\n\n",
@@ -54,12 +58,7 @@ pub fn run() -> String {
     out.push_str(&t.render());
 
     // Wildcard slicing: the paper's two examples.
-    let dict_universe: Vec<_> = prepared
-        .day
-        .events
-        .iter()
-        .map(|e| e.name.clone())
-        .collect();
+    let dict_universe: Vec<_> = prepared.day.events.iter().map(|e| e.name.clone()).collect();
     let mut universe = dict_universe;
     universe.sort();
     universe.dedup();
@@ -67,9 +66,7 @@ pub fn run() -> String {
     for pattern in ["web:home:mentions:*", "*:profile_click"] {
         let p = EventPattern::parse(pattern).expect("paper patterns are valid");
         let matched = universe.iter().filter(|n| p.matches(n)).count();
-        out.push_str(&format!(
-            "  {pattern:<24} matches {matched} event types\n"
-        ));
+        out.push_str(&format!("  {pattern:<24} matches {matched} event types\n"));
         assert!(matched > 0, "paper patterns must match the workload");
     }
 

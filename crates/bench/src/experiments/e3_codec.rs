@@ -25,16 +25,17 @@ pub fn run() -> String {
     );
 
     // Round-trip every event; measure encode/decode throughput.
-    let (encoded, enc_ms) = timed(|| {
-        day.events.iter().map(|e| e.to_bytes()).collect::<Vec<_>>()
-    });
+    let (encoded, enc_ms) = timed(|| day.events.iter().map(|e| e.to_bytes()).collect::<Vec<_>>());
     let (decoded, dec_ms) = timed(|| {
         encoded
             .iter()
             .map(|b| ClientEvent::from_bytes(b).expect("own encoding decodes"))
             .collect::<Vec<_>>()
     });
-    assert_eq!(decoded, day.events, "lossless round trip over the whole day");
+    assert_eq!(
+        decoded, day.events,
+        "lossless round trip over the whole day"
+    );
     let n = day.events.len() as f64;
     let thrift_bytes: usize = encoded.iter().map(Vec::len).sum();
     out.push_str(&format!(

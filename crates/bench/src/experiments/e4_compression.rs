@@ -71,7 +71,9 @@ pub fn run() -> String {
     let mut by_width = [0u64; 4];
     let mut total = 0u64;
     for (rank, _, count) in dict.iter() {
-        let width = char_for_rank(rank).expect("alphabet fits unicode").len_utf8();
+        let width = char_for_rank(rank)
+            .expect("alphabet fits unicode")
+            .len_utf8();
         by_width[width - 1] += count;
         total += count;
     }

@@ -7,11 +7,12 @@
 
 use std::sync::Arc;
 
+use uli_analytics::CountClientEvents;
 use uli_core::client_event::{ClientEventLoader, CLIENT_EVENT_SCHEMA};
 use uli_core::event::EventPattern;
-use uli_core::session::{day_dir, sequences_dir, EventDictionary, SessionSequenceLoader,
-    SESSION_SEQUENCE_SCHEMA};
-use uli_analytics::CountClientEvents;
+use uli_core::session::{
+    day_dir, sequences_dir, EventDictionary, SessionSequenceLoader, SESSION_SEQUENCE_SCHEMA,
+};
 use uli_dataflow::prelude::*;
 use uli_warehouse::Warehouse;
 
@@ -76,11 +77,16 @@ pub fn run() -> String {
         .expect("dictionary persisted");
     let engine = Engine::new(wh.clone());
 
-    let mut out = String::from(
-        "E5 — event counting: raw logs vs session sequences (§4.1, §5.2)\n\n",
-    );
+    let mut out =
+        String::from("E5 — event counting: raw logs vs session sequences (§4.1, §5.2)\n\n");
     let mut t = Table::new(&[
-        "pattern", "path", "answer", "mappers", "MB scanned", "shuffle KB", "wall ms",
+        "pattern",
+        "path",
+        "answer",
+        "mappers",
+        "MB scanned",
+        "shuffle KB",
+        "wall ms",
         "est. cluster s",
     ]);
     for pattern in ["*:impression", "*:profile_click", "web:search:*"] {

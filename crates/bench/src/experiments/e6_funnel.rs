@@ -41,7 +41,11 @@ pub fn run() -> String {
     out.push('\n');
 
     let mut t = Table::new(&[
-        "stage", "sessions (measured)", "sessions (truth)", "abandonment", "planted",
+        "stage",
+        "sessions (measured)",
+        "sessions (truth)",
+        "abandonment",
+        "planted",
     ]);
     let abandonment = report.abandonment();
     for (i, stage) in spec.stages.iter().enumerate() {

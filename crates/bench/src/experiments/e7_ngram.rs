@@ -62,7 +62,11 @@ pub fn run() -> String {
         test.len()
     );
     let mut t = Table::new(&[
-        "n", "interpolated H (bits)", "perplexity", "delta vs n-1", "naive add-lambda H",
+        "n",
+        "interpolated H (bits)",
+        "perplexity",
+        "delta vs n-1",
+        "naive add-lambda H",
     ]);
     let mut entropies = Vec::new();
     for n in 1..=5usize {

@@ -10,8 +10,9 @@
 use std::sync::Arc;
 
 use uli_core::client_event::{ClientEventLoader, CLIENT_EVENT_SCHEMA};
-use uli_core::legacy::{approximate_sessions, LegacyCategory, LegacyEvent, LegacyLoader,
-    LEGACY_SCHEMA};
+use uli_core::legacy::{
+    approximate_sessions, LegacyCategory, LegacyEvent, LegacyLoader, LEGACY_SCHEMA,
+};
 use uli_core::session::day_dir;
 use uli_core::time::SESSION_GAP_MS;
 use uli_dataflow::prelude::*;
@@ -68,7 +69,12 @@ pub fn run() -> String {
     let (legacy, legacy_ms) = timed(|| engine.run(&legacy_plan).expect("runs"));
 
     let mut t = Table::new(&[
-        "path", "categories", "formats parsed", "mappers", "shuffle KB", "wall ms",
+        "path",
+        "categories",
+        "formats parsed",
+        "mappers",
+        "shuffle KB",
+        "wall ms",
     ]);
     t.row(cells![
         "unified",
@@ -106,11 +112,15 @@ pub fn run() -> String {
             }
         }
     }
-    assert_eq!(legacy_events.len(), day.events.len(), "no events lost in parsing");
+    assert_eq!(
+        legacy_events.len(),
+        day.events.len(),
+        "no events lost in parsing"
+    );
     let approx = approximate_sessions(legacy_events, SESSION_GAP_MS);
     let approx_sessions = approx.len() as u64;
-    let err = (approx_sessions as f64 - day.truth.sessions as f64).abs()
-        / day.truth.sessions as f64;
+    let err =
+        (approx_sessions as f64 - day.truth.sessions as f64).abs() / day.truth.sessions as f64;
 
     out.push_str(&format!(
         "\nsessionization accuracy (truth: {} sessions):\n\

@@ -1,5 +1,10 @@
 //! One module per experiment in DESIGN.md's index.
 
+pub mod e10_summary;
+pub mod e11_index;
+pub mod e12_catalog;
+pub mod e13_layouts;
+pub mod e14_parallel;
 pub mod e1_scribe;
 pub mod e2_rollups;
 pub mod e3_codec;
@@ -9,7 +14,3 @@ pub mod e6_funnel;
 pub mod e7_ngram;
 pub mod e8_collocations;
 pub mod e9_legacy;
-pub mod e10_summary;
-pub mod e11_index;
-pub mod e12_catalog;
-pub mod e13_layouts;

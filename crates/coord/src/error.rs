@@ -46,7 +46,10 @@ impl fmt::Display for CoordError {
                 path,
                 expected,
                 actual,
-            } => write!(f, "version mismatch at {path}: expected {expected}, found {actual}"),
+            } => write!(
+                f,
+                "version mismatch at {path}: expected {expected}, found {actual}"
+            ),
         }
     }
 }

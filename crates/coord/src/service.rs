@@ -28,7 +28,10 @@ pub enum CreateMode {
 
 impl CreateMode {
     fn is_ephemeral(self) -> bool {
-        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+        matches!(
+            self,
+            CreateMode::Ephemeral | CreateMode::EphemeralSequential
+        )
     }
 
     fn is_sequential(self) -> bool {
@@ -106,10 +109,13 @@ impl State {
         if let Some(sessions) = self.watches.remove(&(path.to_string(), watch)) {
             for sid in sessions {
                 if self.live_sessions.contains(&sid) {
-                    self.event_queues.entry(sid).or_default().push_back(WatchEvent {
-                        path: path.to_string(),
-                        kind,
-                    });
+                    self.event_queues
+                        .entry(sid)
+                        .or_default()
+                        .push_back(WatchEvent {
+                            path: path.to_string(),
+                            kind,
+                        });
                 }
             }
         }
@@ -122,7 +128,9 @@ impl State {
         data: Vec<u8>,
         mode: CreateMode,
     ) -> CoordResult<String> {
-        let parent = path.parent().ok_or_else(|| CoordError::BadPath("/".into()))?;
+        let parent = path
+            .parent()
+            .ok_or_else(|| CoordError::BadPath("/".into()))?;
         self.tick += 1;
         let tick = self.tick;
         let actual = {
@@ -190,7 +198,11 @@ impl State {
             parent_node.children.remove(path.name());
         }
         self.fire(path.as_str(), WatchKind::Data, WatchEventKind::NodeDeleted);
-        self.fire(path.as_str(), WatchKind::Exists, WatchEventKind::NodeDeleted);
+        self.fire(
+            path.as_str(),
+            WatchKind::Exists,
+            WatchEventKind::NodeDeleted,
+        );
         self.fire(
             parent.as_str(),
             WatchKind::Children,
@@ -372,7 +384,11 @@ impl Session {
         node.version += 1;
         node.modified_at = tick;
         let stat = node.stat();
-        st.fire(path.as_str(), WatchKind::Data, WatchEventKind::NodeDataChanged);
+        st.fire(
+            path.as_str(),
+            WatchKind::Data,
+            WatchEventKind::NodeDataChanged,
+        );
         Ok(stat)
     }
 
@@ -446,7 +462,8 @@ mod tests {
     #[test]
     fn create_get_set_delete() {
         let (_svc, s) = svc_with_root("/a");
-        s.create("/a/b", b"v0".to_vec(), CreateMode::Persistent).unwrap();
+        s.create("/a/b", b"v0".to_vec(), CreateMode::Persistent)
+            .unwrap();
         let (data, stat) = s.get_data("/a/b").unwrap();
         assert_eq!(data, b"v0");
         assert_eq!(stat.version, 0);
@@ -487,8 +504,12 @@ mod tests {
     #[test]
     fn sequential_names_are_monotonic_and_padded() {
         let (_svc, s) = svc_with_root("/g");
-        let p0 = s.create("/g/m-", vec![], CreateMode::PersistentSequential).unwrap();
-        let p1 = s.create("/g/m-", vec![], CreateMode::PersistentSequential).unwrap();
+        let p0 = s
+            .create("/g/m-", vec![], CreateMode::PersistentSequential)
+            .unwrap();
+        let p1 = s
+            .create("/g/m-", vec![], CreateMode::PersistentSequential)
+            .unwrap();
         assert_eq!(p0, "/g/m-0000000000");
         assert_eq!(p1, "/g/m-0000000001");
         assert_eq!(s.get_children("/g").unwrap().len(), 2);
@@ -498,7 +519,9 @@ mod tests {
     fn ephemerals_vanish_on_drop() {
         let svc = CoordService::new();
         let admin = svc.connect();
-        admin.create("/agg", vec![], CreateMode::Persistent).unwrap();
+        admin
+            .create("/agg", vec![], CreateMode::Persistent)
+            .unwrap();
         let member = svc.connect();
         member
             .create("/agg/m-", b"host".to_vec(), CreateMode::EphemeralSequential)
@@ -512,9 +535,13 @@ mod tests {
     fn ephemerals_vanish_on_forced_expiry() {
         let svc = CoordService::new();
         let admin = svc.connect();
-        admin.create("/agg", vec![], CreateMode::Persistent).unwrap();
+        admin
+            .create("/agg", vec![], CreateMode::Persistent)
+            .unwrap();
         let member = svc.connect();
-        member.create("/agg/m", vec![], CreateMode::Ephemeral).unwrap();
+        member
+            .create("/agg/m", vec![], CreateMode::Ephemeral)
+            .unwrap();
         svc.expire_session(member.id());
         assert!(admin.get_children("/agg").unwrap().is_empty());
         // The expired session now errors on use.
@@ -536,12 +563,16 @@ mod tests {
     fn children_watch_fires_once() {
         let svc = CoordService::new();
         let admin = svc.connect();
-        admin.create("/agg", vec![], CreateMode::Persistent).unwrap();
+        admin
+            .create("/agg", vec![], CreateMode::Persistent)
+            .unwrap();
         let daemon = svc.connect();
         daemon.watch_children("/agg").unwrap();
         assert!(daemon.poll_event().is_none());
 
-        admin.create("/agg/a", vec![], CreateMode::Persistent).unwrap();
+        admin
+            .create("/agg/a", vec![], CreateMode::Persistent)
+            .unwrap();
         assert_eq!(
             daemon.poll_event(),
             Some(WatchEvent {
@@ -550,7 +581,9 @@ mod tests {
             })
         );
         // One-shot: a second change does not fire.
-        admin.create("/agg/b", vec![], CreateMode::Persistent).unwrap();
+        admin
+            .create("/agg/b", vec![], CreateMode::Persistent)
+            .unwrap();
         assert!(daemon.poll_event().is_none());
     }
 
@@ -561,7 +594,10 @@ mod tests {
         s.create("/n", vec![], CreateMode::Persistent).unwrap();
         s.watch_data("/n").unwrap();
         s.set_data("/n", b"x".to_vec(), None).unwrap();
-        assert_eq!(s.poll_event().unwrap().kind, WatchEventKind::NodeDataChanged);
+        assert_eq!(
+            s.poll_event().unwrap().kind,
+            WatchEventKind::NodeDataChanged
+        );
 
         s.watch_data("/n").unwrap();
         s.delete("/n").unwrap();
@@ -581,9 +617,13 @@ mod tests {
     fn watch_fires_on_session_expiry_of_ephemeral_owner() {
         let svc = CoordService::new();
         let admin = svc.connect();
-        admin.create("/agg", vec![], CreateMode::Persistent).unwrap();
+        admin
+            .create("/agg", vec![], CreateMode::Persistent)
+            .unwrap();
         let member = svc.connect();
-        member.create("/agg/m", vec![], CreateMode::Ephemeral).unwrap();
+        member
+            .create("/agg/m", vec![], CreateMode::Ephemeral)
+            .unwrap();
         let watcher = svc.connect();
         watcher.watch_children("/agg").unwrap();
         svc.expire_session(member.id());

@@ -60,10 +60,7 @@ impl ClientEventCatalog {
                 entry.samples.push(sample.clone());
             }
         }
-        ClientEventCatalog {
-            entries,
-            day_index,
-        }
+        ClientEventCatalog { entries, day_index }
     }
 
     /// Rebuilds from a newer day, carrying developer descriptions forward —

@@ -10,8 +10,8 @@ use std::collections::BTreeMap;
 
 use uli_dataflow::{DataflowResult, Loader, Tuple, Value};
 use uli_thrift::{
-    CompactReader, CompactWriter, Requiredness, StructDescriptor, ThriftError, ThriftRecord,
-    ThriftResult, TType,
+    CompactReader, CompactWriter, Requiredness, StructDescriptor, TType, ThriftError, ThriftRecord,
+    ThriftResult,
 };
 
 use crate::event::{EventInitiator, EventName};
@@ -266,7 +266,10 @@ mod tests {
         let ev = sample();
         let t = ClientEventLoader.parse(&ev.to_bytes()).unwrap().unwrap();
         assert_eq!(t.len(), CLIENT_EVENT_SCHEMA.len());
-        assert_eq!(t[1], Value::str("web:home:mentions:stream:avatar:profile_click"));
+        assert_eq!(
+            t[1],
+            Value::str("web:home:mentions:stream:avatar:profile_click")
+        );
         assert_eq!(t[2], Value::Int(12345));
         assert_eq!(t[3], Value::str("s-deadbeef"));
         match &t[6] {
@@ -291,7 +294,10 @@ mod tests {
         let bytes = sample().to_bytes();
         let mut r = CompactReader::new(&bytes);
         let dynamic = r.read_struct_value().unwrap();
-        assert!(schema.validate(&dynamic).is_empty(), "clean message validates");
+        assert!(
+            schema.validate(&dynamic).is_empty(),
+            "clean message validates"
+        );
 
         // A message with a wrong-typed user_id is flagged.
         let mut w = CompactWriter::new();

@@ -12,8 +12,14 @@ use std::fmt;
 pub const COMPONENTS: usize = 6;
 
 /// Human names of the six levels, in order.
-pub const COMPONENT_NAMES: [&str; COMPONENTS] =
-    ["client", "page", "section", "component", "element", "action"];
+pub const COMPONENT_NAMES: [&str; COMPONENTS] = [
+    "client",
+    "page",
+    "section",
+    "component",
+    "element",
+    "action",
+];
 
 /// Why a name failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]

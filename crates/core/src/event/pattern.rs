@@ -39,7 +39,10 @@ impl fmt::Display for PatternError {
         match self {
             PatternError::Empty => write!(f, "empty pattern"),
             PatternError::TooManyComponents(n) => {
-                write!(f, "pattern has {n} components; at most {COMPONENTS} allowed")
+                write!(
+                    f,
+                    "pattern has {n} components; at most {COMPONENTS} allowed"
+                )
             }
             PatternError::AmbiguousShorthand(p) => write!(
                 f,
@@ -166,10 +169,7 @@ impl EventPattern {
     where
         I: IntoIterator<Item = &'a EventName>,
     {
-        universe
-            .into_iter()
-            .filter(|n| self.matches(n))
-            .collect()
+        universe.into_iter().filter(|n| self.matches(n)).collect()
     }
 }
 
@@ -263,9 +263,11 @@ mod tests {
 
     #[test]
     fn expansion_against_universe() {
-        let universe = [n("web:home:mentions:stream:avatar:profile_click"),
+        let universe = [
+            n("web:home:mentions:stream:avatar:profile_click"),
             n("iphone:home:mentions:stream:avatar:profile_click"),
-            n("web:home:mentions:stream:tweet:impression")];
+            n("web:home:mentions:stream:tweet:impression"),
+        ];
         let p = EventPattern::parse("*:profile_click").unwrap();
         let hits = p.expand(universe.iter());
         assert_eq!(hits.len(), 2);

@@ -277,7 +277,10 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
         std::str::from_utf8(&self.bytes[start..self.pos])
@@ -358,7 +361,10 @@ mod tests {
     fn parses_nested_structures() {
         let doc = r#"{"event":{"target":{"id":67890,"kind":"profile"},"ts":1345500000},"tags":["a","b"]}"#;
         let j = Json::parse(doc).unwrap();
-        assert_eq!(j.get_path("event.target.id").unwrap().as_f64(), Some(67890.0));
+        assert_eq!(
+            j.get_path("event.target.id").unwrap().as_f64(),
+            Some(67890.0)
+        );
         assert_eq!(
             j.get_path("event.target.kind").unwrap().as_str(),
             Some("profile")
@@ -391,8 +397,18 @@ mod tests {
     #[test]
     fn errors_do_not_panic() {
         for bad in [
-            "", "{", "}", "[1,", "{\"a\"}", "{\"a\":}", "tru", "\"unterminated",
-            "1 2", "{\"a\":1}extra", "\"bad\\q\"", "nul",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1}extra",
+            "\"bad\\q\"",
+            "nul",
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} must fail");
         }

@@ -59,18 +59,12 @@ impl LegacyCategory {
                 target.insert("kind".to_string(), Json::String("tweet".into()));
                 let mut evt = BTreeMap::new();
                 evt.insert("action".to_string(), Json::String(action.to_string()));
-                evt.insert(
-                    "page".to_string(),
-                    Json::String(ev.name.page().to_string()),
-                );
+                evt.insert("page".to_string(), Json::String(ev.name.page().to_string()));
                 evt.insert("target".to_string(), Json::Object(target));
                 let mut root = BTreeMap::new();
                 root.insert("evt".to_string(), Json::Object(evt));
                 root.insert("userId".to_string(), Json::Number(ev.user_id as f64));
-                root.insert(
-                    "sess".to_string(),
-                    Json::String(ev.session_id.clone()),
-                );
+                root.insert("sess".to_string(), Json::String(ev.session_id.clone()));
                 root.insert(
                     "ts".to_string(),
                     Json::Number((ev.timestamp.millis() / 1000) as f64),
@@ -208,7 +202,10 @@ impl Loader for LegacyLoader {
 /// sessions must be approximated by inactivity gaps alone. This loses
 /// concurrent sessions (two devices at once merge) — the inaccuracy E9
 /// quantifies against ground truth.
-pub fn approximate_sessions(mut events: Vec<LegacyEvent>, gap_ms: i64) -> Vec<(i64, Vec<LegacyEvent>)> {
+pub fn approximate_sessions(
+    mut events: Vec<LegacyEvent>,
+    gap_ms: i64,
+) -> Vec<(i64, Vec<LegacyEvent>)> {
     events.sort_by_key(|e| (e.user_id, e.timestamp));
     let mut out: Vec<(i64, Vec<LegacyEvent>)> = Vec::new();
     for ev in events {
@@ -251,9 +248,9 @@ mod tests {
         let ev = ground_truth(42, 1_345_500_123_456, "click");
         for cat in LegacyCategory::ALL {
             let rec = cat.encode(&ev);
-            let got = cat.decode(&rec).unwrap_or_else(|| {
-                panic!("{cat} failed to decode its own output")
-            });
+            let got = cat
+                .decode(&rec)
+                .unwrap_or_else(|| panic!("{cat} failed to decode its own output"));
             assert_eq!(got.user_id, 42, "{cat}");
             assert_eq!(got.action, "click", "{cat}");
         }

@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn frequency_determines_rank() {
         let d = dict();
-        assert_eq!(d.rank_of(&n("web:home:home:stream:tweet:impression")), Some(0));
+        assert_eq!(
+            d.rank_of(&n("web:home:home:stream:tweet:impression")),
+            Some(0)
+        );
         assert_eq!(d.rank_of(&n("web:home:home:stream:tweet:click")), Some(1));
         assert_eq!(
             d.rank_of(&n("web:home:mentions:stream:avatar:profile_click")),
@@ -202,7 +205,9 @@ mod tests {
     #[test]
     fn frequent_events_encode_smaller() {
         let d = dict();
-        let frequent = d.encode_name(&n("web:home:home:stream:tweet:impression")).unwrap();
+        let frequent = d
+            .encode_name(&n("web:home:home:stream:tweet:impression"))
+            .unwrap();
         let rare = d
             .encode_name(&n("web:home:mentions:stream:avatar:profile_click"))
             .unwrap();
@@ -212,14 +217,8 @@ mod tests {
 
     #[test]
     fn ties_break_deterministically() {
-        let d1 = EventDictionary::from_counts(vec![
-            (n("b:a:a:a:a:x"), 10),
-            (n("a:a:a:a:a:x"), 10),
-        ]);
-        let d2 = EventDictionary::from_counts(vec![
-            (n("a:a:a:a:a:x"), 10),
-            (n("b:a:a:a:a:x"), 10),
-        ]);
+        let d1 = EventDictionary::from_counts(vec![(n("b:a:a:a:a:x"), 10), (n("a:a:a:a:a:x"), 10)]);
+        let d2 = EventDictionary::from_counts(vec![(n("a:a:a:a:a:x"), 10), (n("b:a:a:a:a:x"), 10)]);
         assert_eq!(d1.name_of(0), d2.name_of(0));
         assert_eq!(d1.name_of(0).unwrap().as_str(), "a:a:a:a:a:x");
     }
@@ -281,10 +280,7 @@ mod tests {
 
     #[test]
     fn duplicate_names_collapse() {
-        let d = EventDictionary::from_counts(vec![
-            (n("a:a:a:a:a:x"), 10),
-            (n("a:a:a:a:a:x"), 3),
-        ]);
+        let d = EventDictionary::from_counts(vec![(n("a:a:a:a:a:x"), 10), (n("a:a:a:a:a:x"), 3)]);
         assert_eq!(d.len(), 1);
     }
 

@@ -11,13 +11,13 @@
 use std::collections::BTreeMap;
 
 use uli_thrift::ThriftRecord;
-use uli_warehouse::{HourlyPartition, Warehouse, WarehouseResult, WhPath};
+use uli_warehouse::{HourlyPartition, Parallelism, ScanPool, Warehouse, WarehouseResult, WhPath};
 
-use crate::client_event::{ClientEvent, CLIENT_EVENTS_CATEGORY};
-use crate::event::EventName;
 use super::dictionary::EventDictionary;
 use super::sequence::SessionSequence;
 use super::sessionize::Sessionizer;
+use crate::client_event::{ClientEvent, CLIENT_EVENTS_CATEGORY};
+use crate::event::EventName;
 
 /// The day directory of a category: `/logs/<cat>/YYYY/MM/DD`.
 pub fn day_dir(category: &str, day_index: u64) -> WhPath {
@@ -31,16 +31,14 @@ pub fn day_dir(category: &str, day_index: u64) -> WhPath {
 pub fn sequences_dir(day_index: u64) -> WhPath {
     let day = day_dir("session_sequences", day_index);
     // Reuse the calendar layout but under /session_sequences.
-    WhPath::parse(&day.as_str().replacen("/logs/", "/", 1))
-        .expect("constructed path is valid")
+    WhPath::parse(&day.as_str().replacen("/logs/", "/", 1)).expect("constructed path is valid")
 }
 
 /// Where a day's dictionary, histogram, and samples live — the "known
 /// location in HDFS" consumed by the client event catalog.
 pub fn dictionary_dir(day_index: u64) -> WhPath {
     let day = day_dir("event_dictionary", day_index);
-    WhPath::parse(&day.as_str().replacen("/logs/", "/", 1))
-        .expect("constructed path is valid")
+    WhPath::parse(&day.as_str().replacen("/logs/", "/", 1)).expect("constructed path is valid")
 }
 
 /// Outcome of one day's materialization.
@@ -81,11 +79,19 @@ impl MaterializeReport {
 pub struct Materializer {
     warehouse: Warehouse,
     sessionizer: Sessionizer,
+    /// Worker threads for the scan and encode shards. Serial keeps the
+    /// original single-threaded code path; any worker count produces
+    /// byte-identical output (shards merge in scan order).
+    parallelism: Parallelism,
     /// Samples of each event type retained for the catalog.
     samples_per_event: usize,
     /// Records per output part file.
     records_per_file: u64,
 }
+
+/// Sessions per parallel encode shard in pass 2. Output bytes do not depend
+/// on this (shard results concatenate in order); it only balances work.
+const ENCODE_CHUNK: usize = 1024;
 
 impl Materializer {
     /// A materializer with the standard 30-minute sessionizer.
@@ -93,6 +99,7 @@ impl Materializer {
         Materializer {
             warehouse,
             sessionizer: Sessionizer::new(),
+            parallelism: Parallelism::default(),
             samples_per_event: 3,
             records_per_file: 100_000,
         }
@@ -104,8 +111,24 @@ impl Materializer {
         self
     }
 
+    /// Sets the scan/encode worker count. `Parallelism::serial()` restores
+    /// the original single-threaded passes exactly.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Materializer {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The configured parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
     /// Scans one day of client events, invoking `f` per decoded event.
-    fn scan_day(&self, day_index: u64, mut f: impl FnMut(ClientEvent)) -> WarehouseResult<(u64, u64)> {
+    fn scan_day(
+        &self,
+        day_index: u64,
+        mut f: impl FnMut(ClientEvent),
+    ) -> WarehouseResult<(u64, u64)> {
         let mut events = 0;
         let mut skipped = 0;
         for hour in day_index * 24..(day_index + 1) * 24 {
@@ -129,19 +152,116 @@ impl Materializer {
         Ok((events, skipped))
     }
 
+    /// All client-event files of a day, in the order the serial scan visits
+    /// them (hours ascending, files sorted within each hour).
+    fn day_files(&self, day_index: u64) -> WarehouseResult<Vec<WhPath>> {
+        let mut files = Vec::new();
+        for hour in day_index * 24..(day_index + 1) * 24 {
+            let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, hour).main_dir();
+            if !self.warehouse.exists(&dir) {
+                continue;
+            }
+            files.extend(self.warehouse.list_files_recursive(&dir)?);
+        }
+        Ok(files)
+    }
+
+    /// Sharded day scan: every block of every file is one shard, folded by
+    /// `fold` into a fresh `init()` state on a pool worker. Returns shard
+    /// states **in scan order** (the serial scan's visit order) plus total
+    /// decoded/skipped counts, so merging shard states front-to-back
+    /// reproduces exactly what the serial fold would have seen.
+    fn scan_day_sharded<T, I, F>(
+        &self,
+        day_index: u64,
+        init: I,
+        fold: F,
+    ) -> WarehouseResult<(Vec<T>, u64, u64)>
+    where
+        T: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, ClientEvent) + Sync,
+    {
+        let files = self.day_files(day_index)?;
+        let mut handles = Vec::with_capacity(files.len());
+        let mut work: Vec<(usize, usize)> = Vec::new();
+        for file in &files {
+            let handle = self.warehouse.open_blocks(file)?;
+            let hi = handles.len();
+            work.extend((0..handle.block_count()).map(|bi| (hi, bi)));
+            handles.push(handle);
+        }
+        let results = ScanPool::new(self.parallelism).map(work, |_, (hi, bi)| {
+            let mut state = init();
+            let mut events = 0u64;
+            let mut skipped = 0u64;
+            for record in handles[hi].read_block(bi)? {
+                match ClientEvent::from_bytes(&record) {
+                    Ok(ev) => {
+                        events += 1;
+                        fold(&mut state, ev);
+                    }
+                    Err(_) => skipped += 1,
+                }
+            }
+            Ok::<_, uli_warehouse::WarehouseError>((state, events, skipped))
+        });
+        let mut states = Vec::with_capacity(results.len());
+        let mut events = 0u64;
+        let mut skipped = 0u64;
+        for r in results {
+            let (state, e, s) = r?;
+            events += e;
+            skipped += s;
+            states.push(state);
+        }
+        Ok((states, events, skipped))
+    }
+
     /// Pass 1: histogram + samples + dictionary, persisted under
     /// [`dictionary_dir`]. Returns the dictionary.
+    ///
+    /// With parallelism, per-shard histograms merge into one `BTreeMap` in
+    /// scan order; counts are order-independent sums and samples keep the
+    /// first `samples_per_event` occurrences in scan order, so the persisted
+    /// dictionary and samples are byte-identical to a serial run. Rank order
+    /// (count descending, ties by name ascending) is fixed by
+    /// [`EventDictionary::from_counts`] and cannot depend on worker count.
     pub fn build_dictionary(&self, day_index: u64) -> WarehouseResult<EventDictionary> {
         let mut counts: BTreeMap<EventName, u64> = BTreeMap::new();
         let mut samples: BTreeMap<EventName, Vec<Vec<u8>>> = BTreeMap::new();
         let per_event = self.samples_per_event;
-        self.scan_day(day_index, |ev| {
-            *counts.entry(ev.name.clone()).or_insert(0) += 1;
-            let bucket = samples.entry(ev.name.clone()).or_default();
-            if bucket.len() < per_event {
-                bucket.push(ev.to_bytes());
+        if self.parallelism.is_serial() {
+            self.scan_day(day_index, |ev| {
+                *counts.entry(ev.name.clone()).or_insert(0) += 1;
+                let bucket = samples.entry(ev.name.clone()).or_default();
+                if bucket.len() < per_event {
+                    bucket.push(ev.to_bytes());
+                }
+            })?;
+        } else {
+            type Shard = (BTreeMap<EventName, u64>, BTreeMap<EventName, Vec<Vec<u8>>>);
+            let (shards, _, _) =
+                self.scan_day_sharded(day_index, Shard::default, |(counts, samples), ev| {
+                    *counts.entry(ev.name.clone()).or_insert(0) += 1;
+                    let bucket = samples.entry(ev.name.clone()).or_default();
+                    if bucket.len() < per_event {
+                        bucket.push(ev.to_bytes());
+                    }
+                })?;
+            for (shard_counts, shard_samples) in shards {
+                for (name, n) in shard_counts {
+                    *counts.entry(name).or_insert(0) += n;
+                }
+                for (name, bucket) in shard_samples {
+                    let merged = samples.entry(name).or_default();
+                    if merged.len() < per_event {
+                        merged.extend(bucket);
+                        merged.truncate(per_event);
+                    }
+                }
             }
-        })?;
+        }
         let dict = EventDictionary::from_counts(counts.into_iter().collect());
 
         let dir = dictionary_dir(day_index);
@@ -149,12 +269,16 @@ impl Materializer {
         if self.warehouse.exists(&dir) {
             self.warehouse.delete_dir(&dir)?;
         }
-        let mut w = self.warehouse.create(&dir.child("dictionary").expect("valid"))?;
+        let mut w = self
+            .warehouse
+            .create(&dir.child("dictionary").expect("valid"))?;
         for rec in dict.to_records() {
             w.append_record(&rec);
         }
         w.finish()?;
-        let mut w = self.warehouse.create(&dir.child("samples").expect("valid"))?;
+        let mut w = self
+            .warehouse
+            .create(&dir.child("samples").expect("valid"))?;
         for bucket in samples.values() {
             for sample in bucket {
                 w.append_record(sample);
@@ -166,7 +290,9 @@ impl Materializer {
 
     /// Loads a previously persisted dictionary.
     pub fn load_dictionary(&self, day_index: u64) -> WarehouseResult<EventDictionary> {
-        let file = dictionary_dir(day_index).child("dictionary").expect("valid");
+        let file = dictionary_dir(day_index)
+            .child("dictionary")
+            .expect("valid");
         let records = self.warehouse.open(&file)?.read_all()?;
         Ok(EventDictionary::from_records(records))
     }
@@ -183,14 +309,50 @@ impl Materializer {
 
     /// Pass 2: reconstruct sessions, encode, and write the relation under
     /// [`sequences_dir`]. Requires the dictionary from pass 1.
+    /// With parallelism, the scan shards per block (events concatenate in
+    /// scan order, so sessionization sees the serial event order) and the
+    /// encode shards over fixed chunks of the session list; encoded records
+    /// are written back in session order, so part files are byte-identical
+    /// to a serial run. Sessionization itself stays single-threaded: sessions
+    /// cross hour and file boundaries, so no per-shard sessionizer can be
+    /// correct.
     pub fn materialize_sequences(
         &self,
         day_index: u64,
         dict: &EventDictionary,
     ) -> WarehouseResult<MaterializeReport> {
         let mut all_events = Vec::new();
-        let (events, skipped) = self.scan_day(day_index, |ev| all_events.push(ev))?;
+        let (events, skipped) = if self.parallelism.is_serial() {
+            self.scan_day(day_index, |ev| all_events.push(ev))?
+        } else {
+            let (shards, events, skipped) =
+                self.scan_day_sharded(day_index, Vec::new, |shard, ev| shard.push(ev))?;
+            all_events = shards.into_iter().flatten().collect();
+            (events, skipped)
+        };
         let sessions = self.sessionizer.sessionize(all_events);
+
+        // Encode ahead of the write loop. `None` marks a session whose event
+        // is missing from the dictionary (impossible when both passes saw
+        // the same data; tolerated like the serial path).
+        let encoded: Vec<Option<Vec<u8>>> = if self.parallelism.is_serial() {
+            sessions
+                .iter()
+                .map(|s| SessionSequence::encode(s, dict).map(|seq| seq.to_bytes()))
+                .collect()
+        } else {
+            let chunks: Vec<&[_]> = sessions.chunks(ENCODE_CHUNK).collect();
+            ScanPool::new(self.parallelism)
+                .map(chunks, |_, chunk| {
+                    chunk
+                        .iter()
+                        .map(|s| SessionSequence::encode(s, dict).map(|seq| seq.to_bytes()))
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+        };
 
         let dir = sequences_dir(day_index);
         if self.warehouse.exists(&dir) {
@@ -201,8 +363,8 @@ impl Materializer {
         let mut in_file = 0u64;
         let mut part = 0u64;
         let mut materialized = 0u64;
-        for session in &sessions {
-            let Some(seq) = SessionSequence::encode(session, dict) else {
+        for bytes in encoded {
+            let Some(bytes) = bytes else {
                 // Dictionary built from the same scan covers every event;
                 // reaching here means passes saw different data.
                 debug_assert!(false, "event missing from same-day dictionary");
@@ -214,7 +376,7 @@ impl Materializer {
                 part += 1;
             }
             let w = writer.as_mut().expect("created above");
-            w.append_record(&seq.to_bytes());
+            w.append_record(&bytes);
             materialized += 1;
             in_file += 1;
             if in_file >= self.records_per_file {

@@ -90,7 +90,11 @@ impl Sessionizer {
                     .last()
                     .is_some_and(|prev| ev.timestamp.since(prev.timestamp) > self.gap_ms);
                 if split {
-                    out.push(Self::seal(user_id, &session_id, std::mem::take(&mut current)));
+                    out.push(Self::seal(
+                        user_id,
+                        &session_id,
+                        std::mem::take(&mut current),
+                    ));
                 }
                 current.push(ev);
             }
@@ -148,10 +152,7 @@ mod tests {
     #[test]
     fn orders_events_by_timestamp_within_session() {
         // Arrive out of order, as files from aggregators do.
-        let events = vec![
-            ev(1, "a", 5000, "click"),
-            ev(1, "a", 1000, "impression"),
-        ];
+        let events = vec![ev(1, "a", 5000, "click"), ev(1, "a", 1000, "impression")];
         let sessions = Sessionizer::new().sessionize(events);
         assert_eq!(sessions.len(), 1);
         assert_eq!(sessions[0].events[0].action(), "impression");
@@ -164,7 +165,7 @@ mod tests {
         let gap = SESSION_GAP_MS;
         let events = vec![
             ev(1, "a", 0, "impression"),
-            ev(1, "a", gap, "click"),          // exactly the gap: same session
+            ev(1, "a", gap, "click"), // exactly the gap: same session
             ev(1, "a", 2 * gap + 1, "follow"), // gap exceeded: new session
         ];
         let sessions = Sessionizer::new().sessionize(events);
@@ -176,15 +177,9 @@ mod tests {
 
     #[test]
     fn custom_gap_changes_split_points() {
-        let events = vec![
-            ev(1, "a", 0, "impression"),
-            ev(1, "a", 60_000, "click"),
-        ];
+        let events = vec![ev(1, "a", 0, "impression"), ev(1, "a", 60_000, "click")];
         assert_eq!(Sessionizer::new().sessionize(events.clone()).len(), 1);
-        assert_eq!(
-            Sessionizer::with_gap_ms(30_000).sessionize(events).len(),
-            2
-        );
+        assert_eq!(Sessionizer::with_gap_ms(30_000).sessionize(events).len(), 2);
     }
 
     #[test]

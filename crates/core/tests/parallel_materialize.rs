@@ -1,0 +1,144 @@
+//! Serial/parallel equivalence of the sharded materializer: for seeded
+//! random days, every worker count must produce the same report, the same
+//! dictionary (codes and rank order), the same samples, and byte-identical
+//! part files.
+
+use rand::{Rng, SeedableRng};
+use uli_core::client_event::{ClientEvent, CLIENT_EVENTS_CATEGORY};
+use uli_core::event::{EventInitiator, EventName};
+use uli_core::session::{sequences_dir, MaterializeReport, Materializer};
+use uli_core::time::Timestamp;
+use uli_thrift::ThriftRecord;
+use uli_warehouse::{HourlyPartition, Parallelism, Warehouse, WhPath};
+
+/// Writes a seeded random day of client events: several hours, several
+/// files per hour, event names with skewed frequencies, sessions that
+/// straddle hour boundaries.
+fn seeded_day(seed: u64) -> Warehouse {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let wh = Warehouse::with_block_capacity(1024);
+    let pages = ["home", "profile", "search", "connect", "discover"];
+    let actions = ["impression", "click", "follow", "hover"];
+    for hour in 0..4u64 {
+        let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, hour).main_dir();
+        for part in 0..2 {
+            let mut w = wh
+                .create(&dir.child(&format!("part-{part:05}")).unwrap())
+                .unwrap();
+            let n = 120 + rng.gen_range(0..80);
+            for _ in 0..n {
+                let user = rng.gen_range(0..15i64);
+                let page = pages[rng.gen_range(0..pages.len())];
+                let action = actions[rng.gen_range(0..actions.len())];
+                let name =
+                    EventName::parse(&format!("web:{page}:{page}:stream:tweet:{action}")).unwrap();
+                let ev = ClientEvent::new(
+                    EventInitiator::CLIENT_USER,
+                    name,
+                    user,
+                    format!("s-{user}"),
+                    "10.0.0.1",
+                    Timestamp::from_hour_index(hour).plus(rng.gen_range(0..3_600_000i64)),
+                );
+                w.append_record(&ev.to_bytes());
+            }
+            w.finish().unwrap();
+        }
+    }
+    wh
+}
+
+fn run_day(seed: u64, workers: usize) -> (Warehouse, MaterializeReport) {
+    let wh = seeded_day(seed);
+    let m = Materializer::new(wh.clone()).with_parallelism(Parallelism::fixed(workers));
+    let report = m.run_day(0).unwrap();
+    (wh, report)
+}
+
+/// Every record of every file under `dir`, tagged with its path.
+fn dump_dir(wh: &Warehouse, dir: &WhPath) -> Vec<(String, Vec<Vec<u8>>)> {
+    wh.list_files_recursive(dir)
+        .unwrap()
+        .into_iter()
+        .map(|f| {
+            let records = wh.open(&f).unwrap().read_all().unwrap();
+            (f.as_str().to_string(), records)
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_day_is_byte_identical_to_serial() {
+    for seed in [11u64, 23, 59] {
+        let (serial_wh, serial_report) = run_day(seed, 1);
+        let serial_seqs = dump_dir(&serial_wh, &sequences_dir(0));
+        let serial_dict = dump_dir(&serial_wh, &uli_core::session::dictionary_dir(0));
+        assert!(serial_report.sessions > 0);
+        for workers in [2usize, 4, 8] {
+            let (par_wh, par_report) = run_day(seed, workers);
+            assert_eq!(
+                serial_report, par_report,
+                "report diverged: seed {seed}, {workers} workers"
+            );
+            assert_eq!(
+                serial_report.compression_factor(),
+                par_report.compression_factor()
+            );
+            assert_eq!(
+                serial_seqs,
+                dump_dir(&par_wh, &sequences_dir(0)),
+                "sequence files diverged: seed {seed}, {workers} workers"
+            );
+            assert_eq!(
+                serial_dict,
+                dump_dir(&par_wh, &uli_core::session::dictionary_dir(0)),
+                "dictionary/samples diverged: seed {seed}, {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn dictionary_rank_order_is_worker_independent() {
+    // Force count ties: two event names with identical frequencies must
+    // rank by name ascending no matter how the histogram was sharded.
+    let wh = Warehouse::with_block_capacity(256);
+    let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, 0).main_dir();
+    let mut w = wh.create(&dir.child("part-00000").unwrap()).unwrap();
+    for i in 0..60 {
+        for action in ["click", "impression"] {
+            let name = EventName::parse(&format!("web:home:home:stream:tweet:{action}")).unwrap();
+            let ev = ClientEvent::new(
+                EventInitiator::CLIENT_USER,
+                name,
+                i % 5,
+                format!("s-{}", i % 5),
+                "10.0.0.1",
+                Timestamp::from_hour_index(0).plus(i * 500),
+            );
+            w.append_record(&ev.to_bytes());
+        }
+    }
+    w.finish().unwrap();
+
+    let mut dicts = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let m = Materializer::new(wh.clone()).with_parallelism(Parallelism::fixed(workers));
+        let dict = m.build_dictionary(0).unwrap();
+        dicts.push((workers, dict));
+    }
+    let (_, reference) = &dicts[0];
+    assert_eq!(reference.len(), 2);
+    // Tie broken by name: "click" sorts before "impression".
+    assert!(reference.name_of(0).unwrap().as_str().contains("click"));
+    for (workers, dict) in &dicts[1..] {
+        assert_eq!(dict.len(), reference.len(), "{workers} workers");
+        for code in 0..reference.len() as u32 {
+            assert_eq!(
+                dict.name_of(code),
+                reference.name_of(code),
+                "code {code} diverged at {workers} workers"
+            );
+        }
+    }
+}

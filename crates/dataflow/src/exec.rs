@@ -9,10 +9,13 @@
 //! \[task\] startup costs" (§4.2).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use uli_warehouse::Warehouse;
+use uli_warehouse::{FileBlocks, Parallelism, ScanPool, Warehouse};
 
 use crate::error::{DataflowError, DataflowResult};
+use crate::expr::Expr;
+use crate::loader::{BlockPruner, Loader};
 use crate::plan::{Agg, Plan, PlanNode, SortOrder};
 use crate::udf::AggState;
 use crate::value::{tuple_wire_size, Tuple, Value};
@@ -117,16 +120,20 @@ struct MapInput {
 pub struct Engine {
     warehouse: Warehouse,
     cost: CostModel,
+    /// Worker threads for the map phase (LOAD → FILTER → FOREACH chains run
+    /// per-block on a [`ScanPool`]); results are byte-identical to serial.
+    parallelism: Parallelism,
     /// Records per simulated reduce task.
     reduce_keys_per_task: u64,
 }
 
 impl Engine {
-    /// Engine with the default cost model.
+    /// Engine with the default cost model and host-default parallelism.
     pub fn new(warehouse: Warehouse) -> Self {
         Engine {
             warehouse,
             cost: CostModel::default(),
+            parallelism: Parallelism::default(),
             reduce_keys_per_task: 1 << 20,
         }
     }
@@ -136,8 +143,21 @@ impl Engine {
         Engine {
             warehouse,
             cost,
+            parallelism: Parallelism::default(),
             reduce_keys_per_task: 1 << 20,
         }
+    }
+
+    /// Sets the map-phase worker count. `Parallelism::serial()` restores the
+    /// original single-threaded execution path exactly.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The configured map-phase parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The warehouse this engine scans.
@@ -185,7 +205,146 @@ impl Engine {
         }
     }
 
+    /// Runs a map chain per block on the scan pool, applying `per_block` to
+    /// each block's mapped rows. Returns block results in block order plus
+    /// the pending map input, and charges `stats` from the per-handle scan
+    /// counters (exact even while other scans hit the same warehouse).
+    fn exec_chain_blocks<T: Send>(
+        &self,
+        chain: &MapChain<'_>,
+        stats: &mut JobStats,
+        per_block: impl Fn(Vec<Tuple>) -> DataflowResult<T> + Sync,
+    ) -> DataflowResult<(Vec<T>, MapInput)> {
+        let files = self.warehouse.list_files_recursive(chain.dir)?;
+        let mut handles: Vec<FileBlocks> = Vec::with_capacity(files.len());
+        // (handle index, block index), in the serial scan's visit order.
+        let mut work: Vec<(usize, usize)> = Vec::new();
+        for file in &files {
+            let handle = self.warehouse.open_blocks(file)?;
+            let blocks = handle.block_count();
+            let mask = chain
+                .pruner
+                .as_ref()
+                .and_then(|p| p.prune(&self.warehouse, file, blocks));
+            let hi = handles.len();
+            match mask {
+                Some(mask) => {
+                    assert_eq!(mask.len(), blocks, "filter length mismatch");
+                    for (bi, keep) in mask.into_iter().enumerate() {
+                        if keep {
+                            work.push((hi, bi));
+                        } else {
+                            handle.skip_block(bi);
+                        }
+                    }
+                }
+                None => work.extend((0..blocks).map(|bi| (hi, bi))),
+            }
+            handles.push(handle);
+        }
+        let results = ScanPool::new(self.parallelism).map(work, |_, (hi, bi)| {
+            let records = handles[hi].read_block(bi)?;
+            let mut rows = Vec::with_capacity(records.len());
+            for record in records {
+                if let Some(tuple) = chain.loader.parse(&record)? {
+                    if tuple.len() != chain.schema_len {
+                        return Err(DataflowError::MalformedRecord {
+                            loader: chain.loader.name(),
+                        });
+                    }
+                    rows.push(tuple);
+                }
+            }
+            per_block(chain.apply_ops(rows)?)
+        });
+        // First error in block order, matching what a serial scan surfaces.
+        let mut out = Vec::with_capacity(results.len());
+        for r in results {
+            out.push(r?);
+        }
+        let mut delta = uli_warehouse::ScanStats::default();
+        for handle in &handles {
+            let local = handle.local_stats();
+            delta.records_read += local.records_read;
+            delta.blocks_read += local.blocks_read;
+            delta.blocks_skipped += local.blocks_skipped;
+            delta.compressed_bytes_read += local.compressed_bytes_read;
+            delta.uncompressed_bytes_read += local.uncompressed_bytes_read;
+        }
+        stats.input_records += delta.records_read;
+        stats.input_blocks += delta.blocks_read;
+        stats.blocks_skipped += delta.blocks_skipped;
+        stats.input_bytes_compressed += delta.compressed_bytes_read;
+        stats.input_bytes_uncompressed += delta.uncompressed_bytes_read;
+        Ok((
+            out,
+            MapInput {
+                tasks: delta.blocks_read,
+                bytes: delta.uncompressed_bytes_read,
+            },
+        ))
+    }
+
+    /// Parallel map phase feeding an algebraic aggregate: each block's rows
+    /// collapse into per-group partial [`AggState`]s map-side, and partials
+    /// merge at the shuffle boundary in block order. `shuffle_records` is
+    /// the *actual* combiner output — what really crosses the shuffle —
+    /// rather than the serial path's upper-bound estimate.
+    fn exec_parallel_aggregate(
+        &self,
+        chain: &MapChain<'_>,
+        keys: &[usize],
+        aggs: &[Agg],
+        stats: &mut JobStats,
+    ) -> DataflowResult<(Vec<Tuple>, MapInput)> {
+        let (partials, pending) = self.exec_chain_blocks(chain, stats, |rows| {
+            let bytes: u64 = rows.iter().map(|t| tuple_wire_size(t)).sum();
+            let groups = accumulate_groups(&rows, keys, aggs)?;
+            Ok((rows.len() as u64, bytes, groups))
+        })?;
+        let mut rows_in = 0u64;
+        let mut bytes_in = 0u64;
+        let mut combiner_records = 0u64;
+        let mut merged: BTreeMap<Vec<Value>, Vec<AggState>> = BTreeMap::new();
+        for (n, bytes, partial) in partials {
+            rows_in += n;
+            bytes_in += bytes;
+            combiner_records += partial.len() as u64;
+            for (key, states) in partial {
+                match merged.entry(key) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(states);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut slot) => {
+                        for (acc, state) in slot.get_mut().iter_mut().zip(states) {
+                            acc.merge(state)?;
+                        }
+                    }
+                }
+            }
+        }
+        let out = finish_groups(merged, keys, aggs);
+        let n_groups = out.len() as u64;
+        let avg_record = bytes_in.checked_div(rows_in).unwrap_or(0);
+        let shuffle_bytes = combiner_records * avg_record.max(8);
+        let next = self.charge_shuffle(stats, pending, combiner_records, shuffle_bytes, n_groups);
+        Ok((out, next))
+    }
+
     fn exec(&self, plan: &Plan, stats: &mut JobStats) -> DataflowResult<(Vec<Tuple>, MapInput)> {
+        // A LOAD → FILTER → FOREACH chain is a pure map phase: run it
+        // per-block on the scan pool. Block results concatenate in block
+        // order, so rows come out exactly as the serial scan produces them.
+        if !self.parallelism.is_serial() {
+            if let Some(chain) = MapChain::extract(plan) {
+                let (blocks, pending) = self.exec_chain_blocks(&chain, stats, Ok)?;
+                let mut rows = Vec::with_capacity(blocks.iter().map(Vec::len).sum());
+                for block_rows in blocks {
+                    rows.extend(block_rows);
+                }
+                return Ok((rows, pending));
+            }
+        }
         match &plan.node {
             PlanNode::Load {
                 dir,
@@ -276,6 +435,15 @@ impl Engine {
                 Ok((out, next))
             }
             PlanNode::Aggregate { input, keys, aggs } => {
+                // Algebraic aggregates over a map chain run the whole map
+                // phase — scan, filter, project, map-side combine — per
+                // block in parallel; per-block partial states merge at the
+                // shuffle boundary in block order.
+                if !self.parallelism.is_serial() && aggs.iter().all(|a| a.func.is_algebraic()) {
+                    if let Some(chain) = MapChain::extract(input) {
+                        return self.exec_parallel_aggregate(&chain, keys, aggs, stats);
+                    }
+                }
                 let (rows, pending) = self.exec(input, stats)?;
                 let rows_in = rows.len() as u64;
                 let out = aggregate_rows(&rows, keys, aggs)?;
@@ -333,7 +501,8 @@ impl Engine {
                     tasks: lpend.tasks + rpend.tasks,
                     bytes: lpend.bytes + rpend.bytes,
                 };
-                let next = self.charge_shuffle(stats, input, shuffle_records, shuffle_bytes, groups);
+                let next =
+                    self.charge_shuffle(stats, input, shuffle_records, shuffle_bytes, groups);
                 Ok((out, next))
             }
             PlanNode::OrderBy { input, keys } => {
@@ -398,8 +567,97 @@ impl Engine {
     }
 }
 
-/// Grouped aggregation shared by the executor (and tested directly).
-fn aggregate_rows(rows: &[Tuple], keys: &[usize], aggs: &[Agg]) -> DataflowResult<Vec<Tuple>> {
+/// One mapper-side operator above a LOAD.
+enum MapOp<'a> {
+    Filter(&'a Expr),
+    Foreach(&'a [(String, Expr)]),
+}
+
+/// A LOAD → FILTER/FOREACH chain: the part of a plan that is a pure map
+/// phase and can run per-block on a [`ScanPool`] with no cross-row state.
+struct MapChain<'a> {
+    dir: &'a uli_warehouse::WhPath,
+    loader: &'a Arc<dyn Loader>,
+    schema_len: usize,
+    pruner: &'a Option<Arc<dyn BlockPruner>>,
+    /// Operators in application order (innermost first).
+    ops: Vec<MapOp<'a>>,
+}
+
+impl<'a> MapChain<'a> {
+    /// Extracts the chain if `plan` is Filter/Foreach nodes over a Load.
+    fn extract(plan: &'a Plan) -> Option<MapChain<'a>> {
+        let mut ops = Vec::new();
+        let mut node = &plan.node;
+        loop {
+            match node {
+                PlanNode::Filter { input, predicate } => {
+                    ops.push(MapOp::Filter(predicate));
+                    node = &input.node;
+                }
+                PlanNode::Foreach { input, exprs } => {
+                    ops.push(MapOp::Foreach(exprs));
+                    node = &input.node;
+                }
+                PlanNode::Load {
+                    dir,
+                    loader,
+                    schema,
+                    pruner,
+                } => {
+                    ops.reverse();
+                    return Some(MapChain {
+                        dir,
+                        loader,
+                        schema_len: schema.len(),
+                        pruner,
+                        ops,
+                    });
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Applies the chain's operators to one block's parsed rows, preserving
+    /// row order — the same work the serial Filter/Foreach arms do.
+    fn apply_ops(&self, mut rows: Vec<Tuple>) -> DataflowResult<Vec<Tuple>> {
+        for op in &self.ops {
+            match op {
+                MapOp::Filter(predicate) => {
+                    let mut out = Vec::with_capacity(rows.len() / 2);
+                    for row in rows {
+                        match predicate.eval(&row)? {
+                            Value::Bool(true) => out.push(row),
+                            Value::Bool(false) | Value::Null => {}
+                            _ => return Err(DataflowError::TypeError { context: "FILTER" }),
+                        }
+                    }
+                    rows = out;
+                }
+                MapOp::Foreach(exprs) => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        let mut t = Vec::with_capacity(exprs.len());
+                        for (_, e) in exprs.iter() {
+                            t.push(e.eval(&row)?);
+                        }
+                        out.push(t);
+                    }
+                    rows = out;
+                }
+            }
+        }
+        Ok(rows)
+    }
+}
+
+/// Map-side accumulation: rows → per-group aggregate states.
+fn accumulate_groups(
+    rows: &[Tuple],
+    keys: &[usize],
+    aggs: &[Agg],
+) -> DataflowResult<BTreeMap<Vec<Value>, Vec<AggState>>> {
     let mut groups: BTreeMap<Vec<Value>, Vec<AggState>> = BTreeMap::new();
     for row in rows {
         let key: Vec<Value> = keys.iter().map(|k| row[*k].clone()).collect();
@@ -411,6 +669,15 @@ fn aggregate_rows(rows: &[Tuple], keys: &[usize], aggs: &[Agg]) -> DataflowResul
             state.accumulate(&v)?;
         }
     }
+    Ok(groups)
+}
+
+/// Reduce-side finish: grouped states → output rows.
+fn finish_groups(
+    mut groups: BTreeMap<Vec<Value>, Vec<AggState>>,
+    keys: &[usize],
+    aggs: &[Agg],
+) -> Vec<Tuple> {
     // GROUP ALL over empty input produces one row of "empty" aggregates,
     // matching SQL's SELECT COUNT(*) over an empty table.
     if groups.is_empty() && keys.is_empty() {
@@ -419,13 +686,22 @@ fn aggregate_rows(rows: &[Tuple], keys: &[usize], aggs: &[Agg]) -> DataflowResul
             aggs.iter().map(|a| AggState::new(a.func)).collect(),
         );
     }
-    Ok(groups
+    groups
         .into_iter()
         .map(|(mut key, states)| {
             key.extend(states.into_iter().map(AggState::finish));
             key
         })
-        .collect())
+        .collect()
+}
+
+/// Grouped aggregation shared by the executor (and tested directly).
+fn aggregate_rows(rows: &[Tuple], keys: &[usize], aggs: &[Agg]) -> DataflowResult<Vec<Tuple>> {
+    Ok(finish_groups(
+        accumulate_groups(rows, keys, aggs)?,
+        keys,
+        aggs,
+    ))
 }
 
 #[cfg(test)]
@@ -567,7 +843,11 @@ mod tests {
         let engine = Engine::new(Warehouse::new());
         let vals = Plan::values(
             vec!["x"],
-            vec![vec![Value::Int(2)], vec![Value::Int(1)], vec![Value::Int(3)]],
+            vec![
+                vec![Value::Int(2)],
+                vec![Value::Int(1)],
+                vec![Value::Int(3)],
+            ],
         );
         let r = engine
             .run(&vals.order_by(vec![(0, SortOrder::Desc)]))
@@ -581,7 +861,11 @@ mod tests {
         let engine = Engine::new(Warehouse::new());
         let vals = Plan::values(
             vec!["x"],
-            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
         );
         let r = engine.run(&vals.distinct()).unwrap();
         assert_eq!(r.rows.len(), 2);

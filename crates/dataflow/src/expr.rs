@@ -197,9 +197,7 @@ impl Expr {
                     BinOp::Le => Ok(Value::Bool(left <= right)),
                     BinOp::Gt => Ok(Value::Bool(left > right)),
                     BinOp::Ge => Ok(Value::Bool(left >= right)),
-                    BinOp::Add | BinOp::Sub | BinOp::Mul => {
-                        arith(*op, &left, &right)
-                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul => arith(*op, &left, &right),
                     BinOp::Div => {
                         let (l, r) = both_doubles(&left, &right)?;
                         if r == 0.0 {
@@ -217,7 +215,9 @@ impl Expr {
 fn both_doubles(a: &Value, b: &Value) -> DataflowResult<(f64, f64)> {
     match (a.as_double(), b.as_double()) {
         (Some(x), Some(y)) => Ok((x, y)),
-        _ => Err(DataflowError::TypeError { context: "arithmetic" }),
+        _ => Err(DataflowError::TypeError {
+            context: "arithmetic",
+        }),
     }
 }
 
@@ -300,9 +300,15 @@ mod tests {
     #[test]
     fn type_errors_are_reported() {
         let e = Expr::col(1).add(Expr::lit(1i64));
-        assert!(matches!(e.eval(&row()), Err(DataflowError::TypeError { .. })));
+        assert!(matches!(
+            e.eval(&row()),
+            Err(DataflowError::TypeError { .. })
+        ));
         let e = Expr::col(1).not();
-        assert!(matches!(e.eval(&row()), Err(DataflowError::TypeError { .. })));
+        assert!(matches!(
+            e.eval(&row()),
+            Err(DataflowError::TypeError { .. })
+        ));
     }
 
     #[test]

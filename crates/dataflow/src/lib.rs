@@ -61,6 +61,7 @@ pub use loader::{BlockPruner, CsvLoader, Loader};
 pub use plan::{Agg, Plan, SortOrder};
 pub use script::{ScriptError, ScriptOutput, ScriptRunner};
 pub use udf::{AggFunc, ScalarUdf};
+pub use uli_warehouse::{Parallelism, ScanPool};
 pub use value::{Tuple, Value};
 
 /// Convenient glob import for query-building code.
@@ -72,4 +73,5 @@ pub mod prelude {
     pub use crate::script::{ScriptError, ScriptOutput, ScriptRunner};
     pub use crate::udf::{AggFunc, ScalarUdf};
     pub use crate::value::{Tuple, Value};
+    pub use uli_warehouse::{Parallelism, ScanPool};
 }

@@ -26,8 +26,7 @@ pub trait Loader: Send + Sync {
 /// Decides which blocks of a file a scan must read.
 pub trait BlockPruner: Send + Sync {
     /// Returns a keep-mask of length `block_count`, or `None` to read all.
-    fn prune(&self, warehouse: &Warehouse, file: &WhPath, block_count: usize)
-        -> Option<Vec<bool>>;
+    fn prune(&self, warehouse: &Warehouse, file: &WhPath, block_count: usize) -> Option<Vec<bool>>;
 }
 
 /// A simple comma-separated loader used by tests, examples, and docs.

@@ -192,13 +192,12 @@ pub struct Plan {
 
 impl Plan {
     /// LOAD: scan `dir` with `loader`, producing the named columns.
-    pub fn load(
-        dir: WhPath,
-        loader: Arc<dyn Loader>,
-        schema: Vec<impl Into<String>>,
-    ) -> Plan {
+    pub fn load(dir: WhPath, loader: Arc<dyn Loader>, schema: Vec<impl Into<String>>) -> Plan {
         let schema: Vec<String> = schema.into_iter().map(Into::into).collect();
-        assert!(!schema.is_empty(), "load schema must name at least one column");
+        assert!(
+            !schema.is_empty(),
+            "load schema must name at least one column"
+        );
         Plan {
             node: PlanNode::Load {
                 dir,
@@ -277,7 +276,10 @@ impl Plan {
     /// FOREACH … GENERATE the named expressions.
     pub fn foreach(self, exprs: Vec<(impl Into<String>, Expr)>) -> Plan {
         let exprs: Vec<(String, Expr)> = exprs.into_iter().map(|(n, e)| (n.into(), e)).collect();
-        assert!(!exprs.is_empty(), "foreach must generate at least one column");
+        assert!(
+            !exprs.is_empty(),
+            "foreach must generate at least one column"
+        );
         let schema = exprs.iter().map(|(n, _)| n.clone()).collect();
         Plan {
             node: PlanNode::Foreach {
@@ -433,9 +435,22 @@ impl Plan {
         let indent = "  ".repeat(depth);
         let schema = self.schema.join(", ");
         match &self.node {
-            PlanNode::Load { dir, loader, pruner, .. } => {
-                let pruned = if pruner.is_some() { " [index-pruned]" } else { "" };
-                let _ = writeln!(out, "{indent}LOAD {dir} USING {}{pruned} -> ({schema})", loader.name());
+            PlanNode::Load {
+                dir,
+                loader,
+                pruner,
+                ..
+            } => {
+                let pruned = if pruner.is_some() {
+                    " [index-pruned]"
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "{indent}LOAD {dir} USING {}{pruned} -> ({schema})",
+                    loader.name()
+                );
             }
             PlanNode::Values { rows, .. } => {
                 let _ = writeln!(out, "{indent}VALUES [{} rows] -> ({schema})", rows.len());
@@ -445,7 +460,8 @@ impl Plan {
                 input.explain_into(depth + 1, out);
             }
             PlanNode::Foreach { input, exprs } => {
-                let gens: Vec<String> = exprs.iter().map(|(n, e)| format!("{e:?} AS {n}")).collect();
+                let gens: Vec<String> =
+                    exprs.iter().map(|(n, e)| format!("{e:?} AS {n}")).collect();
                 let _ = writeln!(out, "{indent}FOREACH GENERATE {}", gens.join(", "));
                 input.explain_into(depth + 1, out);
             }
@@ -455,11 +471,23 @@ impl Plan {
             }
             PlanNode::Aggregate { input, keys, aggs } => {
                 let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();
-                let _ = writeln!(out, "{indent}AGGREGATE BY {keys:?} {{{}}} [SHUFFLE+COMBINER] -> ({schema})", names.join(", "));
+                let _ = writeln!(
+                    out,
+                    "{indent}AGGREGATE BY {keys:?} {{{}}} [SHUFFLE+COMBINER] -> ({schema})",
+                    names.join(", ")
+                );
                 input.explain_into(depth + 1, out);
             }
-            PlanNode::Join { left, right, left_keys, right_keys } => {
-                let _ = writeln!(out, "{indent}JOIN BY {left_keys:?} = {right_keys:?} [SHUFFLE] -> ({schema})");
+            PlanNode::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{indent}JOIN BY {left_keys:?} = {right_keys:?} [SHUFFLE] -> ({schema})"
+                );
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
             }

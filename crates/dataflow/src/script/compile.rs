@@ -334,7 +334,14 @@ impl Env {
                         ExprAst::Pos(i) => *i,
                         _ => return Err(CompileError::Invalid("ORDER keys must be columns")),
                     };
-                    sort.push((idx, if *asc { SortOrder::Asc } else { SortOrder::Desc }));
+                    sort.push((
+                        idx,
+                        if *asc {
+                            SortOrder::Asc
+                        } else {
+                            SortOrder::Desc
+                        },
+                    ));
                 }
                 plan.order_by(sort)
             }

@@ -276,12 +276,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token::Semi);
                 i += 1;
             }
-            other => {
-                return Err(LexError::UnexpectedChar {
-                    ch: other,
-                    at: i,
-                })
-            }
+            other => return Err(LexError::UnexpectedChar { ch: other, at: i }),
         }
     }
     Ok(out)
@@ -293,8 +288,8 @@ mod tests {
 
     #[test]
     fn lexes_the_papers_script_shape() {
-        let toks = lex("raw = load '/session_sequences/x/' using SessionSequencesLoader();")
-            .unwrap();
+        let toks =
+            lex("raw = load '/session_sequences/x/' using SessionSequencesLoader();").unwrap();
         assert_eq!(toks[0], Token::Ident("raw".into()));
         assert_eq!(toks[1], Token::Assign);
         assert_eq!(toks[2], Token::Ident("load".into()));

@@ -449,7 +449,13 @@ mod tests {
         );
         assert_eq!(stmts.len(), 6);
         assert!(matches!(&stmts[0], Stmt::Define { alias, .. } if alias == "CountClientEvents"));
-        assert!(matches!(&stmts[1], Stmt::Assign { op: OpAst::Load { .. }, .. }));
+        assert!(matches!(
+            &stmts[1],
+            Stmt::Assign {
+                op: OpAst::Load { .. },
+                ..
+            }
+        ));
         assert!(
             matches!(&stmts[3], Stmt::Assign { op: OpAst::Group { keys, .. }, .. } if keys.is_empty())
         );
@@ -458,7 +464,8 @@ mod tests {
 
     #[test]
     fn parses_filters_with_precedence() {
-        let stmts = parse_src("x = filter a by n > 1 and not action == 'click' or 2 + 3 * 4 == 14;");
+        let stmts =
+            parse_src("x = filter a by n > 1 and not action == 'click' or 2 + 3 * 4 == 14;");
         let Stmt::Assign {
             op: OpAst::Filter { expr, .. },
             ..
@@ -498,7 +505,13 @@ mod tests {
     fn load_with_schema_and_loader_args() {
         let stmts = parse_src("r = load '/d' using CsvLoader(3) as (a, b, c);");
         let Stmt::Assign {
-            op: OpAst::Load { loader, args, schema, .. },
+            op:
+                OpAst::Load {
+                    loader,
+                    args,
+                    schema,
+                    ..
+                },
             ..
         } = &stmts[0]
         else {
@@ -530,7 +543,10 @@ mod tests {
     fn errors_are_reported() {
         assert!(parse(&lex("x = ;").unwrap()).is_err());
         assert!(parse(&lex("dump").unwrap()).is_err());
-        assert!(parse(&lex("x = load 'p';").unwrap()).is_err(), "USING required");
+        assert!(
+            parse(&lex("x = load 'p';").unwrap()).is_err(),
+            "USING required"
+        );
         assert!(parse(&lex("filter a by x;").unwrap()).is_err(), "bare op");
     }
 

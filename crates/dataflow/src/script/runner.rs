@@ -145,8 +145,7 @@ impl ScriptRunner {
             if chars[i] == '$' && chars.get(i + 1).is_some_and(|c| c.is_ascii_alphabetic()) {
                 let start = i + 1;
                 let mut end = start;
-                while end < chars.len()
-                    && (chars[end].is_ascii_alphanumeric() || chars[end] == '_')
+                while end < chars.len() && (chars[end].is_ascii_alphanumeric() || chars[end] == '_')
                 {
                     end += 1;
                 }
@@ -228,8 +227,8 @@ impl ScriptRunner {
                 Stmt::Store { rel, path } => {
                     let plan = env.take_plan(rel)?;
                     let result = self.engine.run(&plan).map_err(ScriptError::Exec)?;
-                    let dir = WhPath::parse(path.trim_end_matches('/'))
-                        .map_err(ScriptError::Store)?;
+                    let dir =
+                        WhPath::parse(path.trim_end_matches('/')).map_err(ScriptError::Store)?;
                     let file = dir.child("part-00000").map_err(ScriptError::Store)?;
                     let mut w = self
                         .engine
@@ -328,7 +327,9 @@ mod tests {
 
     #[test]
     fn unbound_parameter_errors() {
-        let err = runner().run("raw = load '$NOPE' using CsvLoader(1) as (x);").unwrap_err();
+        let err = runner()
+            .run("raw = load '$NOPE' using CsvLoader(1) as (x);")
+            .unwrap_err();
         assert!(matches!(err, ScriptError::UnboundParameter(p) if p == "NOPE"));
     }
 

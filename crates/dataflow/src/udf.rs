@@ -52,7 +52,11 @@ pub enum AggState {
     /// Count of rows.
     Count(i64),
     /// Sum and whether any value was seen.
-    Sum { total: f64, any: bool, all_int: bool },
+    Sum {
+        total: f64,
+        any: bool,
+        all_int: bool,
+    },
     /// Current minimum.
     Min(Option<Value>),
     /// Current maximum.
@@ -85,7 +89,11 @@ impl AggState {
     pub fn accumulate(&mut self, value: &Value) -> DataflowResult<()> {
         match self {
             AggState::Count(n) => *n += 1,
-            AggState::Sum { total, any, all_int } => {
+            AggState::Sum {
+                total,
+                any,
+                all_int,
+            } => {
                 if !value.is_null() {
                     let v = value
                         .as_double()
@@ -124,11 +132,69 @@ impl AggState {
         Ok(())
     }
 
+    /// Folds another partial state for the same function into `self` — the
+    /// combiner merge at the shuffle boundary. For algebraic functions the
+    /// result is exactly what accumulating both inputs' rows into one state
+    /// would produce; parallel map phases rely on this (plus a deterministic
+    /// merge order) to match serial results byte-for-byte.
+    pub fn merge(&mut self, other: AggState) -> DataflowResult<()> {
+        match (self, other) {
+            (AggState::Count(n), AggState::Count(m)) => *n += m,
+            (
+                AggState::Sum {
+                    total,
+                    any,
+                    all_int,
+                },
+                AggState::Sum {
+                    total: t2,
+                    any: a2,
+                    all_int: i2,
+                },
+            ) => {
+                *total += t2;
+                *any |= a2;
+                *all_int &= i2;
+            }
+            (AggState::Min(cur), AggState::Min(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().is_none_or(|c| v < *c) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(cur), AggState::Max(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().is_none_or(|c| v > *c) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AggState::Avg { total, n }, AggState::Avg { total: t2, n: n2 }) => {
+                *total += t2;
+                *n += n2;
+            }
+            (AggState::CountDistinct(set), AggState::CountDistinct(other)) => {
+                set.extend(other);
+            }
+            _ => {
+                return Err(DataflowError::TypeError {
+                    context: "combiner merge of mismatched aggregate states",
+                })
+            }
+        }
+        Ok(())
+    }
+
     /// Final value for the group.
     pub fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),
-            AggState::Sum { total, any, all_int } => {
+            AggState::Sum {
+                total,
+                any,
+                all_int,
+            } => {
                 if !any {
                     Value::Null
                 } else if all_int {
@@ -205,7 +271,12 @@ mod tests {
         assert_eq!(
             run(
                 AggFunc::CountDistinct,
-                &[Value::str("a"), Value::str("b"), Value::str("a"), Value::Null]
+                &[
+                    Value::str("a"),
+                    Value::str("b"),
+                    Value::str("a"),
+                    Value::Null
+                ]
             ),
             Value::Int(2)
         );
@@ -217,6 +288,47 @@ mod tests {
         assert!(AggFunc::Sum.is_algebraic());
         assert!(AggFunc::Avg.is_algebraic());
         assert!(!AggFunc::CountDistinct.is_algebraic());
+    }
+
+    #[test]
+    fn merge_equals_single_pass_accumulation() {
+        let vals: Vec<Value> = (0..20)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(17 - i)
+                }
+            })
+            .collect();
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+            AggFunc::CountDistinct,
+        ] {
+            let single = run(func, &vals);
+            for split in [0usize, 5, 13, 20] {
+                let mut left = AggState::new(func);
+                for v in &vals[..split] {
+                    left.accumulate(v).unwrap();
+                }
+                let mut right = AggState::new(func);
+                for v in &vals[split..] {
+                    right.accumulate(v).unwrap();
+                }
+                left.merge(right).unwrap();
+                assert_eq!(left.finish(), single, "{func:?} split at {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_states() {
+        let mut st = AggState::new(AggFunc::Count);
+        assert!(st.merge(AggState::new(AggFunc::Sum)).is_err());
     }
 
     #[test]

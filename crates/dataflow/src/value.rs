@@ -246,10 +246,12 @@ mod tests {
 
     #[test]
     fn null_sorts_first_and_ranks_order_types() {
-        let mut vals = [Value::str("s"),
+        let mut vals = [
+            Value::str("s"),
             Value::Int(0),
             Value::Null,
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));

@@ -1,0 +1,150 @@
+//! Parallel execution must be invisible in results: for every plan shape
+//! the engine parallelizes, rows from 2/4/8-worker runs must equal the
+//! serial rows exactly, across several random datasets.
+
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
+use uli_dataflow::prelude::*;
+use uli_dataflow::{CsvLoader, Engine, Parallelism, QueryResult};
+use uli_warehouse::{Warehouse, WhPath};
+
+/// Builds a warehouse with several files of seeded random CSV rows
+/// (user, action, amount).
+fn seeded_warehouse(seed: u64) -> (Warehouse, WhPath) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let wh = Warehouse::with_block_capacity(512);
+    let dir = WhPath::parse("/logs/t").unwrap();
+    let actions = ["click", "impression", "follow", "search"];
+    for file in 0..4 {
+        let mut w = wh
+            .create(&dir.child(&format!("part-{file}")).unwrap())
+            .unwrap();
+        let rows = 150 + rng.gen_range(0..100);
+        for _ in 0..rows {
+            let user = rng.gen_range(0..25i64);
+            let action = actions[rng.gen_range(0..actions.len())];
+            let amount = rng.gen_range(-1000..1000i64);
+            w.append_record(format!("{user},{action},{amount}").as_bytes());
+        }
+        w.finish().unwrap();
+    }
+    (wh, dir)
+}
+
+fn load(dir: &WhPath) -> Plan {
+    Plan::load(
+        dir.clone(),
+        Arc::new(CsvLoader::new(3)),
+        vec!["user", "action", "amount"],
+    )
+}
+
+fn plans(dir: &WhPath) -> Vec<(&'static str, Plan)> {
+    vec![
+        ("scan", load(dir)),
+        (
+            "filter",
+            load(dir).filter(Expr::col(1).eq(Expr::lit("click"))),
+        ),
+        (
+            "filter+project",
+            load(dir)
+                .filter(Expr::col(2).gt(Expr::lit(0i64)))
+                .foreach(vec![("user", Expr::col(0)), ("amount", Expr::col(2))]),
+        ),
+        (
+            "algebraic agg",
+            load(dir).aggregate_by(vec![0], vec![Agg::count(), Agg::sum(2), Agg::min(2)]),
+        ),
+        (
+            "filtered agg",
+            load(dir)
+                .filter(Expr::col(1).eq(Expr::lit("impression")))
+                .aggregate_by(vec![0], vec![Agg::count(), Agg::max(2), Agg::avg(2)]),
+        ),
+        (
+            "holistic agg",
+            load(dir).aggregate_by(vec![0], vec![Agg::count_distinct(1)]),
+        ),
+        ("group", load(dir).group_by(vec![0])),
+        (
+            "order",
+            load(dir).order_by(vec![(2, SortOrder::Desc), (0, SortOrder::Asc)]),
+        ),
+        (
+            "distinct",
+            load(dir)
+                .foreach(vec![("user", Expr::col(0)), ("action", Expr::col(1))])
+                .distinct(),
+        ),
+    ]
+}
+
+fn run_with(seed: u64, workers: usize, name: &str) -> QueryResult {
+    let (wh, dir) = seeded_warehouse(seed);
+    let engine = Engine::new(wh).with_parallelism(Parallelism::fixed(workers));
+    let plan = plans(&dir).into_iter().find(|(n, _)| *n == name).unwrap().1;
+    engine.run(&plan).unwrap()
+}
+
+#[test]
+fn parallel_rows_match_serial_across_seeds_and_workers() {
+    for seed in [1u64, 7, 42] {
+        let (wh, dir) = seeded_warehouse(seed);
+        let names: Vec<&str> = plans(&dir).into_iter().map(|(n, _)| n).collect();
+        drop(wh);
+        for name in names {
+            let serial = run_with(seed, 1, name);
+            for workers in [2usize, 4, 8] {
+                let parallel = run_with(seed, workers, name);
+                assert_eq!(
+                    serial.rows, parallel.rows,
+                    "rows diverged: seed {seed}, plan {name:?}, {workers} workers"
+                );
+                assert_eq!(serial.schema, parallel.schema);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_scan_accounting_matches_serial() {
+    // Logical read counters must not depend on the worker count.
+    let serial = run_with(3, 1, "filtered agg");
+    for workers in [2usize, 4, 8] {
+        let parallel = run_with(3, workers, "filtered agg");
+        let (s, p) = (&serial.stats, &parallel.stats);
+        assert_eq!(s.input_records, p.input_records);
+        assert_eq!(s.input_blocks, p.input_blocks);
+        assert_eq!(s.input_bytes_uncompressed, p.input_bytes_uncompressed);
+        assert_eq!(s.mr_jobs, p.mr_jobs);
+        assert_eq!(s.map_tasks, p.map_tasks);
+        // The parallel combiner reports what actually crosses the shuffle,
+        // which can only be at or below the serial upper-bound estimate.
+        assert!(p.shuffle_records <= s.shuffle_records);
+        assert!(p.shuffle_records >= serial.rows.len() as u64);
+    }
+}
+
+#[test]
+fn parallel_errors_match_serial() {
+    // A type error deep in a parallel map chain must surface identically.
+    let (wh, dir) = seeded_warehouse(9);
+    let plan = load(&dir).filter(Expr::col(0).add(Expr::col(1)));
+    let serial_err = format!(
+        "{:?}",
+        Engine::new(wh.clone())
+            .with_parallelism(Parallelism::serial())
+            .run(&plan)
+            .unwrap_err()
+    );
+    let parallel_err = format!(
+        "{:?}",
+        Engine::new(wh)
+            .with_parallelism(Parallelism::fixed(4))
+            .run(&plan)
+            .unwrap_err()
+    );
+    assert_eq!(serial_err, parallel_err);
+}

@@ -76,7 +76,11 @@ mod tests {
         // blocks are skippable for a follow query.
         let mut w = wh.create(&dir.child("part-0").unwrap()).unwrap();
         for i in 0..per_action * 3 {
-            let action = if i >= per_action * 3 - 5 { "follow" } else { "impression" };
+            let action = if i >= per_action * 3 - 5 {
+                "follow"
+            } else {
+                "impression"
+            };
             let ev = ClientEvent::new(
                 EventInitiator::CLIENT_USER,
                 EventName::parse(&format!("web:home:home:stream:tweet:{action}")).unwrap(),

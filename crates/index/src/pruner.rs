@@ -56,7 +56,11 @@ mod tests {
         let dir = WhPath::parse("/logs/ce").unwrap();
         let mut w = wh.create(&dir.child("part-0").unwrap()).unwrap();
         for i in 0..400usize {
-            let action = if i % 100 == 99 { "follow" } else { "impression" };
+            let action = if i % 100 == 99 {
+                "follow"
+            } else {
+                "impression"
+            };
             let ev = ClientEvent::new(
                 EventInitiator::CLIENT_USER,
                 EventName::parse(&format!("web:home:home:stream:tweet:{action}")).unwrap(),
@@ -72,7 +76,11 @@ mod tests {
         (wh, dir)
     }
 
-    fn count_follows(wh: &Warehouse, dir: &WhPath, pruner: Option<Arc<EventIndexPruner>>) -> (i64, JobStats) {
+    fn count_follows(
+        wh: &Warehouse,
+        dir: &WhPath,
+        pruner: Option<Arc<EventIndexPruner>>,
+    ) -> (i64, JobStats) {
         let mut plan = Plan::load(
             dir.clone(),
             Arc::new(ClientEventLoader),
@@ -96,10 +104,7 @@ mod tests {
         let (full_count, full_stats) = count_follows(&wh, &dir, None);
         assert_eq!(full_count, 4);
 
-        let pruner = EventIndexPruner::new(
-            index,
-            EventPattern::parse("*:follow").unwrap(),
-        );
+        let pruner = EventIndexPruner::new(index, EventPattern::parse("*:follow").unwrap());
         let (pruned_count, pruned_stats) = count_follows(&wh, &dir, Some(pruner));
         assert_eq!(pruned_count, full_count, "pruning must not change results");
         assert!(
@@ -134,10 +139,8 @@ mod tests {
         for (path, _fi) in index.iter() {
             stale.insert_file(path, crate::inverted::FileIndex::new(1));
         }
-        let pruner = EventIndexPruner::new(
-            Arc::new(stale),
-            EventPattern::parse("*:follow").unwrap(),
-        );
+        let pruner =
+            EventIndexPruner::new(Arc::new(stale), EventPattern::parse("*:follow").unwrap());
         let (count, stats) = count_follows(&wh, &dir, Some(pruner));
         assert_eq!(count, 4);
         assert_eq!(stats.blocks_skipped, 0);

@@ -32,7 +32,9 @@ pub fn register_nightly_jobs(oink: &mut Oink, warehouse: Warehouse, mover_dep: O
     let deps: Vec<&str> = mover_dep.into_iter().collect();
     let wh = warehouse.clone();
     oink.add_daily(ROLLUPS_JOB, &deps, move |day| {
-        compute_rollups(&wh, day).map(|_| ()).map_err(|e| e.to_string())
+        compute_rollups(&wh, day)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     });
     oink.add_daily(SEQUENCES_JOB, &[ROLLUPS_JOB], move |day| {
         Materializer::new(warehouse.clone())

@@ -237,7 +237,10 @@ mod tests {
             "1.2.3.4",
         ));
         assert_eq!(t.len(), 5);
-        assert_eq!(t.total(5, "web:home:mentions:stream:avatar:profile_click"), 1);
+        assert_eq!(
+            t.total(5, "web:home:mentions:stream:avatar:profile_click"),
+            1
+        );
         assert_eq!(t.total(1, "web:*:*:*:*:profile_click"), 1);
     }
 

@@ -129,7 +129,8 @@ impl Oink {
         };
         match (periodicity, dep_job.periodicity) {
             (Periodicity::Hourly, Periodicity::Hourly) => {
-                self.completed.contains(&(dep.to_string(), Periodicity::Hourly, period))
+                self.completed
+                    .contains(&(dep.to_string(), Periodicity::Hourly, period))
             }
             // An hourly job depending on a daily one needs yesterday's run
             // (the daily output available when the hour begins).
@@ -141,11 +142,16 @@ impl Oink {
                         .contains(&(dep.to_string(), Periodicity::Daily, day - 1))
             }
             (Periodicity::Daily, Periodicity::Daily) => {
-                self.completed.contains(&(dep.to_string(), Periodicity::Daily, period))
+                self.completed
+                    .contains(&(dep.to_string(), Periodicity::Daily, period))
             }
             // A daily job needs all 24 hours of its day.
-            (Periodicity::Daily, Periodicity::Hourly) => (period * 24..(period + 1) * 24)
-                .all(|h| self.completed.contains(&(dep.to_string(), Periodicity::Hourly, h))),
+            (Periodicity::Daily, Periodicity::Hourly) => {
+                (period * 24..(period + 1) * 24).all(|h| {
+                    self.completed
+                        .contains(&(dep.to_string(), Periodicity::Hourly, h))
+                })
+            }
         }
     }
 

@@ -140,7 +140,10 @@ impl Aggregator {
         for entry in self.rx.try_iter() {
             match self.registry.disposition(&entry.category, &entry.message) {
                 Disposition::Store(category) => {
-                    self.pending.entry(category).or_default().push(entry.message);
+                    self.pending
+                        .entry(category)
+                        .or_default()
+                        .push(entry.message);
                     n += 1;
                 }
                 Disposition::DropDisabled
@@ -269,8 +272,11 @@ mod tests {
         let (coord, net, staging) = setup();
         let mut agg = Aggregator::spawn(&coord, &net, "dc1", staging.clone());
         for i in 0..10 {
-            net.send(agg.endpoint(), LogEntry::new("client_events", format!("m{i}").into_bytes()))
-                .unwrap();
+            net.send(
+                agg.endpoint(),
+                LogEntry::new("client_events", format!("m{i}").into_bytes()),
+            )
+            .unwrap();
         }
         assert_eq!(agg.process(), 10);
         let report = agg.flush(14);
@@ -287,7 +293,8 @@ mod tests {
     fn outage_buffers_then_retries() {
         let (coord, net, staging) = setup();
         let mut agg = Aggregator::spawn(&coord, &net, "dc1", staging.clone());
-        net.send(agg.endpoint(), LogEntry::new("ce", b"x".to_vec())).unwrap();
+        net.send(agg.endpoint(), LogEntry::new("ce", b"x".to_vec()))
+            .unwrap();
         agg.process();
 
         staging.set_available(false);
@@ -316,16 +323,21 @@ mod tests {
         assert_eq!(lost, 2);
         assert!(!net.is_up(&name));
         let admin = coord.connect();
-        assert!(admin.get_children(&registry_path("dc1")).unwrap().is_empty());
+        assert!(admin
+            .get_children(&registry_path("dc1"))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn graceful_shutdown_loses_nothing() {
         let (coord, net, staging) = setup();
         let mut agg = Aggregator::spawn(&coord, &net, "dc1", staging.clone());
-        net.send(agg.endpoint(), LogEntry::new("ce", b"a".to_vec())).unwrap();
+        net.send(agg.endpoint(), LogEntry::new("ce", b"a".to_vec()))
+            .unwrap();
         agg.process();
-        net.send(agg.endpoint(), LogEntry::new("ce", b"b".to_vec())).unwrap();
+        net.send(agg.endpoint(), LogEntry::new("ce", b"b".to_vec()))
+            .unwrap();
         let report = agg.shutdown(3);
         assert_eq!(report.flushed_records, 2);
         let dir = HourlyPartition::from_hour_index("ce", 3).main_dir();
@@ -365,10 +377,17 @@ mod tests {
         );
         let mut agg =
             Aggregator::spawn(&coord, &net, "dc1", staging.clone()).with_registry(registry);
-        net.send(agg.endpoint(), LogEntry::new("noisy", b"dropped".to_vec())).unwrap();
-        net.send(agg.endpoint(), LogEntry::new("rainbird", b"kept".to_vec())).unwrap();
-        net.send(agg.endpoint(), LogEntry::new("bounded", b"too large".to_vec())).unwrap();
-        net.send(agg.endpoint(), LogEntry::new("bounded", b"ok".to_vec())).unwrap();
+        net.send(agg.endpoint(), LogEntry::new("noisy", b"dropped".to_vec()))
+            .unwrap();
+        net.send(agg.endpoint(), LogEntry::new("rainbird", b"kept".to_vec()))
+            .unwrap();
+        net.send(
+            agg.endpoint(),
+            LogEntry::new("bounded", b"too large".to_vec()),
+        )
+        .unwrap();
+        net.send(agg.endpoint(), LogEntry::new("bounded", b"ok".to_vec()))
+            .unwrap();
         assert_eq!(agg.process(), 2);
         assert_eq!(agg.dropped_by_policy, 2);
         let r = agg.flush(0);
@@ -383,20 +402,26 @@ mod tests {
     fn multiple_categories_get_separate_files() {
         let (coord, net, staging) = setup();
         let mut agg = Aggregator::spawn(&coord, &net, "dc1", staging.clone());
-        net.send(agg.endpoint(), LogEntry::new("cat_a", b"1".to_vec())).unwrap();
-        net.send(agg.endpoint(), LogEntry::new("cat_b", b"2".to_vec())).unwrap();
+        net.send(agg.endpoint(), LogEntry::new("cat_a", b"1".to_vec()))
+            .unwrap();
+        net.send(agg.endpoint(), LogEntry::new("cat_b", b"2".to_vec()))
+            .unwrap();
         agg.process();
         let r = agg.flush(0);
         assert_eq!(r.files_written, 2);
-        assert!(staging
-            .list_files_recursive(&WhPath::parse("/logs/cat_a").unwrap())
-            .unwrap()
-            .len()
-            == 1);
-        assert!(staging
-            .list_files_recursive(&WhPath::parse("/logs/cat_b").unwrap())
-            .unwrap()
-            .len()
-            == 1);
+        assert!(
+            staging
+                .list_files_recursive(&WhPath::parse("/logs/cat_a").unwrap())
+                .unwrap()
+                .len()
+                == 1
+        );
+        assert!(
+            staging
+                .list_files_recursive(&WhPath::parse("/logs/cat_b").unwrap())
+                .unwrap()
+                .len()
+                == 1
+        );
     }
 }

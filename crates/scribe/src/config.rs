@@ -98,11 +98,7 @@ impl CategoryRegistry {
                 return Disposition::DropSampled;
             }
         }
-        Disposition::Store(
-            config
-                .store_as
-                .unwrap_or_else(|| category.to_string()),
-        )
+        Disposition::Store(config.store_as.unwrap_or_else(|| category.to_string()))
     }
 }
 
@@ -131,7 +127,10 @@ mod tests {
         );
         assert_eq!(reg.disposition("runaway", b"m"), Disposition::DropDisabled);
         // Other categories unaffected.
-        assert!(matches!(reg.disposition("fine", b"m"), Disposition::Store(_)));
+        assert!(matches!(
+            reg.disposition("fine", b"m"),
+            Disposition::Store(_)
+        ));
     }
 
     #[test]

@@ -64,10 +64,7 @@ impl From<WarehouseError> for MoveError {
 /// Seals a category-hour on one staging cluster by writing the done marker.
 /// Called by the datacenter's flush driver once its aggregators have flushed
 /// everything for the hour.
-pub fn seal_hour(
-    staging: &Warehouse,
-    partition: &HourlyPartition,
-) -> WarehouseResult<()> {
+pub fn seal_hour(staging: &Warehouse, partition: &HourlyPartition) -> WarehouseResult<()> {
     let dir = partition.main_dir();
     staging.mkdirs(&dir)?;
     let marker = dir.child(DONE_MARKER).expect("valid marker name");
@@ -225,7 +222,9 @@ mod tests {
         assert_eq!(err, MoveError::NotReady { dc: "dc2".into() });
 
         seal_hour(&dc2, &p).unwrap();
-        let report = mover.move_hour(&p, &[("dc1", &dc1), ("dc2", &dc2)]).unwrap();
+        let report = mover
+            .move_hour(&p, &[("dc1", &dc1), ("dc2", &dc2)])
+            .unwrap();
         assert_eq!(report.records, 2);
         assert_eq!(report.input_files, 2);
     }

@@ -70,24 +70,23 @@ mod tests {
     fn send_and_receive() {
         let net = Network::new();
         let rx = net.register("agg-1");
-        net.send("agg-1", LogEntry::new("c", b"m".to_vec())).unwrap();
+        net.send("agg-1", LogEntry::new("c", b"m".to_vec()))
+            .unwrap();
         assert_eq!(rx.recv().unwrap().category, "c");
     }
 
     #[test]
     fn send_to_unknown_fails() {
         let net = Network::new();
-        assert_eq!(
-            net.send("nope", LogEntry::new("c", vec![])),
-            Err(PeerDown)
-        );
+        assert_eq!(net.send("nope", LogEntry::new("c", vec![])), Err(PeerDown));
     }
 
     #[test]
     fn unregister_breaks_sends_but_drains_in_flight() {
         let net = Network::new();
         let rx = net.register("agg-1");
-        net.send("agg-1", LogEntry::new("c", b"1".to_vec())).unwrap();
+        net.send("agg-1", LogEntry::new("c", b"1".to_vec()))
+            .unwrap();
         net.unregister("agg-1");
         assert!(!net.is_up("agg-1"));
         assert_eq!(net.send("agg-1", LogEntry::new("c", vec![])), Err(PeerDown));

@@ -163,11 +163,7 @@ impl ScribePipeline {
     }
 
     /// Moves a sealed category-hour into the main warehouse.
-    pub fn move_hour(
-        &mut self,
-        category: &str,
-        hour_index: u64,
-    ) -> Result<MoveReport, MoveError> {
+    pub fn move_hour(&mut self, category: &str, hour_index: u64) -> Result<MoveReport, MoveError> {
         let partition = HourlyPartition::from_hour_index(category, hour_index);
         let staging: Vec<(&str, &Warehouse)> = self
             .datacenters
@@ -255,7 +251,10 @@ mod tests {
                     pipe.log(
                         dc,
                         host,
-                        LogEntry::new("client_events", format!("{tag}-{dc}-{host}-{i}").into_bytes()),
+                        LogEntry::new(
+                            "client_events",
+                            format!("{tag}-{dc}-{host}-{i}").into_bytes(),
+                        ),
                     );
                     n += 1;
                 }
@@ -313,7 +312,11 @@ mod tests {
         let moved = pipe.move_hour("client_events", 0).unwrap().records;
         let totals = pipe.report();
         assert_eq!(totals.lost_in_crashes, lost);
-        assert_eq!(moved + lost, totals.logged, "every entry is moved or accounted lost");
+        assert_eq!(
+            moved + lost,
+            totals.logged,
+            "every entry is moved or accounted lost"
+        );
         assert_eq!(totals.host_buffered, 0);
     }
 

@@ -99,7 +99,11 @@ impl CompactWriter {
 
     /// Writes a boolean field; the value lives in the type nibble.
     pub fn field_bool(&mut self, id: i16, value: bool) {
-        let t = if value { TType::BoolTrue } else { TType::BoolFalse };
+        let t = if value {
+            TType::BoolTrue
+        } else {
+            TType::BoolFalse
+        };
         self.field_header(id, t);
     }
 

@@ -28,18 +28,24 @@ fn arb_tvalue() -> impl Strategy<Value = TValue> {
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             // Lists must be homogeneous for the wire format: replicate one.
-            (inner.clone(), 0usize..4).prop_map(|(v, n)| {
-                TValue::List(std::iter::repeat_n(v, n.max(1)).collect())
-            }),
+            (inner.clone(), 0usize..4)
+                .prop_map(|(v, n)| { TValue::List(std::iter::repeat_n(v, n.max(1)).collect()) }),
             // Maps must be value-homogeneous on the wire: one value type,
             // replicated across keys.
-            (prop::collection::btree_set("[a-z]{1,6}", 0..4), inner.clone()).prop_map(
-                |(keys, v)| {
+            (
+                prop::collection::btree_set("[a-z]{1,6}", 0..4),
+                inner.clone()
+            )
+                .prop_map(|(keys, v)| {
                     TValue::Map(keys.into_iter().map(|k| (k, v.clone())).collect())
-                },
-            ),
+                },),
             prop::collection::vec(inner, 1..4).prop_map(|vs| {
-                TValue::Struct(vs.into_iter().enumerate().map(|(i, v)| (i as i16 + 1, v)).collect())
+                TValue::Struct(
+                    vs.into_iter()
+                        .enumerate()
+                        .map(|(i, v)| (i as i16 + 1, v))
+                        .collect(),
+                )
             }),
         ]
     })

@@ -196,7 +196,8 @@ impl ColumnarReader {
             for &p in &self.projection {
                 let cells = columns[p].as_ref().expect("projected column decoded");
                 let len = read_varint(cells, &mut cursors[p])
-                    .ok_or(WarehouseError::Corrupt("cell length"))? as usize;
+                    .ok_or(WarehouseError::Corrupt("cell length"))?
+                    as usize;
                 let start = cursors[p];
                 let cell = cells
                     .get(start..start + len)

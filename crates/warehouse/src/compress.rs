@@ -202,7 +202,9 @@ mod tests {
         let mut state = 0x9e3779b97f4a7c15u64;
         let data: Vec<u8> = (0..4096)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 56) as u8
             })
             .collect();

@@ -7,9 +7,10 @@
 
 use std::sync::Arc;
 
+use crate::cache::{BlockCache, BlockKey};
 use crate::compress;
 use crate::error::{WarehouseError, WarehouseResult};
-use crate::stats::StatsCell;
+use crate::stats::{ScanStats, StatsCell};
 
 /// FNV-1a 64-bit hash, used as a block checksum.
 pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -154,10 +155,11 @@ pub struct RecordFileReader {
     pub(crate) path: String,
     pub(crate) data: Arc<FileData>,
     pub(crate) stats: Arc<StatsCell>,
+    pub(crate) cache: Arc<BlockCache>,
     pub(crate) block_filter: Option<Vec<bool>>,
     next_block: usize,
     cur_block: Option<usize>,
-    buf: Vec<u8>,
+    buf: Arc<Vec<u8>>,
     buf_pos: usize,
 }
 
@@ -166,6 +168,7 @@ impl RecordFileReader {
         path: String,
         data: Arc<FileData>,
         stats: Arc<StatsCell>,
+        cache: Arc<BlockCache>,
         block_filter: Option<Vec<bool>>,
     ) -> Self {
         stats.file_opened();
@@ -173,10 +176,11 @@ impl RecordFileReader {
             path,
             data,
             stats,
+            cache,
             block_filter,
             next_block: 0,
             cur_block: None,
-            buf: Vec::new(),
+            buf: Arc::new(Vec::new()),
             buf_pos: 0,
         }
     }
@@ -221,21 +225,8 @@ impl RecordFileReader {
                 }
             }
             let block = &self.data.blocks[idx];
-            if fnv1a64(&block.compressed) != block.checksum {
-                return Err(WarehouseError::ChecksumMismatch {
-                    path: self.path.clone(),
-                    block: idx,
-                });
-            }
-            let decompressed = compress::decompress(&block.compressed)
-                .ok_or(WarehouseError::Corrupt("block failed to decompress"))?;
-            if decompressed.len() as u64 != block.uncompressed_len {
-                return Err(WarehouseError::Corrupt("block length mismatch"));
-            }
-            self.stats
-                .block_read(block.compressed.len() as u64, decompressed.len() as u64);
+            self.buf = read_block_payload(&self.path, block, idx, &self.cache, &[&self.stats])?;
             self.cur_block = Some(idx);
-            self.buf = decompressed;
             self.buf_pos = 0;
             return Ok(true);
         }
@@ -266,5 +257,149 @@ impl RecordFileReader {
             out.push(rec.to_vec());
         }
         Ok(out)
+    }
+}
+
+/// Fetches one block's decompressed payload — from the cache when hot,
+/// verifying + decompressing (and populating the cache) when cold — and
+/// charges every supplied stats cell identically.
+///
+/// Hit accounting: the block and its uncompressed bytes are charged (the
+/// scan logically read them) but no compressed bytes are (nothing came off
+/// disk). Cold blocks are charged exactly as before the cache existed.
+fn read_block_payload(
+    path: &str,
+    block: &Block,
+    idx: usize,
+    cache: &BlockCache,
+    cells: &[&StatsCell],
+) -> WarehouseResult<Arc<Vec<u8>>> {
+    let key = BlockKey {
+        checksum: block.checksum,
+        uncompressed_len: block.uncompressed_len,
+    };
+    if let Some(data) = cache.get(key) {
+        for cell in cells {
+            cell.block_cache_hit(data.len() as u64);
+        }
+        return Ok(data);
+    }
+    if fnv1a64(&block.compressed) != block.checksum {
+        return Err(WarehouseError::ChecksumMismatch {
+            path: path.to_string(),
+            block: idx,
+        });
+    }
+    let decompressed = compress::decompress(&block.compressed)
+        .ok_or(WarehouseError::Corrupt("block failed to decompress"))?;
+    if decompressed.len() as u64 != block.uncompressed_len {
+        return Err(WarehouseError::Corrupt("block length mismatch"));
+    }
+    for cell in cells {
+        cell.block_read(block.compressed.len() as u64, decompressed.len() as u64);
+        cell.block_cache_miss();
+    }
+    let data = Arc::new(decompressed);
+    cache.insert(key, Arc::clone(&data));
+    Ok(data)
+}
+
+/// Splits a decompressed block payload into owned records.
+fn decode_records(payload: &[u8]) -> WarehouseResult<Vec<Vec<u8>>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        let len = read_varint(payload, &mut pos).ok_or(WarehouseError::Corrupt("record length"))?
+            as usize;
+        if pos + len > payload.len() {
+            return Err(WarehouseError::Corrupt("record body"));
+        }
+        out.push(payload[pos..pos + len].to_vec());
+        pos += len;
+    }
+    Ok(out)
+}
+
+/// Random-access, thread-safe view of a file's blocks — the parallel-scan
+/// counterpart of [`RecordFileReader`]. Blocks can be read from any thread
+/// in any order (each block ≈ one map task), and every read is charged both
+/// to the warehouse-global counters and to a per-handle cell so one query's
+/// cost can be attributed exactly even while other scans run concurrently.
+#[derive(Clone)]
+pub struct FileBlocks {
+    pub(crate) path: String,
+    pub(crate) data: Arc<FileData>,
+    pub(crate) stats: Arc<StatsCell>,
+    pub(crate) local: Arc<StatsCell>,
+    pub(crate) cache: Arc<BlockCache>,
+}
+
+impl FileBlocks {
+    pub(crate) fn new(
+        path: String,
+        data: Arc<FileData>,
+        stats: Arc<StatsCell>,
+        cache: Arc<BlockCache>,
+    ) -> Self {
+        let local = Arc::new(StatsCell::default());
+        stats.file_opened();
+        local.file_opened();
+        FileBlocks {
+            path,
+            data,
+            stats,
+            local,
+            cache,
+        }
+    }
+
+    /// Number of blocks in the file.
+    pub fn block_count(&self) -> usize {
+        self.data.blocks.len()
+    }
+
+    /// Number of records stored in block `idx`.
+    pub fn block_records(&self, idx: usize) -> u64 {
+        self.data.blocks[idx].num_records
+    }
+
+    /// Summary metadata of the whole file.
+    pub fn meta(&self) -> FileMeta {
+        self.data.meta()
+    }
+
+    /// Reads and decodes block `idx` into owned records, charging the scan
+    /// counters (cache-aware, like the streaming reader).
+    pub fn read_block(&self, idx: usize) -> WarehouseResult<Vec<Vec<u8>>> {
+        let block = self
+            .data
+            .blocks
+            .get(idx)
+            .ok_or(WarehouseError::Corrupt("block index out of range"))?;
+        let payload = read_block_payload(
+            &self.path,
+            block,
+            idx,
+            &self.cache,
+            &[&self.stats, &self.local],
+        )?;
+        let records = decode_records(&payload)?;
+        self.stats.records_read_n(records.len() as u64);
+        self.local.records_read_n(records.len() as u64);
+        Ok(records)
+    }
+
+    /// Records that block `idx` was skipped without decompression (index
+    /// pushdown in a parallel scan).
+    pub fn skip_block(&self, _idx: usize) {
+        self.stats.block_skipped();
+        self.local.block_skipped();
+    }
+
+    /// Snapshot of this handle's own counters (shared by its clones):
+    /// exactly what reads through this handle cost, regardless of what other
+    /// scans did to the warehouse-global counters meanwhile.
+    pub fn local_stats(&self) -> ScanStats {
+        self.local.snapshot()
     }
 }

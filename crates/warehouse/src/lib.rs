@@ -41,19 +41,23 @@
 //! assert!(wh.stats().uncompressed_bytes_read > 0);
 //! ```
 
+pub mod cache;
 pub mod columnar;
 pub mod compress;
 pub mod error;
 pub mod file;
 pub mod hourly;
 pub mod path;
+pub mod pool;
 pub mod stats;
 pub mod store;
 
+pub use cache::{BlockCache, CacheStats, DEFAULT_CACHE_CAPACITY};
 pub use columnar::{ColumnarReader, ColumnarScanStats, ColumnarWriter};
 pub use error::{WarehouseError, WarehouseResult};
-pub use file::{RecordFileReader, RecordFileWriter};
+pub use file::{FileBlocks, RecordFileReader, RecordFileWriter};
 pub use hourly::HourlyPartition;
 pub use path::WhPath;
+pub use pool::{Parallelism, ScanPool};
 pub use stats::ScanStats;
 pub use store::{FileMeta, Warehouse};

@@ -111,17 +111,18 @@ mod tests {
         let p = WhPath::parse("/logs/ce/part-0").unwrap();
         assert_eq!(p.name(), "part-0");
         assert_eq!(p.parent().unwrap().as_str(), "/logs/ce");
-        assert_eq!(
-            WhPath::root().child("logs").unwrap().as_str(),
-            "/logs"
-        );
+        assert_eq!(WhPath::root().child("logs").unwrap().as_str(), "/logs");
         assert!(p.child("a/b").is_err());
     }
 
     #[test]
     fn ancestors_in_order() {
         let p = WhPath::parse("/a/b/c").unwrap();
-        let anc: Vec<String> = p.ancestors().iter().map(|a| a.as_str().to_string()).collect();
+        let anc: Vec<String> = p
+            .ancestors()
+            .iter()
+            .map(|a| a.as_str().to_string())
+            .collect();
         assert_eq!(anc, vec!["/", "/a", "/a/b"]);
     }
 
@@ -133,6 +134,8 @@ mod tests {
         assert!(p.starts_with(&p.clone()));
         // Segment-aware: /logs/ce2 is not a prefix of /logs/ce/file.
         assert!(!p.starts_with(&WhPath::parse("/logs/c").unwrap()));
-        assert!(!WhPath::parse("/logs2").unwrap().starts_with(&WhPath::parse("/logs").unwrap()));
+        assert!(!WhPath::parse("/logs2")
+            .unwrap()
+            .starts_with(&WhPath::parse("/logs").unwrap()));
     }
 }

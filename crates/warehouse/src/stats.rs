@@ -23,6 +23,12 @@ pub struct ScanStats {
     pub records_read: u64,
     /// Blocks skipped without decompression thanks to index pushdown.
     pub blocks_skipped: u64,
+    /// Blocks served from the decompressed-block cache. A hit still counts
+    /// in `blocks_read` and `uncompressed_bytes_read`, but charges no
+    /// `compressed_bytes_read` (nothing came off "disk").
+    pub cache_hits: u64,
+    /// Blocks that had to be decompressed because the cache missed.
+    pub cache_misses: u64,
 }
 
 impl ScanStats {
@@ -35,6 +41,18 @@ impl ScanStats {
             uncompressed_bytes_read: self.uncompressed_bytes_read - earlier.uncompressed_bytes_read,
             records_read: self.records_read - earlier.records_read,
             blocks_skipped: self.blocks_skipped - earlier.blocks_skipped,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+        }
+    }
+
+    /// Cache hits as a fraction of blocks read (0.0 when nothing was read).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
         }
     }
 }
@@ -48,6 +66,8 @@ pub(crate) struct StatsCell {
     uncompressed_bytes_read: AtomicU64,
     records_read: AtomicU64,
     blocks_skipped: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl StatsCell {
@@ -59,6 +79,8 @@ impl StatsCell {
             uncompressed_bytes_read: self.uncompressed_bytes_read.load(Ordering::Relaxed),
             records_read: self.records_read.load(Ordering::Relaxed),
             blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -69,6 +91,8 @@ impl StatsCell {
         self.uncompressed_bytes_read.store(0, Ordering::Relaxed);
         self.records_read.store(0, Ordering::Relaxed);
         self.blocks_skipped.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn file_opened(&self) {
@@ -77,12 +101,31 @@ impl StatsCell {
 
     pub(crate) fn block_read(&self, compressed: u64, uncompressed: u64) {
         self.blocks_read.fetch_add(1, Ordering::Relaxed);
-        self.compressed_bytes_read.fetch_add(compressed, Ordering::Relaxed);
-        self.uncompressed_bytes_read.fetch_add(uncompressed, Ordering::Relaxed);
+        self.compressed_bytes_read
+            .fetch_add(compressed, Ordering::Relaxed);
+        self.uncompressed_bytes_read
+            .fetch_add(uncompressed, Ordering::Relaxed);
+    }
+
+    /// A block served from the decompressed-block cache: logically read
+    /// (blocks + uncompressed bytes) but with no compressed disk traffic.
+    pub(crate) fn block_cache_hit(&self, uncompressed: u64) {
+        self.blocks_read.fetch_add(1, Ordering::Relaxed);
+        self.uncompressed_bytes_read
+            .fetch_add(uncompressed, Ordering::Relaxed);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn block_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_read(&self) {
         self.records_read.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn records_read_n(&self, n: u64) {
+        self.records_read.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn block_skipped(&self) {
@@ -121,6 +164,23 @@ mod tests {
         assert_eq!(delta.blocks_read, 1);
         assert_eq!(delta.compressed_bytes_read, 5);
         assert_eq!(delta.uncompressed_bytes_read, 9);
+    }
+
+    #[test]
+    fn cache_hits_count_as_logical_reads() {
+        let cell = StatsCell::default();
+        cell.block_cache_miss();
+        cell.block_read(100, 400);
+        cell.block_cache_hit(400);
+        cell.records_read_n(7);
+        let s = cell.snapshot();
+        assert_eq!(s.blocks_read, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.compressed_bytes_read, 100, "hits charge no disk bytes");
+        assert_eq!(s.uncompressed_bytes_read, 800);
+        assert_eq!(s.records_read, 7);
+        assert!((s.cache_hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -6,8 +6,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::cache::{BlockCache, CacheStats, DEFAULT_CACHE_CAPACITY};
 use crate::error::{WarehouseError, WarehouseResult};
-use crate::file::{FileData, RecordFileReader, RecordFileWriter};
+use crate::file::{FileBlocks, FileData, RecordFileReader, RecordFileWriter};
 use crate::path::WhPath;
 use crate::stats::{ScanStats, StatsCell};
 
@@ -86,6 +87,7 @@ impl Tree {
 pub struct Warehouse {
     tree: Arc<Mutex<Tree>>,
     stats: Arc<StatsCell>,
+    cache: Arc<BlockCache>,
     available: Arc<AtomicBool>,
     block_capacity: usize,
 }
@@ -103,12 +105,20 @@ impl Warehouse {
     }
 
     /// Creates a warehouse whose blocks seal at `block_capacity` uncompressed
-    /// bytes.
+    /// bytes, with the default decompressed-block cache.
     pub fn with_block_capacity(block_capacity: usize) -> Self {
+        Self::with_config(block_capacity, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates a warehouse with explicit block and block-cache capacities
+    /// (both in bytes). `cache_capacity == 0` disables block caching, which
+    /// restores the exact pre-cache read accounting.
+    pub fn with_config(block_capacity: usize, cache_capacity: usize) -> Self {
         assert!(block_capacity > 0, "block capacity must be positive");
         Warehouse {
             tree: Arc::new(Mutex::new(Tree::default())),
             stats: Arc::new(StatsCell::default()),
+            cache: Arc::new(BlockCache::new(cache_capacity)),
             available: Arc::new(AtomicBool::new(true)),
             block_capacity,
         }
@@ -117,6 +127,16 @@ impl Warehouse {
     /// The configured block capacity in bytes.
     pub fn block_capacity(&self) -> usize {
         self.block_capacity
+    }
+
+    /// Counters and occupancy of the shared decompressed-block cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached block (for cold-cache measurements).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
     }
 
     /// Simulates an HDFS outage (`false`) or recovery (`true`). While
@@ -215,7 +235,8 @@ impl Warehouse {
             if tree.entries.contains_key(&path_str) {
                 return Err(WarehouseError::AlreadyExists(path_str.clone()));
             }
-            tree.entries.insert(path_str.clone(), Entry::File(Arc::new(data)));
+            tree.entries
+                .insert(path_str.clone(), Entry::File(Arc::new(data)));
             Ok(())
         });
         Ok(RecordFileWriter {
@@ -243,7 +264,20 @@ impl Warehouse {
             path.as_str().to_string(),
             data,
             Arc::clone(&self.stats),
+            Arc::clone(&self.cache),
             None,
+        ))
+    }
+
+    /// Opens a random-access block view of `path` for parallel scans; see
+    /// [`FileBlocks`].
+    pub fn open_blocks(&self, path: &WhPath) -> WarehouseResult<FileBlocks> {
+        let data = self.file_data(path)?;
+        Ok(FileBlocks::new(
+            path.as_str().to_string(),
+            data,
+            Arc::clone(&self.stats),
+            Arc::clone(&self.cache),
         ))
     }
 
@@ -423,10 +457,7 @@ mod tests {
         write_records(&wh, "/logs/a/f2", 1);
         write_records(&wh, "/logs/b/g", 1);
         let top = wh.list(&p("/logs")).unwrap();
-        assert_eq!(
-            top,
-            vec![("a".to_string(), true), ("b".to_string(), true)]
-        );
+        assert_eq!(top, vec![("a".to_string(), true), ("b".to_string(), true)]);
         let files = wh.list_files_recursive(&p("/logs")).unwrap();
         let names: Vec<&str> = files.iter().map(|f| f.as_str()).collect();
         assert_eq!(names, vec!["/logs/a/f1", "/logs/a/f2", "/logs/b/g"]);
@@ -436,8 +467,11 @@ mod tests {
     fn rename_moves_subtree_atomically() {
         let wh = Warehouse::new();
         write_records(&wh, "/staging/ce/2012/08/21/14/part-0", 10);
-        wh.rename(&p("/staging/ce/2012/08/21/14"), &p("/logs/ce/2012/08/21/14"))
-            .unwrap();
+        wh.rename(
+            &p("/staging/ce/2012/08/21/14"),
+            &p("/logs/ce/2012/08/21/14"),
+        )
+        .unwrap();
         assert!(!wh.exists(&p("/staging/ce/2012/08/21/14/part-0")));
         let r = wh.open(&p("/logs/ce/2012/08/21/14/part-0")).unwrap();
         assert_eq!(r.read_all().unwrap().len(), 10);
@@ -467,7 +501,10 @@ mod tests {
         let wh = Warehouse::new();
         write_records(&wh, "/f", 5);
         wh.set_available(false);
-        assert!(matches!(wh.create(&p("/g")), Err(WarehouseError::Unavailable)));
+        assert!(matches!(
+            wh.create(&p("/g")),
+            Err(WarehouseError::Unavailable)
+        ));
         assert!(matches!(
             wh.rename(&p("/f"), &p("/h")),
             Err(WarehouseError::Unavailable)
@@ -533,11 +570,107 @@ mod tests {
     }
 
     #[test]
+    fn repeated_reads_hit_the_block_cache() {
+        let wh = Warehouse::with_block_capacity(256);
+        write_records(&wh, "/f", 100);
+        let cold = wh.open(&p("/f")).unwrap().read_all().unwrap();
+        let s1 = wh.stats();
+        assert_eq!(s1.cache_hits, 0, "first read is all misses");
+        assert_eq!(s1.cache_misses, s1.blocks_read);
+        wh.reset_stats();
+        let warm = wh.open(&p("/f")).unwrap().read_all().unwrap();
+        assert_eq!(cold, warm, "cached reads must be byte-identical");
+        let s2 = wh.stats();
+        assert_eq!(s2.cache_hits, s2.blocks_read, "second read is all hits");
+        assert_eq!(s2.compressed_bytes_read, 0, "hits cost no disk bytes");
+        assert_eq!(s2.uncompressed_bytes_read, s1.uncompressed_bytes_read);
+        assert_eq!(s2.records_read, 100);
+        assert!(wh.cache_stats().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_cache_restores_old_accounting() {
+        let wh = Warehouse::with_config(256, 0);
+        write_records(&wh, "/f", 100);
+        let first = {
+            wh.reset_stats();
+            wh.open(&p("/f")).unwrap().read_all().unwrap();
+            wh.stats()
+        };
+        wh.reset_stats();
+        wh.open(&p("/f")).unwrap().read_all().unwrap();
+        let second = wh.stats();
+        assert_eq!(second.cache_hits, 0);
+        assert_eq!(second.compressed_bytes_read, first.compressed_bytes_read);
+    }
+
+    #[test]
+    fn clear_cache_forces_cold_reads() {
+        let wh = Warehouse::with_block_capacity(256);
+        write_records(&wh, "/f", 50);
+        wh.open(&p("/f")).unwrap().read_all().unwrap();
+        wh.clear_cache();
+        wh.reset_stats();
+        wh.open(&p("/f")).unwrap().read_all().unwrap();
+        assert_eq!(wh.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn file_blocks_matches_streaming_reader() {
+        let wh = Warehouse::with_block_capacity(256);
+        write_records(&wh, "/f", 100);
+        let streamed = wh.open(&p("/f")).unwrap().read_all().unwrap();
+        let wh2 = Warehouse::with_block_capacity(256);
+        write_records(&wh2, "/f", 100);
+        let fb = wh2.open_blocks(&p("/f")).unwrap();
+        let mut via_blocks = Vec::new();
+        for idx in 0..fb.block_count() {
+            let recs = fb.read_block(idx).unwrap();
+            assert_eq!(recs.len() as u64, fb.block_records(idx));
+            via_blocks.extend(recs);
+        }
+        assert_eq!(streamed, via_blocks);
+        let local = fb.local_stats();
+        assert_eq!(local.files_opened, 1);
+        assert_eq!(local.records_read, 100);
+        assert_eq!(local.blocks_read as usize, fb.block_count());
+        // Handle-local and global counters agree when nothing else scans.
+        assert_eq!(local.records_read, wh2.stats().records_read);
+    }
+
+    #[test]
+    fn file_blocks_skip_and_errors() {
+        let wh = Warehouse::with_block_capacity(128);
+        write_records(&wh, "/f", 100);
+        let fb = wh.open_blocks(&p("/f")).unwrap();
+        assert!(fb.block_count() >= 4);
+        wh.reset_stats();
+        fb.read_block(0).unwrap();
+        for idx in 1..fb.block_count() {
+            fb.skip_block(idx);
+        }
+        let s = wh.stats();
+        assert_eq!(s.blocks_read, 1);
+        assert_eq!(s.blocks_skipped as usize, fb.block_count() - 1);
+        assert!(fb.read_block(fb.block_count()).is_err(), "out of range");
+        assert!(matches!(
+            wh.open_blocks(&p("/missing")),
+            Err(WarehouseError::NotFound(_))
+        ));
+    }
+
+    #[test]
     fn open_missing_or_dir_errors() {
         let wh = Warehouse::new();
         wh.mkdirs(&p("/d")).unwrap();
-        assert!(matches!(wh.open(&p("/nope")), Err(WarehouseError::NotFound(_))));
-        assert!(matches!(wh.open(&p("/d")), Err(WarehouseError::NotAFile(_))));
+        assert!(matches!(
+            wh.open(&p("/nope")),
+            Err(WarehouseError::NotFound(_))
+        ));
+        assert!(matches!(
+            wh.open(&p("/d")),
+            Err(WarehouseError::NotAFile(_))
+        ));
     }
 
     #[test]

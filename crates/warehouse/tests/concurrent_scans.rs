@@ -1,0 +1,136 @@
+//! Concurrency stress tests: `Warehouse::open()` hammered from 8 threads
+//! while scan counters are read, plus exactness of the counters under
+//! contention. These pin down the "stats are safe and lossless under
+//! concurrent scans" contract the parallel execute layer relies on.
+
+use std::thread;
+
+use uli_warehouse::{Warehouse, WhPath};
+
+const THREADS: usize = 8;
+const READS_PER_THREAD: usize = 25;
+
+fn p(s: &str) -> WhPath {
+    WhPath::parse(s).unwrap()
+}
+
+fn write_file(wh: &Warehouse, path: &str, records: usize) {
+    let mut w = wh.create(&p(path)).unwrap();
+    for i in 0..records {
+        w.append_record(format!("record-{i:06}").as_bytes());
+    }
+    w.finish().unwrap();
+}
+
+/// With the cache disabled, every read does identical work, so the global
+/// counters after 8 threads × 25 reads must equal exactly 200× the cost of
+/// one read. Any lost update would show up here.
+#[test]
+fn stats_are_exact_under_8_thread_contention() {
+    let wh = Warehouse::with_config(256, 0);
+    write_file(&wh, "/logs/f", 120);
+
+    // Cost of one full read, measured serially.
+    wh.reset_stats();
+    wh.open(&p("/logs/f")).unwrap().read_all().unwrap();
+    let one = wh.stats();
+    assert!(one.blocks_read >= 2, "want a multi-block file");
+
+    wh.reset_stats();
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..READS_PER_THREAD {
+                    let r = wh.open(&p("/logs/f")).unwrap();
+                    assert_eq!(r.read_all().unwrap().len(), 120);
+                }
+            });
+        }
+    });
+    let n = (THREADS * READS_PER_THREAD) as u64;
+    let total = wh.stats();
+    assert_eq!(total.files_opened, n * one.files_opened);
+    assert_eq!(total.blocks_read, n * one.blocks_read);
+    assert_eq!(total.records_read, n * one.records_read);
+    assert_eq!(total.compressed_bytes_read, n * one.compressed_bytes_read);
+    assert_eq!(
+        total.uncompressed_bytes_read,
+        n * one.uncompressed_bytes_read
+    );
+    assert_eq!(total.cache_hits, 0);
+}
+
+/// With the cache on, which reader warms each block is racy, but the
+/// logical-read counters must still be exact and hits+misses must account
+/// for every block decompression decision.
+#[test]
+fn cached_reads_keep_logical_counters_exact() {
+    let wh = Warehouse::with_block_capacity(256);
+    write_file(&wh, "/logs/f", 120);
+    wh.reset_stats();
+
+    let uncompressed_once = {
+        let r = wh.open(&p("/logs/f")).unwrap();
+        r.read_all().unwrap();
+        let s = wh.stats();
+        wh.reset_stats();
+        wh.clear_cache();
+        s.uncompressed_bytes_read
+    };
+
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..READS_PER_THREAD {
+                    let r = wh.open(&p("/logs/f")).unwrap();
+                    assert_eq!(r.read_all().unwrap().len(), 120);
+                }
+            });
+        }
+    });
+    let n = (THREADS * READS_PER_THREAD) as u64;
+    let total = wh.stats();
+    assert_eq!(total.files_opened, n);
+    assert_eq!(total.records_read, n * 120);
+    assert_eq!(total.uncompressed_bytes_read, n * uncompressed_once);
+    assert_eq!(
+        total.cache_hits + total.cache_misses,
+        total.blocks_read,
+        "every block read is either a hit or a miss"
+    );
+    assert!(total.cache_hits > 0, "hot file should produce hits");
+}
+
+/// `stats()` can be called while scans are in flight: snapshots must be
+/// monotonically non-decreasing (no torn or lost counts) and `reset_stats()`
+/// must leave later deltas consistent.
+#[test]
+fn snapshots_are_monotonic_while_scanning() {
+    let wh = Warehouse::with_block_capacity(256);
+    write_file(&wh, "/logs/f", 120);
+    wh.reset_stats();
+
+    thread::scope(|s| {
+        for _ in 0..THREADS - 1 {
+            s.spawn(|| {
+                for _ in 0..READS_PER_THREAD {
+                    wh.open(&p("/logs/f")).unwrap().read_all().unwrap();
+                }
+            });
+        }
+        s.spawn(|| {
+            let mut last = wh.stats();
+            for _ in 0..1000 {
+                let now = wh.stats();
+                assert!(now.records_read >= last.records_read);
+                assert!(now.blocks_read >= last.blocks_read);
+                assert!(now.files_opened >= last.files_opened);
+                last = now;
+            }
+        });
+    });
+    let expected = ((THREADS - 1) * READS_PER_THREAD * 120) as u64;
+    assert_eq!(wh.stats().records_read, expected);
+    wh.reset_stats();
+    assert_eq!(wh.stats().records_read, 0);
+}

@@ -188,62 +188,67 @@ pub fn generate_day(config: &WorkloadConfig, day_index: u64) -> DayWorkload {
 
             let mut t = start;
             let mut emitted = 0u64;
-            let emit =
-                |name: EventName, t: i64, rng: &mut StdRng, events: &mut Vec<ClientEvent>| {
-                    let initiator = if name.action() == "impression" && rng.gen::<f64>() < 0.3 {
-                        EventInitiator::CLIENT_APP
-                    } else {
-                        EventInitiator::CLIENT_USER
-                    };
-                    let referrer = format!("/{}", name.page());
-                    let mut ev = ClientEvent::new(
-                        initiator,
-                        name,
-                        user_id,
-                        session_id.clone(),
-                        ip.clone(),
-                        Timestamp(t),
-                    );
-                    // Client events are verbose — the §4.1 downside the
-                    // sequences exist to offset. Every event carries the
-                    // boilerplate a real client attaches.
-                    const USER_AGENTS: [&str; 6] = [
-                        "Mozilla/5.0 (Windows NT 6.1; rv:14.0) Gecko/20100101 Firefox/14.0",
-                        "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_7) AppleWebKit/536 Safari/536",
-                        "Mozilla/5.0 (iPhone; CPU iPhone OS 5_1 like Mac OS X) Mobile/9B176",
-                        "TwitterAndroid/3.2 (Linux; Android 4.0.4; GT-I9100)",
-                        "Mozilla/5.0 (X11; Linux x86_64) Chrome/21.0.1180.57",
-                        "Mozilla/5.0 (Windows NT 5.1) Chrome/20.0.1132.57 Safari/536.11",
-                    ];
-                    ev = ev
-                        .with_detail("client_version", "4.1.2")
-                        .with_detail("user_agent", USER_AGENTS[rng.gen_range(0..USER_AGENTS.len())])
-                        .with_detail("lang", "en")
-                        .with_detail("referrer", referrer)
-                        // High-entropy request id: the incompressible part
-                        // of real log payloads (trace ids, URLs, tweet ids).
-                        .with_detail(
-                            "request_id",
-                            format!("{:016x}{:016x}", rng.gen::<u64>(), rng.gen::<u64>()),
-                        )
-                        .with_detail("page_load_ms", format!("{}", rng.gen_range(40..2500)));
-                    match ev.name.action() {
-                        "click" | "profile_click" | "follow" => {
-                            ev = ev
-                                .with_detail("target_id", format!("{}", rng.gen::<u32>()))
-                                .with_detail(
-                                    "target_url",
-                                    format!("https://t.co/{:010x}", rng.gen::<u64>() & 0xff_ffff_ffff),
-                                )
-                                .with_detail("rank", format!("{}", rng.gen_range(0..20)));
-                        }
-                        "impression" => {
-                            ev = ev.with_detail("tweet_id", format!("{}", rng.gen::<u64>()));
-                        }
-                        _ => {}
-                    }
-                    events.push(ev);
+            let emit = |name: EventName,
+                        t: i64,
+                        rng: &mut StdRng,
+                        events: &mut Vec<ClientEvent>| {
+                let initiator = if name.action() == "impression" && rng.gen::<f64>() < 0.3 {
+                    EventInitiator::CLIENT_APP
+                } else {
+                    EventInitiator::CLIENT_USER
                 };
+                let referrer = format!("/{}", name.page());
+                let mut ev = ClientEvent::new(
+                    initiator,
+                    name,
+                    user_id,
+                    session_id.clone(),
+                    ip.clone(),
+                    Timestamp(t),
+                );
+                // Client events are verbose — the §4.1 downside the
+                // sequences exist to offset. Every event carries the
+                // boilerplate a real client attaches.
+                const USER_AGENTS: [&str; 6] = [
+                    "Mozilla/5.0 (Windows NT 6.1; rv:14.0) Gecko/20100101 Firefox/14.0",
+                    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_7) AppleWebKit/536 Safari/536",
+                    "Mozilla/5.0 (iPhone; CPU iPhone OS 5_1 like Mac OS X) Mobile/9B176",
+                    "TwitterAndroid/3.2 (Linux; Android 4.0.4; GT-I9100)",
+                    "Mozilla/5.0 (X11; Linux x86_64) Chrome/21.0.1180.57",
+                    "Mozilla/5.0 (Windows NT 5.1) Chrome/20.0.1132.57 Safari/536.11",
+                ];
+                ev = ev
+                    .with_detail("client_version", "4.1.2")
+                    .with_detail(
+                        "user_agent",
+                        USER_AGENTS[rng.gen_range(0..USER_AGENTS.len())],
+                    )
+                    .with_detail("lang", "en")
+                    .with_detail("referrer", referrer)
+                    // High-entropy request id: the incompressible part
+                    // of real log payloads (trace ids, URLs, tweet ids).
+                    .with_detail(
+                        "request_id",
+                        format!("{:016x}{:016x}", rng.gen::<u64>(), rng.gen::<u64>()),
+                    )
+                    .with_detail("page_load_ms", format!("{}", rng.gen_range(40..2500)));
+                match ev.name.action() {
+                    "click" | "profile_click" | "follow" => {
+                        ev = ev
+                            .with_detail("target_id", format!("{}", rng.gen::<u32>()))
+                            .with_detail(
+                                "target_url",
+                                format!("https://t.co/{:010x}", rng.gen::<u64>() & 0xff_ffff_ffff),
+                            )
+                            .with_detail("rank", format!("{}", rng.gen_range(0..20)));
+                    }
+                    "impression" => {
+                        ev = ev.with_detail("tweet_id", format!("{}", rng.gen::<u64>()));
+                    }
+                    _ => {}
+                }
+                events.push(ev);
+            };
 
             if is_funnel {
                 let funnel = config.funnel.as_ref().expect("checked above");
@@ -271,10 +276,7 @@ pub fn generate_day(config: &WorkloadConfig, day_index: u64) -> DayWorkload {
             }
             truth.sessions += 1;
             truth.events += emitted;
-            *truth
-                .sessions_by_client
-                .entry(client.clone())
-                .or_insert(0) += 1;
+            *truth.sessions_by_client.entry(client.clone()).or_insert(0) += 1;
         }
     }
     let mut distinct: Vec<&EventName> = events.iter().map(|e| &e.name).collect();
@@ -294,10 +296,7 @@ pub fn write_client_events(
     files_per_hour: usize,
 ) -> WarehouseResult<u64> {
     write_partitioned(warehouse, events, files_per_hour, |ev| {
-        (
-            CLIENT_EVENTS_CATEGORY.to_string(),
-            ev.to_bytes(),
-        )
+        (CLIENT_EVENTS_CATEGORY.to_string(), ev.to_bytes())
     })
 }
 

@@ -37,10 +37,18 @@ const PAGES: [(&str, &[&str]); 5] = [
 ];
 
 const WIDGETS: [(&str, &str, &[&str]); 5] = [
-    ("stream", "tweet", &["impression", "click", "expand", "retweet", "favorite"]),
+    (
+        "stream",
+        "tweet",
+        &["impression", "click", "expand", "retweet", "favorite"],
+    ),
     ("stream", "avatar", &["impression", "profile_click"]),
     ("search_box", "query", &["focus", "submit"]),
-    ("suggestion_box", "who_to_follow", &["impression", "click", "follow"]),
+    (
+        "suggestion_box",
+        "who_to_follow",
+        &["impression", "click", "follow"],
+    ),
     ("detail", "permalink", &["impression", "click"]),
 ];
 
@@ -70,12 +78,7 @@ pub fn build_universe(config: &UniverseConfig) -> Vec<EventName> {
 
 /// Index of the first event in `universe` matching `(page, component,
 /// element, action)` for a client — used to plant funnel stages.
-pub fn find_event(
-    universe: &[EventName],
-    client: &str,
-    page: &str,
-    action: &str,
-) -> Option<usize> {
+pub fn find_event(universe: &[EventName], client: &str, page: &str, action: &str) -> Option<usize> {
     universe
         .iter()
         .position(|n| n.client() == client && n.page() == page && n.action() == action)

@@ -18,7 +18,10 @@ impl Zipf {
     /// (0 = uniform).
     pub fn new(n: usize, alpha: f64) -> Zipf {
         assert!(n > 0, "Zipf needs a non-empty support");
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and ≥ 0");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and ≥ 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {

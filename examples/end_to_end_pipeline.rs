@@ -9,10 +9,10 @@
 //!
 //! Run with: `cargo run --example end_to_end_pipeline`
 
+use uli_thrift::ThriftRecord;
 use unified_logging::oink::scheduler::JobStatus;
 use unified_logging::prelude::*;
 use unified_logging::scribe::message::LogEntry as Entry;
-use uli_thrift::ThriftRecord;
 
 fn main() {
     let config = PipelineConfig {
@@ -99,7 +99,9 @@ fn main() {
     let mut oink = Oink::new();
     let wh1 = wh.clone();
     oink.add_daily("rollups", &[], move |day| {
-        compute_rollups(&wh1, day).map(|_| ()).map_err(|e| e.to_string())
+        compute_rollups(&wh1, day)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     });
     let wh2 = wh.clone();
     oink.add_daily("session_sequences", &[], move |day| {

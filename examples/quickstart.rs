@@ -70,10 +70,7 @@ fn main() {
         Arc::new(SessionSequenceLoader),
         SESSION_SEQUENCE_SCHEMA.to_vec(),
     )
-    .foreach(vec![(
-        "n",
-        Expr::udf(udf, vec![Expr::col(3)]),
-    )])
+    .foreach(vec![("n", Expr::udf(udf, vec![Expr::col(3)]))])
     .aggregate(vec![Agg::sum(0).named("total")]);
     let seq = engine.run(&seq_plan).expect("sequence scan");
 

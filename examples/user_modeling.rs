@@ -19,10 +19,14 @@ fn main() {
     for day in 0..2 {
         let day_events = generate_day(&config, day);
         write_client_events(&wh, &day_events.events, 4).expect("fresh warehouse");
-        Materializer::new(wh.clone()).run_day(day).expect("day present");
+        Materializer::new(wh.clone())
+            .run_day(day)
+            .expect("day present");
     }
     let materializer = Materializer::new(wh.clone());
-    let dict = materializer.load_dictionary(0).expect("dictionary for day 0");
+    let dict = materializer
+        .load_dictionary(0)
+        .expect("dictionary for day 0");
     let train = load_sequences(&wh, 0).expect("day 0 sequences");
     let test = load_sequences(&wh, 1).expect("day 1 sequences");
     println!(
@@ -35,11 +39,8 @@ fn main() {
     // --- Language models: cross entropy / perplexity vs n. ---
     println!("\n n   cross-entropy (bits)   perplexity");
     for n in 1..=4 {
-        let model = NgramModel::train_on_strings(
-            n,
-            0.05,
-            train.iter().map(|s| s.sequence.as_str()),
-        );
+        let model =
+            NgramModel::train_on_strings(n, 0.05, train.iter().map(|s| s.sequence.as_str()));
         let h = model.cross_entropy_strings(test.iter().map(|s| s.sequence.as_str()));
         println!("{n:>2}   {h:>20.3}   {:>10.1}", 2f64.powf(h));
     }
@@ -52,8 +53,14 @@ fn main() {
     }
     println!("\ntop activity collocates by log-likelihood ratio:");
     for score in miner.top_by_llr(5, 20) {
-        let a = dict.name_of(score.a).map(|n| n.to_string()).unwrap_or_default();
-        let b = dict.name_of(score.b).map(|n| n.to_string()).unwrap_or_default();
+        let a = dict
+            .name_of(score.a)
+            .map(|n| n.to_string())
+            .unwrap_or_default();
+        let b = dict
+            .name_of(score.b)
+            .map(|n| n.to_string())
+            .unwrap_or_default();
         println!(
             "  G2={:>9.1} pmi={:>5.2} n={:>5}  {a} -> {b}",
             score.llr, score.pmi, score.count
@@ -118,7 +125,10 @@ fn main() {
     // --- The client event catalog. ---
     let samples = materializer.load_samples(0).expect("samples written");
     let mut catalog = ClientEventCatalog::build(0, &dict, &samples);
-    println!("\ncatalog: {} event types. Browsing clients:", catalog.len());
+    println!(
+        "\ncatalog: {} event types. Browsing clients:",
+        catalog.len()
+    );
     for (client, count) in catalog.browse(&[]) {
         println!("  {client}: {count} events");
     }

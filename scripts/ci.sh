@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints (warnings are errors), and tests.
+# Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "ci: all green"

@@ -14,7 +14,9 @@
 //! uli grammar                      §6 Re-Pair motifs over sessions
 //! ```
 //!
-//! Common flags: `--users N` (default 300), `--seed S`, `--days D`.
+//! Common flags: `--users N` (default 300), `--seed S`, `--days D`,
+//! `--workers W` (scan/execute worker threads; default: all cores, `1`
+//! restores the serial path — results are identical either way).
 
 use std::process::ExitCode;
 
@@ -27,6 +29,7 @@ struct Cli {
     users: u64,
     seed: u64,
     days: u64,
+    workers: Option<usize>,
     depth: usize,
     search: Option<String>,
     browse: Option<String>,
@@ -42,6 +45,7 @@ fn parse_args() -> Result<Cli, String> {
         users: 300,
         seed: 0x7717_7e4a,
         days: 1,
+        workers: None,
         depth: 3,
         search: None,
         browse: None,
@@ -55,6 +59,9 @@ fn parse_args() -> Result<Cli, String> {
             "--users" => cli.users = value("--users")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => cli.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--days" => cli.days = value("--days")?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => {
+                cli.workers = Some(value("--workers")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--depth" => cli.depth = value("--depth")?.parse().map_err(|e| format!("{e}"))?,
             "--search" => cli.search = Some(value("--search")?),
             "--browse" => cli.browse = Some(value("--browse")?),
@@ -72,6 +79,11 @@ fn parse_args() -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// The scan/execute worker count the user asked for (default: all cores).
+fn parallelism(cli: &Cli) -> Parallelism {
+    cli.workers.map(Parallelism::fixed).unwrap_or_default()
+}
+
 /// Generates and materializes the requested days; returns the warehouse and
 /// ground truths.
 fn prepare(cli: &Cli) -> (Warehouse, Vec<unified_logging::workload::DayWorkload>) {
@@ -85,7 +97,10 @@ fn prepare(cli: &Cli) -> (Warehouse, Vec<unified_logging::workload::DayWorkload>
     for d in 0..cli.days {
         let day = generate_day(&config, d);
         write_client_events(&wh, &day.events, 4).expect("fresh warehouse");
-        Materializer::new(wh.clone()).run_day(d).expect("day exists");
+        Materializer::new(wh.clone())
+            .with_parallelism(parallelism(cli))
+            .run_day(d)
+            .expect("day exists");
         days.push(day);
     }
     (wh, days)
@@ -97,8 +112,7 @@ fn cmd_demo(cli: &Cli) {
         let m = Materializer::new(wh.clone());
         let dict = m.load_dictionary(d).expect("materialized");
         let seqs = load_sequences(&wh, d).expect("materialized");
-        let summary =
-            unified_logging::analytics::DailySummary::compute(d, &seqs, &dict);
+        let summary = unified_logging::analytics::DailySummary::compute(d, &seqs, &dict);
         println!("{}", summary.render());
         let truth = &days[d as usize].truth;
         println!(
@@ -120,7 +134,7 @@ fn cmd_script(cli: &Cli) -> Result<(), String> {
     let dict = Materializer::new(wh.clone())
         .load_dictionary(0)
         .expect("materialized");
-    let mut runner = ScriptRunner::new(Engine::new(wh));
+    let mut runner = ScriptRunner::new(Engine::new(wh).with_parallelism(parallelism(cli)));
     register_analytics(&mut runner, dict);
     runner.set_param("DATE", "2012/08/01");
     for (k, v) in &cli.params {
@@ -128,7 +142,11 @@ fn cmd_script(cli: &Cli) -> Result<(), String> {
     }
     let outputs = runner.run(&source).map_err(|e| e.to_string())?;
     for out in outputs {
-        println!("-- dump {} ({} rows) --", out.relation, out.result.rows.len());
+        println!(
+            "-- dump {} ({} rows) --",
+            out.relation,
+            out.result.rows.len()
+        );
         for row in out.result.rows.iter().take(50) {
             let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
             println!("({})", cells.join(", "));
@@ -196,10 +214,7 @@ fn cmd_funnel(cli: &Cli) {
     let report = funnel.evaluate(seqs.iter().map(|s| s.sequence.as_str()));
     println!("signup funnel (stage, sessions) — truth in parentheses:");
     for (i, count) in report.reached.iter().enumerate() {
-        println!(
-            "({i}, {count})  ({})",
-            days[0].truth.funnel_stage_counts[i]
-        );
+        println!("({i}, {count})  ({})", days[0].truth.funnel_stage_counts[i]);
     }
     println!("conversion: {:.1}%", report.conversion() * 100.0);
 }

@@ -60,13 +60,13 @@ pub mod prelude {
         load_sequences, ClientEventsFunnel, CollocationMiner, CountClientEvents, DailySummary,
         EventCharSet, NgramModel,
     };
+    pub use uli_core::catalog::ClientEventCatalog;
     pub use uli_core::client_event::{ClientEvent, ClientEventLoader, CLIENT_EVENT_SCHEMA};
     pub use uli_core::event::{EventInitiator, EventName, EventPattern};
     pub use uli_core::session::{
         EventDictionary, Materializer, SessionSequence, SessionSequenceLoader, Sessionizer,
         SESSION_SEQUENCE_SCHEMA,
     };
-    pub use uli_core::catalog::ClientEventCatalog;
     pub use uli_core::time::Timestamp;
     pub use uli_dataflow::prelude::*;
     pub use uli_oink::{compute_rollups, Oink, RollupTable};

@@ -51,7 +51,9 @@ fn coord_handles_concurrent_ephemeral_churn() {
 fn coord_sequential_names_are_unique_under_contention() {
     let svc = CoordService::new();
     let admin = svc.connect();
-    admin.create("/seq", vec![], CreateMode::Persistent).unwrap();
+    admin
+        .create("/seq", vec![], CreateMode::Persistent)
+        .unwrap();
     let created: Vec<String> = {
         let handles: Vec<_> = (0..8)
             .map(|_| {
@@ -141,12 +143,7 @@ fn warehouse_concurrent_writers_and_readers() {
 fn scribe_network_delivery_from_many_threads() {
     let coord = CoordService::new();
     let net = unified_logging::scribe::Network::new();
-    let mut agg = unified_logging::scribe::Aggregator::spawn(
-        &coord,
-        &net,
-        "dc0",
-        Warehouse::new(),
-    );
+    let mut agg = unified_logging::scribe::Aggregator::spawn(&coord, &net, "dc0", Warehouse::new());
     let endpoint = agg.endpoint().to_string();
 
     let senders: Vec<_> = (0..8)

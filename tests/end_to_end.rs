@@ -41,7 +41,8 @@ fn deliver(day: &unified_logging::workload::DayWorkload) -> ScribePipeline {
         pipe.step();
         pipe.flush_hour(hour);
         pipe.seal_hour("client_events", hour);
-        pipe.move_hour("client_events", hour).expect("all DCs sealed");
+        pipe.move_hour("client_events", hour)
+            .expect("all DCs sealed");
     }
     pipe
 }
@@ -73,7 +74,9 @@ fn oink_pipeline_materializes_and_analytics_agree_with_truth() {
     let mut oink = Oink::new();
     let wh1 = wh.clone();
     oink.add_daily("rollups", &[], move |d| {
-        compute_rollups(&wh1, d).map(|_| ()).map_err(|e| e.to_string())
+        compute_rollups(&wh1, d)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     });
     let wh2 = wh.clone();
     oink.add_daily("sequences", &["rollups"], move |d| {

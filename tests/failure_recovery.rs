@@ -21,7 +21,10 @@ fn log_batch(pipe: &mut ScribePipeline, n_per_host: usize, tag: &str) -> u64 {
                 pipe.log(
                     dc,
                     host,
-                    LogEntry::new("client_events", format!("{tag}-{dc}-{host}-{i}").into_bytes()),
+                    LogEntry::new(
+                        "client_events",
+                        format!("{tag}-{dc}-{host}-{i}").into_bytes(),
+                    ),
                 );
                 total += 1;
             }
@@ -135,5 +138,8 @@ fn warehouse_checksums_catch_corruption() {
     // checksums end to end.
     let records = wh.open(&path).unwrap().read_all();
     assert!(records.is_ok());
-    assert!(!matches!(records, Err(WarehouseError::ChecksumMismatch { .. })));
+    assert!(!matches!(
+        records,
+        Err(WarehouseError::ChecksumMismatch { .. })
+    ));
 }

@@ -24,7 +24,9 @@ fn three_days_of_nightly_jobs() {
     let mut oink = Oink::new();
     let wh1 = wh.clone();
     oink.add_daily("rollups", &[], move |d| {
-        compute_rollups(&wh1, d).map(|_| ()).map_err(|e| e.to_string())
+        compute_rollups(&wh1, d)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     });
     let wh2 = wh.clone();
     oink.add_daily("sequences", &["rollups"], move |d| {
@@ -35,7 +37,11 @@ fn three_days_of_nightly_jobs() {
     });
     oink.advance_hour(3 * 24 - 1);
     for day in 0..3 {
-        assert_eq!(oink.status("sequences", day), JobStatus::Completed, "day {day}");
+        assert_eq!(
+            oink.status("sequences", day),
+            JobStatus::Completed,
+            "day {day}"
+        );
     }
 
     // Each day's artifacts are self-consistent and isolated.
@@ -43,7 +49,11 @@ fn three_days_of_nightly_jobs() {
     let mut catalog: Option<ClientEventCatalog> = None;
     for day in 0..3 {
         let seqs = load_sequences(&wh, day).unwrap();
-        assert_eq!(seqs.len() as u64, truths[day as usize].sessions, "day {day}");
+        assert_eq!(
+            seqs.len() as u64,
+            truths[day as usize].sessions,
+            "day {day}"
+        );
 
         let rollup = load_rollups(&wh, day).unwrap();
         let level5: u64 = rollup
@@ -51,7 +61,10 @@ fn three_days_of_nightly_jobs() {
             .filter(|(k, _)| k.level == 5)
             .map(|(_, v)| v)
             .sum();
-        assert_eq!(level5, truths[day as usize].events, "day {day} rollup total");
+        assert_eq!(
+            level5, truths[day as usize].events,
+            "day {day} rollup total"
+        );
 
         // The catalog rebuilds daily, carrying descriptions forward.
         let dict = m.load_dictionary(day).unwrap();

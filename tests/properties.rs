@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 
-use unified_logging::prelude::*;
 use unified_logging::core::session::dictionary::{char_for_rank, rank_for_char};
+use unified_logging::prelude::*;
 use unified_logging::thrift::ThriftRecord;
 
 fn arb_action() -> impl Strategy<Value = &'static str> {

@@ -87,11 +87,7 @@ fn raw_and_sequence_counts_agree_across_patterns() {
         let (seq, seq_stats) = count_sequences(&f, &p);
         assert_eq!(raw, seq, "pattern {pattern}");
         // Ground truth cross-check against the generator's event list.
-        let truth = f
-            .events
-            .iter()
-            .filter(|e| p.matches(&e.name))
-            .count() as i64;
+        let truth = f.events.iter().filter(|e| p.matches(&e.name)).count() as i64;
         assert_eq!(raw, truth, "pattern {pattern} vs truth");
         // The paper's claim: sequences scan dramatically less.
         assert!(

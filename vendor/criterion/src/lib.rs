@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/API surface the `uli-bench` benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`
+//! and `iter_batched`, throughput annotation — with plain wall-clock
+//! timing: per benchmark it runs a warm-up pass plus `sample_size` timed
+//! samples and prints min/mean/max. No statistics engine, no HTML reports,
+//! no `target/criterion` baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for compatibility; batches are
+/// always one input here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Work-per-iteration annotation, echoed as a rate in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let sample_size = self.sample_size;
+        run_one(None, &id.into(), sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            &id.into(),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (report lines were already printed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(
+    group: Option<&str>,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if b.samples.is_empty() {
+        println!("bench {label:<48} (no samples)");
+        return;
+    }
+    let min = *b.samples.iter().min().expect("non-empty");
+    let max = *b.samples.iter().max().expect("non-empty");
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let rate = throughput
+        .map(|t| {
+            let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!("  {:>12.0} elem/s", per_sec(n)),
+                Throughput::Bytes(n) => {
+                    format!("  {:>12.2} MiB/s", per_sec(n) / (1024.0 * 1024.0))
+                }
+            }
+        })
+        .unwrap_or_default();
+    println!(
+        "bench {label:<48} min {:>10}  mean {:>10}  max {:>10}{rate}",
+        Pretty(min),
+        Pretty(mean),
+        Pretty(max)
+    );
+}
+
+struct Pretty(Duration);
+
+impl fmt::Display for Pretty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0.as_nanos();
+        if ns < 10_000 {
+            write!(f, "{ns} ns")
+        } else if ns < 10_000_000 {
+            write!(f, "{:.1} µs", ns as f64 / 1e3)
+        } else if ns < 10_000_000_000 {
+            write!(f, "{:.1} ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.2} s", ns as f64 / 1e9)
+        }
+    }
+}
+
+/// Passed to each benchmark closure; collects timed samples.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample after one warm-up call.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,282 @@
+//! Unbounded MPMC channels with crossbeam-compatible disconnect semantics.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the rejected message back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message; fails if every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(value));
+        }
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(value);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::Relaxed);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake blocked receivers so they observe it.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender(..)")
+    }
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            queue = self
+                .shared
+                .ready
+                .wait(queue)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Pops a message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        match queue.pop_front() {
+            Some(v) => Ok(v),
+            None if self.shared.senders.load(Ordering::Acquire) == 0 => {
+                Err(TryRecvError::Disconnected)
+            }
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Non-blocking iterator over currently queued messages.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { receiver: self }
+    }
+
+    /// Blocking iterator that ends when every sender is dropped.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+
+    /// True if no messages are currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::Relaxed);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver(..)")
+    }
+}
+
+/// Iterator returned by [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// Iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn dropped_receiver_fails_send() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn dropped_sender_disconnects_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_iter_drains_without_blocking() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(42).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn mpmc_conserves_messages() {
+        let (tx, rx) = unbounded();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        tx.send(i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the API subset the workspace uses: `crossbeam::channel`'s
+//! unbounded MPMC channel with disconnect semantics (send fails once every
+//! receiver is gone; recv fails once the queue is drained and every sender
+//! is gone). Backed by a `Mutex<VecDeque>` + `Condvar`, which is plenty for
+//! the simulated Scribe network and the scan pool's laptop-scale fan-out.
+
+pub mod channel;

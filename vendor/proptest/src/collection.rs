@@ -1,0 +1,119 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Vectors of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = rng.size_in(&self.size);
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// Maps with `size` entries; duplicate keys are retried a bounded number of
+/// times, so the realized size can fall below the target for tiny key
+/// domains (upstream rejects the case instead — same practical effect).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    keys: K,
+    values: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V> {
+    BTreeMapStrategy { keys, values, size }
+}
+
+/// The strategy returned by [`btree_map`].
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        let target = rng.size_in(&self.size);
+        let mut out = BTreeMap::new();
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 10 + 20 {
+            out.insert(self.keys.gen_value(rng), self.values.gen_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Sets with `size` elements (same duplicate caveat as [`btree_map`]).
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy { element, size }
+}
+
+/// The strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        let target = rng.size_in(&self.size);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 10 + 20 {
+            out.insert(self.element.gen_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let mut rng = TestRng::deterministic("collection::vec");
+        let s = vec(0u8..255, 2..7);
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng);
+            assert!((2..7).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn map_and_set_build() {
+        let mut rng = TestRng::deterministic("collection::map");
+        let m = btree_map("[a-z]{1,8}", 0u32..100, 0..4).gen_value(&mut rng);
+        assert!(m.len() < 4);
+        let s = btree_set("[a-z]{1,6}", 0..4).gen_value(&mut rng);
+        assert!(s.len() < 4);
+    }
+}

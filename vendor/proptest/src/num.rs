@@ -1,0 +1,42 @@
+//! Numeric strategies beyond plain ranges.
+
+#[allow(non_snake_case)]
+pub mod f64 {
+    //! `f64` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy over normal (finite, non-zero, non-subnormal) doubles.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalF64;
+
+    /// Normal doubles — no NaN, infinity, zero, or subnormals, so
+    /// `PartialEq`-based round-trip assertions hold.
+    pub const NORMAL: NormalF64 = NormalF64;
+
+    impl Strategy for NormalF64 {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            loop {
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_normal() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn normal_is_normal() {
+            let mut rng = TestRng::deterministic("num::normal");
+            for _ in 0..1000 {
+                assert!(NORMAL.gen_value(&mut rng).is_normal());
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Sampling strategies: `select` and `Index`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform choice from a fixed list of values.
+pub fn select<T: Clone + 'static>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select over an empty list");
+    Select { options }
+}
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}
+
+/// An index into a collection whose length is only known at use time;
+/// generated via `any::<Index>()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Index {
+        Index(raw)
+    }
+
+    /// Resolves against a concrete length. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+
+    /// Picks the element of `slice` this index resolves to.
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+}

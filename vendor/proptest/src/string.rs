@@ -1,0 +1,208 @@
+//! A regex-subset string generator.
+//!
+//! Supports exactly the constructs the workspace's patterns use:
+//!
+//! * literal characters (`x`, `:`, …)
+//! * character classes `[...]` with ranges (`a-z`), literal members, and a
+//!   leading/trailing literal `-`
+//! * `{m,n}` and `{n}` quantifiers (applied to the preceding element)
+//! * `\PC` — any printable (non-control) character
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Element {
+    Literal(char),
+    /// Flattened set of candidate characters.
+    Class(Vec<char>),
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    element: Element,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Quantified> {
+    let mut out: Vec<Quantified> = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let element = match chars[i] {
+            '\\' => {
+                // Only `\PC` (and `\pC`) appear in this repo's patterns;
+                // any other escape is taken literally.
+                if i + 2 < chars.len()
+                    && (chars[i + 1] == 'P' || chars[i + 1] == 'p')
+                    && chars[i + 2] == 'C'
+                {
+                    i += 3;
+                    Element::Printable
+                } else {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    Element::Literal(c)
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut members = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    // Range `a-z` (a `-` that is not last and not first).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        for v in c as u32..=hi as u32 {
+                            if let Some(m) = char::from_u32(v) {
+                                members.push(m);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        members.push(c);
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                assert!(!members.is_empty(), "empty character class in {pattern:?}");
+                Element::Class(members)
+            }
+            c => {
+                i += 1;
+                Element::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push(Quantified { element, min, max });
+    }
+    out
+}
+
+/// Printable sampling pool: mostly ASCII, a sprinkling of wider chars so
+/// multi-byte UTF-8 paths get exercised.
+const WIDE_PRINTABLE: &[char] = &['é', 'ß', '中', 'λ', '→', '🙂', 'Ω', 'д'];
+
+fn sample(element: &Element, rng: &mut TestRng) -> char {
+    match element {
+        Element::Literal(c) => *c,
+        Element::Class(members) => members[rng.below(members.len())],
+        Element::Printable => {
+            if rng.below(10) == 0 {
+                WIDE_PRINTABLE[rng.below(WIDE_PRINTABLE.len())]
+            } else {
+                // ASCII printable: 0x20..=0x7E.
+                char::from_u32(0x20 + rng.below(0x5f) as u32).expect("ascii printable")
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for q in parse(pattern) {
+        let count = q.min + rng.size_in(&(0..q.max - q.min + 1));
+        for _ in 0..count {
+            out.push(sample(&q.element, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string::tests")
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,8}", &mut r);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_literal_after_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z]{0,5}x", &mut r);
+            assert!(s.ends_with('x'), "{s:?}");
+            assert!(s.chars().count() <= 6);
+        }
+    }
+
+    #[test]
+    fn punctuation_class() {
+        let mut r = rng();
+        let allowed = "abcdefghijklmnopqrstuvwxyz0123456789 =;(),'<>*+$./_-";
+        for _ in 0..100 {
+            let s = generate("[a-z0-9 =;(),'<>*+$./_-]{0,200}", &mut r);
+            assert!(s.chars().all(|c| allowed.contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_class_has_no_controls() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("\\PC{0,200}", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        let mut r = rng();
+        let s = generate("[ab]{4}", &mut r);
+        assert_eq!(s.chars().count(), 4);
+    }
+
+    #[test]
+    fn mixed_alnum_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-zA-Z0-9 _:-]{0,24}", &mut r);
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || " _:-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Test configuration and the deterministic RNG behind case generation.
+
+use rand::{RngCore, SeedableRng};
+
+/// Per-`proptest!` block configuration. Only `cases` is honored.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The generation RNG: a seeded [`rand::StdRng`].
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::StdRng);
+
+impl TestRng {
+    /// An RNG whose stream is a pure function of `label` (the test's module
+    /// path + name), so every run explores the same cases.
+    pub fn deterministic(label: &str) -> TestRng {
+        // FNV-1a over the label gives a stable per-test seed.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(rand::StdRng::seed_from_u64(h))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot draw below 0");
+        use rand::Rng;
+        self.0.gen_range(0..n)
+    }
+
+    /// Uniform size draw from a half-open range.
+    pub fn size_in(&mut self, range: &std::ops::Range<usize>) -> usize {
+        if range.start >= range.end {
+            return range.start;
+        }
+        range.start + self.below(range.end - range.start)
+    }
+}
