@@ -3,31 +3,75 @@
 //! ```text
 //! cargo run --release -p uli-bench --bin repro -- all
 //! cargo run --release -p uli-bench --bin repro -- e4 e5
+//! cargo run --release -p uli-bench --bin repro -- --smoke e14 e15
 //! ```
+//!
+//! `--smoke` runs the sweep experiments at reduced scale (small day, two
+//! worker counts) for CI; smoke runs never overwrite the BENCH_*.json
+//! artifacts.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        uli_bench::ALL_EXPERIMENTS.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let ids: Vec<&str> = {
+        let named: Vec<&str> = args
+            .iter()
+            .map(String::as_str)
+            .filter(|a| !a.starts_with("--"))
+            .collect();
+        if named.is_empty() || named.contains(&"all") {
+            uli_bench::ALL_EXPERIMENTS.to_vec()
+        } else {
+            named
+        }
     };
     let mut failed = false;
     for id in ids {
-        // E14 additionally persists its sweep for tooling that tracks the
-        // serial-vs-parallel numbers across revisions.
+        // E14/E15 additionally persist their sweeps for tooling that tracks
+        // the serial-vs-parallel and eager-vs-pushdown numbers across
+        // revisions (full scale only).
         if id == "e14" {
-            let m = uli_bench::experiments::e14_parallel::measure();
+            use uli_bench::experiments::e14_parallel as e14;
+            let m = if smoke {
+                e14::measure_with(120, &[1, 2])
+            } else {
+                e14::measure()
+            };
             println!("{}", "=".repeat(74));
-            println!("{}", uli_bench::experiments::e14_parallel::render(&m));
-            let json = uli_bench::experiments::e14_parallel::to_json(&m);
-            match std::fs::write("BENCH_parallel_scan.json", json) {
-                Ok(()) => println!("wrote BENCH_parallel_scan.json"),
-                Err(e) => {
-                    eprintln!("could not write BENCH_parallel_scan.json: {e}");
-                    failed = true;
+            println!("{}", e14::render(&m));
+            if !smoke {
+                match std::fs::write("BENCH_parallel_scan.json", e14::to_json(&m)) {
+                    Ok(()) => println!("wrote BENCH_parallel_scan.json"),
+                    Err(e) => {
+                        eprintln!("could not write BENCH_parallel_scan.json: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            continue;
+        }
+        if id == "e15" {
+            use uli_bench::experiments::e15_pushdown as e15;
+            let m = if smoke {
+                e15::measure_with(120, &[2])
+            } else {
+                e15::measure()
+            };
+            println!("{}", "=".repeat(74));
+            println!("{}", e15::render(&m));
+            if !m.outputs_identical {
+                eprintln!("e15: pushdown outputs diverged from eager");
+                failed = true;
+            }
+            if !smoke {
+                match std::fs::write("BENCH_pushdown.json", e15::to_json(&m)) {
+                    Ok(()) => println!("wrote BENCH_pushdown.json"),
+                    Err(e) => {
+                        eprintln!("could not write BENCH_pushdown.json: {e}");
+                        failed = true;
+                    }
                 }
             }
             continue;

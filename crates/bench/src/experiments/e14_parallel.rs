@@ -49,8 +49,14 @@ pub struct Measurements {
 /// Runs the sweep: for each worker count, land the same day in a fresh
 /// warehouse, materialize, and run the same counting query twice.
 pub fn measure() -> Measurements {
+    measure_with(500, &[1, 2, 4, 8])
+}
+
+/// The sweep at a chosen scale — `--smoke` uses a small day and two worker
+/// counts to keep CI wall-clock down while still exercising both paths.
+pub fn measure_with(users: u64, worker_counts: &[usize]) -> Measurements {
     let config = WorkloadConfig {
-        users: 500,
+        users,
         ..Default::default()
     };
     let day = generate_day(&config, 0);
@@ -59,7 +65,7 @@ pub fn measure() -> Measurements {
     let mut samples = Vec::new();
     let mut reference: Option<(uli_core::session::MaterializeReport, Vec<Tuple>)> = None;
     let mut outputs_identical = true;
-    for workers in [1usize, 2, 4, 8] {
+    for &workers in worker_counts {
         let wh = Warehouse::new();
         write_client_events(&wh, &day.events, 4).expect("fresh warehouse");
         let m = Materializer::new(wh.clone()).with_parallelism(Parallelism::fixed(workers));

@@ -1,0 +1,304 @@
+//! E15 — pushdown scan path: eager vs lazy decode on a selective query.
+//!
+//! The paper's ad-hoc queries pay "large amounts of brute force scans"
+//! (§4.1): every column of every record is decoded before the first FILTER
+//! runs. PR 2's pushdown path moves FOREACH projections and cheap FILTER
+//! predicates into the loader and consults per-block zone maps before
+//! decompressing. This experiment runs one 2-column selective query — a
+//! timestamp window plus an event-name equality — under four configs
+//! (eager, projection-only, projection+predicate, +zone-maps) and two
+//! worker counts, verifies the rows are byte-identical everywhere, and
+//! reports how much decode work each layer removes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use uli_core::client_event::{ClientEventLoader, CLIENT_EVENT_SCHEMA};
+use uli_core::session::day_dir;
+use uli_dataflow::prelude::*;
+use uli_warehouse::Warehouse;
+use uli_workload::{generate_day, write_client_events, WorkloadConfig};
+
+use crate::cells;
+use crate::harness::{timed, Table};
+
+/// Width of the client-event load schema.
+const WIDTH: u64 = CLIENT_EVENT_SCHEMA.len() as u64;
+
+/// The four configs in sweep order: each row adds one pushdown layer.
+pub const CONFIGS: [(&str, Pushdown); 4] = [
+    (
+        "eager",
+        Pushdown {
+            projection: false,
+            predicate: false,
+            zone_maps: false,
+        },
+    ),
+    (
+        "projection",
+        Pushdown {
+            projection: true,
+            predicate: false,
+            zone_maps: false,
+        },
+    ),
+    (
+        "proj+pred",
+        Pushdown {
+            projection: true,
+            predicate: true,
+            zone_maps: false,
+        },
+    ),
+    (
+        "proj+pred+zones",
+        Pushdown {
+            projection: true,
+            predicate: true,
+            zone_maps: true,
+        },
+    ),
+];
+
+/// One (config, workers) cell of the sweep.
+pub struct ConfigSample {
+    /// Config label from [`CONFIGS`].
+    pub config: &'static str,
+    /// Scan/execute worker count.
+    pub workers: usize,
+    /// Query wall-clock, milliseconds.
+    pub query_ms: f64,
+    /// Blocks decompressed and scanned.
+    pub input_blocks: u64,
+    /// Blocks skipped before decompression (zone maps / index).
+    pub blocks_skipped: u64,
+    /// Records scanned.
+    pub input_records: u64,
+    /// Records decoded then dropped by a pushed predicate.
+    pub records_skipped_by_predicate: u64,
+    /// Fields skipped without materializing (projection pushdown).
+    pub fields_skipped: u64,
+    /// Uncompressed bytes handed to mappers.
+    pub input_bytes_uncompressed: u64,
+    /// Fields actually decoded: `input_records × width − fields_skipped`.
+    pub decoded_fields: u64,
+    /// Rows the query produced (must agree across every cell).
+    pub output_rows: u64,
+}
+
+/// The full sweep.
+pub struct Measurements {
+    /// Samples in config-major, worker-minor order.
+    pub samples: Vec<ConfigSample>,
+    /// True when every config × worker cell produced identical rows.
+    pub outputs_identical: bool,
+    /// Eager decoded fields ÷ full-pushdown decoded fields (same workers).
+    pub decode_work_ratio: f64,
+    /// Users in the generated day.
+    pub users: u64,
+    /// The event name the query selects.
+    pub event_name: String,
+}
+
+/// The 2-column selective query: a timestamp window AND one event name,
+/// projecting only (user_id, name) before a per-user count. Columns touched:
+/// name (1), user_id (2), timestamp (5) — 3 of the 7 in the load schema.
+fn selective_plan(name: &str, t0: i64, t1: i64) -> Plan {
+    Plan::load(
+        day_dir("client_events", 0),
+        Arc::new(ClientEventLoader),
+        CLIENT_EVENT_SCHEMA.to_vec(),
+    )
+    .filter(
+        Expr::col(5)
+            .ge(Expr::lit(t0))
+            .and(Expr::col(5).le(Expr::lit(t1))),
+    )
+    .filter(Expr::col(1).eq(Expr::lit(name)))
+    .foreach(vec![("user_id", Expr::col(2)), ("name", Expr::col(1))])
+    .aggregate_by(vec![0], vec![Agg::count()])
+}
+
+/// Runs the sweep over `users` with the given worker counts.
+pub fn measure_with(users: u64, worker_counts: &[usize]) -> Measurements {
+    let config = WorkloadConfig {
+        users,
+        ..Default::default()
+    };
+    let day = generate_day(&config, 0);
+
+    // Pick the most frequent event name (deterministic tie-break by name)
+    // and the middle half of the day's timestamp range, so the query is
+    // selective but never empty.
+    let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut t_min = i64::MAX;
+    let mut t_max = i64::MIN;
+    for ev in &day.events {
+        *counts.entry(ev.name.as_str()).or_default() += 1;
+        t_min = t_min.min(ev.timestamp.millis());
+        t_max = t_max.max(ev.timestamp.millis());
+    }
+    let event_name = counts
+        .iter()
+        .max_by_key(|(name, n)| (**n, **name))
+        .map(|(name, _)| name.to_string())
+        .expect("generated day is non-empty");
+    let span = t_max - t_min;
+    let (t0, t1) = (t_min + span / 4, t_min + 3 * span / 4);
+    let plan = selective_plan(&event_name, t0, t1);
+
+    let mut samples = Vec::new();
+    let mut reference: Option<Vec<Tuple>> = None;
+    let mut outputs_identical = true;
+    for (label, pushdown) in CONFIGS {
+        for &workers in worker_counts {
+            let wh = Warehouse::new();
+            write_client_events(&wh, &day.events, 4).expect("fresh warehouse");
+            let engine = Engine::new(wh)
+                .with_parallelism(Parallelism::fixed(workers))
+                .with_pushdown(pushdown);
+            let (result, query_ms) = timed(|| engine.run(&plan).expect("runs"));
+            match &reference {
+                None => reference = Some(result.rows.clone()),
+                Some(rows0) => outputs_identical &= *rows0 == result.rows,
+            }
+            let s = &result.stats;
+            samples.push(ConfigSample {
+                config: label,
+                workers,
+                query_ms,
+                input_blocks: s.input_blocks,
+                blocks_skipped: s.blocks_skipped,
+                input_records: s.input_records,
+                records_skipped_by_predicate: s.records_skipped_by_predicate,
+                fields_skipped: s.fields_skipped,
+                input_bytes_uncompressed: s.input_bytes_uncompressed,
+                decoded_fields: s.input_records * WIDTH - s.fields_skipped,
+                output_rows: result.rows.len() as u64,
+            });
+        }
+    }
+    let per_config = worker_counts.len();
+    let eager = samples[0].decoded_fields;
+    let full = samples[samples.len() - per_config].decoded_fields;
+    Measurements {
+        samples,
+        outputs_identical,
+        decode_work_ratio: eager as f64 / (full.max(1)) as f64,
+        users,
+        event_name,
+    }
+}
+
+/// Runs the standard sweep: 600 users, workers {1, 4}.
+pub fn measure() -> Measurements {
+    measure_with(600, &[1, 4])
+}
+
+/// Renders the sweep as the experiment table.
+pub fn render(m: &Measurements) -> String {
+    let mut out = format!(
+        "E15 — pushdown scan path: timestamp window AND name = {:?}, \
+         project 2 of {WIDTH} columns ({} users)\n\n",
+        m.event_name, m.users
+    );
+    let mut t = Table::new(&[
+        "config",
+        "workers",
+        "query ms",
+        "blocks read",
+        "blocks skipped",
+        "records",
+        "pred-skipped",
+        "fields skipped",
+        "decoded fields",
+    ]);
+    for s in &m.samples {
+        t.row(cells![
+            s.config,
+            s.workers,
+            format!("{:.1}", s.query_ms),
+            s.input_blocks,
+            s.blocks_skipped,
+            s.input_records,
+            s.records_skipped_by_predicate,
+            s.fields_skipped,
+            s.decoded_fields
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\ndecode work (fields materialized): eager / full pushdown = {:.2}x\n\
+         outputs identical across all configs and worker counts: {}\n",
+        m.decode_work_ratio, m.outputs_identical
+    ));
+    out
+}
+
+/// Serializes the sweep as the `BENCH_pushdown.json` payload.
+pub fn to_json(m: &Measurements) -> String {
+    let mut rows = Vec::new();
+    for s in &m.samples {
+        rows.push(format!(
+            "    {{\"config\": \"{}\", \"workers\": {}, \"query_ms\": {:.3}, \
+             \"input_blocks\": {}, \"blocks_skipped\": {}, \"input_records\": {}, \
+             \"records_skipped_by_predicate\": {}, \"fields_skipped\": {}, \
+             \"input_bytes_uncompressed\": {}, \"decoded_fields\": {}, \"output_rows\": {}}}",
+            s.config,
+            s.workers,
+            s.query_ms,
+            s.input_blocks,
+            s.blocks_skipped,
+            s.input_records,
+            s.records_skipped_by_predicate,
+            s.fields_skipped,
+            s.input_bytes_uncompressed,
+            s.decoded_fields,
+            s.output_rows
+        ));
+    }
+    format!(
+        "{{\n  \"experiment\": \"pushdown\",\n  \"users\": {},\n  \"event_name\": \"{}\",\n  \
+         \"outputs_identical\": {},\n  \"decode_work_ratio\": {:.4},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        m.users,
+        m.event_name,
+        m.outputs_identical,
+        m.decode_work_ratio,
+        rows.join(",\n")
+    )
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    render(&measure())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_consistent_and_beats_eager_by_2x() {
+        let m = measure_with(200, &[1, 4]);
+        assert!(m.outputs_identical, "pushdown changed query results");
+        assert_eq!(m.samples.len(), CONFIGS.len() * 2);
+        let eager = &m.samples[0];
+        assert_eq!(eager.fields_skipped, 0);
+        assert_eq!(eager.records_skipped_by_predicate, 0);
+        assert_eq!(eager.blocks_skipped, 0);
+        let full = &m.samples[m.samples.len() - 2];
+        assert_eq!(full.config, "proj+pred+zones");
+        assert!(full.fields_skipped > 0, "projection skipped nothing");
+        assert!(full.records_skipped_by_predicate > 0, "predicate unpushed");
+        assert!(full.blocks_skipped > 0, "zone maps pruned nothing");
+        assert!(
+            m.decode_work_ratio >= 2.0,
+            "decode work must drop ≥2x, got {:.2}x",
+            m.decode_work_ratio
+        );
+        let json = to_json(&m);
+        assert!(json.contains("\"experiment\": \"pushdown\""));
+        assert!(json.contains("\"config\": \"proj+pred+zones\""));
+    }
+}

@@ -25,12 +25,13 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e12" => experiments::e12_catalog::run(),
         "e13" => experiments::e13_layouts::run(),
         "e14" => experiments::e14_parallel::run(),
+        "e15" => experiments::e15_pushdown::run(),
         _ => return None,
     };
     Some(out)
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL_EXPERIMENTS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];

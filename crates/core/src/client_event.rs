@@ -8,10 +8,12 @@
 
 use std::collections::BTreeMap;
 
-use uli_dataflow::{DataflowResult, Loader, Tuple, Value};
+use uli_dataflow::{
+    DataflowError, DataflowResult, Loader, ScanOutcome, ScanSpec, Tuple, Value, ZoneColumn,
+};
 use uli_thrift::{
-    CompactReader, CompactWriter, Requiredness, StructDescriptor, TType, ThriftError, ThriftRecord,
-    ThriftResult,
+    CompactReader, CompactWriter, FieldCursor, Requiredness, StructDescriptor, TType, ThriftError,
+    ThriftRecord, ThriftResult,
 };
 
 use crate::event::{EventInitiator, EventName};
@@ -193,6 +195,175 @@ impl Loader for ClientEventLoader {
             Value::Map(details),
         ]))
     }
+
+    fn supports_projection(&self) -> bool {
+        true
+    }
+
+    fn zone_column(&self, col: usize) -> Option<ZoneColumn> {
+        match col {
+            1 => Some(ZoneColumn::Tag), // event name
+            5 => Some(ZoneColumn::Key), // timestamp millis
+            _ => None,
+        }
+    }
+
+    /// Lazy scan: walks the record once with a [`FieldCursor`], performing
+    /// for every known field *the same typed read* the eager decoder does
+    /// (so malformed records fail identically and the stream never
+    /// desynchronizes on type drift), but materializing only projected
+    /// columns. Unprojected slots come back as [`Value::Null`]; the planner
+    /// guarantees nothing downstream reads them.
+    fn scan(&self, record: &[u8], spec: &ScanSpec) -> DataflowResult<ScanOutcome> {
+        let mut keep = [true; 7];
+        if let Some(mask) = &spec.projection {
+            for (k, m) in keep.iter_mut().zip(mask) {
+                *k = *m;
+            }
+        }
+        // Any Thrift error skips the record, exactly as the eager parse does.
+        let Ok(Some((tuple, fields_skipped))) = scan_lazy(record, &keep) else {
+            return Ok(ScanOutcome::skipped());
+        };
+        if tuple.len() != spec.width {
+            return Err(DataflowError::MalformedRecord {
+                loader: self.name(),
+            });
+        }
+        if !spec.admit(&tuple)? {
+            return Ok(ScanOutcome {
+                tuple: None,
+                fields_skipped,
+                skipped_by_predicate: true,
+            });
+        }
+        Ok(ScanOutcome {
+            tuple: Some(tuple),
+            fields_skipped,
+            skipped_by_predicate: false,
+        })
+    }
+}
+
+/// One lazy decode pass. Mirrors [`ClientEvent::read`] byte for byte: the
+/// same typed read per field id (last occurrence wins, an invalid initiator
+/// code or event name makes the field count as missing), unknown ids
+/// structurally skipped, and a missing required field 1–6 dropping the
+/// record (`Ok(None)`). Unprojected strings and map entries are still walked
+/// with validating reads — `skip` would not check UTF-8, and the eager path
+/// does — but never copied out of the record buffer.
+fn scan_lazy(record: &[u8], keep: &[bool; 7]) -> ThriftResult<Option<(Tuple, u64)>> {
+    let mut c = FieldCursor::begin(record)?;
+    let mut initiator: Option<EventInitiator> = None;
+    let mut name: Option<&str> = None;
+    let mut user_id: Option<i64> = None;
+    let mut session: Option<&str> = None;
+    let mut ip: Option<&str> = None;
+    let mut ts: Option<i64> = None;
+    let mut details: Option<BTreeMap<String, String>> = None;
+    while let Some(h) = c.next_field()? {
+        match h.id {
+            1 => {
+                initiator = EventInitiator::from_code(c.reader().read_i8()?);
+                if !keep[0] {
+                    c.note_skipped();
+                }
+            }
+            2 => {
+                let s = c.reader().read_string()?;
+                name = EventName::is_valid(s).then_some(s);
+                if !keep[1] {
+                    c.note_skipped();
+                }
+            }
+            3 => {
+                user_id = Some(c.reader().read_i64()?);
+                if !keep[2] {
+                    c.note_skipped();
+                }
+            }
+            4 => {
+                session = Some(c.reader().read_string()?);
+                if !keep[3] {
+                    c.note_skipped();
+                }
+            }
+            5 => {
+                ip = Some(c.reader().read_string()?);
+                if !keep[4] {
+                    c.note_skipped();
+                }
+            }
+            6 => {
+                ts = Some(c.reader().read_i64()?);
+                if !keep[5] {
+                    c.note_skipped();
+                }
+            }
+            7 => {
+                if keep[6] {
+                    details = Some(c.reader().read_string_map()?);
+                } else {
+                    // Same reads and errors as read_string_map, no allocation.
+                    let (_, _, count) = c.reader().map_begin()?;
+                    for _ in 0..count {
+                        c.reader().read_string()?;
+                        c.reader().read_string()?;
+                    }
+                    c.note_skipped();
+                }
+            }
+            // Unknown ids are skipped by eager and lazy alike: not a
+            // projection saving, so not counted.
+            _ => c.reader().skip(h.ttype)?,
+        }
+    }
+    let fields_skipped = c.fields_skipped();
+    let (Some(initiator), Some(name), Some(user_id), Some(session), Some(ip), Some(ts)) =
+        (initiator, name, user_id, session, ip, ts)
+    else {
+        return Ok(None); // missing required field: eager errors, loader skips
+    };
+    let tuple = vec![
+        if keep[0] {
+            Value::Str(initiator.to_string())
+        } else {
+            Value::Null
+        },
+        if keep[1] {
+            Value::Str(name.to_string())
+        } else {
+            Value::Null
+        },
+        if keep[2] {
+            Value::Int(user_id)
+        } else {
+            Value::Null
+        },
+        if keep[3] {
+            Value::Str(session.to_string())
+        } else {
+            Value::Null
+        },
+        if keep[4] {
+            Value::Str(ip.to_string())
+        } else {
+            Value::Null
+        },
+        if keep[5] { Value::Int(ts) } else { Value::Null },
+        if keep[6] {
+            Value::Map(
+                details
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|(k, v)| (k, Value::Str(v)))
+                    .collect(),
+            )
+        } else {
+            Value::Null
+        },
+    ];
+    Ok(Some((tuple, fields_skipped)))
 }
 
 #[cfg(test)]
@@ -314,6 +485,128 @@ mod tests {
         let bad = r.read_struct_value().unwrap();
         let violations = schema.validate(&bad);
         assert!(!violations.is_empty(), "type drift is reported");
+    }
+
+    #[test]
+    fn lazy_scan_full_projection_matches_eager_parse() {
+        let bytes = sample().to_bytes();
+        let spec = ScanSpec::eager(7);
+        let eager = ClientEventLoader.parse(&bytes).unwrap().unwrap();
+        let lazy = ClientEventLoader.scan(&bytes, &spec).unwrap();
+        assert_eq!(lazy.tuple.as_ref(), Some(&eager));
+        assert_eq!(lazy.fields_skipped, 0);
+        assert!(!lazy.skipped_by_predicate);
+    }
+
+    #[test]
+    fn lazy_scan_projects_and_counts_skips() {
+        let bytes = sample().to_bytes();
+        // Keep name and user_id only.
+        let spec = ScanSpec {
+            projection: Some(vec![false, true, true, false, false, false, false]),
+            predicate: vec![],
+            width: 7,
+        };
+        let out = ClientEventLoader.scan(&bytes, &spec).unwrap();
+        let t = out.tuple.unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Value::Null,
+                Value::str("web:home:mentions:stream:avatar:profile_click"),
+                Value::Int(12345),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ]
+        );
+        assert_eq!(out.fields_skipped, 5, "initiator, session, ip, ts, details");
+    }
+
+    #[test]
+    fn lazy_scan_pushed_predicate_drops_and_counts() {
+        use uli_dataflow::Expr;
+        let bytes = sample().to_bytes();
+        let spec = ScanSpec {
+            projection: None,
+            predicate: vec![Expr::col(2).eq(Expr::lit(999i64))],
+            width: 7,
+        };
+        let out = ClientEventLoader.scan(&bytes, &spec).unwrap();
+        assert!(out.tuple.is_none());
+        assert!(out.skipped_by_predicate);
+        let spec = ScanSpec {
+            projection: None,
+            predicate: vec![Expr::col(2).eq(Expr::lit(12345i64))],
+            width: 7,
+        };
+        let out = ClientEventLoader.scan(&bytes, &spec).unwrap();
+        assert!(out.tuple.is_some());
+        assert!(!out.skipped_by_predicate);
+    }
+
+    #[test]
+    fn lazy_scan_agrees_with_eager_on_malformed_records() {
+        // Garbage, truncation, missing required fields, invalid name, bad
+        // initiator code, and unknown future fields must all land the same
+        // way in both paths.
+        let mut cases: Vec<Vec<u8>> = vec![b"not thrift".to_vec(), Vec::new()];
+        let good = sample().to_bytes();
+        for cut in [1, good.len() / 2, good.len() - 1] {
+            cases.push(good[..cut].to_vec());
+        }
+        let mut w = CompactWriter::new(); // missing fields 2..6
+        w.struct_begin();
+        w.field_i8(1, 0);
+        w.struct_end();
+        cases.push(w.into_bytes());
+        let mut w = CompactWriter::new(); // invalid event name
+        w.struct_begin();
+        w.field_i8(1, 0);
+        w.field_string(2, "not-six-components");
+        w.field_i64(3, 1);
+        w.field_string(4, "s");
+        w.field_string(5, "ip");
+        w.field_i64(6, 0);
+        w.struct_end();
+        cases.push(w.into_bytes());
+        let mut w = CompactWriter::new(); // invalid initiator code
+        w.struct_begin();
+        w.field_i8(1, 99);
+        w.field_string(2, "web:a:b:c:d:click");
+        w.field_i64(3, 1);
+        w.field_string(4, "s");
+        w.field_string(5, "ip");
+        w.field_i64(6, 0);
+        w.struct_end();
+        cases.push(w.into_bytes());
+        let mut w = CompactWriter::new(); // unknown field + duplicate field 3
+        w.struct_begin();
+        w.field_i8(1, 0);
+        w.field_string(2, "web:a:b:c:d:click");
+        w.field_i64(3, 1);
+        w.field_string(4, "s");
+        w.field_string(5, "ip");
+        w.field_i64(6, 0);
+        w.field_string(8, "future");
+        w.struct_end();
+        cases.push(w.into_bytes());
+        cases.push(good);
+        for (i, bytes) in cases.iter().enumerate() {
+            let eager = ClientEventLoader.parse(bytes).unwrap();
+            let lazy = ClientEventLoader.scan(bytes, &ScanSpec::eager(7)).unwrap();
+            assert_eq!(lazy.tuple, eager, "case {i} diverged");
+        }
+    }
+
+    #[test]
+    fn zone_columns_declared() {
+        assert!(ClientEventLoader.supports_projection());
+        assert_eq!(ClientEventLoader.zone_column(1), Some(ZoneColumn::Tag));
+        assert_eq!(ClientEventLoader.zone_column(5), Some(ZoneColumn::Key));
+        assert_eq!(ClientEventLoader.zone_column(0), None);
+        assert_eq!(ClientEventLoader.zone_column(6), None);
     }
 
     #[test]

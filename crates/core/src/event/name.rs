@@ -95,6 +95,21 @@ impl EventName {
         EventName::parse(&parts.join(":"))
     }
 
+    /// True when `s` would parse as a valid name, without allocating.
+    /// Lazy decoders use this to validate a name they are not materializing.
+    pub fn is_valid(s: &str) -> bool {
+        let mut levels = 0usize;
+        let mut last = "";
+        for part in s.split(':') {
+            if levels == COMPONENTS || !component_ok(part) {
+                return false;
+            }
+            levels += 1;
+            last = part;
+        }
+        levels == COMPONENTS && !last.is_empty()
+    }
+
     /// The full name string.
     pub fn as_str(&self) -> &str {
         &self.0
@@ -266,6 +281,28 @@ mod tests {
     fn from_components_round_trips() {
         let n = EventName::from_components(["web", "home", "", "", "tweet", "click"]).unwrap();
         assert_eq!(n.as_str(), "web:home:::tweet:click");
+    }
+
+    #[test]
+    fn is_valid_agrees_with_parse() {
+        for s in [
+            PAPER_EXAMPLE,
+            "iphone:home:::tweet:impression",
+            "web:home:click",
+            "a:b:c:d:e:f:g",
+            "web:home:mentions:stream:avatar:profile_Click",
+            "web:home:mentions:stream:avatar:",
+            "",
+            ":::::click",
+            "::::::",
+            "web:ho me:a:b:c:click",
+        ] {
+            assert_eq!(
+                EventName::is_valid(s),
+                EventName::parse(s).is_ok(),
+                "disagreement on {s:?}"
+            );
+        }
     }
 
     #[test]

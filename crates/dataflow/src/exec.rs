@@ -11,12 +11,15 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use uli_warehouse::{FileBlocks, Parallelism, ScanPool, Warehouse};
+use uli_warehouse::{FileBlocks, Parallelism, ScanPool, Warehouse, ZoneMapPruner};
 
 use crate::error::{DataflowError, DataflowResult};
 use crate::expr::Expr;
 use crate::loader::{BlockPruner, Loader};
 use crate::plan::{Agg, Plan, PlanNode, SortOrder};
+use crate::pushdown::{
+    collect_columns, expr_has_udf, total_boolean, zone_constraints, Pushdown, ScanSpec, ZoneColumn,
+};
 use crate::udf::AggState;
 use crate::value::{tuple_wire_size, Tuple, Value};
 
@@ -45,6 +48,12 @@ pub struct JobStats {
     pub shuffle_bytes: u64,
     /// Rows produced by the query.
     pub output_records: u64,
+    /// Records decoded then dropped by a pushed-down predicate before any
+    /// tuple reached the plan.
+    pub records_skipped_by_predicate: u64,
+    /// Fields a lazy loader skipped without materializing (projection
+    /// pushdown).
+    pub fields_skipped: u64,
 }
 
 /// Cluster constants turning [`JobStats`] into estimated milliseconds.
@@ -123,6 +132,9 @@ pub struct Engine {
     /// Worker threads for the map phase (LOAD → FILTER → FOREACH chains run
     /// per-block on a [`ScanPool`]); results are byte-identical to serial.
     parallelism: Parallelism,
+    /// Which scan-pushdown layers the planner applies; results are
+    /// byte-identical to the eager path at every setting.
+    pushdown: Pushdown,
     /// Records per simulated reduce task.
     reduce_keys_per_task: u64,
 }
@@ -134,6 +146,7 @@ impl Engine {
             warehouse,
             cost: CostModel::default(),
             parallelism: Parallelism::default(),
+            pushdown: Pushdown::default(),
             reduce_keys_per_task: 1 << 20,
         }
     }
@@ -144,6 +157,7 @@ impl Engine {
             warehouse,
             cost,
             parallelism: Parallelism::default(),
+            pushdown: Pushdown::default(),
             reduce_keys_per_task: 1 << 20,
         }
     }
@@ -155,9 +169,21 @@ impl Engine {
         self
     }
 
+    /// Sets the pushdown configuration. `Pushdown::disabled()` restores the
+    /// eager scan path exactly.
+    pub fn with_pushdown(mut self, pushdown: Pushdown) -> Self {
+        self.pushdown = pushdown;
+        self
+    }
+
     /// The configured map-phase parallelism.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// The configured pushdown layers.
+    pub fn pushdown(&self) -> Pushdown {
+        self.pushdown
     }
 
     /// The warehouse this engine scans.
@@ -226,35 +252,43 @@ impl Engine {
                 .pruner
                 .as_ref()
                 .and_then(|p| p.prune(&self.warehouse, file, blocks));
+            if let Some(mask) = &mask {
+                assert_eq!(mask.len(), blocks, "filter length mismatch");
+            }
             let hi = handles.len();
-            match mask {
-                Some(mask) => {
-                    assert_eq!(mask.len(), blocks, "filter length mismatch");
-                    for (bi, keep) in mask.into_iter().enumerate() {
-                        if keep {
-                            work.push((hi, bi));
-                        } else {
-                            handle.skip_block(bi);
-                        }
+            for bi in 0..blocks {
+                // A block excluded by either pruner counts as skipped exactly
+                // once and is never decompressed (or served from cache).
+                if !mask.as_ref().is_none_or(|m| m[bi]) {
+                    handle.skip_block(bi);
+                    continue;
+                }
+                if let Some(zone) = &chain.zone {
+                    if !zone.keep(handle.zone_map(bi).as_ref()) {
+                        handle.skip_block(bi);
+                        continue;
                     }
                 }
-                None => work.extend((0..blocks).map(|bi| (hi, bi))),
+                work.push((hi, bi));
             }
             handles.push(handle);
         }
         let results = ScanPool::new(self.parallelism).map(work, |_, (hi, bi)| {
             let records = handles[hi].read_block(bi)?;
             let mut rows = Vec::with_capacity(records.len());
+            let mut records_skipped = 0u64;
+            let mut fields_skipped = 0u64;
             for record in records {
-                if let Some(tuple) = chain.loader.parse(&record)? {
-                    if tuple.len() != chain.schema_len {
-                        return Err(DataflowError::MalformedRecord {
-                            loader: chain.loader.name(),
-                        });
-                    }
+                let outcome = chain.loader.scan(&record, &chain.spec)?;
+                fields_skipped += outcome.fields_skipped;
+                if outcome.skipped_by_predicate {
+                    records_skipped += 1;
+                }
+                if let Some(tuple) = outcome.tuple {
                     rows.push(tuple);
                 }
             }
+            handles[hi].charge_pushdown(records_skipped, fields_skipped);
             per_block(chain.apply_ops(rows)?)
         });
         // First error in block order, matching what a serial scan surfaces.
@@ -270,12 +304,16 @@ impl Engine {
             delta.blocks_skipped += local.blocks_skipped;
             delta.compressed_bytes_read += local.compressed_bytes_read;
             delta.uncompressed_bytes_read += local.uncompressed_bytes_read;
+            delta.records_skipped_by_predicate += local.records_skipped_by_predicate;
+            delta.fields_skipped += local.fields_skipped;
         }
         stats.input_records += delta.records_read;
         stats.input_blocks += delta.blocks_read;
         stats.blocks_skipped += delta.blocks_skipped;
         stats.input_bytes_compressed += delta.compressed_bytes_read;
         stats.input_bytes_uncompressed += delta.uncompressed_bytes_read;
+        stats.records_skipped_by_predicate += delta.records_skipped_by_predicate;
+        stats.fields_skipped += delta.fields_skipped;
         Ok((
             out,
             MapInput {
@@ -335,8 +373,10 @@ impl Engine {
         // A LOAD → FILTER → FOREACH chain is a pure map phase: run it
         // per-block on the scan pool. Block results concatenate in block
         // order, so rows come out exactly as the serial scan produces them.
-        if !self.parallelism.is_serial() {
-            if let Some(chain) = MapChain::extract(plan) {
+        // Pushdown routes serial engines through the same path (the pool
+        // runs inline at ≤1 worker) so accounting stays worker-invariant.
+        if !self.parallelism.is_serial() || self.pushdown.any() {
+            if let Some(chain) = MapChain::extract(plan, self.pushdown) {
                 let (blocks, pending) = self.exec_chain_blocks(&chain, stats, Ok)?;
                 let mut rows = Vec::with_capacity(blocks.iter().map(Vec::len).sum());
                 for block_rows in blocks {
@@ -439,8 +479,10 @@ impl Engine {
                 // phase — scan, filter, project, map-side combine — per
                 // block in parallel; per-block partial states merge at the
                 // shuffle boundary in block order.
-                if !self.parallelism.is_serial() && aggs.iter().all(|a| a.func.is_algebraic()) {
-                    if let Some(chain) = MapChain::extract(input) {
+                if (!self.parallelism.is_serial() || self.pushdown.any())
+                    && aggs.iter().all(|a| a.func.is_algebraic())
+                {
+                    if let Some(chain) = MapChain::extract(input, self.pushdown) {
                         return self.exec_parallel_aggregate(&chain, keys, aggs, stats);
                     }
                 }
@@ -578,15 +620,33 @@ enum MapOp<'a> {
 struct MapChain<'a> {
     dir: &'a uli_warehouse::WhPath,
     loader: &'a Arc<dyn Loader>,
-    schema_len: usize,
     pruner: &'a Option<Arc<dyn BlockPruner>>,
-    /// Operators in application order (innermost first).
+    /// What the loader is asked to push below tuple materialization.
+    spec: ScanSpec,
+    /// Block-skipping constraints derived from the pushed predicates, when
+    /// they are provably total (pruning can never hide an eval error).
+    zone: Option<ZoneMapPruner>,
+    /// Operators in application order (innermost first), minus any filters
+    /// that were pushed into `spec`.
     ops: Vec<MapOp<'a>>,
 }
 
 impl<'a> MapChain<'a> {
-    /// Extracts the chain if `plan` is Filter/Foreach nodes over a Load.
-    fn extract(plan: &'a Plan) -> Option<MapChain<'a>> {
+    /// Extracts the chain if `plan` is Filter/Foreach nodes over a Load,
+    /// pushing what `config` allows into the scan spec:
+    ///
+    /// * **predicate** — the maximal innermost run of UDF-free filters over
+    ///   in-range columns moves into [`ScanSpec::predicate`] (order
+    ///   preserved; FILTER semantics are replicated exactly by
+    ///   [`ScanSpec::admit`]);
+    /// * **projection** — when the loader decodes lazily and a FOREACH
+    ///   narrows the chain, the spec masks every load column that neither
+    ///   the surviving pre-FOREACH operators, the FOREACH itself, nor the
+    ///   pushed predicates read;
+    /// * **zone maps** — pushed predicates that provably cannot error are
+    ///   analyzed into a [`ZoneMapPruner`] over the loader's declared
+    ///   key/tag columns.
+    fn extract(plan: &'a Plan, config: Pushdown) -> Option<MapChain<'a>> {
         let mut ops = Vec::new();
         let mut node = &plan.node;
         loop {
@@ -606,11 +666,45 @@ impl<'a> MapChain<'a> {
                     pruner,
                 } => {
                     ops.reverse();
+                    let width = schema.len();
+                    let mut spec = ScanSpec::eager(width);
+                    if config.predicate {
+                        let pushed = ops
+                            .iter()
+                            .take_while(|op| match op {
+                                MapOp::Filter(pred) => pushable_predicate(pred, width),
+                                MapOp::Foreach(_) => false,
+                            })
+                            .count();
+                        for op in ops.drain(..pushed) {
+                            let MapOp::Filter(pred) = op else {
+                                unreachable!()
+                            };
+                            spec.predicate.push(pred.clone());
+                        }
+                    }
+                    if config.projection && loader.supports_projection() {
+                        spec.projection = projection_mask(&ops, &spec.predicate, width);
+                    }
+                    let zone = if config.zone_maps
+                        && !spec.predicate.is_empty()
+                        && spec.predicate.iter().all(|p| total_boolean(p, width))
+                    {
+                        let key_col =
+                            (0..width).find(|c| loader.zone_column(*c) == Some(ZoneColumn::Key));
+                        let tag_col =
+                            (0..width).find(|c| loader.zone_column(*c) == Some(ZoneColumn::Tag));
+                        zone_constraints(&spec.predicate, key_col, tag_col)
+                            .filter(|p| !p.is_trivial())
+                    } else {
+                        None
+                    };
                     return Some(MapChain {
                         dir,
                         loader,
-                        schema_len: schema.len(),
                         pruner,
+                        spec,
+                        zone,
                         ops,
                     });
                 }
@@ -650,6 +744,55 @@ impl<'a> MapChain<'a> {
         }
         Ok(rows)
     }
+}
+
+/// True when a filter predicate may move below tuple materialization:
+/// UDF-free (a UDF may panic or keep state) and reading only in-range
+/// columns (so evaluation against the materialized tuple matches eager
+/// evaluation exactly).
+fn pushable_predicate(pred: &Expr, width: usize) -> bool {
+    if expr_has_udf(pred) {
+        return false;
+    }
+    let mut cols = Vec::new();
+    collect_columns(pred, &mut cols);
+    cols.iter().all(|c| *c < width)
+}
+
+/// The keep-mask over the load schema, or `None` when every column is
+/// needed. A mask exists only when a FOREACH bounds the chain's output —
+/// without one the chain yields raw load tuples and any column may be read
+/// upstream. Columns read by the pushed predicates, the pre-FOREACH
+/// operators, or the FOREACH itself stay materialized.
+fn projection_mask(ops: &[MapOp<'_>], pushed: &[Expr], width: usize) -> Option<Vec<bool>> {
+    let first_foreach = ops.iter().position(|op| matches!(op, MapOp::Foreach(_)))?;
+    let mut cols = Vec::new();
+    for op in &ops[..=first_foreach] {
+        match op {
+            MapOp::Filter(pred) => collect_columns(pred, &mut cols),
+            MapOp::Foreach(exprs) => {
+                for (_, e) in exprs.iter() {
+                    collect_columns(e, &mut cols);
+                }
+            }
+        }
+    }
+    for pred in pushed {
+        collect_columns(pred, &mut cols);
+    }
+    // An out-of-range reference will error at eval; fail open so the error
+    // surfaces against a fully materialized tuple, exactly as eager does.
+    if cols.iter().any(|c| *c >= width) {
+        return None;
+    }
+    let mut keep = vec![false; width];
+    for c in cols {
+        keep[c] = true;
+    }
+    if keep.iter().all(|k| *k) {
+        return None;
+    }
+    Some(keep)
 }
 
 /// Map-side accumulation: rows → per-group aggregate states.
@@ -917,6 +1060,155 @@ mod tests {
         let mut more_bytes = base;
         more_bytes.input_bytes_uncompressed = 1 << 32;
         assert!(m.estimate_ms(&more_bytes) > m.estimate_ms(&base));
+    }
+
+    #[test]
+    fn pushed_filter_matches_eager_and_counts_records() {
+        let (wh, dir) = fixture();
+        let eager_engine = Engine::new(wh).with_pushdown(Pushdown::disabled());
+        let plan = load(&dir).filter(Expr::col(1).eq(Expr::lit("click")));
+        let eager = eager_engine.run(&plan).unwrap();
+        let (wh2, _) = fixture();
+        let pushed_engine = Engine::new(wh2); // pushdown on by default
+        let pushed = pushed_engine.run(&plan).unwrap();
+        assert_eq!(eager.rows, pushed.rows);
+        assert_eq!(eager.stats.records_skipped_by_predicate, 0);
+        assert_eq!(pushed.stats.records_skipped_by_predicate, 200);
+        assert_eq!(
+            pushed.stats.input_records, 300,
+            "skipped records still read"
+        );
+    }
+
+    #[test]
+    fn udf_predicates_are_not_pushed() {
+        use crate::udf::ScalarUdf;
+        struct IsClick;
+        impl ScalarUdf for IsClick {
+            fn name(&self) -> &'static str {
+                "IS_CLICK"
+            }
+            fn eval(&self, args: &[Value]) -> DataflowResult<Value> {
+                Ok(Value::Bool(args[0] == Value::str("click")))
+            }
+        }
+        let (wh, dir) = fixture();
+        let engine = Engine::new(wh);
+        let plan = load(&dir).filter(Expr::udf(Arc::new(IsClick), vec![Expr::col(1)]));
+        let r = engine.run(&plan).unwrap();
+        assert_eq!(r.rows.len(), 100);
+        assert_eq!(r.stats.records_skipped_by_predicate, 0, "UDF stays eager");
+    }
+
+    #[test]
+    fn filters_behind_a_udf_filter_stay_unpushed() {
+        // Only the innermost run of pushable filters moves; a later cheap
+        // filter above a UDF filter must not leapfrog it.
+        use crate::udf::ScalarUdf;
+        struct AlwaysTrue;
+        impl ScalarUdf for AlwaysTrue {
+            fn name(&self) -> &'static str {
+                "TRUE"
+            }
+            fn eval(&self, _: &[Value]) -> DataflowResult<Value> {
+                Ok(Value::Bool(true))
+            }
+        }
+        let (wh, dir) = fixture();
+        let engine = Engine::new(wh);
+        let plan = load(&dir)
+            .filter(Expr::col(1).eq(Expr::lit("click"))) // pushed
+            .filter(Expr::udf(Arc::new(AlwaysTrue), vec![])) // blocks
+            .filter(Expr::col(0).eq(Expr::lit(0i64))); // stays
+        let r = engine.run(&plan).unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.stats.records_skipped_by_predicate, 200, "only filter 1");
+    }
+
+    /// CSV loader that declares its third column as the zone-map key.
+    struct ZonedCsv(CsvLoader);
+    impl Loader for ZonedCsv {
+        fn name(&self) -> &'static str {
+            "ZonedCsv"
+        }
+        fn parse(&self, record: &[u8]) -> DataflowResult<Option<Tuple>> {
+            self.0.parse(record)
+        }
+        fn zone_column(&self, col: usize) -> Option<ZoneColumn> {
+            (col == 2).then_some(ZoneColumn::Key)
+        }
+    }
+
+    fn zoned_fixture() -> (Warehouse, WhPath) {
+        let wh = Warehouse::with_block_capacity(512);
+        let dir = WhPath::parse("/logs/z").unwrap();
+        let mut w = wh.create(&dir.child("part-0").unwrap()).unwrap();
+        for i in 0..300i64 {
+            let action = if i % 3 == 0 { "click" } else { "impression" };
+            w.append_record_annotated(format!("{},{},{}", i % 10, action, i).as_bytes(), i, 0);
+        }
+        w.finish().unwrap();
+        (wh, dir)
+    }
+
+    fn zoned_load(dir: &WhPath) -> Plan {
+        Plan::load(
+            dir.clone(),
+            Arc::new(ZonedCsv(CsvLoader::new(3))),
+            vec!["user", "action", "amount"],
+        )
+    }
+
+    #[test]
+    fn zone_maps_skip_blocks_outside_the_key_range() {
+        let (wh, dir) = zoned_fixture();
+        let engine = Engine::new(wh);
+        let plan = zoned_load(&dir).filter(Expr::col(2).ge(Expr::lit(250i64)));
+        let r = engine.run(&plan).unwrap();
+        assert_eq!(r.rows.len(), 50);
+        assert!(r.stats.blocks_skipped > 0, "leading blocks pruned");
+        // Eager reference on identical data.
+        let (wh2, dir2) = zoned_fixture();
+        let eager = Engine::new(wh2)
+            .with_pushdown(Pushdown::disabled())
+            .run(&zoned_load(&dir2).filter(Expr::col(2).ge(Expr::lit(250i64))))
+            .unwrap();
+        assert_eq!(eager.rows, r.rows);
+        assert_eq!(eager.stats.blocks_skipped, 0);
+        assert!(r.stats.input_blocks < eager.stats.input_blocks);
+    }
+
+    #[test]
+    fn zone_pruning_requires_total_predicates() {
+        // An arithmetic predicate may type-error, so no block is pruned even
+        // though it constrains the key column.
+        let (wh, dir) = zoned_fixture();
+        let engine = Engine::new(wh);
+        let plan = zoned_load(&dir).filter(Expr::col(2).add(Expr::lit(0i64)).ge(Expr::lit(250i64)));
+        let r = engine.run(&plan).unwrap();
+        assert_eq!(r.rows.len(), 50);
+        assert_eq!(r.stats.blocks_skipped, 0, "non-total predicate: fail open");
+    }
+
+    #[test]
+    fn serial_and_parallel_pushdown_agree_on_rows_and_accounting() {
+        let plan_of = |dir: &WhPath| {
+            zoned_load(dir)
+                .filter(Expr::col(2).ge(Expr::lit(100i64)))
+                .aggregate_by(vec![0], vec![Agg::count()])
+        };
+        let (wh, dir) = zoned_fixture();
+        let serial = Engine::new(wh)
+            .with_parallelism(Parallelism::fixed(1))
+            .run(&plan_of(&dir))
+            .unwrap();
+        let (wh2, dir2) = zoned_fixture();
+        let parallel = Engine::new(wh2)
+            .with_parallelism(Parallelism::fixed(4))
+            .run(&plan_of(&dir2))
+            .unwrap();
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(serial.stats, parallel.stats);
     }
 
     #[test]

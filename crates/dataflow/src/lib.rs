@@ -50,6 +50,7 @@ pub mod exec;
 pub mod expr;
 pub mod loader;
 pub mod plan;
+pub mod pushdown;
 pub mod script;
 pub mod udf;
 pub mod value;
@@ -59,6 +60,7 @@ pub use exec::{CostModel, Engine, JobStats, QueryResult};
 pub use expr::Expr;
 pub use loader::{BlockPruner, CsvLoader, Loader};
 pub use plan::{Agg, Plan, SortOrder};
+pub use pushdown::{Pushdown, ScanOutcome, ScanSpec, ZoneColumn};
 pub use script::{ScriptError, ScriptOutput, ScriptRunner};
 pub use udf::{AggFunc, ScalarUdf};
 pub use uli_warehouse::{Parallelism, ScanPool};
@@ -70,6 +72,7 @@ pub mod prelude {
     pub use crate::expr::Expr;
     pub use crate::loader::{BlockPruner, CsvLoader, Loader};
     pub use crate::plan::{Agg, Plan, SortOrder};
+    pub use crate::pushdown::{Pushdown, ScanOutcome, ScanSpec, ZoneColumn};
     pub use crate::script::{ScriptError, ScriptOutput, ScriptRunner};
     pub use crate::udf::{AggFunc, ScalarUdf};
     pub use crate::value::{Tuple, Value};

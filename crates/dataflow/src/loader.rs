@@ -9,7 +9,8 @@
 //! "integrate with Hadoop at the level of InputFormats", so a pruner decides
 //! per file which blocks a scan may skip *before* decompression.
 
-use crate::error::DataflowResult;
+use crate::error::{DataflowError, DataflowResult};
+use crate::pushdown::{ScanOutcome, ScanSpec, ZoneColumn};
 use crate::value::{Tuple, Value};
 use uli_warehouse::{Warehouse, WhPath};
 
@@ -21,6 +22,47 @@ pub trait Loader: Send + Sync {
     /// Parses one record. `Ok(None)` skips the record silently (e.g. a
     /// marker or corrupt line the loader chooses to tolerate).
     fn parse(&self, record: &[u8]) -> DataflowResult<Option<Tuple>>;
+
+    /// True when this loader honors [`ScanSpec::projection`] by decoding
+    /// lazily. The default eager loader ignores projections, so the planner
+    /// must not mask columns for it.
+    fn supports_projection(&self) -> bool {
+        false
+    }
+
+    /// Maps a load-schema column to the zone-map dimension the writer
+    /// annotated it with, if any. Only loaders whose records are written
+    /// through the annotated path return `Some`.
+    fn zone_column(&self, _col: usize) -> Option<ZoneColumn> {
+        None
+    }
+
+    /// Scans one record under a [`ScanSpec`]: parse (lazily, if supported),
+    /// evaluate pushed predicates, and report what was skipped. The default
+    /// implementation parses eagerly and applies the predicates afterwards —
+    /// byte-identical to the unpushed path for any loader.
+    fn scan(&self, record: &[u8], spec: &ScanSpec) -> DataflowResult<ScanOutcome> {
+        let Some(tuple) = self.parse(record)? else {
+            return Ok(ScanOutcome::skipped());
+        };
+        if tuple.len() != spec.width {
+            return Err(DataflowError::MalformedRecord {
+                loader: self.name(),
+            });
+        }
+        if !spec.admit(&tuple)? {
+            return Ok(ScanOutcome {
+                tuple: None,
+                fields_skipped: 0,
+                skipped_by_predicate: true,
+            });
+        }
+        Ok(ScanOutcome {
+            tuple: Some(tuple),
+            fields_skipped: 0,
+            skipped_by_predicate: false,
+        })
+    }
 }
 
 /// Decides which blocks of a file a scan must read.

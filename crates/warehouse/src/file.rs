@@ -11,6 +11,7 @@ use crate::cache::{BlockCache, BlockKey};
 use crate::compress;
 use crate::error::{WarehouseError, WarehouseResult};
 use crate::stats::{ScanStats, StatsCell};
+use crate::zone::ZoneMap;
 
 /// FNV-1a 64-bit hash, used as a block checksum.
 pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -58,6 +59,9 @@ pub(crate) struct Block {
     pub(crate) uncompressed_len: u64,
     pub(crate) checksum: u64,
     pub(crate) num_records: u64,
+    /// Zone-map footer entry. Present only when *every* record in the block
+    /// was appended with annotations; absent zones fail open (always read).
+    pub(crate) zone: Option<ZoneMap>,
 }
 
 /// Immutable contents of a finished file.
@@ -101,6 +105,8 @@ pub struct RecordFileWriter {
     pub(crate) block_capacity: usize,
     pub(crate) pending: Vec<u8>,
     pub(crate) pending_records: u64,
+    pub(crate) pending_zone: ZoneMap,
+    pub(crate) pending_annotated: u64,
     pub(crate) data: FileData,
 }
 
@@ -113,6 +119,17 @@ impl RecordFileWriter {
         if self.pending.len() >= self.block_capacity {
             self.seal_block();
         }
+    }
+
+    /// Appends one record with zone-map annotations: the block being built
+    /// folds `key` into its min/max range and `tag` into its membership
+    /// bitmap. A block sealed with every record annotated gets a zone map in
+    /// the file footer; mixing annotated and plain appends leaves the block
+    /// unmapped (fail open).
+    pub fn append_record_annotated(&mut self, record: &[u8], key: i64, tag: u64) {
+        self.pending_zone.fold(key, tag);
+        self.pending_annotated += 1;
+        self.append_record(record);
     }
 
     /// Number of records appended so far.
@@ -129,14 +146,19 @@ impl RecordFileWriter {
         self.data.total_compressed += compressed.len() as u64;
         self.data.total_uncompressed += self.pending.len() as u64;
         self.data.total_records += self.pending_records;
+        let zone = (self.pending_records > 0 && self.pending_annotated == self.pending_records)
+            .then_some(self.pending_zone);
         self.data.blocks.push(Block {
             compressed,
             uncompressed_len: self.pending.len() as u64,
             checksum,
             num_records: self.pending_records,
+            zone,
         });
         self.pending.clear();
         self.pending_records = 0;
+        self.pending_zone = ZoneMap::empty();
+        self.pending_annotated = 0;
     }
 
     /// Seals the final block and installs the file in the warehouse.
@@ -389,11 +411,24 @@ impl FileBlocks {
         Ok(records)
     }
 
+    /// Zone map of block `idx`, if the block was written fully annotated.
+    pub fn zone_map(&self, idx: usize) -> Option<ZoneMap> {
+        self.data.blocks.get(idx).and_then(|b| b.zone)
+    }
+
     /// Records that block `idx` was skipped without decompression (index
     /// pushdown in a parallel scan).
     pub fn skip_block(&self, _idx: usize) {
         self.stats.block_skipped();
         self.local.block_skipped();
+    }
+
+    /// Charges pushdown accounting (records dropped by a pushed predicate,
+    /// fields a lazy decoder never materialized) to both the warehouse-global
+    /// counters and this handle's local cell.
+    pub fn charge_pushdown(&self, records_skipped: u64, fields_skipped: u64) {
+        self.stats.pushdown_skips(records_skipped, fields_skipped);
+        self.local.pushdown_skips(records_skipped, fields_skipped);
     }
 
     /// Snapshot of this handle's own counters (shared by its clones):

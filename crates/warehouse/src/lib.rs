@@ -51,6 +51,7 @@ pub mod path;
 pub mod pool;
 pub mod stats;
 pub mod store;
+pub mod zone;
 
 pub use cache::{BlockCache, CacheStats, DEFAULT_CACHE_CAPACITY};
 pub use columnar::{ColumnarReader, ColumnarScanStats, ColumnarWriter};
@@ -61,3 +62,4 @@ pub use path::WhPath;
 pub use pool::{Parallelism, ScanPool};
 pub use stats::ScanStats;
 pub use store::{FileMeta, Warehouse};
+pub use zone::{tag_hash, ZoneMap, ZoneMapPruner};

@@ -29,6 +29,12 @@ pub struct ScanStats {
     pub cache_hits: u64,
     /// Blocks that had to be decompressed because the cache missed.
     pub cache_misses: u64,
+    /// Records decoded but dropped by a pushed-down predicate before any
+    /// tuple reached the query plan.
+    pub records_skipped_by_predicate: u64,
+    /// Individual fields a lazy decoder skipped without materializing,
+    /// thanks to projection pushdown.
+    pub fields_skipped: u64,
 }
 
 impl ScanStats {
@@ -43,6 +49,9 @@ impl ScanStats {
             blocks_skipped: self.blocks_skipped - earlier.blocks_skipped,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
+            records_skipped_by_predicate: self.records_skipped_by_predicate
+                - earlier.records_skipped_by_predicate,
+            fields_skipped: self.fields_skipped - earlier.fields_skipped,
         }
     }
 
@@ -68,6 +77,8 @@ pub(crate) struct StatsCell {
     blocks_skipped: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    records_skipped_by_predicate: AtomicU64,
+    fields_skipped: AtomicU64,
 }
 
 impl StatsCell {
@@ -81,6 +92,8 @@ impl StatsCell {
             blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            records_skipped_by_predicate: self.records_skipped_by_predicate.load(Ordering::Relaxed),
+            fields_skipped: self.fields_skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -93,6 +106,9 @@ impl StatsCell {
         self.blocks_skipped.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.records_skipped_by_predicate
+            .store(0, Ordering::Relaxed);
+        self.fields_skipped.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn file_opened(&self) {
@@ -130,6 +146,15 @@ impl StatsCell {
 
     pub(crate) fn block_skipped(&self) {
         self.blocks_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pushdown accounting: records dropped by a pushed predicate and fields
+    /// a lazy decoder never materialized.
+    pub(crate) fn pushdown_skips(&self, records_skipped: u64, fields_skipped: u64) {
+        self.records_skipped_by_predicate
+            .fetch_add(records_skipped, Ordering::Relaxed);
+        self.fields_skipped
+            .fetch_add(fields_skipped, Ordering::Relaxed);
     }
 }
 
@@ -181,6 +206,20 @@ mod tests {
         assert_eq!(s.uncompressed_bytes_read, 800);
         assert_eq!(s.records_read, 7);
         assert!((s.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pushdown_counters_accumulate_and_subtract() {
+        let cell = StatsCell::default();
+        cell.pushdown_skips(3, 40);
+        let before = cell.snapshot();
+        cell.pushdown_skips(2, 2);
+        let s = cell.snapshot();
+        assert_eq!(s.records_skipped_by_predicate, 5);
+        assert_eq!(s.fields_skipped, 42);
+        let delta = s.since(&before);
+        assert_eq!(delta.records_skipped_by_predicate, 2);
+        assert_eq!(delta.fields_skipped, 2);
     }
 
     #[test]

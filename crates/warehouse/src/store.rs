@@ -11,6 +11,7 @@ use crate::error::{WarehouseError, WarehouseResult};
 use crate::file::{FileBlocks, FileData, RecordFileReader, RecordFileWriter};
 use crate::path::WhPath;
 use crate::stats::{ScanStats, StatsCell};
+use crate::zone::ZoneMap;
 
 pub use crate::file::FileMeta;
 
@@ -244,6 +245,8 @@ impl Warehouse {
             block_capacity: self.block_capacity,
             pending: Vec::with_capacity(self.block_capacity),
             pending_records: 0,
+            pending_zone: ZoneMap::empty(),
+            pending_annotated: 0,
             data: FileData::default(),
         })
     }
@@ -657,6 +660,76 @@ mod tests {
             wh.open_blocks(&p("/missing")),
             Err(WarehouseError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn annotated_writes_produce_zone_maps() {
+        use crate::zone::{tag_hash, ZoneMapPruner};
+        let wh = Warehouse::with_block_capacity(128);
+        let mut w = wh.create(&p("/f")).unwrap();
+        for i in 0..100i64 {
+            let tag = if i % 2 == 0 { b"even".as_ref() } else { b"odd" };
+            w.append_record_annotated(format!("record-{i:06}").as_bytes(), 1000 + i, tag_hash(tag));
+        }
+        let meta = w.finish().unwrap();
+        assert!(meta.blocks >= 4);
+        let fb = wh.open_blocks(&p("/f")).unwrap();
+        let mut covered = 0u64;
+        let mut prev_max = i64::MIN;
+        for idx in 0..fb.block_count() {
+            let z = fb.zone_map(idx).expect("every block fully annotated");
+            assert_eq!(z.records, fb.block_records(idx));
+            assert!(z.min_key >= 1000 && z.max_key <= 1099);
+            assert!(z.min_key > prev_max, "keys written in order");
+            prev_max = z.max_key;
+            assert!(z.may_contain_tag(tag_hash(b"even")));
+            covered += z.records;
+        }
+        assert_eq!(covered, 100);
+        // A pruner over a disjoint key range skips every block.
+        let pruner = ZoneMapPruner {
+            min_key: Some(5000),
+            ..Default::default()
+        };
+        assert!((0..fb.block_count()).all(|i| !pruner.keep(fb.zone_map(i).as_ref())));
+    }
+
+    #[test]
+    fn mixed_appends_leave_block_unmapped() {
+        let wh = Warehouse::with_block_capacity(1 << 20);
+        let mut w = wh.create(&p("/f")).unwrap();
+        w.append_record_annotated(b"a", 1, 2);
+        w.append_record(b"b"); // plain append poisons the pending zone
+        w.finish().unwrap();
+        let fb = wh.open_blocks(&p("/f")).unwrap();
+        assert_eq!(fb.block_count(), 1);
+        assert!(fb.zone_map(0).is_none(), "partial annotation → no zone map");
+    }
+
+    #[test]
+    fn pruned_block_in_cache_counts_skip_not_hit() {
+        // Regression: a block that the pruner skips must count once as
+        // blocks_skipped and never as a cache hit, even when a previous scan
+        // left its payload in the block cache.
+        let wh = Warehouse::with_block_capacity(128);
+        write_records(&wh, "/f", 100);
+        let fb = wh.open_blocks(&p("/f")).unwrap();
+        assert!(fb.block_count() >= 2);
+        for idx in 0..fb.block_count() {
+            fb.read_block(idx).unwrap(); // warm the cache
+        }
+        wh.reset_stats();
+        let fb2 = wh.open_blocks(&p("/f")).unwrap();
+        fb2.skip_block(0); // pruned despite being cached
+        fb2.read_block(1).unwrap();
+        let s = wh.stats();
+        assert_eq!(s.blocks_skipped, 1, "skip counted exactly once");
+        assert_eq!(s.cache_hits, 1, "only the genuinely read block hits");
+        assert_eq!(s.blocks_read, 1);
+        assert_eq!(s.compressed_bytes_read, 0);
+        let local = fb2.local_stats();
+        assert_eq!(local.blocks_skipped, 1);
+        assert_eq!(local.cache_hits, 1);
     }
 
     #[test]

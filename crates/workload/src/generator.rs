@@ -296,7 +296,13 @@ pub fn write_client_events(
     files_per_hour: usize,
 ) -> WarehouseResult<u64> {
     write_partitioned(warehouse, events, files_per_hour, |ev| {
-        (CLIENT_EVENTS_CATEGORY.to_string(), ev.to_bytes())
+        // Annotate every record so sealed blocks carry zone maps: timestamp
+        // as the key dimension, event name as the tag dimension.
+        let zone = Some((
+            ev.timestamp.millis(),
+            uli_warehouse::tag_hash(ev.name.as_str().as_bytes()),
+        ));
+        (CLIENT_EVENTS_CATEGORY.to_string(), ev.to_bytes(), zone)
     })
 }
 
@@ -312,7 +318,9 @@ pub fn write_legacy_events(
 ) -> WarehouseResult<u64> {
     write_partitioned(warehouse, events, files_per_hour, |ev| {
         let cat = legacy_category_for(ev);
-        (cat.category_name().to_string(), cat.encode(ev))
+        // Legacy categories predate zone maps: no annotations, so their
+        // blocks fail open (are always read) under zone-map pruning.
+        (cat.category_name().to_string(), cat.encode(ev), None)
     })
 }
 
@@ -331,18 +339,19 @@ fn write_partitioned(
     warehouse: &Warehouse,
     events: &[ClientEvent],
     files_per_hour: usize,
-    encode: impl Fn(&ClientEvent) -> (String, Vec<u8>),
+    encode: impl Fn(&ClientEvent) -> (String, Vec<u8>, Option<(i64, u64)>),
 ) -> WarehouseResult<u64> {
     assert!(files_per_hour > 0);
-    // (category, hour) → per-file buckets.
-    let mut buckets: BTreeMap<(String, u64), Vec<Vec<Vec<u8>>>> = BTreeMap::new();
+    // (category, hour) → per-file buckets of (record, zone annotation).
+    type Bucket = Vec<Vec<(Vec<u8>, Option<(i64, u64)>)>>;
+    let mut buckets: BTreeMap<(String, u64), Bucket> = BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
-        let (category, bytes) = encode(ev);
+        let (category, bytes, zone) = encode(ev);
         let hour = ev.timestamp.hour_index();
         let files = buckets
             .entry((category, hour))
             .or_insert_with(|| vec![Vec::new(); files_per_hour]);
-        files[i % files_per_hour].push(bytes);
+        files[i % files_per_hour].push((bytes, zone));
     }
     let mut written = 0u64;
     for ((category, hour), files) in buckets {
@@ -353,8 +362,11 @@ fn write_partitioned(
             }
             let path = dir.child(&format!("part-{i:05}")).expect("valid name");
             let mut w = warehouse.create(&path)?;
-            for r in &records {
-                w.append_record(r);
+            for (r, zone) in &records {
+                match zone {
+                    Some((key, tag)) => w.append_record_annotated(r, *key, *tag),
+                    None => w.append_record(r),
+                }
                 written += 1;
             }
             w.finish()?;

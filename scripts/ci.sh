@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== repro smoke (e14 parallel sweep, e15 pushdown sweep)"
+cargo run --release -q -p uli-bench --bin repro -- --smoke e14 e15
+
 echo "ci: all green"

@@ -16,7 +16,10 @@
 //!
 //! Common flags: `--users N` (default 300), `--seed S`, `--days D`,
 //! `--workers W` (scan/execute worker threads; default: all cores, `1`
-//! restores the serial path — results are identical either way).
+//! restores the serial path — results are identical either way),
+//! `--no-pushdown` (disable projection/predicate pushdown and zone-map
+//! pruning in `script` queries; results are identical, only the amount of
+//! decode work changes).
 
 use std::process::ExitCode;
 
@@ -30,6 +33,7 @@ struct Cli {
     seed: u64,
     days: u64,
     workers: Option<usize>,
+    pushdown: bool,
     depth: usize,
     search: Option<String>,
     browse: Option<String>,
@@ -46,6 +50,7 @@ fn parse_args() -> Result<Cli, String> {
         seed: 0x7717_7e4a,
         days: 1,
         workers: None,
+        pushdown: true,
         depth: 3,
         search: None,
         browse: None,
@@ -62,6 +67,7 @@ fn parse_args() -> Result<Cli, String> {
             "--workers" => {
                 cli.workers = Some(value("--workers")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--no-pushdown" => cli.pushdown = false,
             "--depth" => cli.depth = value("--depth")?.parse().map_err(|e| format!("{e}"))?,
             "--search" => cli.search = Some(value("--search")?),
             "--browse" => cli.browse = Some(value("--browse")?),
@@ -134,7 +140,16 @@ fn cmd_script(cli: &Cli) -> Result<(), String> {
     let dict = Materializer::new(wh.clone())
         .load_dictionary(0)
         .expect("materialized");
-    let mut runner = ScriptRunner::new(Engine::new(wh).with_parallelism(parallelism(cli)));
+    let pushdown = if cli.pushdown {
+        Pushdown::default()
+    } else {
+        Pushdown::disabled()
+    };
+    let mut runner = ScriptRunner::new(
+        Engine::new(wh)
+            .with_parallelism(parallelism(cli))
+            .with_pushdown(pushdown),
+    );
     register_analytics(&mut runner, dict);
     runner.set_param("DATE", "2012/08/01");
     for (k, v) in &cli.params {
