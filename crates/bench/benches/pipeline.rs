@@ -64,7 +64,7 @@ fn bench_mover_merge(c: &mut Criterion) {
     g.bench_function("merge_40_files_10k_records", |b| {
         b.iter_batched(
             || LogMover::new(Warehouse::new(), 5_000),
-            |mover| {
+            |mut mover| {
                 black_box(
                     mover
                         .move_hour(&partition, &[("dc0", &staging)])

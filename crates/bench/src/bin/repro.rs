@@ -76,6 +76,15 @@ fn main() -> ExitCode {
             }
             continue;
         }
+        if id == "e16" {
+            // The chaos sweep scales by seed count; smoke keeps CI fast
+            // while still exercising the checker and the negative control.
+            use uli_bench::experiments::e16_chaos as e16;
+            let report = if smoke { e16::run_with(8) } else { e16::run() };
+            println!("{}", "=".repeat(74));
+            println!("{report}");
+            continue;
+        }
         match uli_bench::run_experiment(id) {
             Some(report) => {
                 println!("{}", "=".repeat(74));

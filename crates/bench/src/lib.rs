@@ -26,12 +26,14 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e13" => experiments::e13_layouts::run(),
         "e14" => experiments::e14_parallel::run(),
         "e15" => experiments::e15_pushdown::run(),
+        "e16" => experiments::e16_chaos::run(),
         _ => return None,
     };
     Some(out)
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];

@@ -307,6 +307,12 @@ impl Session {
         self.sid
     }
 
+    /// True while the session has not expired. Clients use this to decide
+    /// whether to reconnect and re-create their ephemerals.
+    pub fn is_live(&self) -> bool {
+        self.state.lock().live_sessions.contains(&self.sid)
+    }
+
     fn check_live(&self, st: &State) -> CoordResult<()> {
         if st.live_sessions.contains(&self.sid) {
             Ok(())

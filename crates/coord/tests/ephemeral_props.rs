@@ -1,0 +1,170 @@
+//! Property-based tests for ephemeral-node semantics — the contract the
+//! Scribe daemons and aggregators lean on for discovery and failover.
+//!
+//! For arbitrary interleavings of sessions, ephemeral creations, and
+//! expiries, the service must:
+//!
+//! * delete exactly the expired sessions' ephemerals (live sessions keep
+//!   theirs, persistents survive everything);
+//! * fire an armed exists/data watch on a deleted znode **exactly once**,
+//!   even when one expiry kills several znodes;
+//! * fire a one-shot children watch at most once per arming;
+//! * drop the dead session's own watch registrations (no posthumous
+//!   events) and fail every later call with `SessionExpired`.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use uli_coord::{CoordError, CoordService, CreateMode, WatchEventKind};
+
+const REGISTRY: &str = "/chaos/registry";
+
+fn arb_plan() -> impl Strategy<Value = (Vec<u8>, Vec<bool>)> {
+    // Per session: how many ephemerals it creates (0..=3); and whether it
+    // expires. Up to 5 sessions.
+    prop::collection::vec((0u8..4, any::<bool>()), 1..6).prop_map(|v| v.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn expiry_deletes_ephemerals_and_fires_watches_exactly_once(
+        (nodes_per_session, expire) in arb_plan()
+    ) {
+        let svc = CoordService::new();
+        let watcher = svc.connect();
+        watcher.create("/chaos", Vec::new(), CreateMode::Persistent).unwrap();
+        watcher.create(REGISTRY, Vec::new(), CreateMode::Persistent).unwrap();
+
+        // Each session registers its ephemerals, like aggregators would.
+        let mut owned: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        let sessions: Vec<_> = nodes_per_session
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let s = svc.connect();
+                let mut paths = Vec::new();
+                for _ in 0..n {
+                    let path = s
+                        .create(
+                            &format!("{REGISTRY}/member-"),
+                            b"endpoint".to_vec(),
+                            CreateMode::EphemeralSequential,
+                        )
+                        .unwrap();
+                    paths.push(path);
+                }
+                owned.insert(i, paths);
+                s
+            })
+            .collect();
+
+        // The watcher arms one exists-watch per znode and a single
+        // one-shot children watch on the registry.
+        for paths in owned.values() {
+            for p in paths {
+                watcher.watch_exists(p).unwrap();
+            }
+        }
+        watcher.watch_children(REGISTRY).unwrap();
+
+        // A doomed session arms watches too; they must die with it.
+        let doomed_watcher = svc.connect();
+        doomed_watcher.watch_children(REGISTRY).unwrap();
+        svc.expire_session(doomed_watcher.id());
+
+        let mut expected_deleted: Vec<String> = Vec::new();
+        for (i, s) in sessions.iter().enumerate() {
+            if expire[i] {
+                svc.expire_session(s.id());
+                expected_deleted.extend(owned[&i].iter().cloned());
+            }
+        }
+
+        // Count events per path: every watched-and-deleted znode fires
+        // exactly once; nothing else fires at all.
+        let mut deleted_events: BTreeMap<String, u32> = BTreeMap::new();
+        let mut children_events = 0u32;
+        while let Some(ev) = watcher.poll_event() {
+            match ev.kind {
+                WatchEventKind::NodeDeleted => {
+                    *deleted_events.entry(ev.path.clone()).or_insert(0) += 1;
+                }
+                WatchEventKind::NodeChildrenChanged => {
+                    prop_assert_eq!(&ev.path, REGISTRY);
+                    children_events += 1;
+                }
+                other => prop_assert!(false, "unexpected event kind {:?}", other),
+            }
+        }
+        for p in &expected_deleted {
+            prop_assert_eq!(
+                deleted_events.get(p).copied().unwrap_or(0),
+                1,
+                "znode {} must fire its watch exactly once",
+                p
+            );
+        }
+        prop_assert_eq!(
+            deleted_events.len(),
+            expected_deleted.len(),
+            "no deletion events for surviving znodes"
+        );
+        let any_deleted = !expected_deleted.is_empty();
+        prop_assert_eq!(
+            children_events,
+            u32::from(any_deleted),
+            "one-shot children watch fires at most once per arming"
+        );
+
+        // Survivors keep their znodes; the registry lists exactly them.
+        let mut expected_members: Vec<String> = Vec::new();
+        for (i, paths) in &owned {
+            if !expire[*i] {
+                for p in paths {
+                    prop_assert!(watcher.exists(p).unwrap().is_some());
+                    expected_members.push(p.rsplit('/').next().unwrap().to_string());
+                }
+            }
+        }
+        let mut members = watcher.get_children(REGISTRY).unwrap();
+        members.sort();
+        expected_members.sort();
+        prop_assert_eq!(members, expected_members);
+
+        // Expired sessions fail on every subsequent call.
+        for (i, s) in sessions.iter().enumerate() {
+            if expire[i] {
+                prop_assert_eq!(
+                    s.get_children(REGISTRY).unwrap_err(),
+                    CoordError::SessionExpired
+                );
+                prop_assert_eq!(
+                    s.create("/x", Vec::new(), CreateMode::Ephemeral).unwrap_err(),
+                    CoordError::SessionExpired
+                );
+            }
+        }
+
+        // Re-arming after a fire works: the watch is one-shot, not dead.
+        // (Only meaningful when the original arming was consumed above —
+        // otherwise re-arming would stack a second registration.)
+        if let Some((i, s)) = sessions
+            .iter()
+            .enumerate()
+            .find(|(i, _)| any_deleted && !expire[*i] && !owned[i].is_empty())
+        {
+            watcher.watch_children(REGISTRY).unwrap();
+            svc.expire_session(s.id());
+            let mut fired = 0;
+            while let Some(ev) = watcher.poll_event() {
+                if ev.kind == WatchEventKind::NodeChildrenChanged {
+                    fired += 1;
+                }
+            }
+            prop_assert_eq!(fired, 1, "re-armed children watch fires again: {}", i);
+        }
+    }
+}

@@ -4,16 +4,23 @@
 //! write the merged results to HDFS (of the staging Hadoop cluster),
 //! compressing data on the fly" (§2), advertise themselves with an ephemeral
 //! znode, and "buffer data on local disk in case of HDFS outages".
+//!
+//! The ephemeral znode stores the aggregator's network endpoint as its
+//! data. When the coordination session expires (missed heartbeats rather
+//! than a real crash), [`Aggregator::heartbeat`] re-registers under a fresh
+//! member name with the *same* endpoint, so daemons rediscover the same
+//! channel and in-flight packets stay deliverable.
 
 use std::collections::BTreeMap;
 
 use crossbeam::channel::Receiver;
-use uli_coord::{CoordService, CreateMode, Session};
+use uli_coord::{CoordService, CreateMode, Session, SessionId};
 use uli_warehouse::{HourlyPartition, Warehouse, WarehouseError};
 
 use crate::config::{CategoryRegistry, Disposition};
-use crate::message::LogEntry;
+use crate::message::{EntryId, LogEntry};
 use crate::network::Network;
+use crate::staged;
 
 /// Base path in the coordination service under which aggregators of a
 /// datacenter register.
@@ -32,6 +39,18 @@ pub struct FlushReport {
     pub files_written: u64,
 }
 
+/// What a hard crash destroyed.
+#[derive(Debug, Clone, Default)]
+pub struct CrashReport {
+    /// Entries lost: accepted or in-channel but never durably flushed.
+    pub records: u64,
+    /// Delivery ids of the stamped entries among them.
+    pub ids: Vec<EntryId>,
+    /// Ids the aggregator had dropped by category policy before the crash
+    /// (needed to keep end-to-end id accounting complete).
+    pub policy_dropped_ids: Vec<EntryId>,
+}
+
 /// Builds the network endpoint key for a datacenter member. Sequence
 /// numbers restart per registry node, so member names alone collide across
 /// datacenters; the endpoint key namespaces them.
@@ -39,31 +58,41 @@ pub fn endpoint_key(dc: &str, member: &str) -> String {
     format!("{dc}:{member}")
 }
 
+/// One record awaiting flush: the payload plus its delivery id, if any.
+#[derive(Debug, Clone)]
+struct PendingRecord {
+    id: Option<EntryId>,
+    payload: Vec<u8>,
+}
+
 /// A single aggregator process.
 pub struct Aggregator {
     name: String,
     endpoint: String,
     dc: String,
-    _session: Session,
+    session: Session,
     rx: Receiver<LogEntry>,
     network: Network,
     staging: Warehouse,
     /// Per-category entries drained from the network, awaiting flush.
-    pending: BTreeMap<String, Vec<Vec<u8>>>,
+    pending: BTreeMap<String, Vec<PendingRecord>>,
     /// "Local disk" buffer: entries that could not be flushed because the
     /// staging cluster was unavailable. Retried on the next flush.
-    local_disk: BTreeMap<String, Vec<Vec<u8>>>,
+    local_disk: BTreeMap<String, Vec<PendingRecord>>,
     flush_seq: u64,
     /// Total entries accepted off the network.
     pub accepted: u64,
     /// Entries dropped by category policy (disabled/sampled/oversize).
     pub dropped_by_policy: u64,
+    policy_dropped_ids: Vec<EntryId>,
+    /// Times [`heartbeat`](Self::heartbeat) re-registered after an expiry.
+    pub reregistrations: u64,
     registry: CategoryRegistry,
 }
 
 impl Aggregator {
     /// Starts an aggregator in `dc`: registers an ephemeral sequential znode
-    /// and a network endpoint, both under the member name it returns.
+    /// (whose data is the network endpoint) and the endpoint itself.
     pub fn spawn(
         coord: &CoordService,
         network: &Network,
@@ -71,33 +100,14 @@ impl Aggregator {
         staging: Warehouse,
     ) -> Aggregator {
         let session = coord.connect();
-        let base = registry_path(dc);
-        // Create the registry path if this is the first aggregator.
-        let mut ensured = String::new();
-        for seg in base[1..].split('/') {
-            ensured.push('/');
-            ensured.push_str(seg);
-            let _ = session.create(&ensured, vec![], CreateMode::Persistent);
-        }
-        let member_path = session
-            .create(
-                &format!("{base}/agg-"),
-                dc.as_bytes().to_vec(),
-                CreateMode::EphemeralSequential,
-            )
-            .expect("registry path ensured above");
-        let name = member_path
-            .rsplit('/')
-            .next()
-            .expect("member path has a name")
-            .to_string();
-        let endpoint = endpoint_key(dc, &name);
+        ensure_registry_path(&session, dc);
+        let (name, endpoint) = register_member(&session, dc, None);
         let rx = network.register(&endpoint);
         Aggregator {
             name,
             endpoint,
             dc: dc.to_string(),
-            _session: session,
+            session,
             rx,
             network: network.clone(),
             staging,
@@ -106,6 +116,8 @@ impl Aggregator {
             flush_seq: 0,
             accepted: 0,
             dropped_by_policy: 0,
+            policy_dropped_ids: Vec::new(),
+            reregistrations: 0,
             registry: CategoryRegistry::new(),
         }
     }
@@ -133,6 +145,27 @@ impl Aggregator {
         &self.dc
     }
 
+    /// This aggregator's coordination session id (for expiry injection).
+    pub fn session_id(&self) -> SessionId {
+        self.session.id()
+    }
+
+    /// Liveness maintenance: if the coordination session expired (the
+    /// ephemeral znode is gone but the process is alive), reconnect and
+    /// re-register under a new member name with the same endpoint. Returns
+    /// true if a re-registration happened.
+    pub fn heartbeat(&mut self, coord: &CoordService) -> bool {
+        if self.session.is_live() {
+            return false;
+        }
+        self.session = coord.connect();
+        ensure_registry_path(&self.session, &self.dc);
+        let (name, _) = register_member(&self.session, &self.dc, Some(&self.endpoint));
+        self.name = name;
+        self.reregistrations += 1;
+        true
+    }
+
     /// Drains all entries currently queued on the network into the pending
     /// per-category buffers. Returns how many were accepted.
     pub fn process(&mut self) -> u64 {
@@ -143,13 +176,19 @@ impl Aggregator {
                     self.pending
                         .entry(category)
                         .or_default()
-                        .push(entry.message);
+                        .push(PendingRecord {
+                            id: entry.id,
+                            payload: entry.message,
+                        });
                     n += 1;
                 }
                 Disposition::DropDisabled
                 | Disposition::DropSampled
                 | Disposition::DropOversize => {
                     self.dropped_by_policy += 1;
+                    if let Some(id) = entry.id {
+                        self.policy_dropped_ids.push(id);
+                    }
                 }
             }
         }
@@ -165,6 +204,26 @@ impl Aggregator {
         (pend + disk) as u64
     }
 
+    /// Ids of stamped entries currently at risk (pending or local-disk).
+    pub fn unflushed_ids(&self) -> impl Iterator<Item = EntryId> + '_ {
+        self.pending
+            .values()
+            .chain(self.local_disk.values())
+            .flatten()
+            .filter_map(|r| r.id)
+    }
+
+    /// Ids of stamped entries dropped by category policy so far.
+    pub fn policy_dropped_ids(&self) -> &[EntryId] {
+        &self.policy_dropped_ids
+    }
+
+    /// Entries accepted by the network but not yet drained by
+    /// [`process`](Self::process).
+    pub fn in_channel(&self) -> u64 {
+        self.rx.len() as u64
+    }
+
     /// Flushes pending (and previously buffered) entries for `hour_index`
     /// into the staging warehouse, one file per category per flush.
     ///
@@ -174,12 +233,12 @@ impl Aggregator {
     pub fn flush(&mut self, hour_index: u64) -> FlushReport {
         let mut report = FlushReport::default();
         // Fold local-disk retries in front of fresh pending data.
-        let mut work: BTreeMap<String, Vec<Vec<u8>>> = std::mem::take(&mut self.local_disk);
+        let mut work: BTreeMap<String, Vec<PendingRecord>> = std::mem::take(&mut self.local_disk);
         for (cat, mut msgs) in std::mem::take(&mut self.pending) {
             work.entry(cat).or_default().append(&mut msgs);
         }
-        for (category, messages) in work {
-            if messages.is_empty() {
+        for (category, records) in work {
+            if records.is_empty() {
                 continue;
             }
             let partition = HourlyPartition::from_hour_index(&category, hour_index);
@@ -188,22 +247,22 @@ impl Aggregator {
                 .child(&format!("{}-{:05}", self.name, self.flush_seq))
                 .expect("valid file name");
             self.flush_seq += 1;
-            let count = messages.len() as u64;
-            match self.write_file(&file, &messages) {
+            let count = records.len() as u64;
+            match self.write_file(&file, &records) {
                 Ok(()) => {
                     report.flushed_records += count;
                     report.files_written += 1;
                 }
                 Err(WarehouseError::Unavailable) => {
                     report.buffered_records += count;
-                    self.local_disk.insert(category, messages);
+                    self.local_disk.insert(category, records);
                 }
                 Err(other) => {
                     // Unexpected structural failure: keep data buffered
                     // rather than losing it, but surface loudly in debug.
                     debug_assert!(false, "staging write failed: {other}");
                     report.buffered_records += count;
-                    self.local_disk.insert(category, messages);
+                    self.local_disk.insert(category, records);
                 }
             }
         }
@@ -213,11 +272,13 @@ impl Aggregator {
     fn write_file(
         &self,
         path: &uli_warehouse::WhPath,
-        messages: &[Vec<u8>],
+        records: &[PendingRecord],
     ) -> Result<(), WarehouseError> {
         let mut w = self.staging.create(path)?;
-        for m in messages {
-            w.append_record(m);
+        // Framing magic first, so the mover knows records are enveloped.
+        w.append_record(staged::MAGIC);
+        for r in records {
+            w.append_record(&staged::encode(r.id, &r.payload));
         }
         w.finish()?;
         Ok(())
@@ -226,15 +287,24 @@ impl Aggregator {
     /// Hard crash: the network endpoint closes, the coordination session
     /// expires (removing the ephemeral znode), and everything unflushed —
     /// including the local-disk buffer, since the host is gone — is lost.
-    /// Returns the number of entries lost.
-    pub fn crash(self, coord: &CoordService) -> u64 {
+    pub fn crash(self, coord: &CoordService) -> CrashReport {
         self.network.unregister(&self.endpoint);
         // Entries still sitting in the channel were accepted by the network
         // but never processed; they are lost too.
-        let in_channel = self.rx.try_iter().count() as u64;
-        let lost = self.unflushed() + in_channel;
-        coord.expire_session(self._session.id());
-        lost
+        let mut ids: Vec<EntryId> = self.unflushed_ids().collect();
+        let mut records = self.unflushed();
+        for entry in self.rx.try_iter() {
+            records += 1;
+            if let Some(id) = entry.id {
+                ids.push(id);
+            }
+        }
+        coord.expire_session(self.session.id());
+        CrashReport {
+            records,
+            ids,
+            policy_dropped_ids: self.policy_dropped_ids,
+        }
     }
 
     /// Graceful shutdown: drain, flush, deregister. Returns the final flush
@@ -247,6 +317,43 @@ impl Aggregator {
     }
 }
 
+fn ensure_registry_path(session: &Session, dc: &str) {
+    let base = registry_path(dc);
+    let mut ensured = String::new();
+    for seg in base[1..].split('/') {
+        ensured.push('/');
+        ensured.push_str(seg);
+        let _ = session.create(&ensured, vec![], CreateMode::Persistent);
+    }
+}
+
+/// Creates the ephemeral sequential member znode, storing the endpoint as
+/// its data. `endpoint` is `None` on first registration (derived from the
+/// new member name) and `Some` when re-registering an existing endpoint.
+fn register_member(session: &Session, dc: &str, endpoint: Option<&str>) -> (String, String) {
+    let base = registry_path(dc);
+    let member_path = session
+        .create(
+            &format!("{base}/agg-"),
+            vec![],
+            CreateMode::EphemeralSequential,
+        )
+        .expect("registry path ensured above");
+    let name = member_path
+        .rsplit('/')
+        .next()
+        .expect("member path has a name")
+        .to_string();
+    let endpoint = match endpoint {
+        Some(e) => e.to_string(),
+        None => endpoint_key(dc, &name),
+    };
+    session
+        .set_data(&member_path, endpoint.clone().into_bytes(), None)
+        .expect("member znode just created");
+    (name, endpoint)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +364,16 @@ mod tests {
         (CoordService::new(), Network::new(), Warehouse::new())
     }
 
+    /// Reads a staged file back as bare payloads, checking the framing.
+    fn staged_payloads(wh: &Warehouse, path: &WhPath) -> Vec<Vec<u8>> {
+        let records = wh.open(path).unwrap().read_all().unwrap();
+        assert!(staged::is_framed(&records), "aggregator files are framed");
+        records[1..]
+            .iter()
+            .map(|r| staged::decode(r).expect("valid envelope").1.to_vec())
+            .collect()
+    }
+
     #[test]
     fn spawn_registers_ephemeral_and_endpoint() {
         let (coord, net, staging) = setup();
@@ -265,6 +382,11 @@ mod tests {
         let admin = coord.connect();
         let members = admin.get_children(&registry_path("dc1")).unwrap();
         assert_eq!(members, vec![agg.name().to_string()]);
+        // The member znode advertises the endpoint as its data.
+        let (data, _) = admin
+            .get_data(&format!("{}/{}", registry_path("dc1"), agg.name()))
+            .unwrap();
+        assert_eq!(data, agg.endpoint().as_bytes());
     }
 
     #[test]
@@ -285,8 +407,9 @@ mod tests {
         let dir = HourlyPartition::from_hour_index("client_events", 14).main_dir();
         let files = staging.list_files_recursive(&dir).unwrap();
         assert_eq!(files.len(), 1);
-        let records = staging.open(&files[0]).unwrap().read_all().unwrap();
-        assert_eq!(records.len(), 10);
+        let payloads = staged_payloads(&staging, &files[0]);
+        assert_eq!(payloads.len(), 10);
+        assert_eq!(payloads[0], b"m0");
     }
 
     #[test]
@@ -320,13 +443,68 @@ mod tests {
         agg.process(); // 1 pending
         net.send(&name, LogEntry::new("ce", b"b".to_vec())).unwrap(); // 1 in channel
         let lost = agg.crash(&coord);
-        assert_eq!(lost, 2);
+        assert_eq!(lost.records, 2);
         assert!(!net.is_up(&name));
         let admin = coord.connect();
         assert!(admin
             .get_children(&registry_path("dc1"))
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn crash_reports_lost_ids_of_stamped_entries() {
+        let (coord, net, staging) = setup();
+        let mut agg = Aggregator::spawn(&coord, &net, "dc1", staging);
+        let mut stamped = LogEntry::new("ce", b"a".to_vec());
+        stamped.id = Some(EntryId { host: 3, seq: 0 });
+        net.send(agg.endpoint(), stamped).unwrap();
+        agg.process();
+        let mut in_channel = LogEntry::new("ce", b"b".to_vec());
+        in_channel.id = Some(EntryId { host: 3, seq: 1 });
+        net.send(agg.endpoint(), in_channel).unwrap();
+        let lost = agg.crash(&coord);
+        assert_eq!(lost.records, 2);
+        assert_eq!(
+            lost.ids,
+            vec![EntryId { host: 3, seq: 0 }, EntryId { host: 3, seq: 1 }]
+        );
+    }
+
+    #[test]
+    fn heartbeat_reregisters_after_session_expiry_keeping_endpoint() {
+        let (coord, net, staging) = setup();
+        let mut agg = Aggregator::spawn(&coord, &net, "dc1", staging);
+        let old_name = agg.name().to_string();
+        let endpoint = agg.endpoint().to_string();
+        assert!(!agg.heartbeat(&coord), "live session: no re-registration");
+
+        coord.expire_session(agg.session_id());
+        let admin = coord.connect();
+        assert!(
+            admin
+                .get_children(&registry_path("dc1"))
+                .unwrap()
+                .is_empty(),
+            "expiry removes the ephemeral znode"
+        );
+        // The endpoint itself is still up — the process did not die.
+        assert!(net.is_up(&endpoint));
+
+        assert!(agg.heartbeat(&coord));
+        assert_eq!(agg.reregistrations, 1);
+        assert_ne!(agg.name(), old_name, "fresh member name");
+        assert_eq!(agg.endpoint(), endpoint, "same network channel");
+        let members = admin.get_children(&registry_path("dc1")).unwrap();
+        assert_eq!(members, vec![agg.name().to_string()]);
+        let (data, _) = admin
+            .get_data(&format!("{}/{}", registry_path("dc1"), agg.name()))
+            .unwrap();
+        assert_eq!(
+            data,
+            endpoint.as_bytes(),
+            "znode data points at the old endpoint"
+        );
     }
 
     #[test]
@@ -344,7 +522,7 @@ mod tests {
         let files = staging.list_files_recursive(&dir).unwrap();
         let total: usize = files
             .iter()
-            .map(|f| staging.open(f).unwrap().read_all().unwrap().len())
+            .map(|f| staged_payloads(&staging, f).len())
             .sum();
         assert_eq!(total, 2);
     }

@@ -7,14 +7,58 @@
 //! aggregator crashes … Scribe daemons simply check ZooKeeper again to find
 //! another live aggregator. The same mechanism is used for balancing load
 //! across aggregators." (§2)
+//!
+//! Delivery failures are retried with bounded exponential backoff: each
+//! pump spends at most [`RetryPolicy::attempts_per_pump`] send/discovery
+//! attempts, rediscovering through the coordination service between
+//! attempts; when the budget is exhausted the queue stays on local disk and
+//! the daemon cools down for an exponentially growing (capped) number of
+//! pumps before trying again.
 
 use std::collections::VecDeque;
 
-use uli_coord::Session;
+use uli_coord::{CoordError, CoordService, Session, SessionId};
 
 use crate::aggregator::{endpoint_key, registry_path};
-use crate::message::LogEntry;
+use crate::message::{EntryId, LogEntry};
 use crate::network::Network;
+
+/// Retry/backoff knobs for the daemon's delivery path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Send or discovery attempts spent per pump before giving up and
+    /// leaving the queue on local disk.
+    pub attempts_per_pump: u32,
+    /// Cooldown (in pumps) after the second consecutive failed pump.
+    /// The first failure retries on the very next pump.
+    pub base_cooldown: u64,
+    /// Cooldown cap; backoff doubles up to this.
+    pub max_cooldown: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts_per_pump: 4,
+            base_cooldown: 1,
+            max_cooldown: 16,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Cooldown after `failures` consecutive failed pumps: 0, then
+    /// `base`, `2*base`, `4*base`, … capped at `max_cooldown`.
+    pub fn cooldown_after(&self, failures: u32) -> u64 {
+        if failures <= 1 {
+            return 0;
+        }
+        let doublings = (failures - 2).min(63);
+        self.base_cooldown
+            .saturating_mul(1u64 << doublings)
+            .min(self.max_cooldown)
+    }
+}
 
 /// Outcome of one [`ScribeDaemon::pump`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,6 +69,8 @@ pub struct PumpReport {
     pub still_buffered: u64,
     /// Times the daemon went back to the coordination service to discover.
     pub discoveries: u64,
+    /// True if this pump was skipped entirely by backoff cooldown.
+    pub cooling_down: bool,
 }
 
 /// A production-host daemon: queues entries locally and pushes them to a
@@ -32,28 +78,62 @@ pub struct PumpReport {
 pub struct ScribeDaemon {
     host_id: u64,
     dc: String,
+    coord: CoordService,
     session: Session,
     network: Network,
     /// Entries not yet accepted by any aggregator ("buffered on local disk").
     queue: VecDeque<LogEntry>,
-    /// Cached aggregator member name from the last discovery.
+    /// Cached aggregator endpoint from the last discovery.
     current: Option<String>,
+    policy: RetryPolicy,
+    /// Consecutive pumps that ended with undelivered entries.
+    failed_pumps: u32,
+    /// Pumps left to skip before retrying.
+    cooldown: u64,
+    /// Local-disk capacity in entries; beyond it new entries are dropped
+    /// (the disk-full fault). `usize::MAX` means unbounded.
+    queue_capacity: usize,
+    /// Entries dropped because the local buffer was full.
+    pub dropped_disk_full: u64,
+    dropped_ids: Vec<EntryId>,
+    /// Times the daemon reconnected after a coordination session expiry.
+    pub reconnects: u64,
+    /// Total failed send attempts over the daemon's lifetime (each one
+    /// triggers rediscovery and, when the budget runs out, backoff).
+    pub send_failures: u64,
     /// Total entries ever logged on this host.
     pub logged: u64,
 }
 
 impl ScribeDaemon {
-    /// Creates a daemon for `host_id` in datacenter `dc`.
-    pub fn new(host_id: u64, dc: &str, session: Session, network: Network) -> Self {
+    /// Creates a daemon for `host_id` in datacenter `dc`. The daemon keeps a
+    /// handle to the coordination service so it can reconnect when its
+    /// session expires.
+    pub fn new(host_id: u64, dc: &str, coord: &CoordService, network: Network) -> Self {
         ScribeDaemon {
             host_id,
             dc: dc.to_string(),
-            session,
+            coord: coord.clone(),
+            session: coord.connect(),
             network,
             queue: VecDeque::new(),
             current: None,
+            policy: RetryPolicy::default(),
+            failed_pumps: 0,
+            cooldown: 0,
+            queue_capacity: usize::MAX,
+            dropped_disk_full: 0,
+            dropped_ids: Vec::new(),
+            reconnects: 0,
+            send_failures: 0,
             logged: 0,
         }
+    }
+
+    /// Replaces the retry policy (builder style).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The host identifier (used for load-balanced aggregator choice).
@@ -61,11 +141,43 @@ impl ScribeDaemon {
         self.host_id
     }
 
-    /// Queues a log entry locally; nothing crosses the network until
-    /// [`pump`](Self::pump).
-    pub fn log(&mut self, entry: LogEntry) {
-        self.queue.push_back(entry);
+    /// This daemon's coordination session id (for expiry injection).
+    pub fn session_id(&self) -> SessionId {
+        self.session.id()
+    }
+
+    /// Caps (or uncaps, with `None`) the local buffer — the disk-full fault.
+    pub fn set_queue_capacity(&mut self, capacity: Option<usize>) {
+        self.queue_capacity = capacity.unwrap_or(usize::MAX);
+    }
+
+    /// Ids of entries dropped on the floor because local disk was full.
+    pub fn dropped_ids(&self) -> &[EntryId] {
+        &self.dropped_ids
+    }
+
+    /// Ids of entries currently buffered locally.
+    pub fn queued_ids(&self) -> impl Iterator<Item = EntryId> + '_ {
+        self.queue.iter().filter_map(|e| e.id)
+    }
+
+    /// Queues a log entry locally, stamping its delivery id; nothing crosses
+    /// the network until [`pump`](Self::pump). If the local buffer is at
+    /// capacity the entry is dropped and counted — a full local disk loses
+    /// data at the host, visibly.
+    pub fn log(&mut self, mut entry: LogEntry) {
+        let id = EntryId {
+            host: self.host_id,
+            seq: self.logged,
+        };
+        entry.id = Some(id);
         self.logged += 1;
+        if self.queue.len() >= self.queue_capacity {
+            self.dropped_disk_full += 1;
+            self.dropped_ids.push(id);
+            return;
+        }
+        self.queue.push_back(entry);
     }
 
     /// Entries currently buffered on this host.
@@ -75,59 +187,94 @@ impl ScribeDaemon {
 
     /// Picks an aggregator from the live set, spreading hosts across members
     /// by hashing the host id (the paper's "balancing load across
-    /// aggregators" via the same discovery mechanism).
-    fn discover(&mut self) -> Option<String> {
-        let members = self
-            .session
-            .get_children(&registry_path(&self.dc))
-            .unwrap_or_default();
+    /// aggregators" via the same discovery mechanism). Reconnects first if
+    /// the coordination session has expired.
+    pub(crate) fn discover(&mut self) -> Option<String> {
+        let path = registry_path(&self.dc);
+        let members = match self.session.get_children(&path) {
+            Ok(m) => m,
+            Err(CoordError::SessionExpired) => {
+                self.session = self.coord.connect();
+                self.reconnects += 1;
+                self.session.get_children(&path).unwrap_or_default()
+            }
+            Err(_) => Vec::new(),
+        };
         if members.is_empty() {
             return None;
         }
         // Stable multiplicative hash of the host id.
         let idx = (self.host_id.wrapping_mul(0x9e3779b97f4a7c15) >> 33) as usize % members.len();
-        Some(endpoint_key(&self.dc, &members[idx]))
+        let member = &members[idx];
+        // The endpoint lives in the znode's data, so an aggregator that
+        // re-registers after a session expiry keeps its network channel.
+        match self.session.get_data(&format!("{path}/{member}")) {
+            Ok((data, _)) if !data.is_empty() => String::from_utf8(data).ok(),
+            _ => Some(endpoint_key(&self.dc, member)),
+        }
     }
 
     /// Attempts to drain the local queue to a live aggregator.
     ///
-    /// On a send failure the daemon rediscovers once (the crashed member's
-    /// ephemeral znode is already gone) and retries; if no aggregator is
-    /// reachable the remaining entries stay buffered for the next pump.
+    /// Spends at most `attempts_per_pump` send/discovery attempts,
+    /// rediscovering through the coordination service after every failure.
+    /// If the budget runs out the remaining entries stay buffered and the
+    /// daemon backs off exponentially (capped) before the next real try.
     pub fn pump(&mut self) -> PumpReport {
         let mut report = PumpReport::default();
         if self.queue.is_empty() {
+            self.failed_pumps = 0;
+            self.cooldown = 0;
             return report;
         }
-        if self.current.is_none() {
-            self.current = self.discover();
-            report.discoveries += 1;
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            report.cooling_down = true;
+            report.still_buffered = self.queue.len() as u64;
+            return report;
         }
-        while let Some(entry) = self.queue.pop_front() {
-            let Some(target) = self.current.clone() else {
-                // No live aggregator: keep the entry and stop trying.
-                self.queue.push_front(entry);
-                break;
-            };
-            match self.network.send(&target, entry.clone()) {
-                Ok(()) => report.sent += 1,
-                Err(_) => {
-                    // Peer is down: rediscover and retry this entry once.
-                    self.current = self.discover();
-                    report.discoveries += 1;
-                    match &self.current {
-                        Some(next) if self.network.send(next, entry.clone()).is_ok() => {
-                            report.sent += 1;
+        let mut attempts = 0u32;
+        'drain: while let Some(entry) = self.queue.pop_front() {
+            loop {
+                if attempts >= self.policy.attempts_per_pump {
+                    self.queue.push_front(entry);
+                    break 'drain;
+                }
+                let target = match &self.current {
+                    Some(t) => t.clone(),
+                    None => {
+                        attempts += 1;
+                        report.discoveries += 1;
+                        match self.discover() {
+                            Some(t) => {
+                                self.current = Some(t.clone());
+                                t
+                            }
+                            None => continue,
                         }
-                        _ => {
-                            self.queue.push_front(entry);
-                            break;
-                        }
+                    }
+                };
+                match self.network.send(&target, entry.clone()) {
+                    Ok(()) => {
+                        report.sent += 1;
+                        break;
+                    }
+                    Err(_) => {
+                        attempts += 1;
+                        self.send_failures += 1;
+                        self.current = None;
                     }
                 }
             }
         }
         report.still_buffered = self.queue.len() as u64;
+        if report.still_buffered == 0 || report.sent > 0 {
+            self.failed_pumps = 0;
+            self.cooldown = 0;
+        } else {
+            self.failed_pumps += 1;
+            self.cooldown = self.policy.cooldown_after(self.failed_pumps);
+        }
         report
     }
 }
@@ -140,7 +287,7 @@ mod tests {
     use uli_warehouse::Warehouse;
 
     fn daemon(coord: &CoordService, net: &Network, host: u64) -> ScribeDaemon {
-        ScribeDaemon::new(host, "dc1", coord.connect(), net.clone())
+        ScribeDaemon::new(host, "dc1", coord, net.clone())
     }
 
     #[test]
@@ -154,6 +301,20 @@ mod tests {
         let r = d.pump();
         assert_eq!(r.sent, 0);
         assert_eq!(r.still_buffered, 1);
+    }
+
+    #[test]
+    fn logging_stamps_sequential_ids() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let mut d = daemon(&coord, &net, 9);
+        d.log(LogEntry::new("ce", b"a".to_vec()));
+        d.log(LogEntry::new("ce", b"b".to_vec()));
+        let ids: Vec<EntryId> = d.queued_ids().collect();
+        assert_eq!(
+            ids,
+            vec![EntryId { host: 9, seq: 0 }, EntryId { host: 9, seq: 1 }]
+        );
     }
 
     #[test]
@@ -182,7 +343,7 @@ mod tests {
         let mut d = (0..64)
             .map(|h| daemon(&coord, &net, h))
             .find(|d| {
-                let mut probe = ScribeDaemon::new(d.host_id(), "dc1", coord.connect(), net.clone());
+                let mut probe = ScribeDaemon::new(d.host_id(), "dc1", &coord, net.clone());
                 probe.discover() == Some(agg1.endpoint().to_string())
             })
             .expect("some host maps to agg1");
@@ -208,7 +369,8 @@ mod tests {
         let mut d = daemon(&coord, &net, 3);
         d.log(LogEntry::new("ce", b"1".to_vec()));
         assert_eq!(d.pump().sent, 0);
-        // An aggregator appears; the buffered entry drains.
+        // An aggregator appears; the buffered entry drains on the next pump
+        // (first failure has no cooldown).
         let mut agg = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
         let r = d.pump();
         assert_eq!(r.sent, 1);
@@ -231,5 +393,114 @@ mod tests {
         for (_, c) in counts {
             assert!(c > 40, "load balance should be roughly even, got {c}");
         }
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            attempts_per_pump: 4,
+            base_cooldown: 1,
+            max_cooldown: 16,
+        };
+        let schedule: Vec<u64> = (1..=8).map(|n| p.cooldown_after(n)).collect();
+        assert_eq!(schedule, vec![0, 1, 2, 4, 8, 16, 16, 16]);
+        // No overflow at absurd failure counts.
+        assert_eq!(p.cooldown_after(u32::MAX), 16);
+    }
+
+    #[test]
+    fn give_up_leaves_queue_on_local_buffer_and_cools_down() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let mut d = daemon(&coord, &net, 5).with_retry_policy(RetryPolicy {
+            attempts_per_pump: 2,
+            base_cooldown: 1,
+            max_cooldown: 4,
+        });
+        for _ in 0..3 {
+            d.log(LogEntry::new("ce", b"m".to_vec()));
+        }
+        // Pump 1: no aggregator; budget spent on discoveries, queue intact.
+        let r1 = d.pump();
+        assert_eq!((r1.sent, r1.still_buffered), (0, 3));
+        assert_eq!(r1.discoveries, 2, "attempt budget caps discovery retries");
+        assert!(!r1.cooling_down);
+        // Pump 2: first failure retries immediately (cooldown 0).
+        let r2 = d.pump();
+        assert!(!r2.cooling_down);
+        // Pump 3: second consecutive failure → cooldown 1 → skipped.
+        let r3 = d.pump();
+        assert!(r3.cooling_down, "backoff must skip this pump");
+        assert_eq!(r3.discoveries, 0);
+        // Every entry is still on the local buffer; nothing was lost.
+        assert_eq!(d.buffered(), 3);
+        // Recovery: an aggregator appears; the next non-skipped pump drains.
+        let mut agg = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        let r4 = d.pump();
+        assert_eq!(r4.sent, 3);
+        assert_eq!(agg.process(), 3);
+        // Success resets the backoff state.
+        d.log(LogEntry::new("ce", b"m".to_vec()));
+        assert!(!d.pump().cooling_down);
+    }
+
+    #[test]
+    fn retries_within_one_pump_rediscover_between_attempts() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        // One aggregator that dies; another that survives. Force the
+        // daemon's cached endpoint to the dead one.
+        let agg1 = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        let mut d = (0..64)
+            .map(|h| daemon(&coord, &net, h))
+            .find(|d| {
+                let mut probe = ScribeDaemon::new(d.host_id(), "dc1", &coord, net.clone());
+                probe.discover() == Some(agg1.endpoint().to_string())
+            })
+            .expect("some host maps to agg1");
+        d.log(LogEntry::new("ce", b"a".to_vec()));
+        assert_eq!(d.pump().sent, 1);
+        agg1.crash(&coord);
+        let mut agg2 = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        d.log(LogEntry::new("ce", b"b".to_vec()));
+        // Cached endpoint fails → rediscover within the same pump → agg2.
+        let r = d.pump();
+        assert_eq!(r.sent, 1);
+        assert!(r.discoveries >= 1);
+        assert_eq!(agg2.process(), 1);
+    }
+
+    #[test]
+    fn session_expiry_triggers_reconnect_on_next_discovery() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let mut agg = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        let mut d = daemon(&coord, &net, 11);
+        coord.expire_session(d.session_id());
+        d.log(LogEntry::new("ce", b"x".to_vec()));
+        let r = d.pump();
+        assert_eq!(r.sent, 1, "daemon must reconnect and still deliver");
+        assert_eq!(d.reconnects, 1);
+        assert_eq!(agg.process(), 1);
+    }
+
+    #[test]
+    fn full_local_disk_drops_new_entries_and_records_ids() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let mut d = daemon(&coord, &net, 2);
+        d.set_queue_capacity(Some(2));
+        for _ in 0..5 {
+            d.log(LogEntry::new("ce", b"m".to_vec()));
+        }
+        assert_eq!(d.buffered(), 2);
+        assert_eq!(d.dropped_disk_full, 3);
+        assert_eq!(d.logged, 5, "dropped entries still count as logged");
+        let dropped: Vec<u64> = d.dropped_ids().iter().map(|id| id.seq).collect();
+        assert_eq!(dropped, vec![2, 3, 4]);
+        // Capacity lifted: new entries flow again.
+        d.set_queue_capacity(None);
+        d.log(LogEntry::new("ce", b"m".to_vec()));
+        assert_eq!(d.buffered(), 3);
     }
 }

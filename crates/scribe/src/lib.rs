@@ -32,15 +32,21 @@
 pub mod aggregator;
 pub mod config;
 pub mod daemon;
+pub mod faults;
 pub mod message;
 pub mod mover;
 pub mod network;
 pub mod pipeline;
+pub mod staged;
 
 pub use aggregator::Aggregator;
 pub use config::{CategoryConfig, CategoryRegistry, Disposition};
-pub use daemon::ScribeDaemon;
-pub use message::LogEntry;
+pub use daemon::{RetryPolicy, ScribeDaemon};
+pub use faults::{
+    check_invariants, run_chaos, run_chaos_with, ChaosConfig, ChaosOutcome, FaultConfig, FaultPlan,
+    InvariantReport, Sabotage,
+};
+pub use message::{EntryId, LogEntry};
 pub use mover::{LogMover, MoveReport};
-pub use network::Network;
-pub use pipeline::{PipelineReport, ScribePipeline};
+pub use network::{LinkFaults, Network};
+pub use pipeline::{PipelineConfig, PipelineReport, ScribePipeline};

@@ -1,5 +1,23 @@
 //! The Scribe log entry.
 
+/// Identity of an entry as stamped by the host daemon that accepted it:
+/// the host id plus a per-host sequence number. Network faults can copy or
+/// re-deliver an entry, but its id never changes — the log mover dedups on
+/// it and the chaos invariant checker reconciles delivery against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntryId {
+    /// Host that logged the entry.
+    pub host: u64,
+    /// Position in that host's log stream.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for EntryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}#{}", self.host, self.seq)
+    }
+}
+
 /// "Each log entry consists of two strings, a category and a message. The
 /// category is associated with configuration metadata that determine, among
 /// other things, where the data is written." (§2)
@@ -11,6 +29,9 @@ pub struct LogEntry {
     pub category: String,
     /// Opaque message payload.
     pub message: Vec<u8>,
+    /// Delivery identity, stamped by the daemon at `log()` time. `None` for
+    /// entries injected directly onto the network (unit tests).
+    pub id: Option<EntryId>,
 }
 
 impl LogEntry {
@@ -19,6 +40,7 @@ impl LogEntry {
         LogEntry {
             category: category.into(),
             message: message.into(),
+            id: None,
         }
     }
 

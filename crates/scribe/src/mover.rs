@@ -9,7 +9,12 @@
 //! the log mover pipeline atomically slides an hour's worth of logs into the
 //! main data warehouse." (§2)
 
+use std::collections::HashSet;
+
 use uli_warehouse::{HourlyPartition, Warehouse, WarehouseError, WarehouseResult};
+
+use crate::message::EntryId;
+use crate::staged;
 
 /// Marker file an aggregator cluster writes once its hour is complete.
 pub const DONE_MARKER: &str = "_DONE";
@@ -21,12 +26,20 @@ pub struct MoveReport {
     pub partition: HourlyPartition,
     /// Small files read from all staging clusters.
     pub input_files: u64,
+    /// Staging files rejected whole by sanity checks (unreadable: corrupt
+    /// or truncated blocks). Rejection never poisons the slide.
+    pub rejected_files: u64,
     /// Large files written into the main warehouse.
     pub output_files: u64,
     /// Records moved.
     pub records: u64,
-    /// Records dropped by sanity checks (empty messages).
+    /// Records dropped by sanity checks (empty messages, bad envelopes).
     pub dropped: u64,
+    /// Stamped records skipped because their id was already moved — the
+    /// re-delivery duplicates the merge squashes.
+    pub duplicates: u64,
+    /// Delivery ids of the stamped records this move made visible.
+    pub moved_ids: Vec<EntryId>,
 }
 
 /// Errors specific to the mover's readiness protocol.
@@ -73,10 +86,18 @@ pub fn seal_hour(staging: &Warehouse, partition: &HourlyPartition) -> WarehouseR
 }
 
 /// The mover: merges sealed staging hours into the main warehouse.
+///
+/// The mover is idempotent under re-delivery: it remembers the delivery
+/// ids of every stamped record it has moved (across hours) and squashes
+/// duplicates during the merge, and a whole hour that is already present
+/// is refused with [`MoveError::AlreadyMoved`]. Envelopes are stripped —
+/// only bare payloads reach the main warehouse.
 pub struct LogMover {
     main: Warehouse,
     /// Target number of records per merged output file.
     records_per_file: u64,
+    /// Delivery ids already made visible in the main warehouse.
+    seen: HashSet<EntryId>,
 }
 
 impl LogMover {
@@ -87,6 +108,7 @@ impl LogMover {
         LogMover {
             main,
             records_per_file,
+            seen: HashSet::new(),
         }
     }
 
@@ -97,7 +119,7 @@ impl LogMover {
     /// datacenter that produces this category. All of them must have sealed
     /// the hour (via [`seal_hour`]); otherwise [`MoveError::NotReady`].
     pub fn move_hour(
-        &self,
+        &mut self,
         partition: &HourlyPartition,
         staging: &[(&str, &Warehouse)],
     ) -> Result<MoveReport, MoveError> {
@@ -125,10 +147,17 @@ impl LogMover {
         let mut report = MoveReport {
             partition: partition.clone(),
             input_files: 0,
+            rejected_files: 0,
             output_files: 0,
             records: 0,
             dropped: 0,
+            duplicates: 0,
+            moved_ids: Vec::new(),
         };
+        // Ids first seen during this move. Only committed to `self.seen`
+        // once the slide succeeds, so a failed attempt can be retried
+        // without its records counting as duplicates.
+        let mut fresh: HashSet<EntryId> = HashSet::new();
         let mut out: Option<uli_warehouse::RecordFileWriter> = None;
         let mut out_records = 0u64;
         let mut out_idx = 0u64;
@@ -143,13 +172,43 @@ impl LogMover {
                 if file.name() == DONE_MARKER {
                     continue;
                 }
+                // Sanity check: read the file whole. Corrupt or truncated
+                // blocks reject the file without poisoning the slide.
+                let records = match wh.open(&file).and_then(|r| r.read_all()) {
+                    Ok(r) => r,
+                    Err(WarehouseError::ChecksumMismatch { .. })
+                    | Err(WarehouseError::Corrupt(_)) => {
+                        report.rejected_files += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                };
                 report.input_files += 1;
-                let mut reader = wh.open(&file)?;
-                while let Some(record) = reader.next_record()? {
+                let framed = staged::is_framed(&records);
+                let body = if framed { &records[1..] } else { &records[..] };
+                for record in body {
+                    let (id, payload) = if framed {
+                        match staged::decode(record) {
+                            Some(x) => x,
+                            None => {
+                                report.dropped += 1;
+                                continue;
+                            }
+                        }
+                    } else {
+                        (None, record.as_slice())
+                    };
                     // Sanity check: drop empty messages.
-                    if record.is_empty() {
+                    if payload.is_empty() {
                         report.dropped += 1;
                         continue;
+                    }
+                    if let Some(id) = id {
+                        if self.seen.contains(&id) || !fresh.insert(id) {
+                            report.duplicates += 1;
+                            continue;
+                        }
+                        report.moved_ids.push(id);
                     }
                     if out.is_none() {
                         let path = assembly_dir
@@ -159,7 +218,7 @@ impl LogMover {
                         out_idx += 1;
                     }
                     let w = out.as_mut().expect("writer created above");
-                    w.append_record(record);
+                    w.append_record(payload);
                     out_records += 1;
                     report.records += 1;
                     if out_records >= self.records_per_file {
@@ -180,6 +239,7 @@ impl LogMover {
             self.main.mkdirs(&parent)?;
         }
         self.main.rename(&assembly_dir, &final_dir)?;
+        self.seen.extend(fresh);
         Ok(report)
     }
 
@@ -209,13 +269,43 @@ mod tests {
         HourlyPartition::new("client_events", 2012, 8, 21, 14).unwrap()
     }
 
+    /// Writes a framed staging file the way an aggregator would.
+    fn framed_staging_with(
+        partition: &HourlyPartition,
+        file_name: &str,
+        records: &[(Option<EntryId>, &[u8])],
+    ) -> Warehouse {
+        let wh = Warehouse::new();
+        write_framed(&wh, partition, file_name, records);
+        wh
+    }
+
+    fn write_framed(
+        wh: &Warehouse,
+        partition: &HourlyPartition,
+        file_name: &str,
+        records: &[(Option<EntryId>, &[u8])],
+    ) {
+        let file = partition.main_dir().child(file_name).unwrap();
+        let mut w = wh.create(&file).unwrap();
+        w.append_record(staged::MAGIC);
+        for (id, payload) in records {
+            w.append_record(&staged::encode(*id, payload));
+        }
+        w.finish().unwrap();
+    }
+
+    fn id(host: u64, seq: u64) -> EntryId {
+        EntryId { host, seq }
+    }
+
     #[test]
     fn refuses_until_all_dcs_sealed() {
         let p = part();
         let dc1 = staging_with(&p, &[b"a"]);
         let dc2 = staging_with(&p, &[b"b"]);
         seal_hour(&dc1, &p).unwrap();
-        let mover = LogMover::new(Warehouse::new(), 1000);
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
         let err = mover
             .move_hour(&p, &[("dc1", &dc1), ("dc2", &dc2)])
             .unwrap_err();
@@ -244,7 +334,7 @@ mod tests {
             w.finish().unwrap();
         }
         seal_hour(&wh, &p).unwrap();
-        let mover = LogMover::new(Warehouse::new(), 60);
+        let mut mover = LogMover::new(Warehouse::new(), 60);
         let report = mover.move_hour(&p, &[("dc1", &wh)]).unwrap();
         assert_eq!(report.input_files, 10);
         assert_eq!(report.records, 100);
@@ -258,7 +348,7 @@ mod tests {
         let p = part();
         let dc1 = staging_with(&p, &[b"a", b"b"]);
         seal_hour(&dc1, &p).unwrap();
-        let mover = LogMover::new(Warehouse::new(), 1000);
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
         assert!(!mover.main().exists(&p.main_dir()));
         mover.move_hour(&p, &[("dc1", &dc1)]).unwrap();
         assert!(mover.main().exists(&p.main_dir()));
@@ -271,7 +361,7 @@ mod tests {
         let p = part();
         let dc1 = staging_with(&p, &[b"a"]);
         seal_hour(&dc1, &p).unwrap();
-        let mover = LogMover::new(Warehouse::new(), 1000);
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
         mover.move_hour(&p, &[("dc1", &dc1)]).unwrap();
         assert_eq!(
             mover.move_hour(&p, &[("dc1", &dc1)]).unwrap_err(),
@@ -284,7 +374,7 @@ mod tests {
         let p = part();
         let dc1 = staging_with(&p, &[b"a", b"", b"c", b""]);
         seal_hour(&dc1, &p).unwrap();
-        let mover = LogMover::new(Warehouse::new(), 1000);
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
         let report = mover.move_hour(&p, &[("dc1", &dc1)]).unwrap();
         assert_eq!(report.records, 2);
         assert_eq!(report.dropped, 2);
@@ -295,11 +385,143 @@ mod tests {
         let p = part();
         let wh = Warehouse::new();
         seal_hour(&wh, &p).unwrap();
-        let mover = LogMover::new(Warehouse::new(), 1000);
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
         let report = mover.move_hour(&p, &[("dc1", &wh)]).unwrap();
         assert_eq!(report.records, 0);
         assert_eq!(report.output_files, 0);
         // The hour directory exists (readers see an empty, complete hour).
         assert!(mover.main().exists(&p.main_dir()));
+    }
+
+    #[test]
+    fn framed_envelopes_are_stripped_in_main_warehouse() {
+        let p = part();
+        let wh = framed_staging_with(&p, "agg-0", &[(Some(id(1, 0)), b"alpha"), (None, b"beta")]);
+        seal_hour(&wh, &p).unwrap();
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
+        let report = mover.move_hour(&p, &[("dc1", &wh)]).unwrap();
+        assert_eq!(report.records, 2);
+        assert_eq!(report.moved_ids, vec![id(1, 0)]);
+        let files = mover.main().list_files_recursive(&p.main_dir()).unwrap();
+        let payloads = mover.main().open(&files[0]).unwrap().read_all().unwrap();
+        assert_eq!(payloads, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+    }
+
+    #[test]
+    fn duplicate_stamped_records_are_squashed_within_a_move() {
+        let p = part();
+        let wh = Warehouse::new();
+        // The same stamped record delivered to two aggregators (ack-loss
+        // retry), plus a clean one.
+        write_framed(
+            &wh,
+            &p,
+            "agg-0",
+            &[(Some(id(1, 0)), b"x"), (Some(id(1, 1)), b"y")],
+        );
+        write_framed(&wh, &p, "agg-1", &[(Some(id(1, 0)), b"x")]);
+        seal_hour(&wh, &p).unwrap();
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
+        let report = mover.move_hour(&p, &[("dc1", &wh)]).unwrap();
+        assert_eq!(report.records, 2);
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(report.moved_ids, vec![id(1, 0), id(1, 1)]);
+    }
+
+    #[test]
+    fn redelivery_into_a_later_hour_is_a_no_op() {
+        let h14 = part();
+        let h15 = HourlyPartition::new("client_events", 2012, 8, 21, 15).unwrap();
+        let wh = Warehouse::new();
+        write_framed(
+            &wh,
+            &h14,
+            "agg-0",
+            &[(Some(id(2, 0)), b"x"), (Some(id(2, 1)), b"y")],
+        );
+        seal_hour(&wh, &h14).unwrap();
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
+        assert_eq!(mover.move_hour(&h14, &[("dc1", &wh)]).unwrap().records, 2);
+
+        // The sealed hour's content shows up again in the next hour (an
+        // aggregator replayed its local-disk buffer after the move).
+        write_framed(
+            &wh,
+            &h15,
+            "agg-0",
+            &[(Some(id(2, 0)), b"x"), (Some(id(2, 1)), b"y")],
+        );
+        seal_hour(&wh, &h15).unwrap();
+        let report = mover.move_hour(&h15, &[("dc1", &wh)]).unwrap();
+        assert_eq!(
+            report.records, 0,
+            "re-delivered records must not move twice"
+        );
+        assert_eq!(report.duplicates, 2);
+        // And moving the sealed hour itself again is refused outright.
+        assert_eq!(
+            mover.move_hour(&h14, &[("dc1", &wh)]).unwrap_err(),
+            MoveError::AlreadyMoved
+        );
+    }
+
+    #[test]
+    fn corrupt_block_rejects_the_file_without_poisoning_the_slide() {
+        let p = part();
+        let wh = Warehouse::new();
+        write_framed(&wh, &p, "agg-0", &[(Some(id(1, 0)), b"good")]);
+        write_framed(&wh, &p, "agg-1", &[(Some(id(1, 1)), b"bad")]);
+        let damaged = p.main_dir().child("agg-1").unwrap();
+        wh.corrupt_block(&damaged, 0).unwrap();
+        seal_hour(&wh, &p).unwrap();
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
+        let report = mover.move_hour(&p, &[("dc1", &wh)]).unwrap();
+        assert_eq!(report.rejected_files, 1);
+        assert_eq!(report.input_files, 1);
+        assert_eq!(report.records, 1, "the healthy file still moves");
+        assert_eq!(report.moved_ids, vec![id(1, 0)]);
+        // The slide completed: the hour is visible and no debris remains.
+        assert!(mover.main().exists(&p.main_dir()));
+        assert!(!mover.main().exists(&p.staging_dir()));
+    }
+
+    #[test]
+    fn truncated_file_rejects_without_poisoning_the_slide() {
+        let p = part();
+        let wh = Warehouse::new();
+        write_framed(&wh, &p, "agg-0", &[(Some(id(3, 0)), b"keep")]);
+        // A half-written file whose checksum was nonetheless persisted.
+        let file = p.main_dir().child("agg-1").unwrap();
+        let mut w = wh.create(&file).unwrap();
+        w.append_record(staged::MAGIC);
+        for i in 0..32u64 {
+            w.append_record(&staged::encode(Some(id(3, 1 + i)), b"truncated-away"));
+        }
+        w.finish().unwrap();
+        wh.truncate_block(&file, 0).unwrap();
+        seal_hour(&wh, &p).unwrap();
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
+        let report = mover.move_hour(&p, &[("dc1", &wh)]).unwrap();
+        assert_eq!(report.rejected_files, 1);
+        assert_eq!(report.records, 1);
+        assert_eq!(report.moved_ids, vec![id(3, 0)]);
+        assert!(mover.main().exists(&p.main_dir()));
+    }
+
+    #[test]
+    fn malformed_envelope_is_dropped_not_fatal() {
+        let p = part();
+        let wh = Warehouse::new();
+        let file = p.main_dir().child("agg-0").unwrap();
+        let mut w = wh.create(&file).unwrap();
+        w.append_record(staged::MAGIC);
+        w.append_record(&staged::encode(Some(id(1, 0)), b"good"));
+        w.append_record(&[1u8, 2, 3]); // truncated stamped envelope
+        w.finish().unwrap();
+        seal_hour(&wh, &p).unwrap();
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
+        let report = mover.move_hour(&p, &[("dc1", &wh)]).unwrap();
+        assert_eq!(report.records, 1);
+        assert_eq!(report.dropped, 1);
     }
 }

@@ -5,27 +5,82 @@
 //! send entries. Crashing an aggregator closes its receiving end, so
 //! subsequent sends fail exactly like writes to a dead TCP peer — which is
 //! the signal daemons use to go back to ZooKeeper for a live aggregator.
+//!
+//! For chaos testing the network can additionally sample per-send link
+//! faults from a seeded RNG ([`LinkFaults`]): dropped packets, lost acks
+//! (delivered but reported failed, so the sender retries and the entry is
+//! duplicated), duplicated deliveries, and delayed packets that arrive a few
+//! [`advance_step`](Network::advance_step) calls later. Everything is
+//! deterministic in the seed, which is what makes chaos schedules
+//! replayable.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use rand::{Rng, SeedableRng, StdRng};
 
-use crate::message::LogEntry;
+use crate::message::{EntryId, LogEntry};
 
 /// Error returned when sending to a crashed or unknown aggregator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PeerDown;
 
-/// Registry of live channel endpoints, keyed by aggregator member name.
+/// Per-send fault probabilities. Rates are sampled from one roll per send,
+/// so they must sum to at most 1; the remainder is a clean delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkFaults {
+    /// Packet silently dropped; the sender sees a failure.
+    pub drop_rate: f64,
+    /// Packet delivered but the ack is lost: the sender sees a failure and
+    /// will retry, duplicating the entry downstream.
+    pub ack_loss_rate: f64,
+    /// Packet delivered twice; the sender sees success.
+    pub duplicate_rate: f64,
+    /// Packet held back and delivered on a later step; sender sees success.
+    pub delay_rate: f64,
+    /// Maximum steps a delayed packet is held (uniform in `1..=max`).
+    pub max_delay_steps: u64,
+}
+
+impl LinkFaults {
+    fn total_rate(&self) -> f64 {
+        self.drop_rate + self.ack_loss_rate + self.duplicate_rate + self.delay_rate
+    }
+}
+
+struct FaultState {
+    rng: StdRng,
+    faults: LinkFaults,
+}
+
+#[derive(Default)]
+struct Shared {
+    peers: HashMap<String, Sender<LogEntry>>,
+    faults: Option<FaultState>,
+    /// Delayed packets: (due step, endpoint, entry), in send order.
+    delayed: VecDeque<(u64, String, LogEntry)>,
+    /// Current simulation step, advanced by [`Network::advance_step`].
+    now: u64,
+}
+
+/// Registry of live channel endpoints, keyed by aggregator endpoint name.
 #[derive(Clone, Default)]
 pub struct Network {
-    peers: Arc<Mutex<HashMap<String, Sender<LogEntry>>>>,
+    inner: Arc<Mutex<Shared>>,
+}
+
+enum Decision {
+    Deliver,
+    Drop,
+    AckLoss,
+    Duplicate,
+    Delay(u64),
 }
 
 impl Network {
-    /// Creates an empty network.
+    /// Creates an empty, fault-free network.
     pub fn new() -> Self {
         Self::default()
     }
@@ -33,7 +88,7 @@ impl Network {
     /// Registers an endpoint and returns its receiving half.
     pub fn register(&self, name: &str) -> Receiver<LogEntry> {
         let (tx, rx) = unbounded();
-        self.peers.lock().insert(name.to_string(), tx);
+        self.inner.lock().peers.insert(name.to_string(), tx);
         rx
     }
 
@@ -41,24 +96,129 @@ impl Network {
     /// now on; entries already in the channel stay readable by the holder of
     /// the receiver (in-flight packets drain).
     pub fn unregister(&self, name: &str) {
-        self.peers.lock().remove(name);
+        self.inner.lock().peers.remove(name);
+    }
+
+    /// Arms seeded link-fault injection. Replaces any previous fault state,
+    /// so the same seed always produces the same per-send decisions.
+    pub fn set_faults(&self, seed: u64, faults: LinkFaults) {
+        assert!(
+            faults.total_rate() <= 1.0,
+            "link fault rates must sum to at most 1"
+        );
+        self.inner.lock().faults = Some(FaultState {
+            rng: StdRng::seed_from_u64(seed),
+            faults,
+        });
+    }
+
+    /// Disarms link-fault injection. Delayed packets already in flight keep
+    /// their schedule.
+    pub fn clear_faults(&self) {
+        self.inner.lock().faults = None;
     }
 
     /// Sends an entry to the named endpoint.
     pub fn send(&self, name: &str, entry: LogEntry) -> Result<(), PeerDown> {
-        let sender = {
-            let peers = self.peers.lock();
-            peers.get(name).cloned()
+        let mut s = self.inner.lock();
+        // One roll per send, partitioning [0,1) into the fault kinds. The
+        // roll happens before the liveness check so RNG consumption — and
+        // therefore every later decision — does not depend on peer state.
+        let decision = match &mut s.faults {
+            None => Decision::Deliver,
+            Some(f) => {
+                let roll: f64 = f.rng.gen();
+                let lf = f.faults;
+                let drop_edge = lf.drop_rate;
+                let ack_edge = drop_edge + lf.ack_loss_rate;
+                let dup_edge = ack_edge + lf.duplicate_rate;
+                let delay_edge = dup_edge + lf.delay_rate;
+                if roll < drop_edge {
+                    Decision::Drop
+                } else if roll < ack_edge {
+                    Decision::AckLoss
+                } else if roll < dup_edge {
+                    Decision::Duplicate
+                } else if roll < delay_edge {
+                    Decision::Delay(f.rng.gen_range(1..=lf.max_delay_steps.max(1)))
+                } else {
+                    Decision::Deliver
+                }
+            }
         };
-        match sender {
-            Some(tx) => tx.send(entry).map_err(|_| PeerDown),
-            None => Err(PeerDown),
+        if let Decision::Drop = decision {
+            // Simulated timeout: nothing reaches the peer, sender retries.
+            return Err(PeerDown);
         }
+        let Some(tx) = s.peers.get(name).cloned() else {
+            return Err(PeerDown);
+        };
+        match decision {
+            Decision::Drop => unreachable!("handled above"),
+            Decision::Delay(steps) => {
+                let due = s.now + steps;
+                s.delayed.push_back((due, name.to_string(), entry));
+                Ok(())
+            }
+            Decision::Deliver => tx.send(entry).map_err(|_| PeerDown),
+            Decision::AckLoss => {
+                // Delivered, but the sender is told it failed.
+                let _ = tx.send(entry);
+                Err(PeerDown)
+            }
+            Decision::Duplicate => {
+                let _ = tx.send(entry.clone());
+                tx.send(entry).map_err(|_| PeerDown)
+            }
+        }
+    }
+
+    /// Advances simulated time one step, delivering due delayed packets.
+    /// Packets whose endpoint has since crashed are returned as dead
+    /// letters: they were acked to the sender, so the caller must account
+    /// them as crash losses.
+    pub fn advance_step(&self) -> Vec<LogEntry> {
+        let mut s = self.inner.lock();
+        s.now += 1;
+        let now = s.now;
+        let mut dead = Vec::new();
+        let mut keep = VecDeque::new();
+        while let Some((due, name, entry)) = s.delayed.pop_front() {
+            if due > now {
+                keep.push_back((due, name, entry));
+                continue;
+            }
+            match s.peers.get(&name).cloned() {
+                Some(tx) => {
+                    if let Err(e) = tx.send(entry) {
+                        dead.push(e.0);
+                    }
+                }
+                None => dead.push(entry),
+            }
+        }
+        s.delayed = keep;
+        dead
+    }
+
+    /// Number of delayed packets currently in flight.
+    pub fn delayed_count(&self) -> u64 {
+        self.inner.lock().delayed.len() as u64
+    }
+
+    /// Ids of delayed packets currently in flight (stamped entries only).
+    pub fn delayed_ids(&self) -> Vec<EntryId> {
+        self.inner
+            .lock()
+            .delayed
+            .iter()
+            .filter_map(|(_, _, e)| e.id)
+            .collect()
     }
 
     /// True if the endpoint is registered.
     pub fn is_up(&self, name: &str) -> bool {
-        self.peers.lock().contains_key(name)
+        self.inner.lock().peers.contains_key(name)
     }
 }
 
@@ -100,5 +260,120 @@ mod tests {
         let rx = net.register("agg-1");
         drop(rx);
         assert_eq!(net.send("agg-1", LogEntry::new("c", vec![])), Err(PeerDown));
+    }
+
+    #[test]
+    fn drop_fault_loses_packet_and_reports_failure() {
+        let net = Network::new();
+        let rx = net.register("a");
+        net.set_faults(
+            1,
+            LinkFaults {
+                drop_rate: 1.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            net.send("a", LogEntry::new("c", b"x".to_vec())),
+            Err(PeerDown)
+        );
+        assert!(rx.try_iter().next().is_none());
+    }
+
+    #[test]
+    fn ack_loss_delivers_but_reports_failure() {
+        let net = Network::new();
+        let rx = net.register("a");
+        net.set_faults(
+            1,
+            LinkFaults {
+                ack_loss_rate: 1.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            net.send("a", LogEntry::new("c", b"x".to_vec())),
+            Err(PeerDown)
+        );
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        let net = Network::new();
+        let rx = net.register("a");
+        net.set_faults(
+            1,
+            LinkFaults {
+                duplicate_rate: 1.0,
+                ..Default::default()
+            },
+        );
+        net.send("a", LogEntry::new("c", b"x".to_vec())).unwrap();
+        assert_eq!(rx.try_iter().count(), 2);
+    }
+
+    #[test]
+    fn delayed_packet_arrives_after_steps() {
+        let net = Network::new();
+        let rx = net.register("a");
+        net.set_faults(
+            1,
+            LinkFaults {
+                delay_rate: 1.0,
+                max_delay_steps: 3,
+                ..Default::default()
+            },
+        );
+        net.send("a", LogEntry::new("c", b"x".to_vec())).unwrap();
+        assert_eq!(rx.try_iter().count(), 0);
+        assert_eq!(net.delayed_count(), 1);
+        let mut steps = 0;
+        while net.delayed_count() > 0 {
+            assert!(net.advance_step().is_empty());
+            steps += 1;
+            assert!(steps <= 3, "delay is bounded by max_delay_steps");
+        }
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn delayed_packet_to_crashed_peer_is_a_dead_letter() {
+        let net = Network::new();
+        let _rx = net.register("a");
+        net.set_faults(
+            1,
+            LinkFaults {
+                delay_rate: 1.0,
+                max_delay_steps: 1,
+                ..Default::default()
+            },
+        );
+        net.send("a", LogEntry::new("c", b"x".to_vec())).unwrap();
+        net.unregister("a");
+        let dead = net.advance_step();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].message, b"x");
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let outcomes = |seed: u64| {
+            let net = Network::new();
+            let _rx = net.register("a");
+            net.set_faults(
+                seed,
+                LinkFaults {
+                    drop_rate: 0.3,
+                    ack_loss_rate: 0.2,
+                    ..Default::default()
+                },
+            );
+            (0..64)
+                .map(|i| net.send("a", LogEntry::new("c", vec![i])).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(outcomes(42), outcomes(42));
+        assert_ne!(outcomes(42), outcomes(43), "different seeds should differ");
     }
 }

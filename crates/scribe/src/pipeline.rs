@@ -2,16 +2,22 @@
 //!
 //! Wires daemons, aggregators, staging clusters, and the mover into the
 //! multi-datacenter topology of Figure 1, advanced by explicit steps so
-//! tests and benchmarks stay deterministic.
+//! tests and benchmarks stay deterministic. Fault hooks cover every layer:
+//! aggregator crashes and respawns, coordination-session expiry for daemons
+//! and aggregators, staging and main-warehouse outages, seeded per-send
+//! link faults, and host-local disk-full windows. [`step_with_faults`]
+//! (Self::step_with_faults) drives a [`FaultPlan`] schedule into all of
+//! them deterministically.
 
 use uli_coord::CoordService;
 use uli_warehouse::{HourlyPartition, Warehouse};
 
 use crate::aggregator::Aggregator;
 use crate::daemon::ScribeDaemon;
-use crate::message::LogEntry;
+use crate::faults::FaultPlan;
+use crate::message::{EntryId, LogEntry};
 use crate::mover::{seal_hour, LogMover, MoveError, MoveReport};
-use crate::network::Network;
+use crate::network::{LinkFaults, Network};
 
 /// Topology and sizing parameters.
 #[derive(Debug, Clone, Copy)]
@@ -52,16 +58,26 @@ pub struct PipelineReport {
     pub logged: u64,
     /// Entries still buffered on hosts (no aggregator reachable yet).
     pub host_buffered: u64,
+    /// Entries dropped at hosts because the local buffer was full.
+    pub dropped_disk_full: u64,
+    /// Delayed packets still in flight on the network.
+    pub in_flight: u64,
     /// Entries accepted by aggregators.
     pub accepted: u64,
     /// Entries written durably to staging clusters.
     pub flushed: u64,
     /// Entries sitting in aggregator local-disk buffers (staging outage).
     pub aggregator_buffered: u64,
-    /// Entries lost to hard aggregator crashes.
+    /// Entries lost to hard aggregator crashes (including acked packets
+    /// that were in flight to a crashed endpoint).
     pub lost_in_crashes: u64,
     /// Entries moved into the main warehouse.
     pub moved: u64,
+    /// Duplicate copies the log-mover merge squashed.
+    pub duplicates_merged: u64,
+    /// Failed send attempts across all daemons (each triggered rediscovery
+    /// and, past the per-pump budget, exponential backoff).
+    pub retried: u64,
 }
 
 /// The full simulated pipeline.
@@ -76,6 +92,14 @@ pub struct ScribePipeline {
     /// report's `accepted` stays a true cumulative total.
     accepted_by_crashed: u64,
     moved: u64,
+    duplicates_merged: u64,
+    /// Ids of stamped entries lost in crashes (aggregator state and dead
+    /// in-flight packets).
+    lost_ids: Vec<EntryId>,
+    /// Ids of stamped entries the mover made visible.
+    delivered_ids: Vec<EntryId>,
+    /// Policy-dropped ids carried over from crashed aggregators.
+    policy_dropped_by_crashed: Vec<EntryId>,
 }
 
 impl ScribePipeline {
@@ -96,7 +120,7 @@ impl ScribePipeline {
                     ScribeDaemon::new(
                         (dc_idx * config.hosts_per_dc + h) as u64,
                         &name,
-                        coord.connect(),
+                        &coord,
                         network.clone(),
                     )
                 })
@@ -117,6 +141,10 @@ impl ScribePipeline {
             lost_in_crashes: 0,
             accepted_by_crashed: 0,
             moved: 0,
+            duplicates_merged: 0,
+            lost_ids: Vec::new(),
+            delivered_ids: Vec::new(),
+            policy_dropped_by_crashed: Vec::new(),
         }
     }
 
@@ -130,16 +158,34 @@ impl ScribePipeline {
         self.datacenters[dc].daemons[host].log(entry);
     }
 
-    /// One delivery step: every daemon pumps, every aggregator drains.
+    /// One delivery step: the network ticks (delivering delayed packets),
+    /// every daemon pumps, every aggregator heartbeats and drains.
     pub fn step(&mut self) {
+        let coord = self.coord.clone();
+        for entry in self.network.advance_step() {
+            // Acked to the sender, endpoint gone before delivery: the crash
+            // took this packet with it.
+            self.lost_in_crashes += 1;
+            if let Some(id) = entry.id {
+                self.lost_ids.push(id);
+            }
+        }
         for dc in &mut self.datacenters {
             for d in &mut dc.daemons {
                 d.pump();
             }
             for a in dc.aggregators.iter_mut().flatten() {
+                a.heartbeat(&coord);
                 a.process();
             }
         }
+    }
+
+    /// One delivery step under a chaos schedule: the plan injects this
+    /// step's faults, then the pipeline advances normally.
+    pub fn step_with_faults(&mut self, plan: &mut FaultPlan) {
+        plan.apply(self);
+        self.step();
     }
 
     /// Flushes all aggregators for the given hour index.
@@ -172,6 +218,8 @@ impl ScribePipeline {
             .collect();
         let report = self.mover.move_hour(&partition, &staging)?;
         self.moved += report.records;
+        self.duplicates_merged += report.duplicates;
+        self.delivered_ids.extend_from_slice(&report.moved_ids);
         Ok(report)
     }
 
@@ -181,9 +229,12 @@ impl ScribePipeline {
         match self.datacenters[dc].aggregators[slot].take() {
             Some(agg) => {
                 self.accepted_by_crashed += agg.accepted;
-                let lost = agg.crash(&coord);
-                self.lost_in_crashes += lost;
-                lost
+                let crash = agg.crash(&coord);
+                self.lost_in_crashes += crash.records;
+                self.lost_ids.extend_from_slice(&crash.ids);
+                self.policy_dropped_by_crashed
+                    .extend_from_slice(&crash.policy_dropped_ids);
+                crash.records
             }
             None => 0,
         }
@@ -197,9 +248,96 @@ impl ScribePipeline {
         self.datacenters[dc].aggregators[slot] = Some(agg);
     }
 
+    /// True if the aggregator slot currently holds a live process.
+    pub fn aggregator_is_up(&self, dc: usize, slot: usize) -> bool {
+        self.datacenters[dc].aggregators[slot].is_some()
+    }
+
+    /// Expires the coordination session of one host daemon. The daemon
+    /// reconnects on its next discovery.
+    pub fn expire_daemon_session(&self, dc: usize, host: usize) {
+        let sid = self.datacenters[dc].daemons[host].session_id();
+        self.coord.expire_session(sid);
+    }
+
+    /// Expires the coordination session of one aggregator (missed
+    /// heartbeats). Its znode vanishes; the process itself stays up and
+    /// re-registers on its next heartbeat.
+    pub fn expire_aggregator_session(&self, dc: usize, slot: usize) {
+        if let Some(agg) = &self.datacenters[dc].aggregators[slot] {
+            self.coord.expire_session(agg.session_id());
+        }
+    }
+
     /// Injects or clears a staging-cluster outage in one datacenter.
     pub fn set_staging_available(&self, dc: usize, available: bool) {
         self.datacenters[dc].staging.set_available(available);
+    }
+
+    /// Injects or clears an outage of the main warehouse (mover writes
+    /// fail; already-moved hours stay readable).
+    pub fn set_main_available(&self, available: bool) {
+        self.mover.main().set_available(available);
+    }
+
+    /// Arms seeded link faults on the shared network.
+    pub fn set_link_faults(&self, seed: u64, faults: LinkFaults) {
+        self.network.set_faults(seed, faults);
+    }
+
+    /// Disarms link faults (delayed packets keep their schedule).
+    pub fn clear_link_faults(&self) {
+        self.network.clear_faults();
+    }
+
+    /// Caps (or uncaps) the local buffer of every host in one datacenter —
+    /// the disk-full fault.
+    pub fn set_host_queue_capacity(&mut self, dc: usize, capacity: Option<usize>) {
+        for d in &mut self.datacenters[dc].daemons {
+            d.set_queue_capacity(capacity);
+        }
+    }
+
+    /// The shared network (for in-flight introspection).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// One datacenter's staging warehouse.
+    pub fn staging_warehouse(&self, dc: usize) -> &Warehouse {
+        &self.datacenters[dc].staging
+    }
+
+    /// All host daemons, across datacenters.
+    pub fn daemons(&self) -> impl Iterator<Item = &ScribeDaemon> {
+        self.datacenters.iter().flat_map(|dc| dc.daemons.iter())
+    }
+
+    /// All live aggregators, across datacenters.
+    pub fn aggregators(&self) -> impl Iterator<Item = &Aggregator> {
+        self.datacenters
+            .iter()
+            .flat_map(|dc| dc.aggregators.iter().flatten())
+    }
+
+    /// Ids of stamped entries lost in crashes so far.
+    pub fn lost_ids(&self) -> &[EntryId] {
+        &self.lost_ids
+    }
+
+    /// Ids of stamped entries the mover has made visible so far.
+    pub fn delivered_ids(&self) -> &[EntryId] {
+        &self.delivered_ids
+    }
+
+    /// Ids dropped by category policy, including by since-crashed
+    /// aggregators.
+    pub fn policy_dropped_ids(&self) -> Vec<EntryId> {
+        let mut ids = self.policy_dropped_by_crashed.clone();
+        for a in self.aggregators() {
+            ids.extend_from_slice(a.policy_dropped_ids());
+        }
+        ids
     }
 
     /// The main data warehouse the mover fills.
@@ -214,16 +352,20 @@ impl ScribePipeline {
             lost_in_crashes: self.lost_in_crashes,
             accepted: self.accepted_by_crashed,
             moved: self.moved,
+            duplicates_merged: self.duplicates_merged,
+            in_flight: self.network.delayed_count(),
             ..Default::default()
         };
         for dc in &self.datacenters {
             for d in &dc.daemons {
                 r.logged += d.logged;
                 r.host_buffered += d.buffered();
+                r.dropped_disk_full += d.dropped_disk_full;
+                r.retried += d.send_failures;
             }
             for a in dc.aggregators.iter().flatten() {
                 r.accepted += a.accepted;
-                r.aggregator_buffered += a.unflushed();
+                r.aggregator_buffered += a.unflushed() + a.in_channel();
             }
         }
         r
@@ -280,6 +422,8 @@ mod tests {
         assert_eq!(totals.moved, logged);
         assert_eq!(totals.lost_in_crashes, 0);
         assert_eq!(totals.host_buffered, 0);
+        // Every logged entry's id is accounted as delivered.
+        assert_eq!(pipe.delivered_ids().len() as u64, logged);
     }
 
     #[test]
@@ -318,6 +462,9 @@ mod tests {
             "every entry is moved or accounted lost"
         );
         assert_eq!(totals.host_buffered, 0);
+        // Lost ids and delivered ids partition the logged set.
+        assert_eq!(pipe.lost_ids().len() as u64, lost);
+        assert_eq!(pipe.delivered_ids().len() as u64, moved);
     }
 
     #[test]
@@ -375,5 +522,41 @@ mod tests {
             let dir = HourlyPartition::from_hour_index("client_events", h).main_dir();
             assert!(main.exists(&dir), "hour {h} directory must exist");
         }
+    }
+
+    #[test]
+    fn expired_sessions_recover_transparently() {
+        let mut pipe = ScribePipeline::new(small_config());
+        for host in 0..4 {
+            pipe.expire_daemon_session(0, host);
+        }
+        pipe.expire_aggregator_session(0, 0);
+        pipe.expire_aggregator_session(0, 1);
+        let logged = log_round(&mut pipe, 5, "a");
+        pipe.step(); // heartbeats re-register, daemons reconnect
+        pipe.step();
+        pipe.flush_hour(0);
+        pipe.seal_hour("client_events", 0);
+        let moved = pipe.move_hour("client_events", 0).unwrap().records;
+        assert_eq!(moved, logged, "expiry alone must not lose data");
+        assert_eq!(pipe.report().lost_in_crashes, 0);
+    }
+
+    #[test]
+    fn main_outage_fails_move_then_recovers() {
+        let mut pipe = ScribePipeline::new(small_config());
+        let logged = log_round(&mut pipe, 5, "a");
+        pipe.step();
+        pipe.flush_hour(0);
+        pipe.seal_hour("client_events", 0);
+        pipe.set_main_available(false);
+        assert!(matches!(
+            pipe.move_hour("client_events", 0),
+            Err(MoveError::Warehouse(_))
+        ));
+        pipe.set_main_available(true);
+        let report = pipe.move_hour("client_events", 0).unwrap();
+        assert_eq!(report.records, logged, "failed move retries cleanly");
+        assert_eq!(report.duplicates, 0, "retry is not a duplicate");
     }
 }

@@ -65,7 +65,7 @@ pub(crate) struct Block {
 }
 
 /// Immutable contents of a finished file.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct FileData {
     pub(crate) blocks: Vec<Block>,
     pub(crate) total_records: u64,

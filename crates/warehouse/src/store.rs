@@ -322,6 +322,50 @@ impl Warehouse {
         }
     }
 
+    /// Fault hook: flips a byte in one stored block of `path` *without*
+    /// updating its checksum, so the next read fails verification with
+    /// [`WarehouseError::ChecksumMismatch`]. Clears the block cache — a
+    /// cached payload would otherwise keep serving the pre-corruption bytes.
+    pub fn corrupt_block(&self, path: &WhPath, block: usize) -> WarehouseResult<()> {
+        self.mutate_block(path, block, |b| match b.compressed.first_mut() {
+            Some(byte) => *byte ^= 0xFF,
+            None => b.compressed.push(0xFF),
+        })
+    }
+
+    /// Fault hook: drops the tail half of one block's compressed bytes and
+    /// recomputes the checksum — a half-written file whose checksum was
+    /// nonetheless persisted. Reads pass verification but fail to
+    /// decompress, surfacing [`WarehouseError::Corrupt`].
+    pub fn truncate_block(&self, path: &WhPath, block: usize) -> WarehouseResult<()> {
+        self.mutate_block(path, block, |b| {
+            let keep = b.compressed.len() / 2;
+            b.compressed.truncate(keep);
+            b.checksum = crate::file::fnv1a64(&b.compressed);
+        })
+    }
+
+    fn mutate_block(
+        &self,
+        path: &WhPath,
+        block: usize,
+        f: impl FnOnce(&mut crate::file::Block),
+    ) -> WarehouseResult<()> {
+        let data = self.file_data(path)?;
+        let mut copy = FileData::clone(&data);
+        let b = copy
+            .blocks
+            .get_mut(block)
+            .ok_or(WarehouseError::Corrupt("no such block to damage"))?;
+        f(b);
+        self.tree
+            .lock()
+            .entries
+            .insert(path.as_str().to_string(), Entry::File(Arc::new(copy)));
+        self.cache.clear();
+        Ok(())
+    }
+
     /// Recursively deletes a directory and everything under it.
     pub fn delete_dir(&self, dir: &WhPath) -> WarehouseResult<()> {
         self.check_available()?;

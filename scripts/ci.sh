@@ -16,4 +16,8 @@ cargo test --workspace -q
 echo "== repro smoke (e14 parallel sweep, e15 pushdown sweep)"
 cargo run --release -q -p uli-bench --bin repro -- --smoke e14 e15
 
+echo "== chaos gate (seeded sweep + delivery-invariant checker)"
+cargo test -q --test chaos
+cargo run --release -q -p uli-bench --bin repro -- --smoke e16
+
 echo "ci: all green"

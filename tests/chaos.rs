@@ -1,0 +1,169 @@
+//! Seeded chaos sweep over the Scribe delivery path.
+//!
+//! Each test drives [`uli_scribe::run_chaos`] across a range of seeds; the
+//! harness injects aggregator crashes, session expiries, staging outages,
+//! disk-full windows, and link faults (drop / lost ack / duplicate /
+//! delay), then settles the pipeline, moves every hour, and audits the
+//! delivery invariants. Every assertion message carries the seed, so any
+//! failure reproduces with `run_chaos(<seed>, &cfg)` — no flake hunting.
+
+use uli_scribe::network::LinkFaults;
+use uli_scribe::{run_chaos, run_chaos_with, ChaosConfig, FaultConfig, Sabotage};
+
+fn assert_clean(seed: u64, cfg: &ChaosConfig) -> uli_scribe::ChaosOutcome {
+    let o = run_chaos(seed, cfg);
+    assert!(
+        o.is_clean(),
+        "seed {seed}: invariant violations: {:?}\nreport: {:?}\naccounting: {:?}",
+        o.accounting.violations,
+        o.report,
+        o.accounting
+    );
+    let a = &o.accounting;
+    assert_eq!(
+        a.logged,
+        a.delivered + a.buffered + a.lost + a.dropped,
+        "seed {seed}: unique-id accounting must reconcile exactly: {a:?}"
+    );
+    assert_eq!(
+        o.report.moved, a.delivered,
+        "seed {seed}: mover output must match delivered-id accounting"
+    );
+    o
+}
+
+/// The main sweep: 104 seeds through the default fault mix, zero
+/// violations allowed. Also proves the harness is not vacuous — across the
+/// sweep every fault family must actually have produced observable damage
+/// (crash losses, duplicate squashes, disk-full drops, delayed packets).
+#[test]
+fn sweep_default_faults_104_seeds() {
+    let cfg = ChaosConfig::default();
+    let (mut crash_loss, mut dup_merges, mut disk_drops, mut retries) = (0u64, 0u64, 0u64, 0u64);
+    for seed in 0..104 {
+        let o = assert_clean(seed, &cfg);
+        crash_loss += o.report.lost_in_crashes;
+        dup_merges += o.report.duplicates_merged;
+        disk_drops += o.report.dropped_disk_full;
+        retries += o.report.retried;
+        assert!(
+            o.hours >= 6,
+            "seed {seed}: default config should span 6 hours, got {}",
+            o.hours
+        );
+    }
+    assert!(
+        crash_loss > 0,
+        "no run lost entries to a crash: harness too tame"
+    );
+    assert!(
+        dup_merges > 0,
+        "no run squashed a duplicate: harness too tame"
+    );
+    assert!(
+        disk_drops > 0,
+        "no run hit a disk-full window: harness too tame"
+    );
+    assert!(
+        retries > 0,
+        "no run exercised the retry path: harness too tame"
+    );
+}
+
+/// A hostile network: high drop / lost-ack / duplicate / delay rates plus a
+/// higher crash rate. Duplicates flood the mover; none may survive.
+#[test]
+fn sweep_aggressive_link_faults_16_seeds() {
+    let cfg = ChaosConfig {
+        faults: FaultConfig {
+            crash_rate: 0.03,
+            link: LinkFaults {
+                drop_rate: 0.08,
+                ack_loss_rate: 0.08,
+                duplicate_rate: 0.06,
+                delay_rate: 0.15,
+                max_delay_steps: 4,
+            },
+            ..FaultConfig::default()
+        },
+        ..ChaosConfig::default()
+    };
+    let mut dup_merges = 0u64;
+    for seed in 9000..9016 {
+        let o = assert_clean(seed, &cfg);
+        dup_merges += o.report.duplicates_merged;
+    }
+    assert!(
+        dup_merges > 0,
+        "an aggressive ack-loss/duplicate mix must force the mover to squash duplicates"
+    );
+}
+
+/// Determinism: the same seed must yield byte-identical reports and
+/// accounting, twice in a row — the property that makes every sweep
+/// failure reproducible from its seed alone.
+#[test]
+fn same_seed_twice_is_byte_identical() {
+    let cfg = ChaosConfig::default();
+    for seed in [0u64, 17, 42, 9001] {
+        let a = run_chaos(seed, &cfg);
+        let b = run_chaos(seed, &cfg);
+        assert_eq!(
+            a.report, b.report,
+            "seed {seed}: reports diverged across replays"
+        );
+        assert_eq!(
+            format!("{:?}", a.report),
+            format!("{:?}", b.report),
+            "seed {seed}: report debug rendering diverged"
+        );
+        assert_eq!(
+            format!("{:?}", a.accounting),
+            format!("{:?}", b.accounting),
+            "seed {seed}: accounting diverged across replays"
+        );
+    }
+}
+
+/// Negative control: a fault the harness does NOT account for (silent
+/// deletion of a staged file) must trip the checker. If this test fails,
+/// the sweep above is meaningless.
+#[test]
+fn checker_catches_unaccounted_loss() {
+    // Quiet fault mix: with no duplicates in flight, deleting any staged
+    // file is guaranteed to lose data rather than a redundant copy.
+    let cfg = ChaosConfig {
+        faults: FaultConfig::quiet(),
+        ..ChaosConfig::default()
+    };
+    for seed in [1u64, 2, 3] {
+        let o = run_chaos_with(seed, &cfg, Sabotage::DeleteStagedFile);
+        assert!(
+            !o.is_clean(),
+            "seed {seed}: silent staged-file deletion went undetected"
+        );
+        assert!(
+            o.accounting
+                .violations
+                .iter()
+                .any(|v| v.contains("unaccounted")),
+            "seed {seed}: expected an unaccounted-loss violation, got {:?}",
+            o.accounting.violations
+        );
+    }
+}
+
+/// Mover faults: every hour's first move attempt happens during a main
+/// warehouse outage. The failed attempt must leave no debris, and the
+/// retry must deliver everything exactly once.
+#[test]
+fn main_outage_at_every_move_stays_all_or_nothing() {
+    let cfg = ChaosConfig {
+        main_outage_at_move: true,
+        ..ChaosConfig::default()
+    };
+    for seed in 100..108 {
+        let o = assert_clean(seed, &cfg);
+        assert!(o.report.moved > 0, "seed {seed}: nothing delivered");
+    }
+}
