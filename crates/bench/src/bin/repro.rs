@@ -85,6 +85,49 @@ fn main() -> ExitCode {
             println!("{report}");
             continue;
         }
+        if id == "e17" {
+            // The observability sweep gates on its own invariants:
+            // cross-layer reconciliation, worker-invariant snapshots, and a
+            // clean duplicate-registration list. Smoke writes the snapshot
+            // CI diffs against the checked-in golden file; full scale
+            // persists BENCH_obs.json.
+            use uli_bench::experiments::e17_obs as e17;
+            let m = if smoke {
+                e17::smoke_snapshot()
+            } else {
+                e17::measure()
+            };
+            println!("{}", "=".repeat(74));
+            println!("{}", e17::render(&m));
+            if !m.reconciled {
+                eprintln!("e17: cross-layer totals did not reconcile");
+                failed = true;
+            }
+            if !m.snapshots_identical {
+                eprintln!("e17: snapshot differs across worker counts");
+                failed = true;
+            }
+            if !m.duplicates_clean {
+                eprintln!("e17: duplicate metric registrations found");
+                failed = true;
+            }
+            let (path, payload) = if smoke {
+                (
+                    "target/e17_smoke.metrics.json",
+                    m.samples[0].snapshot_json.clone(),
+                )
+            } else {
+                ("BENCH_obs.json", e17::to_json(&m))
+            };
+            match std::fs::write(path, payload) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
         match uli_bench::run_experiment(id) {
             Some(report) => {
                 println!("{}", "=".repeat(74));

@@ -7,6 +7,7 @@ pub mod e13_layouts;
 pub mod e14_parallel;
 pub mod e15_pushdown;
 pub mod e16_chaos;
+pub mod e17_obs;
 pub mod e1_scribe;
 pub mod e2_rollups;
 pub mod e3_codec;

@@ -9,8 +9,10 @@
 //! \[task\] startup costs" (§4.2).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use uli_obs::{Counter, Registry};
 use uli_warehouse::{FileBlocks, Parallelism, ScanPool, Warehouse, ZoneMapPruner};
 
 use crate::error::{DataflowError, DataflowResult};
@@ -125,6 +127,142 @@ struct MapInput {
     bytes: u64,
 }
 
+/// Plan-stage kinds, in the fixed order their per-stage counters register.
+const STAGE_KINDS: [&str; 11] = [
+    "load",
+    "values",
+    "filter",
+    "foreach",
+    "group_by",
+    "aggregate",
+    "join",
+    "order_by",
+    "distinct",
+    "union",
+    "limit",
+];
+
+fn stage_kind(node: &PlanNode) -> &'static str {
+    match node {
+        PlanNode::Load { .. } => "load",
+        PlanNode::Values { .. } => "values",
+        PlanNode::Filter { .. } => "filter",
+        PlanNode::Foreach { .. } => "foreach",
+        PlanNode::GroupBy { .. } => "group_by",
+        PlanNode::Aggregate { .. } => "aggregate",
+        PlanNode::Join { .. } => "join",
+        PlanNode::OrderBy { .. } => "order_by",
+        PlanNode::Distinct { .. } => "distinct",
+        PlanNode::Union { .. } => "union",
+        PlanNode::Limit { .. } => "limit",
+    }
+}
+
+/// Registry handles behind [`Engine::with_obs`].
+///
+/// [`JobStats`] remains the per-query result struct; these counters are
+/// *mirrors* fed from the same `JobStats` values at the end of every query,
+/// so the registry totals are sums over queries of the struct the tests
+/// already pin — the two views cannot diverge. Per-stage rows in/out come
+/// from the executor itself (one span + one counter update per visited plan
+/// node), and all handles register at `with_obs` time in a fixed order so
+/// snapshot order never depends on which plans later run.
+struct EngineObs {
+    registry: Registry,
+    queries: Counter,
+    mr_jobs: Counter,
+    map_tasks: Counter,
+    reduce_tasks: Counter,
+    input_records: Counter,
+    input_blocks: Counter,
+    blocks_skipped: Counter,
+    input_bytes_compressed: Counter,
+    input_bytes_uncompressed: Counter,
+    shuffle_records: Counter,
+    shuffle_bytes: Counter,
+    output_records: Counter,
+    records_skipped_by_predicate: Counter,
+    fields_skipped: Counter,
+    rows_in: BTreeMap<&'static str, Counter>,
+    rows_out: BTreeMap<&'static str, Counter>,
+    /// Rows returned by completed child stages of the node currently
+    /// executing. Execution of the plan tree is serial (worker threads live
+    /// below [`ScanPool`], inside a stage), so a single cell suffices; it is
+    /// atomic only because `Engine` must stay `Sync`.
+    child_rows: AtomicU64,
+}
+
+impl EngineObs {
+    fn new(registry: &Registry) -> EngineObs {
+        let c = |name: &str| registry.counter("dataflow", name);
+        let queries = c("queries");
+        let mr_jobs = c("mr_jobs");
+        let map_tasks = c("map_tasks");
+        let reduce_tasks = c("reduce_tasks");
+        let input_records = c("input_records");
+        let input_blocks = c("input_blocks");
+        let blocks_skipped = c("blocks_skipped");
+        let input_bytes_compressed = c("input_bytes_compressed");
+        let input_bytes_uncompressed = c("input_bytes_uncompressed");
+        let shuffle_records = c("shuffle_records");
+        let shuffle_bytes = c("shuffle_bytes");
+        let output_records = c("output_records");
+        let records_skipped_by_predicate = c("records_skipped_by_predicate");
+        let fields_skipped = c("fields_skipped");
+        let mut rows_in = BTreeMap::new();
+        let mut rows_out = BTreeMap::new();
+        for kind in STAGE_KINDS {
+            rows_in.insert(
+                kind,
+                registry.counter_labeled("dataflow", "stage_rows_in", &[("stage", kind)]),
+            );
+            rows_out.insert(
+                kind,
+                registry.counter_labeled("dataflow", "stage_rows_out", &[("stage", kind)]),
+            );
+        }
+        EngineObs {
+            registry: registry.clone(),
+            queries,
+            mr_jobs,
+            map_tasks,
+            reduce_tasks,
+            input_records,
+            input_blocks,
+            blocks_skipped,
+            input_bytes_compressed,
+            input_bytes_uncompressed,
+            shuffle_records,
+            shuffle_bytes,
+            output_records,
+            records_skipped_by_predicate,
+            fields_skipped,
+            rows_in,
+            rows_out,
+            child_rows: AtomicU64::new(0),
+        }
+    }
+
+    fn mirror(&self, s: &JobStats) {
+        self.queries.inc();
+        self.mr_jobs.add(s.mr_jobs);
+        self.map_tasks.add(s.map_tasks);
+        self.reduce_tasks.add(s.reduce_tasks);
+        self.input_records.add(s.input_records);
+        self.input_blocks.add(s.input_blocks);
+        self.blocks_skipped.add(s.blocks_skipped);
+        self.input_bytes_compressed.add(s.input_bytes_compressed);
+        self.input_bytes_uncompressed
+            .add(s.input_bytes_uncompressed);
+        self.shuffle_records.add(s.shuffle_records);
+        self.shuffle_bytes.add(s.shuffle_bytes);
+        self.output_records.add(s.output_records);
+        self.records_skipped_by_predicate
+            .add(s.records_skipped_by_predicate);
+        self.fields_skipped.add(s.fields_skipped);
+    }
+}
+
 /// The query engine: a warehouse plus a cost model.
 pub struct Engine {
     warehouse: Warehouse,
@@ -137,6 +275,8 @@ pub struct Engine {
     pushdown: Pushdown,
     /// Records per simulated reduce task.
     reduce_keys_per_task: u64,
+    /// Registry-backed telemetry, when attached.
+    obs: Option<EngineObs>,
 }
 
 impl Engine {
@@ -148,6 +288,7 @@ impl Engine {
             parallelism: Parallelism::default(),
             pushdown: Pushdown::default(),
             reduce_keys_per_task: 1 << 20,
+            obs: None,
         }
     }
 
@@ -159,7 +300,18 @@ impl Engine {
             parallelism: Parallelism::default(),
             pushdown: Pushdown::default(),
             reduce_keys_per_task: 1 << 20,
+            obs: None,
         }
+    }
+
+    /// Attaches registry-backed telemetry under the `dataflow` component:
+    /// cumulative [`JobStats`] mirrors, per-stage `stage_rows_in`/`_out`
+    /// counters, and one span per executed plan stage. All handles register
+    /// here, in a fixed order, so snapshot order never depends on the plans
+    /// that later run.
+    pub fn with_obs(mut self, registry: &Registry) -> Self {
+        self.obs = Some(EngineObs::new(registry));
+        self
     }
 
     /// Sets the map-phase worker count. `Parallelism::serial()` restores the
@@ -194,6 +346,10 @@ impl Engine {
     /// Executes a plan.
     pub fn run(&self, plan: &Plan) -> DataflowResult<QueryResult> {
         let mut stats = JobStats::default();
+        let _query_span = self.obs.as_ref().map(|o| {
+            o.child_rows.store(0, Ordering::Relaxed);
+            o.registry.span("dataflow", "query")
+        });
         let (rows, pending) = self.exec(plan, &mut stats)?;
         // A plan that scanned data but never shuffled is a map-only job.
         if pending.tasks > 0 && stats.mr_jobs == 0 {
@@ -201,6 +357,9 @@ impl Engine {
             stats.map_tasks += pending.tasks;
         }
         stats.output_records = rows.len() as u64;
+        if let Some(obs) = &self.obs {
+            obs.mirror(&stats);
+        }
         let estimated_cluster_ms = self.cost.estimate_ms(&stats);
         Ok(QueryResult {
             schema: plan.schema().to_vec(),
@@ -369,7 +528,41 @@ impl Engine {
         Ok((out, next))
     }
 
+    /// Executes one plan node, with per-stage telemetry when attached: a
+    /// `dataflow/<kind>` span around the node and `stage_rows_in`/`_out`
+    /// counter updates. A stage's rows-in is what its child stages returned,
+    /// or — for leaves and collapsed map chains, which have no child exec
+    /// calls — the records the scan read (predicate-skipped records are
+    /// already included in `input_records`).
     fn exec(&self, plan: &Plan, stats: &mut JobStats) -> DataflowResult<(Vec<Tuple>, MapInput)> {
+        let Some(obs) = &self.obs else {
+            return self.exec_node(plan, stats);
+        };
+        let kind = stage_kind(&plan.node);
+        let _span = obs.registry.span("dataflow", kind);
+        let scanned_before = stats.input_records;
+        let parent_rows = obs.child_rows.swap(0, Ordering::Relaxed);
+        let result = self.exec_node(plan, stats);
+        let child_rows = obs.child_rows.load(Ordering::Relaxed);
+        if let Ok((rows, _)) = &result {
+            let rows_in = if child_rows > 0 {
+                child_rows
+            } else {
+                stats.input_records - scanned_before
+            };
+            obs.rows_in[kind].add(rows_in);
+            obs.rows_out[kind].add(rows.len() as u64);
+            obs.child_rows
+                .store(parent_rows + rows.len() as u64, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn exec_node(
+        &self,
+        plan: &Plan,
+        stats: &mut JobStats,
+    ) -> DataflowResult<(Vec<Tuple>, MapInput)> {
         // A LOAD → FILTER → FOREACH chain is a pure map phase: run it
         // per-block on the scan pool. Block results concatenate in block
         // order, so rows come out exactly as the serial scan produces them.
@@ -1209,6 +1402,65 @@ mod tests {
             .unwrap();
         assert_eq!(serial.rows, parallel.rows);
         assert_eq!(serial.stats, parallel.stats);
+    }
+
+    #[test]
+    fn obs_mirrors_job_stats_and_counts_stage_rows() {
+        let registry = Registry::new();
+        let (wh, dir) = fixture();
+        let engine = Engine::new(wh).with_obs(&registry);
+        let plan = load(&dir)
+            .filter(Expr::col(1).eq(Expr::lit("click")))
+            .aggregate(vec![Agg::count()]);
+        let r = engine.run(&plan).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("dataflow/queries"), Some(1));
+        assert_eq!(
+            snap.counter_value("dataflow/input_records"),
+            Some(r.stats.input_records),
+            "mirror equals the JobStats the caller saw"
+        );
+        assert_eq!(
+            snap.counter_value("dataflow/output_records"),
+            Some(r.stats.output_records)
+        );
+        // The pushed filter collapses into the aggregate's map chain: the
+        // aggregate stage consumed every surfaced record and emitted 1 row.
+        assert_eq!(
+            snap.counter_value("dataflow/stage_rows_in{stage=aggregate}"),
+            Some(300)
+        );
+        assert_eq!(
+            snap.counter_value("dataflow/stage_rows_out{stage=aggregate}"),
+            Some(1)
+        );
+        assert!(registry.duplicate_registrations().is_empty());
+        // Spans: one query root wrapping the aggregate stage.
+        let spans = registry.finished_spans();
+        assert_eq!(spans[0].key(), "dataflow/query");
+        assert!(spans.iter().any(|s| s.key() == "dataflow/aggregate"));
+    }
+
+    #[test]
+    fn obs_accounting_is_worker_invariant() {
+        let run_with = |workers: usize| {
+            let registry = Registry::new();
+            let (wh, dir) = zoned_fixture();
+            let engine = Engine::new(wh)
+                .with_obs(&registry)
+                .with_parallelism(Parallelism::fixed(workers));
+            engine
+                .run(
+                    &zoned_load(&dir)
+                        .filter(Expr::col(2).ge(Expr::lit(100i64)))
+                        .aggregate_by(vec![0], vec![Agg::count()]),
+                )
+                .unwrap();
+            registry.snapshot().to_json()
+        };
+        let serial = run_with(1);
+        assert_eq!(serial, run_with(4));
+        assert_eq!(serial, run_with(8));
     }
 
     #[test]

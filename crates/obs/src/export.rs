@@ -1,0 +1,283 @@
+//! Snapshot exporters: deterministic JSON and Prometheus text.
+//!
+//! Both formats are rendered by hand (no serde in the workspace) and both
+//! are deterministic functions of the snapshot: metrics appear in
+//! registration order, spans in open order, and every number is an
+//! integer. That is what lets the CI obs gate diff a run's JSON snapshot
+//! against a checked-in golden file byte for byte.
+
+use std::fmt::Write as _;
+
+use crate::registry::{Snapshot, SnapshotValue};
+use crate::span::SpanNode;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": \"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push('}');
+    out
+}
+
+fn push_span(out: &mut String, node: &SpanNode, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let r = &node.record;
+    let _ = writeln!(out, "{pad}{{");
+    let _ = writeln!(out, "{pad}  \"key\": \"{}\",", json_escape(&r.key()));
+    let _ = writeln!(out, "{pad}  \"labels\": {},", json_labels(&r.labels));
+    let _ = writeln!(out, "{pad}  \"start_tick\": {},", r.start_tick);
+    let _ = writeln!(out, "{pad}  \"end_tick\": {},", r.end_tick);
+    if node.children.is_empty() {
+        let _ = writeln!(out, "{pad}  \"children\": []");
+    } else {
+        let _ = writeln!(out, "{pad}  \"children\": [");
+        for (i, child) in node.children.iter().enumerate() {
+            push_span(out, child, indent + 2);
+            if i + 1 < node.children.len() {
+                out.truncate(out.len() - 1);
+                out.push_str(",\n");
+            }
+        }
+        let _ = writeln!(out, "{pad}  ]");
+    }
+    let _ = writeln!(out, "{pad}}}");
+}
+
+/// Renders a snapshot as a deterministic, diff-stable JSON document
+/// (schema `uli-obs-v1`). Metric order is registration order; every value
+/// is an integer; there is no wall time anywhere.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"uli-obs-v1\",\n");
+    out.push_str("  \"metrics\": [\n");
+    for (i, (key, value)) in snap.metrics.iter().enumerate() {
+        let comma = if i + 1 < snap.metrics.len() { "," } else { "" };
+        let display = json_escape(&key.display());
+        match value {
+            SnapshotValue::Counter(v) => {
+                let _ = writeln!(
+                    out,
+                    "    {{\"kind\": \"counter\", \"key\": \"{display}\", \"labels\": {}, \"value\": {v}}}{comma}",
+                    json_labels(&key.labels),
+                );
+            }
+            SnapshotValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "    {{\"kind\": \"gauge\", \"key\": \"{display}\", \"labels\": {}, \"value\": {v}}}{comma}",
+                    json_labels(&key.labels),
+                );
+            }
+            SnapshotValue::Histogram(h) => {
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .map(|&(b, c)| format!("[{b}, {c}]"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "    {{\"kind\": \"histogram\", \"key\": \"{display}\", \"labels\": {}, \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}{comma}",
+                    json_labels(&key.labels),
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    buckets.join(", "),
+                );
+            }
+        }
+    }
+    out.push_str("  ],\n");
+    let dups: Vec<String> = snap
+        .duplicates
+        .iter()
+        .map(|d| format!("\"{}\"", json_escape(d)))
+        .collect();
+    let _ = writeln!(out, "  \"duplicate_registrations\": [{}],", dups.join(", "));
+    out.push_str("  \"spans\": [\n");
+    for (i, root) in snap.forest.iter().enumerate() {
+        push_span(&mut out, root, 2);
+        if i + 1 < snap.forest.len() {
+            out.truncate(out.len() - 1);
+            out.push_str(",\n");
+        }
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"critical_path\": [\n");
+    for (i, step) in snap.critical.iter().enumerate() {
+        let comma = if i + 1 < snap.critical.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"key\": \"{}\", \"labels\": {}, \"ticks\": {}, \"self_ticks\": {}}}{comma}",
+            json_escape(&step.key),
+            json_labels(&step.labels),
+            step.ticks,
+            step.self_ticks,
+        );
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Mangles `component/name` into a Prometheus metric name:
+/// `uli_<component>_<name>` with every non-alphanumeric byte folded to `_`.
+fn prom_name(component: &str, name: &str) -> String {
+    let mut out = String::from("uli_");
+    for c in component.chars().chain(Some('_')).chain(name.chars()) {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prom_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}=\"{}\"",
+            k,
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Histograms are emitted as cumulative `_bucket` series (`le` = the
+/// bucket's inclusive upper bound), plus `_sum` and `_count`, matching the
+/// classic Prometheus histogram contract.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (key, value) in &snap.metrics {
+        let name = prom_name(&key.component, &key.name);
+        let labels = prom_labels(&key.labels);
+        match value {
+            SnapshotValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name}{labels} {v}");
+            }
+            SnapshotValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name}{labels} {v}");
+            }
+            SnapshotValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for &(b, c) in &h.buckets {
+                    cumulative += c;
+                    let (_, hi) = crate::metric::bucket_bounds(b);
+                    let mut with_le: Vec<(String, String)> = key.labels.clone();
+                    with_le.push(("le".to_string(), hi.to_string()));
+                    let _ = writeln!(out, "{name}_bucket{} {cumulative}", prom_labels(&with_le));
+                }
+                let mut with_le: Vec<(String, String)> = key.labels.clone();
+                with_le.push(("le".to_string(), "+Inf".to_string()));
+                let _ = writeln!(out, "{name}_bucket{} {}", prom_labels(&with_le), h.count);
+                let _ = writeln!(out, "{name}_sum{labels} {}", h.sum);
+                let _ = writeln!(out, "{name}_count{labels} {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("scribe", "sent").add(42);
+        r.gauge("scribe", "buffer_depth").set(-3);
+        let h = r.histogram_labeled("oink", "attempts", &[("job", "sessions")]);
+        h.record(1);
+        h.record(1);
+        h.record(20);
+        {
+            let _root = r.span_labeled("scribe", "hour", &[("hour", "6")]);
+            let _leaf = r.span("scribe", "flush");
+        }
+        r
+    }
+
+    #[test]
+    fn json_is_deterministic_and_complete() {
+        let a = sample_registry().snapshot().to_json();
+        let b = sample_registry().snapshot().to_json();
+        assert_eq!(a, b, "same construction, byte-identical export");
+        assert!(a.contains("\"schema\": \"uli-obs-v1\""));
+        assert!(a.contains("\"scribe/sent\""));
+        assert!(a.contains("\"value\": 42"));
+        assert!(a.contains("\"value\": -3"));
+        assert!(a.contains("\"kind\": \"histogram\""));
+        assert!(a.contains("\"scribe/hour{hour=6}\"") || a.contains("\"scribe/hour\""));
+        assert!(a.contains("\"critical_path\""));
+        assert!(a.contains("\"duplicate_registrations\": []"));
+    }
+
+    #[test]
+    fn prometheus_format_basics() {
+        let text = sample_registry().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE uli_scribe_sent counter"));
+        assert!(text.contains("uli_scribe_sent 42"));
+        assert!(text.contains("uli_scribe_buffer_depth -3"));
+        assert!(text.contains("uli_oink_attempts_count{job=\"sessions\"} 3"));
+        assert!(text.contains("uli_oink_attempts_sum{job=\"sessions\"} 22"));
+        assert!(text.contains("le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("w", "lat");
+        h.record(1);
+        h.record(2);
+        h.record(2);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("uli_w_lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("uli_w_lat_bucket{le=\"2\"} 3"));
+    }
+
+    #[test]
+    fn json_escaping_handles_special_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,235 @@
+//! Causal span tracing on a deterministic logical clock.
+//!
+//! A span is one timed region of the run: a Scribe delivery step, one Oink
+//! job attempt, one dataflow plan stage. Spans nest: the registry keeps an
+//! open-span stack, so a span opened while another is open becomes its
+//! child — exactly the Dapper parent/child model, except timestamps come
+//! from a logical clock that advances by one tick at every span open and
+//! close. No wall time ever enters a span, so for a fixed seed the whole
+//! trace tree — structure and tick stamps — is byte-identical at any
+//! worker count.
+//!
+//! Spans must be opened and closed from coordinator (serial) code only;
+//! worker threads contribute to counters, never to the trace. Guards close
+//! their span on drop, and RAII scoping keeps open/close properly nested.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::registry::Inner;
+
+/// One finished (or still-open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Component that opened the span (e.g. `"scribe"`).
+    pub component: String,
+    /// Operation name (e.g. `"move_hour"`).
+    pub name: String,
+    /// Label pairs, in the order given at open.
+    pub labels: Vec<(String, String)>,
+    /// Index of the parent span in the trace, if nested.
+    pub parent: Option<usize>,
+    /// Logical tick at open.
+    pub start_tick: u64,
+    /// Logical tick at close (`0` while still open).
+    pub end_tick: u64,
+}
+
+impl SpanRecord {
+    /// `component/name` — the display key.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.component, self.name)
+    }
+
+    /// Ticks between open and close (0 for still-open spans).
+    pub fn duration(&self) -> u64 {
+        self.end_tick.saturating_sub(self.start_tick)
+    }
+}
+
+/// Closes its span on drop, stamping the end tick.
+pub struct SpanGuard {
+    pub(crate) inner: Arc<Inner>,
+    pub(crate) index: usize,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.inner.close_span(self.index);
+    }
+}
+
+/// A span plus its children — one node of the reconstructed trace tree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Index of this span in the flat record list.
+    pub index: usize,
+    /// The span itself.
+    pub record: SpanRecord,
+    /// Child nodes, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+/// One step of the critical path, root first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPathStep {
+    /// `component/name` of the span on the path.
+    pub key: String,
+    /// Label pairs of the span.
+    pub labels: Vec<(String, String)>,
+    /// Total ticks spent in the span (children included).
+    pub ticks: u64,
+    /// Ticks not covered by any child — the span's own work.
+    pub self_ticks: u64,
+}
+
+/// Reconstructs the forest of trace trees from flat records.
+pub fn build_forest(records: &[SpanRecord]) -> Vec<SpanNode> {
+    // Children in open order; records are already in open order.
+    let mut nodes: Vec<SpanNode> = records
+        .iter()
+        .enumerate()
+        .map(|(index, r)| SpanNode {
+            index,
+            record: r.clone(),
+            children: Vec::new(),
+        })
+        .collect();
+    // Fold children into parents back-to-front so each node's children are
+    // complete before the node itself moves into its own parent.
+    let mut roots = Vec::new();
+    for index in (0..nodes.len()).rev() {
+        let node = std::mem::replace(
+            &mut nodes[index],
+            SpanNode {
+                index,
+                record: records[index].clone(),
+                children: Vec::new(),
+            },
+        );
+        match node.record.parent {
+            Some(p) => nodes[p].children.insert(0, node),
+            None => roots.insert(0, node),
+        }
+    }
+    roots
+}
+
+/// The critical path of the forest: starting from the longest root, at
+/// every level descend into the child with the largest total duration
+/// (first wins ties, which is deterministic because children are ordered
+/// by open tick).
+pub fn critical_path(forest: &[SpanNode]) -> Vec<CriticalPathStep> {
+    let mut path = Vec::new();
+    let mut cursor = forest.iter().max_by_key(|n| {
+        (n.record.duration(), {
+            // Ties break toward the earliest root.
+            usize::MAX - n.index
+        })
+    });
+    while let Some(node) = cursor {
+        let child_ticks: u64 = node.children.iter().map(|c| c.record.duration()).sum();
+        path.push(CriticalPathStep {
+            key: node.record.key(),
+            labels: node.record.labels.clone(),
+            ticks: node.record.duration(),
+            self_ticks: node.record.duration().saturating_sub(child_ticks),
+        });
+        cursor = node
+            .children
+            .iter()
+            .max_by_key(|c| (c.record.duration(), usize::MAX - c.index));
+    }
+    path
+}
+
+/// Renders the critical path as one line per step, root first:
+/// `scribe/move_hour{hour=3} ticks=12 self=2`.
+pub fn render_critical_path(path: &[CriticalPathStep]) -> String {
+    let mut out = String::new();
+    for (depth, step) in path.iter().enumerate() {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&step.key);
+        if !step.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in step.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{k}={v}");
+            }
+            out.push('}');
+        }
+        let _ = writeln!(out, " ticks={} self={}", step.ticks, step.self_ticks);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn spans_nest_and_stamp_logical_ticks() {
+        let r = Registry::new();
+        {
+            let _outer = r.span("test", "outer");
+            {
+                let _inner = r.span("test", "inner");
+            }
+            let _sibling = r.span("test", "sibling");
+        }
+        let spans = r.finished_spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(0));
+        // Clock ticks once per open and close: outer spans 1..6.
+        assert_eq!(spans[0].start_tick, 1);
+        assert_eq!(spans[1].start_tick, 2);
+        assert_eq!(spans[1].end_tick, 3);
+        assert_eq!(spans[2].start_tick, 4);
+        assert_eq!(spans[0].end_tick, 6);
+    }
+
+    #[test]
+    fn forest_and_critical_path() {
+        let r = Registry::new();
+        {
+            let _a = r.span("t", "a");
+            {
+                let _short = r.span("t", "short");
+            }
+            {
+                let _long = r.span("t", "long");
+                {
+                    let _leaf = r.span_labeled("t", "leaf", &[("k", "v")]);
+                }
+                {
+                    let _leaf2 = r.span("t", "leaf2");
+                }
+            }
+        }
+        let forest = build_forest(&r.finished_spans());
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].children.len(), 2);
+        let path = critical_path(&forest);
+        let keys: Vec<&str> = path.iter().map(|s| s.key.as_str()).collect();
+        assert_eq!(keys, ["t/a", "t/long", "t/leaf"]);
+        assert!(path[0].ticks > path[1].ticks);
+        let rendered = render_critical_path(&path);
+        assert!(rendered.contains("t/long"));
+        assert!(rendered.contains("{k=v}") || rendered.contains("t/leaf"));
+    }
+
+    #[test]
+    fn empty_forest_has_empty_path() {
+        assert!(critical_path(&[]).is_empty());
+        assert_eq!(render_critical_path(&[]), "");
+    }
+}

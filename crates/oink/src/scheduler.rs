@@ -1,11 +1,13 @@
 //! The job scheduler: recurring jobs, dependency checking, retries.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
+
+use uli_obs::{Counter, Histogram, Registry};
 
 use crate::trace::{ExecutionTrace, TraceStatus};
 
 /// How often a job recurs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Periodicity {
     /// Once per simulation hour; periods are hour indexes.
     Hourly,
@@ -47,12 +49,42 @@ pub struct Oink {
     failed: HashSet<(String, Periodicity, u64)>,
     traces: Vec<ExecutionTrace>,
     tick: u64,
+    /// Registry-backed telemetry, when attached.
+    obs: Option<OinkObs>,
+}
+
+/// Registry handles behind [`Oink::attach_obs`]. [`ExecutionTrace`] remains
+/// the audit log; these aggregate it live: outcome counters per attempt,
+/// one span per executed attempt, and an attempts-to-complete histogram
+/// (how many action runs each (job, period) needed before succeeding — the
+/// paper's "best-effort attempt to respect periodicity constraints" made
+/// measurable).
+struct OinkObs {
+    registry: Registry,
+    jobs_succeeded: Counter,
+    jobs_failed: Counter,
+    jobs_blocked: Counter,
+    attempts_to_complete: Histogram,
+    /// Executed (not blocked) attempts so far per incomplete (job, period).
+    attempts: BTreeMap<(String, Periodicity, u64), u64>,
 }
 
 impl Oink {
     /// An empty scheduler.
     pub fn new() -> Oink {
         Oink::default()
+    }
+
+    /// Attaches registry-backed telemetry under the `oink` component.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(OinkObs {
+            registry: registry.clone(),
+            jobs_succeeded: registry.counter("oink", "jobs_succeeded"),
+            jobs_failed: registry.counter("oink", "jobs_failed"),
+            jobs_blocked: registry.counter("oink", "jobs_blocked"),
+            attempts_to_complete: registry.histogram("oink", "attempts_to_complete"),
+            attempts: BTreeMap::new(),
+        });
     }
 
     fn add(
@@ -174,6 +206,9 @@ impl Oink {
                 .find(|dep| !self.dep_satisfied(dep, periodicity, period));
             self.tick += 1;
             if let Some(dependency) = blocked {
+                if let Some(obs) = &self.obs {
+                    obs.jobs_blocked.inc();
+                }
                 self.traces.push(ExecutionTrace {
                     job: name,
                     period,
@@ -183,10 +218,27 @@ impl Oink {
                 });
                 continue;
             }
+            let attempts = match &mut self.obs {
+                Some(obs) => {
+                    let n = obs.attempts.entry(key.clone()).or_insert(0);
+                    *n += 1;
+                    *n
+                }
+                None => 0,
+            };
+            let _span = self.obs.as_ref().map(|o| {
+                o.registry
+                    .span_labeled("oink", &name, &[("period", period.to_string())])
+            });
             let result = (self.jobs[idx].action)(period);
             self.failed.remove(&key);
             match result {
                 Ok(()) => {
+                    if let Some(obs) = &mut self.obs {
+                        obs.jobs_succeeded.inc();
+                        obs.attempts_to_complete.record(attempts);
+                        obs.attempts.remove(&key);
+                    }
                     self.completed.insert(key);
                     self.traces.push(ExecutionTrace {
                         job: name,
@@ -197,6 +249,9 @@ impl Oink {
                     });
                 }
                 Err(msg) => {
+                    if let Some(obs) = &self.obs {
+                        obs.jobs_failed.inc();
+                    }
                     self.failed.insert(key);
                     self.traces.push(ExecutionTrace {
                         job: name,
@@ -341,6 +396,44 @@ mod tests {
         let mut oink = Oink::new();
         oink.add_hourly("a", &[], |_h| Ok(()));
         oink.add_hourly("a", &[], |_h| Ok(()));
+    }
+
+    #[test]
+    fn obs_counts_outcomes_and_attempts() {
+        let registry = Registry::new();
+        let mut oink = Oink::new();
+        oink.attach_obs(&registry);
+        // The mover fails its first two attempts for hour 0.
+        let tries = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&tries);
+        oink.add_hourly("mover", &[], move |_h| {
+            if t.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err("staging not ready".into())
+            } else {
+                Ok(())
+            }
+        });
+        oink.add_hourly("aggregate", &["mover"], |_h| Ok(()));
+        oink.advance_hour(0);
+        oink.advance_hour(0);
+        oink.advance_hour(0);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("oink/jobs_failed"), Some(2));
+        assert_eq!(snap.counter_value("oink/jobs_blocked"), Some(2));
+        assert_eq!(snap.counter_value("oink/jobs_succeeded"), Some(2));
+        // mover took 3 attempts, aggregate 1.
+        let hist = registry
+            .histogram("oink", "attempts_to_complete")
+            .snapshot();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.max, 3);
+        assert_eq!(hist.min, 1);
+        // Every executed attempt traced as a span labeled with its period.
+        let spans = registry.finished_spans();
+        assert_eq!(spans.len(), 4, "3 mover attempts + 1 aggregate run");
+        assert!(spans.iter().all(|s| s.component == "oink"));
+        assert_eq!(spans[0].labels, vec![("period".into(), "0".into())]);
     }
 
     #[test]

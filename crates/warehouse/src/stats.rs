@@ -5,7 +5,7 @@
 //! amounts of brute force scans" (§4.1). The warehouse counts every read so
 //! experiments can report the same quantities.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use uli_obs::{Counter, Registry};
 
 /// A snapshot of cumulative scan counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,94 +67,111 @@ impl ScanStats {
 }
 
 /// Thread-safe counters behind the snapshots.
+///
+/// Every field is a `uli_obs::Counter` handle. A cell built with
+/// `Default` holds detached counters (private accounting, exactly the old
+/// `AtomicU64` behavior); one built with [`StatsCell::registered`] shares
+/// its cells with a [`Registry`], so the exported snapshot and `ScanStats`
+/// are two views of the *same* atomics and can never diverge.
 #[derive(Debug, Default)]
 pub(crate) struct StatsCell {
-    files_opened: AtomicU64,
-    blocks_read: AtomicU64,
-    compressed_bytes_read: AtomicU64,
-    uncompressed_bytes_read: AtomicU64,
-    records_read: AtomicU64,
-    blocks_skipped: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    records_skipped_by_predicate: AtomicU64,
-    fields_skipped: AtomicU64,
+    files_opened: Counter,
+    blocks_read: Counter,
+    compressed_bytes_read: Counter,
+    uncompressed_bytes_read: Counter,
+    records_read: Counter,
+    blocks_skipped: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    records_skipped_by_predicate: Counter,
+    fields_skipped: Counter,
 }
 
 impl StatsCell {
+    /// A cell whose counters are registered under `component` in `registry`.
+    pub(crate) fn registered(registry: &Registry, component: &str) -> StatsCell {
+        StatsCell {
+            files_opened: registry.counter(component, "files_opened"),
+            blocks_read: registry.counter(component, "blocks_read"),
+            compressed_bytes_read: registry.counter(component, "compressed_bytes_read"),
+            uncompressed_bytes_read: registry.counter(component, "uncompressed_bytes_read"),
+            records_read: registry.counter(component, "records_read"),
+            blocks_skipped: registry.counter(component, "blocks_skipped"),
+            cache_hits: registry.counter(component, "cache_hits"),
+            cache_misses: registry.counter(component, "cache_misses"),
+            records_skipped_by_predicate: registry
+                .counter(component, "records_skipped_by_predicate"),
+            fields_skipped: registry.counter(component, "fields_skipped"),
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> ScanStats {
         ScanStats {
-            files_opened: self.files_opened.load(Ordering::Relaxed),
-            blocks_read: self.blocks_read.load(Ordering::Relaxed),
-            compressed_bytes_read: self.compressed_bytes_read.load(Ordering::Relaxed),
-            uncompressed_bytes_read: self.uncompressed_bytes_read.load(Ordering::Relaxed),
-            records_read: self.records_read.load(Ordering::Relaxed),
-            blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            records_skipped_by_predicate: self.records_skipped_by_predicate.load(Ordering::Relaxed),
-            fields_skipped: self.fields_skipped.load(Ordering::Relaxed),
+            files_opened: self.files_opened.get(),
+            blocks_read: self.blocks_read.get(),
+            compressed_bytes_read: self.compressed_bytes_read.get(),
+            uncompressed_bytes_read: self.uncompressed_bytes_read.get(),
+            records_read: self.records_read.get(),
+            blocks_skipped: self.blocks_skipped.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            records_skipped_by_predicate: self.records_skipped_by_predicate.get(),
+            fields_skipped: self.fields_skipped.get(),
         }
     }
 
     pub(crate) fn reset(&self) {
-        self.files_opened.store(0, Ordering::Relaxed);
-        self.blocks_read.store(0, Ordering::Relaxed);
-        self.compressed_bytes_read.store(0, Ordering::Relaxed);
-        self.uncompressed_bytes_read.store(0, Ordering::Relaxed);
-        self.records_read.store(0, Ordering::Relaxed);
-        self.blocks_skipped.store(0, Ordering::Relaxed);
-        self.cache_hits.store(0, Ordering::Relaxed);
-        self.cache_misses.store(0, Ordering::Relaxed);
-        self.records_skipped_by_predicate
-            .store(0, Ordering::Relaxed);
-        self.fields_skipped.store(0, Ordering::Relaxed);
+        self.files_opened.set_total(0);
+        self.blocks_read.set_total(0);
+        self.compressed_bytes_read.set_total(0);
+        self.uncompressed_bytes_read.set_total(0);
+        self.records_read.set_total(0);
+        self.blocks_skipped.set_total(0);
+        self.cache_hits.set_total(0);
+        self.cache_misses.set_total(0);
+        self.records_skipped_by_predicate.set_total(0);
+        self.fields_skipped.set_total(0);
     }
 
     pub(crate) fn file_opened(&self) {
-        self.files_opened.fetch_add(1, Ordering::Relaxed);
+        self.files_opened.inc();
     }
 
     pub(crate) fn block_read(&self, compressed: u64, uncompressed: u64) {
-        self.blocks_read.fetch_add(1, Ordering::Relaxed);
-        self.compressed_bytes_read
-            .fetch_add(compressed, Ordering::Relaxed);
-        self.uncompressed_bytes_read
-            .fetch_add(uncompressed, Ordering::Relaxed);
+        self.blocks_read.inc();
+        self.compressed_bytes_read.add(compressed);
+        self.uncompressed_bytes_read.add(uncompressed);
     }
 
     /// A block served from the decompressed-block cache: logically read
     /// (blocks + uncompressed bytes) but with no compressed disk traffic.
     pub(crate) fn block_cache_hit(&self, uncompressed: u64) {
-        self.blocks_read.fetch_add(1, Ordering::Relaxed);
-        self.uncompressed_bytes_read
-            .fetch_add(uncompressed, Ordering::Relaxed);
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.blocks_read.inc();
+        self.uncompressed_bytes_read.add(uncompressed);
+        self.cache_hits.inc();
     }
 
     pub(crate) fn block_cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
     }
 
     pub(crate) fn record_read(&self) {
-        self.records_read.fetch_add(1, Ordering::Relaxed);
+        self.records_read.inc();
     }
 
     pub(crate) fn records_read_n(&self, n: u64) {
-        self.records_read.fetch_add(n, Ordering::Relaxed);
+        self.records_read.add(n);
     }
 
     pub(crate) fn block_skipped(&self) {
-        self.blocks_skipped.fetch_add(1, Ordering::Relaxed);
+        self.blocks_skipped.inc();
     }
 
     /// Pushdown accounting: records dropped by a pushed predicate and fields
     /// a lazy decoder never materialized.
     pub(crate) fn pushdown_skips(&self, records_skipped: u64, fields_skipped: u64) {
-        self.records_skipped_by_predicate
-            .fetch_add(records_skipped, Ordering::Relaxed);
-        self.fields_skipped
-            .fetch_add(fields_skipped, Ordering::Relaxed);
+        self.records_skipped_by_predicate.add(records_skipped);
+        self.fields_skipped.add(fields_skipped);
     }
 }
 
@@ -228,5 +245,27 @@ mod tests {
         cell.file_opened();
         cell.reset();
         assert_eq!(cell.snapshot(), ScanStats::default());
+    }
+
+    #[test]
+    fn registered_cell_shares_atomics_with_registry() {
+        let registry = Registry::new();
+        let cell = StatsCell::registered(&registry, "warehouse");
+        cell.block_read(100, 400);
+        cell.block_skipped();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("warehouse/blocks_read"), Some(1));
+        assert_eq!(
+            snap.counter_value("warehouse/compressed_bytes_read"),
+            Some(100)
+        );
+        assert_eq!(snap.counter_value("warehouse/blocks_skipped"), Some(1));
+        assert_eq!(cell.snapshot().blocks_read, 1, "same cells, same numbers");
+        assert!(registry.duplicate_registrations().is_empty());
+        cell.reset();
+        assert_eq!(
+            registry.snapshot().counter_value("warehouse/blocks_read"),
+            Some(0)
+        );
     }
 }

@@ -125,6 +125,37 @@ impl Warehouse {
         }
     }
 
+    /// Creates a warehouse (default capacities) whose scan counters are
+    /// registered in `registry` under the `warehouse` component, so the
+    /// exported snapshot and [`Warehouse::stats`] read the same atomics.
+    pub fn new_with_obs(registry: &uli_obs::Registry) -> Self {
+        Self::with_config_obs(
+            DEFAULT_BLOCK_CAPACITY,
+            DEFAULT_CACHE_CAPACITY,
+            registry,
+            "warehouse",
+        )
+    }
+
+    /// [`Warehouse::with_config`] plus registry-backed scan counters under
+    /// `component`. Distinct warehouses sharing a registry must use distinct
+    /// component names, or the duplicate-registration gate trips.
+    pub fn with_config_obs(
+        block_capacity: usize,
+        cache_capacity: usize,
+        registry: &uli_obs::Registry,
+        component: &str,
+    ) -> Self {
+        assert!(block_capacity > 0, "block capacity must be positive");
+        Warehouse {
+            tree: Arc::new(Mutex::new(Tree::default())),
+            stats: Arc::new(StatsCell::registered(registry, component)),
+            cache: Arc::new(BlockCache::new(cache_capacity)),
+            available: Arc::new(AtomicBool::new(true)),
+            block_capacity,
+        }
+    }
+
     /// The configured block capacity in bytes.
     pub fn block_capacity(&self) -> usize {
         self.block_capacity

@@ -1,0 +1,94 @@
+//! Exporter-path regression for counter aliasing.
+//!
+//! Extends the PR 2 invariant — a block the pruner skips counts as
+//! `blocks_skipped`, never as a `cache_hit`, even when a previous scan left
+//! its payload in the block cache — all the way through the registry-backed
+//! counters and both export formats. If skip/hit accounting ever aliases
+//! again, the exported snapshot (what CI golden-diffs) catches it, not just
+//! the in-crate `ScanStats` view.
+
+use uli_obs::Registry;
+use uli_warehouse::{Warehouse, WhPath};
+
+fn p(s: &str) -> WhPath {
+    WhPath::parse(s).unwrap()
+}
+
+fn write_records(wh: &Warehouse, path: &str, n: usize) {
+    let mut w = wh.create(&p(path)).unwrap();
+    for i in 0..n {
+        w.append_record(format!("record-{i:06}").as_bytes());
+    }
+    w.finish().unwrap();
+}
+
+#[test]
+fn pruned_cached_block_exports_skip_not_hit() {
+    let registry = Registry::new();
+    let wh = Warehouse::with_config_obs(128, 1 << 20, &registry, "warehouse");
+    write_records(&wh, "/f", 100);
+
+    let fb = wh.open_blocks(&p("/f")).unwrap();
+    assert!(fb.block_count() >= 2);
+    for idx in 0..fb.block_count() {
+        fb.read_block(idx).unwrap(); // warm the cache
+    }
+    wh.reset_stats();
+
+    let fb2 = wh.open_blocks(&p("/f")).unwrap();
+    fb2.skip_block(0); // pruned despite being cached
+    fb2.read_block(1).unwrap();
+
+    // The ScanStats view and the registry view are the same atomics.
+    let stats = wh.stats();
+    assert_eq!(stats.blocks_skipped, 1);
+    assert_eq!(stats.cache_hits, 1);
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter_value("warehouse/blocks_skipped"), Some(1));
+    assert_eq!(snap.counter_value("warehouse/cache_hits"), Some(1));
+    assert_eq!(snap.counter_value("warehouse/blocks_read"), Some(1));
+    assert_eq!(
+        snap.counter_value("warehouse/compressed_bytes_read"),
+        Some(0)
+    );
+    assert!(snap.duplicates.is_empty());
+
+    // And the serialized exports say the same thing.
+    let json = snap.to_json();
+    assert!(json.contains(
+        "{\"kind\": \"counter\", \"key\": \"warehouse/blocks_skipped\", \"labels\": {}, \"value\": 1}"
+    ));
+    assert!(json.contains(
+        "{\"kind\": \"counter\", \"key\": \"warehouse/cache_hits\", \"labels\": {}, \"value\": 1}"
+    ));
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("uli_warehouse_blocks_skipped 1\n"));
+    assert!(prom.contains("uli_warehouse_cache_hits 1\n"));
+}
+
+#[test]
+fn detached_and_registered_warehouses_agree() {
+    // The same scan against a plain warehouse and an obs-attached one must
+    // produce identical ScanStats: attaching observability never changes
+    // accounting.
+    let run = |wh: Warehouse| {
+        write_records(&wh, "/f", 64);
+        let fb = wh.open_blocks(&p("/f")).unwrap();
+        for idx in 0..fb.block_count() {
+            fb.read_block(idx).unwrap();
+        }
+        let fb2 = wh.open_blocks(&p("/f")).unwrap();
+        fb2.skip_block(0);
+        wh.stats()
+    };
+    let plain = run(Warehouse::with_block_capacity(128));
+    let registry = Registry::new();
+    let observed = run(Warehouse::with_config_obs(
+        128,
+        1 << 20,
+        &registry,
+        "warehouse",
+    ));
+    assert_eq!(plain, observed);
+}

@@ -20,4 +20,17 @@ echo "== chaos gate (seeded sweep + delivery-invariant checker)"
 cargo test -q --test chaos
 cargo run --release -q -p uli-bench --bin repro -- --smoke e16
 
+echo "== obs gate (e17 smoke snapshot vs golden)"
+cargo run --release -q -p uli-bench --bin repro -- --smoke e17
+if ! diff -u crates/bench/golden/e17_smoke.golden.json target/e17_smoke.metrics.json; then
+    echo "obs gate: smoke snapshot drifted from the golden file." >&2
+    echo "If the change is intentional, refresh it with:" >&2
+    echo "  cp target/e17_smoke.metrics.json crates/bench/golden/e17_smoke.golden.json" >&2
+    exit 1
+fi
+if grep -q '"duplicate_registrations": \["' target/e17_smoke.metrics.json; then
+    echo "obs gate: a metric was registered twice." >&2
+    exit 1
+fi
+
 echo "ci: all green"

@@ -19,7 +19,9 @@
 //! restores the serial path — results are identical either way),
 //! `--no-pushdown` (disable projection/predicate pushdown and zone-map
 //! pruning in `script` queries; results are identical, only the amount of
-//! decode work changes).
+//! decode work changes), `--metrics PATH` (write the unified observability
+//! snapshot — warehouse/dataflow counters, span forest, critical path — on
+//! exit; `.prom` extension selects Prometheus text, anything else JSON).
 
 use std::process::ExitCode;
 
@@ -38,6 +40,10 @@ struct Cli {
     search: Option<String>,
     browse: Option<String>,
     params: Vec<(String, String)>,
+    metrics: Option<String>,
+    /// Present when `--metrics` was given; threaded through the warehouse
+    /// and the script engine so every scan lands in one snapshot.
+    registry: Option<Registry>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -55,6 +61,8 @@ fn parse_args() -> Result<Cli, String> {
         search: None,
         browse: None,
         params: Vec::new(),
+        metrics: None,
+        registry: None,
     };
     while let Some(arg) = args.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -68,6 +76,7 @@ fn parse_args() -> Result<Cli, String> {
                 cli.workers = Some(value("--workers")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--no-pushdown" => cli.pushdown = false,
+            "--metrics" => cli.metrics = Some(value("--metrics")?),
             "--depth" => cli.depth = value("--depth")?.parse().map_err(|e| format!("{e}"))?,
             "--search" => cli.search = Some(value("--search")?),
             "--browse" => cli.browse = Some(value("--browse")?),
@@ -98,7 +107,10 @@ fn prepare(cli: &Cli) -> (Warehouse, Vec<unified_logging::workload::DayWorkload>
         seed: cli.seed,
         ..Default::default()
     };
-    let wh = Warehouse::new();
+    let wh = match &cli.registry {
+        Some(registry) => Warehouse::new_with_obs(registry),
+        None => Warehouse::new(),
+    };
     let mut days = Vec::new();
     for d in 0..cli.days {
         let day = generate_day(&config, d);
@@ -145,11 +157,13 @@ fn cmd_script(cli: &Cli) -> Result<(), String> {
     } else {
         Pushdown::disabled()
     };
-    let mut runner = ScriptRunner::new(
-        Engine::new(wh)
-            .with_parallelism(parallelism(cli))
-            .with_pushdown(pushdown),
-    );
+    let mut engine = Engine::new(wh)
+        .with_parallelism(parallelism(cli))
+        .with_pushdown(pushdown);
+    if let Some(registry) = &cli.registry {
+        engine = engine.with_obs(registry);
+    }
+    let mut runner = ScriptRunner::new(engine);
     register_analytics(&mut runner, dict);
     runner.set_param("DATE", "2012/08/01");
     for (k, v) in &cli.params {
@@ -289,14 +303,32 @@ fn cmd_grammar(cli: &Cli) {
     }
 }
 
+/// Writes the observability snapshot where `--metrics` asked for it.
+/// A `.prom` extension selects the Prometheus text format; everything else
+/// gets the JSON snapshot (metrics, span forest, critical path).
+fn write_metrics(path: &str, registry: &Registry) -> Result<(), String> {
+    let snap = registry.snapshot();
+    let payload = if path.ends_with(".prom") {
+        snap.to_prometheus()
+    } else {
+        snap.to_json()
+    };
+    std::fs::write(path, payload).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("wrote metrics snapshot to {path}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let cli = match parse_args() {
+    let mut cli = match parse_args() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}\nsee the module docs at the top of src/bin/uli.rs");
             return ExitCode::FAILURE;
         }
     };
+    if cli.metrics.is_some() {
+        cli.registry = Some(Registry::new());
+    }
     let result = match cli.command.as_str() {
         "demo" => {
             cmd_demo(&cli);
@@ -324,6 +356,10 @@ fn main() -> ExitCode {
             "unknown command {other:?}; commands: demo, script, catalog, flow, funnel, scrape, grammar"
         )),
     };
+    let result = result.and_then(|()| match (&cli.metrics, &cli.registry) {
+        (Some(path), Some(registry)) => write_metrics(path, registry),
+        _ => Ok(()),
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

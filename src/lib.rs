@@ -15,6 +15,7 @@
 //! | [`core`] | `uli-core` | Client events + session sequences (§3.2, §4) |
 //! | [`analytics`] | `uli-analytics` | Counting, funnels, user modeling (§5) |
 //! | [`index`] | `uli-index` | Elephant Twin indexing (§6) |
+//! | [`obs`] | `uli-obs` | Deterministic metrics + span tracing across all layers |
 //! | [`workload`] | `uli-workload` | Synthetic traffic with ground truth |
 //!
 //! # Quickstart
@@ -48,6 +49,7 @@ pub use uli_coord as coord;
 pub use uli_core as core;
 pub use uli_dataflow as dataflow;
 pub use uli_index as index;
+pub use uli_obs as obs;
 pub use uli_oink as oink;
 pub use uli_scribe as scribe;
 pub use uli_thrift as thrift;
@@ -69,6 +71,7 @@ pub mod prelude {
     };
     pub use uli_core::time::Timestamp;
     pub use uli_dataflow::prelude::*;
+    pub use uli_obs::{Registry, Snapshot};
     pub use uli_oink::{compute_rollups, Oink, RollupTable};
     pub use uli_scribe::pipeline::PipelineConfig;
     pub use uli_scribe::{LogEntry, PipelineReport, ScribePipeline};
