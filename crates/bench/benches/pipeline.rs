@@ -24,6 +24,7 @@ fn bench_delivery(c: &mut Criterion) {
                         hosts_per_dc: 8,
                         aggregators_per_dc: 2,
                         records_per_file: 100_000,
+                        ..Default::default()
                     }),
                     entries.clone(),
                 )

@@ -128,6 +128,42 @@ fn main() -> ExitCode {
             }
             continue;
         }
+        if id == "e18" {
+            // The ingest ablation gates on its own invariants: batching
+            // must not change the landed bytes, and the streaming
+            // compressor must match one-shot compression exactly. Smoke
+            // writes the metrics CI diffs against the checked-in golden
+            // file; full scale persists BENCH_ingest.json.
+            use uli_bench::experiments::e18_ingest as e18;
+            let m = if smoke {
+                e18::smoke_snapshot()
+            } else {
+                e18::measure()
+            };
+            println!("{}", "=".repeat(74));
+            println!("{}", e18::render(&m));
+            if !m.landed_identical {
+                eprintln!("e18: batching changed the landed warehouse bytes");
+                failed = true;
+            }
+            if !m.streaming_matches_oneshot {
+                eprintln!("e18: streaming compression diverged from one-shot");
+                failed = true;
+            }
+            let (path, payload) = if smoke {
+                ("target/e18_smoke.metrics.json", e18::to_json(&m))
+            } else {
+                ("BENCH_ingest.json", e18::to_json(&m))
+            };
+            match std::fs::write(path, payload) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
         match uli_bench::run_experiment(id) {
             Some(report) => {
                 println!("{}", "=".repeat(74));

@@ -83,6 +83,7 @@ fn run_once(users: u64, workers: usize) -> ObsSample {
         hosts_per_dc: 4,
         aggregators_per_dc: 2,
         records_per_file: 10_000,
+        ..Default::default()
     };
     let day = generate_day(
         &WorkloadConfig {

@@ -22,6 +22,7 @@ pub fn drive(faults: bool) -> (ScribePipeline, f64) {
         hosts_per_dc: 16,
         aggregators_per_dc: 4,
         records_per_file: 50_000,
+        ..Default::default()
     };
     let day = generate_day(
         &WorkloadConfig {

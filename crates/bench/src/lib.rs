@@ -28,13 +28,14 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e15" => experiments::e15_pushdown::run(),
         "e16" => experiments::e16_chaos::run(),
         "e17" => experiments::e17_obs::run(),
+        "e18" => experiments::e18_ingest::run(),
         _ => return None,
     };
     Some(out)
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];

@@ -15,7 +15,7 @@ use uli_warehouse::{HourlyPartition, Parallelism, ScanPool, Warehouse, Warehouse
 
 use super::dictionary::EventDictionary;
 use super::sequence::SessionSequence;
-use super::sessionize::Sessionizer;
+use super::sessionize::{SessionRecord, Sessionizer};
 use crate::client_event::{ClientEvent, CLIENT_EVENTS_CATEGORY};
 use crate::event::EventName;
 
@@ -195,15 +195,16 @@ impl Materializer {
             let mut state = init();
             let mut events = 0u64;
             let mut skipped = 0u64;
-            for record in handles[hi].read_block(bi)? {
-                match ClientEvent::from_bytes(&record) {
-                    Ok(ev) => {
-                        events += 1;
-                        fold(&mut state, ev);
-                    }
-                    Err(_) => skipped += 1,
+            // Borrowing visit: decoding reads the record in place, so the
+            // sharded scan charges the same zero `alloc_bytes` as the serial
+            // `next_record` scan — cost counters stay worker-invariant.
+            handles[hi].for_each_record(bi, |record| match ClientEvent::from_bytes(record) {
+                Ok(ev) => {
+                    events += 1;
+                    fold(&mut state, ev);
                 }
-            }
+                Err(_) => skipped += 1,
+            })?;
             Ok::<_, uli_warehouse::WarehouseError>((state, events, skipped))
         });
         let mut states = Vec::with_capacity(results.len());
@@ -307,15 +308,62 @@ impl Materializer {
             .collect())
     }
 
+    /// Parallel sessionization: events partition by a user-id hash, each
+    /// shard sessionizes independently on the pool, and the shard outputs
+    /// merge back into the serial output order.
+    ///
+    /// This is safe because a session never spans users — the group key is
+    /// `(user_id, session_id)` — so hashing on user id puts every event of
+    /// a group in exactly one shard. Each shard's output is already sorted
+    /// by `(user_id, session_id)` (then start time within a group), and no
+    /// group key appears in two shards, so a k-way merge on
+    /// `(user_id, session_id)` reproduces the serial order byte for byte,
+    /// independent of the worker count.
+    fn sessionize_sharded(&self, events: Vec<ClientEvent>) -> Vec<SessionRecord> {
+        let n = self.parallelism.workers().max(1);
+        let mut shards: Vec<Vec<ClientEvent>> = (0..n).map(|_| Vec::new()).collect();
+        for ev in events {
+            // SplitMix-style mix so contiguous user ids spread over shards.
+            let h = (ev.user_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            shards[(h >> 32) as usize % n].push(ev);
+        }
+        let sessionizer = self.sessionizer;
+        let outs = ScanPool::new(self.parallelism)
+            .map(shards, move |_, shard| sessionizer.sessionize(shard));
+
+        // K-way merge by group key. Ties across shards are impossible (one
+        // user, one shard), so the pick order is total and deterministic.
+        let total = outs.iter().map(Vec::len).sum();
+        let mut iters: Vec<_> = outs.into_iter().map(|o| o.into_iter().peekable()).collect();
+        let mut merged = Vec::with_capacity(total);
+        loop {
+            let next = iters
+                .iter_mut()
+                .filter_map(|it| it.peek().map(|r| (r.user_id, r.session_id.clone())))
+                .min();
+            let Some(key) = next else { break };
+            // Drain the whole group from its shard: sessions of one group
+            // stay in shard-internal (start-time) order.
+            for it in iters.iter_mut() {
+                while it
+                    .peek()
+                    .is_some_and(|r| (r.user_id, r.session_id.as_str()) == (key.0, key.1.as_str()))
+                {
+                    merged.push(it.next().expect("peeked above"));
+                }
+            }
+        }
+        merged
+    }
+
     /// Pass 2: reconstruct sessions, encode, and write the relation under
     /// [`sequences_dir`]. Requires the dictionary from pass 1.
     /// With parallelism, the scan shards per block (events concatenate in
-    /// scan order, so sessionization sees the serial event order) and the
-    /// encode shards over fixed chunks of the session list; encoded records
-    /// are written back in session order, so part files are byte-identical
-    /// to a serial run. Sessionization itself stays single-threaded: sessions
-    /// cross hour and file boundaries, so no per-shard sessionizer can be
-    /// correct.
+    /// scan order, so sessionization sees the serial event order), the
+    /// sessionize pass shards by user-id hash with a deterministic merge
+    /// (see [`Self::sessionize_sharded`]), and the encode shards over fixed
+    /// chunks of the session list; encoded records are written back in
+    /// session order, so part files are byte-identical to a serial run.
     pub fn materialize_sequences(
         &self,
         day_index: u64,
@@ -330,7 +378,11 @@ impl Materializer {
             all_events = shards.into_iter().flatten().collect();
             (events, skipped)
         };
-        let sessions = self.sessionizer.sessionize(all_events);
+        let sessions = if self.parallelism.is_serial() {
+            self.sessionizer.sessionize(all_events)
+        } else {
+            self.sessionize_sharded(all_events)
+        };
 
         // Encode ahead of the write loop. `None` marks a session whose event
         // is missing from the dictionary (impossible when both passes saw
@@ -543,6 +595,62 @@ mod tests {
         let report = Materializer::new(wh).run_day(0).unwrap();
         assert_eq!(report.skipped, 1);
         assert!(report.sessions > 0);
+    }
+
+    /// Every persisted artifact of a day, as `(path, records)` pairs.
+    fn day_artifacts(wh: &Warehouse, day: u64) -> Vec<(String, Vec<Vec<u8>>)> {
+        let mut out = Vec::new();
+        for dir in [sequences_dir(day), dictionary_dir(day)] {
+            for file in wh.list_files_recursive(&dir).unwrap() {
+                let records = wh.open(&file).unwrap().read_all().unwrap();
+                out.push((file.as_str().to_string(), records));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn materialized_output_is_byte_identical_across_worker_counts() {
+        // Enough users that the user-id hash spreads groups over every
+        // shard, and a small file cap so multiple part files exist.
+        let baseline = {
+            let wh = Warehouse::new();
+            fixture(&wh, 0, 24, 20);
+            let m = Materializer::new(wh.clone()).with_parallelism(Parallelism::serial());
+            m.run_day(0).unwrap();
+            day_artifacts(&wh, 0)
+        };
+        assert!(baseline.len() >= 3, "fixture must produce several files");
+        for workers in [4usize, 8] {
+            let wh = Warehouse::new();
+            fixture(&wh, 0, 24, 20);
+            let m = Materializer::new(wh.clone()).with_parallelism(Parallelism::fixed(workers));
+            let report = m.run_day(0).unwrap();
+            assert!(report.sessions > 0);
+            assert_eq!(
+                day_artifacts(&wh, 0),
+                baseline,
+                "materialized files must be byte-identical at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_sessionize_matches_serial_on_interleaved_users() {
+        let wh = Warehouse::new();
+        fixture(&wh, 0, 17, 9);
+        let mut events = Vec::new();
+        let serial = Materializer::new(wh.clone()).with_parallelism(Parallelism::serial());
+        serial.scan_day(0, |ev| events.push(ev)).unwrap();
+        let expected = serial.sessionizer.sessionize(events.clone());
+        for workers in [2usize, 4, 8] {
+            let m = Materializer::new(wh.clone()).with_parallelism(Parallelism::fixed(workers));
+            assert_eq!(
+                m.sessionize_sharded(events.clone()),
+                expected,
+                "{workers} workers"
+            );
+        }
     }
 
     #[test]

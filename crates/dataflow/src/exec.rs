@@ -433,19 +433,32 @@ impl Engine {
             handles.push(handle);
         }
         let results = ScanPool::new(self.parallelism).map(work, |_, (hi, bi)| {
-            let records = handles[hi].read_block(bi)?;
-            let mut rows = Vec::with_capacity(records.len());
+            // Borrowing visit: the loader decodes each record in place, so
+            // the scan never pays the one-Vec-per-record copy that
+            // `read_block` charges to `alloc_bytes`.
+            let mut rows = Vec::with_capacity(handles[hi].block_records(bi) as usize);
             let mut records_skipped = 0u64;
             let mut fields_skipped = 0u64;
-            for record in records {
-                let outcome = chain.loader.scan(&record, &chain.spec)?;
-                fields_skipped += outcome.fields_skipped;
-                if outcome.skipped_by_predicate {
-                    records_skipped += 1;
+            let mut scan_err: Option<DataflowError> = None;
+            handles[hi].for_each_record(bi, |record| {
+                if scan_err.is_some() {
+                    return;
                 }
-                if let Some(tuple) = outcome.tuple {
-                    rows.push(tuple);
+                match chain.loader.scan(record, &chain.spec) {
+                    Ok(outcome) => {
+                        fields_skipped += outcome.fields_skipped;
+                        if outcome.skipped_by_predicate {
+                            records_skipped += 1;
+                        }
+                        if let Some(tuple) = outcome.tuple {
+                            rows.push(tuple);
+                        }
+                    }
+                    Err(e) => scan_err = Some(e),
                 }
+            })?;
+            if let Some(e) = scan_err {
+                return Err(e);
             }
             handles[hi].charge_pushdown(records_skipped, fields_skipped);
             per_block(chain.apply_ops(rows)?)

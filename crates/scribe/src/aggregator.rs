@@ -277,8 +277,13 @@ impl Aggregator {
         let mut w = self.staging.create(path)?;
         // Framing magic first, so the mover knows records are enveloped.
         w.append_record(staged::MAGIC);
+        // One envelope scratch for the whole file instead of a fresh Vec
+        // per record: flushing is the ingest hot loop.
+        let mut scratch = Vec::with_capacity(256);
         for r in records {
-            w.append_record(&staged::encode(r.id, &r.payload));
+            scratch.clear();
+            staged::encode_into(r.id, &r.payload, &mut scratch);
+            w.append_record(&scratch);
         }
         w.finish()?;
         Ok(())

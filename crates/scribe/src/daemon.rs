@@ -20,8 +20,47 @@ use std::collections::VecDeque;
 use uli_coord::{CoordError, CoordService, Session, SessionId};
 
 use crate::aggregator::{endpoint_key, registry_path};
-use crate::message::{EntryId, LogEntry};
+use crate::message::{EntryId, LogEntry, MessageBatch};
 use crate::network::Network;
+
+/// Batching knobs for the daemon's send path. Entries coalesce into one
+/// network message until a bound trips; a partial batch can linger a few
+/// pumps waiting to fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum entries per batch.
+    pub max_records: usize,
+    /// Soft cap on the encoded batch size in bytes: the entry that would
+    /// cross it starts the next batch (a batch always holds at least one
+    /// entry, so an oversized single entry still ships).
+    pub max_bytes: usize,
+    /// Pumps a partial batch may be held back waiting for more entries.
+    /// Zero (the default) sends partial batches immediately, which keeps
+    /// delivery latency at one pump.
+    pub linger_steps: u64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_records: 32,
+            max_bytes: 32 * 1024,
+            linger_steps: 0,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// One entry per message — the pre-batching wire behaviour, kept as the
+    /// baseline arm of ingest experiments.
+    pub fn unbatched() -> Self {
+        BatchPolicy {
+            max_records: 1,
+            max_bytes: usize::MAX,
+            linger_steps: 0,
+        }
+    }
+}
 
 /// Retry/backoff knobs for the daemon's delivery path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +125,14 @@ pub struct ScribeDaemon {
     /// Cached aggregator endpoint from the last discovery.
     current: Option<String>,
     policy: RetryPolicy,
+    batch: BatchPolicy,
+    /// Consecutive pumps the current partial batch has lingered.
+    lingered: u64,
+    /// Batches handed to an aggregator over the daemon's lifetime.
+    pub batches_sent: u64,
+    /// Encoded bytes of those batches (the cost-model wire traffic that
+    /// was actually acked).
+    pub wire_bytes_sent: u64,
     /// Consecutive pumps that ended with undelivered entries.
     failed_pumps: u32,
     /// Pumps left to skip before retrying.
@@ -119,6 +166,10 @@ impl ScribeDaemon {
             queue: VecDeque::new(),
             current: None,
             policy: RetryPolicy::default(),
+            batch: BatchPolicy::default(),
+            lingered: 0,
+            batches_sent: 0,
+            wire_bytes_sent: 0,
             failed_pumps: 0,
             cooldown: 0,
             queue_capacity: usize::MAX,
@@ -133,6 +184,12 @@ impl ScribeDaemon {
     /// Replaces the retry policy (builder style).
     pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Replaces the batching policy (builder style).
+    pub fn with_batch_policy(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -214,12 +271,48 @@ impl ScribeDaemon {
         }
     }
 
-    /// Attempts to drain the local queue to a live aggregator.
+    /// True if the queue can fill a whole batch right now: either the
+    /// record bound or the byte bound would trip.
+    fn batch_ready(&self) -> bool {
+        if self.queue.len() >= self.batch.max_records {
+            return true;
+        }
+        let mut bytes = 0usize;
+        for e in &self.queue {
+            bytes = bytes.saturating_add(crate::message::framed_entry_size(e));
+            if bytes >= self.batch.max_bytes {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Pops the next batch off the queue front: up to `max_records`
+    /// entries, stopping before the entry that would cross `max_bytes`
+    /// (but always taking at least one).
+    fn take_batch(&mut self) -> MessageBatch {
+        let mut batch = MessageBatch::new();
+        while batch.len() < self.batch.max_records {
+            let Some(e) = self.queue.front() else { break };
+            if !batch.is_empty()
+                && batch.wire_size() + crate::message::framed_entry_size(e) > self.batch.max_bytes
+            {
+                break;
+            }
+            batch.push(self.queue.pop_front().expect("front checked"));
+        }
+        batch
+    }
+
+    /// Attempts to drain the local queue to a live aggregator, in batches.
     ///
-    /// Spends at most `attempts_per_pump` send/discovery attempts,
-    /// rediscovering through the coordination service after every failure.
-    /// If the budget runs out the remaining entries stay buffered and the
-    /// daemon backs off exponentially (capped) before the next real try.
+    /// Entries coalesce per [`BatchPolicy`]; each batch costs one network
+    /// message and one fault roll. Spends at most `attempts_per_pump`
+    /// send/discovery attempts, rediscovering through the coordination
+    /// service after every failure; a failed batch is re-queued whole at
+    /// the front, preserving order. If the budget runs out the remaining
+    /// entries stay buffered and the daemon backs off exponentially
+    /// (capped) before the next real try.
     pub fn pump(&mut self) -> PumpReport {
         let mut report = PumpReport::default();
         if self.queue.is_empty() {
@@ -233,11 +326,26 @@ impl ScribeDaemon {
             report.still_buffered = self.queue.len() as u64;
             return report;
         }
+        // Linger: hold a partial batch back, hoping it fills, for at most
+        // `linger_steps` pumps. Not a delivery failure — no backoff.
+        if self.batch.linger_steps > 0
+            && !self.batch_ready()
+            && self.lingered < self.batch.linger_steps
+        {
+            self.lingered += 1;
+            report.still_buffered = self.queue.len() as u64;
+            return report;
+        }
+        self.lingered = 0;
         let mut attempts = 0u32;
-        'drain: while let Some(entry) = self.queue.pop_front() {
+        'drain: while !self.queue.is_empty() {
+            let batch = self.take_batch();
             loop {
                 if attempts >= self.policy.attempts_per_pump {
-                    self.queue.push_front(entry);
+                    // Re-queue the whole batch at the front, in order.
+                    for entry in batch.into_entries().into_iter().rev() {
+                        self.queue.push_front(entry);
+                    }
                     break 'drain;
                 }
                 let target = match &self.current {
@@ -254,9 +362,11 @@ impl ScribeDaemon {
                         }
                     }
                 };
-                match self.network.send(&target, entry.clone()) {
+                match self.network.send_batch(&target, batch.clone()) {
                     Ok(()) => {
-                        report.sent += 1;
+                        report.sent += batch.len() as u64;
+                        self.batches_sent += 1;
+                        self.wire_bytes_sent += batch.wire_size() as u64;
                         break;
                     }
                     Err(_) => {
@@ -482,6 +592,112 @@ mod tests {
         assert_eq!(r.sent, 1, "daemon must reconnect and still deliver");
         assert_eq!(d.reconnects, 1);
         assert_eq!(agg.process(), 1);
+    }
+
+    #[test]
+    fn pump_batches_entries_into_few_messages() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let mut agg = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        let mut d = daemon(&coord, &net, 7).with_batch_policy(BatchPolicy {
+            max_records: 10,
+            max_bytes: usize::MAX,
+            linger_steps: 0,
+        });
+        for _ in 0..25 {
+            d.log(LogEntry::new("ce", b"m".to_vec()));
+        }
+        let r = d.pump();
+        assert_eq!(r.sent, 25, "sent counts entries, not batches");
+        assert_eq!(d.batches_sent, 3, "25 entries at 10/batch");
+        assert!(d.wire_bytes_sent > 0);
+        let (messages, _) = net.message_cost();
+        assert_eq!(messages, 3);
+        assert_eq!(agg.process(), 25);
+    }
+
+    #[test]
+    fn unbatched_policy_sends_one_message_per_entry() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let mut agg = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        let mut d = daemon(&coord, &net, 7).with_batch_policy(BatchPolicy::unbatched());
+        for _ in 0..5 {
+            d.log(LogEntry::new("ce", b"m".to_vec()));
+        }
+        assert_eq!(d.pump().sent, 5);
+        assert_eq!(d.batches_sent, 5);
+        assert_eq!(net.message_cost().0, 5);
+        assert_eq!(agg.process(), 5);
+    }
+
+    #[test]
+    fn byte_bound_splits_batches_but_oversized_entries_still_ship() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let mut agg = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        let mut d = daemon(&coord, &net, 7).with_batch_policy(BatchPolicy {
+            max_records: 100,
+            max_bytes: 100,
+            linger_steps: 0,
+        });
+        // One entry far over the byte bound, then small ones.
+        d.log(LogEntry::new("ce", vec![0u8; 500]));
+        for _ in 0..4 {
+            d.log(LogEntry::new("ce", b"m".to_vec()));
+        }
+        let r = d.pump();
+        assert_eq!(r.sent, 5);
+        assert_eq!(
+            d.batches_sent, 2,
+            "oversized entry alone, then the small ones together"
+        );
+        assert_eq!(agg.process(), 5);
+    }
+
+    #[test]
+    fn linger_holds_partial_batches_then_flushes() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let mut agg = Aggregator::spawn(&coord, &net, "dc1", Warehouse::new());
+        let mut d = daemon(&coord, &net, 7).with_batch_policy(BatchPolicy {
+            max_records: 4,
+            max_bytes: usize::MAX,
+            linger_steps: 2,
+        });
+        d.log(LogEntry::new("ce", b"m".to_vec()));
+        // Partial batch lingers, untouched, for two pumps …
+        let r1 = d.pump();
+        assert_eq!((r1.sent, r1.still_buffered), (0, 1));
+        assert!(!r1.cooling_down, "linger is not backoff");
+        assert_eq!((d.pump().sent, d.buffered()), (0, 1));
+        // … then ships on the third even though still partial.
+        assert_eq!(d.pump().sent, 1);
+        assert_eq!(agg.process(), 1);
+        // A full batch never lingers.
+        for _ in 0..4 {
+            d.log(LogEntry::new("ce", b"m".to_vec()));
+        }
+        assert_eq!(d.pump().sent, 4);
+        assert_eq!(agg.process(), 4);
+    }
+
+    #[test]
+    fn failed_batch_requeues_whole_preserving_order() {
+        let coord = CoordService::new();
+        let net = Network::new();
+        let mut d = daemon(&coord, &net, 5).with_retry_policy(RetryPolicy {
+            attempts_per_pump: 1,
+            base_cooldown: 1,
+            max_cooldown: 1,
+        });
+        for i in 0..3u64 {
+            d.log(LogEntry::new("ce", vec![i as u8]));
+        }
+        // No aggregator: the popped batch must land back intact, in order.
+        assert_eq!(d.pump().sent, 0);
+        let seqs: Vec<u64> = d.queued_ids().map(|id| id.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
     }
 
     #[test]

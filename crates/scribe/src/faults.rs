@@ -257,6 +257,7 @@ impl Default for ChaosConfig {
                 hosts_per_dc: 4,
                 aggregators_per_dc: 2,
                 records_per_file: 64,
+                batch: crate::daemon::BatchPolicy::default(),
             },
             steps: 48,
             steps_per_hour: 8,
@@ -278,6 +279,10 @@ pub enum Sabotage {
     /// mover runs. Acked, durably-staged data vanishing outside any crash
     /// window must trip the checker.
     DeleteStagedFile,
+    /// Arm the network's one-shot half-apply trap: the first multi-entry
+    /// batch is stored only partially but acked whole. The silently
+    /// dropped half must surface as unaccounted entries.
+    HalfApplyBatch,
 }
 
 /// Everything a chaos run produces, reproducible from its seed.
@@ -316,6 +321,9 @@ pub fn run_chaos_with(seed: u64, cfg: &ChaosConfig, sabotage: Sabotage) -> Chaos
     );
     pipe.set_link_faults(seed ^ 0x114B_FA17, cfg.faults.link);
     let mut traffic = StdRng::seed_from_u64(seed ^ 0x07EA_FF1C);
+    if sabotage == Sabotage::HalfApplyBatch {
+        pipe.network().arm_half_apply();
+    }
 
     // Phase 1 — chaos: log traffic and advance under the fault schedule.
     // Hours are flushed at each boundary but never sealed or moved while
@@ -578,6 +586,24 @@ mod tests {
         assert!(
             !o.is_clean(),
             "silently deleting staged data must violate the no-loss invariant"
+        );
+        assert!(o
+            .accounting
+            .violations
+            .iter()
+            .any(|v| v.contains("unaccounted")));
+    }
+
+    #[test]
+    fn half_applied_batch_trips_the_checker() {
+        let cfg = ChaosConfig {
+            faults: FaultConfig::quiet(),
+            ..Default::default()
+        };
+        let o = run_chaos_with(1, &cfg, Sabotage::HalfApplyBatch);
+        assert!(
+            !o.is_clean(),
+            "a partially stored but fully acked batch must violate no-loss"
         );
         assert!(o
             .accounting

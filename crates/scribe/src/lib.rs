@@ -41,12 +41,12 @@ pub mod staged;
 
 pub use aggregator::Aggregator;
 pub use config::{CategoryConfig, CategoryRegistry, Disposition};
-pub use daemon::{RetryPolicy, ScribeDaemon};
+pub use daemon::{BatchPolicy, RetryPolicy, ScribeDaemon};
 pub use faults::{
     check_invariants, run_chaos, run_chaos_with, ChaosConfig, ChaosOutcome, FaultConfig, FaultPlan,
     InvariantReport, Sabotage,
 };
-pub use message::{EntryId, LogEntry};
+pub use message::{EntryId, LogEntry, MessageBatch};
 pub use mover::{LogMover, MoveReport};
 pub use network::{LinkFaults, Network};
 pub use pipeline::{PipelineConfig, PipelineReport, ScribePipeline};

@@ -1,4 +1,4 @@
-//! The Scribe log entry.
+//! The Scribe log entry and the batched wire message.
 
 /// Identity of an entry as stamped by the host daemon that accepted it:
 /// the host id plus a per-host sequence number. Network faults can copy or
@@ -50,6 +50,191 @@ impl LogEntry {
     }
 }
 
+/// Entry tag inside a batch frame: carries an [`EntryId`].
+const TAG_STAMPED: u8 = 1;
+/// Entry tag inside a batch frame: no delivery id.
+const TAG_RAW: u8 = 0;
+
+fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Frame-encoded size of one entry inside a batch: tag, optional 16-byte
+/// id, then length-prefixed category and message.
+pub(crate) fn framed_entry_size(e: &LogEntry) -> usize {
+    let id_bytes = if e.id.is_some() { 16 } else { 0 };
+    1 + id_bytes
+        + varint_len(e.category.len() as u64)
+        + e.category.len()
+        + varint_len(e.message.len() as u64)
+        + e.message.len()
+}
+
+/// A size+count-bounded batch of log entries — the unit a daemon hands to
+/// the network in one message. Faults land at batch granularity: a dropped
+/// packet loses (and re-buffers) a whole batch, a duplicated packet
+/// re-delivers every entry in it. The byte framing ([`MessageBatch::encode`]
+/// / [`MessageBatch::decode`]) is what would cross a real wire; the
+/// in-process network passes the structured form but charges
+/// [`wire_size`](MessageBatch::wire_size) — the encoded length — to the
+/// cost model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MessageBatch {
+    entries: Vec<LogEntry>,
+    /// Cached encoded size of the entries (excludes the count header).
+    entry_bytes: usize,
+}
+
+impl MessageBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        MessageBatch::default()
+    }
+
+    /// A batch of one entry (the unbatched compatibility path).
+    pub fn of(entry: LogEntry) -> Self {
+        let mut b = MessageBatch::new();
+        b.push(entry);
+        b
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: LogEntry) {
+        self.entry_bytes += framed_entry_size(&entry);
+        self.entries.push(entry);
+    }
+
+    /// Entries in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the batch holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, in send order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Consumes the batch into its entries.
+    pub fn into_entries(self) -> Vec<LogEntry> {
+        self.entries
+    }
+
+    /// Encoded size in bytes: what this batch would occupy on a real wire.
+    pub fn wire_size(&self) -> usize {
+        varint_len(self.entries.len() as u64) + self.entry_bytes
+    }
+
+    /// Serializes the batch: varint entry count, then per entry a tag byte
+    /// (with the 16-byte little-endian id when stamped) and length-prefixed
+    /// category and message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_size());
+        write_varint(&mut out, self.entries.len() as u64);
+        for e in &self.entries {
+            match e.id {
+                Some(id) => {
+                    out.push(TAG_STAMPED);
+                    out.extend_from_slice(&id.host.to_le_bytes());
+                    out.extend_from_slice(&id.seq.to_le_bytes());
+                }
+                None => out.push(TAG_RAW),
+            }
+            write_varint(&mut out, e.category.len() as u64);
+            out.extend_from_slice(e.category.as_bytes());
+            write_varint(&mut out, e.message.len() as u64);
+            out.extend_from_slice(&e.message);
+        }
+        out
+    }
+
+    /// Parses an encoded batch. `None` on any truncation, bad tag, or
+    /// trailing garbage — a malformed frame is rejected whole, never
+    /// half-applied.
+    pub fn decode(bytes: &[u8]) -> Option<MessageBatch> {
+        let mut pos = 0usize;
+        let count = read_varint(bytes, &mut pos)?;
+        if count > bytes.len() as u64 {
+            // Each entry needs at least one byte; an overlong count cannot
+            // be honest, so fail before reserving anything.
+            return None;
+        }
+        let mut batch = MessageBatch::new();
+        for _ in 0..count {
+            let tag = *bytes.get(pos)?;
+            pos += 1;
+            let id = match tag {
+                TAG_RAW => None,
+                TAG_STAMPED => {
+                    let rest = bytes.get(pos..pos + 16)?;
+                    pos += 16;
+                    Some(EntryId {
+                        host: u64::from_le_bytes(rest[..8].try_into().expect("8 bytes")),
+                        seq: u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes")),
+                    })
+                }
+                _ => return None,
+            };
+            let cat_len = read_varint(bytes, &mut pos)? as usize;
+            let category = bytes.get(pos..pos + cat_len)?;
+            pos += cat_len;
+            let msg_len = read_varint(bytes, &mut pos)? as usize;
+            let message = bytes.get(pos..pos + msg_len)?;
+            pos += msg_len;
+            let mut e = LogEntry::new(String::from_utf8(category.to_vec()).ok()?, message.to_vec());
+            e.id = id;
+            batch.push(e);
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(batch)
+    }
+}
+
+impl<'a> IntoIterator for &'a MessageBatch {
+    type Item = &'a LogEntry;
+    type IntoIter = std::slice::Iter<'a, LogEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +245,70 @@ mod tests {
         assert_eq!(e.category, "client_events");
         assert_eq!(e.message, b"payload");
         assert_eq!(e.wire_size(), "client_events".len() + 7);
+    }
+
+    fn stamped(host: u64, seq: u64, msg: &[u8]) -> LogEntry {
+        let mut e = LogEntry::new("client_events", msg.to_vec());
+        e.id = Some(EntryId { host, seq });
+        e
+    }
+
+    #[test]
+    fn batch_roundtrips_mixed_entries() {
+        let mut b = MessageBatch::new();
+        b.push(stamped(3, 0, b"first"));
+        b.push(LogEntry::new("other", b"".to_vec()));
+        b.push(stamped(3, 1, &[0xff; 200]));
+        let bytes = b.encode();
+        assert_eq!(bytes.len(), b.wire_size(), "wire_size is the frame size");
+        assert_eq!(MessageBatch::decode(&bytes), Some(b));
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let b = MessageBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(MessageBatch::decode(&b.encode()), Some(b));
+    }
+
+    #[test]
+    fn truncations_and_garbage_are_rejected_whole() {
+        let mut b = MessageBatch::new();
+        b.push(stamped(1, 0, b"payload"));
+        b.push(stamped(1, 1, b"payload2"));
+        let bytes = b.encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                MessageBatch::decode(&bytes[..cut]),
+                None,
+                "truncation at {cut} must reject the whole frame"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(MessageBatch::decode(&trailing), None, "trailing garbage");
+        assert_eq!(MessageBatch::decode(&[9]), None, "bad count then EOF");
+        assert_eq!(MessageBatch::decode(&[1, 7]), None, "unknown entry tag");
+    }
+
+    #[test]
+    fn overlong_count_fails_before_allocating() {
+        // Claims u64::MAX entries in a 10-byte frame.
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, u64::MAX);
+        assert_eq!(MessageBatch::decode(&bytes), None);
+    }
+
+    #[test]
+    fn wire_size_tracks_pushes_incrementally() {
+        let mut b = MessageBatch::new();
+        let mut prev = b.wire_size();
+        for i in 0..130u64 {
+            b.push(stamped(9, i, b"x"));
+            let now = b.wire_size();
+            assert!(now > prev);
+            prev = now;
+            assert_eq!(b.encode().len(), now);
+        }
     }
 }

@@ -6,6 +6,14 @@
 //! subsequent sends fail exactly like writes to a dead TCP peer — which is
 //! the signal daemons use to go back to ZooKeeper for a live aggregator.
 //!
+//! The unit of transfer is a [`MessageBatch`]: daemons coalesce queued
+//! entries into one message, so a wire fault lands at batch granularity — a
+//! dropped packet loses (and re-buffers) a whole batch, a lost ack retries
+//! and therefore duplicates every entry in it, a delayed packet holds the
+//! batch intact until it is due. Receivers still see individual entries:
+//! delivery unpacks the batch into the endpoint's channel, which keeps
+//! per-entry accounting (aggregator backlog, crash loss) exact.
+//!
 //! For chaos testing the network can additionally sample per-send link
 //! faults from a seeded RNG ([`LinkFaults`]): dropped packets, lost acks
 //! (delivered but reported failed, so the sender retries and the entry is
@@ -21,7 +29,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::{Rng, SeedableRng, StdRng};
 
-use crate::message::{EntryId, LogEntry};
+use crate::message::{EntryId, LogEntry, MessageBatch};
 
 /// Error returned when sending to a crashed or unknown aggregator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,10 +67,19 @@ struct FaultState {
 struct Shared {
     peers: HashMap<String, Sender<LogEntry>>,
     faults: Option<FaultState>,
-    /// Delayed packets: (due step, endpoint, entry), in send order.
-    delayed: VecDeque<(u64, String, LogEntry)>,
+    /// Delayed packets: (due step, endpoint, batch), in send order. A
+    /// delayed batch is held whole — it was acked as one message.
+    delayed: VecDeque<(u64, String, MessageBatch)>,
     /// Current simulation step, advanced by [`Network::advance_step`].
     now: u64,
+    /// Cost model: messages ever offered to the network (every
+    /// [`Network::send_batch`] call, successful or not).
+    messages: u64,
+    /// Cost model: encoded bytes of those messages.
+    message_bytes: u64,
+    /// One-shot sabotage: the next multi-entry batch is half-applied —
+    /// delivered partially but acked whole (negative testing only).
+    half_apply_armed: bool,
 }
 
 /// Registry of live channel endpoints, keyed by aggregator endpoint name.
@@ -118,9 +135,21 @@ impl Network {
         self.inner.lock().faults = None;
     }
 
-    /// Sends an entry to the named endpoint.
+    /// Sends a single entry to the named endpoint — a batch of one.
     pub fn send(&self, name: &str, entry: LogEntry) -> Result<(), PeerDown> {
+        self.send_batch(name, MessageBatch::of(entry))
+    }
+
+    /// Sends a batch of entries to the named endpoint as one message: one
+    /// fault roll, one ack. Fault outcomes apply to the batch as a unit —
+    /// drop loses it whole (the sender re-buffers it), ack loss delivers
+    /// all entries but reports failure, duplicate re-delivers every entry,
+    /// delay holds the batch intact until due. Delivery unpacks entries
+    /// into the endpoint's channel in batch order.
+    pub fn send_batch(&self, name: &str, batch: MessageBatch) -> Result<(), PeerDown> {
         let mut s = self.inner.lock();
+        s.messages += 1;
+        s.message_bytes += batch.wire_size() as u64;
         // One roll per send, partitioning [0,1) into the fault kinds. The
         // roll happens before the liveness check so RNG consumption — and
         // therefore every later decision — does not depend on peer state.
@@ -153,48 +182,88 @@ impl Network {
         let Some(tx) = s.peers.get(name).cloned() else {
             return Err(PeerDown);
         };
+        if s.half_apply_armed && batch.len() >= 2 {
+            // Sabotage: store only the first half, ack the whole batch.
+            // The lost half is accounted nowhere — the invariant checker
+            // must catch exactly this.
+            s.half_apply_armed = false;
+            let half = batch.len() / 2;
+            for entry in batch.into_entries().into_iter().take(half) {
+                let _ = tx.send(entry);
+            }
+            return Ok(());
+        }
         match decision {
             Decision::Drop => unreachable!("handled above"),
             Decision::Delay(steps) => {
                 let due = s.now + steps;
-                s.delayed.push_back((due, name.to_string(), entry));
+                s.delayed.push_back((due, name.to_string(), batch));
                 Ok(())
             }
-            Decision::Deliver => tx.send(entry).map_err(|_| PeerDown),
+            Decision::Deliver => {
+                for entry in batch.into_entries() {
+                    tx.send(entry).map_err(|_| PeerDown)?;
+                }
+                Ok(())
+            }
             Decision::AckLoss => {
                 // Delivered, but the sender is told it failed.
-                let _ = tx.send(entry);
+                for entry in batch.into_entries() {
+                    let _ = tx.send(entry);
+                }
                 Err(PeerDown)
             }
             Decision::Duplicate => {
-                let _ = tx.send(entry.clone());
-                tx.send(entry).map_err(|_| PeerDown)
+                for entry in &batch {
+                    let _ = tx.send(entry.clone());
+                }
+                for entry in batch.into_entries() {
+                    tx.send(entry).map_err(|_| PeerDown)?;
+                }
+                Ok(())
             }
         }
     }
 
+    /// Arms the one-shot half-apply sabotage: the next batch of two or more
+    /// entries is partially delivered but fully acked. For negative tests
+    /// proving the delivery-invariant checker catches half-applied batches.
+    pub fn arm_half_apply(&self) {
+        self.inner.lock().half_apply_armed = true;
+    }
+
+    /// Cost model: `(messages, bytes)` ever offered to the network — one
+    /// message per [`send_batch`](Self::send_batch) call (including failed
+    /// sends, which consumed the wire), bytes as encoded frame sizes.
+    pub fn message_cost(&self) -> (u64, u64) {
+        let s = self.inner.lock();
+        (s.messages, s.message_bytes)
+    }
+
     /// Advances simulated time one step, delivering due delayed packets.
-    /// Packets whose endpoint has since crashed are returned as dead
-    /// letters: they were acked to the sender, so the caller must account
-    /// them as crash losses.
+    /// Entries of batches whose endpoint has since crashed are returned as
+    /// dead letters: they were acked to the sender, so the caller must
+    /// account them as crash losses.
     pub fn advance_step(&self) -> Vec<LogEntry> {
         let mut s = self.inner.lock();
         s.now += 1;
         let now = s.now;
         let mut dead = Vec::new();
         let mut keep = VecDeque::new();
-        while let Some((due, name, entry)) = s.delayed.pop_front() {
+        while let Some((due, name, batch)) = s.delayed.pop_front() {
             if due > now {
-                keep.push_back((due, name, entry));
+                keep.push_back((due, name, batch));
                 continue;
             }
             match s.peers.get(&name).cloned() {
                 Some(tx) => {
-                    if let Err(e) = tx.send(entry) {
-                        dead.push(e.0);
+                    for entry in batch.into_entries() {
+                        if let Err(e) = tx.send(entry) {
+                            dead.push(e.0);
+                        }
                     }
                 }
-                None => dead.push(entry),
+                None => dead.extend(batch.into_entries()),
             }
         }
         s.delayed = keep;
@@ -206,13 +275,15 @@ impl Network {
         self.inner.lock().delayed.len() as u64
     }
 
-    /// Ids of delayed packets currently in flight (stamped entries only).
+    /// Ids of delayed entries currently in flight (stamped entries only),
+    /// flattened across delayed batches.
     pub fn delayed_ids(&self) -> Vec<EntryId> {
         self.inner
             .lock()
             .delayed
             .iter()
-            .filter_map(|(_, _, e)| e.id)
+            .flat_map(|(_, _, b)| b.entries())
+            .filter_map(|e| e.id)
             .collect()
     }
 
@@ -354,6 +425,107 @@ mod tests {
         let dead = net.advance_step();
         assert_eq!(dead.len(), 1);
         assert_eq!(dead[0].message, b"x");
+    }
+
+    fn batch_of(n: u8) -> MessageBatch {
+        let mut b = MessageBatch::new();
+        for i in 0..n {
+            b.push(LogEntry::new("c", vec![i]));
+        }
+        b
+    }
+
+    #[test]
+    fn batch_delivers_entries_in_order() {
+        let net = Network::new();
+        let rx = net.register("a");
+        net.send_batch("a", batch_of(3)).unwrap();
+        let got: Vec<Vec<u8>> = rx.try_iter().map(|e| e.message).collect();
+        assert_eq!(got, vec![vec![0], vec![1], vec![2]]);
+        let (messages, bytes) = net.message_cost();
+        assert_eq!(messages, 1, "one batch is one network message");
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn faults_land_at_batch_granularity() {
+        // Drop: the whole batch is lost and the sender told so.
+        let net = Network::new();
+        let rx = net.register("a");
+        net.set_faults(
+            1,
+            LinkFaults {
+                drop_rate: 1.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(net.send_batch("a", batch_of(4)), Err(PeerDown));
+        assert_eq!(rx.try_iter().count(), 0);
+
+        // Duplicate: every entry in the batch arrives twice.
+        net.set_faults(
+            1,
+            LinkFaults {
+                duplicate_rate: 1.0,
+                ..Default::default()
+            },
+        );
+        net.send_batch("a", batch_of(4)).unwrap();
+        assert_eq!(rx.try_iter().count(), 8);
+
+        // Delay: the batch is held whole, its ids visible in flight.
+        net.set_faults(
+            1,
+            LinkFaults {
+                delay_rate: 1.0,
+                max_delay_steps: 1,
+                ..Default::default()
+            },
+        );
+        let mut b = batch_of(2);
+        b.push({
+            let mut e = LogEntry::new("c", vec![9]);
+            e.id = Some(EntryId { host: 5, seq: 0 });
+            e
+        });
+        net.send_batch("a", b).unwrap();
+        assert_eq!(net.delayed_count(), 1, "one delayed packet, three entries");
+        assert_eq!(net.delayed_ids(), vec![EntryId { host: 5, seq: 0 }]);
+        net.clear_faults();
+        net.advance_step();
+        assert_eq!(rx.try_iter().count(), 3);
+    }
+
+    #[test]
+    fn delayed_batch_to_crashed_peer_flattens_to_dead_letters() {
+        let net = Network::new();
+        let _rx = net.register("a");
+        net.set_faults(
+            1,
+            LinkFaults {
+                delay_rate: 1.0,
+                max_delay_steps: 1,
+                ..Default::default()
+            },
+        );
+        net.send_batch("a", batch_of(3)).unwrap();
+        net.unregister("a");
+        assert_eq!(net.advance_step().len(), 3);
+    }
+
+    #[test]
+    fn half_apply_sabotage_delivers_half_but_acks_whole() {
+        let net = Network::new();
+        let rx = net.register("a");
+        net.arm_half_apply();
+        // Single-entry batches are not half-appliable; the trap stays armed.
+        net.send_batch("a", batch_of(1)).unwrap();
+        assert_eq!(rx.try_iter().count(), 1);
+        assert!(net.send_batch("a", batch_of(5)).is_ok(), "acked whole");
+        assert_eq!(rx.try_iter().count(), 2, "only half stored");
+        // One-shot: later batches are intact again.
+        net.send_batch("a", batch_of(5)).unwrap();
+        assert_eq!(rx.try_iter().count(), 5);
     }
 
     #[test]

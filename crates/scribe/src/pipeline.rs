@@ -14,7 +14,7 @@ use uli_obs::{Counter, Gauge, Registry};
 use uli_warehouse::{HourlyPartition, Warehouse};
 
 use crate::aggregator::Aggregator;
-use crate::daemon::ScribeDaemon;
+use crate::daemon::{BatchPolicy, ScribeDaemon};
 use crate::faults::FaultPlan;
 use crate::message::{EntryId, LogEntry};
 use crate::mover::{seal_hour, LogMover, MoveError, MoveReport};
@@ -31,6 +31,8 @@ pub struct PipelineConfig {
     pub aggregators_per_dc: usize,
     /// Merged-output file size used by the log mover, in records.
     pub records_per_file: u64,
+    /// Batching policy applied to every host daemon's send path.
+    pub batch: BatchPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -40,6 +42,7 @@ impl Default for PipelineConfig {
             hosts_per_dc: 16,
             aggregators_per_dc: 4,
             records_per_file: 100_000,
+            batch: BatchPolicy::default(),
         }
     }
 }
@@ -79,6 +82,13 @@ pub struct PipelineReport {
     /// Failed send attempts across all daemons (each triggered rediscovery
     /// and, past the per-pump budget, exponential backoff).
     pub retried: u64,
+    /// Batches daemons handed to aggregators (acked network messages).
+    pub batches_sent: u64,
+    /// Encoded bytes of those acked batches.
+    pub wire_bytes_sent: u64,
+    /// Cost model: messages ever offered to the network, including failed
+    /// and retried sends. Batching's headline saving.
+    pub network_messages: u64,
 }
 
 /// Registry handles behind [`ScribePipeline::new_with_obs`].
@@ -97,6 +107,9 @@ struct PipelineObs {
     lost_in_crashes: Counter,
     dropped_disk_full: Counter,
     retried: Counter,
+    batches_sent: Counter,
+    wire_bytes_sent: Counter,
+    network_messages: Counter,
     host_buffered: Gauge,
     aggregator_buffered: Gauge,
     in_flight: Gauge,
@@ -116,6 +129,9 @@ impl PipelineObs {
             lost_in_crashes: c("lost_in_crashes"),
             dropped_disk_full: c("dropped_disk_full"),
             retried: c("retried"),
+            batches_sent: c("batches_sent"),
+            wire_bytes_sent: c("wire_bytes_sent"),
+            network_messages: c("network_messages"),
             host_buffered: g("host_buffered"),
             aggregator_buffered: g("aggregator_buffered"),
             in_flight: g("in_flight"),
@@ -131,6 +147,9 @@ impl PipelineObs {
         self.lost_in_crashes.set_total(r.lost_in_crashes);
         self.dropped_disk_full.set_total(r.dropped_disk_full);
         self.retried.set_total(r.retried);
+        self.batches_sent.set_total(r.batches_sent);
+        self.wire_bytes_sent.set_total(r.wire_bytes_sent);
+        self.network_messages.set_total(r.network_messages);
         self.host_buffered.set(r.host_buffered as i64);
         self.aggregator_buffered.set(r.aggregator_buffered as i64);
         self.in_flight.set(r.in_flight as i64);
@@ -195,6 +214,7 @@ impl ScribePipeline {
                         &coord,
                         network.clone(),
                     )
+                    .with_batch_policy(config.batch)
                 })
                 .collect();
             datacenters.push(Datacenter {
@@ -451,6 +471,7 @@ impl ScribePipeline {
             moved: self.moved,
             duplicates_merged: self.duplicates_merged,
             in_flight: self.network.delayed_count(),
+            network_messages: self.network.message_cost().0,
             ..Default::default()
         };
         for dc in &self.datacenters {
@@ -459,6 +480,8 @@ impl ScribePipeline {
                 r.host_buffered += d.buffered();
                 r.dropped_disk_full += d.dropped_disk_full;
                 r.retried += d.send_failures;
+                r.batches_sent += d.batches_sent;
+                r.wire_bytes_sent += d.wire_bytes_sent;
             }
             for a in dc.aggregators.iter().flatten() {
                 r.accepted += a.accepted;
@@ -482,6 +505,7 @@ mod tests {
             hosts_per_dc: 4,
             aggregators_per_dc: 2,
             records_per_file: 50,
+            batch: BatchPolicy::default(),
         }
     }
 
@@ -684,6 +708,43 @@ mod tests {
         let lost = pipe.crash_aggregator(0, 0) + pipe.crash_aggregator(0, 1);
         let snap = registry.snapshot();
         assert_eq!(snap.counter_value("scribe/lost_in_crashes"), Some(lost));
+    }
+
+    #[test]
+    fn batching_cuts_messages_and_lands_identical_files() {
+        let run = |batch: BatchPolicy| {
+            let mut pipe = ScribePipeline::new(PipelineConfig {
+                batch,
+                ..small_config()
+            });
+            let logged = log_round(&mut pipe, 25, "a");
+            pipe.step();
+            pipe.flush_hour(0);
+            pipe.seal_hour("client_events", 0);
+            assert_eq!(pipe.move_hour("client_events", 0).unwrap().records, logged);
+            let main = pipe.main_warehouse();
+            let root = uli_warehouse::WhPath::parse("/logs").unwrap();
+            let mut files = Vec::new();
+            for f in main.list_files_recursive(&root).unwrap() {
+                files.push((f.to_string(), main.open(&f).unwrap().read_all().unwrap()));
+            }
+            (pipe.report(), files)
+        };
+        let (batched, batched_files) = run(BatchPolicy::default());
+        let (unbatched, unbatched_files) = run(BatchPolicy::unbatched());
+        assert_eq!(batched.moved, unbatched.moved);
+        assert_eq!(
+            batched_files, unbatched_files,
+            "landed warehouse files must be byte-identical"
+        );
+        assert_eq!(unbatched.network_messages, unbatched.logged);
+        assert!(
+            batched.network_messages < unbatched.network_messages / 4,
+            "batching must collapse messages: {} vs {}",
+            batched.network_messages,
+            unbatched.network_messages
+        );
+        assert!(batched.wire_bytes_sent < unbatched.wire_bytes_sent);
     }
 
     #[test]

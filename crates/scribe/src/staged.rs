@@ -24,24 +24,32 @@ const TAG_STAMPED: u8 = 1;
 /// Envelope tag: record has no id (entry was injected without a daemon).
 const TAG_RAW: u8 = 0;
 
-/// Wraps one payload in the staged-file envelope.
-pub fn encode(id: Option<EntryId>, payload: &[u8]) -> Vec<u8> {
+/// Appends the staged-file envelope for one payload to `out` — the
+/// allocation-free form: callers flushing a stream of records keep a single
+/// scratch buffer (clearing it between records) instead of paying one `Vec`
+/// per record. Appends exactly the bytes [`encode`] would return.
+pub fn encode_into(id: Option<EntryId>, payload: &[u8], out: &mut Vec<u8>) {
     match id {
         Some(id) => {
-            let mut out = Vec::with_capacity(1 + 16 + payload.len());
+            out.reserve(1 + 16 + payload.len());
             out.push(TAG_STAMPED);
             out.extend_from_slice(&id.host.to_le_bytes());
             out.extend_from_slice(&id.seq.to_le_bytes());
-            out.extend_from_slice(payload);
-            out
         }
         None => {
-            let mut out = Vec::with_capacity(1 + payload.len());
+            out.reserve(1 + payload.len());
             out.push(TAG_RAW);
-            out.extend_from_slice(payload);
-            out
         }
     }
+    out.extend_from_slice(payload);
+}
+
+/// Wraps one payload in the staged-file envelope (a thin wrapper over
+/// [`encode_into`]).
+pub fn encode(id: Option<EntryId>, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(id, payload, &mut out);
+    out
 }
 
 /// Unwraps one enveloped record into `(id, payload)`. `None` if the record
@@ -94,6 +102,18 @@ mod tests {
     fn unknown_tag_is_rejected() {
         assert_eq!(decode(&[9u8, 0, 0]), None);
         assert_eq!(decode(&[]), None);
+    }
+
+    #[test]
+    fn encode_into_reuses_one_buffer_and_matches_encode() {
+        let id = EntryId { host: 2, seq: 9 };
+        let mut scratch = Vec::new();
+        for (id, payload) in [(Some(id), &b"abc"[..]), (None, &b"defgh"[..])] {
+            scratch.clear();
+            encode_into(id, payload, &mut scratch);
+            assert_eq!(scratch, encode(id, payload));
+            assert_eq!(decode(&scratch), Some((id, payload)));
+        }
     }
 
     #[test]

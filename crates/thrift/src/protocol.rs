@@ -50,6 +50,17 @@ impl CompactWriter {
         }
     }
 
+    /// Creates a writer that appends to an existing buffer, so a caller
+    /// encoding a stream of records can reuse one allocation throughout.
+    /// Existing contents are preserved; [`CompactWriter::into_bytes`] hands
+    /// the buffer back.
+    pub fn over_buffer(buf: Vec<u8>) -> Self {
+        CompactWriter {
+            buf,
+            last_field_id: Vec::new(),
+        }
+    }
+
     /// Consumes the writer, returning the encoded bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         debug_assert!(

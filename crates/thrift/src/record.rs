@@ -16,11 +16,23 @@ pub trait ThriftRecord: Sized {
     /// Reads a struct from `r`, skipping unrecognized fields.
     fn read(r: &mut CompactReader<'_>) -> ThriftResult<Self>;
 
-    /// Serializes to a fresh byte vector.
-    fn to_bytes(&self) -> Vec<u8> {
-        let mut w = CompactWriter::with_capacity(64);
+    /// Appends the encoding of `self` to `buf` without a fresh allocation —
+    /// the hot-loop form: callers encoding a stream of records keep one
+    /// buffer (clearing or draining it between uses) instead of paying one
+    /// `Vec` per record. The appended bytes are identical to
+    /// [`ThriftRecord::to_bytes`].
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = CompactWriter::over_buffer(std::mem::take(buf));
         self.write(&mut w);
-        w.into_bytes()
+        *buf = w.into_bytes();
+    }
+
+    /// Serializes to a fresh byte vector (a thin wrapper over
+    /// [`ThriftRecord::encode_into`]).
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        self.encode_into(&mut buf);
+        buf
     }
 
     /// Deserializes from `bytes`, requiring full consumption is *not*
@@ -167,5 +179,60 @@ mod tests {
             assert_eq!(p, PointV1 { x: i, y: -i });
         }
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn encode_into_appends_and_reuses_one_buffer() {
+        let mut buf = vec![0xAA, 0xBB];
+        let p = PointV1 { x: 7, y: -9 };
+        p.encode_into(&mut buf);
+        assert_eq!(&buf[..2], &[0xAA, 0xBB], "existing bytes preserved");
+        assert_eq!(&buf[2..], p.to_bytes().as_slice());
+        // Reuse across a stream: clear between records, capacity persists.
+        buf.clear();
+        let cap = buf.capacity();
+        p.encode_into(&mut buf);
+        assert!(buf.capacity() >= cap);
+        assert_eq!(PointV1::from_bytes(&buf).unwrap(), p);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn point_v2() -> impl Strategy<Value = PointV2> {
+            // An empty generated label stands in for `None`, so both arms of
+            // the optional field are exercised.
+            (any::<i64>(), any::<i64>(), "[a-z:_]{0,24}").prop_map(|(x, y, label)| PointV2 {
+                x,
+                y,
+                label: (!label.is_empty()).then_some(label),
+            })
+        }
+
+        proptest! {
+            /// `to_bytes` and `encode_into` must produce identical bytes for
+            /// any record, including when the buffer is reused mid-stream.
+            #[test]
+            fn encode_into_matches_to_bytes(points in proptest::collection::vec(point_v2(), 0..16)) {
+                let mut streamed = Vec::new();
+                let mut scratch = Vec::new();
+                let mut concatenated = Vec::new();
+                for p in &points {
+                    scratch.clear();
+                    p.encode_into(&mut scratch);
+                    prop_assert_eq!(&scratch, &p.to_bytes());
+                    streamed.extend_from_slice(&scratch);
+                    // Appending without clearing also matches concatenation.
+                    p.encode_into(&mut concatenated);
+                }
+                prop_assert_eq!(&streamed, &concatenated);
+                let mut r = CompactReader::new(&streamed);
+                for p in &points {
+                    prop_assert_eq!(&PointV2::read(&mut r).unwrap(), p);
+                }
+                prop_assert_eq!(r.remaining(), 0);
+            }
+        }
     }
 }

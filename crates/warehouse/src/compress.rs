@@ -119,21 +119,168 @@ fn flush_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
     }
 }
 
+/// A streaming `ulz` compressor that owns its hash table and buffers, so a
+/// writer sealing many blocks reuses one allocation set instead of paying a
+/// fresh 32 K-entry table plus output buffer per block.
+///
+/// Feed bytes with [`Compressor::write`]; tokens are emitted incrementally,
+/// but only for positions whose greedy outcome is already fixed — a match
+/// can extend up to [`MAX_MATCH`] bytes and seeds the hash table up to
+/// [`MIN_MATCH`] bytes short of its end, so a position is deferred until
+/// `MAX_MATCH + MIN_MATCH` lookahead bytes exist (or the block is being
+/// finished). That margin makes the token stream, and the hash-table state
+/// it leaves behind, byte-for-byte identical to running [`compress`] on the
+/// concatenated input, regardless of how the input was chunked.
+#[derive(Debug)]
+pub struct Compressor {
+    table: Vec<usize>,
+    /// Uncompressed bytes of the current block — also the match window.
+    input: Vec<u8>,
+    /// Token stream; the length header is prepended at `finish_block`.
+    tokens: Vec<u8>,
+    pos: usize,
+    literal_start: usize,
+}
+
+impl Default for Compressor {
+    fn default() -> Self {
+        Compressor::new()
+    }
+}
+
+impl Compressor {
+    /// A fresh compressor with an empty current block.
+    pub fn new() -> Self {
+        Compressor {
+            table: vec![usize::MAX; 1 << HASH_BITS],
+            input: Vec::new(),
+            tokens: Vec::new(),
+            pos: 0,
+            literal_start: 0,
+        }
+    }
+
+    /// Appends `bytes` to the current block and compresses as far as the
+    /// greedy matcher's outcome is already final.
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.input.extend_from_slice(bytes);
+        self.advance(false);
+    }
+
+    /// Uncompressed bytes buffered in the current block so far.
+    pub fn pending_len(&self) -> usize {
+        self.input.len()
+    }
+
+    /// True when nothing has been written since the last `finish_block`.
+    pub fn is_empty(&self) -> bool {
+        self.input.is_empty()
+    }
+
+    /// Seals the current block: drains the remaining input, prepends the
+    /// length header, and returns the complete `ulz` stream. The compressor
+    /// resets (reusing its allocations) and is ready for the next block.
+    pub fn finish_block(&mut self) -> Vec<u8> {
+        self.advance(true);
+        flush_literals(&mut self.tokens, &self.input[self.literal_start..]);
+        let mut out = Vec::with_capacity(self.tokens.len() + 10);
+        write_varint(&mut out, self.input.len() as u64);
+        out.extend_from_slice(&self.tokens);
+        self.table.fill(usize::MAX);
+        self.input.clear();
+        self.tokens.clear();
+        self.pos = 0;
+        self.literal_start = 0;
+        out
+    }
+
+    /// The incremental core: the same greedy matcher as [`compress`], run
+    /// only over positions whose outcome no future input can change (unless
+    /// `finalize`, when the whole tail is drained).
+    fn advance(&mut self, finalize: bool) {
+        let Compressor {
+            table,
+            input,
+            tokens,
+            pos,
+            literal_start,
+        } = self;
+        let len = input.len();
+        while *pos + MIN_MATCH <= len {
+            // A match starting here could reach MAX_MATCH bytes and seed
+            // the table for positions needing MIN_MATCH of lookahead; defer
+            // until that horizon is buffered so the outcome is final.
+            if !finalize && *pos + MAX_MATCH + MIN_MATCH > len {
+                break;
+            }
+            let h = hash4(&input[*pos..]);
+            let candidate = table[h];
+            table[h] = *pos;
+
+            let found = candidate != usize::MAX
+                && *pos - candidate <= WINDOW
+                && input[candidate..candidate + MIN_MATCH] == input[*pos..*pos + MIN_MATCH];
+            if found {
+                let mut mlen = MIN_MATCH;
+                let max = (len - *pos).min(MAX_MATCH);
+                while mlen < max && input[candidate + mlen] == input[*pos + mlen] {
+                    mlen += 1;
+                }
+                flush_literals(tokens, &input[*literal_start..*pos]);
+                tokens.push(0x80 | (mlen - MIN_MATCH) as u8);
+                write_varint(tokens, (*pos - candidate) as u64);
+                let end = *pos + mlen;
+                *pos += 1;
+                while *pos < end && *pos + MIN_MATCH <= len {
+                    table[hash4(&input[*pos..])] = *pos;
+                    *pos += 1;
+                }
+                *pos = end;
+                *literal_start = end;
+            } else {
+                *pos += 1;
+            }
+        }
+    }
+}
+
+/// Initial decompression buffer: grown to the declared length only once the
+/// stream has actually produced this much output, so a hostile header can
+/// never force a large allocation up front.
+const DECOMPRESS_PREALLOC: usize = 64 * 1024;
+
 /// Decompresses a `ulz` stream. Returns `None` on any structural error.
+/// Hostile input never panics, never produces more than the declared
+/// uncompressed length, and never allocates past it either: the output
+/// buffer starts small and is grown with `reserve_exact` toward the
+/// declared length only as real output accumulates.
 pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
     let mut pos = 0;
     let expected = read_varint(input, &mut pos)? as usize;
-    // Sanity bound: refuse to allocate more than 1 GiB for one block.
+    // Sanity bound: refuse to produce more than 1 GiB for one block.
     if expected > (1 << 30) {
         return None;
     }
-    let mut out = Vec::with_capacity(expected);
+    let mut out = Vec::with_capacity(expected.min(DECOMPRESS_PREALLOC));
+    let grow = |out: &mut Vec<u8>, n: usize| -> Option<()> {
+        // Reject streams that overrun the declared length before writing a
+        // byte past it (the one-shot final check would catch them anyway,
+        // but bailing early bounds both memory and work).
+        if expected - out.len() < n {
+            return None;
+        }
+        if out.capacity() - out.len() < n {
+            out.reserve_exact(expected - out.len());
+        }
+        Some(())
+    };
     while pos < input.len() {
         let token = input[pos];
         pos += 1;
         if token < 0x80 {
             let n = usize::from(token) + 1;
             let lits = input.get(pos..pos + n)?;
+            grow(&mut out, n)?;
             out.extend_from_slice(lits);
             pos += n;
         } else {
@@ -142,6 +289,7 @@ pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
             if dist == 0 || dist > out.len() {
                 return None;
             }
+            grow(&mut out, len)?;
             let start = out.len() - dist;
             // Overlapping copies must proceed byte by byte.
             for i in 0..len {
@@ -249,6 +397,78 @@ mod tests {
         assert_eq!(decompress(&bad), None);
     }
 
+    /// Feeds `data` to a streaming compressor in the given chunk sizes and
+    /// returns the sealed block.
+    fn stream_compress(c: &mut Compressor, data: &[u8], chunks: &[usize]) -> Vec<u8> {
+        let mut rest = data;
+        for &n in chunks {
+            let n = n.min(rest.len());
+            c.write(&rest[..n]);
+            rest = &rest[n..];
+        }
+        c.write(rest);
+        c.finish_block()
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_on_fixtures() {
+        let line = b"web:home:mentions:stream:avatar:profile_click\tuid=12345\n";
+        let mut data = Vec::new();
+        for _ in 0..300 {
+            data.extend_from_slice(line);
+        }
+        let mut c = Compressor::new();
+        for chunks in [&[][..], &[1][..], &[7, 13, 1000][..], &[56][..]] {
+            assert_eq!(
+                stream_compress(&mut c, &data, chunks),
+                compress(&data),
+                "chunking {chunks:?} must not change the token stream"
+            );
+        }
+        // The reset compressor handles an empty block like the one-shot.
+        assert_eq!(c.finish_block(), compress(b""));
+        assert_eq!(stream_compress(&mut c, b"abcd", &[2]), compress(b"abcd"));
+    }
+
+    #[test]
+    fn compressor_resets_between_blocks() {
+        let a = vec![b'x'; 5000];
+        let b: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        let mut c = Compressor::new();
+        // Sealing `a` first must not let its window leak into `b`.
+        assert_eq!(stream_compress(&mut c, &a, &[17]), compress(&a));
+        assert_eq!(stream_compress(&mut c, &b, &[17]), compress(&b));
+        assert!(c.is_empty());
+        assert_eq!(c.pending_len(), 0);
+    }
+
+    #[test]
+    fn huge_declared_length_fails_fast_without_allocating() {
+        // Claims just under the 1 GiB sanity bound but delivers one byte;
+        // the initial buffer must stay small and the stream must fail.
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 1 << 30);
+        bad.push(0x00);
+        bad.push(b'a');
+        assert_eq!(decompress(&bad), None);
+        // Over the bound is rejected outright.
+        let mut worse = Vec::new();
+        write_varint(&mut worse, (1 << 30) + 1);
+        assert_eq!(decompress(&worse), None);
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        // Eleven continuation bytes: shift exceeds 63 before terminating.
+        let bad = vec![0xffu8; 11];
+        assert_eq!(decompress(&bad), None);
+        // An overlong varint in a match distance, too.
+        let mut c = compress(b"hello hello hello hello hello");
+        c.extend_from_slice(&[0x80]);
+        c.extend_from_slice(&[0xff; 11]);
+        assert_eq!(decompress(&c), None);
+    }
+
     proptest! {
         #[test]
         fn random_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
@@ -261,6 +481,53 @@ mod tests {
         ) {
             let data = words.join(":").into_bytes();
             round_trip(&data);
+        }
+
+        /// The tentpole equivalence claim: any input, chunked any way,
+        /// streams to the exact bytes of the one-shot compressor — per
+        /// block, across reuse of one compressor.
+        #[test]
+        fn streaming_equals_one_shot_under_random_chunking(
+            words in proptest::collection::vec("[a-f]{1,10}", 0..512),
+            chunks in proptest::collection::vec(1usize..400, 0..24),
+        ) {
+            let data = words.join("|").into_bytes();
+            let mut c = Compressor::new();
+            let streamed = stream_compress(&mut c, &data, &chunks);
+            prop_assert_eq!(&streamed, &compress(&data));
+            prop_assert_eq!(decompress(&streamed).as_deref(), Some(&data[..]));
+            // Reuse after reset must stay equivalent as well.
+            let again = stream_compress(&mut c, &data, &[3]);
+            prop_assert_eq!(&again, &compress(&data));
+        }
+
+        /// Hostile input: arbitrary bytes must never panic, and any output
+        /// accepted must respect the declared length — including the
+        /// buffer's capacity (no over-allocation past the header's claim).
+        #[test]
+        fn hostile_streams_never_panic_or_overallocate(
+            data in proptest::collection::vec(any::<u8>(), 0..512)
+        ) {
+            if let Some(out) = decompress(&data) {
+                let mut pos = 0;
+                let declared = read_varint(&data, &mut pos).unwrap() as usize;
+                prop_assert_eq!(out.len(), declared);
+                prop_assert!(out.capacity() <= declared.max(DECOMPRESS_PREALLOC));
+            }
+        }
+
+        /// Every strict truncation of a valid stream is rejected: tokens
+        /// only ever add output, so a cut stream can never reach the
+        /// declared length.
+        #[test]
+        fn truncations_of_valid_streams_are_rejected(
+            words in proptest::collection::vec("[a-d]{1,6}", 1..128)
+        ) {
+            let data = words.join(":").into_bytes();
+            let c = compress(&data);
+            for cut in 0..c.len() {
+                prop_assert_eq!(decompress(&c[..cut]), None, "cut at {}", cut);
+            }
         }
     }
 }

@@ -23,15 +23,20 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+/// Encodes `v` as a varint into `buf` (which must hold 10 bytes), returning
+/// the encoded length. Writing into a stack array keeps the record-append
+/// hot path free of intermediate heap buffers.
+fn encode_varint(buf: &mut [u8; 10], mut v: u64) -> usize {
+    let mut n = 0;
     loop {
         let b = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            out.push(b);
-            break;
+            buf[n] = b;
+            return n + 1;
         }
-        out.push(b | 0x80);
+        buf[n] = b | 0x80;
+        n += 1;
     }
 }
 
@@ -97,13 +102,17 @@ impl FileData {
     }
 }
 
-/// Streaming writer: buffers records, seals a block whenever the buffer
-/// reaches the configured capacity, and atomically installs the file on
-/// [`RecordFileWriter::finish`].
+/// Streaming writer: records are fed straight into a reusable
+/// [`compress::Compressor`], which compresses incrementally as they append
+/// (no buffer-then-compress); a block is sealed whenever the buffered
+/// uncompressed bytes reach the configured capacity, and the file is
+/// atomically installed on [`RecordFileWriter::finish`]. The token stream
+/// is byte-identical to one-shot compression of the block, so on-disk files
+/// do not depend on how records were chunked into appends.
 pub struct RecordFileWriter {
     pub(crate) install: Box<dyn FnOnce(FileData) -> WarehouseResult<()> + Send>,
     pub(crate) block_capacity: usize,
-    pub(crate) pending: Vec<u8>,
+    pub(crate) compressor: compress::Compressor,
     pub(crate) pending_records: u64,
     pub(crate) pending_zone: ZoneMap,
     pub(crate) pending_annotated: u64,
@@ -113,10 +122,12 @@ pub struct RecordFileWriter {
 impl RecordFileWriter {
     /// Appends one record.
     pub fn append_record(&mut self, record: &[u8]) {
-        write_varint(&mut self.pending, record.len() as u64);
-        self.pending.extend_from_slice(record);
+        let mut prefix = [0u8; 10];
+        let n = encode_varint(&mut prefix, record.len() as u64);
+        self.compressor.write(&prefix[..n]);
+        self.compressor.write(record);
         self.pending_records += 1;
-        if self.pending.len() >= self.block_capacity {
+        if self.compressor.pending_len() >= self.block_capacity {
             self.seal_block();
         }
     }
@@ -138,24 +149,24 @@ impl RecordFileWriter {
     }
 
     fn seal_block(&mut self) {
-        if self.pending.is_empty() {
+        if self.compressor.is_empty() {
             return;
         }
-        let compressed = compress::compress(&self.pending);
+        let uncompressed_len = self.compressor.pending_len() as u64;
+        let compressed = self.compressor.finish_block();
         let checksum = fnv1a64(&compressed);
         self.data.total_compressed += compressed.len() as u64;
-        self.data.total_uncompressed += self.pending.len() as u64;
+        self.data.total_uncompressed += uncompressed_len;
         self.data.total_records += self.pending_records;
         let zone = (self.pending_records > 0 && self.pending_annotated == self.pending_records)
             .then_some(self.pending_zone);
         self.data.blocks.push(Block {
             compressed,
-            uncompressed_len: self.pending.len() as u64,
+            uncompressed_len,
             checksum,
             num_records: self.pending_records,
             zone,
         });
-        self.pending.clear();
         self.pending_records = 0;
         self.pending_zone = ZoneMap::empty();
         self.pending_annotated = 0;
@@ -272,11 +283,17 @@ impl RecordFileReader {
         Ok(Some(&self.buf[start..start + len]))
     }
 
-    /// Convenience: collects all remaining records as owned vectors.
+    /// Convenience: collects all remaining records as owned vectors. Each
+    /// record costs one heap allocation, charged to the cost model's
+    /// `alloc_bytes` counter; hot paths should prefer [`Self::next_record`]
+    /// or [`FileBlocks::for_each_record`], which borrow from the block
+    /// payload instead.
     pub fn read_all(mut self) -> WarehouseResult<Vec<Vec<u8>>> {
         let mut out = Vec::new();
         while let Some(rec) = self.next_record()? {
-            out.push(rec.to_vec());
+            let owned = rec.to_vec();
+            self.stats.record_alloc(owned.len() as u64);
+            out.push(owned);
         }
         Ok(out)
     }
@@ -329,17 +346,26 @@ fn read_block_payload(
 /// Splits a decompressed block payload into owned records.
 fn decode_records(payload: &[u8]) -> WarehouseResult<Vec<Vec<u8>>> {
     let mut out = Vec::new();
+    visit_records(payload, |rec| out.push(rec.to_vec()))?;
+    Ok(out)
+}
+
+/// Walks the varint-framed records of a decompressed block payload, handing
+/// each to `f` as a borrowed slice — no per-record allocation.
+fn visit_records(payload: &[u8], mut f: impl FnMut(&[u8])) -> WarehouseResult<u64> {
     let mut pos = 0usize;
+    let mut count = 0u64;
     while pos < payload.len() {
         let len = read_varint(payload, &mut pos).ok_or(WarehouseError::Corrupt("record length"))?
             as usize;
         if pos + len > payload.len() {
             return Err(WarehouseError::Corrupt("record body"));
         }
-        out.push(payload[pos..pos + len].to_vec());
+        f(&payload[pos..pos + len]);
         pos += len;
+        count += 1;
     }
-    Ok(out)
+    Ok(count)
 }
 
 /// Random-access, thread-safe view of a file's blocks — the parallel-scan
@@ -391,24 +417,45 @@ impl FileBlocks {
     }
 
     /// Reads and decodes block `idx` into owned records, charging the scan
-    /// counters (cache-aware, like the streaming reader).
+    /// counters (cache-aware, like the streaming reader). Each record is an
+    /// owned `Vec`, charged to the cost model's `alloc_bytes` counter;
+    /// [`Self::for_each_record`] avoids that churn entirely.
     pub fn read_block(&self, idx: usize) -> WarehouseResult<Vec<Vec<u8>>> {
+        let payload = self.block_payload(idx)?;
+        let records = decode_records(&payload)?;
+        let alloc: u64 = records.iter().map(|r| r.len() as u64).sum();
+        self.stats.records_read_n(records.len() as u64);
+        self.stats.record_alloc(alloc);
+        self.local.records_read_n(records.len() as u64);
+        self.local.record_alloc(alloc);
+        Ok(records)
+    }
+
+    /// Streams the records of block `idx` to `f` as borrowed slices — the
+    /// allocation-free counterpart of [`Self::read_block`]: same cache-aware
+    /// payload fetch and record accounting, but nothing is copied out of the
+    /// decompressed payload, so `alloc_bytes` is never charged.
+    pub fn for_each_record(&self, idx: usize, f: impl FnMut(&[u8])) -> WarehouseResult<()> {
+        let payload = self.block_payload(idx)?;
+        let count = visit_records(&payload, f)?;
+        self.stats.records_read_n(count);
+        self.local.records_read_n(count);
+        Ok(())
+    }
+
+    fn block_payload(&self, idx: usize) -> WarehouseResult<Arc<Vec<u8>>> {
         let block = self
             .data
             .blocks
             .get(idx)
             .ok_or(WarehouseError::Corrupt("block index out of range"))?;
-        let payload = read_block_payload(
+        read_block_payload(
             &self.path,
             block,
             idx,
             &self.cache,
             &[&self.stats, &self.local],
-        )?;
-        let records = decode_records(&payload)?;
-        self.stats.records_read_n(records.len() as u64);
-        self.local.records_read_n(records.len() as u64);
-        Ok(records)
+        )
     }
 
     /// Zone map of block `idx`, if the block was written fully annotated.

@@ -35,6 +35,10 @@ pub struct ScanStats {
     /// Individual fields a lazy decoder skipped without materializing,
     /// thanks to projection pushdown.
     pub fields_skipped: u64,
+    /// Cost-model bytes copied into per-record owned buffers by eager read
+    /// paths (`read_all`, `read_block`). The borrowing visitor paths charge
+    /// nothing here — the counter measures avoidable allocation churn.
+    pub alloc_bytes: u64,
 }
 
 impl ScanStats {
@@ -52,6 +56,7 @@ impl ScanStats {
             records_skipped_by_predicate: self.records_skipped_by_predicate
                 - earlier.records_skipped_by_predicate,
             fields_skipped: self.fields_skipped - earlier.fields_skipped,
+            alloc_bytes: self.alloc_bytes - earlier.alloc_bytes,
         }
     }
 
@@ -85,6 +90,7 @@ pub(crate) struct StatsCell {
     cache_misses: Counter,
     records_skipped_by_predicate: Counter,
     fields_skipped: Counter,
+    alloc_bytes: Counter,
 }
 
 impl StatsCell {
@@ -102,6 +108,7 @@ impl StatsCell {
             records_skipped_by_predicate: registry
                 .counter(component, "records_skipped_by_predicate"),
             fields_skipped: registry.counter(component, "fields_skipped"),
+            alloc_bytes: registry.counter(component, "alloc_bytes"),
         }
     }
 
@@ -117,6 +124,7 @@ impl StatsCell {
             cache_misses: self.cache_misses.get(),
             records_skipped_by_predicate: self.records_skipped_by_predicate.get(),
             fields_skipped: self.fields_skipped.get(),
+            alloc_bytes: self.alloc_bytes.get(),
         }
     }
 
@@ -131,6 +139,7 @@ impl StatsCell {
         self.cache_misses.set_total(0);
         self.records_skipped_by_predicate.set_total(0);
         self.fields_skipped.set_total(0);
+        self.alloc_bytes.set_total(0);
     }
 
     pub(crate) fn file_opened(&self) {
@@ -172,6 +181,11 @@ impl StatsCell {
     pub(crate) fn pushdown_skips(&self, records_skipped: u64, fields_skipped: u64) {
         self.records_skipped_by_predicate.add(records_skipped);
         self.fields_skipped.add(fields_skipped);
+    }
+
+    /// Cost-model bytes copied into per-record owned buffers.
+    pub(crate) fn record_alloc(&self, bytes: u64) {
+        self.alloc_bytes.add(bytes);
     }
 }
 
@@ -237,6 +251,19 @@ mod tests {
         let delta = s.since(&before);
         assert_eq!(delta.records_skipped_by_predicate, 2);
         assert_eq!(delta.fields_skipped, 2);
+    }
+
+    #[test]
+    fn alloc_bytes_tracks_owned_copies() {
+        let cell = StatsCell::default();
+        cell.record_alloc(64);
+        let before = cell.snapshot();
+        cell.record_alloc(36);
+        let s = cell.snapshot();
+        assert_eq!(s.alloc_bytes, 100);
+        assert_eq!(s.since(&before).alloc_bytes, 36);
+        cell.reset();
+        assert_eq!(cell.snapshot().alloc_bytes, 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn main() {
         hosts_per_dc: 8,
         aggregators_per_dc: 2,
         records_per_file: 5_000,
+        ..Default::default()
     };
     let mut pipe = ScribePipeline::new(config);
 

@@ -33,4 +33,13 @@ if grep -q '"duplicate_registrations": \["' target/e17_smoke.metrics.json; then
     exit 1
 fi
 
+echo "== ingest gate (e18 smoke metrics vs golden)"
+cargo run --release -q -p uli-bench --bin repro -- --smoke e18
+if ! diff -u crates/bench/golden/e18_smoke.golden.json target/e18_smoke.metrics.json; then
+    echo "ingest gate: smoke metrics drifted from the golden file." >&2
+    echo "If the change is intentional, refresh it with:" >&2
+    echo "  cp target/e18_smoke.metrics.json crates/bench/golden/e18_smoke.golden.json" >&2
+    exit 1
+fi
+
 echo "ci: all green"

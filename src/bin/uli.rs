@@ -12,6 +12,7 @@
 //! uli funnel                       signup funnel vs ground truth
 //! uli scrape                       §3.1 legacy-JSON format archaeology
 //! uli grammar                      §6 Re-Pair motifs over sessions
+//! uli ingest                       drive a day through the Scribe tier
 //! ```
 //!
 //! Common flags: `--users N` (default 300), `--seed S`, `--days D`,
@@ -22,11 +23,18 @@
 //! decode work changes), `--metrics PATH` (write the unified observability
 //! snapshot — warehouse/dataflow counters, span forest, critical path — on
 //! exit; `.prom` extension selects Prometheus text, anything else JSON).
+//!
+//! `ingest` flags: `--batch-records N` (entries per Scribe message, default
+//! 32; `1` restores one message per entry), `--batch-bytes B` (encoded-batch
+//! byte cap, default 32768), `--linger P` (pumps a partial batch may wait
+//! for more entries, default 0). The landed warehouse bytes are identical
+//! at every setting; only the message/allocation cost changes.
 
 use std::process::ExitCode;
 
 use unified_logging::analytics::{register_analytics, LifeFlow};
 use unified_logging::prelude::*;
+use unified_logging::thrift::ThriftRecord;
 
 struct Cli {
     command: String,
@@ -41,6 +49,9 @@ struct Cli {
     browse: Option<String>,
     params: Vec<(String, String)>,
     metrics: Option<String>,
+    batch_records: Option<usize>,
+    batch_bytes: Option<usize>,
+    linger: u64,
     /// Present when `--metrics` was given; threaded through the warehouse
     /// and the script engine so every scan lands in one snapshot.
     registry: Option<Registry>,
@@ -62,6 +73,9 @@ fn parse_args() -> Result<Cli, String> {
         browse: None,
         params: Vec::new(),
         metrics: None,
+        batch_records: None,
+        batch_bytes: None,
+        linger: 0,
         registry: None,
     };
     while let Some(arg) = args.next() {
@@ -77,6 +91,21 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--no-pushdown" => cli.pushdown = false,
             "--metrics" => cli.metrics = Some(value("--metrics")?),
+            "--batch-records" => {
+                cli.batch_records = Some(
+                    value("--batch-records")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--batch-bytes" => {
+                cli.batch_bytes = Some(
+                    value("--batch-bytes")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--linger" => cli.linger = value("--linger")?.parse().map_err(|e| format!("{e}"))?,
             "--depth" => cli.depth = value("--depth")?.parse().map_err(|e| format!("{e}"))?,
             "--search" => cli.search = Some(value("--search")?),
             "--browse" => cli.browse = Some(value("--browse")?),
@@ -318,6 +347,82 @@ fn write_metrics(path: &str, registry: &Registry) -> Result<(), String> {
     Ok(())
 }
 
+/// The batch policy the `ingest` knobs select (defaults when omitted).
+fn batch_policy(cli: &Cli) -> BatchPolicy {
+    let mut policy = BatchPolicy::default();
+    if let Some(n) = cli.batch_records {
+        policy.max_records = n.max(1);
+    }
+    if let Some(b) = cli.batch_bytes {
+        policy.max_bytes = b.max(1);
+    }
+    policy.linger_steps = cli.linger;
+    policy
+}
+
+/// Drives the requested days through the Scribe delivery tier — daemons,
+/// aggregators, staging, the hourly mover — and prints the ingest cost
+/// accounting under the chosen batch policy.
+fn cmd_ingest(cli: &Cli) {
+    let config = PipelineConfig {
+        datacenters: 2,
+        hosts_per_dc: 4,
+        aggregators_per_dc: 2,
+        records_per_file: 10_000,
+        batch: batch_policy(cli),
+    };
+    let workload = WorkloadConfig {
+        users: cli.users,
+        seed: cli.seed,
+        ..Default::default()
+    };
+    let mut pipe = match &cli.registry {
+        Some(registry) => ScribePipeline::new_with_obs(config, registry),
+        None => ScribePipeline::new(config),
+    };
+    for d in 0..cli.days {
+        let day = generate_day(&workload, d);
+        for hour in d * 24..(d + 1) * 24 {
+            for (i, ev) in day
+                .events
+                .iter()
+                .filter(|e| e.timestamp.hour_index() == hour)
+                .enumerate()
+            {
+                let dc = (ev.user_id as usize) % config.datacenters;
+                pipe.log(
+                    dc,
+                    i % config.hosts_per_dc,
+                    LogEntry::new("client_events", ev.to_bytes()),
+                );
+            }
+            pipe.step();
+            pipe.flush_hour(hour);
+            pipe.seal_hour("client_events", hour);
+            pipe.move_hour("client_events", hour)
+                .expect("fault-free ingest: every hour moves");
+        }
+    }
+    let report = pipe.report();
+    let (messages, wire_bytes) = pipe.network().message_cost();
+    let policy = batch_policy(cli);
+    println!(
+        "ingest: {} day(s), batch policy: {} records / {} bytes / linger {}",
+        cli.days, policy.max_records, policy.max_bytes, policy.linger_steps
+    );
+    println!(
+        "  logged {} -> moved {} (retried {}, lost {})",
+        report.logged, report.moved, report.retried, report.lost_in_crashes
+    );
+    println!(
+        "  network messages {}  wire bytes {}  batches {}  avg {:.1} entries/batch",
+        messages,
+        wire_bytes,
+        report.batches_sent,
+        report.logged as f64 / report.batches_sent.max(1) as f64
+    );
+}
+
 fn main() -> ExitCode {
     let mut cli = match parse_args() {
         Ok(c) => c,
@@ -352,8 +457,13 @@ fn main() -> ExitCode {
             cmd_grammar(&cli);
             Ok(())
         }
+        "ingest" => {
+            cmd_ingest(&cli);
+            Ok(())
+        }
         other => Err(format!(
-            "unknown command {other:?}; commands: demo, script, catalog, flow, funnel, scrape, grammar"
+            "unknown command {other:?}; commands: demo, script, catalog, flow, funnel, scrape, \
+             grammar, ingest"
         )),
     };
     let result = result.and_then(|()| match (&cli.metrics, &cli.registry) {

@@ -74,7 +74,7 @@ pub mod prelude {
     pub use uli_obs::{Registry, Snapshot};
     pub use uli_oink::{compute_rollups, Oink, RollupTable};
     pub use uli_scribe::pipeline::PipelineConfig;
-    pub use uli_scribe::{LogEntry, PipelineReport, ScribePipeline};
+    pub use uli_scribe::{BatchPolicy, LogEntry, PipelineReport, ScribePipeline};
     pub use uli_warehouse::{Warehouse, WhPath};
     pub use uli_workload::{
         generate_day, signup_funnel, write_client_events, write_legacy_events, WorkloadConfig,

@@ -8,7 +8,7 @@
 //! failure reproduces with `run_chaos(<seed>, &cfg)` — no flake hunting.
 
 use uli_scribe::network::LinkFaults;
-use uli_scribe::{run_chaos, run_chaos_with, ChaosConfig, FaultConfig, Sabotage};
+use uli_scribe::{run_chaos, run_chaos_with, BatchPolicy, ChaosConfig, FaultConfig, Sabotage};
 
 fn assert_clean(seed: u64, cfg: &ChaosConfig) -> uli_scribe::ChaosOutcome {
     let o = run_chaos(seed, cfg);
@@ -141,6 +141,72 @@ fn checker_catches_unaccounted_loss() {
         assert!(
             !o.is_clean(),
             "seed {seed}: silent staged-file deletion went undetected"
+        );
+        assert!(
+            o.accounting
+                .violations
+                .iter()
+                .any(|v| v.contains("unaccounted")),
+            "seed {seed}: expected an unaccounted-loss violation, got {:?}",
+            o.accounting.violations
+        );
+    }
+}
+
+/// Batched delivery under the default fault mix: link faults now land at
+/// batch granularity (a dropped message loses the whole batch, a duplicated
+/// one replays every entry in it), and the delivery invariants must hold
+/// just the same. Two explicit policies — a plain record cap and a
+/// byte-capped lingering one — across 20 seeds each.
+#[test]
+fn sweep_batched_delivery_40_seeds() {
+    let policies = [
+        BatchPolicy {
+            max_records: 16,
+            ..BatchPolicy::default()
+        },
+        BatchPolicy {
+            max_records: 64,
+            max_bytes: 4 * 1024,
+            linger_steps: 2,
+        },
+    ];
+    for (pi, policy) in policies.iter().enumerate() {
+        let mut cfg = ChaosConfig::default();
+        cfg.topology.batch = *policy;
+        let (mut multi_entry_batches, mut retries) = (false, 0u64);
+        for seed in 5000..5020 {
+            let o = assert_clean(seed, &cfg);
+            multi_entry_batches |= o.report.batches_sent < o.report.logged;
+            retries += o.report.retried;
+        }
+        assert!(
+            multi_entry_batches,
+            "policy {pi}: no run ever packed more than one entry per batch"
+        );
+        assert!(
+            retries > 0,
+            "policy {pi}: no run retried a failed batch: harness too tame"
+        );
+    }
+}
+
+/// Negative control for batching: a batch stored only halfway but acked
+/// whole must trip the checker as unaccounted loss. If this passes cleanly,
+/// the batched sweep above proves nothing.
+#[test]
+fn checker_catches_half_applied_batch() {
+    let mut cfg = ChaosConfig {
+        faults: FaultConfig::quiet(),
+        ..ChaosConfig::default()
+    };
+    // Multi-entry batches are what half-apply needs; keep the default cap.
+    cfg.topology.batch = BatchPolicy::default();
+    for seed in [1u64, 2, 3] {
+        let o = run_chaos_with(seed, &cfg, Sabotage::HalfApplyBatch);
+        assert!(
+            !o.is_clean(),
+            "seed {seed}: a half-applied, fully acked batch went undetected"
         );
         assert!(
             o.accounting

@@ -23,6 +23,7 @@ fn deliver(day: &unified_logging::workload::DayWorkload) -> ScribePipeline {
         hosts_per_dc: 4,
         aggregators_per_dc: 2,
         records_per_file: 10_000,
+        ..Default::default()
     };
     let mut pipe = ScribePipeline::new(config);
     for hour in 0..24u64 {

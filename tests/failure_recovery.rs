@@ -10,6 +10,7 @@ fn config() -> PipelineConfig {
         hosts_per_dc: 4,
         aggregators_per_dc: 2,
         records_per_file: 1_000,
+        ..Default::default()
     }
 }
 
