@@ -4,28 +4,55 @@
 //! cargo run --release -p uli-bench --bin repro -- all
 //! cargo run --release -p uli-bench --bin repro -- e4 e5
 //! cargo run --release -p uli-bench --bin repro -- --smoke e14 e15
+//! cargo run --release -p uli-bench --bin repro -- --layout row e19
 //! ```
 //!
 //! `--smoke` runs the sweep experiments at reduced scale (small day, two
 //! worker counts) for CI; smoke runs never overwrite the BENCH_*.json
-//! artifacts.
+//! artifacts. `--layout {row,columnar,columnar-plain}` picks the default
+//! warehouse landing layout (columnar unless overridden) — E19 records
+//! which ablation arm that choice corresponds to.
 
 use std::process::ExitCode;
+
+use uli_workload::Layout;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let ids: Vec<&str> = {
-        let named: Vec<&str> = args
-            .iter()
-            .map(String::as_str)
-            .filter(|a| !a.starts_with("--"))
-            .collect();
-        if named.is_empty() || named.contains(&"all") {
-            uli_bench::ALL_EXPERIMENTS.to_vec()
-        } else {
-            named
+    let mut layout = Layout::default();
+    let mut skip_value = false;
+    let mut named: Vec<&str> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if skip_value {
+            skip_value = false;
+            continue;
         }
+        if a == "--layout" || a.starts_with("--layout=") {
+            let value = match a.strip_prefix("--layout=") {
+                Some(v) => Some(v),
+                None => {
+                    skip_value = true;
+                    args.get(i + 1).map(String::as_str)
+                }
+            };
+            layout = match value.and_then(Layout::parse) {
+                Some(l) => l,
+                None => {
+                    eprintln!("--layout takes one of: row, columnar, columnar-plain");
+                    return ExitCode::FAILURE;
+                }
+            };
+            continue;
+        }
+        if !a.starts_with("--") {
+            named.push(a);
+        }
+    }
+    let ids: Vec<&str> = if named.is_empty() || named.contains(&"all") {
+        uli_bench::ALL_EXPERIMENTS.to_vec()
+    } else {
+        named
     };
     let mut failed = false;
     for id in ids {
@@ -154,6 +181,45 @@ fn main() -> ExitCode {
                 ("target/e18_smoke.metrics.json", e18::to_json(&m))
             } else {
                 ("BENCH_ingest.json", e18::to_json(&m))
+            };
+            match std::fs::write(path, payload) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
+        if id == "e19" {
+            // The columnar ablation gates on its own invariants: identical
+            // rows across every arm and worker count, and the ≥4x
+            // decoded-bytes drop vs row-pushdown. Smoke writes the
+            // machine-independent metrics CI diffs against the checked-in
+            // golden file; full scale persists BENCH_columnar.json.
+            use uli_bench::experiments::e19_columnar as e19;
+            let m = if smoke {
+                e19::smoke_snapshot(layout)
+            } else {
+                e19::measure_at(layout)
+            };
+            println!("{}", "=".repeat(74));
+            println!("{}", e19::render(&m));
+            if !m.outputs_identical {
+                eprintln!("e19: columnar arms diverged from the row reference");
+                failed = true;
+            }
+            if m.decoded_bytes_ratio < 4.0 {
+                eprintln!(
+                    "e19: columnar+dict decoded-bytes drop below 4x ({:.2}x)",
+                    m.decoded_bytes_ratio
+                );
+                failed = true;
+            }
+            let (path, payload) = if smoke {
+                ("target/e19_smoke.metrics.json", e19::to_json(&m))
+            } else {
+                ("BENCH_columnar.json", e19::to_json(&m))
             };
             match std::fs::write(path, payload) {
                 Ok(()) => println!("wrote {path}"),

@@ -20,7 +20,7 @@ use uli_warehouse::Warehouse;
 use uli_workload::{generate_day, write_client_events, WorkloadConfig};
 
 use crate::cells;
-use crate::harness::{timed, Table};
+use crate::harness::{detected_cores, timed, Table};
 
 /// Width of the client-event load schema.
 const WIDTH: u64 = CLIENT_EVENT_SCHEMA.len() as u64;
@@ -99,6 +99,9 @@ pub struct Measurements {
     pub users: u64,
     /// The event name the query selects.
     pub event_name: String,
+    /// Hardware threads on the measuring host, recorded in the persisted
+    /// JSON so wall-clock columns can be judged against the machine.
+    pub cores: usize,
 }
 
 /// The 2-column selective query: a timestamp window AND one event name,
@@ -188,6 +191,7 @@ pub fn measure_with(users: u64, worker_counts: &[usize]) -> Measurements {
         decode_work_ratio: eager as f64 / (full.max(1)) as f64,
         users,
         event_name,
+        cores: detected_cores(),
     }
 }
 
@@ -259,8 +263,10 @@ pub fn to_json(m: &Measurements) -> String {
         ));
     }
     format!(
-        "{{\n  \"experiment\": \"pushdown\",\n  \"users\": {},\n  \"event_name\": \"{}\",\n  \
+        "{{\n  \"experiment\": \"pushdown\",\n  \"cores\": {},\n  \"users\": {},\n  \
+         \"event_name\": \"{}\",\n  \
          \"outputs_identical\": {},\n  \"decode_work_ratio\": {:.4},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        m.cores,
         m.users,
         m.event_name,
         m.outputs_identical,

@@ -71,6 +71,9 @@ pub struct Measurements {
     pub reconciled: bool,
     /// True when no sample recorded a duplicate metric registration.
     pub duplicates_clean: bool,
+    /// Hardware threads on the measuring host; `None` for smoke runs (the
+    /// CI-diffed smoke snapshot must stay machine-independent).
+    pub cores: Option<usize>,
 }
 
 /// Drives one instrumented day: Scribe delivery with E1's fault plan, the
@@ -195,7 +198,9 @@ fn run_once(users: u64, workers: usize) -> ObsSample {
 
 /// Runs the sweep at full scale.
 pub fn measure() -> Measurements {
-    measure_with(300, &[1, 4, 8])
+    let mut m = measure_with(300, &[1, 4, 8]);
+    m.cores = Some(crate::harness::detected_cores());
+    m
 }
 
 /// The sweep at a chosen scale — `--smoke` uses a small day and two worker
@@ -219,6 +224,7 @@ pub fn measure_with(users: u64, worker_counts: &[usize]) -> Measurements {
         snapshots_identical,
         reconciled,
         duplicates_clean,
+        cores: None,
     }
 }
 
@@ -290,10 +296,14 @@ pub fn to_json(m: &Measurements) -> String {
         .lines()
         .collect::<Vec<_>>()
         .join("\n  ");
+    let cores = m
+        .cores
+        .map_or(String::new(), |c| format!("  \"cores\": {c},\n"));
     format!(
-        "{{\n  \"experiment\": \"obs\",\n  \"reconciled\": {},\n  \
+        "{{\n  \"experiment\": \"obs\",\n{}  \"reconciled\": {},\n  \
          \"snapshots_identical\": {},\n  \"duplicates_clean\": {},\n  \
          \"samples\": [\n{}\n  ],\n  \"snapshot\": {}\n}}\n",
+        cores,
         m.reconciled,
         m.snapshots_identical,
         m.duplicates_clean,

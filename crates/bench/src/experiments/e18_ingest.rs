@@ -81,6 +81,9 @@ pub struct Measurements {
     pub landed_identical: bool,
     /// True when the streaming compressor matched one-shot everywhere.
     pub streaming_matches_oneshot: bool,
+    /// Hardware threads on the measuring host; `None` for smoke runs (the
+    /// CI-diffed smoke metrics must stay machine-independent).
+    pub cores: Option<usize>,
 }
 
 /// The ablation grid: the unbatched baseline plus three batch sizes under
@@ -217,7 +220,9 @@ fn run_once(users: u64, label: &str, batch: BatchPolicy) -> IngestSample {
 
 /// Runs the ablation at full scale.
 pub fn measure() -> Measurements {
-    measure_with(300)
+    let mut m = measure_with(300);
+    m.cores = Some(crate::harness::detected_cores());
+    m
 }
 
 /// The ablation at a chosen day size — `--smoke` uses a small day; CI
@@ -233,6 +238,7 @@ pub fn measure_with(users: u64) -> Measurements {
         samples,
         landed_identical,
         streaming_matches_oneshot,
+        cores: None,
     }
 }
 
@@ -316,11 +322,15 @@ pub fn to_json(m: &Measurements) -> String {
     }
     let base = &m.samples[0];
     let batched = &m.samples[m.samples.len() - 1];
+    let cores = m
+        .cores
+        .map_or(String::new(), |c| format!("  \"cores\": {c},\n"));
     format!(
-        "{{\n  \"experiment\": \"ingest\",\n  \"schema\": \"uli-ingest-v1\",\n  \
-         \"landed_identical\": {},\n  \"streaming_matches_oneshot\": {},\n  \
+        "{{\n  \"experiment\": \"ingest\",\n  \"schema\": \"uli-ingest-v1\",\n\
+         {}  \"landed_identical\": {},\n  \"streaming_matches_oneshot\": {},\n  \
          \"message_reduction\": {:.2},\n  \"alloc_reduction\": {:.2},\n  \
          \"samples\": [\n{}\n  ]\n}}\n",
+        cores,
         m.landed_identical,
         m.streaming_matches_oneshot,
         base.network_messages as f64 / batched.network_messages.max(1) as f64,

@@ -1,0 +1,453 @@
+//! E19 — columnar-by-default: row vs columnar landing on a selective query.
+//!
+//! The paper (§4.2) weighs RCFile-style columnar storage and rejects it
+//! only because it "would not reduce the number of mappers" — a Hadoop
+//! scheduling constraint this reproduction does not have. E13 measured the
+//! layout's per-task byte reduction in isolation; this experiment measures
+//! the promoted, end-to-end path: the same selective query (timestamp
+//! window AND one event name, project 3 of 7 columns) over four landings —
+//!
+//! 1. **row-eager** — row blocks, every field of every record decoded;
+//! 2. **row-pushdown** — row blocks with projection + predicate + zone-map
+//!    pushdown (the E15 full-pushdown baseline);
+//! 3. **columnar** — column chunks per row group, vectorized batch scan,
+//!    no dictionary;
+//! 4. **columnar+dict** — the default landing: the event-name column is
+//!    dictionary-coded, so the name predicate compares integer codes.
+//!
+//! Rows must be byte-identical across every arm and worker count. The
+//! headline number is *decoded bytes* (`input_bytes_uncompressed`): the
+//! row path charges every decompressed block in full, the columnar path
+//! charges only the column chunks it actually decodes. Timings are
+//! reported both as wall-clock and in deterministic cost-model units
+//! (`CostModel::estimate_ms`), so the comparison survives 1-core CI hosts.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use uli_core::client_event::{ClientEventLoader, CLIENT_EVENT_SCHEMA};
+use uli_core::session::day_dir;
+use uli_dataflow::prelude::*;
+use uli_warehouse::Warehouse;
+use uli_workload::{
+    generate_day, write_client_events, write_client_events_layout, Layout, WorkloadConfig,
+};
+
+use crate::cells;
+use crate::harness::{detected_cores, timed, Table};
+
+/// Width of the client-event load schema.
+const WIDTH: u64 = CLIENT_EVENT_SCHEMA.len() as u64;
+
+/// One landing arm of the ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arm {
+    /// Row blocks, pushdown disabled.
+    RowEager,
+    /// Row blocks, projection + predicate + zone maps (E15's best config).
+    RowPushdown,
+    /// Columnar row groups without a dictionary column.
+    Columnar,
+    /// Columnar row groups with the dictionary-coded name column.
+    ColumnarDict,
+}
+
+/// The four arms in sweep order.
+pub const ARMS: [(&str, Arm); 4] = [
+    ("row-eager", Arm::RowEager),
+    ("row-pushdown", Arm::RowPushdown),
+    ("columnar", Arm::Columnar),
+    ("columnar+dict", Arm::ColumnarDict),
+];
+
+/// The arm label a CLI `--layout` choice lands by default.
+pub fn default_arm_label(layout: Layout) -> &'static str {
+    match layout {
+        Layout::Row => "row-pushdown",
+        Layout::Columnar => "columnar+dict",
+        Layout::ColumnarPlain => "columnar",
+    }
+}
+
+/// One (arm, workers) cell of the sweep.
+pub struct ArmSample {
+    /// Arm label from [`ARMS`].
+    pub config: &'static str,
+    /// Scan/execute worker count.
+    pub workers: usize,
+    /// Query wall-clock, milliseconds (machine-dependent; full runs only).
+    pub query_ms: f64,
+    /// Deterministic cost-model estimate for the same job, milliseconds.
+    pub cost_model_ms: f64,
+    /// Row blocks / column row groups decompressed and scanned.
+    pub input_blocks: u64,
+    /// Blocks / row groups pruned before decompression.
+    pub blocks_skipped: u64,
+    /// Records scanned.
+    pub input_records: u64,
+    /// Records dropped by the pushed (or vectorized) predicate.
+    pub records_skipped_by_predicate: u64,
+    /// Fields never materialized (projection pushdown / unread columns).
+    pub fields_skipped: u64,
+    /// Decoded bytes: full blocks on the row path, only the decoded column
+    /// chunks on the columnar path.
+    pub input_bytes_uncompressed: u64,
+    /// Fields actually decoded: `input_records × width − fields_skipped`.
+    pub decoded_fields: u64,
+    /// Rows the query produced (must agree across every cell).
+    pub output_rows: u64,
+}
+
+/// The full ablation.
+pub struct Measurements {
+    /// Samples in arm-major, worker-minor order.
+    pub samples: Vec<ArmSample>,
+    /// True when every arm × worker cell produced identical rows.
+    pub outputs_identical: bool,
+    /// Decoded bytes, row-pushdown ÷ columnar+dict (single-worker cells).
+    pub decoded_bytes_ratio: f64,
+    /// Decoded fields, row-eager ÷ columnar+dict (single-worker cells).
+    pub decode_work_ratio: f64,
+    /// Users in the generated day.
+    pub users: u64,
+    /// The event name the query selects.
+    pub event_name: String,
+    /// The arm the CLI's `--layout` choice would land by default.
+    pub default_layout: &'static str,
+    /// Hardware threads on the measuring host; `None` for smoke runs so
+    /// the CI golden stays machine-independent.
+    pub cores: Option<usize>,
+}
+
+/// The selective query: a timestamp window AND one event name, projecting
+/// (user_id, name) before a per-user count — the same shape as E15, so the
+/// row-pushdown arm here is directly comparable to E15's best config.
+fn selective_plan(name: &str, t0: i64, t1: i64) -> Plan {
+    Plan::load(
+        day_dir("client_events", 0),
+        Arc::new(ClientEventLoader),
+        CLIENT_EVENT_SCHEMA.to_vec(),
+    )
+    .filter(
+        Expr::col(5)
+            .ge(Expr::lit(t0))
+            .and(Expr::col(5).le(Expr::lit(t1))),
+    )
+    .filter(Expr::col(1).eq(Expr::lit(name)))
+    .foreach(vec![("user_id", Expr::col(2)), ("name", Expr::col(1))])
+    .aggregate_by(vec![0], vec![Agg::count()])
+}
+
+/// Lands the day under one arm's layout into a fresh warehouse.
+fn land(arm: Arm, events: &[uli_core::ClientEvent]) -> Warehouse {
+    let wh = Warehouse::new();
+    match arm {
+        Arm::RowEager | Arm::RowPushdown => {
+            write_client_events(&wh, events, 4).expect("fresh warehouse");
+        }
+        Arm::Columnar => {
+            write_client_events_layout(&wh, events, 4, Layout::ColumnarPlain)
+                .expect("fresh warehouse");
+        }
+        Arm::ColumnarDict => {
+            write_client_events_layout(&wh, events, 4, Layout::Columnar).expect("fresh warehouse");
+        }
+    }
+    wh
+}
+
+/// Runs the sweep over `users` with the given worker counts.
+pub fn measure_with(users: u64, worker_counts: &[usize], default_layout: Layout) -> Measurements {
+    let config = WorkloadConfig {
+        users,
+        ..Default::default()
+    };
+    let day = generate_day(&config, 0);
+
+    // Pick the most frequent event name (deterministic tie-break by name)
+    // and the middle half of the day's timestamp range, so the query is
+    // selective but never empty — the same recipe as E15.
+    let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut t_min = i64::MAX;
+    let mut t_max = i64::MIN;
+    for ev in &day.events {
+        *counts.entry(ev.name.as_str()).or_default() += 1;
+        t_min = t_min.min(ev.timestamp.millis());
+        t_max = t_max.max(ev.timestamp.millis());
+    }
+    let event_name = counts
+        .iter()
+        .max_by_key(|(name, n)| (**n, **name))
+        .map(|(name, _)| name.to_string())
+        .expect("generated day is non-empty");
+    let span = t_max - t_min;
+    let (t0, t1) = (t_min + span / 4, t_min + 3 * span / 4);
+    let plan = selective_plan(&event_name, t0, t1);
+
+    let full = Pushdown {
+        projection: true,
+        predicate: true,
+        zone_maps: true,
+    };
+    let mut samples = Vec::new();
+    let mut reference: Option<Vec<Tuple>> = None;
+    let mut outputs_identical = true;
+    for (label, arm) in ARMS {
+        for &workers in worker_counts {
+            let wh = land(arm, &day.events);
+            let pushdown = match arm {
+                Arm::RowEager => Pushdown::disabled(),
+                _ => full,
+            };
+            let engine = Engine::new(wh)
+                .with_parallelism(Parallelism::fixed(workers))
+                .with_pushdown(pushdown);
+            let (result, query_ms) = timed(|| engine.run(&plan).expect("runs"));
+            match &reference {
+                None => reference = Some(result.rows.clone()),
+                Some(rows0) => outputs_identical &= *rows0 == result.rows,
+            }
+            let s = &result.stats;
+            samples.push(ArmSample {
+                config: label,
+                workers,
+                query_ms,
+                cost_model_ms: result.estimated_cluster_ms,
+                input_blocks: s.input_blocks,
+                blocks_skipped: s.blocks_skipped,
+                input_records: s.input_records,
+                records_skipped_by_predicate: s.records_skipped_by_predicate,
+                fields_skipped: s.fields_skipped,
+                input_bytes_uncompressed: s.input_bytes_uncompressed,
+                decoded_fields: s.input_records * WIDTH - s.fields_skipped,
+                output_rows: result.rows.len() as u64,
+            });
+        }
+    }
+    // Ratios compare single-worker cells; the byte counters are
+    // worker-invariant anyway (the chunk cache charges decoded bytes on
+    // hits and misses alike), but this keeps the definition obvious.
+    let cell = |label: &str| {
+        samples
+            .iter()
+            .find(|s| s.config == label && s.workers == worker_counts[0])
+            .expect("arm measured")
+    };
+    let row_eager = cell("row-eager");
+    let row_pushdown = cell("row-pushdown");
+    let columnar_dict = cell("columnar+dict");
+    Measurements {
+        decoded_bytes_ratio: row_pushdown.input_bytes_uncompressed as f64
+            / columnar_dict.input_bytes_uncompressed.max(1) as f64,
+        decode_work_ratio: row_eager.decoded_fields as f64
+            / columnar_dict.decoded_fields.max(1) as f64,
+        samples,
+        outputs_identical,
+        users,
+        event_name,
+        default_layout: default_arm_label(default_layout),
+        cores: None,
+    }
+}
+
+/// Runs the standard sweep: 600 users, workers {1, 4}, with the host's
+/// core count recorded for the persisted JSON.
+pub fn measure_at(default_layout: Layout) -> Measurements {
+    let mut m = measure_with(600, &[1, 4], default_layout);
+    m.cores = Some(detected_cores());
+    m
+}
+
+/// The standard sweep under the default (columnar) landing layout.
+pub fn measure() -> Measurements {
+    measure_at(Layout::default())
+}
+
+/// The smoke-scale sweep CI diffs against the checked-in golden file —
+/// counters only, no wall-clock, no host core count.
+pub fn smoke_snapshot(default_layout: Layout) -> Measurements {
+    measure_with(120, &[1, 4], default_layout)
+}
+
+/// Renders the sweep as the experiment table.
+pub fn render(m: &Measurements) -> String {
+    let mut out = format!(
+        "E19 — columnar-by-default: timestamp window AND name = {:?}, \
+         project 3 of {WIDTH} columns ({} users, default layout lands {:?})\n\n",
+        m.event_name, m.users, m.default_layout
+    );
+    let mut t = Table::new(&[
+        "arm",
+        "workers",
+        "query ms",
+        "cost-model ms",
+        "blocks read",
+        "blocks skipped",
+        "records",
+        "pred-skipped",
+        "decoded bytes",
+        "decoded fields",
+    ]);
+    for s in &m.samples {
+        t.row(cells![
+            s.config,
+            s.workers,
+            format!("{:.1}", s.query_ms),
+            format!("{:.1}", s.cost_model_ms),
+            s.input_blocks,
+            s.blocks_skipped,
+            s.input_records,
+            s.records_skipped_by_predicate,
+            s.input_bytes_uncompressed,
+            s.decoded_fields
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\ndecoded bytes: row-pushdown / columnar+dict = {:.2}x\n\
+         decoded fields: row-eager / columnar+dict = {:.2}x\n\
+         outputs identical across all arms and worker counts: {}\n",
+        m.decoded_bytes_ratio, m.decode_work_ratio, m.outputs_identical
+    ));
+    if let Some(cores) = m.cores {
+        out.push_str(&format!(
+            "{cores} hardware thread(s) visible; on a 1-core host compare the \
+             cost-model column, not wall-clock.\n"
+        ));
+    }
+    out
+}
+
+/// Serializes one sample row; smoke runs drop the machine-dependent
+/// wall-clock so the CI golden is stable across hosts.
+fn sample_json(s: &ArmSample, include_timing: bool) -> String {
+    let timing = if include_timing {
+        format!("\"query_ms\": {:.3}, ", s.query_ms)
+    } else {
+        String::new()
+    };
+    format!(
+        "    {{\"arm\": \"{}\", \"workers\": {}, {}\"cost_model_ms\": {:.3}, \
+         \"input_blocks\": {}, \"blocks_skipped\": {}, \"input_records\": {}, \
+         \"records_skipped_by_predicate\": {}, \"fields_skipped\": {}, \
+         \"input_bytes_uncompressed\": {}, \"decoded_fields\": {}, \"output_rows\": {}}}",
+        s.config,
+        s.workers,
+        timing,
+        s.cost_model_ms,
+        s.input_blocks,
+        s.blocks_skipped,
+        s.input_records,
+        s.records_skipped_by_predicate,
+        s.fields_skipped,
+        s.input_bytes_uncompressed,
+        s.decoded_fields,
+        s.output_rows
+    )
+}
+
+/// Serializes the sweep as the `BENCH_columnar.json` payload (full runs)
+/// or the machine-independent smoke metrics (when `cores` is unset).
+pub fn to_json(m: &Measurements) -> String {
+    let rows: Vec<String> = m
+        .samples
+        .iter()
+        .map(|s| sample_json(s, m.cores.is_some()))
+        .collect();
+    let cores = m
+        .cores
+        .map_or(String::new(), |c| format!("  \"cores\": {c},\n"));
+    format!(
+        "{{\n  \"experiment\": \"columnar\",\n  \"schema\": \"uli-columnar-v1\",\n\
+         {}  \"users\": {},\n  \"event_name\": \"{}\",\n  \"default_layout\": \"{}\",\n  \
+         \"outputs_identical\": {},\n  \"decoded_bytes_ratio\": {:.4},\n  \
+         \"decode_work_ratio\": {:.4},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        cores,
+        m.users,
+        m.event_name,
+        m.default_layout,
+        m.outputs_identical,
+        m.decoded_bytes_ratio,
+        m.decode_work_ratio,
+        rows.join(",\n")
+    )
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    render(&measure())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columnar_dict_cuts_decoded_bytes_4x_with_identical_rows() {
+        let m = measure_with(200, &[1, 4], Layout::default());
+        assert!(m.outputs_identical, "columnar arms changed query results");
+        assert_eq!(m.samples.len(), ARMS.len() * 2);
+        assert_eq!(m.default_layout, "columnar+dict");
+        let cell = |label: &str, workers: usize| {
+            m.samples
+                .iter()
+                .find(|s| s.config == label && s.workers == workers)
+                .expect("cell measured")
+        };
+        let eager = cell("row-eager", 1);
+        assert_eq!(eager.fields_skipped, 0);
+        assert_eq!(eager.blocks_skipped, 0);
+        let pushdown = cell("row-pushdown", 1);
+        assert!(
+            pushdown.blocks_skipped > 0,
+            "zone maps pruned no row blocks"
+        );
+        let dict = cell("columnar+dict", 1);
+        assert!(dict.blocks_skipped > 0, "zone maps pruned no row groups");
+        assert!(dict.fields_skipped > 0, "projection read every column");
+        assert!(
+            dict.records_skipped_by_predicate > 0,
+            "vectorized predicate dropped nothing"
+        );
+        assert!(
+            m.decoded_bytes_ratio >= 4.0,
+            "decoded bytes must drop ≥4x vs row-pushdown, got {:.2}x",
+            m.decoded_bytes_ratio
+        );
+        // The dictionary column is smaller than the plain string column.
+        let plain = cell("columnar", 1);
+        assert!(
+            dict.input_bytes_uncompressed < plain.input_bytes_uncompressed,
+            "dictionary coding must shrink decoded bytes ({} vs {})",
+            dict.input_bytes_uncompressed,
+            plain.input_bytes_uncompressed
+        );
+        // Byte counters are worker-invariant (cache hits charge decoded
+        // bytes too), so the persisted ratios do not depend on the host.
+        for (label, _) in ARMS {
+            assert_eq!(
+                cell(label, 1).input_bytes_uncompressed,
+                cell(label, 4).input_bytes_uncompressed,
+                "{label}: decoded bytes varied with worker count"
+            );
+        }
+        let json = to_json(&m);
+        assert!(json.contains("\"experiment\": \"columnar\""));
+        assert!(json.contains("\"arm\": \"columnar+dict\""));
+        assert!(
+            !json.contains("query_ms"),
+            "smoke json must omit wall-clock"
+        );
+        assert!(!json.contains("cores"), "smoke json must omit host cores");
+    }
+
+    #[test]
+    fn full_json_records_cores_and_timing() {
+        let mut m = measure_with(60, &[1], Layout::Row);
+        assert_eq!(m.default_layout, "row-pushdown");
+        m.cores = Some(3);
+        let json = to_json(&m);
+        assert!(json.contains("\"cores\": 3"));
+        assert!(json.contains("query_ms"));
+    }
+}

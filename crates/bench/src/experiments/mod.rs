@@ -9,6 +9,7 @@ pub mod e15_pushdown;
 pub mod e16_chaos;
 pub mod e17_obs;
 pub mod e18_ingest;
+pub mod e19_columnar;
 pub mod e1_scribe;
 pub mod e2_rollups;
 pub mod e3_codec;

@@ -56,6 +56,14 @@ pub fn prepare_days(config: &WorkloadConfig, days: u64) -> (Warehouse, Vec<DayWo
     (warehouse, out)
 }
 
+/// Hardware threads visible to this process. Recorded in every full-scale
+/// `BENCH_*.json` so readers can judge whether a wall-clock speedup was
+/// measurable on the machine that produced it; smoke outputs omit it so the
+/// CI goldens stay machine-independent.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Times a closure, returning (result, milliseconds).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();

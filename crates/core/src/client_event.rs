@@ -9,7 +9,8 @@
 use std::collections::BTreeMap;
 
 use uli_dataflow::{
-    DataflowError, DataflowResult, Loader, ScanOutcome, ScanSpec, Tuple, Value, ZoneColumn,
+    ColumnarCodec, DataflowError, DataflowResult, Loader, ScanOutcome, ScanSpec, Tuple, Value,
+    ZoneColumn,
 };
 use uli_thrift::{
     CompactReader, CompactWriter, FieldCursor, Requiredness, StructDescriptor, TType, ThriftError,
@@ -206,6 +207,10 @@ impl Loader for ClientEventLoader {
             5 => Some(ZoneColumn::Key), // timestamp millis
             _ => None,
         }
+    }
+
+    fn columnar(&self) -> Option<&dyn ColumnarCodec> {
+        Some(&crate::columnar::CLIENT_EVENT_COLUMNAR)
     }
 
     /// Lazy scan: walks the record once with a [`FieldCursor`], performing

@@ -46,6 +46,7 @@
 pub mod anonymize;
 pub mod catalog;
 pub mod client_event;
+pub mod columnar;
 pub mod event;
 pub mod json;
 pub mod legacy;
@@ -56,6 +57,10 @@ pub mod time;
 pub use anonymize::Anonymizer;
 pub use catalog::ClientEventCatalog;
 pub use client_event::{client_event_descriptor, ClientEvent, ClientEventLoader};
+pub use columnar::{
+    client_event_cells, client_event_from_group, name_dictionary, write_client_events_columnar,
+    ClientEventColumnar, ClientEventLanding, CLIENT_EVENT_COLUMNAR,
+};
 pub use event::{EventInitiator, EventName, EventPattern};
 pub use scrape::FormatScrape;
 pub use session::{

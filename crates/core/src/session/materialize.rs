@@ -11,12 +11,16 @@
 use std::collections::BTreeMap;
 
 use uli_thrift::ThriftRecord;
-use uli_warehouse::{HourlyPartition, Parallelism, ScanPool, Warehouse, WarehouseResult, WhPath};
+use uli_warehouse::{
+    sniff_columnar, ColumnarFile, FileBlocks, HourlyPartition, Parallelism, ScanPool, Warehouse,
+    WarehouseResult, WhPath,
+};
 
 use super::dictionary::EventDictionary;
 use super::sequence::SessionSequence;
 use super::sessionize::{SessionRecord, Sessionizer};
 use crate::client_event::{ClientEvent, CLIENT_EVENTS_CATEGORY};
+use crate::columnar::client_event_from_group;
 use crate::event::EventName;
 
 /// The day directory of a category: `/logs/<cat>/YYYY/MM/DD`.
@@ -93,6 +97,12 @@ pub struct Materializer {
 /// on this (shard results concatenate in order); it only balances work.
 const ENCODE_CHUNK: usize = 1024;
 
+/// One open client-event file in a sharded day scan, either layout.
+enum DayScanHandle {
+    Row(FileBlocks),
+    Col(ColumnarFile),
+}
+
 impl Materializer {
     /// A materializer with the standard 30-minute sessionizer.
     pub fn new(warehouse: Warehouse) -> Materializer {
@@ -137,6 +147,25 @@ impl Materializer {
                 continue;
             }
             for file in self.warehouse.list_files_recursive(&dir)? {
+                // Landings can mix layouts (the mover migrated mid-day, or a
+                // backfill used the other format) — sniff per file.
+                if sniff_columnar(&self.warehouse, &file)?.is_some() {
+                    let handle = ColumnarFile::open(&self.warehouse, &file)?;
+                    let all = vec![true; handle.columns()];
+                    for g in 0..handle.group_count() {
+                        let group = handle.read_group(g, &all)?;
+                        for row in 0..group.rows() {
+                            match client_event_from_group(&handle, &group, row) {
+                                Some(ev) => {
+                                    events += 1;
+                                    f(ev);
+                                }
+                                None => skipped += 1,
+                            }
+                        }
+                    }
+                    continue;
+                }
                 let mut reader = self.warehouse.open(&file)?;
                 while let Some(record) = reader.next_record()? {
                     match ClientEvent::from_bytes(record) {
@@ -183,28 +212,54 @@ impl Materializer {
         F: Fn(&mut T, ClientEvent) + Sync,
     {
         let files = self.day_files(day_index)?;
-        let mut handles = Vec::with_capacity(files.len());
+        let mut handles: Vec<DayScanHandle> = Vec::with_capacity(files.len());
         let mut work: Vec<(usize, usize)> = Vec::new();
         for file in &files {
-            let handle = self.warehouse.open_blocks(file)?;
+            // Row files shard per block, columnar files per row group —
+            // either way one work unit ≈ one map task.
             let hi = handles.len();
-            work.extend((0..handle.block_count()).map(|bi| (hi, bi)));
-            handles.push(handle);
+            if sniff_columnar(&self.warehouse, file)?.is_some() {
+                let handle = ColumnarFile::open(&self.warehouse, file)?;
+                work.extend((0..handle.group_count()).map(|g| (hi, g)));
+                handles.push(DayScanHandle::Col(handle));
+            } else {
+                let handle = self.warehouse.open_blocks(file)?;
+                work.extend((0..handle.block_count()).map(|bi| (hi, bi)));
+                handles.push(DayScanHandle::Row(handle));
+            }
         }
         let results = ScanPool::new(self.parallelism).map(work, |_, (hi, bi)| {
             let mut state = init();
             let mut events = 0u64;
             let mut skipped = 0u64;
-            // Borrowing visit: decoding reads the record in place, so the
-            // sharded scan charges the same zero `alloc_bytes` as the serial
-            // `next_record` scan — cost counters stay worker-invariant.
-            handles[hi].for_each_record(bi, |record| match ClientEvent::from_bytes(record) {
-                Ok(ev) => {
-                    events += 1;
-                    fold(&mut state, ev);
+            match &handles[hi] {
+                // Borrowing visit: decoding reads the record in place, so the
+                // sharded scan charges the same zero `alloc_bytes` as the
+                // serial `next_record` scan — cost counters stay
+                // worker-invariant.
+                DayScanHandle::Row(handle) => {
+                    handle.for_each_record(bi, |record| match ClientEvent::from_bytes(record) {
+                        Ok(ev) => {
+                            events += 1;
+                            fold(&mut state, ev);
+                        }
+                        Err(_) => skipped += 1,
+                    })?;
                 }
-                Err(_) => skipped += 1,
-            })?;
+                DayScanHandle::Col(handle) => {
+                    let all = vec![true; handle.columns()];
+                    let group = handle.read_group(bi, &all)?;
+                    for row in 0..group.rows() {
+                        match client_event_from_group(handle, &group, row) {
+                            Some(ev) => {
+                                events += 1;
+                                fold(&mut state, ev);
+                            }
+                            None => skipped += 1,
+                        }
+                    }
+                }
+            }
             Ok::<_, uli_warehouse::WarehouseError>((state, events, skipped))
         });
         let mut states = Vec::with_capacity(results.len());
@@ -631,6 +686,66 @@ mod tests {
                 day_artifacts(&wh, 0),
                 baseline,
                 "materialized files must be byte-identical at {workers} workers"
+            );
+        }
+    }
+
+    /// The same fixture events, landed columnar instead of row-format.
+    fn fixture_columnar(wh: &Warehouse, day: u64, users: i64, events_per_user: usize) -> u64 {
+        let mut total = 0;
+        for hour in day * 24..day * 24 + 2 {
+            let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, hour).main_dir();
+            let mut events = Vec::new();
+            for u in 0..users {
+                for i in 0..events_per_user {
+                    let action = if i % 5 == 0 { "click" } else { "impression" };
+                    events.push(ClientEvent::new(
+                        EventInitiator::CLIENT_USER,
+                        n(&format!("web:home:home:stream:tweet:{action}")),
+                        u,
+                        format!("s-{u}"),
+                        "10.0.0.1",
+                        Timestamp::from_hour_index(hour).plus(i as i64 * 1000),
+                    ));
+                    total += 1;
+                }
+            }
+            crate::columnar::write_client_events_columnar(
+                wh,
+                &dir.child("part-00000").unwrap(),
+                &events,
+                true,
+                64,
+            )
+            .unwrap();
+        }
+        total
+    }
+
+    #[test]
+    fn columnar_landings_materialize_identically_to_row_landings() {
+        // Same events, both layouts, every worker count: dictionary,
+        // samples, and sequence files must all come out byte-identical.
+        let baseline = {
+            let wh = Warehouse::new();
+            fixture(&wh, 0, 12, 20);
+            Materializer::new(wh.clone())
+                .with_parallelism(Parallelism::serial())
+                .run_day(0)
+                .unwrap();
+            day_artifacts(&wh, 0)
+        };
+        for workers in [1usize, 4, 8] {
+            let wh = Warehouse::new();
+            let total = fixture_columnar(&wh, 0, 12, 20);
+            let m = Materializer::new(wh.clone()).with_parallelism(Parallelism::fixed(workers));
+            let report = m.run_day(0).unwrap();
+            assert_eq!(report.events, total);
+            assert_eq!(report.skipped, 0);
+            assert_eq!(
+                day_artifacts(&wh, 0),
+                baseline,
+                "columnar landing must materialize identically at {workers} workers"
             );
         }
     }

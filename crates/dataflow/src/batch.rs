@@ -1,0 +1,554 @@
+//! Column batches: vectorized scan units over columnar warehouse files.
+//!
+//! The row path hands the loader one record at a time; the columnar path
+//! hands this module one *row group* at a time. A [`ColumnBatch`] is a
+//! fixed-size batch of decoded columns plus a selection mask: pushed
+//! predicates evaluate over whole columns (keep-masks become selection
+//! masks), and output tuples materialize only for surviving rows. Columns
+//! the projection masked out were never even decompressed — the reader
+//! charged them to `fields_skipped` without touching their chunks.
+//!
+//! Equality predicates on the dictionary-encoded column compare integer
+//! codes: the literal resolves to a code once per batch, and rows whose
+//! cells are dictionary hits never decode their strings at all. Cells that
+//! missed the dictionary at write time are stored inline and compared by
+//! bytes, so unknown event names still admit correctly.
+//!
+//! Predicates that are not provably total ([`total_boolean`]) fall back to
+//! row-at-a-time [`ScanSpec::admit`] over gathered tuples, in row order, so
+//! evaluation errors surface against the same row the eager path would
+//! report.
+
+use std::collections::BTreeMap;
+
+use uli_warehouse::{ColumnCell, ColumnGroup, ColumnarFile};
+
+use crate::error::DataflowResult;
+use crate::expr::{BinOp, Expr};
+use crate::pushdown::{total_boolean, ScanSpec};
+use crate::value::{Tuple, Value};
+
+/// Decodes one column's cell bytes into the [`Value`]s the row-format
+/// loader would have produced for the same record.
+///
+/// A loader that also understands a columnar layout returns a codec from
+/// [`Loader::columnar`](crate::loader::Loader::columnar); the executor then
+/// scans columnar files through [`ColumnBatch`] instead of feeding raw
+/// group records to [`Loader::parse`](crate::loader::Loader::parse).
+pub trait ColumnarCodec: Send + Sync {
+    /// Number of columns in the layout — must equal the load schema width.
+    fn columns(&self) -> usize;
+
+    /// Decodes one cell. `None` marks the cell undecodable, which drops the
+    /// whole row exactly as a loader `parse` returning `Ok(None)` drops the
+    /// whole record (tolerant-reader semantics).
+    fn decode(&self, col: usize, bytes: &[u8]) -> Option<Value>;
+}
+
+/// One row group's decoded columns plus a selection mask.
+pub struct ColumnBatch<'a> {
+    file: &'a ColumnarFile,
+    group: &'a ColumnGroup,
+    codec: &'a dyn ColumnarCodec,
+    /// Lazily decoded columns. `columns[c][r]` is `None` when the cell was
+    /// undecodable (the row is dead) — distinct from a column that simply
+    /// has not been materialized yet (outer `None`).
+    columns: Vec<Option<Vec<Option<Value>>>>,
+    /// Selection mask: rows still admitted by the predicates run so far.
+    selection: Vec<bool>,
+    /// Rows whose decoded cells were valid so far. A dead row is a loader
+    /// skip, not a predicate skip.
+    alive: Vec<bool>,
+}
+
+impl<'a> ColumnBatch<'a> {
+    /// Wraps one row group read from `file` with `codec`.
+    pub fn new(
+        file: &'a ColumnarFile,
+        group: &'a ColumnGroup,
+        codec: &'a dyn ColumnarCodec,
+    ) -> ColumnBatch<'a> {
+        let rows = group.rows();
+        ColumnBatch {
+            file,
+            group,
+            codec,
+            columns: vec![None; file.columns()],
+            selection: vec![true; rows],
+            alive: vec![true; rows],
+        }
+    }
+
+    /// Rows in the batch (before selection).
+    pub fn rows(&self) -> usize {
+        self.selection.len()
+    }
+
+    /// The current selection mask.
+    pub fn selection(&self) -> &[bool] {
+        &self.selection
+    }
+
+    /// Resolves one cell to raw bytes (dictionary codes resolve through the
+    /// file's embedded dictionary). `None` when the column was not read.
+    fn cell_bytes(&self, col: usize, row: usize) -> Option<&'a [u8]> {
+        match self.group.cell(col, row)? {
+            ColumnCell::Bytes(b) => Some(b),
+            ColumnCell::Code(c) => self.file.dictionary_value(c),
+        }
+    }
+
+    /// Materializes column `col` for every row, marking rows with
+    /// undecodable cells dead.
+    fn ensure_column(&mut self, col: usize) {
+        if self.columns[col].is_some() {
+            return;
+        }
+        let rows = self.rows();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let v = self
+                .cell_bytes(col, r)
+                .and_then(|b| self.codec.decode(col, b));
+            if v.is_none() {
+                self.alive[r] = false;
+                self.selection[r] = false;
+            }
+            out.push(v);
+        }
+        self.columns[col] = Some(out);
+    }
+
+    /// Applies the spec's pushed predicates to the whole batch, narrowing
+    /// the selection mask. Predicates run in order with FILTER semantics.
+    /// Returns the number of rows dropped by predicates (not by dead cells).
+    pub fn apply_predicates(&mut self, spec: &ScanSpec) -> DataflowResult<u64> {
+        if spec.predicate.is_empty() {
+            return Ok(0);
+        }
+        let width = spec.width;
+        if spec.predicate.iter().all(|p| total_boolean(p, width)) {
+            for pred in &spec.predicate {
+                self.apply_total(pred)?;
+            }
+        } else {
+            // A pushed predicate that may error must evaluate against fully
+            // materialized tuples, row by row in row order, so the failing
+            // row is the one the eager path reports.
+            self.apply_row_at_a_time(spec)?;
+        }
+        // Alive-but-deselected rows were dropped by a predicate; rows whose
+        // cells failed to decode are loader skips and count nowhere, exactly
+        // like a row-format record the loader's `parse` rejected.
+        Ok(self
+            .alive
+            .iter()
+            .zip(&self.selection)
+            .filter(|(alive, sel)| **alive && !**sel)
+            .count() as u64)
+    }
+
+    fn selected_rows(&self) -> u64 {
+        self.selection.iter().filter(|s| **s).count() as u64
+    }
+
+    /// Vectorized evaluation of one total-boolean predicate.
+    fn apply_total(&mut self, pred: &Expr) -> DataflowResult<()> {
+        // Dictionary fast path: `name == "literal"` (either operand order)
+        // on the dictionary column compares integer codes; the literal
+        // resolves once for the whole batch.
+        if let Some((positive, literal)) = dict_equality(pred, self.file.dict_column()) {
+            let dict_col = self.file.dict_column().expect("checked by dict_equality");
+            let code = self.file.dictionary_code(literal.as_bytes());
+            for r in 0..self.rows() {
+                if !self.selection[r] {
+                    continue;
+                }
+                let hit = match self.group.cell(dict_col, r) {
+                    Some(ColumnCell::Code(c)) => Some(c) == code,
+                    Some(ColumnCell::Bytes(b)) => b == literal.as_bytes(),
+                    None => false,
+                };
+                if hit != positive {
+                    self.selection[r] = false;
+                }
+            }
+            return Ok(());
+        }
+        let mask = self.eval_bool(pred)?;
+        for (s, keep) in self.selection.iter_mut().zip(&mask) {
+            *s = *s && *keep;
+        }
+        Ok(())
+    }
+
+    /// Evaluates a total-boolean expression over every row, returning one
+    /// boolean per row. Totality guarantees no evaluation error and a
+    /// `Bool` result for every row, so evaluation order across rows cannot
+    /// change what a query observes.
+    fn eval_bool(&mut self, expr: &Expr) -> DataflowResult<Vec<bool>> {
+        let rows = self.rows();
+        match expr {
+            Expr::Lit(Value::Bool(b)) => Ok(vec![*b; rows]),
+            Expr::Not(e) => {
+                let mut m = self.eval_bool(e)?;
+                for b in &mut m {
+                    *b = !*b;
+                }
+                Ok(m)
+            }
+            Expr::Bin(BinOp::And, a, b) => {
+                let ma = self.eval_bool(a)?;
+                let mb = self.eval_bool(b)?;
+                Ok(ma.into_iter().zip(mb).map(|(x, y)| x && y).collect())
+            }
+            Expr::Bin(BinOp::Or, a, b) => {
+                let ma = self.eval_bool(a)?;
+                let mb = self.eval_bool(b)?;
+                Ok(ma.into_iter().zip(mb).map(|(x, y)| x || y).collect())
+            }
+            Expr::Bin(op, a, b) => {
+                // total_boolean admits only Col/Lit operands here.
+                self.ensure_operand(a);
+                self.ensure_operand(b);
+                let mut out = Vec::with_capacity(rows);
+                for r in 0..rows {
+                    let left = self.operand(a, r);
+                    let right = self.operand(b, r);
+                    let pass = match (left, right) {
+                        (Some(l), Some(r)) => match op {
+                            BinOp::Eq => l == r,
+                            BinOp::Ne => l != r,
+                            BinOp::Lt => l < r,
+                            BinOp::Le => l <= r,
+                            BinOp::Gt => l > r,
+                            BinOp::Ge => l >= r,
+                            _ => unreachable!("total_boolean admits comparisons only"),
+                        },
+                        // A dead row's result is never observed.
+                        _ => false,
+                    };
+                    out.push(pass);
+                }
+                Ok(out)
+            }
+            _ => unreachable!("total_boolean admits Lit(Bool)/Not/And/Or/cmp only"),
+        }
+    }
+
+    fn ensure_operand(&mut self, e: &Expr) {
+        if let Expr::Col(c) = e {
+            self.ensure_column(*c);
+        }
+    }
+
+    fn operand<'e>(&'e self, e: &'e Expr, row: usize) -> Option<&'e Value> {
+        match e {
+            Expr::Col(c) => self.columns[*c].as_ref().expect("ensured")[row].as_ref(),
+            Expr::Lit(v) => Some(v),
+            _ => unreachable!("total_boolean admits Col/Lit operands only"),
+        }
+    }
+
+    /// Fallback for predicates that may error: gather full tuples (over the
+    /// projected columns) and run [`ScanSpec::admit`] per row in row order.
+    fn apply_row_at_a_time(&mut self, spec: &ScanSpec) -> DataflowResult<()> {
+        let projected: Vec<usize> = (0..spec.width)
+            .filter(|c| spec.projection.as_ref().is_none_or(|m| m[*c]))
+            .collect();
+        for &c in &projected {
+            self.ensure_column(c);
+        }
+        for r in 0..self.rows() {
+            if !self.selection[r] {
+                continue;
+            }
+            let mut tuple = vec![Value::Null; spec.width];
+            for &c in &projected {
+                tuple[c] = self.columns[c].as_ref().expect("ensured")[r]
+                    .clone()
+                    .expect("alive row has decoded cells");
+            }
+            if !spec.admit(&tuple)? {
+                self.selection[r] = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes output tuples for the selected rows: projected columns
+    /// decode (for rows that survived selection), masked columns come back
+    /// as [`Value::Null`] exactly as the lazy row loader produces them.
+    pub fn take_rows(mut self, spec: &ScanSpec) -> DataflowResult<Vec<Tuple>> {
+        let projected: Vec<usize> = (0..spec.width)
+            .filter(|c| spec.projection.as_ref().is_none_or(|m| m[*c]))
+            .collect();
+        for &c in &projected {
+            self.ensure_column(c);
+        }
+        let mut out = Vec::with_capacity(self.selected_rows() as usize);
+        for r in 0..self.rows() {
+            if !self.selection[r] {
+                continue;
+            }
+            let mut tuple = vec![Value::Null; spec.width];
+            let mut dead = false;
+            for &c in &projected {
+                match &self.columns[c].as_ref().expect("ensured")[r] {
+                    Some(v) => tuple[c] = v.clone(),
+                    None => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead {
+                out.push(tuple);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Matches `Col(dict) == Lit(Str)` / `Lit(Str) == Col(dict)` and the same
+/// shapes under `!=`/`Not`, returning `(polarity, literal)` — `polarity` is
+/// `true` when equal rows are kept. Anything else declines the fast path.
+fn dict_equality(pred: &Expr, dict_col: Option<usize>) -> Option<(bool, &str)> {
+    let dict_col = dict_col?;
+    match pred {
+        Expr::Not(inner) => dict_equality(inner, Some(dict_col)).map(|(pos, lit)| (!pos, lit)),
+        Expr::Bin(op @ (BinOp::Eq | BinOp::Ne), a, b) => {
+            let (col, lit) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(c), Expr::Lit(Value::Str(s))) => (*c, s.as_str()),
+                (Expr::Lit(Value::Str(s)), Expr::Col(c)) => (*c, s.as_str()),
+                _ => return None,
+            };
+            (col == dict_col).then_some((matches!(op, BinOp::Eq), lit))
+        }
+        _ => None,
+    }
+}
+
+/// Scans one row group end to end: read under the projection, apply pushed
+/// predicates vectorized, and materialize surviving tuples. Returns the
+/// tuples plus the predicate-skip count for [`JobStats`] accounting. The
+/// reader has already charged `fields_skipped` for unprojected columns, so
+/// callers must charge only the returned predicate skips.
+///
+/// [`JobStats`]: crate::exec::JobStats
+pub fn scan_group(
+    file: &ColumnarFile,
+    group_index: usize,
+    codec: &dyn ColumnarCodec,
+    spec: &ScanSpec,
+) -> DataflowResult<(Vec<Tuple>, u64)> {
+    let projection: Vec<bool> = match &spec.projection {
+        Some(mask) => mask.clone(),
+        None => vec![true; file.columns()],
+    };
+    let group = file.read_group(group_index, &projection)?;
+    let mut batch = ColumnBatch::new(file, &group, codec);
+    let skipped = batch.apply_predicates(spec)?;
+    let rows = batch.take_rows(spec)?;
+    Ok((rows, skipped))
+}
+
+/// A codec usable by tests and the CSV examples: every cell is a UTF-8
+/// string parsed with the same `Int` → `Double` → `Str` fallback as
+/// [`CsvLoader`](crate::loader::CsvLoader) fields.
+#[derive(Debug, Clone, Default)]
+pub struct TextCodec {
+    columns: usize,
+}
+
+impl TextCodec {
+    /// A codec for `columns` text columns.
+    pub fn new(columns: usize) -> TextCodec {
+        assert!(columns > 0);
+        TextCodec { columns }
+    }
+}
+
+impl ColumnarCodec for TextCodec {
+    fn columns(&self) -> usize {
+        self.columns
+    }
+
+    fn decode(&self, _col: usize, bytes: &[u8]) -> Option<Value> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        Some(if let Ok(i) = text.parse::<i64>() {
+            Value::Int(i)
+        } else if let Ok(d) = text.parse::<f64>() {
+            Value::Double(d)
+        } else {
+            Value::str(text)
+        })
+    }
+}
+
+/// `Value::Map` helper for codecs decoding key→string maps.
+pub fn string_map(pairs: impl IntoIterator<Item = (String, String)>) -> Value {
+    Value::Map(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k, Value::Str(v)))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DataflowError;
+    use uli_warehouse::{ColumnarFileWriter, Warehouse, WhPath};
+
+    fn p(s: &str) -> WhPath {
+        WhPath::parse(s).unwrap()
+    }
+
+    /// 3 text columns: user (int), action (dictionary), amount (int).
+    fn fixture(wh: &Warehouse, rows: i64) -> ColumnarFile {
+        let dict = vec![b"click".to_vec(), b"impression".to_vec()];
+        let mut w = ColumnarFileWriter::create(wh, &p("/col"), 3, 64, Some((1, &dict))).unwrap();
+        for i in 0..rows {
+            let user = (i % 10).to_string();
+            let action = if i % 3 == 0 {
+                "click".to_string()
+            } else if i % 17 == 0 {
+                format!("rare-{i}") // dictionary miss, stored inline
+            } else {
+                "impression".to_string()
+            };
+            let amount = i.to_string();
+            w.append_row_annotated(
+                &[user.as_bytes(), action.as_bytes(), amount.as_bytes()],
+                i,
+                uli_warehouse::tag_hash(action.as_bytes()),
+            );
+        }
+        w.finish().unwrap();
+        ColumnarFile::open(wh, &p("/col")).unwrap()
+    }
+
+    #[test]
+    fn scan_group_matches_eager_semantics() {
+        let wh = Warehouse::new();
+        let f = fixture(&wh, 100);
+        let codec = TextCodec::new(3);
+        let spec = ScanSpec {
+            projection: None,
+            predicate: vec![Expr::col(1).eq(Expr::lit("click"))],
+            width: 3,
+        };
+        let mut rows = Vec::new();
+        let mut skipped = 0;
+        for g in 0..f.group_count() {
+            let (r, s) = scan_group(&f, g, &codec, &spec).unwrap();
+            rows.extend(r);
+            skipped += s;
+        }
+        assert_eq!(rows.len(), 34, "i % 3 == 0 for 0..100");
+        assert_eq!(skipped, 66);
+        assert!(rows.iter().all(|t| t[1] == Value::str("click")));
+        // Rows come out in row order with full values.
+        assert_eq!(
+            rows[0],
+            vec![Value::Int(0), Value::str("click"), Value::Int(0)]
+        );
+    }
+
+    #[test]
+    fn dict_fast_path_agrees_with_generic_eval_including_misses() {
+        let wh = Warehouse::new();
+        let f = fixture(&wh, 200);
+        let codec = TextCodec::new(3);
+        for literal in ["click", "impression", "rare-17", "absent"] {
+            for negate in [false, true] {
+                let base = Expr::col(1).eq(Expr::lit(literal));
+                let pred = if negate { base.not() } else { base };
+                // Fast path (dict shape detected).
+                let spec = ScanSpec {
+                    projection: None,
+                    predicate: vec![pred.clone()],
+                    width: 3,
+                };
+                // Generic path: wrap so the dict shape is not detected but
+                // semantics are identical (x AND true == x).
+                let generic_spec = ScanSpec {
+                    projection: None,
+                    predicate: vec![pred.and(Expr::lit(true))],
+                    width: 3,
+                };
+                let mut fast = Vec::new();
+                let mut generic = Vec::new();
+                for g in 0..f.group_count() {
+                    fast.extend(scan_group(&f, g, &codec, &spec).unwrap().0);
+                    generic.extend(scan_group(&f, g, &codec, &generic_spec).unwrap().0);
+                }
+                assert_eq!(fast, generic, "literal={literal} negate={negate}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_nulls_masked_columns() {
+        let wh = Warehouse::new();
+        let f = fixture(&wh, 50);
+        let codec = TextCodec::new(3);
+        let spec = ScanSpec {
+            projection: Some(vec![false, true, false]),
+            predicate: vec![],
+            width: 3,
+        };
+        let (rows, _) = scan_group(&f, 0, &codec, &spec).unwrap();
+        assert_eq!(rows.len(), 50);
+        assert_eq!(rows[0][0], Value::Null);
+        assert_eq!(rows[0][1], Value::str("click"));
+        assert_eq!(rows[0][2], Value::Null);
+    }
+
+    #[test]
+    fn non_total_predicates_error_like_the_eager_path() {
+        let wh = Warehouse::new();
+        let f = fixture(&wh, 10);
+        let codec = TextCodec::new(3);
+        // `action + 1` type-errors on the first row; not total, so the
+        // row-at-a-time fallback must surface the same error admit() would.
+        let spec = ScanSpec {
+            projection: None,
+            predicate: vec![Expr::col(1).add(Expr::lit(1i64)).ge(Expr::lit(0i64))],
+            width: 3,
+        };
+        assert!(matches!(
+            scan_group(&f, 0, &codec, &spec),
+            Err(DataflowError::TypeError { .. })
+        ));
+        // A non-total predicate that happens not to error agrees with admit.
+        let spec = ScanSpec {
+            projection: None,
+            predicate: vec![Expr::col(0).add(Expr::lit(0i64)).ge(Expr::lit(5i64))],
+            width: 3,
+        };
+        let (rows, skipped) = scan_group(&f, 0, &codec, &spec).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(skipped, 5);
+    }
+
+    #[test]
+    fn undecodable_cells_drop_rows_not_batches() {
+        let wh = Warehouse::new();
+        // No dictionary; column 1 row 1 is invalid UTF-8.
+        let mut w = ColumnarFileWriter::create(&wh, &p("/bad"), 2, 8, None).unwrap();
+        w.append_row(&[b"1", b"ok"]);
+        w.append_row(&[b"2", &[0xff, 0xfe]]);
+        w.append_row(&[b"3", b"ok"]);
+        w.finish().unwrap();
+        let f = ColumnarFile::open(&wh, &p("/bad")).unwrap();
+        let codec = TextCodec::new(2);
+        let (rows, skipped) = scan_group(&f, 0, &codec, &ScanSpec::eager(2)).unwrap();
+        assert_eq!(rows.len(), 2, "bad row dropped, others kept");
+        assert_eq!(rows[0][0], Value::Int(1));
+        assert_eq!(rows[1][0], Value::Int(3));
+        assert_eq!(skipped, 0, "a loader skip is not a predicate skip");
+    }
+}

@@ -13,8 +13,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use uli_obs::{Counter, Registry};
-use uli_warehouse::{FileBlocks, Parallelism, ScanPool, Warehouse, ZoneMapPruner};
+use uli_warehouse::{
+    sniff_columnar, ColumnarFile, FileBlocks, Parallelism, ScanPool, Warehouse, ZoneMapPruner,
+};
 
+use crate::batch::scan_group;
 use crate::error::{DataflowError, DataflowResult};
 use crate::expr::Expr;
 use crate::loader::{BlockPruner, Loader};
@@ -401,10 +404,34 @@ impl Engine {
         per_block: impl Fn(Vec<Tuple>) -> DataflowResult<T> + Sync,
     ) -> DataflowResult<(Vec<T>, MapInput)> {
         let files = self.warehouse.list_files_recursive(chain.dir)?;
-        let mut handles: Vec<FileBlocks> = Vec::with_capacity(files.len());
-        // (handle index, block index), in the serial scan's visit order.
+        let mut handles: Vec<ScanHandle> = Vec::with_capacity(files.len());
+        // (handle index, block/group index), in the serial scan's visit
+        // order. Columnar files contribute one work unit per row group.
         let mut work: Vec<(usize, usize)> = Vec::new();
+        let codec = chain.loader.columnar();
         for file in &files {
+            if codec.is_some() && sniff_columnar(&self.warehouse, file)?.is_some() {
+                let handle = ColumnarFile::open(&self.warehouse, file)?;
+                if handle.columns() != chain.spec.width {
+                    return Err(DataflowError::MalformedRecord {
+                        loader: chain.loader.name(),
+                    });
+                }
+                let hi = handles.len();
+                // Block pruners index row blocks, which columnar files do
+                // not have; zone maps are the columnar pruning layer.
+                for g in 0..handle.group_count() {
+                    if let Some(zone) = &chain.zone {
+                        if !zone.keep(handle.zone_map(g).as_ref()) {
+                            handle.skip_group(g);
+                            continue;
+                        }
+                    }
+                    work.push((hi, g));
+                }
+                handles.push(ScanHandle::Col(handle));
+                continue;
+            }
             let handle = self.warehouse.open_blocks(file)?;
             let blocks = handle.block_count();
             let mask = chain
@@ -430,17 +457,30 @@ impl Engine {
                 }
                 work.push((hi, bi));
             }
-            handles.push(handle);
+            handles.push(ScanHandle::Row(handle));
         }
         let results = ScanPool::new(self.parallelism).map(work, |_, (hi, bi)| {
+            let handle = match &handles[hi] {
+                ScanHandle::Row(handle) => handle,
+                ScanHandle::Col(file) => {
+                    // Vectorized scan: one batch per row group, predicates
+                    // over whole columns, selection mask in place of the
+                    // per-record admit loop. The reader already charged
+                    // `fields_skipped` for masked columns.
+                    let codec = codec.expect("columnar handles require a codec");
+                    let (rows, records_skipped) = scan_group(file, bi, codec, &chain.spec)?;
+                    file.charge_pushdown(records_skipped, 0);
+                    return per_block(chain.apply_ops(rows)?);
+                }
+            };
             // Borrowing visit: the loader decodes each record in place, so
             // the scan never pays the one-Vec-per-record copy that
             // `read_block` charges to `alloc_bytes`.
-            let mut rows = Vec::with_capacity(handles[hi].block_records(bi) as usize);
+            let mut rows = Vec::with_capacity(handle.block_records(bi) as usize);
             let mut records_skipped = 0u64;
             let mut fields_skipped = 0u64;
             let mut scan_err: Option<DataflowError> = None;
-            handles[hi].for_each_record(bi, |record| {
+            handle.for_each_record(bi, |record| {
                 if scan_err.is_some() {
                     return;
                 }
@@ -460,7 +500,7 @@ impl Engine {
             if let Some(e) = scan_err {
                 return Err(e);
             }
-            handles[hi].charge_pushdown(records_skipped, fields_skipped);
+            handle.charge_pushdown(records_skipped, fields_skipped);
             per_block(chain.apply_ops(rows)?)
         });
         // First error in block order, matching what a serial scan surfaces.
@@ -470,7 +510,10 @@ impl Engine {
         }
         let mut delta = uli_warehouse::ScanStats::default();
         for handle in &handles {
-            let local = handle.local_stats();
+            let local = match handle {
+                ScanHandle::Row(h) => h.local_stats(),
+                ScanHandle::Col(f) => f.local_stats(),
+            };
             delta.records_read += local.records_read;
             delta.blocks_read += local.blocks_read;
             delta.blocks_skipped += local.blocks_skipped;
@@ -601,6 +644,25 @@ impl Engine {
                 let before = self.warehouse.stats();
                 let mut rows = Vec::new();
                 for file in self.warehouse.list_files_recursive(dir)? {
+                    // Columnar files scan group by group even on the eager
+                    // path, so a pushdown-disabled serial engine still reads
+                    // a columnar directory correctly.
+                    if let Some(codec) = loader.columnar() {
+                        if sniff_columnar(&self.warehouse, &file)?.is_some() {
+                            let handle = ColumnarFile::open(&self.warehouse, &file)?;
+                            if handle.columns() != schema.len() {
+                                return Err(DataflowError::MalformedRecord {
+                                    loader: loader.name(),
+                                });
+                            }
+                            let spec = ScanSpec::eager(schema.len());
+                            for g in 0..handle.group_count() {
+                                let (group_rows, _) = scan_group(&handle, g, codec, &spec)?;
+                                rows.extend(group_rows);
+                            }
+                            continue;
+                        }
+                    }
                     let mut reader = self.warehouse.open(&file)?;
                     if let Some(pruner) = pruner {
                         if let Some(mask) =
@@ -813,6 +875,15 @@ impl Engine {
             }
         }
     }
+}
+
+/// One open input file of a map phase: a block-structured row file, or a
+/// columnar file scanned group by group through [`ColumnBatch`].
+///
+/// [`ColumnBatch`]: crate::batch::ColumnBatch
+enum ScanHandle {
+    Row(FileBlocks),
+    Col(ColumnarFile),
 }
 
 /// One mapper-side operator above a LOAD.
@@ -1343,6 +1414,14 @@ mod tests {
         fn zone_column(&self, col: usize) -> Option<ZoneColumn> {
             (col == 2).then_some(ZoneColumn::Key)
         }
+        fn supports_projection(&self) -> bool {
+            // Honored only on the columnar path (the row parse is eager);
+            // masked columns are never read downstream either way.
+            true
+        }
+        fn columnar(&self) -> Option<&dyn crate::batch::ColumnarCodec> {
+            self.0.columnar()
+        }
     }
 
     fn zoned_fixture() -> (Warehouse, WhPath) {
@@ -1474,6 +1553,128 @@ mod tests {
         let serial = run_with(1);
         assert_eq!(serial, run_with(4));
         assert_eq!(serial, run_with(8));
+    }
+
+    /// The zoned CSV data written in the columnar v2 layout: same 300
+    /// logical rows, action column dictionary-encoded, groups annotated
+    /// with the amount as zone key (matching `ZonedCsv::zone_column`).
+    fn columnar_fixture(group_rows: usize) -> (Warehouse, WhPath) {
+        let wh = Warehouse::new();
+        let dir = WhPath::parse("/logs/c").unwrap();
+        wh.mkdirs(&dir).unwrap();
+        let dict = vec![b"click".to_vec(), b"impression".to_vec()];
+        let mut w = uli_warehouse::ColumnarFileWriter::create(
+            &wh,
+            &dir.child("part-0").unwrap(),
+            3,
+            group_rows,
+            Some((1, &dict)),
+        )
+        .unwrap();
+        for i in 0..300i64 {
+            let action = if i % 3 == 0 { "click" } else { "impression" };
+            let user = (i % 10).to_string();
+            let amount = i.to_string();
+            w.append_row_annotated(
+                &[user.as_bytes(), action.as_bytes(), amount.as_bytes()],
+                i,
+                uli_warehouse::tag_hash(action.as_bytes()),
+            );
+        }
+        w.finish().unwrap();
+        (wh, dir)
+    }
+
+    #[test]
+    fn columnar_scan_matches_row_scan_at_all_worker_counts() {
+        let plans: [fn(&WhPath) -> Plan; 3] = [
+            |d| zoned_load(d),
+            |d| zoned_load(d).filter(Expr::col(1).eq(Expr::lit("click"))),
+            |d| {
+                zoned_load(d)
+                    .filter(Expr::col(2).ge(Expr::lit(100i64)))
+                    .foreach(vec![("user", Expr::col(0)), ("action", Expr::col(1))])
+                    .aggregate_by(vec![1], vec![Agg::count()])
+            },
+        ];
+        for (pi, plan_of) in plans.iter().enumerate() {
+            let (row_wh, row_dir) = zoned_fixture();
+            let reference = Engine::new(row_wh).run(&plan_of(&row_dir)).unwrap();
+            for workers in [1usize, 4, 8] {
+                let (wh, dir) = columnar_fixture(64);
+                let r = Engine::new(wh)
+                    .with_parallelism(Parallelism::fixed(workers))
+                    .run(&plan_of(&dir))
+                    .unwrap();
+                assert_eq!(r.rows, reference.rows, "plan {pi} workers {workers}");
+            }
+            // Pushdown disabled + serial drives the eager Load arm.
+            let (wh, dir) = columnar_fixture(64);
+            let eager = Engine::new(wh)
+                .with_pushdown(Pushdown::disabled())
+                .with_parallelism(Parallelism::serial())
+                .run(&plan_of(&dir))
+                .unwrap();
+            assert_eq!(eager.rows, reference.rows, "plan {pi} eager");
+        }
+    }
+
+    #[test]
+    fn columnar_accounting_is_worker_invariant() {
+        let run_with = |workers: usize| {
+            let registry = Registry::new();
+            let (wh, dir) = columnar_fixture(64);
+            let engine = Engine::new(wh)
+                .with_obs(&registry)
+                .with_parallelism(Parallelism::fixed(workers));
+            engine
+                .run(
+                    &zoned_load(&dir)
+                        .filter(Expr::col(2).ge(Expr::lit(100i64)))
+                        .aggregate_by(vec![0], vec![Agg::count()]),
+                )
+                .unwrap();
+            registry.snapshot().to_json()
+        };
+        let serial = run_with(1);
+        assert_eq!(serial, run_with(4));
+        assert_eq!(serial, run_with(8));
+    }
+
+    #[test]
+    fn columnar_zone_maps_skip_row_groups() {
+        let (wh, dir) = columnar_fixture(64);
+        let engine = Engine::new(wh);
+        let plan = zoned_load(&dir).filter(Expr::col(2).ge(Expr::lit(250i64)));
+        let r = engine.run(&plan).unwrap();
+        assert_eq!(r.rows.len(), 50);
+        assert!(r.stats.blocks_skipped > 0, "leading groups pruned");
+        assert!(
+            r.stats.records_skipped_by_predicate < 250,
+            "pruned groups never decode their rows"
+        );
+    }
+
+    #[test]
+    fn columnar_projection_reads_fewer_decoded_bytes_than_row() {
+        let plan_of = |dir: &WhPath| {
+            zoned_load(dir)
+                .filter(Expr::col(1).eq(Expr::lit("click")))
+                .foreach(vec![("amount", Expr::col(2))])
+                .aggregate(vec![Agg::sum(0)])
+        };
+        let (row_wh, row_dir) = zoned_fixture();
+        let row = Engine::new(row_wh).run(&plan_of(&row_dir)).unwrap();
+        let (col_wh, col_dir) = columnar_fixture(64);
+        let col = Engine::new(col_wh).run(&plan_of(&col_dir)).unwrap();
+        assert_eq!(row.rows, col.rows);
+        assert!(
+            col.stats.input_bytes_uncompressed < row.stats.input_bytes_uncompressed,
+            "columnar projection must decode fewer bytes: {} vs {}",
+            col.stats.input_bytes_uncompressed,
+            row.stats.input_bytes_uncompressed
+        );
+        assert!(col.stats.fields_skipped > 0, "masked columns counted");
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! assert!(result.stats.map_tasks >= 1);
 //! ```
 
+pub mod batch;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -55,6 +56,7 @@ pub mod script;
 pub mod udf;
 pub mod value;
 
+pub use batch::{scan_group, ColumnBatch, ColumnarCodec, TextCodec};
 pub use error::{DataflowError, DataflowResult};
 pub use exec::{CostModel, Engine, JobStats, QueryResult};
 pub use expr::Expr;

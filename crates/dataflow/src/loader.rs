@@ -9,6 +9,7 @@
 //! "integrate with Hadoop at the level of InputFormats", so a pruner decides
 //! per file which blocks a scan may skip *before* decompression.
 
+use crate::batch::{ColumnarCodec, TextCodec};
 use crate::error::{DataflowError, DataflowResult};
 use crate::pushdown::{ScanOutcome, ScanSpec, ZoneColumn};
 use crate::value::{Tuple, Value};
@@ -34,6 +35,15 @@ pub trait Loader: Send + Sync {
     /// annotated it with, if any. Only loaders whose records are written
     /// through the annotated path return `Some`.
     fn zone_column(&self, _col: usize) -> Option<ZoneColumn> {
+        None
+    }
+
+    /// The codec for this loader's columnar warehouse layout, when one
+    /// exists. The executor sniffs each file in a load directory and scans
+    /// columnar files through [`ColumnBatch`](crate::batch::ColumnBatch)
+    /// with this codec; `None` (the default) makes it treat them as opaque
+    /// row files, whose undecodable records the loader then skips.
+    fn columnar(&self) -> Option<&dyn ColumnarCodec> {
         None
     }
 
@@ -79,13 +89,17 @@ pub trait BlockPruner: Send + Sync {
 #[derive(Debug, Clone)]
 pub struct CsvLoader {
     fields: usize,
+    codec: TextCodec,
 }
 
 impl CsvLoader {
     /// A loader expecting `fields` comma-separated columns.
     pub fn new(fields: usize) -> Self {
         assert!(fields > 0);
-        CsvLoader { fields }
+        CsvLoader {
+            fields,
+            codec: TextCodec::new(fields),
+        }
     }
 }
 
@@ -115,6 +129,10 @@ impl Loader for CsvLoader {
             })
             .collect();
         Ok(Some(tuple))
+    }
+
+    fn columnar(&self) -> Option<&dyn ColumnarCodec> {
+        Some(&self.codec)
     }
 }
 

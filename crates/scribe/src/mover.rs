@@ -10,8 +10,9 @@
 //! main data warehouse." (§2)
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
-use uli_warehouse::{HourlyPartition, Warehouse, WarehouseError, WarehouseResult};
+use uli_warehouse::{ColumnarLanding, HourlyPartition, Warehouse, WarehouseError, WarehouseResult};
 
 use crate::message::EntryId;
 use crate::staged;
@@ -98,6 +99,9 @@ pub struct LogMover {
     records_per_file: u64,
     /// Delivery ids already made visible in the main warehouse.
     seen: HashSet<EntryId>,
+    /// Columnar landing codec, when the category lands columnar. `None`
+    /// keeps the original row-format landing.
+    landing: Option<Arc<dyn ColumnarLanding>>,
 }
 
 impl LogMover {
@@ -109,7 +113,18 @@ impl LogMover {
             main,
             records_per_file,
             seen: HashSet::new(),
+            landing: None,
         }
+    }
+
+    /// Lands merged hours columnar through `landing` instead of row-format.
+    /// Payloads the codec rejects go to a row-format `…-rows` sibling file,
+    /// so the slide still moves every sane record. Row landings stay
+    /// readable forever — readers sniff the layout per file — so flipping
+    /// this on (or back off) mid-history needs no migration.
+    pub fn with_landing(mut self, landing: Arc<dyn ColumnarLanding>) -> Self {
+        self.landing = Some(landing);
+        self
     }
 
     /// Moves one category-hour from every staging cluster into the main
@@ -161,6 +176,9 @@ impl LogMover {
         let mut out: Option<uli_warehouse::RecordFileWriter> = None;
         let mut out_records = 0u64;
         let mut out_idx = 0u64;
+        // Columnar landing buffers a whole output file's payloads: the
+        // landing codec needs them together to build the per-file dictionary.
+        let mut chunk: Vec<Vec<u8>> = Vec::new();
 
         for (_dc, wh) in staging {
             let files = match wh.list_files_recursive(&src_dir) {
@@ -210,6 +228,21 @@ impl LogMover {
                         }
                         report.moved_ids.push(id);
                     }
+                    if let Some(landing) = &self.landing {
+                        chunk.push(payload.to_vec());
+                        report.records += 1;
+                        if chunk.len() as u64 >= self.records_per_file {
+                            report.output_files += flush_columnar(
+                                &self.main,
+                                landing.as_ref(),
+                                &assembly_dir,
+                                out_idx,
+                                &mut chunk,
+                            )?;
+                            out_idx += 1;
+                        }
+                        continue;
+                    }
                     if out.is_none() {
                         let path = assembly_dir
                             .child(&format!("part-{out_idx:05}"))
@@ -229,6 +262,15 @@ impl LogMover {
                 }
             }
         }
+        if let (Some(landing), false) = (&self.landing, chunk.is_empty()) {
+            report.output_files += flush_columnar(
+                &self.main,
+                landing.as_ref(),
+                &assembly_dir,
+                out_idx,
+                &mut chunk,
+            )?;
+        }
         if let Some(w) = out.take() {
             w.finish()?;
             report.output_files += 1;
@@ -247,6 +289,36 @@ impl LogMover {
     pub fn main(&self) -> &Warehouse {
         &self.main
     }
+}
+
+/// Lands one buffered output file columnar: the codec writes what it can
+/// decode to `part-NNNNN`; rejected payloads go whole to a row-format
+/// `part-NNNNN-rows` sibling. Returns the number of files written.
+fn flush_columnar(
+    main: &Warehouse,
+    landing: &dyn ColumnarLanding,
+    assembly_dir: &uli_warehouse::WhPath,
+    idx: u64,
+    chunk: &mut Vec<Vec<u8>>,
+) -> Result<u64, MoveError> {
+    let path = assembly_dir
+        .child(&format!("part-{idx:05}"))
+        .expect("valid part name");
+    let rejected = landing.write_file(main, &path, chunk)?;
+    let mut files = 1;
+    if !rejected.is_empty() {
+        let fallback = assembly_dir
+            .child(&format!("part-{idx:05}-rows"))
+            .expect("valid part name");
+        let mut w = main.create(&fallback)?;
+        for &i in &rejected {
+            w.append_record(&chunk[i]);
+        }
+        w.finish()?;
+        files += 1;
+    }
+    chunk.clear();
+    Ok(files)
 }
 
 #[cfg(test)]
@@ -506,6 +578,106 @@ mod tests {
         assert_eq!(report.records, 1);
         assert_eq!(report.moved_ids, vec![id(3, 0)]);
         assert!(mover.main().exists(&p.main_dir()));
+    }
+
+    /// A toy landing codec: payloads of the form `k,v` become two columns;
+    /// anything else is rejected to the row fallback.
+    struct CsvLanding;
+
+    impl uli_warehouse::ColumnarLanding for CsvLanding {
+        fn write_file(
+            &self,
+            warehouse: &Warehouse,
+            path: &uli_warehouse::WhPath,
+            payloads: &[Vec<u8>],
+        ) -> WarehouseResult<Vec<usize>> {
+            let mut w = uli_warehouse::ColumnarFileWriter::create(warehouse, path, 2, 64, None)?;
+            let mut rejected = Vec::new();
+            for (i, p) in payloads.iter().enumerate() {
+                let cell_count = p.iter().filter(|b| **b == b',').count();
+                match (std::str::from_utf8(p), cell_count) {
+                    (Ok(s), 1) => {
+                        let (k, v) = s.split_once(',').expect("one comma counted");
+                        w.append_row(&[k.as_bytes(), v.as_bytes()]);
+                    }
+                    _ => rejected.push(i),
+                }
+            }
+            w.finish()?;
+            Ok(rejected)
+        }
+    }
+
+    #[test]
+    fn columnar_landing_writes_columnar_files_with_row_fallback() {
+        let p = part();
+        let wh = Warehouse::new();
+        write_framed(
+            &wh,
+            &p,
+            "agg-0",
+            &[
+                (Some(id(1, 0)), b"a,1"),
+                (Some(id(1, 1)), b"not columnar"),
+                (Some(id(1, 2)), b"b,2"),
+            ],
+        );
+        seal_hour(&wh, &p).unwrap();
+        let mut mover =
+            LogMover::new(Warehouse::new(), 1000).with_landing(std::sync::Arc::new(CsvLanding));
+        let report = mover.move_hour(&p, &[("dc1", &wh)]).unwrap();
+        assert_eq!(report.records, 3, "rejects still move, via the fallback");
+        assert_eq!(report.output_files, 2, "one columnar + one fallback");
+
+        let main = mover.main();
+        let files = main.list_files_recursive(&p.main_dir()).unwrap();
+        let col = files.iter().find(|f| f.name() == "part-00000").unwrap();
+        let rows = files
+            .iter()
+            .find(|f| f.name() == "part-00000-rows")
+            .unwrap();
+        assert!(uli_warehouse::sniff_columnar(main, col).unwrap().is_some());
+        let file = uli_warehouse::ColumnarFile::open(main, col).unwrap();
+        let group = file.read_group(0, &[true, true]).unwrap();
+        assert_eq!(group.rows(), 2);
+        assert_eq!(
+            group.cell(0, 1),
+            Some(uli_warehouse::ColumnCell::Bytes(b"b"))
+        );
+        assert_eq!(
+            main.open(rows).unwrap().read_all().unwrap(),
+            vec![b"not columnar".to_vec()]
+        );
+    }
+
+    #[test]
+    fn columnar_landing_still_merges_and_chunks_by_records_per_file() {
+        let p = part();
+        let wh = Warehouse::new();
+        for f in 0..4 {
+            let file = p.main_dir().child(&format!("agg-{f}")).unwrap();
+            let mut w = wh.create(&file).unwrap();
+            for r in 0..10 {
+                w.append_record(format!("f{f},{r}").as_bytes());
+            }
+            w.finish().unwrap();
+        }
+        seal_hour(&wh, &p).unwrap();
+        let mut mover =
+            LogMover::new(Warehouse::new(), 25).with_landing(std::sync::Arc::new(CsvLanding));
+        let report = mover.move_hour(&p, &[("dc1", &wh)]).unwrap();
+        assert_eq!(report.records, 40);
+        assert_eq!(report.output_files, 2, "40 records at 25/file → 2 files");
+        // Every landed record is readable back out of the columnar files.
+        let main = mover.main();
+        let mut rows = 0;
+        for f in main.list_files_recursive(&p.main_dir()).unwrap() {
+            let file = uli_warehouse::ColumnarFile::open(main, &f).unwrap();
+            for g in 0..file.group_count() {
+                rows += file.read_group(g, &[true, true]).unwrap().rows();
+            }
+        }
+        assert_eq!(rows, 40);
     }
 
     #[test]

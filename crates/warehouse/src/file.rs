@@ -148,6 +148,29 @@ impl RecordFileWriter {
         self.data.total_records + self.pending_records
     }
 
+    /// Appends one record and seals it into a block of its own, carrying the
+    /// caller-computed zone map verbatim. The columnar writer uses this to
+    /// map one row group onto exactly one block, so group-level skipping
+    /// rides the ordinary block machinery (`zone_map`, `skip_block`).
+    pub(crate) fn append_record_sealed(&mut self, record: &[u8], zone: Option<ZoneMap>) {
+        if !self.compressor.is_empty() {
+            self.seal_block();
+        }
+        let mut prefix = [0u8; 10];
+        let n = encode_varint(&mut prefix, record.len() as u64);
+        self.compressor.write(&prefix[..n]);
+        self.compressor.write(record);
+        self.pending_records = 1;
+        match zone {
+            Some(z) => {
+                self.pending_zone = z;
+                self.pending_annotated = 1;
+            }
+            None => self.pending_annotated = 0,
+        }
+        self.seal_block();
+    }
+
     fn seal_block(&mut self) {
         if self.compressor.is_empty() {
             return;

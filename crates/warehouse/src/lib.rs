@@ -54,7 +54,10 @@ pub mod store;
 pub mod zone;
 
 pub use cache::{BlockCache, CacheStats, DEFAULT_CACHE_CAPACITY};
-pub use columnar::{ColumnarReader, ColumnarScanStats, ColumnarWriter};
+pub use columnar::{
+    sniff_columnar, ColumnCell, ColumnGroup, ColumnarFile, ColumnarFileWriter, ColumnarLanding,
+    ColumnarReader, ColumnarScanStats, ColumnarWriter, COLUMNAR_MAGIC, COLUMNAR_VERSION,
+};
 pub use error::{WarehouseError, WarehouseResult};
 pub use file::{FileBlocks, RecordFileReader, RecordFileWriter};
 pub use hourly::HourlyPartition;

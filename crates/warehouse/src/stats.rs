@@ -164,6 +164,21 @@ impl StatsCell {
         self.cache_misses.inc();
     }
 
+    /// A column chunk served from the decompressed-chunk cache: its
+    /// uncompressed bytes were logically read, but the chunk came from
+    /// memory, so no compressed bytes and — unlike a whole-block hit — no
+    /// additional `blocks_read` (the enclosing row group already counted).
+    pub(crate) fn chunk_cache_hit(&self, uncompressed: u64) {
+        self.uncompressed_bytes_read.add(uncompressed);
+        self.cache_hits.inc();
+    }
+
+    /// A column chunk that had to be decompressed because the cache missed.
+    pub(crate) fn chunk_cache_miss(&self, uncompressed: u64) {
+        self.uncompressed_bytes_read.add(uncompressed);
+        self.cache_misses.inc();
+    }
+
     pub(crate) fn record_read(&self) {
         self.records_read.inc();
     }

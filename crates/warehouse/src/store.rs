@@ -287,7 +287,7 @@ impl Warehouse {
         })
     }
 
-    fn file_data(&self, path: &WhPath) -> WarehouseResult<Arc<FileData>> {
+    pub(crate) fn file_data(&self, path: &WhPath) -> WarehouseResult<Arc<FileData>> {
         let tree = self.tree.lock();
         match tree.entries.get(path.as_str()) {
             Some(Entry::File(data)) => Ok(Arc::clone(data)),

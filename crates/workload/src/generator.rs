@@ -286,10 +286,39 @@ pub fn generate_day(config: &WorkloadConfig, day_index: u64) -> DayWorkload {
     DayWorkload { events, truth }
 }
 
+/// The warehouse layout a client-events day is landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// One Thrift record per event — the pre-columnar format, kept
+    /// writable for migration tests and readable forever.
+    Row,
+    /// Columnar v2 with a dictionary-encoded name column: the default
+    /// landing format.
+    #[default]
+    Columnar,
+    /// Columnar v2 without the name dictionary (ablation arm).
+    ColumnarPlain,
+}
+
+impl Layout {
+    /// Parses a `--layout` flag value.
+    pub fn parse(s: &str) -> Option<Layout> {
+        match s {
+            "row" => Some(Layout::Row),
+            "columnar" => Some(Layout::Columnar),
+            "columnar-plain" => Some(Layout::ColumnarPlain),
+            _ => None,
+        }
+    }
+}
+
 /// Writes a day's events into the warehouse as the log mover would leave
 /// them: per-hour directories, `files_per_hour` part files each, records
 /// only partially time-ordered (events are distributed round-robin, so each
 /// file is ordered but the directory as a whole is interleaved).
+///
+/// This helper keeps the original row layout; [`write_client_events_layout`]
+/// is the layout-aware entry point experiments migrate to.
 pub fn write_client_events(
     warehouse: &Warehouse,
     events: &[ClientEvent],
@@ -304,6 +333,50 @@ pub fn write_client_events(
         ));
         (CLIENT_EVENTS_CATEGORY.to_string(), ev.to_bytes(), zone)
     })
+}
+
+/// Layout-aware landing: same hour partitioning and round-robin part-file
+/// assignment as [`write_client_events`], with the file format chosen by
+/// `layout`. Columnar files carry the same per-group zone annotations the
+/// row writer puts on blocks, and each builds its name dictionary from its
+/// own events.
+pub fn write_client_events_layout(
+    warehouse: &Warehouse,
+    events: &[ClientEvent],
+    files_per_hour: usize,
+    layout: Layout,
+) -> WarehouseResult<u64> {
+    let dictionary = match layout {
+        Layout::Row => return write_client_events(warehouse, events, files_per_hour),
+        Layout::Columnar => true,
+        Layout::ColumnarPlain => false,
+    };
+    assert!(files_per_hour > 0);
+    let mut buckets: BTreeMap<u64, Vec<Vec<ClientEvent>>> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let files = buckets
+            .entry(ev.timestamp.hour_index())
+            .or_insert_with(|| vec![Vec::new(); files_per_hour]);
+        files[i % files_per_hour].push(ev.clone());
+    }
+    let mut written = 0u64;
+    for (hour, files) in buckets {
+        let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, hour).main_dir();
+        for (i, bucket) in files.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let path = dir.child(&format!("part-{i:05}")).expect("valid name");
+            written += uli_core::columnar::write_client_events_columnar(
+                warehouse,
+                &path,
+                &bucket,
+                dictionary,
+                uli_core::columnar::DEFAULT_ROWS_PER_GROUP,
+            )?;
+        }
+    }
+    Ok(written)
 }
 
 /// Writes the same ground truth as application-specific logs: web traffic
@@ -469,6 +542,59 @@ mod tests {
         // Directory-wide record count matches.
         let meta = wh.dir_meta(&day_dir(CLIENT_EVENTS_CATEGORY, 0)).unwrap();
         assert_eq!(meta.records, written);
+    }
+
+    #[test]
+    fn columnar_layout_partitions_like_row_layout() {
+        let day = generate_day(&small_config(), 0);
+        let row = Warehouse::new();
+        write_client_events(&row, &day.events, 4).unwrap();
+        let col = Warehouse::new();
+        let written = write_client_events_layout(&col, &day.events, 4, Layout::Columnar).unwrap();
+        assert_eq!(written as usize, day.events.len());
+        // Same directory shape: hour partitions and part-file names match.
+        let row_files: Vec<String> = row
+            .list_files_recursive(&day_dir(CLIENT_EVENTS_CATEGORY, 0))
+            .unwrap()
+            .iter()
+            .map(|f| f.as_str().to_string())
+            .collect();
+        let col_files: Vec<String> = col
+            .list_files_recursive(&day_dir(CLIENT_EVENTS_CATEGORY, 0))
+            .unwrap()
+            .iter()
+            .map(|f| f.as_str().to_string())
+            .collect();
+        assert_eq!(row_files, col_files);
+        // Every file sniffs columnar, and the events read back exactly.
+        let mut read_back = 0usize;
+        for f in col
+            .list_files_recursive(&day_dir(CLIENT_EVENTS_CATEGORY, 0))
+            .unwrap()
+        {
+            assert!(uli_warehouse::sniff_columnar(&col, &f).unwrap().is_some());
+            let file = uli_warehouse::ColumnarFile::open(&col, &f).unwrap();
+            let all = vec![true; file.columns()];
+            for g in 0..file.group_count() {
+                let group = file.read_group(g, &all).unwrap();
+                for r in 0..group.rows() {
+                    assert!(
+                        uli_core::columnar::client_event_from_group(&file, &group, r).is_some()
+                    );
+                    read_back += 1;
+                }
+            }
+        }
+        assert_eq!(read_back, day.events.len());
+    }
+
+    #[test]
+    fn layout_flag_parses() {
+        assert_eq!(Layout::parse("row"), Some(Layout::Row));
+        assert_eq!(Layout::parse("columnar"), Some(Layout::Columnar));
+        assert_eq!(Layout::parse("columnar-plain"), Some(Layout::ColumnarPlain));
+        assert_eq!(Layout::parse("parquet"), None);
+        assert_eq!(Layout::default(), Layout::Columnar);
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod zipf;
 pub use behavior::BehaviorModel;
 pub use funnels::{signup_funnel, FunnelSpec};
 pub use generator::{
-    generate_day, legacy_category_for, write_client_events, write_legacy_events, DayWorkload,
-    GroundTruth, WorkloadConfig,
+    generate_day, legacy_category_for, write_client_events, write_client_events_layout,
+    write_legacy_events, DayWorkload, GroundTruth, Layout, WorkloadConfig,
 };
 pub use universe::{build_universe, UniverseConfig};
 pub use zipf::Zipf;

@@ -42,4 +42,17 @@ if ! diff -u crates/bench/golden/e18_smoke.golden.json target/e18_smoke.metrics.
     exit 1
 fi
 
+echo "== columnar gate (e19 smoke metrics vs golden)"
+cargo run --release -q -p uli-bench --bin repro -- --smoke e19
+if ! diff -u crates/bench/golden/e19_smoke.golden.json target/e19_smoke.metrics.json; then
+    echo "columnar gate: smoke metrics drifted from the golden file." >&2
+    echo "If the change is intentional, refresh it with:" >&2
+    echo "  cp target/e19_smoke.metrics.json crates/bench/golden/e19_smoke.golden.json" >&2
+    exit 1
+fi
+if ! grep -q '"outputs_identical": true' target/e19_smoke.metrics.json; then
+    echo "columnar gate: columnar arms diverged from the row reference." >&2
+    exit 1
+fi
+
 echo "ci: all green"
