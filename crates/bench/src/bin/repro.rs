@@ -11,16 +11,22 @@
 //! worker counts) for CI; smoke runs never overwrite the BENCH_*.json
 //! artifacts. `--layout {row,columnar,columnar-plain}` picks the default
 //! warehouse landing layout (columnar unless overridden) — E19 records
-//! which ablation arm that choice corresponds to.
+//! which ablation arm that choice corresponds to. `--scale
+//! {smoke,default,1m}` sizes E20's synthetic day (default `1m`: one
+//! million users, >10M events) and `--mem-budget <bytes>` overrides the
+//! memory budget of E20's budgeted query arms; smoke E20 ignores both so
+//! the CI golden stays fixed.
 
 use std::process::ExitCode;
 
-use uli_workload::Layout;
+use uli_workload::{Layout, Scale};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut layout = Layout::default();
+    let mut scale = Scale::OneM;
+    let mut mem_budget: Option<u64> = None;
     let mut skip_value = false;
     let mut named: Vec<&str> = Vec::new();
     for (i, a) in args.iter().enumerate() {
@@ -28,18 +34,45 @@ fn main() -> ExitCode {
             skip_value = false;
             continue;
         }
+        // `--flag value` and `--flag=value` both work.
+        let valued = |flag: &str, skip: &mut bool| -> Option<&str> {
+            if let Some(v) = a.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+                Some(v)
+            } else if a == flag {
+                *skip = true;
+                args.get(i + 1).map(String::as_str)
+            } else {
+                None
+            }
+        };
         if a == "--layout" || a.starts_with("--layout=") {
-            let value = match a.strip_prefix("--layout=") {
-                Some(v) => Some(v),
-                None => {
-                    skip_value = true;
-                    args.get(i + 1).map(String::as_str)
-                }
-            };
-            layout = match value.and_then(Layout::parse) {
+            layout = match valued("--layout", &mut skip_value).and_then(Layout::parse) {
                 Some(l) => l,
                 None => {
                     eprintln!("--layout takes one of: row, columnar, columnar-plain");
+                    return ExitCode::FAILURE;
+                }
+            };
+            continue;
+        }
+        if a == "--scale" || a.starts_with("--scale=") {
+            scale = match valued("--scale", &mut skip_value).and_then(Scale::parse) {
+                Some(s) => s,
+                None => {
+                    eprintln!("--scale takes one of: smoke, default, 1m");
+                    return ExitCode::FAILURE;
+                }
+            };
+            continue;
+        }
+        if a == "--mem-budget" || a.starts_with("--mem-budget=") {
+            mem_budget = match valued("--mem-budget", &mut skip_value)
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|b| *b > 0)
+            {
+                Some(b) => Some(b),
+                None => {
+                    eprintln!("--mem-budget takes a positive byte count");
                     return ExitCode::FAILURE;
                 }
             };
@@ -220,6 +253,51 @@ fn main() -> ExitCode {
                 ("target/e19_smoke.metrics.json", e19::to_json(&m))
             } else {
                 ("BENCH_columnar.json", e19::to_json(&m))
+            };
+            match std::fs::write(path, payload) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
+        if id == "e20" {
+            // The scale run gates on the bounded-memory invariants:
+            // budgeted arms byte-identical to unbounded, spills actually
+            // exercised, every stage's high-water mark under its budget,
+            // and (below 1m) streaming materialization byte-identical to
+            // batch. Smoke pins the scale and budgets so the golden file
+            // stays fixed; full scale persists BENCH_scale.json.
+            use uli_bench::experiments::e20_scale as e20;
+            let m = if smoke {
+                e20::smoke_snapshot()
+            } else {
+                e20::measure_at(scale, mem_budget)
+            };
+            println!("{}", "=".repeat(74));
+            println!("{}", e20::render(&m));
+            if !m.queries_identical {
+                eprintln!("e20: budgeted query rows diverged from unbounded");
+                failed = true;
+            }
+            if m.mat_matches_batch == Some(false) {
+                eprintln!("e20: streaming materialization diverged from batch");
+                failed = true;
+            }
+            if m.budgeted_spill_runs() == 0 {
+                eprintln!("e20: no budgeted stage spilled — budgets too generous");
+                failed = true;
+            }
+            if !m.peaks_within_budget() {
+                eprintln!("e20: a stage's memory high-water mark exceeded its budget");
+                failed = true;
+            }
+            let (path, payload) = if smoke {
+                ("target/e20_smoke.metrics.json", e20::to_json(&m))
+            } else {
+                ("BENCH_scale.json", e20::to_json(&m))
             };
             match std::fs::write(path, payload) {
                 Ok(()) => println!("wrote {path}"),

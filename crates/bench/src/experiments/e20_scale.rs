@@ -1,0 +1,544 @@
+//! E20 — million-user day: bounded-memory operators at scale.
+//!
+//! The paper's pipeline handles "hundreds of millions of users" per day;
+//! the interesting systems property is not the absolute numbers but that
+//! no stage needs the day in memory. This experiment drives the whole
+//! pipeline at a configurable `--scale` — generate, land, materialize,
+//! query — with every stage streaming:
+//!
+//! 1. **generate + land** — [`uli_workload::DayStream`] yields events one
+//!    session at a time and [`uli_workload::land_day_stream`] writes them
+//!    straight into hour partitions (records/sec is the ingest headline);
+//! 2. **materialize** — the streaming sessionizer reconstructs sessions
+//!    under a memory budget, spilling sort runs to scratch files, and must
+//!    produce byte-identical part files to the batch materializer;
+//! 3. **query** — each query runs twice, unbounded and under a budget;
+//!    budgeted runs must spill, stay under the budget's high-water mark,
+//!    and return byte-identical rows.
+//!
+//! The full run (`--scale 1m`: one million users, >10M events) persists
+//! `BENCH_scale.json`; the smoke run writes machine-independent counters
+//! CI diffs against a golden file.
+
+use std::sync::Arc;
+
+use uli_core::client_event::{ClientEventLoader, CLIENT_EVENTS_CATEGORY, CLIENT_EVENT_SCHEMA};
+use uli_core::session::{day_dir, sequences_dir, Materializer};
+use uli_dataflow::prelude::*;
+use uli_warehouse::Warehouse;
+use uli_workload::{land_day_stream, DayStream, Scale};
+
+use crate::cells;
+use crate::harness::{detected_cores, timed, Table};
+
+/// Part files per hour partition for the streamed landing.
+const FILES_PER_HOUR: usize = 4;
+
+/// One (query, arm) cell.
+pub struct QuerySample {
+    /// Query label.
+    pub query: &'static str,
+    /// `"unbounded"` or `"budgeted"`.
+    pub arm: &'static str,
+    /// Wall-clock, milliseconds (full runs only in the JSON).
+    pub query_ms: f64,
+    /// Deterministic cost-model estimate, milliseconds.
+    pub cost_model_ms: f64,
+    /// Records scanned.
+    pub input_records: u64,
+    /// Decoded bytes.
+    pub input_bytes_uncompressed: u64,
+    /// Sort/aggregate runs spilled to scratch files.
+    pub spill_runs: u64,
+    /// Bytes written to spill runs.
+    pub spill_bytes: u64,
+    /// Peak tracked operator memory, bytes.
+    pub mem_high_water_bytes: u64,
+    /// Rows produced.
+    pub output_rows: u64,
+}
+
+/// The full pipeline measurement.
+pub struct Measurements {
+    /// Scale label (`smoke`, `default`, `1m`).
+    pub scale: &'static str,
+    /// Users in the generated day.
+    pub users: u64,
+    /// Events generated (= records landed).
+    pub events: u64,
+    /// Sessions per the generator's ground truth.
+    pub sessions: u64,
+    /// Part files landed.
+    pub landed_files: u64,
+    /// Raw day size, uncompressed bytes.
+    pub raw_uncompressed_bytes: u64,
+    /// Raw day size, on-disk bytes.
+    pub raw_compressed_bytes: u64,
+    /// Generate + land wall-clock, milliseconds.
+    pub land_ms: f64,
+    /// Ingest throughput, records/second (wall-clock-derived).
+    pub ingest_records_per_sec: f64,
+    /// Memory budget for the streaming materializer, bytes.
+    pub mat_budget: u64,
+    /// Sessions materialized.
+    pub mat_sessions: u64,
+    /// Sort runs the materializer spilled.
+    pub mat_spill_runs: u64,
+    /// Bytes the materializer spilled.
+    pub mat_spill_bytes: u64,
+    /// Materializer peak tracked memory, bytes.
+    pub mat_high_water_bytes: u64,
+    /// Streaming materialize wall-clock, milliseconds.
+    pub mat_ms: f64,
+    /// Whether streaming part files matched the batch materializer
+    /// byte-for-byte (`None` when the comparison was skipped — the batch
+    /// path needs the whole day in memory, so full-scale runs skip it).
+    pub mat_matches_batch: Option<bool>,
+    /// Memory budget for the budgeted query arms, bytes.
+    pub query_budget: u64,
+    /// Query cells, query-major with the unbounded arm first.
+    pub samples: Vec<QuerySample>,
+    /// True when every budgeted arm returned rows byte-identical to its
+    /// unbounded arm.
+    pub queries_identical: bool,
+    /// Scan throughput of the first unbounded query, MB/second
+    /// (wall-clock-derived).
+    pub scan_mb_per_sec: f64,
+    /// Hardware threads on the measuring host; `None` for smoke runs so
+    /// the CI golden stays machine-independent.
+    pub cores: Option<usize>,
+}
+
+impl Measurements {
+    /// Spill runs across every budgeted stage — the "bounded memory was
+    /// actually exercised" gate.
+    pub fn budgeted_spill_runs(&self) -> u64 {
+        self.mat_spill_runs
+            + self
+                .samples
+                .iter()
+                .filter(|s| s.arm == "budgeted")
+                .map(|s| s.spill_runs)
+                .sum::<u64>()
+    }
+
+    /// True when every budgeted stage stayed within its budget.
+    pub fn peaks_within_budget(&self) -> bool {
+        self.mat_high_water_bytes <= self.mat_budget
+            && self
+                .samples
+                .iter()
+                .filter(|s| s.arm == "budgeted")
+                .all(|s| s.mem_high_water_bytes <= self.query_budget)
+    }
+}
+
+/// The query suite. All aggregates are algebraic, so the engine's
+/// map-chain path accumulates per-block partial states instead of
+/// materializing the day; grouping by user id makes the state itself
+/// O(users), which is what forces the budgeted arm to spill.
+fn queries() -> Vec<(&'static str, Plan)> {
+    let load = || {
+        Plan::load(
+            day_dir(CLIENT_EVENTS_CATEGORY, 0),
+            Arc::new(ClientEventLoader),
+            CLIENT_EVENT_SCHEMA.to_vec(),
+        )
+    };
+    vec![
+        // One group per user: the O(users) reduce state.
+        (
+            "events-per-user",
+            load().aggregate_by(vec![2], vec![Agg::count()]),
+        ),
+        // Sketch-backed DISTINCT and percentile: per-name audience and
+        // p95 timestamp, in O(names × sketch) memory.
+        (
+            "sketch-by-name",
+            load().aggregate_by(
+                vec![1],
+                vec![
+                    Agg::approx_count_distinct(2),
+                    Agg::approx_percentile(5, 0.95),
+                ],
+            ),
+        ),
+        // Top-K short-circuit: ORDER BY timestamp DESC LIMIT 20 keeps a
+        // 20-row bound instead of sorting the day.
+        (
+            "top-20-latest",
+            load()
+                .order_by(vec![(5, SortOrder::Desc), (2, SortOrder::Asc)])
+                .limit(20),
+        ),
+    ]
+}
+
+/// Sequence part files of day 0 as `(path, records)` — the byte-identity
+/// witness for the materializer comparison.
+fn sequence_artifacts(wh: &Warehouse) -> Vec<(String, Vec<Vec<u8>>)> {
+    let dir = sequences_dir(0);
+    let mut out = Vec::new();
+    for file in wh.list_files_recursive(&dir).expect("sequences exist") {
+        let records = wh
+            .open(&file)
+            .and_then(|r| r.read_all())
+            .expect("sequence file reads");
+        out.push((file.as_str().to_string(), records));
+    }
+    out
+}
+
+/// Runs the pipeline at `scale` with the given stage budgets.
+/// `compare_batch` additionally runs the batch materializer (which holds
+/// the whole day in memory) and checks byte-identity — smoke scale only.
+pub fn measure_with(
+    scale: Scale,
+    mat_budget: u64,
+    query_budget: u64,
+    compare_batch: bool,
+) -> Measurements {
+    let config = scale.config();
+    let wh = Warehouse::new();
+    let ((landed, truth), land_ms) = timed(|| {
+        let mut stream = DayStream::new(&config, 0);
+        let landed =
+            land_day_stream(&wh, stream.by_ref(), FILES_PER_HOUR).expect("fresh warehouse");
+        (landed, stream.into_truth())
+    });
+    let raw_dir = day_dir(CLIENT_EVENTS_CATEGORY, 0);
+    let landed_files = wh.list_files_recursive(&raw_dir).expect("day landed").len() as u64;
+    let raw = wh.dir_meta(&raw_dir).expect("day landed");
+
+    let materializer = Materializer::new(wh.clone());
+    let dict = materializer.build_dictionary(0).expect("pass 1 runs");
+    let (mat, mat_ms) = timed(|| {
+        materializer
+            .materialize_sequences_streaming(0, &dict, Some(mat_budget))
+            .expect("streaming pass 2 runs")
+    });
+    let mat_matches_batch = compare_batch.then(|| {
+        let streamed = sequence_artifacts(&wh);
+        materializer
+            .materialize_sequences(0, &dict)
+            .expect("batch pass 2 runs");
+        streamed == sequence_artifacts(&wh)
+    });
+
+    let mut samples = Vec::new();
+    let mut queries_identical = true;
+    let mut scan_mb_per_sec = 0.0;
+    for (label, plan) in queries() {
+        let mut unbounded_rows: Option<Vec<Tuple>> = None;
+        for (arm, budget) in [("unbounded", None), ("budgeted", Some(query_budget))] {
+            let mut engine = Engine::new(wh.clone());
+            if let Some(b) = budget {
+                engine = engine.with_mem_budget(b);
+            }
+            let (result, query_ms) = timed(|| engine.run(&plan).expect("query runs"));
+            match &unbounded_rows {
+                None => unbounded_rows = Some(result.rows.clone()),
+                Some(reference) => queries_identical &= *reference == result.rows,
+            }
+            let s = &result.stats;
+            if label == "events-per-user" && arm == "unbounded" {
+                scan_mb_per_sec =
+                    s.input_bytes_uncompressed as f64 / 1_000_000.0 / (query_ms / 1000.0).max(1e-9);
+            }
+            samples.push(QuerySample {
+                query: label,
+                arm,
+                query_ms,
+                cost_model_ms: result.estimated_cluster_ms,
+                input_records: s.input_records,
+                input_bytes_uncompressed: s.input_bytes_uncompressed,
+                spill_runs: s.spill_runs,
+                spill_bytes: s.spill_bytes,
+                mem_high_water_bytes: s.mem_high_water_bytes,
+                output_rows: result.rows.len() as u64,
+            });
+        }
+    }
+
+    Measurements {
+        scale: scale.label(),
+        users: config.users,
+        events: truth.events,
+        sessions: truth.sessions,
+        landed_files,
+        raw_uncompressed_bytes: raw.uncompressed_bytes,
+        raw_compressed_bytes: raw.compressed_bytes,
+        land_ms,
+        ingest_records_per_sec: landed as f64 / (land_ms / 1000.0).max(1e-9),
+        mat_budget,
+        mat_sessions: mat.sessions,
+        mat_spill_runs: mat.spill_runs,
+        mat_spill_bytes: mat.spill_bytes,
+        mat_high_water_bytes: mat.mem_high_water_bytes,
+        mat_ms,
+        mat_matches_batch,
+        query_budget,
+        samples,
+        queries_identical,
+        scan_mb_per_sec,
+        cores: None,
+    }
+}
+
+/// Per-scale defaults for the two stage budgets, each sized well below
+/// the scale's working set so the budgeted arms genuinely spill.
+fn default_budgets(scale: Scale) -> (u64, u64) {
+    match scale {
+        Scale::Smoke => (2048, 32 * 1024),
+        Scale::Default => (4096, 64 * 1024),
+        Scale::OneM => (16 << 20, 64 << 20),
+    }
+}
+
+/// A full (wall-clock) run at `scale`, with an optional `--mem-budget`
+/// override for the query arms. The batch byte-identity comparison only
+/// runs below `1m` — the batch materializer holds the whole day in
+/// memory, which is exactly what this experiment exists to avoid.
+pub fn measure_at(scale: Scale, query_budget_override: Option<u64>) -> Measurements {
+    let (mat_budget, query_budget) = default_budgets(scale);
+    let mut m = measure_with(
+        scale,
+        mat_budget,
+        query_budget_override.unwrap_or(query_budget),
+        !matches!(scale, Scale::OneM),
+    );
+    m.cores = Some(detected_cores());
+    m
+}
+
+/// The full run: a million users, >10M events, budgets far below the
+/// day's working set (16 MB materialize, 64 MB queries).
+pub fn measure() -> Measurements {
+    measure_at(Scale::OneM, None)
+}
+
+/// The smoke run CI diffs against the checked-in golden: tiny budgets
+/// sized so every budgeted stage actually spills (the sketch states are
+/// ~6 KB per group, so the query budget must sit above one entry but far
+/// below the group count × entry size).
+pub fn smoke_snapshot() -> Measurements {
+    measure_with(Scale::Smoke, 2048, 32 * 1024, true)
+}
+
+/// Renders the pipeline as the experiment table.
+pub fn render(m: &Measurements) -> String {
+    let mut out = format!(
+        "E20 — million-user day at --scale {}: {} users, {} events, \
+         {} sessions; no stage holds the day in memory\n\n",
+        m.scale, m.users, m.events, m.sessions
+    );
+    out.push_str(&format!(
+        "generate+land (streaming): {} files, {} raw bytes ({} on disk), \
+         {:.0} ms, {:.0} records/sec\n",
+        m.landed_files,
+        m.raw_uncompressed_bytes,
+        m.raw_compressed_bytes,
+        m.land_ms,
+        m.ingest_records_per_sec
+    ));
+    out.push_str(&format!(
+        "materialize (streaming, {} B budget): {} sessions, {} spill runs \
+         ({} B), peak {} B, {:.0} ms{}\n\n",
+        m.mat_budget,
+        m.mat_sessions,
+        m.mat_spill_runs,
+        m.mat_spill_bytes,
+        m.mat_high_water_bytes,
+        m.mat_ms,
+        match m.mat_matches_batch {
+            Some(true) => ", byte-identical to batch",
+            Some(false) => ", DIVERGED FROM BATCH",
+            None => " (batch comparison skipped at this scale)",
+        }
+    ));
+    let mut t = Table::new(&[
+        "query",
+        "arm",
+        "query ms",
+        "cost-model ms",
+        "records",
+        "decoded bytes",
+        "spill runs",
+        "spill bytes",
+        "peak bytes",
+        "rows",
+    ]);
+    for s in &m.samples {
+        t.row(cells![
+            s.query,
+            s.arm,
+            format!("{:.1}", s.query_ms),
+            format!("{:.1}", s.cost_model_ms),
+            s.input_records,
+            s.input_bytes_uncompressed,
+            s.spill_runs,
+            s.spill_bytes,
+            s.mem_high_water_bytes,
+            s.output_rows
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nbudgeted arms byte-identical to unbounded: {}\n\
+         budgeted spill runs across stages: {}\n\
+         every stage within its budget: {}\n\
+         scan throughput (events-per-user, unbounded): {:.1} MB/s\n",
+        m.queries_identical,
+        m.budgeted_spill_runs(),
+        m.peaks_within_budget(),
+        m.scan_mb_per_sec
+    ));
+    if let Some(cores) = m.cores {
+        out.push_str(&format!(
+            "{cores} hardware thread(s) visible; throughput numbers are \
+             wall-clock on this host.\n"
+        ));
+    }
+    out
+}
+
+/// Serializes one query cell; smoke runs drop wall-clock so the CI golden
+/// is stable across hosts.
+fn sample_json(s: &QuerySample, include_timing: bool) -> String {
+    let timing = if include_timing {
+        format!("\"query_ms\": {:.3}, ", s.query_ms)
+    } else {
+        String::new()
+    };
+    format!(
+        "    {{\"query\": \"{}\", \"arm\": \"{}\", {}\"cost_model_ms\": {:.3}, \
+         \"input_records\": {}, \"input_bytes_uncompressed\": {}, \
+         \"spill_runs\": {}, \"spill_bytes\": {}, \"mem_high_water_bytes\": {}, \
+         \"output_rows\": {}}}",
+        s.query,
+        s.arm,
+        timing,
+        s.cost_model_ms,
+        s.input_records,
+        s.input_bytes_uncompressed,
+        s.spill_runs,
+        s.spill_bytes,
+        s.mem_high_water_bytes,
+        s.output_rows
+    )
+}
+
+/// Serializes the run as the `BENCH_scale.json` payload (full runs) or
+/// the machine-independent smoke metrics (when `cores` is unset).
+pub fn to_json(m: &Measurements) -> String {
+    let full = m.cores.is_some();
+    let rows: Vec<String> = m.samples.iter().map(|s| sample_json(s, full)).collect();
+    let mut head = String::new();
+    if let Some(c) = m.cores {
+        head.push_str(&format!("  \"cores\": {c},\n"));
+    }
+    if full {
+        head.push_str(&format!(
+            "  \"land_ms\": {:.1},\n  \"ingest_records_per_sec\": {:.1},\n  \
+             \"mat_ms\": {:.1},\n  \"scan_mb_per_sec\": {:.2},\n",
+            m.land_ms, m.ingest_records_per_sec, m.mat_ms, m.scan_mb_per_sec
+        ));
+    }
+    let mat_matches = m.mat_matches_batch.map_or(String::new(), |ok| {
+        format!("  \"mat_matches_batch\": {ok},\n")
+    });
+    format!(
+        "{{\n  \"experiment\": \"scale\",\n  \"schema\": \"uli-scale-v1\",\n\
+         {head}  \"scale\": \"{}\",\n  \"users\": {},\n  \"events\": {},\n  \
+         \"sessions\": {},\n  \"landed_files\": {},\n  \
+         \"raw_uncompressed_bytes\": {},\n  \"raw_compressed_bytes\": {},\n  \
+         \"mat_budget\": {},\n  \"mat_sessions\": {},\n  \"mat_spill_runs\": {},\n  \
+         \"mat_spill_bytes\": {},\n  \"mat_high_water_bytes\": {},\n{mat_matches}  \
+         \"query_budget\": {},\n  \"queries_identical\": {},\n  \
+         \"budgeted_spill_runs\": {},\n  \"peaks_within_budget\": {},\n  \
+         \"samples\": [\n{}\n  ]\n}}\n",
+        m.scale,
+        m.users,
+        m.events,
+        m.sessions,
+        m.landed_files,
+        m.raw_uncompressed_bytes,
+        m.raw_compressed_bytes,
+        m.mat_budget,
+        m.mat_sessions,
+        m.mat_spill_runs,
+        m.mat_spill_bytes,
+        m.mat_high_water_bytes,
+        m.query_budget,
+        m.queries_identical,
+        m.budgeted_spill_runs(),
+        m.peaks_within_budget(),
+        rows.join(",\n")
+    )
+}
+
+/// Runs the experiment at full scale.
+pub fn run() -> String {
+    render(&measure())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_pipeline_spills_stays_bounded_and_matches() {
+        let m = smoke_snapshot();
+        assert_eq!(m.scale, "smoke");
+        assert_eq!(m.users, 120);
+        // The pinned generator goldens fix the smoke day exactly.
+        assert_eq!(m.events, 2657);
+        assert_eq!(m.sessions, 223);
+        assert!(m.queries_identical, "budgeted rows diverged");
+        assert_eq!(m.mat_matches_batch, Some(true));
+        assert!(m.mat_spill_runs > 0, "materializer never spilled");
+        assert!(
+            m.samples
+                .iter()
+                .any(|s| s.arm == "budgeted" && s.spill_runs > 0),
+            "no budgeted query spilled"
+        );
+        assert!(m.peaks_within_budget());
+        // Unbounded arms must not track (or spill) anything.
+        for s in m.samples.iter().filter(|s| s.arm == "unbounded") {
+            assert_eq!(s.spill_runs, 0, "{}: unbounded arm spilled", s.query);
+            assert_eq!(s.mem_high_water_bytes, 0);
+        }
+        let top = m
+            .samples
+            .iter()
+            .find(|s| s.query == "top-20-latest")
+            .expect("query measured");
+        assert_eq!(top.output_rows, 20);
+        let json = to_json(&m);
+        assert!(json.contains("\"queries_identical\": true"));
+        assert!(json.contains("\"mat_matches_batch\": true"));
+        assert!(json.contains("\"peaks_within_budget\": true"));
+        assert!(
+            !json.contains("query_ms"),
+            "smoke json must omit wall-clock"
+        );
+        assert!(!json.contains("cores"), "smoke json must omit host cores");
+        assert!(
+            !json.contains("mb_per_sec"),
+            "smoke json must omit throughput"
+        );
+    }
+
+    #[test]
+    fn full_json_records_cores_and_throughput() {
+        let mut m = measure_with(Scale::Smoke, 2048, 32 * 1024, false);
+        assert!(m.mat_matches_batch.is_none());
+        m.cores = Some(2);
+        let json = to_json(&m);
+        assert!(json.contains("\"cores\": 2"));
+        assert!(json.contains("ingest_records_per_sec"));
+        assert!(json.contains("scan_mb_per_sec"));
+        assert!(!json.contains("mat_matches_batch"));
+    }
+}

@@ -11,6 +11,7 @@ pub mod e17_obs;
 pub mod e18_ingest;
 pub mod e19_columnar;
 pub mod e1_scribe;
+pub mod e20_scale;
 pub mod e2_rollups;
 pub mod e3_codec;
 pub mod e4_compression;

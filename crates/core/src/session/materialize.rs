@@ -12,8 +12,8 @@ use std::collections::BTreeMap;
 
 use uli_thrift::ThriftRecord;
 use uli_warehouse::{
-    sniff_columnar, ColumnarFile, FileBlocks, HourlyPartition, Parallelism, ScanPool, Warehouse,
-    WarehouseResult, WhPath,
+    sniff_columnar, ColumnarFile, ExternalByteSorter, FileBlocks, HourlyPartition, MemoryTracker,
+    Parallelism, ScanPool, Warehouse, WarehouseResult, WhPath,
 };
 
 use super::dictionary::EventDictionary;
@@ -22,6 +22,27 @@ use super::sessionize::{SessionRecord, Sessionizer};
 use crate::client_event::{ClientEvent, CLIENT_EVENTS_CATEGORY};
 use crate::columnar::client_event_from_group;
 use crate::event::EventName;
+use crate::time::Timestamp;
+
+/// Order-preserving byte key for the streaming sorter: sorting these keys
+/// as raw bytes reproduces the batch output order `(user_id, session_id,
+/// start)`. Signed fields flip their sign bit so two's complement orders
+/// correctly; the session id NUL-escapes (`00 → 00 FF`, terminator
+/// `00 00`) so a short id sorts before any extension of it.
+fn session_sort_key(user_id: i64, session_id: &str, start: i64) -> Vec<u8> {
+    let mut key = Vec::with_capacity(18 + session_id.len());
+    key.extend_from_slice(&((user_id as u64) ^ (1 << 63)).to_be_bytes());
+    for b in session_id.bytes() {
+        if b == 0 {
+            key.extend_from_slice(&[0x00, 0xff]);
+        } else {
+            key.push(b);
+        }
+    }
+    key.extend_from_slice(&[0x00, 0x00]);
+    key.extend_from_slice(&((start as u64) ^ (1 << 63)).to_be_bytes());
+    key
+}
 
 /// The day directory of a category: `/logs/<cat>/YYYY/MM/DD`.
 pub fn day_dir(category: &str, day_index: u64) -> WhPath {
@@ -66,6 +87,14 @@ pub struct MaterializeReport {
     pub sequences_compressed_bytes: u64,
     /// Files written.
     pub files_written: u64,
+    /// Sort runs spilled to scratch files (streaming path only; the batch
+    /// path never spills and reports 0).
+    pub spill_runs: u64,
+    /// Bytes written to spill runs.
+    pub spill_bytes: u64,
+    /// Peak tracked memory of the streaming sorter, bytes (0 when
+    /// unbudgeted or batch).
+    pub mem_high_water_bytes: u64,
 }
 
 impl MaterializeReport {
@@ -133,6 +162,49 @@ impl Materializer {
         self.parallelism
     }
 
+    /// Scans one hour partition, invoking `f` per decoded event. Returns
+    /// `(events, skipped)` for the hour.
+    fn scan_hour(&self, hour: u64, mut f: impl FnMut(ClientEvent)) -> WarehouseResult<(u64, u64)> {
+        let mut events = 0;
+        let mut skipped = 0;
+        let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, hour).main_dir();
+        if !self.warehouse.exists(&dir) {
+            return Ok((0, 0));
+        }
+        for file in self.warehouse.list_files_recursive(&dir)? {
+            // Landings can mix layouts (the mover migrated mid-day, or a
+            // backfill used the other format) — sniff per file.
+            if sniff_columnar(&self.warehouse, &file)?.is_some() {
+                let handle = ColumnarFile::open(&self.warehouse, &file)?;
+                let all = vec![true; handle.columns()];
+                for g in 0..handle.group_count() {
+                    let group = handle.read_group(g, &all)?;
+                    for row in 0..group.rows() {
+                        match client_event_from_group(&handle, &group, row) {
+                            Some(ev) => {
+                                events += 1;
+                                f(ev);
+                            }
+                            None => skipped += 1,
+                        }
+                    }
+                }
+                continue;
+            }
+            let mut reader = self.warehouse.open(&file)?;
+            while let Some(record) = reader.next_record()? {
+                match ClientEvent::from_bytes(record) {
+                    Ok(ev) => {
+                        events += 1;
+                        f(ev);
+                    }
+                    Err(_) => skipped += 1,
+                }
+            }
+        }
+        Ok((events, skipped))
+    }
+
     /// Scans one day of client events, invoking `f` per decoded event.
     fn scan_day(
         &self,
@@ -142,41 +214,9 @@ impl Materializer {
         let mut events = 0;
         let mut skipped = 0;
         for hour in day_index * 24..(day_index + 1) * 24 {
-            let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, hour).main_dir();
-            if !self.warehouse.exists(&dir) {
-                continue;
-            }
-            for file in self.warehouse.list_files_recursive(&dir)? {
-                // Landings can mix layouts (the mover migrated mid-day, or a
-                // backfill used the other format) — sniff per file.
-                if sniff_columnar(&self.warehouse, &file)?.is_some() {
-                    let handle = ColumnarFile::open(&self.warehouse, &file)?;
-                    let all = vec![true; handle.columns()];
-                    for g in 0..handle.group_count() {
-                        let group = handle.read_group(g, &all)?;
-                        for row in 0..group.rows() {
-                            match client_event_from_group(&handle, &group, row) {
-                                Some(ev) => {
-                                    events += 1;
-                                    f(ev);
-                                }
-                                None => skipped += 1,
-                            }
-                        }
-                    }
-                    continue;
-                }
-                let mut reader = self.warehouse.open(&file)?;
-                while let Some(record) = reader.next_record()? {
-                    match ClientEvent::from_bytes(record) {
-                        Ok(ev) => {
-                            events += 1;
-                            f(ev);
-                        }
-                        Err(_) => skipped += 1,
-                    }
-                }
-            }
+            let (e, s) = self.scan_hour(hour, &mut f)?;
+            events += e;
+            skipped += s;
         }
         Ok((events, skipped))
     }
@@ -521,6 +561,165 @@ impl Materializer {
             raw_compressed_bytes: raw.compressed_bytes,
             sequences_compressed_bytes: seq_meta.compressed_bytes,
             files_written,
+            spill_runs: 0,
+            spill_bytes: 0,
+            mem_high_water_bytes: 0,
+        })
+    }
+
+    /// Streaming pass 2: identical output to [`Self::materialize_sequences`]
+    /// without ever materializing the day's events or session list.
+    ///
+    /// Events are consumed one hour partition at a time. A bounded window of
+    /// *open runs* (one per active `(user_id, session_id)` group) absorbs
+    /// each hour's arrivals; once the hour watermark passes a run's last
+    /// event by more than the inactivity gap, no future event can extend it
+    /// (hour `H+1` events all have timestamps ≥ the watermark), so the run
+    /// seals. Sealed sessions are dictionary-encoded immediately and fed to
+    /// an external sorter keyed on `(user_id, session_id, start)` — the
+    /// batch output order — which spills to scratch run files whenever
+    /// `budget` is exceeded. Peak state is therefore one hour of arrivals +
+    /// a ~`gap` window of open runs + the sorter's budget, independent of
+    /// day size, and the part files come out byte-identical to the batch
+    /// path at any worker count.
+    pub fn materialize_sequences_streaming(
+        &self,
+        day_index: u64,
+        dict: &EventDictionary,
+        budget: Option<u64>,
+    ) -> WarehouseResult<MaterializeReport> {
+        let gap = self.sessionizer.gap_ms();
+        let tracker = match budget {
+            Some(b) => MemoryTracker::with_budget(b),
+            None => MemoryTracker::unbounded(),
+        };
+        let mut sorter =
+            ExternalByteSorter::new(self.warehouse.clone(), tracker.clone(), "sessionize");
+        fn push_session(
+            sorter: &mut ExternalByteSorter,
+            user_id: i64,
+            session_id: &str,
+            run: Vec<ClientEvent>,
+            dict: &EventDictionary,
+        ) -> WarehouseResult<()> {
+            let record = Sessionizer::seal(user_id, session_id, run);
+            let Some(seq) = SessionSequence::encode(&record, dict) else {
+                // Dictionary built from the same scan covers every event;
+                // reaching here means passes saw different data.
+                debug_assert!(false, "event missing from same-day dictionary");
+                return Ok(());
+            };
+            let key = session_sort_key(record.user_id, &record.session_id, record.start.millis());
+            sorter.push(key, seq.to_bytes())
+        }
+
+        let mut events = 0u64;
+        let mut skipped = 0u64;
+        let mut open: BTreeMap<(i64, String), Vec<ClientEvent>> = BTreeMap::new();
+        for hour in day_index * 24..(day_index + 1) * 24 {
+            let mut arrivals: BTreeMap<(i64, String), Vec<ClientEvent>> = BTreeMap::new();
+            let (e, s) = self.scan_hour(hour, |ev| {
+                arrivals
+                    .entry((ev.user_id, ev.session_id.clone()))
+                    .or_default()
+                    .push(ev);
+            })?;
+            events += e;
+            skipped += s;
+            for ((user_id, session_id), mut new_evs) in arrivals {
+                // Stable sort: equal timestamps keep arrival order, and all
+                // prior hours' events sort strictly earlier, so appending to
+                // the open run reproduces the batch group-wide stable sort.
+                new_evs.sort_by_key(|ev| ev.timestamp);
+                let run = open.entry((user_id, session_id.clone())).or_default();
+                for ev in new_evs {
+                    let split = run
+                        .last()
+                        .is_some_and(|prev| ev.timestamp.since(prev.timestamp) > gap);
+                    if split {
+                        push_session(&mut sorter, user_id, &session_id, std::mem::take(run), dict)?;
+                    }
+                    run.push(ev);
+                }
+            }
+            // Bounded-window eviction: every event still to come has a
+            // timestamp ≥ the watermark, so a run trailing it by more than
+            // the gap is complete.
+            let watermark = Timestamp::from_hour_index(hour + 1).millis();
+            let expired: Vec<(i64, String)> = open
+                .iter()
+                .filter(|(_, run)| {
+                    run.last()
+                        .is_some_and(|last| watermark - last.timestamp.millis() > gap)
+                })
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in expired {
+                let run = open.remove(&key).expect("selected above");
+                push_session(&mut sorter, key.0, &key.1, run, dict)?;
+            }
+        }
+        for ((user_id, session_id), run) in std::mem::take(&mut open) {
+            push_session(&mut sorter, user_id, &session_id, run, dict)?;
+        }
+
+        let dir = sequences_dir(day_index);
+        if self.warehouse.exists(&dir) {
+            self.warehouse.delete_dir(&dir)?;
+        }
+        let mut sorted = sorter.finish()?;
+        let mut files_written = 0;
+        let mut writer = None;
+        let mut in_file = 0u64;
+        let mut part = 0u64;
+        let mut materialized = 0u64;
+        while let Some((_, bytes)) = sorted.next_entry()? {
+            if writer.is_none() {
+                let path = dir.child(&format!("part-{part:05}")).expect("valid");
+                writer = Some(self.warehouse.create(&path)?);
+                part += 1;
+            }
+            let w = writer.as_mut().expect("created above");
+            w.append_record(&bytes);
+            materialized += 1;
+            in_file += 1;
+            if in_file >= self.records_per_file {
+                writer.take().expect("present").finish()?;
+                files_written += 1;
+                in_file = 0;
+            }
+        }
+        drop(sorted);
+        if let Some(w) = writer.take() {
+            w.finish()?;
+            files_written += 1;
+        } else {
+            self.warehouse.mkdirs(&dir)?;
+        }
+
+        let raw = self
+            .warehouse
+            .dir_meta(&day_dir(CLIENT_EVENTS_CATEGORY, day_index))
+            .unwrap_or(uli_warehouse::FileMeta {
+                blocks: 0,
+                records: 0,
+                compressed_bytes: 0,
+                uncompressed_bytes: 0,
+            });
+        let seq_meta = self.warehouse.dir_meta(&dir)?;
+        Ok(MaterializeReport {
+            day_index,
+            events,
+            skipped,
+            distinct_events: dict.len() as u64,
+            sessions: materialized,
+            raw_uncompressed_bytes: raw.uncompressed_bytes,
+            raw_compressed_bytes: raw.compressed_bytes,
+            sequences_compressed_bytes: seq_meta.compressed_bytes,
+            files_written,
+            spill_runs: tracker.spill_runs(),
+            spill_bytes: tracker.spill_bytes(),
+            mem_high_water_bytes: tracker.high_water(),
         })
     }
 
@@ -748,6 +947,110 @@ mod tests {
                 "columnar landing must materialize identically at {workers} workers"
             );
         }
+    }
+
+    #[test]
+    fn streaming_materialize_matches_batch_at_any_worker_count() {
+        // Sessions that straddle hour boundaries (events 1s apart across
+        // the hour edge) exercise the watermark window, and 24 users give
+        // the batch shards real work. The streaming output must be
+        // byte-identical to every batch configuration.
+        let reference = {
+            let wh = Warehouse::new();
+            fixture(&wh, 0, 24, 20);
+            let m = Materializer::new(wh.clone()).with_parallelism(Parallelism::serial());
+            m.run_day(0).unwrap();
+            day_artifacts(&wh, 0)
+        };
+        for workers in [1usize, 4, 8] {
+            let wh = Warehouse::new();
+            fixture(&wh, 0, 24, 20);
+            let m = Materializer::new(wh.clone()).with_parallelism(Parallelism::fixed(workers));
+            let dict = m.build_dictionary(0).unwrap();
+            let report = m.materialize_sequences_streaming(0, &dict, None).unwrap();
+            assert!(report.sessions > 0);
+            assert_eq!(report.spill_runs, 0, "unbudgeted run must not spill");
+            assert_eq!(
+                day_artifacts(&wh, 0),
+                reference,
+                "streaming output diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_materialize_spills_under_budget_and_stays_identical() {
+        let reference = {
+            let wh = Warehouse::new();
+            fixture(&wh, 0, 24, 20);
+            Materializer::new(wh.clone()).run_day(0).unwrap();
+            day_artifacts(&wh, 0)
+        };
+        let wh = Warehouse::new();
+        fixture(&wh, 0, 24, 20);
+        let m = Materializer::new(wh.clone());
+        let dict = m.build_dictionary(0).unwrap();
+        let budget = 2048;
+        let report = m
+            .materialize_sequences_streaming(0, &dict, Some(budget))
+            .unwrap();
+        assert!(report.spill_runs > 0, "tiny budget must force spills");
+        assert!(report.spill_bytes > 0);
+        assert!(report.mem_high_water_bytes <= budget);
+        assert_eq!(day_artifacts(&wh, 0), reference);
+        // Scratch runs are cleaned up even though we spilled.
+        let spill_root = WhPath::parse(uli_warehouse::SPILL_ROOT).unwrap();
+        assert!(
+            !wh.exists(&spill_root) || wh.list_files_recursive(&spill_root).unwrap().is_empty(),
+            "spill scratch files survived materialization"
+        );
+    }
+
+    #[test]
+    fn streaming_materialize_session_splits_match_batch_across_hours() {
+        // A session idle for > gap inside the day must split identically in
+        // both paths, including when the split crosses an hour boundary.
+        let wh = Warehouse::new();
+        let dir0 = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, 0).main_dir();
+        let mut w = wh.create(&dir0.child("part-00000").unwrap()).unwrap();
+        // Two bursts in hour 0 separated by > 30 min, then a burst in hour 2.
+        for (t, action) in [
+            (0, "click"),
+            (1000, "impression"),
+            (40 * 60 * 1000, "click"),
+        ] {
+            let ev = ClientEvent::new(
+                EventInitiator::CLIENT_USER,
+                n(&format!("web:home:home:stream:tweet:{action}")),
+                7,
+                "s-weird",
+                "10.0.0.1",
+                Timestamp(t),
+            );
+            w.append_record(&ev.to_bytes());
+        }
+        w.finish().unwrap();
+        let dir2 = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, 2).main_dir();
+        let mut w = wh.create(&dir2.child("part-00000").unwrap()).unwrap();
+        let ev = ClientEvent::new(
+            EventInitiator::CLIENT_USER,
+            n("web:home:home:stream:tweet:follow"),
+            7,
+            "s-weird",
+            "10.0.0.1",
+            Timestamp::from_hour_index(2).plus(5000),
+        );
+        w.append_record(&ev.to_bytes());
+        w.finish().unwrap();
+
+        let m = Materializer::new(wh.clone());
+        let dict = m.build_dictionary(0).unwrap();
+        let batch = m.materialize_sequences(0, &dict).unwrap();
+        let batch_files = day_artifacts(&wh, 0);
+        let streaming = m.materialize_sequences_streaming(0, &dict, None).unwrap();
+        assert_eq!(batch.sessions, 3, "two idle gaps → three sessions");
+        assert_eq!(streaming.sessions, batch.sessions);
+        assert_eq!(day_artifacts(&wh, 0), batch_files);
     }
 
     #[test]

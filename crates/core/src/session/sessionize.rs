@@ -105,7 +105,7 @@ impl Sessionizer {
         out
     }
 
-    fn seal(user_id: i64, session_id: &str, events: Vec<ClientEvent>) -> SessionRecord {
+    pub(crate) fn seal(user_id: i64, session_id: &str, events: Vec<ClientEvent>) -> SessionRecord {
         let first = events.first().expect("seal is called with events");
         let last = events.last().expect("non-empty");
         SessionRecord {

@@ -12,9 +12,10 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use uli_obs::{Counter, Registry};
+use uli_obs::{Counter, Gauge, Registry};
 use uli_warehouse::{
-    sniff_columnar, ColumnarFile, FileBlocks, Parallelism, ScanPool, Warehouse, ZoneMapPruner,
+    sniff_columnar, ColumnarFile, FileBlocks, MemoryTracker, Parallelism, ScanPool, Warehouse,
+    ZoneMapPruner,
 };
 
 use crate::batch::scan_group;
@@ -25,6 +26,7 @@ use crate::plan::{Agg, Plan, PlanNode, SortOrder};
 use crate::pushdown::{
     collect_columns, expr_has_udf, total_boolean, zone_constraints, Pushdown, ScanSpec, ZoneColumn,
 };
+use crate::spill::{AggSpiller, RowOrder, RowSpillSorter};
 use crate::udf::AggState;
 use crate::value::{tuple_wire_size, Tuple, Value};
 
@@ -59,6 +61,13 @@ pub struct JobStats {
     /// Fields a lazy loader skipped without materializing (projection
     /// pushdown).
     pub fields_skipped: u64,
+    /// Run files spilled by budgeted operators (0 without a memory budget).
+    pub spill_runs: u64,
+    /// Bytes written to spill run files.
+    pub spill_bytes: u64,
+    /// Peak operator-buffer bytes, in the deterministic wire-size cost
+    /// currency (0 without a memory budget).
+    pub mem_high_water_bytes: u64,
 }
 
 /// Cluster constants turning [`JobStats`] into estimated milliseconds.
@@ -186,6 +195,11 @@ struct EngineObs {
     output_records: Counter,
     records_skipped_by_predicate: Counter,
     fields_skipped: Counter,
+    spill_runs: Counter,
+    spill_bytes: Counter,
+    /// Raise-only mirror of the per-query peak operator-buffer bytes, so
+    /// the exported value is the max over all queries this engine ran.
+    memory_high_water_bytes: Gauge,
     rows_in: BTreeMap<&'static str, Counter>,
     rows_out: BTreeMap<&'static str, Counter>,
     /// Rows returned by completed child stages of the node currently
@@ -212,6 +226,9 @@ impl EngineObs {
         let output_records = c("output_records");
         let records_skipped_by_predicate = c("records_skipped_by_predicate");
         let fields_skipped = c("fields_skipped");
+        let spill_runs = c("spill_runs");
+        let spill_bytes = c("spill_bytes");
+        let memory_high_water_bytes = registry.gauge("dataflow", "memory_high_water_bytes");
         let mut rows_in = BTreeMap::new();
         let mut rows_out = BTreeMap::new();
         for kind in STAGE_KINDS {
@@ -240,6 +257,9 @@ impl EngineObs {
             output_records,
             records_skipped_by_predicate,
             fields_skipped,
+            spill_runs,
+            spill_bytes,
+            memory_high_water_bytes,
             rows_in,
             rows_out,
             child_rows: AtomicU64::new(0),
@@ -263,6 +283,10 @@ impl EngineObs {
         self.records_skipped_by_predicate
             .add(s.records_skipped_by_predicate);
         self.fields_skipped.add(s.fields_skipped);
+        self.spill_runs.add(s.spill_runs);
+        self.spill_bytes.add(s.spill_bytes);
+        self.memory_high_water_bytes
+            .raise(s.mem_high_water_bytes.min(i64::MAX as u64) as i64);
     }
 }
 
@@ -278,6 +302,10 @@ pub struct Engine {
     pushdown: Pushdown,
     /// Records per simulated reduce task.
     reduce_keys_per_task: u64,
+    /// Operator memory budget in cost-model bytes; `None` = unbounded.
+    /// When set, ORDER/GROUP/DISTINCT/aggregation spill to warehouse run
+    /// files instead of growing beyond the budget.
+    mem_budget: Option<u64>,
     /// Registry-backed telemetry, when attached.
     obs: Option<EngineObs>,
 }
@@ -291,6 +319,7 @@ impl Engine {
             parallelism: Parallelism::default(),
             pushdown: Pushdown::default(),
             reduce_keys_per_task: 1 << 20,
+            mem_budget: None,
             obs: None,
         }
     }
@@ -303,8 +332,24 @@ impl Engine {
             parallelism: Parallelism::default(),
             pushdown: Pushdown::default(),
             reduce_keys_per_task: 1 << 20,
+            mem_budget: None,
             obs: None,
         }
+    }
+
+    /// Caps operator buffer memory (in deterministic cost-model bytes).
+    /// Budgeted operators spill sorted run files to the warehouse and
+    /// k-way merge them back, producing rows byte-identical to the
+    /// unbounded path at any budget. The budget must fit at least one
+    /// entry (one row, or one group's aggregate states).
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// The configured memory budget, if any.
+    pub fn mem_budget(&self) -> Option<u64> {
+        self.mem_budget
     }
 
     /// Attaches registry-backed telemetry under the `dataflow` component:
@@ -353,7 +398,16 @@ impl Engine {
             o.child_rows.store(0, Ordering::Relaxed);
             o.registry.span("dataflow", "query")
         });
-        let (rows, pending) = self.exec(plan, &mut stats)?;
+        // Fresh tracker per query: spill counters and the high-water mark
+        // are per-query quantities (mirrored cumulatively by EngineObs).
+        let mem = match self.mem_budget {
+            Some(b) => MemoryTracker::with_budget(b),
+            None => MemoryTracker::unbounded(),
+        };
+        let (rows, pending) = self.exec(plan, &mem, &mut stats)?;
+        stats.spill_runs = mem.spill_runs();
+        stats.spill_bytes = mem.spill_bytes();
+        stats.mem_high_water_bytes = mem.high_water();
         // A plan that scanned data but never shuffled is a map-only job.
         if pending.tasks > 0 && stats.mr_jobs == 0 {
             stats.mr_jobs = 1;
@@ -548,6 +602,7 @@ impl Engine {
         chain: &MapChain<'_>,
         keys: &[usize],
         aggs: &[Agg],
+        mem: &MemoryTracker,
         stats: &mut JobStats,
     ) -> DataflowResult<(Vec<Tuple>, MapInput)> {
         let (partials, pending) = self.exec_chain_blocks(chain, stats, |rows| {
@@ -558,25 +613,41 @@ impl Engine {
         let mut rows_in = 0u64;
         let mut bytes_in = 0u64;
         let mut combiner_records = 0u64;
-        let mut merged: BTreeMap<Vec<Value>, Vec<AggState>> = BTreeMap::new();
-        for (n, bytes, partial) in partials {
-            rows_in += n;
-            bytes_in += bytes;
-            combiner_records += partial.len() as u64;
-            for (key, states) in partial {
-                match merged.entry(key) {
-                    std::collections::btree_map::Entry::Vacant(slot) => {
-                        slot.insert(states);
-                    }
-                    std::collections::btree_map::Entry::Occupied(mut slot) => {
-                        for (acc, state) in slot.get_mut().iter_mut().zip(states) {
-                            acc.merge(state)?;
+        let out = if mem.budget().is_some() {
+            // Bounded-memory combine: the merged partial map spills
+            // key-sorted runs; block order is preserved (partials arrive in
+            // block order, runs merge earliest-first).
+            let mut spiller = AggSpiller::new(self.warehouse.clone(), mem.clone(), aggs);
+            for (n, bytes, partial) in partials {
+                rows_in += n;
+                bytes_in += bytes;
+                combiner_records += partial.len() as u64;
+                for (key, states) in partial {
+                    spiller.merge_partial(key, states)?;
+                }
+            }
+            spiller.finish(keys.is_empty())?
+        } else {
+            let mut merged: BTreeMap<Vec<Value>, Vec<AggState>> = BTreeMap::new();
+            for (n, bytes, partial) in partials {
+                rows_in += n;
+                bytes_in += bytes;
+                combiner_records += partial.len() as u64;
+                for (key, states) in partial {
+                    match merged.entry(key) {
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            slot.insert(states);
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut slot) => {
+                            for (acc, state) in slot.get_mut().iter_mut().zip(states) {
+                                acc.merge(state)?;
+                            }
                         }
                     }
                 }
             }
-        }
-        let out = finish_groups(merged, keys, aggs);
+            finish_groups(merged, keys, aggs)
+        };
         let n_groups = out.len() as u64;
         let avg_record = bytes_in.checked_div(rows_in).unwrap_or(0);
         let shuffle_bytes = combiner_records * avg_record.max(8);
@@ -590,15 +661,20 @@ impl Engine {
     /// or — for leaves and collapsed map chains, which have no child exec
     /// calls — the records the scan read (predicate-skipped records are
     /// already included in `input_records`).
-    fn exec(&self, plan: &Plan, stats: &mut JobStats) -> DataflowResult<(Vec<Tuple>, MapInput)> {
+    fn exec(
+        &self,
+        plan: &Plan,
+        mem: &MemoryTracker,
+        stats: &mut JobStats,
+    ) -> DataflowResult<(Vec<Tuple>, MapInput)> {
         let Some(obs) = &self.obs else {
-            return self.exec_node(plan, stats);
+            return self.exec_node(plan, mem, stats);
         };
         let kind = stage_kind(&plan.node);
         let _span = obs.registry.span("dataflow", kind);
         let scanned_before = stats.input_records;
         let parent_rows = obs.child_rows.swap(0, Ordering::Relaxed);
-        let result = self.exec_node(plan, stats);
+        let result = self.exec_node(plan, mem, stats);
         let child_rows = obs.child_rows.load(Ordering::Relaxed);
         if let Ok((rows, _)) = &result {
             let rows_in = if child_rows > 0 {
@@ -617,6 +693,7 @@ impl Engine {
     fn exec_node(
         &self,
         plan: &Plan,
+        mem: &MemoryTracker,
         stats: &mut JobStats,
     ) -> DataflowResult<(Vec<Tuple>, MapInput)> {
         // A LOAD → FILTER → FOREACH chain is a pure map phase: run it
@@ -696,7 +773,7 @@ impl Engine {
             }
             PlanNode::Values { rows, .. } => Ok((rows.clone(), MapInput::default())),
             PlanNode::Filter { input, predicate } => {
-                let (rows, pending) = self.exec(input, stats)?;
+                let (rows, pending) = self.exec(input, mem, stats)?;
                 let mut out = Vec::with_capacity(rows.len() / 2);
                 for row in rows {
                     match predicate.eval(&row)? {
@@ -708,7 +785,7 @@ impl Engine {
                 Ok((out, pending))
             }
             PlanNode::Foreach { input, exprs } => {
-                let (rows, pending) = self.exec(input, stats)?;
+                let (rows, pending) = self.exec(input, mem, stats)?;
                 let mut out = Vec::with_capacity(rows.len());
                 for row in rows {
                     let mut t = Vec::with_capacity(exprs.len());
@@ -720,26 +797,60 @@ impl Engine {
                 Ok((out, pending))
             }
             PlanNode::GroupBy { input, keys } => {
-                let (rows, pending) = self.exec(input, stats)?;
+                let (rows, pending) = self.exec(input, mem, stats)?;
                 let rows_in = rows.len() as u64;
                 let bytes_in: u64 = rows.iter().map(|t| tuple_wire_size(t)).sum();
-                let mut groups: BTreeMap<Vec<Value>, Vec<Tuple>> = BTreeMap::new();
-                for row in rows {
-                    let key: Vec<Value> = keys.iter().map(|k| row[*k].clone()).collect();
-                    groups.entry(key).or_default().push(row);
-                }
-                // GROUP ALL over an empty input still yields no group (Pig
-                // semantics: the group simply does not exist).
-                let n_groups = groups.len() as u64;
+                let out: Vec<Tuple> = if mem.budget().is_some() {
+                    // Bounded-memory grouping: external sort on the key
+                    // columns (sequence numbers keep insertion order within
+                    // a key), then one consecutive-grouping pass. Key order
+                    // and bag order match the BTreeMap path exactly.
+                    let order = RowOrder::Cols(keys.iter().map(|k| (*k, SortOrder::Asc)).collect());
+                    let mut sorter =
+                        RowSpillSorter::new(self.warehouse.clone(), mem.clone(), order, "group_by");
+                    for row in rows {
+                        sorter.push(row)?;
+                    }
+                    let mut stream = sorter.finish()?;
+                    let mut out = Vec::new();
+                    let mut cur: Option<(Vec<Value>, Vec<Tuple>)> = None;
+                    while let Some(row) = stream.next_row()? {
+                        let key: Vec<Value> = keys.iter().map(|k| row[*k].clone()).collect();
+                        match &mut cur {
+                            Some((k, bag)) if *k == key => bag.push(row),
+                            _ => {
+                                if let Some((mut k, bag)) = cur.take() {
+                                    k.push(Value::Bag(bag));
+                                    out.push(k);
+                                }
+                                cur = Some((key, vec![row]));
+                            }
+                        }
+                    }
+                    if let Some((mut k, bag)) = cur.take() {
+                        k.push(Value::Bag(bag));
+                        out.push(k);
+                    }
+                    out
+                } else {
+                    let mut groups: BTreeMap<Vec<Value>, Vec<Tuple>> = BTreeMap::new();
+                    for row in rows {
+                        let key: Vec<Value> = keys.iter().map(|k| row[*k].clone()).collect();
+                        groups.entry(key).or_default().push(row);
+                    }
+                    // GROUP ALL over an empty input still yields no group
+                    // (Pig semantics: the group simply does not exist).
+                    groups
+                        .into_iter()
+                        .map(|(mut key, bag)| {
+                            key.push(Value::Bag(bag));
+                            key
+                        })
+                        .collect()
+                };
+                let n_groups = out.len() as u64;
                 // Bags are holistic: every row crosses the shuffle.
                 let next = self.charge_shuffle(stats, pending, rows_in, bytes_in, n_groups);
-                let out: Vec<Tuple> = groups
-                    .into_iter()
-                    .map(|(mut key, bag)| {
-                        key.push(Value::Bag(bag));
-                        key
-                    })
-                    .collect();
                 Ok((out, next))
             }
             PlanNode::Aggregate { input, keys, aggs } => {
@@ -751,12 +862,23 @@ impl Engine {
                     && aggs.iter().all(|a| a.func.is_algebraic())
                 {
                     if let Some(chain) = MapChain::extract(input, self.pushdown) {
-                        return self.exec_parallel_aggregate(&chain, keys, aggs, stats);
+                        return self.exec_parallel_aggregate(&chain, keys, aggs, mem, stats);
                     }
                 }
-                let (rows, pending) = self.exec(input, stats)?;
+                let (rows, pending) = self.exec(input, mem, stats)?;
                 let rows_in = rows.len() as u64;
-                let out = aggregate_rows(&rows, keys, aggs)?;
+                let out = if mem.budget().is_some() {
+                    // Bounded-memory reduce: the group→state map spills
+                    // key-sorted runs; runs merge back in arrival order.
+                    let mut spiller = AggSpiller::new(self.warehouse.clone(), mem.clone(), aggs);
+                    for row in &rows {
+                        let key: Vec<Value> = keys.iter().map(|k| row[*k].clone()).collect();
+                        spiller.accumulate_row(key, row)?;
+                    }
+                    spiller.finish(keys.is_empty())?
+                } else {
+                    aggregate_rows(&rows, keys, aggs)?
+                };
                 let n_groups = out.len() as u64;
                 // Combiner: algebraic aggregates shuffle at most
                 // (groups × map tasks) records; holistic ones shuffle all.
@@ -779,8 +901,8 @@ impl Engine {
                 left_keys,
                 right_keys,
             } => {
-                let (lrows, lpend) = self.exec(left, stats)?;
-                let (rrows, rpend) = self.exec(right, stats)?;
+                let (lrows, lpend) = self.exec(left, mem, stats)?;
+                let (rrows, rpend) = self.exec(right, mem, stats)?;
                 let shuffle_records = (lrows.len() + rrows.len()) as u64;
                 let shuffle_bytes: u64 = lrows
                     .iter()
@@ -816,22 +938,26 @@ impl Engine {
                 Ok((out, next))
             }
             PlanNode::OrderBy { input, keys } => {
-                let (mut rows, pending) = self.exec(input, stats)?;
+                let (mut rows, pending) = self.exec(input, mem, stats)?;
                 let shuffle_records = rows.len() as u64;
                 let shuffle_bytes: u64 = rows.iter().map(|t| tuple_wire_size(t)).sum();
-                rows.sort_by(|a, b| {
-                    for (k, order) in keys {
-                        let cmp = a[*k].cmp(&b[*k]);
-                        let cmp = match order {
-                            SortOrder::Asc => cmp,
-                            SortOrder::Desc => cmp.reverse(),
-                        };
-                        if cmp != std::cmp::Ordering::Equal {
-                            return cmp;
-                        }
+                let order = RowOrder::Cols(keys.clone());
+                if mem.budget().is_some() {
+                    // External merge sort; sequence numbers reproduce the
+                    // in-memory sort's stability exactly.
+                    let mut sorter =
+                        RowSpillSorter::new(self.warehouse.clone(), mem.clone(), order, "order_by");
+                    for row in rows {
+                        sorter.push(row)?;
                     }
-                    std::cmp::Ordering::Equal
-                });
+                    let mut stream = sorter.finish()?;
+                    rows = Vec::new();
+                    while let Some(row) = stream.next_row()? {
+                        rows.push(row);
+                    }
+                } else {
+                    rows.sort_by(|a, b| order.cmp_rows(a, b));
+                }
                 let next = self.charge_shuffle(
                     stats,
                     pending,
@@ -842,16 +968,39 @@ impl Engine {
                 Ok((rows, next))
             }
             PlanNode::Distinct { input } => {
-                let (rows, pending) = self.exec(input, stats)?;
+                let (rows, pending) = self.exec(input, mem, stats)?;
                 let rows_in = rows.len() as u64;
-                let mut set: BTreeMap<Tuple, ()> = BTreeMap::new();
-                for row in rows {
-                    set.insert(row, ());
-                }
-                let n_groups = set.len() as u64;
+                let out: Vec<Tuple> = if mem.budget().is_some() {
+                    // Bounded-memory dedup: whole-tuple external sort, then
+                    // drop consecutive duplicates. Output order (ascending
+                    // tuples) matches the BTreeMap path.
+                    let mut sorter = RowSpillSorter::new(
+                        self.warehouse.clone(),
+                        mem.clone(),
+                        RowOrder::WholeTuple,
+                        "distinct",
+                    );
+                    for row in rows {
+                        sorter.push(row)?;
+                    }
+                    let mut stream = sorter.finish()?;
+                    let mut out: Vec<Tuple> = Vec::new();
+                    while let Some(row) = stream.next_row()? {
+                        if out.last().is_none_or(|prev| *prev != row) {
+                            out.push(row);
+                        }
+                    }
+                    out
+                } else {
+                    let mut set: BTreeMap<Tuple, ()> = BTreeMap::new();
+                    for row in rows {
+                        set.insert(row, ());
+                    }
+                    set.into_keys().collect()
+                };
+                let n_groups = out.len() as u64;
                 // DISTINCT has a combiner (dedup map-side).
                 let shuffle_records = rows_in.min(n_groups.saturating_mul(pending.tasks.max(1)));
-                let out: Vec<Tuple> = set.into_keys().collect();
                 let shuffle_bytes: u64 = out.iter().map(|t| tuple_wire_size(t)).sum();
                 let next =
                     self.charge_shuffle(stats, pending, shuffle_records, shuffle_bytes, n_groups);
@@ -861,7 +1010,7 @@ impl Engine {
                 let mut rows = Vec::new();
                 let mut pending = MapInput::default();
                 for input in inputs {
-                    let (mut r, p) = self.exec(input, stats)?;
+                    let (mut r, p) = self.exec(input, mem, stats)?;
                     rows.append(&mut r);
                     pending.tasks += p.tasks;
                     pending.bytes += p.bytes;
@@ -869,7 +1018,53 @@ impl Engine {
                 Ok((rows, pending))
             }
             PlanNode::Limit { input, n } => {
-                let (mut rows, pending) = self.exec(input, stats)?;
+                // ORDER → LIMIT(k): top-K short-circuit. Instead of fully
+                // sorting the input (O(n log n) time, O(n) reducer state),
+                // keep a bounded buffer of the best k rows. Sequence
+                // numbers break ties, so the output equals the stable full
+                // sort truncated to k. The ORDER's shuffle is still charged
+                // — rows cross the shuffle either way; only reducer work
+                // and memory shrink.
+                if let PlanNode::OrderBy { input: inner, keys } = &input.node {
+                    let (rows, pending) = self.exec(inner, mem, stats)?;
+                    let shuffle_records = rows.len() as u64;
+                    let shuffle_bytes: u64 = rows.iter().map(|t| tuple_wire_size(t)).sum();
+                    let order = RowOrder::Cols(keys.clone());
+                    let k = *n;
+                    let mut best: Vec<(u64, Tuple)> = Vec::with_capacity(k.saturating_add(1));
+                    for (seq, row) in rows.into_iter().enumerate() {
+                        if k == 0 {
+                            break;
+                        }
+                        let entry = (seq as u64, row);
+                        if best.len() == k
+                            && order
+                                .cmp_rows(&entry.1, &best[k - 1].1)
+                                .then(entry.0.cmp(&best[k - 1].0))
+                                != std::cmp::Ordering::Less
+                        {
+                            continue;
+                        }
+                        let at = best
+                            .binary_search_by(|probe| {
+                                order
+                                    .cmp_rows(&probe.1, &entry.1)
+                                    .then(probe.0.cmp(&entry.0))
+                            })
+                            .unwrap_err();
+                        best.insert(at, entry);
+                        best.truncate(k);
+                    }
+                    let next = self.charge_shuffle(
+                        stats,
+                        pending,
+                        shuffle_records,
+                        shuffle_bytes,
+                        shuffle_records,
+                    );
+                    return Ok((best.into_iter().map(|(_, row)| row).collect(), next));
+                }
+                let (mut rows, pending) = self.exec(input, mem, stats)?;
                 rows.truncate(*n);
                 Ok((rows, pending))
             }

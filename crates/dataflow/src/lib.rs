@@ -53,8 +53,11 @@ pub mod loader;
 pub mod plan;
 pub mod pushdown;
 pub mod script;
+pub mod sketch;
+pub(crate) mod spill;
 pub mod udf;
 pub mod value;
+pub mod wire;
 
 pub use batch::{scan_group, ColumnBatch, ColumnarCodec, TextCodec};
 pub use error::{DataflowError, DataflowResult};

@@ -89,6 +89,29 @@ impl Agg {
         }
     }
 
+    /// `APPROX_COUNT_DISTINCT($col)` — HyperLogLog sketch: fixed 4 KiB of
+    /// state per group, algebraic (combiner-friendly), ~1.6% standard error.
+    /// The opt-in bounded-memory alternative to [`Agg::count_distinct`].
+    pub fn approx_count_distinct(col: usize) -> Agg {
+        Agg {
+            func: AggFunc::ApproxCountDistinct,
+            col,
+            name: "approx_count_distinct".into(),
+        }
+    }
+
+    /// `APPROX_PERCENTILE($col, q)` — log-linear histogram sketch; `q` in
+    /// `[0, 1]` (0.5 = median). Never under-reports; over-reports by at
+    /// most the ~25% bucket width.
+    pub fn approx_percentile(col: usize, q: f64) -> Agg {
+        let q_bp = (q.clamp(0.0, 1.0) * 10_000.0).round() as u32;
+        Agg {
+            func: AggFunc::ApproxPercentile(q_bp),
+            col,
+            name: format!("approx_p{q_bp}"),
+        }
+    }
+
     /// Renames the output column.
     pub fn named(mut self, name: impl Into<String>) -> Agg {
         self.name = name.into();

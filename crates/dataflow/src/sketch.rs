@@ -1,0 +1,350 @@
+//! Bounded-memory aggregate sketches: HyperLogLog distinct counts and
+//! log-linear-bucket percentiles.
+//!
+//! Exact DISTINCT and exact percentiles are *holistic* — their state grows
+//! with the number of distinct inputs, which is exactly the O(day)
+//! structure the bounded-memory work bans. Both sketches here are
+//! fixed-size (4 KiB and 2 KiB respectively), and both merge
+//! **deterministically**: the merge is commutative, associative, and
+//! idempotent-friendly (register max / bucket add), so map-side partials
+//! combined in any grouping produce the same final state as a single
+//! serial pass. That determinism is what lets the approximate plan nodes
+//! ride the existing parallel-combine machinery without violating the
+//! engine's byte-identical-across-workers contract.
+//!
+//! The percentile sketch reuses `uli-obs`'s log-linear bucket layout
+//! ([`uli_obs::metric::bucket_index`]): 256 buckets, exact below 16, four
+//! linear sub-buckets per octave, ≤ 25% relative error per bucket.
+
+use crate::value::Value;
+
+/// Precision: 2^12 = 4096 registers, ~1.6% relative standard error.
+const HLL_P: u32 = 12;
+/// Number of HLL registers.
+pub const HLL_REGISTERS: usize = 1 << HLL_P;
+
+/// FNV-1a 64-bit over a byte slice, with a murmur3-style finalizer. Plain
+/// FNV's high bits barely move when inputs differ only in trailing bytes
+/// (e.g. small consecutive ints), and HLL takes its register index from the
+/// top bits — the finalizer's shift-xor-multiply rounds avalanche every
+/// input bit across the whole word. Deterministic and dependency-free.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// A HyperLogLog distinct-count sketch (p = 12, 4096 one-byte registers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hll {
+    registers: Vec<u8>,
+}
+
+impl Default for Hll {
+    fn default() -> Self {
+        Hll::new()
+    }
+}
+
+impl Hll {
+    /// An empty sketch.
+    pub fn new() -> Hll {
+        Hll {
+            registers: vec![0u8; HLL_REGISTERS],
+        }
+    }
+
+    /// Folds in one value. Values hash via their wire encoding, so any two
+    /// equal `Value`s (including across clones) collide by construction.
+    pub fn insert(&mut self, v: &Value) {
+        let mut bytes = Vec::with_capacity(16);
+        crate::wire::encode_value(v, &mut bytes);
+        self.insert_hash(fnv1a(&bytes));
+    }
+
+    /// Folds in a pre-computed 64-bit hash.
+    pub fn insert_hash(&mut self, hash: u64) {
+        let idx = (hash >> (64 - HLL_P)) as usize;
+        let rest = hash << HLL_P;
+        // Rank: position of the first 1-bit in the remaining 52 bits.
+        let rank = (rest.leading_zeros().min(64 - HLL_P) + 1) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Merges another sketch in (register-wise max): commutative,
+    /// associative, and exactly equal to having inserted both input
+    /// streams into one sketch.
+    pub fn merge(&mut self, other: &Hll) {
+        for (a, b) in self.registers.iter_mut().zip(&other.registers) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// The cardinality estimate, with linear-counting correction for the
+    /// small range.
+    pub fn estimate(&self) -> u64 {
+        let m = HLL_REGISTERS as f64;
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let raw = alpha * m * m / sum;
+        let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+        if raw <= 2.5 * m && zeros > 0 {
+            // Linear counting dominates in the small range.
+            (m * (m / zeros as f64).ln()).round() as u64
+        } else {
+            raw.round() as u64
+        }
+    }
+
+    /// Fixed-size serialization (the raw registers) for spill run files.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.registers.clone()
+    }
+
+    /// Inverse of [`Hll::to_bytes`]; `None` when the length is wrong.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Hll> {
+        if bytes.len() != HLL_REGISTERS {
+            return None;
+        }
+        Some(Hll {
+            registers: bytes.to_vec(),
+        })
+    }
+
+    /// Deterministic memory cost charged against the operator budget.
+    pub fn cost_bytes() -> u64 {
+        HLL_REGISTERS as u64
+    }
+}
+
+/// A fixed-size percentile sketch over the `uli-obs` log-linear buckets.
+///
+/// Samples are taken as non-negative integers (doubles round, negatives
+/// clamp to zero — the intended domain is latencies/sizes/counts). The
+/// quantile estimate is the **upper bound** of the bucket holding the
+/// target rank, so it never under-reports and over-reports by at most the
+/// bucket width (≤ 25% relative).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PercentileSketch {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for PercentileSketch {
+    fn default() -> Self {
+        PercentileSketch::new()
+    }
+}
+
+impl PercentileSketch {
+    /// An empty sketch.
+    pub fn new() -> PercentileSketch {
+        PercentileSketch {
+            counts: vec![0u64; uli_obs::metric::BUCKETS as usize],
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        self.counts[uli_obs::metric::bucket_index(sample) as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Records a `Value` (ints/doubles; doubles round, negatives clamp).
+    pub fn record_value(&mut self, v: &Value) {
+        if let Some(d) = v.as_double() {
+            self.record(d.round().max(0.0) as u64);
+        }
+    }
+
+    /// Merges another sketch in (element-wise add): commutative and
+    /// associative.
+    pub fn merge(&mut self, other: &PercentileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.total += other.total;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The value at quantile `q_bp` (basis points: 5000 = median, 9900 =
+    /// p99), or `None` when empty. Returns the containing bucket's upper
+    /// bound.
+    pub fn quantile_bp(&self, q_bp: u32) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        // Target rank, 1-based: ceil(q * total), at least 1.
+        let rank = ((self.total as u128 * q_bp as u128).div_ceil(10_000) as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(uli_obs::metric::bucket_bounds(i as u32).1);
+            }
+        }
+        Some(uli_obs::metric::bucket_bounds(uli_obs::metric::BUCKETS - 1).1)
+    }
+
+    /// Serialization for spill run files: total then each bucket, all
+    /// big-endian u64.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * (1 + self.counts.len()));
+        out.extend_from_slice(&self.total.to_be_bytes());
+        for &c in &self.counts {
+            out.extend_from_slice(&c.to_be_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`PercentileSketch::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<PercentileSketch> {
+        let want = 8 * (1 + uli_obs::metric::BUCKETS as usize);
+        if bytes.len() != want {
+            return None;
+        }
+        let total = u64::from_be_bytes(bytes[..8].try_into().unwrap());
+        let counts: Vec<u64> = bytes[8..]
+            .chunks_exact(8)
+            .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
+            .collect();
+        Some(PercentileSketch { counts, total })
+    }
+
+    /// Deterministic memory cost charged against the operator budget.
+    pub fn cost_bytes() -> u64 {
+        8 * (1 + uli_obs::metric::BUCKETS as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hll_small_counts_are_near_exact() {
+        let mut h = Hll::new();
+        for i in 0..100i64 {
+            h.insert(&Value::Int(i));
+            h.insert(&Value::Int(i)); // duplicates must not count
+        }
+        let est = h.estimate();
+        assert!((95..=105).contains(&est), "estimate {est} for 100 distinct");
+    }
+
+    #[test]
+    fn hll_error_is_bounded_at_10k_distinct() {
+        let mut h = Hll::new();
+        for i in 0..10_000i64 {
+            h.insert(&Value::Int(i * 7919));
+        }
+        let est = h.estimate() as f64;
+        let err = (est - 10_000.0).abs() / 10_000.0;
+        assert!(
+            err < 0.05,
+            "relative error {err:.3} out of bounds (est {est})"
+        );
+    }
+
+    #[test]
+    fn hll_merge_equals_single_stream() {
+        let mut all = Hll::new();
+        let mut left = Hll::new();
+        let mut right = Hll::new();
+        for i in 0..5_000i64 {
+            let v = Value::Int(i % 3_000); // overlap between halves
+            all.insert(&v);
+            if i % 2 == 0 {
+                left.insert(&v);
+            } else {
+                right.insert(&v);
+            }
+        }
+        let mut lr = left.clone();
+        lr.merge(&right);
+        let mut rl = right.clone();
+        rl.merge(&left);
+        assert_eq!(lr, all, "merge must equal single-stream state");
+        assert_eq!(rl, all, "merge must be commutative");
+    }
+
+    #[test]
+    fn hll_roundtrips_bytes() {
+        let mut h = Hll::new();
+        for i in 0..500i64 {
+            h.insert(&Value::Int(i));
+        }
+        assert_eq!(Hll::from_bytes(&h.to_bytes()).unwrap(), h);
+        assert!(Hll::from_bytes(&[0u8; 3]).is_none());
+    }
+
+    #[test]
+    fn percentile_upper_bound_never_under_reports() {
+        let mut s = PercentileSketch::new();
+        let samples: Vec<u64> = (1..=1000).map(|i| i * 13 % 4096).collect();
+        for &v in &samples {
+            s.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q_bp in [5000u32, 9500, 9900] {
+            let rank = ((sorted.len() as u64 * q_bp as u64).div_ceil(10_000)).max(1) as usize;
+            let exact = sorted[rank - 1];
+            let est = s.quantile_bp(q_bp).unwrap();
+            assert!(est >= exact, "q{q_bp}: est {est} < exact {exact}");
+            assert!(
+                est as f64 <= exact as f64 * 1.25 + 1.0,
+                "q{q_bp}: est {est} above 25% bound of exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_merge_matches_single_sketch() {
+        let mut all = PercentileSketch::new();
+        let mut a = PercentileSketch::new();
+        let mut b = PercentileSketch::new();
+        for i in 0..2_000u64 {
+            let v = (i * 31) % 10_000;
+            all.record(v);
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all);
+    }
+
+    #[test]
+    fn percentile_roundtrips_bytes_and_handles_empty() {
+        let empty = PercentileSketch::new();
+        assert_eq!(empty.quantile_bp(5000), None);
+        let mut s = PercentileSketch::new();
+        s.record(42);
+        s.record(7);
+        assert_eq!(PercentileSketch::from_bytes(&s.to_bytes()).unwrap(), s);
+        assert!(PercentileSketch::from_bytes(&[1, 2, 3]).is_none());
+    }
+}

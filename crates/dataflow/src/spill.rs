@@ -1,0 +1,845 @@
+//! Spillable operator state: external row sort and external aggregation.
+//!
+//! When the engine has a memory budget, the operators whose state grows
+//! with the input — ORDER, GROUP, DISTINCT, and the aggregate hash map —
+//! route through this module. Buffered rows/states are accounted against a
+//! [`MemoryTracker`] in the same deterministic wire-size currency as the
+//! engine's shuffle accounting; when the next insert would exceed the
+//! budget, the buffer is sorted and written to a temporary run file in
+//! warehouse record-file format, and `finish` k-way merges the runs with
+//! the in-memory remainder. A sequence number assigned at insert breaks
+//! every comparison tie, so the merged order equals what a *stable*
+//! in-memory sort would produce — the spilled path is byte-identical to
+//! the unspilled one at any budget and any worker count.
+//!
+//! Cleanup is RAII: run files live in a scratch directory owned by a
+//! [`SpillDirGuard`], deleted when the sorter/stream drops — on success,
+//! error, and panic paths alike.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use uli_warehouse::{
+    scratch_dir, MemoryTracker, RecordFileReader, SpillDirGuard, Warehouse, WhPath, ENTRY_OVERHEAD,
+};
+
+use crate::error::{DataflowError, DataflowResult};
+use crate::plan::{Agg, SortOrder};
+use crate::sketch::{Hll, PercentileSketch};
+use crate::udf::AggState;
+use crate::value::{tuple_wire_size, Tuple, Value};
+use crate::wire::{decode_tuple, decode_value_prefix, encode_tuple, encode_value};
+
+/// How spilled rows order.
+#[derive(Debug, Clone)]
+pub(crate) enum RowOrder {
+    /// ORDER BY / GROUP BY: compare the listed columns in order.
+    Cols(Vec<(usize, SortOrder)>),
+    /// DISTINCT: compare whole tuples (`Vec<Value>` lexicographic order,
+    /// exactly the `BTreeMap<Tuple, ()>` key order of the in-memory path).
+    WholeTuple,
+}
+
+impl RowOrder {
+    /// Compares two rows under this order (without the sequence tie-break).
+    pub(crate) fn cmp_rows(&self, a: &Tuple, b: &Tuple) -> Ordering {
+        match self {
+            RowOrder::Cols(keys) => {
+                for (k, order) in keys {
+                    let cmp = a[*k].cmp(&b[*k]);
+                    let cmp = match order {
+                        SortOrder::Asc => cmp,
+                        SortOrder::Desc => cmp.reverse(),
+                    };
+                    if cmp != Ordering::Equal {
+                        return cmp;
+                    }
+                }
+                Ordering::Equal
+            }
+            RowOrder::WholeTuple => a.cmp(b),
+        }
+    }
+
+    fn cmp_entries(&self, a: &(u64, Tuple), b: &(u64, Tuple)) -> Ordering {
+        self.cmp_rows(&a.1, &b.1).then(a.0.cmp(&b.0))
+    }
+}
+
+/// An external merge sort over rows: in-memory until the budget says spill.
+pub(crate) struct RowSpillSorter {
+    warehouse: Warehouse,
+    tracker: MemoryTracker,
+    guard: SpillDirGuard,
+    order: RowOrder,
+    runs: Vec<WhPath>,
+    /// `(seq, row)` — seq is the arrival index, the stability tie-break.
+    buf: Vec<(u64, Tuple)>,
+    buf_bytes: u64,
+    next_seq: u64,
+}
+
+impl RowSpillSorter {
+    pub(crate) fn new(
+        warehouse: Warehouse,
+        tracker: MemoryTracker,
+        order: RowOrder,
+        label: &str,
+    ) -> RowSpillSorter {
+        let dir = scratch_dir(label);
+        let guard = SpillDirGuard::new(warehouse.clone(), dir);
+        RowSpillSorter {
+            warehouse,
+            tracker,
+            guard,
+            order,
+            runs: Vec::new(),
+            buf: Vec::new(),
+            buf_bytes: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Adds one row, spilling the buffer first if the budget would be
+    /// exceeded.
+    pub(crate) fn push(&mut self, row: Tuple) -> DataflowResult<()> {
+        let cost = tuple_wire_size(&row) + ENTRY_OVERHEAD;
+        if self.tracker.would_exceed(cost) && !self.buf.is_empty() {
+            self.spill()?;
+        }
+        self.tracker.grow(cost);
+        self.buf_bytes += cost;
+        self.buf.push((self.next_seq, row));
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    fn spill(&mut self) -> DataflowResult<()> {
+        let order = self.order.clone();
+        self.buf.sort_by(|a, b| order.cmp_entries(a, b));
+        let path = self
+            .guard
+            .dir()
+            .child(&format!("run-{:05}", self.runs.len()))
+            .expect("valid run name");
+        let mut w = self.warehouse.create(&path)?;
+        let mut record = Vec::new();
+        for (seq, row) in &self.buf {
+            record.clear();
+            record.extend_from_slice(&seq.to_be_bytes());
+            record.extend_from_slice(&encode_tuple(row));
+            w.append_record(&record);
+        }
+        let meta = w.finish()?;
+        self.tracker.note_spill(meta.compressed_bytes);
+        self.tracker.shrink(self.buf_bytes);
+        self.buf_bytes = 0;
+        self.buf.clear();
+        self.runs.push(path);
+        Ok(())
+    }
+
+    /// Finishes the sort; the returned stream owns the scratch directory.
+    pub(crate) fn finish(mut self) -> DataflowResult<SortedRowStream> {
+        let order = self.order.clone();
+        self.buf.sort_by(|a, b| order.cmp_entries(a, b));
+        let mut readers = Vec::with_capacity(self.runs.len());
+        for path in &self.runs {
+            let mut r = RowRunReader {
+                reader: self.warehouse.open(path)?,
+                next: None,
+            };
+            r.advance()?;
+            readers.push(r);
+        }
+        Ok(SortedRowStream {
+            readers,
+            tail: self.buf.into_iter(),
+            tail_next: None,
+            tail_bytes: self.buf_bytes,
+            order: self.order,
+            tracker: self.tracker,
+            _guard: self.guard,
+        })
+    }
+}
+
+struct RowRunReader {
+    reader: RecordFileReader,
+    next: Option<(u64, Tuple)>,
+}
+
+impl RowRunReader {
+    fn advance(&mut self) -> DataflowResult<()> {
+        self.next = match self.reader.next_record()? {
+            Some(record) => {
+                if record.len() < 8 {
+                    return Err(DataflowError::TypeError {
+                        context: "spill run decode",
+                    });
+                }
+                let seq = u64::from_be_bytes(record[..8].try_into().unwrap());
+                Some((seq, decode_tuple(&record[8..])?))
+            }
+            None => None,
+        };
+        Ok(())
+    }
+}
+
+/// Merged ordered output of a [`RowSpillSorter`].
+pub(crate) struct SortedRowStream {
+    readers: Vec<RowRunReader>,
+    tail: std::vec::IntoIter<(u64, Tuple)>,
+    tail_next: Option<(u64, Tuple)>,
+    tail_bytes: u64,
+    order: RowOrder,
+    tracker: MemoryTracker,
+    _guard: SpillDirGuard,
+}
+
+impl SortedRowStream {
+    /// The next row in sort order (sequence numbers break ties, so equal
+    /// keys come back in arrival order).
+    pub(crate) fn next_row(&mut self) -> DataflowResult<Option<Tuple>> {
+        if self.tail_next.is_none() {
+            self.tail_next = self.tail.next();
+        }
+        let mut best: Option<usize> = None;
+        for (i, r) in self.readers.iter().enumerate() {
+            if let Some(e) = &r.next {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        self.order
+                            .cmp_entries(e, self.readers[b].next.as_ref().expect("peeked"))
+                            == Ordering::Less
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        let tail_wins = match (&self.tail_next, best) {
+            (Some(t), Some(b)) => {
+                self.order
+                    .cmp_entries(t, self.readers[b].next.as_ref().expect("peeked"))
+                    == Ordering::Less
+            }
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if tail_wins {
+            return Ok(self.tail_next.take().map(|(_, row)| row));
+        }
+        match best {
+            Some(i) => {
+                let entry = self.readers[i].next.take();
+                self.readers[i].advance()?;
+                Ok(entry.map(|(_, row)| row))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl Drop for SortedRowStream {
+    fn drop(&mut self) {
+        self.tracker.shrink(self.tail_bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate state costs and serialization
+// ---------------------------------------------------------------------------
+
+/// Fixed cost charged when a group's state for `agg` is created.
+pub(crate) fn state_base_cost(agg: &Agg) -> u64 {
+    use crate::udf::AggFunc;
+    match agg.func {
+        AggFunc::Count => 16,
+        AggFunc::Sum | AggFunc::Avg => 24,
+        AggFunc::Min | AggFunc::Max => 16,
+        AggFunc::CountDistinct => 32,
+        AggFunc::ApproxCountDistinct => Hll::cost_bytes() + 16,
+        AggFunc::ApproxPercentile(_) => PercentileSketch::cost_bytes() + 16,
+    }
+}
+
+/// Variable (beyond base) cost of a state right now. O(1) for every
+/// algebraic state; O(set) for `CountDistinct`, which only the serial
+/// reduce path pays.
+fn state_dyn_cost(s: &AggState) -> i64 {
+    match s {
+        AggState::Min(v) | AggState::Max(v) => v.as_ref().map_or(0, |v| v.wire_size() as i64),
+        AggState::CountDistinct(set) => set.iter().map(|v| v.wire_size() as i64 + 16).sum::<i64>(),
+        _ => 0,
+    }
+}
+
+/// Accumulates `value` into `state` and returns the byte-cost delta.
+pub(crate) fn accumulate_costed(state: &mut AggState, value: &Value) -> DataflowResult<i64> {
+    if let AggState::CountDistinct(set) = &*state {
+        let delta = if !value.is_null() && !set.contains(value) {
+            value.wire_size() as i64 + 16
+        } else {
+            0
+        };
+        state.accumulate(value)?;
+        return Ok(delta);
+    }
+    let sized = matches!(state, AggState::Min(_) | AggState::Max(_));
+    let before = if sized { state_dyn_cost(state) } else { 0 };
+    state.accumulate(value)?;
+    Ok(if sized {
+        state_dyn_cost(state) - before
+    } else {
+        0
+    })
+}
+
+/// Merges `other` into `state` and returns the byte-cost delta.
+pub(crate) fn merge_costed(state: &mut AggState, other: AggState) -> DataflowResult<i64> {
+    let before = state_dyn_cost(state);
+    state.merge(other)?;
+    Ok(state_dyn_cost(state) - before)
+}
+
+const ST_COUNT: u8 = 0;
+const ST_SUM: u8 = 1;
+const ST_MIN: u8 = 2;
+const ST_MAX: u8 = 3;
+const ST_AVG: u8 = 4;
+const ST_COUNT_DISTINCT: u8 = 5;
+const ST_APPROX_DISTINCT: u8 = 6;
+const ST_APPROX_PERCENTILE: u8 = 7;
+
+fn corrupt() -> DataflowError {
+    DataflowError::TypeError {
+        context: "spill state decode",
+    }
+}
+
+/// Serializes one aggregate state for a run file.
+pub(crate) fn encode_state(state: &AggState, out: &mut Vec<u8>) {
+    match state {
+        AggState::Count(n) => {
+            out.push(ST_COUNT);
+            out.extend_from_slice(&n.to_be_bytes());
+        }
+        AggState::Sum {
+            total,
+            any,
+            all_int,
+        } => {
+            out.push(ST_SUM);
+            out.extend_from_slice(&total.to_bits().to_be_bytes());
+            out.push(*any as u8);
+            out.push(*all_int as u8);
+        }
+        AggState::Min(v) | AggState::Max(v) => {
+            out.push(if matches!(state, AggState::Min(_)) {
+                ST_MIN
+            } else {
+                ST_MAX
+            });
+            match v {
+                // `accumulate` skips nulls, so Some(Null) never occurs and
+                // Null can mark "no value yet".
+                Some(v) => encode_value(v, out),
+                None => encode_value(&Value::Null, out),
+            }
+        }
+        AggState::Avg { total, n } => {
+            out.push(ST_AVG);
+            out.extend_from_slice(&total.to_bits().to_be_bytes());
+            out.extend_from_slice(&n.to_be_bytes());
+        }
+        AggState::CountDistinct(set) => {
+            out.push(ST_COUNT_DISTINCT);
+            out.extend_from_slice(&(set.len() as u32).to_be_bytes());
+            for v in set {
+                encode_value(v, out);
+            }
+        }
+        AggState::ApproxCountDistinct(hll) => {
+            out.push(ST_APPROX_DISTINCT);
+            out.extend_from_slice(&hll.to_bytes());
+        }
+        AggState::ApproxPercentile { q_bp, sketch } => {
+            out.push(ST_APPROX_PERCENTILE);
+            out.extend_from_slice(&q_bp.to_be_bytes());
+            out.extend_from_slice(&sketch.to_bytes());
+        }
+    }
+}
+
+/// Inverse of [`encode_state`].
+pub(crate) fn decode_state(bytes: &[u8]) -> DataflowResult<AggState> {
+    let (&tag, rest) = bytes.split_first().ok_or_else(corrupt)?;
+    Ok(match tag {
+        ST_COUNT => AggState::Count(i64::from_be_bytes(rest.try_into().map_err(|_| corrupt())?)),
+        ST_SUM => {
+            if rest.len() != 10 {
+                return Err(corrupt());
+            }
+            AggState::Sum {
+                total: f64::from_bits(u64::from_be_bytes(rest[..8].try_into().unwrap())),
+                any: rest[8] != 0,
+                all_int: rest[9] != 0,
+            }
+        }
+        ST_MIN | ST_MAX => {
+            let (v, used) = decode_value_prefix(rest)?;
+            if used != rest.len() {
+                return Err(corrupt());
+            }
+            let v = if v.is_null() { None } else { Some(v) };
+            if tag == ST_MIN {
+                AggState::Min(v)
+            } else {
+                AggState::Max(v)
+            }
+        }
+        ST_AVG => {
+            if rest.len() != 16 {
+                return Err(corrupt());
+            }
+            AggState::Avg {
+                total: f64::from_bits(u64::from_be_bytes(rest[..8].try_into().unwrap())),
+                n: i64::from_be_bytes(rest[8..].try_into().unwrap()),
+            }
+        }
+        ST_COUNT_DISTINCT => {
+            if rest.len() < 4 {
+                return Err(corrupt());
+            }
+            let n = u32::from_be_bytes(rest[..4].try_into().unwrap()) as usize;
+            let mut pos = 4;
+            let mut set = std::collections::BTreeSet::new();
+            for _ in 0..n {
+                let (v, used) = decode_value_prefix(&rest[pos..])?;
+                pos += used;
+                set.insert(v);
+            }
+            if pos != rest.len() {
+                return Err(corrupt());
+            }
+            AggState::CountDistinct(set)
+        }
+        ST_APPROX_DISTINCT => {
+            AggState::ApproxCountDistinct(Hll::from_bytes(rest).ok_or_else(corrupt)?)
+        }
+        ST_APPROX_PERCENTILE => {
+            if rest.len() < 4 {
+                return Err(corrupt());
+            }
+            AggState::ApproxPercentile {
+                q_bp: u32::from_be_bytes(rest[..4].try_into().unwrap()),
+                sketch: PercentileSketch::from_bytes(&rest[4..]).ok_or_else(corrupt)?,
+            }
+        }
+        _ => return Err(corrupt()),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// External aggregation
+// ---------------------------------------------------------------------------
+
+/// A budgeted group→states map that spills key-sorted runs.
+///
+/// Spilled partial states merge at `finish` in run order (earliest run
+/// first, the in-memory remainder last), which is the chronological order
+/// rows arrived in — exact for integer aggregates; floating-point sums can
+/// differ in final bits from the single-pass order (the usual FP
+/// non-associativity caveat, shared with the parallel combine path).
+pub(crate) struct AggSpiller<'a> {
+    warehouse: Warehouse,
+    tracker: MemoryTracker,
+    guard: SpillDirGuard,
+    runs: Vec<WhPath>,
+    map: BTreeMap<Vec<Value>, Vec<AggState>>,
+    map_bytes: u64,
+    aggs: &'a [Agg],
+}
+
+impl<'a> AggSpiller<'a> {
+    pub(crate) fn new(
+        warehouse: Warehouse,
+        tracker: MemoryTracker,
+        aggs: &'a [Agg],
+    ) -> AggSpiller<'a> {
+        let dir = scratch_dir("aggregate");
+        let guard = SpillDirGuard::new(warehouse.clone(), dir);
+        AggSpiller {
+            warehouse,
+            tracker,
+            guard,
+            runs: Vec::new(),
+            map: BTreeMap::new(),
+            map_bytes: 0,
+            aggs,
+        }
+    }
+
+    fn new_key_cost(&self, key: &[Value]) -> u64 {
+        tuple_wire_size(key) + self.aggs.iter().map(state_base_cost).sum::<u64>() + ENTRY_OVERHEAD
+    }
+
+    fn charge(&mut self, delta: i64) {
+        if delta >= 0 {
+            self.tracker.grow(delta as u64);
+            self.map_bytes += delta as u64;
+        } else {
+            self.tracker.shrink((-delta) as u64);
+            self.map_bytes = self.map_bytes.saturating_sub((-delta) as u64);
+        }
+    }
+
+    /// Spills first when buffering `incoming` more bytes would exceed the
+    /// budget (an upper-bound estimate keeps the peak under budget).
+    fn reserve(&mut self, incoming: u64) -> DataflowResult<()> {
+        if self.tracker.would_exceed(incoming) && !self.map.is_empty() {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    /// Accumulates one row into its group (serial reduce path).
+    pub(crate) fn accumulate_row(&mut self, key: Vec<Value>, row: &Tuple) -> DataflowResult<()> {
+        // Upper bound for what this row can add: a fresh key entry plus one
+        // value per aggregate.
+        let bound = if self.map.contains_key(&key) {
+            self.aggs
+                .iter()
+                .map(|a| row.get(a.col).map_or(1, |v| v.wire_size()) + 16)
+                .sum()
+        } else {
+            self.new_key_cost(&key)
+                + self
+                    .aggs
+                    .iter()
+                    .map(|a| row.get(a.col).map_or(1, |v| v.wire_size()) + 16)
+                    .sum::<u64>()
+        };
+        self.reserve(bound)?;
+        if !self.map.contains_key(&key) {
+            let cost = self.new_key_cost(&key);
+            self.map.insert(
+                key.clone(),
+                self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+            );
+            self.charge(cost as i64);
+        }
+        let mut delta = 0i64;
+        let states = self.map.get_mut(&key).expect("just inserted");
+        for (agg, state) in self.aggs.iter().zip(states.iter_mut()) {
+            let v = row.get(agg.col).cloned().unwrap_or(Value::Null);
+            delta += accumulate_costed(state, &v)?;
+        }
+        self.charge(delta);
+        Ok(())
+    }
+
+    /// Merges one combiner partial into its group (parallel combine path;
+    /// algebraic aggregates only, so all deltas are O(1)).
+    pub(crate) fn merge_partial(
+        &mut self,
+        key: Vec<Value>,
+        states: Vec<AggState>,
+    ) -> DataflowResult<()> {
+        if let Some(acc) = self.map.get_mut(&key) {
+            let mut delta = 0i64;
+            for (a, s) in acc.iter_mut().zip(states) {
+                delta += merge_costed(a, s)?;
+            }
+            self.charge(delta);
+            return Ok(());
+        }
+        let cost = self.new_key_cost(&key)
+            + states
+                .iter()
+                .map(|s| state_dyn_cost(s).max(0) as u64)
+                .sum::<u64>();
+        self.reserve(cost)?;
+        self.map.insert(key, states);
+        self.charge(cost as i64);
+        Ok(())
+    }
+
+    fn spill(&mut self) -> DataflowResult<()> {
+        let path = self
+            .guard
+            .dir()
+            .child(&format!("run-{:05}", self.runs.len()))
+            .expect("valid run name");
+        let mut w = self.warehouse.create(&path)?;
+        let mut record = Vec::new();
+        let map = std::mem::take(&mut self.map);
+        for (key, states) in map {
+            record.clear();
+            let key_bytes = encode_tuple(&key);
+            record.extend_from_slice(&(key_bytes.len() as u32).to_be_bytes());
+            record.extend_from_slice(&key_bytes);
+            record.extend_from_slice(&(states.len() as u32).to_be_bytes());
+            let mut state_bytes = Vec::new();
+            for s in &states {
+                state_bytes.clear();
+                encode_state(s, &mut state_bytes);
+                record.extend_from_slice(&(state_bytes.len() as u32).to_be_bytes());
+                record.extend_from_slice(&state_bytes);
+            }
+            w.append_record(&record);
+        }
+        let meta = w.finish()?;
+        self.tracker.note_spill(meta.compressed_bytes);
+        self.tracker.shrink(self.map_bytes);
+        self.map_bytes = 0;
+        self.runs.push(path);
+        Ok(())
+    }
+
+    /// Merges runs and the in-memory remainder into finished output rows,
+    /// in ascending key order. Replicates the in-memory reduce's GROUP-ALL
+    /// semantics: empty input with no keys yields one row of empty
+    /// aggregates.
+    pub(crate) fn finish(mut self, group_keys_empty: bool) -> DataflowResult<Vec<Tuple>> {
+        let mut readers = Vec::with_capacity(self.runs.len());
+        for path in &self.runs {
+            let mut r = AggRunReader {
+                reader: self.warehouse.open(path)?,
+                next: None,
+            };
+            r.advance()?;
+            readers.push(r);
+        }
+        let map = std::mem::take(&mut self.map);
+        let mut tail = map.into_iter().peekable();
+        let mut out: Vec<Tuple> = Vec::new();
+        loop {
+            // Smallest key across runs (run order for ties) and the tail.
+            let mut min_key: Option<Vec<Value>> = None;
+            for r in &readers {
+                if let Some((k, _)) = &r.next {
+                    if min_key.as_ref().is_none_or(|m| k < m) {
+                        min_key = Some(k.clone());
+                    }
+                }
+            }
+            if let Some((k, _)) = tail.peek() {
+                if min_key.as_ref().is_none_or(|m| k < m) {
+                    min_key = Some(k.clone());
+                }
+            }
+            let Some(key) = min_key else { break };
+            // Merge every holder of this key, earliest run first, tail last
+            // — chronological arrival order.
+            let mut acc: Option<Vec<AggState>> = None;
+            for r in &mut readers {
+                if r.next.as_ref().is_some_and(|(k, _)| *k == key) {
+                    let (_, states) = r.next.take().expect("peeked");
+                    acc = Some(match acc {
+                        None => states,
+                        Some(mut a) => {
+                            for (x, s) in a.iter_mut().zip(states) {
+                                x.merge(s)?;
+                            }
+                            a
+                        }
+                    });
+                    r.advance()?;
+                }
+            }
+            if tail.peek().is_some_and(|(k, _)| *k == key) {
+                let (_, states) = tail.next().expect("peeked");
+                acc = Some(match acc {
+                    None => states,
+                    Some(mut a) => {
+                        for (x, s) in a.iter_mut().zip(states) {
+                            x.merge(s)?;
+                        }
+                        a
+                    }
+                });
+            }
+            let states = acc.expect("key came from somewhere");
+            let mut row = key;
+            row.extend(states.into_iter().map(AggState::finish));
+            out.push(row);
+        }
+        if out.is_empty() && group_keys_empty {
+            let states: Vec<AggState> = self.aggs.iter().map(|a| AggState::new(a.func)).collect();
+            let row: Tuple = states.into_iter().map(AggState::finish).collect();
+            out.push(row);
+        }
+        self.tracker.shrink(self.map_bytes);
+        self.map_bytes = 0;
+        Ok(out)
+    }
+}
+
+struct AggRunReader {
+    reader: RecordFileReader,
+    next: Option<(Vec<Value>, Vec<AggState>)>,
+}
+
+impl AggRunReader {
+    fn advance(&mut self) -> DataflowResult<()> {
+        self.next = match self.reader.next_record()? {
+            Some(record) => {
+                if record.len() < 4 {
+                    return Err(corrupt());
+                }
+                let klen = u32::from_be_bytes(record[..4].try_into().unwrap()) as usize;
+                let key_end = 4 + klen;
+                if record.len() < key_end + 4 {
+                    return Err(corrupt());
+                }
+                let key = decode_tuple(&record[4..key_end])?;
+                let n = u32::from_be_bytes(record[key_end..key_end + 4].try_into().unwrap());
+                let mut pos = key_end + 4;
+                let mut states = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    if record.len() < pos + 4 {
+                        return Err(corrupt());
+                    }
+                    let slen =
+                        u32::from_be_bytes(record[pos..pos + 4].try_into().unwrap()) as usize;
+                    pos += 4;
+                    if record.len() < pos + slen {
+                        return Err(corrupt());
+                    }
+                    states.push(decode_state(&record[pos..pos + slen])?);
+                    pos += slen;
+                }
+                if pos != record.len() {
+                    return Err(corrupt());
+                }
+                Some((key, states))
+            }
+            None => None,
+        };
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udf::AggFunc;
+
+    #[test]
+    fn row_sorter_spills_and_merges_stably() {
+        let wh = Warehouse::new();
+        let tracker = MemoryTracker::with_budget(1024);
+        let order = RowOrder::Cols(vec![(0, SortOrder::Asc)]);
+        let mut s = RowSpillSorter::new(wh.clone(), tracker.clone(), order.clone(), "t");
+        let rows: Vec<Tuple> = (0..300)
+            .map(|i| vec![Value::Int((i * 7) % 13), Value::Int(i)])
+            .collect();
+        for row in rows.clone() {
+            s.push(row).unwrap();
+        }
+        assert!(tracker.spill_runs() > 1, "budget must force runs");
+        assert!(tracker.high_water() <= 1024);
+        let mut stream = s.finish().unwrap();
+        let mut got = Vec::new();
+        while let Some(row) = stream.next_row().unwrap() {
+            got.push(row);
+        }
+        let mut want = rows;
+        want.sort_by(|a, b| order.cmp_rows(a, b)); // stable
+        assert_eq!(got, want);
+        drop(stream);
+        let root = WhPath::parse(uli_warehouse::SPILL_ROOT).unwrap();
+        assert!(
+            !wh.exists(&root) || wh.list_files_recursive(&root).unwrap().is_empty(),
+            "scratch space must be deleted"
+        );
+        assert_eq!(tracker.current(), 0);
+    }
+
+    #[test]
+    fn all_states_roundtrip() {
+        let mut states = vec![
+            AggState::Count(42),
+            AggState::Sum {
+                total: 1.5,
+                any: true,
+                all_int: false,
+            },
+            AggState::Min(Some(Value::str("abc"))),
+            AggState::Min(None),
+            AggState::Max(Some(Value::Int(-1))),
+            AggState::Avg { total: 9.0, n: 3 },
+        ];
+        let mut cd = AggState::new(AggFunc::CountDistinct);
+        cd.accumulate(&Value::Int(1)).unwrap();
+        cd.accumulate(&Value::str("x")).unwrap();
+        states.push(cd);
+        let mut ad = AggState::new(AggFunc::ApproxCountDistinct);
+        for i in 0..100 {
+            ad.accumulate(&Value::Int(i)).unwrap();
+        }
+        states.push(ad);
+        let mut ap = AggState::new(AggFunc::ApproxPercentile(9500));
+        for i in 0..50 {
+            ap.accumulate(&Value::Int(i * 10)).unwrap();
+        }
+        states.push(ap);
+        for state in states {
+            let mut bytes = Vec::new();
+            encode_state(&state, &mut bytes);
+            let back = decode_state(&bytes).unwrap();
+            // AggState has no PartialEq; compare by encoding and by finish.
+            let mut again = Vec::new();
+            encode_state(&back, &mut again);
+            assert_eq!(bytes, again);
+        }
+        assert!(decode_state(&[99]).is_err());
+        assert!(decode_state(&[]).is_err());
+    }
+
+    #[test]
+    fn agg_spiller_matches_in_memory_reduce() {
+        let aggs = vec![
+            Agg::count(),
+            Agg::sum(1),
+            Agg::min(1),
+            Agg::max(1),
+            Agg::count_distinct(1),
+        ];
+        let rows: Vec<Tuple> = (0..400)
+            .map(|i| vec![Value::Int(i % 23), Value::Int((i * 31) % 67)])
+            .collect();
+        // Reference: unbounded spiller (never spills) over the same rows.
+        let run = |budget: Option<u64>| -> (Vec<Tuple>, u64) {
+            let wh = Warehouse::new();
+            let tracker = match budget {
+                Some(b) => MemoryTracker::with_budget(b),
+                None => MemoryTracker::unbounded(),
+            };
+            let mut sp = AggSpiller::new(wh, tracker.clone(), &aggs);
+            for row in &rows {
+                sp.accumulate_row(vec![row[0].clone()], row).unwrap();
+            }
+            (sp.finish(false).unwrap(), tracker.spill_runs())
+        };
+        let (unspilled, zero_runs) = run(None);
+        assert_eq!(zero_runs, 0);
+        let (spilled, n_runs) = run(Some(2_000));
+        assert!(n_runs > 1, "tiny budget must spill");
+        assert_eq!(spilled, unspilled, "spilled reduce must be byte-identical");
+    }
+
+    #[test]
+    fn agg_spiller_group_all_empty_semantics() {
+        let aggs = vec![Agg::count()];
+        let wh = Warehouse::new();
+        let sp = AggSpiller::new(wh, MemoryTracker::with_budget(1 << 20), &aggs);
+        let out = sp.finish(true).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(0)]]);
+    }
+}

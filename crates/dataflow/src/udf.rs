@@ -37,6 +37,14 @@ pub enum AggFunc {
     Avg,
     /// Count of distinct values (holistic: defeats the combiner).
     CountDistinct,
+    /// Approximate distinct count via a fixed-size HyperLogLog sketch.
+    /// Algebraic (sketches merge deterministically) and bounded-memory —
+    /// the opt-in alternative to `CountDistinct` at scale.
+    ApproxCountDistinct,
+    /// Approximate percentile (argument is the quantile in basis points:
+    /// 5000 = median, 9900 = p99) via a fixed-size log-linear histogram.
+    /// Never under-reports; over-reports by at most ~25% (bucket width).
+    ApproxPercentile(u32),
 }
 
 impl AggFunc {
@@ -65,6 +73,13 @@ pub enum AggState {
     Avg { total: f64, n: i64 },
     /// Set of seen values.
     CountDistinct(std::collections::BTreeSet<Value>),
+    /// HyperLogLog sketch of seen values.
+    ApproxCountDistinct(crate::sketch::Hll),
+    /// Log-linear histogram plus the target quantile in basis points.
+    ApproxPercentile {
+        q_bp: u32,
+        sketch: crate::sketch::PercentileSketch,
+    },
 }
 
 impl AggState {
@@ -81,6 +96,13 @@ impl AggState {
             AggFunc::Max => AggState::Max(None),
             AggFunc::Avg => AggState::Avg { total: 0.0, n: 0 },
             AggFunc::CountDistinct => AggState::CountDistinct(Default::default()),
+            AggFunc::ApproxCountDistinct => {
+                AggState::ApproxCountDistinct(crate::sketch::Hll::new())
+            }
+            AggFunc::ApproxPercentile(q_bp) => AggState::ApproxPercentile {
+                q_bp,
+                sketch: crate::sketch::PercentileSketch::new(),
+            },
         }
     }
 
@@ -126,6 +148,16 @@ impl AggState {
             AggState::CountDistinct(set) => {
                 if !value.is_null() {
                     set.insert(value.clone());
+                }
+            }
+            AggState::ApproxCountDistinct(hll) => {
+                if !value.is_null() {
+                    hll.insert(value);
+                }
+            }
+            AggState::ApproxPercentile { sketch, .. } => {
+                if !value.is_null() {
+                    sketch.record_value(value);
                 }
             }
         }
@@ -177,6 +209,18 @@ impl AggState {
             (AggState::CountDistinct(set), AggState::CountDistinct(other)) => {
                 set.extend(other);
             }
+            (AggState::ApproxCountDistinct(hll), AggState::ApproxCountDistinct(other)) => {
+                hll.merge(&other);
+            }
+            (
+                AggState::ApproxPercentile { q_bp, sketch },
+                AggState::ApproxPercentile {
+                    q_bp: q2,
+                    sketch: s2,
+                },
+            ) if *q_bp == q2 => {
+                sketch.merge(&s2);
+            }
             _ => {
                 return Err(DataflowError::TypeError {
                     context: "combiner merge of mismatched aggregate states",
@@ -212,6 +256,11 @@ impl AggState {
                 }
             }
             AggState::CountDistinct(set) => Value::Int(set.len() as i64),
+            AggState::ApproxCountDistinct(hll) => Value::Int(hll.estimate() as i64),
+            AggState::ApproxPercentile { q_bp, sketch } => match sketch.quantile_bp(q_bp) {
+                Some(v) => Value::Int(v as i64),
+                None => Value::Null,
+            },
         }
     }
 }

@@ -1,0 +1,215 @@
+//! A memory budget must be invisible in results: for every spillable plan
+//! shape, rows from budgeted runs (which spill to warehouse run files)
+//! must equal the unbounded rows byte-for-byte, across random budgets ×
+//! worker counts {1, 4, 8}. Tiny budgets must actually spill, the peak
+//! gauge must respect the budget, and no spill debris may survive a query.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use uli_dataflow::prelude::*;
+use uli_dataflow::{CsvLoader, Engine, Parallelism, QueryResult};
+use uli_warehouse::{Warehouse, WhPath, SPILL_ROOT};
+
+fn seeded_warehouse(seed: u64) -> (Warehouse, WhPath) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let wh = Warehouse::with_block_capacity(512);
+    let dir = WhPath::parse("/logs/t").unwrap();
+    let actions = ["click", "impression", "follow", "search"];
+    for file in 0..4 {
+        let mut w = wh
+            .create(&dir.child(&format!("part-{file}")).unwrap())
+            .unwrap();
+        let rows = 120 + rng.gen_range(0..60);
+        for _ in 0..rows {
+            let user = rng.gen_range(0..25i64);
+            let action = actions[rng.gen_range(0..actions.len())];
+            let amount = rng.gen_range(-1000..1000i64);
+            w.append_record(format!("{user},{action},{amount}").as_bytes());
+        }
+        w.finish().unwrap();
+    }
+    (wh, dir)
+}
+
+fn load(dir: &WhPath) -> Plan {
+    Plan::load(
+        dir.clone(),
+        Arc::new(CsvLoader::new(3)),
+        vec!["user", "action", "amount"],
+    )
+}
+
+/// Plan shapes that exercise every spillable operator. Integer aggregates
+/// only: spilled partials merge in run order, and only integer merges are
+/// bit-exact under reassociation (the engine shares this caveat with its
+/// parallel combine path).
+fn plans(dir: &WhPath) -> Vec<(&'static str, Plan)> {
+    vec![
+        (
+            "order",
+            load(dir).order_by(vec![(2, SortOrder::Desc), (0, SortOrder::Asc)]),
+        ),
+        ("group", load(dir).group_by(vec![0])),
+        (
+            "agg",
+            load(dir).aggregate_by(
+                vec![0],
+                vec![Agg::count(), Agg::sum(2), Agg::min(2), Agg::max(2)],
+            ),
+        ),
+        (
+            "holistic agg",
+            load(dir).aggregate_by(vec![0], vec![Agg::count_distinct(1)]),
+        ),
+        (
+            "sketch agg",
+            load(dir).aggregate_by(
+                vec![1],
+                vec![
+                    Agg::approx_count_distinct(0),
+                    Agg::approx_percentile(2, 0.95),
+                ],
+            ),
+        ),
+        (
+            "distinct",
+            load(dir)
+                .foreach(vec![("user", Expr::col(0)), ("action", Expr::col(1))])
+                .distinct(),
+        ),
+        (
+            "order+limit",
+            load(dir)
+                .order_by(vec![(2, SortOrder::Desc), (0, SortOrder::Asc)])
+                .limit(17),
+        ),
+    ]
+}
+
+fn run_one(seed: u64, name: &str, workers: usize, budget: Option<u64>) -> (QueryResult, Warehouse) {
+    let (wh, dir) = seeded_warehouse(seed);
+    let mut engine = Engine::new(wh.clone()).with_parallelism(Parallelism::fixed(workers));
+    if let Some(b) = budget {
+        engine = engine.with_mem_budget(b);
+    }
+    let plan = plans(&dir).into_iter().find(|(n, _)| *n == name).unwrap().1;
+    (engine.run(&plan).unwrap(), wh)
+}
+
+fn assert_no_spill_debris(wh: &Warehouse) {
+    let root = WhPath::parse(SPILL_ROOT).unwrap();
+    assert!(
+        !wh.exists(&root) || wh.list_files_recursive(&root).unwrap().is_empty(),
+        "spill scratch files survived the query"
+    );
+}
+
+#[test]
+fn tiny_budget_spills_and_matches_unbounded() {
+    for name in ["order", "group", "agg", "holistic agg", "distinct"] {
+        let (unbounded, _) = run_one(11, name, 1, None);
+        assert_eq!(unbounded.stats.spill_runs, 0);
+        assert_eq!(unbounded.stats.mem_high_water_bytes, 0);
+        // Aggregates hold one state per group (25 groups), far less than the
+        // row operators' ~700 buffered rows — squeeze them harder so the
+        // spiller actually fires.
+        let budget = if name.contains("agg") { 1024 } else { 6 * 1024 };
+        let (spilled, wh) = run_one(11, name, 1, Some(budget));
+        assert!(
+            spilled.stats.spill_runs > 0,
+            "plan {name:?}: tiny budget must force spills"
+        );
+        assert!(spilled.stats.spill_bytes > 0, "plan {name:?}");
+        assert!(
+            spilled.stats.mem_high_water_bytes <= budget,
+            "plan {name:?}: peak {} exceeded budget {budget}",
+            spilled.stats.mem_high_water_bytes
+        );
+        assert_eq!(
+            spilled.rows, unbounded.rows,
+            "plan {name:?}: spilled rows must be byte-identical"
+        );
+        assert_no_spill_debris(&wh);
+    }
+}
+
+#[test]
+fn order_limit_short_circuit_equals_full_sort() {
+    // The top-K path must equal ORDER then LIMIT applied the naive way,
+    // including ties (user repeats across rows; stability matters).
+    let (wh, dir) = seeded_warehouse(5);
+    let engine = Engine::new(wh);
+    let keys = vec![(0usize, SortOrder::Asc), (1usize, SortOrder::Desc)];
+    for k in [0usize, 1, 13, 100, 10_000] {
+        let top = engine
+            .run(&load(&dir).order_by(keys.clone()).limit(k))
+            .unwrap();
+        let mut full = engine.run(&load(&dir).order_by(keys.clone())).unwrap();
+        full.rows.truncate(k);
+        assert_eq!(top.rows, full.rows, "top-{k} diverged from full sort");
+    }
+}
+
+#[test]
+fn approx_aggregates_track_exact_within_bounds() {
+    let (wh, dir) = seeded_warehouse(23);
+    let engine = Engine::new(wh);
+    let exact = engine
+        .run(&load(&dir).aggregate_by(vec![1], vec![Agg::count_distinct(0)]))
+        .unwrap();
+    let approx = engine
+        .run(&load(&dir).aggregate_by(
+            vec![1],
+            vec![
+                Agg::approx_count_distinct(0),
+                Agg::approx_percentile(2, 0.5),
+            ],
+        ))
+        .unwrap();
+    assert_eq!(exact.rows.len(), approx.rows.len());
+    for (e, a) in exact.rows.iter().zip(&approx.rows) {
+        assert_eq!(e[0], a[0], "group keys must line up");
+        let (Value::Int(exact_n), Value::Int(approx_n)) = (&e[1], &a[1]) else {
+            panic!("expected int counts");
+        };
+        // HLL at p=12 has ~1.6% stderr; at 25 distinct users the
+        // linear-counting regime is near-exact. Allow 10% slack.
+        let err = (exact_n - approx_n).abs() as f64 / *exact_n as f64;
+        assert!(err <= 0.10, "distinct {exact_n} vs approx {approx_n}");
+        // Median amount is in [-1000, 1000); the histogram reports a
+        // bucket upper bound, never below the true quantile.
+        let Value::Int(p50) = &a[2] else {
+            panic!("expected int percentile");
+        };
+        assert!((-1000..=1300).contains(p50), "implausible median {p50}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random budgets × workers {1, 4, 8}: rows identical to the unbounded
+    /// serial run for every spillable plan shape, and no scratch debris.
+    #[test]
+    fn budgeted_rows_match_unbounded_for_any_budget_and_workers(
+        seed in 1u64..200,
+        budget in 4_096u64..262_144,
+        plan_idx in 0usize..7,
+    ) {
+        let name = ["order", "group", "agg", "holistic agg", "sketch agg",
+                    "distinct", "order+limit"][plan_idx];
+        let (reference, _) = run_one(seed, name, 1, None);
+        for workers in [1usize, 4, 8] {
+            let (budgeted, wh) = run_one(seed, name, workers, Some(budget));
+            prop_assert_eq!(
+                &budgeted.rows, &reference.rows,
+                "plan {} diverged: seed {}, budget {}, workers {}",
+                name, seed, budget, workers
+            );
+            prop_assert!(budgeted.stats.mem_high_water_bytes <= budget);
+            assert_no_spill_debris(&wh);
+        }
+    }
+}

@@ -71,6 +71,15 @@ impl Gauge {
         self.value.fetch_add(d, Ordering::Relaxed);
     }
 
+    /// Raises the level to `v` if it is higher than the current value — a
+    /// monotone high-water mark. Used by the memory accounting: operators
+    /// report their tracked buffer bytes and the gauge keeps the peak, so
+    /// the exported value is deterministic no matter how many times (or in
+    /// what interleaving) the watermark is reported.
+    pub fn raise(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// The current level.
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)

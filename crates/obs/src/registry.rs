@@ -365,6 +365,32 @@ mod tests {
     }
 
     #[test]
+    fn memory_high_water_gauge_exports_and_keeps_snapshot_order() {
+        // The bounded-memory work (spillable operators) reports its peak
+        // tracked bytes through a raise-only gauge; this test pins both the
+        // snapshot position (registration order) and the two export paths.
+        let r = Registry::new();
+        r.counter("dataflow", "spill_runs").add(3);
+        let hw = r.gauge("dataflow", "memory_high_water_bytes");
+        hw.raise(65_536);
+        hw.raise(4_096); // lower watermark reports never regress the peak
+        let snap = r.snapshot();
+        let keys: Vec<String> = snap.metrics.iter().map(|(k, _)| k.display()).collect();
+        assert_eq!(
+            keys,
+            ["dataflow/spill_runs", "dataflow/memory_high_water_bytes"]
+        );
+        assert_eq!(
+            snap.gauge_value("dataflow/memory_high_water_bytes"),
+            Some(65_536)
+        );
+        assert!(snap.to_json().contains("memory_high_water_bytes"));
+        assert!(snap
+            .to_prometheus()
+            .contains("dataflow_memory_high_water_bytes 65536"));
+    }
+
+    #[test]
     fn labels_distinguish_metrics() {
         let r = Registry::new();
         let a = r.counter_labeled("d", "rows", &[("stage", "load")]);

@@ -49,6 +49,7 @@ pub mod file;
 pub mod hourly;
 pub mod path;
 pub mod pool;
+pub mod spill;
 pub mod stats;
 pub mod store;
 pub mod zone;
@@ -63,6 +64,10 @@ pub use file::{FileBlocks, RecordFileReader, RecordFileWriter};
 pub use hourly::HourlyPartition;
 pub use path::WhPath;
 pub use pool::{Parallelism, ScanPool};
+pub use spill::{
+    scratch_dir, ExternalByteSorter, MemoryTracker, SortedRuns, SpillDirGuard, ENTRY_OVERHEAD,
+    SPILL_ROOT,
+};
 pub use stats::ScanStats;
 pub use store::{FileMeta, Warehouse};
 pub use zone::{tag_hash, ZoneMap, ZoneMapPruner};

@@ -5,7 +5,8 @@
 //! warehouse in the paper's layout: hourly partitions, several part files
 //! per hour, records only *partially* time-ordered within a file (§2).
 
-use std::collections::BTreeMap;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,7 +16,7 @@ use uli_core::event::{EventInitiator, EventName};
 use uli_core::legacy::LegacyCategory;
 use uli_core::time::{Timestamp, MS_PER_DAY};
 use uli_thrift::ThriftRecord;
-use uli_warehouse::{HourlyPartition, Warehouse, WarehouseResult};
+use uli_warehouse::{HourlyPartition, RecordFileWriter, Warehouse, WarehouseResult};
 
 use crate::behavior::BehaviorModel;
 use crate::funnels::{signup_funnel, FunnelSpec};
@@ -120,170 +121,327 @@ fn ip_of_user(user: u64) -> String {
     )
 }
 
-/// Generates one day of traffic.
-pub fn generate_day(config: &WorkloadConfig, day_index: u64) -> DayWorkload {
-    assert_eq!(
-        config.client_weights.len(),
-        config.universe.clients.len(),
-        "one weight per client"
-    );
-    let mut rng = StdRng::seed_from_u64(config.seed ^ (day_index.wrapping_mul(0x9e37_79b9)));
-    let universe = build_universe(&config.universe);
-
-    // Per-client models over each client's slice of the universe. Funnel
-    // stages stay OUT of the Markov support: only explicit funnel sessions
-    // emit them, so funnel ground truth is exactly recoverable.
-    let mut per_client: Vec<(String, BehaviorModel)> = Vec::new();
-    for client in &config.universe.clients {
-        let slice: Vec<EventName> = universe
-            .iter()
-            .filter(|n| n.client() == *client)
-            .cloned()
-            .collect();
-        per_client.push((
-            client.to_string(),
-            BehaviorModel::with_default_boosts(slice, config.zipf_alpha),
-        ));
-    }
-    let weight_total: f64 = config.client_weights.iter().sum();
-
-    let day_start = day_index as i64 * MS_PER_DAY;
-    let mut events = Vec::new();
-    let mut truth = GroundTruth {
-        funnel_stage_counts: config
-            .funnel
-            .as_ref()
-            .map(|f| vec![0; f.len()])
-            .unwrap_or_default(),
-        ..Default::default()
+/// Builds one fully-decorated event. RNG call order is load-bearing: the
+/// golden generator hashes pin the exact draw sequence, so any reordering
+/// here changes every downstream golden.
+fn emit_event(
+    name: EventName,
+    t: i64,
+    user_id: i64,
+    session_id: &str,
+    ip: &str,
+    rng: &mut StdRng,
+) -> ClientEvent {
+    let initiator = if name.action() == "impression" && rng.gen::<f64>() < 0.3 {
+        EventInitiator::CLIENT_APP
+    } else {
+        EventInitiator::CLIENT_USER
     };
+    let referrer = format!("/{}", name.page());
+    let mut ev = ClientEvent::new(
+        initiator,
+        name,
+        user_id,
+        session_id.to_string(),
+        ip.to_string(),
+        Timestamp(t),
+    );
+    // Client events are verbose — the §4.1 downside the
+    // sequences exist to offset. Every event carries the
+    // boilerplate a real client attaches.
+    const USER_AGENTS: [&str; 6] = [
+        "Mozilla/5.0 (Windows NT 6.1; rv:14.0) Gecko/20100101 Firefox/14.0",
+        "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_7) AppleWebKit/536 Safari/536",
+        "Mozilla/5.0 (iPhone; CPU iPhone OS 5_1 like Mac OS X) Mobile/9B176",
+        "TwitterAndroid/3.2 (Linux; Android 4.0.4; GT-I9100)",
+        "Mozilla/5.0 (X11; Linux x86_64) Chrome/21.0.1180.57",
+        "Mozilla/5.0 (Windows NT 5.1) Chrome/20.0.1132.57 Safari/536.11",
+    ];
+    ev = ev
+        .with_detail("client_version", "4.1.2")
+        .with_detail(
+            "user_agent",
+            USER_AGENTS[rng.gen_range(0..USER_AGENTS.len())],
+        )
+        .with_detail("lang", "en")
+        .with_detail("referrer", referrer)
+        // High-entropy request id: the incompressible part
+        // of real log payloads (trace ids, URLs, tweet ids).
+        .with_detail(
+            "request_id",
+            format!("{:016x}{:016x}", rng.gen::<u64>(), rng.gen::<u64>()),
+        )
+        .with_detail("page_load_ms", format!("{}", rng.gen_range(40..2500)));
+    match ev.name.action() {
+        "click" | "profile_click" | "follow" => {
+            ev = ev
+                .with_detail("target_id", format!("{}", rng.gen::<u32>()))
+                .with_detail(
+                    "target_url",
+                    format!("https://t.co/{:010x}", rng.gen::<u64>() & 0xff_ffff_ffff),
+                )
+                .with_detail("rank", format!("{}", rng.gen_range(0..20)));
+        }
+        "impression" => {
+            ev = ev.with_detail("tweet_id", format!("{}", rng.gen::<u64>()));
+        }
+        _ => {}
+    }
+    ev
+}
 
-    for user in 1..=config.users {
-        let n_sessions = poisson(config.mean_sessions_per_user, &mut rng);
-        for s in 0..n_sessions {
-            // Pick a client by weight.
-            let mut pick = rng.gen::<f64>() * weight_total;
-            let mut client_idx = 0;
-            for (i, w) in config.client_weights.iter().enumerate() {
-                if pick < *w {
-                    client_idx = i;
-                    break;
-                }
-                pick -= w;
-                client_idx = i;
-            }
-            let (client, model) = &per_client[client_idx];
+/// Streaming day generator: yields the exact event sequence of the old
+/// batch generator without ever materializing the day. Peak state is one
+/// buffered session (tens of events) plus the per-client Markov models —
+/// a million-user day streams through this in O(session) memory.
+///
+/// [`GroundTruth`] accumulates as events are drawn; it is complete (and
+/// includes `distinct_events`) only once the iterator is exhausted.
+pub struct DayStream {
+    config: WorkloadConfig,
+    day_index: u64,
+    rng: StdRng,
+    per_client: Vec<(String, BehaviorModel)>,
+    weight_total: f64,
+    day_start: i64,
+    truth: GroundTruth,
+    distinct: BTreeSet<EventName>,
+    /// User whose sessions are currently being drawn (1-based; 0 = before
+    /// the first user).
+    user: u64,
+    sessions_left: u64,
+    session_index: u64,
+    buffered: VecDeque<ClientEvent>,
+}
 
-            let logged_out = rng.gen::<f64>() < config.logged_out_fraction;
-            let user_id = if logged_out { 0 } else { user as i64 };
-            let session_id = format!("s-{user}-{day_index}-{s}");
-            let ip = ip_of_user(user);
-            // Sessions start early enough that even long ones stay within
-            // the day (keeps ground truth exact for day-scoped jobs).
-            let start = day_start + (rng.gen::<f64>() * (MS_PER_DAY as f64 * 0.9)) as i64;
+impl DayStream {
+    /// Starts a day. Setup mirrors the old batch generator exactly so the
+    /// RNG stream — and therefore every emitted byte — is unchanged.
+    pub fn new(config: &WorkloadConfig, day_index: u64) -> DayStream {
+        assert_eq!(
+            config.client_weights.len(),
+            config.universe.clients.len(),
+            "one weight per client"
+        );
+        let rng = StdRng::seed_from_u64(config.seed ^ (day_index.wrapping_mul(0x9e37_79b9)));
+        let universe = build_universe(&config.universe);
 
-            let is_funnel = *client == "web"
-                && config.funnel.is_some()
-                && rng.gen::<f64>() < config.funnel_fraction;
-
-            let mut t = start;
-            let mut emitted = 0u64;
-            let emit = |name: EventName,
-                        t: i64,
-                        rng: &mut StdRng,
-                        events: &mut Vec<ClientEvent>| {
-                let initiator = if name.action() == "impression" && rng.gen::<f64>() < 0.3 {
-                    EventInitiator::CLIENT_APP
-                } else {
-                    EventInitiator::CLIENT_USER
-                };
-                let referrer = format!("/{}", name.page());
-                let mut ev = ClientEvent::new(
-                    initiator,
-                    name,
-                    user_id,
-                    session_id.clone(),
-                    ip.clone(),
-                    Timestamp(t),
-                );
-                // Client events are verbose — the §4.1 downside the
-                // sequences exist to offset. Every event carries the
-                // boilerplate a real client attaches.
-                const USER_AGENTS: [&str; 6] = [
-                    "Mozilla/5.0 (Windows NT 6.1; rv:14.0) Gecko/20100101 Firefox/14.0",
-                    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_7) AppleWebKit/536 Safari/536",
-                    "Mozilla/5.0 (iPhone; CPU iPhone OS 5_1 like Mac OS X) Mobile/9B176",
-                    "TwitterAndroid/3.2 (Linux; Android 4.0.4; GT-I9100)",
-                    "Mozilla/5.0 (X11; Linux x86_64) Chrome/21.0.1180.57",
-                    "Mozilla/5.0 (Windows NT 5.1) Chrome/20.0.1132.57 Safari/536.11",
-                ];
-                ev = ev
-                    .with_detail("client_version", "4.1.2")
-                    .with_detail(
-                        "user_agent",
-                        USER_AGENTS[rng.gen_range(0..USER_AGENTS.len())],
-                    )
-                    .with_detail("lang", "en")
-                    .with_detail("referrer", referrer)
-                    // High-entropy request id: the incompressible part
-                    // of real log payloads (trace ids, URLs, tweet ids).
-                    .with_detail(
-                        "request_id",
-                        format!("{:016x}{:016x}", rng.gen::<u64>(), rng.gen::<u64>()),
-                    )
-                    .with_detail("page_load_ms", format!("{}", rng.gen_range(40..2500)));
-                match ev.name.action() {
-                    "click" | "profile_click" | "follow" => {
-                        ev = ev
-                            .with_detail("target_id", format!("{}", rng.gen::<u32>()))
-                            .with_detail(
-                                "target_url",
-                                format!("https://t.co/{:010x}", rng.gen::<u64>() & 0xff_ffff_ffff),
-                            )
-                            .with_detail("rank", format!("{}", rng.gen_range(0..20)));
-                    }
-                    "impression" => {
-                        ev = ev.with_detail("tweet_id", format!("{}", rng.gen::<u64>()));
-                    }
-                    _ => {}
-                }
-                events.push(ev);
-            };
-
-            if is_funnel {
-                let funnel = config.funnel.as_ref().expect("checked above");
-                let depth = funnel.sample_depth(&mut rng);
-                truth.funnel_sessions += 1;
-                for (i, stage) in funnel.stages.iter().take(depth).enumerate() {
-                    truth.funnel_stage_counts[i] += 1;
-                    emit(stage.clone(), t, &mut rng, &mut events);
-                    emitted += 1;
-                    t += 1 + (-(rng.gen::<f64>()).ln() * config.mean_event_gap_ms) as i64;
-                }
-            } else {
-                // Geometric session length with the configured mean.
-                let cont = 1.0 - 1.0 / config.mean_session_len.max(1.0);
-                let mut cur = model.start(&mut rng);
-                loop {
-                    emit(model.universe()[cur].clone(), t, &mut rng, &mut events);
-                    emitted += 1;
-                    if rng.gen::<f64>() >= cont {
-                        break;
-                    }
-                    cur = model.step(cur, &mut rng);
-                    t += 1 + (-(rng.gen::<f64>()).ln() * config.mean_event_gap_ms) as i64;
-                }
-            }
-            truth.sessions += 1;
-            truth.events += emitted;
-            *truth.sessions_by_client.entry(client.clone()).or_insert(0) += 1;
+        // Per-client models over each client's slice of the universe. Funnel
+        // stages stay OUT of the Markov support: only explicit funnel sessions
+        // emit them, so funnel ground truth is exactly recoverable.
+        let mut per_client: Vec<(String, BehaviorModel)> = Vec::new();
+        for client in &config.universe.clients {
+            let slice: Vec<EventName> = universe
+                .iter()
+                .filter(|n| n.client() == *client)
+                .cloned()
+                .collect();
+            per_client.push((
+                client.to_string(),
+                BehaviorModel::with_default_boosts(slice, config.zipf_alpha),
+            ));
+        }
+        let weight_total: f64 = config.client_weights.iter().sum();
+        let truth = GroundTruth {
+            funnel_stage_counts: config
+                .funnel
+                .as_ref()
+                .map(|f| vec![0; f.len()])
+                .unwrap_or_default(),
+            ..Default::default()
+        };
+        DayStream {
+            config: config.clone(),
+            day_index,
+            rng,
+            per_client,
+            weight_total,
+            day_start: day_index as i64 * MS_PER_DAY,
+            truth,
+            distinct: BTreeSet::new(),
+            user: 0,
+            sessions_left: 0,
+            session_index: 0,
+            buffered: VecDeque::new(),
         }
     }
-    let mut distinct: Vec<&EventName> = events.iter().map(|e| &e.name).collect();
-    distinct.sort();
-    distinct.dedup();
-    truth.distinct_events = distinct.len() as u64;
-    DayWorkload { events, truth }
+
+    /// The ground truth accumulated so far. Complete only after the
+    /// iterator has returned `None`; [`Self::into_truth`] is the usual way
+    /// to take it.
+    pub fn truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+
+    /// Consumes the stream and returns the ground truth for everything it
+    /// yielded (the full day iff the stream was exhausted).
+    pub fn into_truth(mut self) -> GroundTruth {
+        self.truth.distinct_events = self.distinct.len() as u64;
+        self.truth
+    }
+
+    /// Generates the next session for the current user into `buffered`.
+    fn gen_session(&mut self) {
+        let user = self.user;
+        let s = self.session_index;
+        // Pick a client by weight.
+        let mut pick = self.rng.gen::<f64>() * self.weight_total;
+        let mut client_idx = 0;
+        for (i, w) in self.config.client_weights.iter().enumerate() {
+            if pick < *w {
+                client_idx = i;
+                break;
+            }
+            pick -= w;
+            client_idx = i;
+        }
+        let (client, model) = &self.per_client[client_idx];
+
+        let logged_out = self.rng.gen::<f64>() < self.config.logged_out_fraction;
+        let user_id = if logged_out { 0 } else { user as i64 };
+        let session_id = format!("s-{user}-{}-{s}", self.day_index);
+        let ip = ip_of_user(user);
+        // Sessions start early enough that even long ones stay within
+        // the day (keeps ground truth exact for day-scoped jobs).
+        let start = self.day_start + (self.rng.gen::<f64>() * (MS_PER_DAY as f64 * 0.9)) as i64;
+
+        let is_funnel = *client == "web"
+            && self.config.funnel.is_some()
+            && self.rng.gen::<f64>() < self.config.funnel_fraction;
+
+        let mut t = start;
+        let mut emitted = 0u64;
+        if is_funnel {
+            let funnel = self.config.funnel.as_ref().expect("checked above");
+            let depth = funnel.sample_depth(&mut self.rng);
+            self.truth.funnel_sessions += 1;
+            for (i, stage) in funnel.stages.iter().take(depth).enumerate() {
+                self.truth.funnel_stage_counts[i] += 1;
+                let ev = emit_event(stage.clone(), t, user_id, &session_id, &ip, &mut self.rng);
+                self.distinct.insert(ev.name.clone());
+                self.buffered.push_back(ev);
+                emitted += 1;
+                t += 1 + (-(self.rng.gen::<f64>()).ln() * self.config.mean_event_gap_ms) as i64;
+            }
+        } else {
+            // Geometric session length with the configured mean.
+            let cont = 1.0 - 1.0 / self.config.mean_session_len.max(1.0);
+            let mut cur = model.start(&mut self.rng);
+            loop {
+                let ev = emit_event(
+                    model.universe()[cur].clone(),
+                    t,
+                    user_id,
+                    &session_id,
+                    &ip,
+                    &mut self.rng,
+                );
+                self.distinct.insert(ev.name.clone());
+                self.buffered.push_back(ev);
+                emitted += 1;
+                if self.rng.gen::<f64>() >= cont {
+                    break;
+                }
+                cur = model.step(cur, &mut self.rng);
+                t += 1 + (-(self.rng.gen::<f64>()).ln() * self.config.mean_event_gap_ms) as i64;
+            }
+        }
+        let client = client.clone();
+        self.truth.sessions += 1;
+        self.truth.events += emitted;
+        *self.truth.sessions_by_client.entry(client).or_insert(0) += 1;
+    }
+}
+
+impl Iterator for DayStream {
+    type Item = ClientEvent;
+
+    fn next(&mut self) -> Option<ClientEvent> {
+        loop {
+            if let Some(ev) = self.buffered.pop_front() {
+                return Some(ev);
+            }
+            if self.sessions_left > 0 {
+                self.gen_session();
+                self.sessions_left -= 1;
+                self.session_index += 1;
+                continue;
+            }
+            if self.user < self.config.users {
+                self.user += 1;
+                self.session_index = 0;
+                self.sessions_left = poisson(self.config.mean_sessions_per_user, &mut self.rng);
+                continue;
+            }
+            self.truth.distinct_events = self.distinct.len() as u64;
+            return None;
+        }
+    }
+}
+
+/// Generates one day of traffic by draining a [`DayStream`]. Kept for
+/// callers that want the whole day in memory; large-scale paths should
+/// iterate the stream directly.
+pub fn generate_day(config: &WorkloadConfig, day_index: u64) -> DayWorkload {
+    let mut stream = DayStream::new(config, day_index);
+    let events: Vec<ClientEvent> = stream.by_ref().collect();
+    DayWorkload {
+        events,
+        truth: stream.into_truth(),
+    }
+}
+
+/// Named workload sizes for the scale benchmark (`--scale` on the CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// CI-sized: 120 users, a couple thousand events.
+    Smoke,
+    /// The historical default config: 200 users.
+    #[default]
+    Default,
+    /// A million users, ~1.2M sessions, >10M events — the paper's
+    /// "hundreds of millions of users" day shrunk to one machine.
+    OneM,
+}
+
+impl Scale {
+    /// Parses a `--scale` flag value.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "default" => Some(Scale::Default),
+            "1m" => Some(Scale::OneM),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling, for report labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Default => "default",
+            Scale::OneM => "1m",
+        }
+    }
+
+    /// The workload this scale generates. Only population knobs vary;
+    /// everything else keeps the default shape so per-event statistics
+    /// are comparable across scales.
+    pub fn config(self) -> WorkloadConfig {
+        match self {
+            Scale::Smoke => WorkloadConfig {
+                users: 120,
+                ..Default::default()
+            },
+            Scale::Default => WorkloadConfig::default(),
+            Scale::OneM => WorkloadConfig {
+                users: 1_000_000,
+                mean_sessions_per_user: 1.2,
+                mean_session_len: 9.0,
+                ..Default::default()
+            },
+        }
+    }
 }
 
 /// The warehouse layout a client-events day is landed in.
@@ -379,6 +537,44 @@ pub fn write_client_events_layout(
     Ok(written)
 }
 
+/// Streaming equivalent of [`write_client_events`]: lands events from an
+/// iterator without ever holding the day in a `Vec`. Produces byte-identical
+/// warehouse files — same hour partitions, same round-robin part-file
+/// assignment by global event index, same zone annotations — while keeping
+/// at most one open writer per (hour, slot) pair (≤ 24 × `files_per_hour`),
+/// independent of day size.
+pub fn land_day_stream(
+    warehouse: &Warehouse,
+    events: impl IntoIterator<Item = ClientEvent>,
+    files_per_hour: usize,
+) -> WarehouseResult<u64> {
+    assert!(files_per_hour > 0);
+    let mut writers: BTreeMap<(u64, usize), RecordFileWriter> = BTreeMap::new();
+    let mut written = 0u64;
+    for (i, ev) in events.into_iter().enumerate() {
+        let hour = ev.timestamp.hour_index();
+        let slot = i % files_per_hour;
+        let w = match writers.entry((hour, slot)) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                let dir = HourlyPartition::from_hour_index(CLIENT_EVENTS_CATEGORY, hour).main_dir();
+                let path = dir.child(&format!("part-{slot:05}")).expect("valid name");
+                e.insert(warehouse.create(&path)?)
+            }
+        };
+        w.append_record_annotated(
+            &ev.to_bytes(),
+            ev.timestamp.millis(),
+            uli_warehouse::tag_hash(ev.name.as_str().as_bytes()),
+        );
+        written += 1;
+    }
+    for (_, w) in writers {
+        w.finish()?;
+    }
+    Ok(written)
+}
+
 /// Writes the same ground truth as application-specific logs: web traffic
 /// to the JSON frontend category, search-page events to the TSV search
 /// category, phone clients to the "natural language" mobile category. This
@@ -458,6 +654,106 @@ mod tests {
             users: 50,
             ..Default::default()
         }
+    }
+
+    /// FNV-1a 64 over every event's encoded bytes, in stream order.
+    fn fingerprint(events: impl Iterator<Item = ClientEvent>) -> (u64, u64) {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut n = 0u64;
+        for ev in events {
+            for b in ev.to_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            n += 1;
+        }
+        (h, n)
+    }
+
+    /// These hashes were computed from the batch generator BEFORE the
+    /// streaming refactor. They pin two things at once: the refactor
+    /// changed no emitted byte, and future edits can't silently shift
+    /// the RNG draw order (`--scale smoke` goldens depend on it).
+    #[test]
+    fn golden_event_stream_hashes_are_stable() {
+        let smoke = Scale::Smoke.config();
+        let (h, n) = fingerprint(DayStream::new(&smoke, 0));
+        assert_eq!((h, n), (0x6896_890f_d9fc_40e3, 2657), "smoke scale drifted");
+
+        let default = Scale::Default.config();
+        let mut stream = DayStream::new(&default, 0);
+        let (h, n) = fingerprint(stream.by_ref());
+        assert_eq!(
+            (h, n),
+            (0xaf2c_2183_83dd_aa2b, 4410),
+            "default scale drifted"
+        );
+        assert_eq!(stream.into_truth().sessions, 382);
+    }
+
+    #[test]
+    fn streaming_matches_batch_events_and_truth() {
+        let config = small_config();
+        let batch = generate_day(&config, 0);
+        let mut stream = DayStream::new(&config, 0);
+        let streamed: Vec<ClientEvent> = stream.by_ref().collect();
+        assert_eq!(streamed, batch.events);
+        assert_eq!(stream.into_truth(), batch.truth);
+    }
+
+    #[test]
+    fn stream_is_identical_for_any_chunking() {
+        // Pausing and resuming the stream at arbitrary points must not
+        // change what it yields: the suspended-session state machine has
+        // no hidden coupling to consumption pattern.
+        let config = small_config();
+        let reference: Vec<ClientEvent> = DayStream::new(&config, 0).collect();
+        for chunk in [1usize, 3, 7, 100, 2500] {
+            let mut stream = DayStream::new(&config, 0);
+            let mut got = Vec::new();
+            loop {
+                let piece: Vec<ClientEvent> = stream.by_ref().take(chunk).collect();
+                if piece.is_empty() {
+                    break;
+                }
+                got.extend(piece);
+            }
+            assert_eq!(got, reference, "chunk size {chunk} changed the stream");
+        }
+    }
+
+    #[test]
+    fn streamed_landing_matches_batch_landing_byte_for_byte() {
+        let config = small_config();
+        let day = generate_day(&config, 0);
+        let batch_wh = Warehouse::new();
+        write_client_events(&batch_wh, &day.events, 4).unwrap();
+        let stream_wh = Warehouse::new();
+        let written = land_day_stream(&stream_wh, DayStream::new(&config, 0), 4).unwrap();
+        assert_eq!(written as usize, day.events.len());
+        let files = batch_wh
+            .list_files_recursive(&day_dir(CLIENT_EVENTS_CATEGORY, 0))
+            .unwrap();
+        let stream_files = stream_wh
+            .list_files_recursive(&day_dir(CLIENT_EVENTS_CATEGORY, 0))
+            .unwrap();
+        assert_eq!(files, stream_files);
+        for f in &files {
+            let a = batch_wh.open(f).unwrap().read_all().unwrap();
+            let b = stream_wh.open(f).unwrap().read_all().unwrap();
+            assert_eq!(a, b, "{} diverged", f.as_str());
+        }
+    }
+
+    #[test]
+    fn scale_flag_parses_and_sizes_monotonically() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("1m"), Some(Scale::OneM));
+        assert_eq!(Scale::parse("2xl"), None);
+        assert_eq!(Scale::default().label(), "default");
+        assert_eq!(Scale::OneM.config().users, 1_000_000);
+        assert!(Scale::Smoke.config().users < Scale::Default.config().users);
     }
 
     #[test]

@@ -30,8 +30,9 @@ pub mod zipf;
 pub use behavior::BehaviorModel;
 pub use funnels::{signup_funnel, FunnelSpec};
 pub use generator::{
-    generate_day, legacy_category_for, write_client_events, write_client_events_layout,
-    write_legacy_events, DayWorkload, GroundTruth, Layout, WorkloadConfig,
+    generate_day, land_day_stream, legacy_category_for, write_client_events,
+    write_client_events_layout, write_legacy_events, DayStream, DayWorkload, GroundTruth, Layout,
+    Scale, WorkloadConfig,
 };
 pub use universe::{build_universe, UniverseConfig};
 pub use zipf::Zipf;

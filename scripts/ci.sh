@@ -55,4 +55,33 @@ if ! grep -q '"outputs_identical": true' target/e19_smoke.metrics.json; then
     exit 1
 fi
 
+echo "== bounded-memory gate (e20 smoke metrics vs golden)"
+# Tiny budgets on a real (smoke-sized) day: every budgeted stage must
+# spill, return byte-identical output, and keep its high-water mark under
+# the budget. The repro binary exits nonzero if any invariant fails; the
+# greps keep the gate honest against accidental gate removal.
+cargo run --release -q -p uli-bench --bin repro -- --smoke e20
+if ! diff -u crates/bench/golden/e20_smoke.golden.json target/e20_smoke.metrics.json; then
+    echo "bounded-memory gate: smoke metrics drifted from the golden file." >&2
+    echo "If the change is intentional, refresh it with:" >&2
+    echo "  cp target/e20_smoke.metrics.json crates/bench/golden/e20_smoke.golden.json" >&2
+    exit 1
+fi
+if ! grep -q '"queries_identical": true' target/e20_smoke.metrics.json; then
+    echo "bounded-memory gate: budgeted query rows diverged from unbounded." >&2
+    exit 1
+fi
+if ! grep -q '"mat_matches_batch": true' target/e20_smoke.metrics.json; then
+    echo "bounded-memory gate: streaming materialization diverged from batch." >&2
+    exit 1
+fi
+if ! grep -q '"peaks_within_budget": true' target/e20_smoke.metrics.json; then
+    echo "bounded-memory gate: a stage exceeded its memory budget." >&2
+    exit 1
+fi
+if grep -q '"budgeted_spill_runs": 0,' target/e20_smoke.metrics.json; then
+    echo "bounded-memory gate: no stage spilled — the tiny budgets are not binding." >&2
+    exit 1
+fi
+
 echo "ci: all green"

@@ -20,7 +20,10 @@
 //! restores the serial path — results are identical either way),
 //! `--no-pushdown` (disable projection/predicate pushdown and zone-map
 //! pruning in `script` queries; results are identical, only the amount of
-//! decode work changes), `--metrics PATH` (write the unified observability
+//! decode work changes), `--mem-budget BYTES` (cap `script` operator memory:
+//! sorts and group-bys spill warehouse-format runs past the budget — results
+//! are identical at any budget, and the spill counters/high-water gauge land
+//! in `--metrics`), `--metrics PATH` (write the unified observability
 //! snapshot — warehouse/dataflow counters, span forest, critical path — on
 //! exit; `.prom` extension selects Prometheus text, anything else JSON).
 //!
@@ -49,6 +52,7 @@ struct Cli {
     browse: Option<String>,
     params: Vec<(String, String)>,
     metrics: Option<String>,
+    mem_budget: Option<u64>,
     batch_records: Option<usize>,
     batch_bytes: Option<usize>,
     linger: u64,
@@ -73,6 +77,7 @@ fn parse_args() -> Result<Cli, String> {
         browse: None,
         params: Vec::new(),
         metrics: None,
+        mem_budget: None,
         batch_records: None,
         batch_bytes: None,
         linger: 0,
@@ -91,6 +96,13 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--no-pushdown" => cli.pushdown = false,
             "--metrics" => cli.metrics = Some(value("--metrics")?),
+            "--mem-budget" => {
+                let budget: u64 = value("--mem-budget")?.parse().map_err(|e| format!("{e}"))?;
+                if budget == 0 {
+                    return Err("--mem-budget needs a positive byte count".into());
+                }
+                cli.mem_budget = Some(budget);
+            }
             "--batch-records" => {
                 cli.batch_records = Some(
                     value("--batch-records")?
@@ -189,6 +201,9 @@ fn cmd_script(cli: &Cli) -> Result<(), String> {
     let mut engine = Engine::new(wh)
         .with_parallelism(parallelism(cli))
         .with_pushdown(pushdown);
+    if let Some(budget) = cli.mem_budget {
+        engine = engine.with_mem_budget(budget);
+    }
     if let Some(registry) = &cli.registry {
         engine = engine.with_obs(registry);
     }
