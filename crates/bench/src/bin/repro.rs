@@ -308,6 +308,51 @@ fn main() -> ExitCode {
             }
             continue;
         }
+        if id == "e21" {
+            // The lambda run gates on its own invariants: streaming views
+            // identical across worker counts and equal to batch (exactly
+            // for exact aggregates, within bounds for sketches), and chaos
+            // streaming totals equal to the audited delivered partition.
+            // Smoke pins the day and seed count so the golden stays fixed;
+            // full scale persists BENCH_stream.json with host cores.
+            use uli_bench::experiments::e21_stream as e21;
+            let m = if smoke {
+                e21::smoke_snapshot()
+            } else {
+                e21::measure()
+            };
+            println!("{}", "=".repeat(74));
+            println!("{}", e21::render(&m));
+            if !m.shard_invariant {
+                eprintln!("e21: streaming views diverged across worker counts");
+                failed = true;
+            }
+            if !m.streaming_matches_batch {
+                eprintln!("e21: streaming did not converge to batch");
+                failed = true;
+            }
+            if !(m.hll_within_bound && m.topk_within_bound && m.percentile_within_bound) {
+                eprintln!("e21: a sketch left its declared error bound");
+                failed = true;
+            }
+            if !m.chaos_reconciled {
+                eprintln!("e21: chaos streaming totals diverged from the delivered partition");
+                failed = true;
+            }
+            let (path, payload) = if smoke {
+                ("target/e21_smoke.metrics.json", e21::to_json(&m))
+            } else {
+                ("BENCH_stream.json", e21::to_json(&m))
+            };
+            match std::fs::write(path, payload) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
         match uli_bench::run_experiment(id) {
             Some(report) => {
                 println!("{}", "=".repeat(74));

@@ -999,7 +999,7 @@ mod tests {
         assert!(report.mem_high_water_bytes <= budget);
         assert_eq!(day_artifacts(&wh, 0), reference);
         // Scratch runs are cleaned up even though we spilled.
-        let spill_root = WhPath::parse(uli_warehouse::SPILL_ROOT).unwrap();
+        let spill_root = uli_warehouse::spill_root();
         assert!(
             !wh.exists(&spill_root) || wh.list_files_recursive(&spill_root).unwrap().is_empty(),
             "spill scratch files survived materialization"

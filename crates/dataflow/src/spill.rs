@@ -753,7 +753,7 @@ mod tests {
         want.sort_by(|a, b| order.cmp_rows(a, b)); // stable
         assert_eq!(got, want);
         drop(stream);
-        let root = WhPath::parse(uli_warehouse::SPILL_ROOT).unwrap();
+        let root = uli_warehouse::spill_root();
         assert!(
             !wh.exists(&root) || wh.list_files_recursive(&root).unwrap().is_empty(),
             "scratch space must be deleted"

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use uli_dataflow::prelude::*;
 use uli_dataflow::{CsvLoader, Engine, Parallelism, QueryResult};
-use uli_warehouse::{Warehouse, WhPath, SPILL_ROOT};
+use uli_warehouse::{spill_root, Warehouse, WhPath};
 
 fn seeded_warehouse(seed: u64) -> (Warehouse, WhPath) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -99,7 +99,7 @@ fn run_one(seed: u64, name: &str, workers: usize, budget: Option<u64>) -> (Query
 }
 
 fn assert_no_spill_debris(wh: &Warehouse) {
-    let root = WhPath::parse(SPILL_ROOT).unwrap();
+    let root = spill_root();
     assert!(
         !wh.exists(&root) || wh.list_files_recursive(&root).unwrap().is_empty(),
         "spill scratch files survived the query"

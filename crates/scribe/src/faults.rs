@@ -307,12 +307,35 @@ impl ChaosOutcome {
 
 /// Runs one seeded chaos schedule end to end and audits the result.
 pub fn run_chaos(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome {
-    run_chaos_with(seed, cfg, Sabotage::None)
+    run_chaos_impl(seed, cfg, Sabotage::None, None)
 }
 
 /// [`run_chaos`], optionally with an unaccounted sabotage injected.
 pub fn run_chaos_with(seed: u64, cfg: &ChaosConfig, sabotage: Sabotage) -> ChaosOutcome {
+    run_chaos_impl(seed, cfg, sabotage, None)
+}
+
+/// [`run_chaos`] with a delivery tap installed before any traffic flows —
+/// the streaming layer's chaos entry point. The tap observes exactly the
+/// records the audited run delivers.
+pub fn run_chaos_tapped(
+    seed: u64,
+    cfg: &ChaosConfig,
+    tap: Box<dyn crate::tap::DeliveryTap>,
+) -> ChaosOutcome {
+    run_chaos_impl(seed, cfg, Sabotage::None, Some(tap))
+}
+
+fn run_chaos_impl(
+    seed: u64,
+    cfg: &ChaosConfig,
+    sabotage: Sabotage,
+    tap: Option<Box<dyn crate::tap::DeliveryTap>>,
+) -> ChaosOutcome {
     let mut pipe = ScribePipeline::new(cfg.topology);
+    if let Some(tap) = tap {
+        pipe.add_delivery_tap(tap);
+    }
     // Decorrelate the three RNG streams with distinct salts.
     let mut plan = FaultPlan::new(
         seed ^ 0x000F_A017_5C4E_D01E,

@@ -38,15 +38,17 @@ pub mod mover;
 pub mod network;
 pub mod pipeline;
 pub mod staged;
+pub mod tap;
 
 pub use aggregator::Aggregator;
 pub use config::{CategoryConfig, CategoryRegistry, Disposition};
 pub use daemon::{BatchPolicy, RetryPolicy, ScribeDaemon};
 pub use faults::{
-    check_invariants, run_chaos, run_chaos_with, ChaosConfig, ChaosOutcome, FaultConfig, FaultPlan,
-    InvariantReport, Sabotage,
+    check_invariants, run_chaos, run_chaos_tapped, run_chaos_with, ChaosConfig, ChaosOutcome,
+    FaultConfig, FaultPlan, InvariantReport, Sabotage,
 };
 pub use message::{EntryId, LogEntry, MessageBatch};
 pub use mover::{LogMover, MoveReport};
 pub use network::{LinkFaults, Network};
 pub use pipeline::{PipelineConfig, PipelineReport, ScribePipeline};
+pub use tap::DeliveryTap;

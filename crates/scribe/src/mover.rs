@@ -16,6 +16,7 @@ use uli_warehouse::{ColumnarLanding, HourlyPartition, Warehouse, WarehouseError,
 
 use crate::message::EntryId;
 use crate::staged;
+use crate::tap::DeliveryTap;
 
 /// Marker file an aggregator cluster writes once its hour is complete.
 pub const DONE_MARKER: &str = "_DONE";
@@ -102,6 +103,9 @@ pub struct LogMover {
     /// Columnar landing codec, when the category lands columnar. `None`
     /// keeps the original row-format landing.
     landing: Option<Arc<dyn ColumnarLanding>>,
+    /// Delivery taps, notified once per successful slide with the records
+    /// it made visible.
+    taps: Vec<Box<dyn DeliveryTap>>,
 }
 
 impl LogMover {
@@ -114,7 +118,15 @@ impl LogMover {
             records_per_file,
             seen: HashSet::new(),
             landing: None,
+            taps: Vec::new(),
         }
+    }
+
+    /// Attaches a delivery tap. Taps observe every record a successful
+    /// slide makes visible — nothing on failed or retried moves — so a
+    /// tap's totals track the delivered partition exactly.
+    pub fn add_tap(&mut self, tap: Box<dyn DeliveryTap>) {
+        self.taps.push(tap);
     }
 
     /// Lands merged hours columnar through `landing` instead of row-format.
@@ -173,6 +185,10 @@ impl LogMover {
         // once the slide succeeds, so a failed attempt can be retried
         // without its records counting as duplicates.
         let mut fresh: HashSet<EntryId> = HashSet::new();
+        // Payloads this move will make visible, buffered for the taps and
+        // released only after the slide succeeds (same commit point as
+        // `fresh`), so a failed move feeds taps nothing.
+        let mut tapped: Vec<Vec<u8>> = Vec::new();
         let mut out: Option<uli_warehouse::RecordFileWriter> = None;
         let mut out_records = 0u64;
         let mut out_idx = 0u64;
@@ -228,6 +244,9 @@ impl LogMover {
                         }
                         report.moved_ids.push(id);
                     }
+                    if !self.taps.is_empty() {
+                        tapped.push(payload.to_vec());
+                    }
                     if let Some(landing) = &self.landing {
                         chunk.push(payload.to_vec());
                         report.records += 1;
@@ -282,6 +301,11 @@ impl LogMover {
         }
         self.main.rename(&assembly_dir, &final_dir)?;
         self.seen.extend(fresh);
+        // The slide succeeded: the taps now see exactly what batch readers
+        // of this hour will see.
+        for tap in &mut self.taps {
+            tap.hour_delivered(partition, &tapped);
+        }
         Ok(report)
     }
 

@@ -255,6 +255,13 @@ impl ScribePipeline {
         self.datacenters[dc].daemons[host].log(entry);
     }
 
+    /// Attaches a delivery tap to the mover: the streaming analytics
+    /// layer's hook into the exactly-once delivered record stream. See
+    /// [`crate::tap::DeliveryTap`].
+    pub fn add_delivery_tap(&mut self, tap: Box<dyn crate::tap::DeliveryTap>) {
+        self.mover.add_tap(tap);
+    }
+
     /// One delivery step: the network ticks (delivering delayed packets),
     /// every daemon pumps, every aggregator heartbeats and drains.
     pub fn step(&mut self) {

@@ -1,0 +1,29 @@
+//! The delivery tap: the speed layer's view of the batch pipeline.
+//!
+//! A [`DeliveryTap`] observes the *exactly-once delivered* record stream —
+//! the records a successful atomic slide makes visible in the main
+//! warehouse, after the mover's sanity checks and duplicate squashing.
+//! Tapping at this point (rather than at the daemons or aggregators) is
+//! what makes lambda-architecture convergence provable: the streaming
+//! layer sees precisely the partition of records batch jobs will read, so
+//! exact streaming aggregates can be asserted byte-identical to batch
+//! answers over the delivered set, fault schedules and re-deliveries
+//! notwithstanding.
+//!
+//! The mover notifies taps only **after** the slide's rename succeeds and
+//! the fresh delivery ids are committed to its dedup set — a failed or
+//! retried move feeds the tap nothing, mirroring how the ids themselves
+//! only count as delivered on success.
+
+use uli_warehouse::HourlyPartition;
+
+/// Observer of the exactly-once delivered record stream.
+///
+/// Implementations receive one callback per successfully moved
+/// category-hour, carrying every record payload that slide made visible
+/// (envelopes stripped, duplicates squashed, sanity-checked) in the
+/// deterministic merge order the mover landed them in.
+pub trait DeliveryTap: Send {
+    /// One category-hour was atomically slid into the main warehouse.
+    fn hour_delivered(&mut self, partition: &HourlyPartition, payloads: &[Vec<u8>]);
+}

@@ -1,0 +1,313 @@
+//! The speed layer: sharded monoid state fed by the Scribe delivery tap,
+//! with windowed (per-hour) and running (day-so-far) views exported
+//! through `uli-obs`.
+//!
+//! [`StreamAnalytics`] implements [`uli_scribe::DeliveryTap`], so it can
+//! be attached to a [`uli_scribe::ScribePipeline`] and observe exactly the
+//! records each successful atomic slide makes visible. Records route to a
+//! shard by payload hash — the routing is pure partitioning, so because
+//! every [`StreamState`] operation commutes, the merged view is identical
+//! at *any* shard count and any merge order. The lambda invariant suite
+//! pins that: views at 1, 4, and 8 shards are asserted byte-equal.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use uli_obs::{Counter, Gauge, Registry};
+use uli_scribe::DeliveryTap;
+use uli_warehouse::HourlyPartition;
+
+use crate::state::{StreamState, DEFAULT_TRENDING_K};
+
+/// Speed-layer sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Shard states per hour window. Purely a parallelism knob: views are
+    /// shard-count-invariant by the monoid laws.
+    pub shards: usize,
+    /// How many trending event names to report.
+    pub trending_k: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            shards: 4,
+            trending_k: DEFAULT_TRENDING_K,
+        }
+    }
+}
+
+/// FNV-1a payload hash for shard routing (which shard a record lands in
+/// never affects the merged view; it only has to be deterministic).
+fn route_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Registry mirrors for the running view. Counters use `set_total` —
+/// the streaming state stays authoritative, the registry can only show a
+/// value the monoid computed.
+struct StreamObs {
+    records: Counter,
+    events: Counter,
+    malformed: Counter,
+    hours_moved: Counter,
+    distinct_users_est: Gauge,
+    hours_open: Gauge,
+    /// Per-hour windowed record counters, labeled by hour index.
+    hour_records: BTreeMap<u64, Counter>,
+    registry: Registry,
+}
+
+impl StreamObs {
+    fn new(registry: &Registry) -> StreamObs {
+        StreamObs {
+            records: registry.counter("stream", "records"),
+            events: registry.counter("stream", "events"),
+            malformed: registry.counter("stream", "malformed"),
+            hours_moved: registry.counter("stream", "hours_moved"),
+            distinct_users_est: registry.gauge("stream", "distinct_users_est"),
+            hours_open: registry.gauge("stream", "hours_open"),
+            hour_records: BTreeMap::new(),
+            registry: registry.clone(),
+        }
+    }
+}
+
+struct Inner {
+    config: StreamConfig,
+    /// Hour window → one [`StreamState`] per shard.
+    hours: BTreeMap<u64, Vec<StreamState>>,
+    /// Successful slides observed.
+    hours_moved: u64,
+    obs: Option<StreamObs>,
+}
+
+impl Inner {
+    /// Deterministic fold: shards in index order, hours ascending.
+    fn view(states: &[StreamState], trending_k: usize) -> StreamState {
+        let mut out = StreamState::new(trending_k);
+        for s in states {
+            out.merge(s);
+        }
+        out
+    }
+
+    fn running(&self) -> StreamState {
+        let mut out = StreamState::new(self.config.trending_k);
+        for states in self.hours.values() {
+            for s in states {
+                out.merge(s);
+            }
+        }
+        out
+    }
+
+    fn sync_obs(&mut self) {
+        let running = self.running();
+        let hours_open = self.hours.len();
+        let hour_views: Vec<(u64, u64)> = self
+            .hours
+            .iter()
+            .map(|(h, states)| (*h, states.iter().map(|s| s.records()).sum()))
+            .collect();
+        let Some(obs) = &mut self.obs else { return };
+        obs.records.set_total(running.records());
+        obs.events.set_total(running.events());
+        obs.malformed.set_total(running.malformed());
+        obs.hours_moved.set_total(self.hours_moved);
+        obs.distinct_users_est
+            .set(running.distinct_users_estimate().min(i64::MAX as u64) as i64);
+        obs.hours_open.set(hours_open as i64);
+        for (hour, records) in hour_views {
+            let counter = obs.hour_records.entry(hour).or_insert_with(|| {
+                obs.registry.counter_labeled(
+                    "stream",
+                    "hour_records",
+                    &[("hour", &hour.to_string())],
+                )
+            });
+            counter.set_total(records);
+        }
+    }
+}
+
+/// The speed layer handle. Cloneable; all clones share state, so one
+/// clone can be boxed as the pipeline tap while another serves views.
+#[derive(Clone)]
+pub struct StreamAnalytics {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl StreamAnalytics {
+    /// A speed layer with no registry attached.
+    pub fn new(config: StreamConfig) -> StreamAnalytics {
+        Self::build(config, None)
+    }
+
+    /// A speed layer whose running and windowed views mirror into
+    /// `stream/*` registry metrics on every delivered hour.
+    pub fn with_obs(config: StreamConfig, registry: &Registry) -> StreamAnalytics {
+        Self::build(config, Some(StreamObs::new(registry)))
+    }
+
+    fn build(config: StreamConfig, obs: Option<StreamObs>) -> StreamAnalytics {
+        assert!(config.shards > 0, "at least one shard");
+        StreamAnalytics {
+            inner: Arc::new(Mutex::new(Inner {
+                config,
+                hours: BTreeMap::new(),
+                hours_moved: 0,
+                obs,
+            })),
+        }
+    }
+
+    /// A boxed tap sharing this handle's state, ready for
+    /// [`uli_scribe::ScribePipeline::add_delivery_tap`].
+    pub fn tap(&self) -> Box<dyn DeliveryTap> {
+        Box::new(self.clone())
+    }
+
+    /// The windowed view for one hour, merged across shards; `None` if no
+    /// slide has delivered that hour yet.
+    pub fn hour_view(&self, hour_index: u64) -> Option<StreamState> {
+        let inner = self.inner.lock();
+        let k = inner.config.trending_k;
+        inner.hours.get(&hour_index).map(|s| Inner::view(s, k))
+    }
+
+    /// The running (day-so-far) view: every delivered hour merged.
+    pub fn running_view(&self) -> StreamState {
+        self.inner.lock().running()
+    }
+
+    /// Hour windows with delivered data, ascending.
+    pub fn hours(&self) -> Vec<u64> {
+        self.inner.lock().hours.keys().copied().collect()
+    }
+
+    /// Raw per-shard partials for one hour (for merge-order tests).
+    pub fn shard_states(&self, hour_index: u64) -> Vec<StreamState> {
+        self.inner
+            .lock()
+            .hours
+            .get(&hour_index)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Successful slides observed.
+    pub fn hours_moved(&self) -> u64 {
+        self.inner.lock().hours_moved
+    }
+}
+
+impl DeliveryTap for StreamAnalytics {
+    fn hour_delivered(&mut self, partition: &HourlyPartition, payloads: &[Vec<u8>]) {
+        let mut inner = self.inner.lock();
+        let (shards, k) = (inner.config.shards, inner.config.trending_k);
+        inner.hours_moved += 1;
+        // An hour can slide with zero records (all its data was lost,
+        // dropped, or never logged); no window opens for it.
+        if !payloads.is_empty() {
+            let states = inner
+                .hours
+                .entry(partition.hour_index())
+                .or_insert_with(|| vec![StreamState::new(k); shards]);
+            for payload in payloads {
+                let shard = (route_hash(payload) % shards as u64) as usize;
+                states[shard].observe(payload);
+            }
+        }
+        inner.sync_obs();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uli_core::{ClientEvent, EventInitiator, EventName, Timestamp};
+    use uli_thrift::record::ThriftRecord;
+
+    fn payload(i: i64) -> Vec<u8> {
+        ClientEvent::new(
+            EventInitiator::CLIENT_USER,
+            EventName::parse("web:home:timeline:tweet:avatar:click").unwrap(),
+            i % 13,
+            format!("s{i}"),
+            "10.0.0.1",
+            Timestamp(i * 500),
+        )
+        .to_bytes()
+    }
+
+    fn deliver(analytics: &StreamAnalytics, hour: u64, payloads: &[Vec<u8>]) {
+        let partition = HourlyPartition::from_hour_index("client_events", hour);
+        let mut tap = analytics.tap();
+        tap.hour_delivered(&partition, payloads);
+    }
+
+    #[test]
+    fn views_are_shard_count_invariant() {
+        let payloads: Vec<Vec<u8>> = (0..300).map(payload).collect();
+        let views: Vec<StreamState> = [1usize, 4, 8]
+            .iter()
+            .map(|&shards| {
+                let a = StreamAnalytics::new(StreamConfig {
+                    shards,
+                    trending_k: 3,
+                });
+                deliver(&a, 2, &payloads[..150]);
+                deliver(&a, 3, &payloads[150..]);
+                a.running_view()
+            })
+            .collect();
+        assert_eq!(views[0], views[1]);
+        assert_eq!(views[1], views[2]);
+        assert_eq!(views[0].records(), 300);
+    }
+
+    #[test]
+    fn windowed_and_running_views_agree() {
+        let a = StreamAnalytics::new(StreamConfig::default());
+        let p: Vec<Vec<u8>> = (0..100).map(payload).collect();
+        deliver(&a, 5, &p[..40]);
+        deliver(&a, 6, &p[40..]);
+        assert_eq!(a.hours(), vec![5, 6]);
+        let h5 = a.hour_view(5).unwrap();
+        let h6 = a.hour_view(6).unwrap();
+        assert_eq!(h5.records(), 40);
+        assert_eq!(h6.records(), 60);
+        let mut merged = h5.clone();
+        merged.merge(&h6);
+        assert_eq!(merged, a.running_view(), "running = fold of windows");
+        assert!(a.hour_view(7).is_none());
+    }
+
+    #[test]
+    fn obs_mirrors_running_and_windowed_views() {
+        let registry = Registry::new();
+        let a = StreamAnalytics::with_obs(StreamConfig::default(), &registry);
+        let p: Vec<Vec<u8>> = (0..50).map(payload).collect();
+        deliver(&a, 0, &p[..20]);
+        deliver(&a, 1, &p[20..]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("stream/records"), Some(50));
+        assert_eq!(snap.counter_value("stream/events"), Some(50));
+        assert_eq!(snap.counter_value("stream/malformed"), Some(0));
+        assert_eq!(snap.counter_value("stream/hours_moved"), Some(2));
+        assert_eq!(snap.gauge_value("stream/hours_open"), Some(2));
+        assert_eq!(
+            snap.gauge_value("stream/distinct_users_est"),
+            Some(a.running_view().distinct_users_estimate() as i64)
+        );
+        assert!(registry.duplicate_registrations().is_empty());
+    }
+}

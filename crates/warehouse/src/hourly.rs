@@ -71,6 +71,14 @@ impl HourlyPartition {
         }
     }
 
+    /// The hour index this partition covers — the inverse of
+    /// [`HourlyPartition::from_hour_index`] under the same synthetic
+    /// 30-day-month calendar.
+    pub fn hour_index(&self) -> u64 {
+        let months = (self.year as u64 - 2012) * 12 + self.month as u64 - 1 - 7;
+        ((months * 30 + self.day as u64 - 1) * 24) + self.hour as u64
+    }
+
     /// The directory under the main warehouse: `/logs/<cat>/YYYY/MM/DD/HH`.
     pub fn main_dir(&self) -> WhPath {
         WhPath::parse(&format!(
@@ -155,6 +163,14 @@ mod tests {
         // 30 synthetic days later: next month.
         let p = HourlyPartition::from_hour_index("ce", 24 * 30);
         assert_eq!((p.year, p.month, p.day), (2012, 9, 1));
+    }
+
+    #[test]
+    fn hour_index_round_trips() {
+        for idx in [0u64, 1, 23, 24, 25, 24 * 30, 24 * 30 * 5 + 7, 24 * 365] {
+            let p = HourlyPartition::from_hour_index("ce", idx);
+            assert_eq!(p.hour_index(), idx, "round trip at {idx}");
+        }
     }
 
     #[test]

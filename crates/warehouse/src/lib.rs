@@ -65,8 +65,8 @@ pub use hourly::HourlyPartition;
 pub use path::WhPath;
 pub use pool::{Parallelism, ScanPool};
 pub use spill::{
-    scratch_dir, ExternalByteSorter, MemoryTracker, SortedRuns, SpillDirGuard, ENTRY_OVERHEAD,
-    SPILL_ROOT,
+    scratch_dir, spill_root, ExternalByteSorter, MemoryTracker, SortedRuns, SpillDirGuard,
+    ENTRY_OVERHEAD,
 };
 pub use stats::ScanStats;
 pub use store::{FileMeta, Warehouse};

@@ -10,7 +10,7 @@
 //! *spill*: the buffer is sorted and written to a temporary **run file** in
 //! ordinary warehouse record-file format, then the runs are k-way merged
 //! back into one ordered stream. Spill scratch space lives under
-//! [`SPILL_ROOT`] and is removed by an RAII [`SpillDirGuard`] on success
+//! [`spill_root`] and is removed by an RAII [`SpillDirGuard`] on success
 //! and error paths alike (including panics mid-query).
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,8 +20,21 @@ use crate::error::WarehouseResult;
 use crate::path::WhPath;
 use crate::store::Warehouse;
 
-/// Root directory for spill scratch space inside a warehouse.
-pub const SPILL_ROOT: &str = "/tmp/spill";
+/// Root directory for spill scratch space inside a warehouse: `$TMPDIR`
+/// (default `/tmp`) plus a per-process `spill-<pid>` component, so
+/// parallel test runs sharing a warehouse namespace — or a host `TMPDIR`
+/// convention — never collide on scratch paths. A `TMPDIR` that is not a
+/// clean absolute path falls back to `/tmp`.
+pub fn spill_root() -> WhPath {
+    let base = std::env::var("TMPDIR")
+        .ok()
+        .map(|t| t.trim_end_matches('/').to_string())
+        .filter(|t| !t.is_empty())
+        .and_then(|t| WhPath::parse(&t).ok())
+        .unwrap_or_else(|| WhPath::parse("/tmp").expect("static path"));
+    base.child(&format!("spill-{}", std::process::id()))
+        .expect("pid segment is a valid path component")
+}
 
 /// Per-entry accounting overhead (pointers, lengths) charged on top of the
 /// payload bytes. A fixed constant keeps the accounting deterministic.
@@ -146,11 +159,13 @@ impl MemoryTracker {
 /// unique, not deterministic — they are removed before a job finishes.
 static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// A fresh scratch directory path under [`SPILL_ROOT`] (`label` is a short
+/// A fresh scratch directory path under [`spill_root`] (`label` is a short
 /// human hint, e.g. the operator name).
 pub fn scratch_dir(label: &str) -> WhPath {
     let n = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
-    WhPath::parse(&format!("{SPILL_ROOT}/{label}-{n}")).expect("scratch path is valid")
+    spill_root()
+        .child(&format!("{label}-{n}"))
+        .expect("scratch path is valid")
 }
 
 /// RAII guard for a spill scratch directory: dropping it deletes the
@@ -438,7 +453,7 @@ mod tests {
         let out = drain(s.finish().unwrap());
         assert_eq!(out.len(), 100);
         assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
-        let spill_root = WhPath::parse(SPILL_ROOT).unwrap();
+        let spill_root = spill_root();
         assert!(
             !wh.exists(&spill_root) || wh.list_files_recursive(&spill_root).unwrap().is_empty(),
             "no run files without a budget"
@@ -475,7 +490,7 @@ mod tests {
         let out = drain(runs);
         assert_eq!(out, reference, "spilled output must match stable sort");
         // Guard dropped with the stream: scratch space is gone.
-        let spill_root = WhPath::parse(SPILL_ROOT).unwrap();
+        let spill_root = spill_root();
         assert!(
             !wh.exists(&spill_root) || wh.list_files_recursive(&spill_root).unwrap().is_empty(),
             "run files must be deleted when the stream drops"
@@ -511,6 +526,72 @@ mod tests {
     }
 
     #[test]
+    fn spill_root_is_per_process_and_respects_tmpdir() {
+        let root = spill_root();
+        let pid = std::process::id();
+        assert!(
+            root.as_str().ends_with(&format!("/spill-{pid}")),
+            "root {} must carry the pid",
+            root.as_str()
+        );
+        // A clean TMPDIR is honored; a malformed one falls back to /tmp.
+        // (Set/restore around the calls: the var is only read inside
+        // spill_root, and scratch dirs are unique regardless of root.)
+        let saved = std::env::var("TMPDIR").ok();
+        std::env::set_var("TMPDIR", "/custom-scratch/");
+        assert_eq!(
+            spill_root().as_str(),
+            format!("/custom-scratch/spill-{pid}")
+        );
+        std::env::set_var("TMPDIR", "not-absolute");
+        assert_eq!(spill_root().as_str(), format!("/tmp/spill-{pid}"));
+        match saved {
+            Some(v) => std::env::set_var("TMPDIR", v),
+            None => std::env::remove_var("TMPDIR"),
+        }
+    }
+
+    #[test]
+    fn concurrent_sorters_never_share_scratch() {
+        // Two sorters spilling at once in one warehouse: distinct scratch
+        // dirs, both outputs correct, and the shared root is empty after
+        // both streams drop.
+        let a = scratch_dir("t");
+        let b = scratch_dir("t");
+        assert_ne!(a, b, "scratch dirs must be unique within a process");
+        let wh = Warehouse::new();
+        let handles: Vec<_> = (0..2)
+            .map(|lane: u64| {
+                let wh = wh.clone();
+                std::thread::spawn(move || {
+                    let tracker = MemoryTracker::with_budget(512);
+                    let mut s = ExternalByteSorter::new(wh, tracker, "conc");
+                    for i in (0..200u64).rev() {
+                        let (key, payload) = entry(i, &format!("lane{lane}"));
+                        s.push(key, payload).unwrap();
+                    }
+                    assert!(s.runs_spilled() > 1, "budget must force spills");
+                    drain(s.finish().unwrap())
+                })
+            })
+            .collect();
+        for (lane, h) in handles.into_iter().enumerate() {
+            let out = h.join().unwrap();
+            assert_eq!(out.len(), 200);
+            assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
+            // Payloads stayed in-lane: no cross-talk through shared scratch.
+            assert!(out
+                .iter()
+                .all(|(_, p)| String::from_utf8_lossy(p).contains(&format!("lane{lane}"))));
+        }
+        let spill_root = spill_root();
+        assert!(
+            !wh.exists(&spill_root) || wh.list_files_recursive(&spill_root).unwrap().is_empty(),
+            "scratch must be empty once both sorters finish"
+        );
+    }
+
+    #[test]
     fn mid_query_panic_leaves_no_debris() {
         let wh = Warehouse::new();
         let wh2 = wh.clone();
@@ -523,7 +604,7 @@ mod tests {
             panic!("simulated mid-query failure");
         });
         assert!(result.is_err());
-        let spill_root = WhPath::parse(SPILL_ROOT).unwrap();
+        let spill_root = spill_root();
         assert!(
             !wh.exists(&spill_root) || wh.list_files_recursive(&spill_root).unwrap().is_empty(),
             "panic unwound without deleting spill files"

@@ -84,4 +84,33 @@ if grep -q '"budgeted_spill_runs": 0,' target/e20_smoke.metrics.json; then
     exit 1
 fi
 
+echo "== lambda gate (e21 smoke metrics vs golden)"
+# Streaming analytics vs batch over the pinned smoke day plus a seeded
+# chaos sweep: views must be identical across worker counts, equal batch
+# exactly for exact aggregates, stay within every sketch's declared error
+# bound, and reconcile against the audited delivered partition. The repro
+# binary exits nonzero if any invariant fails; the greps keep the gate
+# honest against accidental gate removal.
+cargo run --release -q -p uli-bench --bin repro -- --smoke e21
+if ! diff -u crates/bench/golden/e21_smoke.golden.json target/e21_smoke.metrics.json; then
+    echo "lambda gate: smoke metrics drifted from the golden file." >&2
+    echo "If the change is intentional, refresh it with:" >&2
+    echo "  cp target/e21_smoke.metrics.json crates/bench/golden/e21_smoke.golden.json" >&2
+    exit 1
+fi
+if ! grep -q '"streaming_matches_batch": true' target/e21_smoke.metrics.json; then
+    echo "lambda gate: streaming did not converge to batch." >&2
+    exit 1
+fi
+for bound in hll_within_bound topk_within_bound percentile_within_bound; do
+    if ! grep -q "\"$bound\": true" target/e21_smoke.metrics.json; then
+        echo "lambda gate: $bound violated — a sketch left its declared error bound." >&2
+        exit 1
+    fi
+done
+if ! grep -q '"chaos_reconciled": true' target/e21_smoke.metrics.json; then
+    echo "lambda gate: chaos streaming totals diverged from the delivered partition." >&2
+    exit 1
+fi
+
 echo "ci: all green"
