@@ -353,6 +353,63 @@ fn main() -> ExitCode {
             }
             continue;
         }
+        if id == "e22" {
+            // The serving-layer run gates on its own invariants: every
+            // point-lookup answer byte-identical to the batch engine at
+            // every worker count, a >=50x decoded-bytes reduction over
+            // the suite, the serve/* registry reconciling against the
+            // maintainer state, and chaos indexes (with crash-window
+            // injection) accounting for exactly the delivered partition.
+            // Smoke pins the day and seed count so the golden stays
+            // fixed; full scale persists BENCH_serve.json.
+            use uli_bench::experiments::e22_serve as e22;
+            let m = if smoke {
+                e22::smoke_snapshot()
+            } else {
+                e22::measure()
+            };
+            println!("{}", "=".repeat(74));
+            println!("{}", e22::render(&m));
+            if !m.answers_match {
+                eprintln!("e22: a serving answer diverged from the batch engine");
+                failed = true;
+            }
+            if m.decoded_bytes_ratio < 50.0 {
+                eprintln!(
+                    "e22: decoded-bytes reduction {:.1}x under the 50x gate",
+                    m.decoded_bytes_ratio
+                );
+                failed = true;
+            }
+            if m.index_lag_hours != 0 {
+                eprintln!(
+                    "e22: index lag {} hours after the day landed",
+                    m.index_lag_hours
+                );
+                failed = true;
+            }
+            if !m.obs_reconciled {
+                eprintln!("e22: serve/* registry metrics diverged from maintainer state");
+                failed = true;
+            }
+            if !m.chaos_consistent {
+                eprintln!("e22: chaos indexes diverged from the delivered partition");
+                failed = true;
+            }
+            let (path, payload) = if smoke {
+                ("target/e22_smoke.metrics.json", e22::to_json(&m))
+            } else {
+                ("BENCH_serve.json", e22::to_json(&m))
+            };
+            match std::fs::write(path, payload) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
         match uli_bench::run_experiment(id) {
             Some(report) => {
                 println!("{}", "=".repeat(74));

@@ -13,6 +13,7 @@ pub mod e19_columnar;
 pub mod e1_scribe;
 pub mod e20_scale;
 pub mod e21_stream;
+pub mod e22_serve;
 pub mod e2_rollups;
 pub mod e3_codec;
 pub mod e4_compression;

@@ -307,12 +307,12 @@ impl ChaosOutcome {
 
 /// Runs one seeded chaos schedule end to end and audits the result.
 pub fn run_chaos(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome {
-    run_chaos_impl(seed, cfg, Sabotage::None, None)
+    run_chaos_impl(seed, cfg, Sabotage::None, |_| {})
 }
 
 /// [`run_chaos`], optionally with an unaccounted sabotage injected.
 pub fn run_chaos_with(seed: u64, cfg: &ChaosConfig, sabotage: Sabotage) -> ChaosOutcome {
-    run_chaos_impl(seed, cfg, sabotage, None)
+    run_chaos_impl(seed, cfg, sabotage, |_| {})
 }
 
 /// [`run_chaos`] with a delivery tap installed before any traffic flows —
@@ -323,19 +323,29 @@ pub fn run_chaos_tapped(
     cfg: &ChaosConfig,
     tap: Box<dyn crate::tap::DeliveryTap>,
 ) -> ChaosOutcome {
-    run_chaos_impl(seed, cfg, Sabotage::None, Some(tap))
+    run_chaos_impl(seed, cfg, Sabotage::None, |pipe| pipe.add_delivery_tap(tap))
+}
+
+/// [`run_chaos`] with arbitrary pipeline preparation before any traffic
+/// flows. The serving layer uses this to bind an index maintainer to the
+/// run's own main warehouse (`pipe.main_warehouse()`) and to switch the
+/// mover to a columnar landing, before installing its tap.
+pub fn run_chaos_prepared(
+    seed: u64,
+    cfg: &ChaosConfig,
+    prepare: impl FnOnce(&mut ScribePipeline),
+) -> ChaosOutcome {
+    run_chaos_impl(seed, cfg, Sabotage::None, prepare)
 }
 
 fn run_chaos_impl(
     seed: u64,
     cfg: &ChaosConfig,
     sabotage: Sabotage,
-    tap: Option<Box<dyn crate::tap::DeliveryTap>>,
+    prepare: impl FnOnce(&mut ScribePipeline),
 ) -> ChaosOutcome {
     let mut pipe = ScribePipeline::new(cfg.topology);
-    if let Some(tap) = tap {
-        pipe.add_delivery_tap(tap);
-    }
+    prepare(&mut pipe);
     // Decorrelate the three RNG streams with distinct salts.
     let mut plan = FaultPlan::new(
         seed ^ 0x000F_A017_5C4E_D01E,

@@ -139,6 +139,12 @@ impl LogMover {
         self
     }
 
+    /// In-place form of [`LogMover::with_landing`], for movers owned by a
+    /// pipeline that was already built.
+    pub fn set_landing(&mut self, landing: Arc<dyn ColumnarLanding>) {
+        self.landing = Some(landing);
+    }
+
     /// Moves one category-hour from every staging cluster into the main
     /// warehouse, atomically.
     ///

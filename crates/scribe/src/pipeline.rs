@@ -262,6 +262,16 @@ impl ScribePipeline {
         self.mover.add_tap(tap);
     }
 
+    /// Lands merged hours columnar through `landing` instead of row-format.
+    /// See [`crate::mover::LogMover::with_landing`]: payloads the codec
+    /// rejects still move, via a row-format sibling file.
+    pub fn set_columnar_landing(
+        &mut self,
+        landing: std::sync::Arc<dyn uli_warehouse::ColumnarLanding>,
+    ) {
+        self.mover.set_landing(landing);
+    }
+
     /// One delivery step: the network ticks (delivering delayed packets),
     /// every daemon pumps, every aggregator heartbeats and drains.
     pub fn step(&mut self) {

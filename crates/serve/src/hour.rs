@@ -1,0 +1,474 @@
+//! The per-hour secondary index: postings from user ids and event names to
+//! the row groups that contain them, plus per-hour session summaries.
+//!
+//! One [`HourIndex`] is built per delivered warehouse hour by scanning the
+//! landed files once — columnar files group by group with a narrow
+//! projection, row-format siblings record by record. Because the build is a
+//! wholesale scan of the committed hour, rebuilding after a crash replaces
+//! the index rather than adding to it: an hour can never be double-counted
+//! no matter how many times maintenance retries.
+//!
+//! The index persists beside the landed data under `/index/serve/...` with
+//! the same assemble-then-rename discipline the log mover uses, so a
+//! restarted server reloads committed hours and rebuilds missing ones.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use uli_core::{client_event_from_group, ClientEvent};
+use uli_thrift::record::ThriftRecord;
+use uli_warehouse::{
+    sniff_columnar, ColumnarFile, HourlyPartition, Warehouse, WarehouseError, WarehouseResult,
+    WhPath,
+};
+
+/// One landed file the index knows how to address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// File name inside the hour directory (files are indexed in the
+    /// warehouse's sorted listing order, which is also scan order).
+    pub name: String,
+    /// Row groups in a columnar file; row-format files count as one
+    /// pseudo-group (group 0 = the whole file).
+    pub groups: u32,
+    /// Whether the file is columnar (group-addressable) or row-format.
+    pub columnar: bool,
+}
+
+/// Per-user activity summary for one hour.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UserHourSummary {
+    /// Events attributed to the user this hour.
+    pub events: u64,
+    /// Distinct session ids the user touched this hour.
+    pub sessions: u64,
+    /// Earliest event timestamp (millis).
+    pub first_millis: i64,
+    /// Latest event timestamp (millis).
+    pub last_millis: i64,
+}
+
+/// Postings: file index → the row groups (ascending) containing the key.
+pub type Postings = BTreeMap<u32, BTreeSet<u32>>;
+
+/// The secondary index over one delivered hour.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HourIndex {
+    /// The hour this index covers.
+    pub hour_index: u64,
+    /// Raw records in the hour (including undecodable payloads).
+    pub records: u64,
+    /// Records that decoded as client events.
+    pub events: u64,
+    /// Files in the hour, in sorted (scan) order.
+    pub files: Vec<FileEntry>,
+    /// Exact per-name event counts — `count` and `top-names` answer from
+    /// these without decoding anything.
+    pub name_counts: BTreeMap<String, u64>,
+    /// Event name → row groups containing at least one such event.
+    pub name_postings: BTreeMap<String, Postings>,
+    /// User id → row groups containing at least one of the user's events.
+    pub user_postings: BTreeMap<i64, Postings>,
+    /// Per-user session summaries for the hour.
+    pub user_summaries: BTreeMap<i64, UserHourSummary>,
+}
+
+impl HourIndex {
+    /// Total addressable row groups across the hour's files.
+    pub fn total_groups(&self) -> u64 {
+        self.files.iter().map(|f| f.groups as u64).sum()
+    }
+
+    /// Row groups posted for `user`.
+    pub fn user_groups(&self, user: i64) -> u64 {
+        self.user_postings
+            .get(&user)
+            .map(|p| p.values().map(|g| g.len() as u64).sum())
+            .unwrap_or(0)
+    }
+}
+
+/// Index directory for one hour: `/index/serve/<category>/YYYY/MM/DD/HH`.
+pub fn index_dir(partition: &HourlyPartition) -> WhPath {
+    serve_dir("/index/serve", partition)
+}
+
+/// Staging directory the commit protocol assembles under before renaming.
+pub fn index_staging_dir(partition: &HourlyPartition) -> WhPath {
+    serve_dir("/index/serve-staging", partition)
+}
+
+fn serve_dir(root: &str, p: &HourlyPartition) -> WhPath {
+    WhPath::parse(&format!(
+        "{root}/{}/{:04}/{:02}/{:02}/{:02}",
+        p.category, p.year, p.month, p.day, p.hour
+    ))
+    .expect("constructed path is valid")
+}
+
+/// The single index file inside the committed hour directory.
+const INDEX_FILE: &str = "hour.idx";
+
+/// Builds the index for one delivered hour by scanning the landed files.
+/// A missing hour directory yields an empty index (zero files) — the form
+/// a delivered-but-empty hour takes.
+pub fn build_hour_index(
+    warehouse: &Warehouse,
+    category: &str,
+    hour_index: u64,
+) -> WarehouseResult<HourIndex> {
+    let partition = HourlyPartition::from_hour_index(category, hour_index);
+    let dir = partition.main_dir();
+    let mut index = HourIndex {
+        hour_index,
+        ..HourIndex::default()
+    };
+    let files = match warehouse.list_files_recursive(&dir) {
+        Ok(f) => f,
+        Err(WarehouseError::NotFound(_)) => return Ok(index),
+        Err(e) => return Err(e),
+    };
+    // Distinct session ids per user, folded down to counts at the end.
+    let mut sessions: BTreeMap<i64, BTreeSet<String>> = BTreeMap::new();
+    for path in files {
+        let file_no = index.files.len() as u32;
+        let name = path.name().to_string();
+        if sniff_columnar(warehouse, &path)?.is_some() {
+            let file = ColumnarFile::open(warehouse, &path)?;
+            let projection = vec![true; file.columns()];
+            for g in 0..file.group_count() {
+                let group = file.read_group(g, &projection)?;
+                for row in 0..group.rows() {
+                    index.records += 1;
+                    if let Some(ev) = client_event_from_group(&file, &group, row) {
+                        post_event(&mut index, &mut sessions, file_no, g as u32, &ev);
+                    }
+                }
+            }
+            index.files.push(FileEntry {
+                name,
+                groups: file.group_count() as u32,
+                columnar: true,
+            });
+        } else {
+            for record in warehouse.open(&path)?.read_all()? {
+                index.records += 1;
+                if let Ok(ev) = ClientEvent::from_bytes(&record) {
+                    post_event(&mut index, &mut sessions, file_no, 0, &ev);
+                }
+            }
+            index.files.push(FileEntry {
+                name,
+                groups: 1,
+                columnar: false,
+            });
+        }
+    }
+    for (user, ids) in sessions {
+        index
+            .user_summaries
+            .get_mut(&user)
+            .expect("summary exists for every user with sessions")
+            .sessions = ids.len() as u64;
+    }
+    Ok(index)
+}
+
+fn post_event(
+    index: &mut HourIndex,
+    sessions: &mut BTreeMap<i64, BTreeSet<String>>,
+    file: u32,
+    group: u32,
+    ev: &ClientEvent,
+) {
+    index.events += 1;
+    let name = ev.name.as_str().to_string();
+    *index.name_counts.entry(name.clone()).or_insert(0) += 1;
+    index
+        .name_postings
+        .entry(name)
+        .or_default()
+        .entry(file)
+        .or_default()
+        .insert(group);
+    index
+        .user_postings
+        .entry(ev.user_id)
+        .or_default()
+        .entry(file)
+        .or_default()
+        .insert(group);
+    let millis = ev.timestamp.millis();
+    let summary = index
+        .user_summaries
+        .entry(ev.user_id)
+        .or_insert(UserHourSummary {
+            events: 0,
+            sessions: 0,
+            first_millis: millis,
+            last_millis: millis,
+        });
+    summary.events += 1;
+    summary.first_millis = summary.first_millis.min(millis);
+    summary.last_millis = summary.last_millis.max(millis);
+    sessions
+        .entry(ev.user_id)
+        .or_default()
+        .insert(ev.session_id.clone());
+}
+
+/// Serializes the index as one tab-separated record per fact. Event names
+/// are validated six-level names (no tabs), so no escaping is needed.
+pub fn encode(index: &HourIndex) -> Vec<u8> {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "H\t{}\t{}\t{}\n",
+        index.hour_index, index.records, index.events
+    ));
+    for f in &index.files {
+        out.push_str(&format!(
+            "F\t{}\t{}\t{}\n",
+            f.name,
+            f.groups,
+            u8::from(f.columnar)
+        ));
+    }
+    for (name, count) in &index.name_counts {
+        out.push_str(&format!("N\t{name}\t{count}\n"));
+    }
+    for (name, postings) in &index.name_postings {
+        for (file, groups) in postings {
+            out.push_str(&format!("NP\t{name}\t{file}\t{}\n", join_groups(groups)));
+        }
+    }
+    for (user, postings) in &index.user_postings {
+        for (file, groups) in postings {
+            out.push_str(&format!("UP\t{user}\t{file}\t{}\n", join_groups(groups)));
+        }
+    }
+    for (user, s) in &index.user_summaries {
+        out.push_str(&format!(
+            "US\t{user}\t{}\t{}\t{}\t{}\n",
+            s.events, s.sessions, s.first_millis, s.last_millis
+        ));
+    }
+    out.into_bytes()
+}
+
+fn join_groups(groups: &BTreeSet<u32>) -> String {
+    groups
+        .iter()
+        .map(|g| g.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Tolerant inverse of [`encode`]: malformed lines are skipped, the same
+/// posture every reader in the pipeline takes toward corrupt records.
+pub fn decode(bytes: &[u8]) -> Option<HourIndex> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut index = HourIndex::default();
+    let mut saw_header = false;
+    for line in text.lines() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.as_slice() {
+            ["H", hour, records, events] => {
+                index.hour_index = hour.parse().ok()?;
+                index.records = records.parse().ok()?;
+                index.events = events.parse().ok()?;
+                saw_header = true;
+            }
+            ["F", name, groups, columnar] => index.files.push(FileEntry {
+                name: name.to_string(),
+                groups: groups.parse().ok()?,
+                columnar: *columnar == "1",
+            }),
+            ["N", name, count] => {
+                index
+                    .name_counts
+                    .insert(name.to_string(), count.parse().ok()?);
+            }
+            ["NP", name, file, groups] => {
+                index
+                    .name_postings
+                    .entry(name.to_string())
+                    .or_default()
+                    .insert(file.parse().ok()?, parse_groups(groups)?);
+            }
+            ["UP", user, file, groups] => {
+                index
+                    .user_postings
+                    .entry(user.parse().ok()?)
+                    .or_default()
+                    .insert(file.parse().ok()?, parse_groups(groups)?);
+            }
+            ["US", user, events, sessions, first, last] => {
+                index.user_summaries.insert(
+                    user.parse().ok()?,
+                    UserHourSummary {
+                        events: events.parse().ok()?,
+                        sessions: sessions.parse().ok()?,
+                        first_millis: first.parse().ok()?,
+                        last_millis: last.parse().ok()?,
+                    },
+                );
+            }
+            _ => continue,
+        }
+    }
+    saw_header.then_some(index)
+}
+
+fn parse_groups(s: &str) -> Option<BTreeSet<u32>> {
+    s.split(',').map(|g| g.parse().ok()).collect()
+}
+
+/// Commits an index beside its hour with the mover's assemble-then-rename
+/// discipline: write under `/index/serve-staging/...`, then atomically
+/// rename into `/index/serve/...`. Presence of the final directory *is*
+/// the commit; a crash before the rename leaves nothing partial behind,
+/// only a missing index that [`load_hour_index`] reports as absent and
+/// maintenance rebuilds. Recommitting (a rebuild) replaces the previous
+/// index wholesale.
+pub fn commit_hour_index(
+    warehouse: &Warehouse,
+    category: &str,
+    index: &HourIndex,
+) -> WarehouseResult<u64> {
+    let partition = HourlyPartition::from_hour_index(category, index.hour_index);
+    let staging = index_staging_dir(&partition);
+    let dir = index_dir(&partition);
+    if warehouse.is_dir(&staging) {
+        warehouse.delete_dir(&staging)?;
+    }
+    warehouse.mkdirs(&staging)?;
+    let bytes = encode(index);
+    let mut writer = warehouse.create(&staging.child(INDEX_FILE)?)?;
+    writer.append_record(&bytes);
+    writer.finish()?;
+    if warehouse.is_dir(&dir) {
+        warehouse.delete_dir(&dir)?;
+    }
+    warehouse.rename(&staging, &dir)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads a committed index, or `None` when the hour has never committed
+/// (or its record does not decode — treated as absent, forcing a rebuild).
+pub fn load_hour_index(
+    warehouse: &Warehouse,
+    category: &str,
+    hour_index: u64,
+) -> WarehouseResult<Option<HourIndex>> {
+    let partition = HourlyPartition::from_hour_index(category, hour_index);
+    let file = index_dir(&partition).child(INDEX_FILE)?;
+    if !warehouse.exists(&file) {
+        return Ok(None);
+    }
+    let records = warehouse.open(&file)?.read_all()?;
+    Ok(records.first().and_then(|r| decode(r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uli_core::{
+        write_client_events_columnar, ClientEvent, EventInitiator, EventName, Timestamp,
+    };
+
+    fn event(user: i64, session: &str, name: &str, millis: i64) -> ClientEvent {
+        ClientEvent::new(
+            EventInitiator::CLIENT_USER,
+            EventName::parse(name).unwrap(),
+            user,
+            session,
+            "10.0.0.1",
+            Timestamp(millis),
+        )
+    }
+
+    fn land_hour(wh: &Warehouse, hour: u64, events: &[ClientEvent], rows_per_group: usize) {
+        let dir = HourlyPartition::from_hour_index("client_events", hour).main_dir();
+        let path = dir.child("part-00000").unwrap();
+        write_client_events_columnar(wh, &path, events, true, rows_per_group).unwrap();
+    }
+
+    #[test]
+    fn build_posts_users_and_names_to_their_groups() {
+        let wh = Warehouse::new();
+        let mut events = Vec::new();
+        for i in 0..10 {
+            events.push(event(
+                i % 2,
+                &format!("s{}", i % 3),
+                "web:home:timeline:tweet:avatar:click",
+                1000 + i,
+            ));
+        }
+        // Rows-per-group 4 → groups {0,1,2}; both users appear in each.
+        land_hour(&wh, 0, &events, 4);
+        let idx = build_hour_index(&wh, "client_events", 0).unwrap();
+        assert_eq!(idx.records, 10);
+        assert_eq!(idx.events, 10);
+        assert_eq!(idx.files.len(), 1);
+        assert_eq!(idx.files[0].groups, 3);
+        assert!(idx.files[0].columnar);
+        assert_eq!(
+            idx.name_counts.get("web:home:timeline:tweet:avatar:click"),
+            Some(&10)
+        );
+        assert_eq!(idx.user_groups(0), 3);
+        assert_eq!(idx.user_groups(1), 3);
+        assert_eq!(idx.user_groups(42), 0);
+        let s = &idx.user_summaries[&0];
+        assert_eq!(s.events, 5);
+        assert!(s.sessions >= 1 && s.sessions <= 3);
+        assert_eq!(s.first_millis, 1000);
+    }
+
+    #[test]
+    fn missing_hour_builds_empty() {
+        let wh = Warehouse::new();
+        let idx = build_hour_index(&wh, "client_events", 7).unwrap();
+        assert_eq!(idx.records, 0);
+        assert!(idx.files.is_empty());
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let wh = Warehouse::new();
+        let events: Vec<ClientEvent> = (0..20)
+            .map(|i| {
+                event(
+                    i % 4,
+                    &format!("s{i}"),
+                    if i % 2 == 0 {
+                        "web:home:timeline:tweet:avatar:click"
+                    } else {
+                        "iphone:search:results:query:box:submit"
+                    },
+                    i * 50,
+                )
+            })
+            .collect();
+        land_hour(&wh, 3, &events, 8);
+        let idx = build_hour_index(&wh, "client_events", 3).unwrap();
+        let decoded = decode(&encode(&idx)).expect("round trip");
+        assert_eq!(decoded, idx);
+    }
+
+    #[test]
+    fn commit_then_load_and_recommit_replaces() {
+        let wh = Warehouse::new();
+        land_hour(&wh, 5, &[event(9, "s", "a:b:c:d:e:f", 10)], 8);
+        let idx = build_hour_index(&wh, "client_events", 5).unwrap();
+        let bytes = commit_hour_index(&wh, "client_events", &idx).unwrap();
+        assert!(bytes > 0);
+        let loaded = load_hour_index(&wh, "client_events", 5).unwrap().unwrap();
+        assert_eq!(loaded, idx);
+        // A rebuild recommits over the previous index wholesale.
+        commit_hour_index(&wh, "client_events", &idx).unwrap();
+        let again = load_hour_index(&wh, "client_events", 5).unwrap().unwrap();
+        assert_eq!(again, idx);
+        assert!(load_hour_index(&wh, "client_events", 6).unwrap().is_none());
+    }
+}

@@ -1,0 +1,380 @@
+//! Incremental index maintenance at the mover's exactly-once delivery
+//! point.
+//!
+//! [`IndexMaintainer`] implements [`uli_scribe::DeliveryTap`], so it fires
+//! exactly once per successful atomic slide — after the rename that makes
+//! the hour visible and after the mover's dedup commit, which is what makes
+//! re-delivered duplicates invisible to the index. On each delivered hour
+//! it builds the [`HourIndex`](crate::hour::HourIndex) by scanning the
+//! landed files, commits it with the assemble-then-rename protocol, and
+//! caches it for the query side.
+//!
+//! Crash safety is by construction: the only commit point is the rename of
+//! the staged index directory. A crash between hour-land and index-commit
+//! (simulated with [`IndexMaintainer::fail_next_commits`]) leaves a landed
+//! hour with no index — [`IndexMaintainer::recover`] finds it, rebuilds
+//! from the warehouse, and because a build is a wholesale scan of the
+//! committed hour, the rebuilt index can never double-count.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use uli_obs::{Counter, Gauge, Registry};
+use uli_scribe::DeliveryTap;
+use uli_warehouse::{HourlyPartition, Warehouse, WarehouseResult, WhPath};
+
+use crate::hour::{build_hour_index, commit_hour_index, encode, load_hour_index, HourIndex};
+
+/// Registry mirrors, `set_total` discipline: the maintainer state stays
+/// authoritative and the registry can only show values it computed.
+struct ServeObs {
+    hours_indexed: Counter,
+    postings_bytes: Counter,
+    lookups_served: Counter,
+    row_groups_pruned: Counter,
+    index_lag_hours: Gauge,
+}
+
+impl ServeObs {
+    fn new(registry: &Registry) -> ServeObs {
+        ServeObs {
+            hours_indexed: registry.counter("serve", "hours_indexed"),
+            postings_bytes: registry.counter("serve", "postings_bytes"),
+            lookups_served: registry.counter("serve", "lookups_served"),
+            row_groups_pruned: registry.counter("serve", "row_groups_pruned"),
+            index_lag_hours: registry.gauge("serve", "index_lag_hours"),
+        }
+    }
+}
+
+pub(crate) struct Inner {
+    pub(crate) warehouse: Warehouse,
+    pub(crate) category: String,
+    /// Committed hour indexes, cached for the query side.
+    pub(crate) hours: BTreeMap<u64, HourIndex>,
+    /// Newest hour the mover has delivered (observed via the tap).
+    pub(crate) newest_delivered: Option<u64>,
+    /// Sum of committed index sizes, in serialized bytes.
+    pub(crate) postings_bytes: u64,
+    /// Point lookups answered by the query side.
+    pub(crate) lookups_served: u64,
+    /// Row groups the index let lookups skip, cumulative.
+    pub(crate) row_groups_pruned: u64,
+    /// Decoded bytes spent building indexes (the maintenance overhead the
+    /// serving layer pays once per hour, amortized over every lookup).
+    pub(crate) build_decoded_bytes: u64,
+    /// Fault injection: skip this many build+commit attempts, simulating a
+    /// crash between hour-land and index-commit.
+    fail_commits: u64,
+    obs: Option<ServeObs>,
+}
+
+impl Inner {
+    /// Hours behind the newest delivered hour the index is. Zero when
+    /// fully caught up or nothing has been delivered; when nothing at all
+    /// is indexed, every delivered hour (0..=newest) is behind.
+    pub(crate) fn lag_hours(&self) -> u64 {
+        let Some(newest) = self.newest_delivered else {
+            return 0;
+        };
+        match self.hours.keys().next_back() {
+            Some(&indexed) => newest.saturating_sub(indexed),
+            None => newest + 1,
+        }
+    }
+
+    pub(crate) fn sync_obs(&self) {
+        let Some(obs) = &self.obs else { return };
+        obs.hours_indexed.set_total(self.hours.len() as u64);
+        obs.postings_bytes.set_total(self.postings_bytes);
+        obs.lookups_served.set_total(self.lookups_served);
+        obs.row_groups_pruned.set_total(self.row_groups_pruned);
+        obs.index_lag_hours
+            .set(self.lag_hours().min(i64::MAX as u64) as i64);
+    }
+
+    /// Builds and commits the index for one delivered hour, replacing any
+    /// previous index for that hour wholesale.
+    fn index_hour(&mut self, hour: u64) -> WarehouseResult<()> {
+        let before = self.warehouse.stats();
+        let index = build_hour_index(&self.warehouse, &self.category, hour)?;
+        self.build_decoded_bytes += self
+            .warehouse
+            .stats()
+            .since(&before)
+            .uncompressed_bytes_read;
+        let bytes = commit_hour_index(&self.warehouse, &self.category, &index)?;
+        if let Some(old) = self.hours.insert(hour, index) {
+            self.postings_bytes -= encode(&old).len() as u64;
+        }
+        self.postings_bytes += bytes;
+        Ok(())
+    }
+}
+
+/// The serving layer's index maintainer. Cloneable; all clones share
+/// state, so one clone can be boxed as the pipeline tap while another
+/// hands out query handles.
+#[derive(Clone)]
+pub struct IndexMaintainer {
+    pub(crate) inner: Arc<Mutex<Inner>>,
+}
+
+impl IndexMaintainer {
+    /// A maintainer bound to the main warehouse it indexes, with no
+    /// registry attached.
+    pub fn new(warehouse: Warehouse, category: impl Into<String>) -> IndexMaintainer {
+        Self::build(warehouse, category.into(), None)
+    }
+
+    /// A maintainer mirroring its counters into `serve/*` registry
+    /// metrics on every delivered hour and every lookup.
+    pub fn with_obs(
+        warehouse: Warehouse,
+        category: impl Into<String>,
+        registry: &Registry,
+    ) -> IndexMaintainer {
+        Self::build(warehouse, category.into(), Some(ServeObs::new(registry)))
+    }
+
+    fn build(warehouse: Warehouse, category: String, obs: Option<ServeObs>) -> IndexMaintainer {
+        IndexMaintainer {
+            inner: Arc::new(Mutex::new(Inner {
+                warehouse,
+                category,
+                hours: BTreeMap::new(),
+                newest_delivered: None,
+                postings_bytes: 0,
+                lookups_served: 0,
+                row_groups_pruned: 0,
+                build_decoded_bytes: 0,
+                fail_commits: 0,
+                obs,
+            })),
+        }
+    }
+
+    /// A boxed tap sharing this maintainer's state, ready for
+    /// [`uli_scribe::ScribePipeline::add_delivery_tap`].
+    pub fn tap(&self) -> Box<dyn DeliveryTap> {
+        Box::new(self.clone())
+    }
+
+    /// A query handle sharing this maintainer's state.
+    pub fn handle(&self) -> crate::handle::ServeHandle {
+        crate::handle::ServeHandle::new(self.inner.clone())
+    }
+
+    /// Fault injection: the next `n` delivered hours land but their index
+    /// build+commit is skipped, simulating a crash in the window between
+    /// hour-land and index-commit. [`IndexMaintainer::recover`] must make
+    /// the index whole again.
+    pub fn fail_next_commits(&self, n: u64) {
+        self.inner.lock().fail_commits = n;
+    }
+
+    /// Restart path: walks every delivered hour under `/logs/<category>`,
+    /// loads hours with a committed index, and rebuilds hours without one
+    /// (crash-window victims). Rebuilds replace wholesale, so recovery is
+    /// idempotent and can never double-count an hour.
+    pub fn recover(&self) -> WarehouseResult<u64> {
+        let mut inner = self.inner.lock();
+        let delivered = delivered_hours(&inner.warehouse, &inner.category)?;
+        let mut rebuilt = 0;
+        for hour in delivered {
+            inner.newest_delivered = Some(inner.newest_delivered.unwrap_or(0).max(hour));
+            if inner.hours.contains_key(&hour) {
+                continue;
+            }
+            match load_hour_index(&inner.warehouse, &inner.category, hour)? {
+                Some(index) => {
+                    inner.postings_bytes += encode(&index).len() as u64;
+                    inner.hours.insert(hour, index);
+                }
+                None => {
+                    inner.index_hour(hour)?;
+                    rebuilt += 1;
+                }
+            }
+        }
+        inner.sync_obs();
+        Ok(rebuilt)
+    }
+
+    /// Hours with a committed index, ascending.
+    pub fn indexed_hours(&self) -> Vec<u64> {
+        self.inner.lock().hours.keys().copied().collect()
+    }
+
+    /// The committed index for one hour, if any.
+    pub fn hour_index(&self, hour: u64) -> Option<HourIndex> {
+        self.inner.lock().hours.get(&hour).cloned()
+    }
+
+    /// Newest hour the mover has delivered, if any.
+    pub fn newest_delivered(&self) -> Option<u64> {
+        self.inner.lock().newest_delivered
+    }
+
+    /// Hours the index lags behind the newest delivered hour.
+    pub fn lag_hours(&self) -> u64 {
+        self.inner.lock().lag_hours()
+    }
+
+    /// Sum of committed index sizes in serialized bytes.
+    pub fn postings_bytes(&self) -> u64 {
+        self.inner.lock().postings_bytes
+    }
+
+    /// Decoded bytes spent building indexes so far.
+    pub fn build_decoded_bytes(&self) -> u64 {
+        self.inner.lock().build_decoded_bytes
+    }
+}
+
+/// Every delivered hour under `/logs/<category>`, ascending, by walking
+/// the year/month/day/hour directory tree.
+fn delivered_hours(warehouse: &Warehouse, category: &str) -> WarehouseResult<Vec<u64>> {
+    let root = match WhPath::parse(&format!("/logs/{category}")) {
+        Ok(p) => p,
+        Err(_) => return Ok(Vec::new()),
+    };
+    if !warehouse.is_dir(&root) {
+        return Ok(Vec::new());
+    }
+    let mut hours = Vec::new();
+    let mut stack = vec![(root, Vec::<u16>::new())];
+    while let Some((dir, parts)) = stack.pop() {
+        for (name, is_dir) in warehouse.list(&dir)? {
+            if !is_dir {
+                continue;
+            }
+            let Ok(n) = name.parse::<u16>() else { continue };
+            let mut next = parts.clone();
+            next.push(n);
+            let child = dir.child(&name)?;
+            if next.len() == 4 {
+                let partition = HourlyPartition {
+                    category: category.to_string(),
+                    year: next[0],
+                    month: next[1] as u8,
+                    day: next[2] as u8,
+                    hour: next[3] as u8,
+                };
+                hours.push(partition.hour_index());
+            } else {
+                stack.push((child, next));
+            }
+        }
+    }
+    hours.sort_unstable();
+    Ok(hours)
+}
+
+impl DeliveryTap for IndexMaintainer {
+    fn hour_delivered(&mut self, partition: &HourlyPartition, _payloads: &[Vec<u8>]) {
+        let mut inner = self.inner.lock();
+        if partition.category != inner.category {
+            return;
+        }
+        let hour = partition.hour_index();
+        inner.newest_delivered = Some(inner.newest_delivered.unwrap_or(0).max(hour));
+        if inner.fail_commits > 0 {
+            // Simulated crash between hour-land and index-commit: the hour
+            // is visible, the index is not. recover() repairs this.
+            inner.fail_commits -= 1;
+        } else if let Err(e) = inner.index_hour(hour) {
+            // Maintenance must never fail the delivery path; an unindexed
+            // hour surfaces as lag and recover() retries it.
+            debug_assert!(false, "index build failed for hour {hour}: {e}");
+        }
+        inner.sync_obs();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uli_core::{
+        write_client_events_columnar, ClientEvent, EventInitiator, EventName, Timestamp,
+    };
+
+    fn land_hour(wh: &Warehouse, hour: u64, n: i64) {
+        let events: Vec<ClientEvent> = (0..n)
+            .map(|i| {
+                ClientEvent::new(
+                    EventInitiator::CLIENT_USER,
+                    EventName::parse("web:home:timeline:tweet:avatar:click").unwrap(),
+                    i % 5,
+                    format!("s{i}"),
+                    "10.0.0.1",
+                    Timestamp(hour as i64 * 3_600_000 + i * 1000),
+                )
+            })
+            .collect();
+        let dir = HourlyPartition::from_hour_index("client_events", hour).main_dir();
+        write_client_events_columnar(wh, &dir.child("part-00000").unwrap(), &events, true, 8)
+            .unwrap();
+    }
+
+    fn deliver(m: &IndexMaintainer, hour: u64) {
+        let partition = HourlyPartition::from_hour_index("client_events", hour);
+        m.tap().hour_delivered(&partition, &[]);
+    }
+
+    #[test]
+    fn delivered_hours_are_indexed_and_persisted() {
+        let wh = Warehouse::new();
+        let m = IndexMaintainer::new(wh.clone(), "client_events");
+        land_hour(&wh, 0, 20);
+        land_hour(&wh, 1, 10);
+        deliver(&m, 0);
+        deliver(&m, 1);
+        assert_eq!(m.indexed_hours(), vec![0, 1]);
+        assert_eq!(m.lag_hours(), 0);
+        assert!(m.postings_bytes() > 0);
+        assert_eq!(m.hour_index(0).unwrap().events, 20);
+        // A fresh maintainer reloads the committed indexes, no rebuild.
+        let m2 = IndexMaintainer::new(wh.clone(), "client_events");
+        assert_eq!(m2.recover().unwrap(), 0);
+        assert_eq!(m2.hour_index(1), m.hour_index(1));
+    }
+
+    #[test]
+    fn crash_between_land_and_commit_recovers_without_double_count() {
+        let wh = Warehouse::new();
+        let m = IndexMaintainer::new(wh.clone(), "client_events");
+        land_hour(&wh, 0, 16);
+        deliver(&m, 0);
+        land_hour(&wh, 1, 24);
+        m.fail_next_commits(1);
+        deliver(&m, 1); // hour lands, index commit "crashes"
+        assert_eq!(m.indexed_hours(), vec![0]);
+        assert_eq!(m.lag_hours(), 1);
+        assert_eq!(m.recover().unwrap(), 1);
+        assert_eq!(m.indexed_hours(), vec![0, 1]);
+        assert_eq!(m.lag_hours(), 0);
+        assert_eq!(m.hour_index(1).unwrap().events, 24);
+        // Recovering again is a no-op: wholesale rebuilds never add.
+        assert_eq!(m.recover().unwrap(), 0);
+        assert_eq!(m.hour_index(1).unwrap().events, 24);
+    }
+
+    #[test]
+    fn obs_mirrors_maintainer_state() {
+        let registry = Registry::new();
+        let wh = Warehouse::new();
+        let m = IndexMaintainer::with_obs(wh.clone(), "client_events", &registry);
+        land_hour(&wh, 2, 12);
+        deliver(&m, 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("serve/hours_indexed"), Some(1));
+        assert_eq!(
+            snap.counter_value("serve/postings_bytes"),
+            Some(m.postings_bytes())
+        );
+        assert_eq!(snap.gauge_value("serve/index_lag_hours"), Some(0));
+        assert!(registry.duplicate_registrations().is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! The `uli serve` REPL: a line-oriented command surface over
+//! [`ServeHandle`], reading commands and writing answers through any
+//! `BufRead`/`Write` pair so tests can drive it with strings.
+
+use std::io::{self, BufRead, Write};
+
+use uli_dataflow::{Tuple, Value};
+
+use crate::handle::ServeHandle;
+
+const HELP: &str = "\
+commands:
+  sessions <user> [day]       the user's sessions for a day (default day 0)
+  count <event> [--last <n>h] exact event count (over the last n indexed hours)
+  top-names <hour> [k]        most frequent event names in an hour (default k 10)
+  user-events <user> <hour>   the user's raw events in an hour
+  lag                         hours the index lags the newest delivered hour
+  help                        this text
+  quit                        exit";
+
+fn render_tuple(t: &Tuple) -> String {
+    t.iter()
+        .map(|v| match v {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\t")
+}
+
+/// Runs the REPL until EOF or `quit`. Every answer line is prefixed with
+/// nothing; errors go to the same writer prefixed `error:` so a scripted
+/// session stays one readable transcript.
+pub fn run_repl(
+    handle: &ServeHandle,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            [] => continue,
+            ["quit"] | ["exit"] => break,
+            ["help"] => writeln!(output, "{HELP}")?,
+            ["lag"] => writeln!(output, "index_lag_hours\t{}", handle.lag_hours())?,
+            ["sessions", user] | ["sessions", user, _] => {
+                let Ok(user) = user.parse::<i64>() else {
+                    writeln!(output, "error: bad user id")?;
+                    continue;
+                };
+                let day = match words.get(2).map(|d| d.parse::<u64>()) {
+                    Some(Ok(d)) => d,
+                    Some(Err(_)) => {
+                        writeln!(output, "error: bad day")?;
+                        continue;
+                    }
+                    None => 0,
+                };
+                match handle.sessions(user, day) {
+                    Ok((sessions, stats)) => {
+                        for s in &sessions {
+                            writeln!(
+                                output,
+                                "{}\t{}\t{}\t{}s\t{}",
+                                s.user_id,
+                                s.session_id,
+                                s.start.millis(),
+                                s.duration_secs,
+                                s.events
+                                    .iter()
+                                    .map(|e| e.as_str())
+                                    .collect::<Vec<_>>()
+                                    .join(",")
+                            )?;
+                        }
+                        writeln!(
+                            output,
+                            "({} sessions, {} groups read, {} pruned)",
+                            sessions.len(),
+                            stats.groups_read,
+                            stats.groups_pruned
+                        )?;
+                    }
+                    Err(e) => writeln!(output, "error: {e}")?,
+                }
+            }
+            ["count", name, rest @ ..] => {
+                let hours: Vec<u64> = match rest {
+                    [] => handle.indexed_hours(),
+                    ["--last", n] => match n.strip_suffix('h').unwrap_or(n).parse::<u64>() {
+                        Ok(n) => {
+                            let indexed = handle.indexed_hours();
+                            match indexed.last() {
+                                Some(&end) => (end.saturating_sub(n.saturating_sub(1))..=end)
+                                    .filter(|h| indexed.binary_search(h).is_ok())
+                                    .collect(),
+                                None => Vec::new(),
+                            }
+                        }
+                        Err(_) => {
+                            writeln!(output, "error: bad --last window")?;
+                            continue;
+                        }
+                    },
+                    _ => {
+                        writeln!(output, "error: usage: count <event> [--last <n>h]")?;
+                        continue;
+                    }
+                };
+                let answer = handle.count(name, hours);
+                for row in &answer.rows {
+                    writeln!(output, "{}", render_tuple(row))?;
+                }
+            }
+            ["top-names", hour] | ["top-names", hour, _] => {
+                let Ok(hour) = hour.parse::<u64>() else {
+                    writeln!(output, "error: bad hour")?;
+                    continue;
+                };
+                let k = match words.get(2).map(|k| k.parse::<usize>()) {
+                    Some(Ok(k)) => k,
+                    Some(Err(_)) => {
+                        writeln!(output, "error: bad k")?;
+                        continue;
+                    }
+                    None => 10,
+                };
+                for row in &handle.top_names(hour, k).rows {
+                    writeln!(output, "{}", render_tuple(row))?;
+                }
+            }
+            ["user-events", user, hour] => match (user.parse::<i64>(), hour.parse::<u64>()) {
+                (Ok(user), Ok(hour)) => match handle.user_events(user, hour) {
+                    Ok(answer) => {
+                        for row in &answer.rows {
+                            writeln!(output, "{}", render_tuple(row))?;
+                        }
+                        writeln!(
+                            output,
+                            "({} events, {} groups read, {} pruned, {} bytes decoded)",
+                            answer.rows.len(),
+                            answer.stats.groups_read,
+                            answer.stats.groups_pruned,
+                            answer.stats.decoded_bytes
+                        )?;
+                    }
+                    Err(e) => writeln!(output, "error: {e}")?,
+                },
+                _ => writeln!(output, "error: usage: user-events <user> <hour>")?,
+            },
+            _ => writeln!(output, "error: unknown command (try `help`)")?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexMaintainer;
+    use uli_core::{
+        write_client_events_columnar, ClientEvent, EventInitiator, EventName, Timestamp,
+    };
+    use uli_warehouse::{HourlyPartition, Warehouse};
+
+    fn handle() -> ServeHandle {
+        let wh = Warehouse::new();
+        let events: Vec<ClientEvent> = (0..10)
+            .map(|i| {
+                ClientEvent::new(
+                    EventInitiator::CLIENT_USER,
+                    EventName::parse("web:home:timeline:tweet:avatar:click").unwrap(),
+                    i % 2,
+                    format!("s{}", i % 2),
+                    "10.0.0.1",
+                    Timestamp(i * 1000),
+                )
+            })
+            .collect();
+        let dir = HourlyPartition::from_hour_index("client_events", 0).main_dir();
+        write_client_events_columnar(&wh, &dir.child("part-00000").unwrap(), &events, true, 4)
+            .unwrap();
+        let m = IndexMaintainer::new(wh, "client_events");
+        m.tap()
+            .hour_delivered(&HourlyPartition::from_hour_index("client_events", 0), &[]);
+        m.handle()
+    }
+
+    fn transcript(script: &str) -> String {
+        let mut out = Vec::new();
+        run_repl(&handle(), script.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn commands_answer_and_quit_stops() {
+        let out = transcript(
+            "count web:home:timeline:tweet:avatar:click\n\
+             top-names 0 1\n\
+             user-events 0 0\n\
+             sessions 0 0\n\
+             lag\n\
+             quit\n\
+             count never:reached:a:b:c:d\n",
+        );
+        assert!(out.starts_with("10\n"), "count first: {out}");
+        assert!(out.contains("web:home:timeline:tweet:avatar:click\t10"));
+        assert!(out.contains("(5 events"));
+        assert!(out.contains("(1 sessions"));
+        assert!(out.contains("index_lag_hours\t0"));
+        assert!(!out.contains("never:reached"));
+    }
+
+    #[test]
+    fn count_last_window_and_errors() {
+        let out = transcript(
+            "count web:home:timeline:tweet:avatar:click --last 1h\n\
+             count x --last zh\n\
+             bogus\n\
+             user-events nope 0\n",
+        );
+        assert!(out.starts_with("10\n"));
+        assert!(out.contains("error: bad --last window"));
+        assert!(out.contains("error: unknown command"));
+        assert!(out.contains("error: usage: user-events"));
+    }
+}

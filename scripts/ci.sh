@@ -113,4 +113,38 @@ if ! grep -q '"chaos_reconciled": true' target/e21_smoke.metrics.json; then
     exit 1
 fi
 
+echo "== serving gate (e22 smoke metrics vs golden)"
+# Point lookups off the incrementally-maintained index vs the batch
+# engine over the pinned smoke day: every answer must be byte-identical
+# to batch at every worker count, the suite must decode at least 50x
+# fewer bytes than the batch path, the serve/* registry must reconcile
+# against the maintainer state, and chaos indexes (with crash-window
+# injection between hour-land and index-commit) must account for exactly
+# the delivered partition after recovery. The repro binary exits nonzero
+# if any invariant fails; the greps keep the gate honest against
+# accidental gate removal.
+cargo run --release -q -p uli-bench --bin repro -- --smoke e22
+if ! diff -u crates/bench/golden/e22_smoke.golden.json target/e22_smoke.metrics.json; then
+    echo "serving gate: smoke metrics drifted from the golden file." >&2
+    echo "If the change is intentional, refresh it with:" >&2
+    echo "  cp target/e22_smoke.metrics.json crates/bench/golden/e22_smoke.golden.json" >&2
+    exit 1
+fi
+if ! grep -q '"answers_match": true' target/e22_smoke.metrics.json; then
+    echo "serving gate: a serving answer diverged from the batch engine." >&2
+    exit 1
+fi
+if ! grep -q '"index_lag_hours": 0,' target/e22_smoke.metrics.json; then
+    echo "serving gate: the index lagged the delivered day." >&2
+    exit 1
+fi
+if ! grep -q '"obs_reconciled": true' target/e22_smoke.metrics.json; then
+    echo "serving gate: serve/* registry metrics diverged from maintainer state." >&2
+    exit 1
+fi
+if ! grep -q '"chaos_consistent": true' target/e22_smoke.metrics.json; then
+    echo "serving gate: chaos indexes diverged from the delivered partition." >&2
+    exit 1
+fi
+
 echo "ci: all green"

@@ -13,6 +13,8 @@
 //! uli scrape                       §3.1 legacy-JSON format archaeology
 //! uli grammar                      §6 Re-Pair motifs over sessions
 //! uli ingest                       drive a day through the Scribe tier
+//! uli serve                        land a day columnar, index it, answer
+//!                                  point lookups from stdin (REPL)
 //! ```
 //!
 //! Common flags: `--users N` (default 300), `--seed S`, `--days D`,
@@ -438,6 +440,72 @@ fn cmd_ingest(cli: &Cli) {
     );
 }
 
+/// Lands the requested days through the Scribe tier with a columnar
+/// landing and the serving layer's index maintainer tapped at the mover's
+/// delivery point, then answers point lookups from stdin until EOF.
+fn cmd_serve(cli: &Cli) -> Result<(), String> {
+    use std::sync::Arc;
+    use unified_logging::core::ClientEventLanding;
+    use unified_logging::serve::{run_repl, IndexMaintainer};
+
+    let config = PipelineConfig {
+        datacenters: 2,
+        hosts_per_dc: 4,
+        aggregators_per_dc: 2,
+        records_per_file: 10_000,
+        batch: batch_policy(cli),
+    };
+    let workload = WorkloadConfig {
+        users: cli.users,
+        seed: cli.seed,
+        ..Default::default()
+    };
+    let mut pipe = match &cli.registry {
+        Some(registry) => ScribePipeline::new_with_obs(config, registry),
+        None => ScribePipeline::new(config),
+    };
+    pipe.set_columnar_landing(Arc::new(ClientEventLanding::default()));
+    let maintainer = match &cli.registry {
+        Some(registry) => {
+            IndexMaintainer::with_obs(pipe.main_warehouse().clone(), "client_events", registry)
+        }
+        None => IndexMaintainer::new(pipe.main_warehouse().clone(), "client_events"),
+    };
+    pipe.add_delivery_tap(maintainer.tap());
+    for d in 0..cli.days {
+        let day = generate_day(&workload, d);
+        for hour in d * 24..(d + 1) * 24 {
+            for (i, ev) in day
+                .events
+                .iter()
+                .filter(|e| e.timestamp.hour_index() == hour)
+                .enumerate()
+            {
+                let dc = (ev.user_id as usize) % config.datacenters;
+                pipe.log(
+                    dc,
+                    i % config.hosts_per_dc,
+                    LogEntry::new("client_events", ev.to_bytes()),
+                );
+            }
+            pipe.step();
+            pipe.flush_hour(hour);
+            pipe.seal_hour("client_events", hour);
+            pipe.move_hour("client_events", hour)
+                .expect("fault-free ingest: every hour moves");
+        }
+    }
+    let handle = maintainer.handle();
+    eprintln!(
+        "serve: {} day(s) delivered and indexed ({} hours, lag {}); try `help`",
+        cli.days,
+        handle.indexed_hours().len(),
+        handle.lag_hours()
+    );
+    let stdin = std::io::stdin();
+    run_repl(&handle, stdin.lock(), std::io::stdout()).map_err(|e| e.to_string())
+}
+
 fn main() -> ExitCode {
     let mut cli = match parse_args() {
         Ok(c) => c,
@@ -476,9 +544,10 @@ fn main() -> ExitCode {
             cmd_ingest(&cli);
             Ok(())
         }
+        "serve" => cmd_serve(&cli),
         other => Err(format!(
             "unknown command {other:?}; commands: demo, script, catalog, flow, funnel, scrape, \
-             grammar, ingest"
+             grammar, ingest, serve"
         )),
     };
     let result = result.and_then(|()| match (&cli.metrics, &cli.registry) {

@@ -15,6 +15,7 @@
 //! | [`core`] | `uli-core` | Client events + session sequences (§3.2, §4) |
 //! | [`analytics`] | `uli-analytics` | Counting, funnels, user modeling (§5) |
 //! | [`index`] | `uli-index` | Elephant Twin indexing (§6) |
+//! | [`serve`] | `uli-serve` | Interactive serving layer with incremental indexes (§6) |
 //! | [`obs`] | `uli-obs` | Deterministic metrics + span tracing across all layers |
 //! | [`workload`] | `uli-workload` | Synthetic traffic with ground truth |
 //!
@@ -52,6 +53,7 @@ pub use uli_index as index;
 pub use uli_obs as obs;
 pub use uli_oink as oink;
 pub use uli_scribe as scribe;
+pub use uli_serve as serve;
 pub use uli_thrift as thrift;
 pub use uli_warehouse as warehouse;
 pub use uli_workload as workload;
@@ -75,6 +77,7 @@ pub mod prelude {
     pub use uli_oink::{compute_rollups, Oink, RollupTable};
     pub use uli_scribe::pipeline::PipelineConfig;
     pub use uli_scribe::{BatchPolicy, LogEntry, PipelineReport, ScribePipeline};
+    pub use uli_serve::{IndexMaintainer, ServeHandle};
     pub use uli_warehouse::{Warehouse, WhPath};
     pub use uli_workload::{
         generate_day, signup_funnel, write_client_events, write_legacy_events, WorkloadConfig,

@@ -233,3 +233,76 @@ fn main_outage_at_every_move_stays_all_or_nothing() {
         assert!(o.report.moved > 0, "seed {seed}: nothing delivered");
     }
 }
+
+/// Serving-layer consistency under chaos: an [`uli_serve::IndexMaintainer`]
+/// rides the delivery tap through the full fault mix, with a crash injected
+/// in the window between hour-land and index-commit on two of every three
+/// seeds. The landed hours stay visible while their index is missing;
+/// after `recover()` the index must account for exactly the audited
+/// delivered partition — never a lost hour, never a double count — and a
+/// second recovery must change nothing.
+#[test]
+fn serving_index_reconciles_with_delivered_partition_under_chaos() {
+    use std::cell::RefCell;
+    use uli_serve::IndexMaintainer;
+
+    let cfg = ChaosConfig::default();
+    let mut rebuilt_total = 0u64;
+    for seed in 700..716 {
+        let injected = seed % 3; // 0, 1, or 2 crash windows per seed
+        let slot: RefCell<Option<IndexMaintainer>> = RefCell::new(None);
+        let o = uli_scribe::run_chaos_prepared(seed, &cfg, |pipe| {
+            let m = IndexMaintainer::new(pipe.main_warehouse().clone(), "client_events");
+            m.fail_next_commits(injected);
+            pipe.add_delivery_tap(m.tap());
+            *slot.borrow_mut() = Some(m);
+        });
+        assert!(
+            o.is_clean(),
+            "seed {seed}: delivery invariants broke under the tap: {:?}",
+            o.accounting.violations
+        );
+        let m = slot.into_inner().expect("chaos prepare ran");
+        let rebuilt = m
+            .recover()
+            .unwrap_or_else(|e| panic!("seed {seed}: recover: {e}"));
+        let hours = m.indexed_hours();
+        assert_eq!(
+            rebuilt,
+            injected.min(hours.len() as u64),
+            "seed {seed}: recover() must rebuild exactly the crash-window hours"
+        );
+        rebuilt_total += rebuilt;
+        assert_eq!(m.lag_hours(), 0, "seed {seed}: index lags after recovery");
+        let indexed: u64 = hours
+            .iter()
+            .filter_map(|&h| m.hour_index(h))
+            .map(|i| i.records)
+            .sum();
+        assert_eq!(
+            indexed,
+            o.accounting.delivered,
+            "seed {seed}: serve index must account for exactly the audited \
+             delivered partition ({} hours indexed)",
+            hours.len()
+        );
+        // Recovery is idempotent: running it again rebuilds nothing and
+        // the accounting stands.
+        assert_eq!(
+            m.recover().unwrap(),
+            0,
+            "seed {seed}: recover not idempotent"
+        );
+        let again: u64 = m
+            .indexed_hours()
+            .iter()
+            .filter_map(|&h| m.hour_index(h))
+            .map(|i| i.records)
+            .sum();
+        assert_eq!(again, indexed, "seed {seed}: re-recovery changed counts");
+    }
+    assert!(
+        rebuilt_total > 0,
+        "no seed exercised the land/commit crash window: sweep too tame"
+    );
+}
