@@ -410,6 +410,56 @@ fn main() -> ExitCode {
             }
             continue;
         }
+        if id == "e23" {
+            // The delivery run gates on its own invariants: landed files,
+            // seen-set, and tap dispatch byte-identical to the serial
+            // mover at workers {1,4,8}; the chaos sweep clean and
+            // identical to serial with the 8-worker mover; and >=3x
+            // speedup at 8 workers (cost-model basis on single-core
+            // hosts, per the honesty convention). Smoke pins the day and
+            // seed count so the golden stays fixed; full scale drives the
+            // 1m-user day and persists BENCH_delivery.json.
+            use uli_bench::experiments::e23_delivery as e23;
+            let m = if smoke {
+                e23::smoke_snapshot()
+            } else {
+                e23::measure()
+            };
+            println!("{}", "=".repeat(74));
+            println!("{}", e23::render(&m));
+            if !m.identical_across_workers {
+                eprintln!("e23: parallel delivery diverged from serial");
+                failed = true;
+            }
+            if !m.chaos_clean {
+                eprintln!("e23: a chaos seed violated a delivery invariant");
+                failed = true;
+            }
+            if !m.chaos_matches_serial {
+                eprintln!("e23: parallel chaos outcome diverged from serial");
+                failed = true;
+            }
+            if m.gate_speedup_at_8 < 3.0 {
+                eprintln!(
+                    "e23: speedup at 8 workers {:.2}x under the 3x gate",
+                    m.gate_speedup_at_8
+                );
+                failed = true;
+            }
+            let (path, payload) = if smoke {
+                ("target/e23_smoke.metrics.json", e23::to_json(&m))
+            } else {
+                ("BENCH_delivery.json", e23::to_json(&m))
+            };
+            match std::fs::write(path, payload) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
         match uli_bench::run_experiment(id) {
             Some(report) => {
                 println!("{}", "=".repeat(74));

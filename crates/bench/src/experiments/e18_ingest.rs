@@ -111,6 +111,7 @@ fn run_once(users: u64, label: &str, batch: BatchPolicy) -> IngestSample {
         aggregators_per_dc: 2,
         records_per_file: 10_000,
         batch,
+        ..Default::default()
     };
     let day = generate_day(
         &WorkloadConfig {

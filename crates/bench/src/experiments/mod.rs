@@ -14,6 +14,7 @@ pub mod e1_scribe;
 pub mod e20_scale;
 pub mod e21_stream;
 pub mod e22_serve;
+pub mod e23_delivery;
 pub mod e2_rollups;
 pub mod e3_codec;
 pub mod e4_compression;

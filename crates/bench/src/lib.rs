@@ -8,7 +8,7 @@
 pub mod experiments;
 pub mod harness;
 
-/// Runs one experiment by id (`"e1"`…`"e22"`), returning its report.
+/// Runs one experiment by id (`"e1"`…`"e23"`), returning its report.
 pub fn run_experiment(id: &str) -> Option<String> {
     let out = match id {
         "e1" => experiments::e1_scribe::run(),
@@ -33,13 +33,14 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e20" => experiments::e20_scale::run(),
         "e21" => experiments::e21_stream::run(),
         "e22" => experiments::e22_serve::run(),
+        "e23" => experiments::e23_delivery::run(),
         _ => return None,
     };
     Some(out)
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 22] = [
+pub const ALL_EXPERIMENTS: [&str; 23] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
 ];

@@ -258,6 +258,7 @@ impl Default for ChaosConfig {
                 aggregators_per_dc: 2,
                 records_per_file: 64,
                 batch: crate::daemon::BatchPolicy::default(),
+                workers: uli_warehouse::Parallelism::serial(),
             },
             steps: 48,
             steps_per_hour: 8,

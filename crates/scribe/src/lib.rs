@@ -37,6 +37,7 @@ pub mod message;
 pub mod mover;
 pub mod network;
 pub mod pipeline;
+pub mod seen;
 pub mod staged;
 pub mod tap;
 
@@ -51,4 +52,5 @@ pub use message::{EntryId, LogEntry, MessageBatch};
 pub use mover::{LogMover, MoveReport};
 pub use network::{LinkFaults, Network};
 pub use pipeline::{PipelineConfig, PipelineReport, ScribePipeline};
+pub use seen::SeenSet;
 pub use tap::DeliveryTap;

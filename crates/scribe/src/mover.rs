@@ -8,13 +8,44 @@
 //! given log category have transferred their logs. Once all of this is done,
 //! the log mover pipeline atomically slides an hour's worth of logs into the
 //! main data warehouse." (§2)
+//!
+//! ## Parallel pipelined delivery
+//!
+//! The hot path of a move is staged in three phases so the heavy work
+//! shards across a [`ScanPool`] while every exactly-once guarantee keeps a
+//! single serialization point:
+//!
+//! 1. **Decode** (parallel): each staged file is read, sanity-checked and
+//!    envelope-decoded independently — pure per-file work with no shared
+//!    state, mapped over the pool in input order.
+//! 2. **Merge** (serial): decoded files are walked in the exact datacenter
+//!    → file → record order the serial mover used, deduping against the
+//!    seen set. This stage is the determinism anchor: it alone decides
+//!    which records land, their order, and the `moved_ids` sequence, so
+//!    the result is byte-identical at any worker count.
+//! 3. **Land** (parallel): the accepted record sequence is cut into
+//!    `records_per_file` chunks; each chunk's encode + block compression is
+//!    an independent pool task writing `part-{chunk:05}`. File bytes are a
+//!    pure function of chunk contents, and the warehouse tree is keyed by
+//!    path, so install order cannot leak into the landed hour. Workers
+//!    draw reusable [`Compressor`](uli_warehouse::compress::Compressor)s
+//!    from the warehouse's shared pool, so compression of one chunk
+//!    overlaps encode of the next without re-paying allocation.
+//!
+//! The **commit** — atomic slide, seen-set extend + compaction, tap
+//! dispatch — stays serial and runs only after every chunk landed, so taps
+//! fire exactly once per successful slide, in payload order, same as serial.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use uli_warehouse::{ColumnarLanding, HourlyPartition, Warehouse, WarehouseError, WarehouseResult};
+use uli_warehouse::{
+    ColumnarLanding, HourlyPartition, Parallelism, ScanPool, Warehouse, WarehouseError,
+    WarehouseResult, WhPath,
+};
 
 use crate::message::EntryId;
+use crate::seen::SeenSet;
 use crate::staged;
 use crate::tap::DeliveryTap;
 
@@ -42,6 +73,14 @@ pub struct MoveReport {
     pub duplicates: u64,
     /// Delivery ids of the stamped records this move made visible.
     pub moved_ids: Vec<EntryId>,
+    /// Uncompressed staged bytes the decode stage read (accepted files
+    /// only). Deterministic — the cost-model input for the parallel decode
+    /// stage.
+    pub decode_bytes: u64,
+    /// Payload bytes handed to the landing stage (encode + compression
+    /// input). Deterministic — the cost-model input for the parallel land
+    /// stage.
+    pub encode_bytes: u64,
 }
 
 /// Errors specific to the mover's readiness protocol.
@@ -87,25 +126,102 @@ pub fn seal_hour(staging: &Warehouse, partition: &HourlyPartition) -> WarehouseR
     Ok(())
 }
 
+/// Registry-backed delivery metrics, attached via [`LogMover::attach_obs`].
+/// Counters accumulate across successful moves; gauges track the compacted
+/// seen set. The mover also opens `delivery/{decode,merge,land}` spans
+/// around the three pipeline stages when obs is attached.
+struct DeliveryObs {
+    registry: uli_obs::Registry,
+    hours_moved: uli_obs::Counter,
+    records_moved: uli_obs::Counter,
+    duplicates_squashed: uli_obs::Counter,
+    files_rejected: uli_obs::Counter,
+    records_dropped: uli_obs::Counter,
+    output_files: uli_obs::Counter,
+    decode_bytes: uli_obs::Counter,
+    encode_bytes: uli_obs::Counter,
+    seen_residual_ids: uli_obs::Gauge,
+    seen_watermark_hosts: uli_obs::Gauge,
+}
+
+impl DeliveryObs {
+    fn new(registry: &uli_obs::Registry) -> Self {
+        DeliveryObs {
+            registry: registry.clone(),
+            hours_moved: registry.counter("delivery", "hours_moved"),
+            records_moved: registry.counter("delivery", "records_moved"),
+            duplicates_squashed: registry.counter("delivery", "duplicates_squashed"),
+            files_rejected: registry.counter("delivery", "files_rejected"),
+            records_dropped: registry.counter("delivery", "records_dropped"),
+            output_files: registry.counter("delivery", "output_files"),
+            decode_bytes: registry.counter("delivery", "decode_bytes"),
+            encode_bytes: registry.counter("delivery", "encode_bytes"),
+            seen_residual_ids: registry.gauge("delivery", "seen_residual_ids"),
+            seen_watermark_hosts: registry.gauge("delivery", "seen_watermark_hosts"),
+        }
+    }
+
+    /// Folds one successful move into the counters and refreshes the
+    /// seen-set gauges.
+    fn record(&self, report: &MoveReport, seen: &SeenSet) {
+        self.hours_moved.inc();
+        self.records_moved.add(report.records);
+        self.duplicates_squashed.add(report.duplicates);
+        self.files_rejected.add(report.rejected_files);
+        self.records_dropped.add(report.dropped);
+        self.output_files.add(report.output_files);
+        self.decode_bytes.add(report.decode_bytes);
+        self.encode_bytes.add(report.encode_bytes);
+        self.seen_residual_ids.set(seen.residual_len() as i64);
+        self.seen_watermark_hosts
+            .set(seen.watermarked_hosts() as i64);
+    }
+
+    fn span(&self, name: &str) -> uli_obs::SpanGuard {
+        self.registry.span("delivery", name)
+    }
+}
+
+/// One staged file after the parallel decode stage.
+enum DecodedFile {
+    /// Sanity checks rejected the whole file (corrupt/truncated block).
+    Rejected,
+    /// The file decoded; records carry their envelope id (if stamped).
+    Decoded {
+        /// Records dropped inside this file (bad envelopes, empty payloads).
+        dropped: u64,
+        /// Uncompressed record bytes read from this file.
+        bytes: u64,
+        /// Surviving `(id, payload)` pairs, in file order.
+        records: Vec<(Option<EntryId>, Vec<u8>)>,
+    },
+}
+
 /// The mover: merges sealed staging hours into the main warehouse.
 ///
 /// The mover is idempotent under re-delivery: it remembers the delivery
-/// ids of every stamped record it has moved (across hours) and squashes
-/// duplicates during the merge, and a whole hour that is already present
-/// is refused with [`MoveError::AlreadyMoved`]. Envelopes are stripped —
-/// only bare payloads reach the main warehouse.
+/// ids of every stamped record it has moved (across hours, compacted to
+/// per-host watermarks — see [`SeenSet`]) and squashes duplicates during
+/// the merge, and a whole hour that is already present is refused with
+/// [`MoveError::AlreadyMoved`]. Envelopes are stripped — only bare
+/// payloads reach the main warehouse.
 pub struct LogMover {
     main: Warehouse,
     /// Target number of records per merged output file.
     records_per_file: u64,
     /// Delivery ids already made visible in the main warehouse.
-    seen: HashSet<EntryId>,
+    seen: SeenSet,
     /// Columnar landing codec, when the category lands columnar. `None`
     /// keeps the original row-format landing.
     landing: Option<Arc<dyn ColumnarLanding>>,
     /// Delivery taps, notified once per successful slide with the records
     /// it made visible.
     taps: Vec<Box<dyn DeliveryTap>>,
+    /// Worker count for the decode and land stages. Serial by default;
+    /// every worker count lands byte-identical hours.
+    workers: Parallelism,
+    /// Delivery counters + spans, when attached.
+    obs: Option<DeliveryObs>,
 }
 
 impl LogMover {
@@ -116,10 +232,41 @@ impl LogMover {
         LogMover {
             main,
             records_per_file,
-            seen: HashSet::new(),
+            seen: SeenSet::new(),
             landing: None,
             taps: Vec::new(),
+            workers: Parallelism::serial(),
+            obs: None,
         }
+    }
+
+    /// Shards the decode and land stages across `workers`. The merge and
+    /// commit stay serial, so output is byte-identical at any setting.
+    pub fn with_parallelism(mut self, workers: Parallelism) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// In-place form of [`LogMover::with_parallelism`].
+    pub fn set_parallelism(&mut self, workers: Parallelism) {
+        self.workers = workers;
+    }
+
+    /// The configured delivery parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.workers
+    }
+
+    /// Registers `delivery/*` counters and gauges in `registry` and opens
+    /// `delivery/{decode,merge,land}` spans around every subsequent move.
+    pub fn attach_obs(&mut self, registry: &uli_obs::Registry) {
+        self.obs = Some(DeliveryObs::new(registry));
+    }
+
+    /// Canonical snapshot of the seen set (sorted watermarks + sorted
+    /// residual ids) — the identity tests' view of dedup state.
+    pub fn seen_snapshot(&self) -> (Vec<(u64, u64)>, Vec<EntryId>) {
+        self.seen.snapshot()
     }
 
     /// Attaches a delivery tap. Taps observe every record a successful
@@ -186,22 +333,16 @@ impl LogMover {
             dropped: 0,
             duplicates: 0,
             moved_ids: Vec::new(),
+            decode_bytes: 0,
+            encode_bytes: 0,
         };
-        // Ids first seen during this move. Only committed to `self.seen`
-        // once the slide succeeds, so a failed attempt can be retried
-        // without its records counting as duplicates.
-        let mut fresh: HashSet<EntryId> = HashSet::new();
-        // Payloads this move will make visible, buffered for the taps and
-        // released only after the slide succeeds (same commit point as
-        // `fresh`), so a failed move feeds taps nothing.
-        let mut tapped: Vec<Vec<u8>> = Vec::new();
-        let mut out: Option<uli_warehouse::RecordFileWriter> = None;
-        let mut out_records = 0u64;
-        let mut out_idx = 0u64;
-        // Columnar landing buffers a whole output file's payloads: the
-        // landing codec needs them together to build the per-file dictionary.
-        let mut chunk: Vec<Vec<u8>> = Vec::new();
+        let pool = ScanPool::new(self.workers);
 
+        // Stage 1 — decode (parallel). Gather the staged files in the
+        // canonical datacenter → sorted-file order, then decode each one
+        // independently: pure per-file work, results re-sequenced to input
+        // order by the pool.
+        let mut inputs: Vec<(&Warehouse, WhPath)> = Vec::new();
         for (_dc, wh) in staging {
             let files = match wh.list_files_recursive(&src_dir) {
                 Ok(f) => f,
@@ -212,105 +353,103 @@ impl LogMover {
                 if file.name() == DONE_MARKER {
                     continue;
                 }
-                // Sanity check: read the file whole. Corrupt or truncated
-                // blocks reject the file without poisoning the slide.
-                let records = match wh.open(&file).and_then(|r| r.read_all()) {
-                    Ok(r) => r,
-                    Err(WarehouseError::ChecksumMismatch { .. })
-                    | Err(WarehouseError::Corrupt(_)) => {
-                        report.rejected_files += 1;
-                        continue;
-                    }
-                    Err(e) => return Err(e.into()),
-                };
-                report.input_files += 1;
-                let framed = staged::is_framed(&records);
-                let body = if framed { &records[1..] } else { &records[..] };
-                for record in body {
-                    let (id, payload) = if framed {
-                        match staged::decode(record) {
-                            Some(x) => x,
-                            None => {
-                                report.dropped += 1;
+                inputs.push((wh, file));
+            }
+        }
+        let decode_span = self.obs.as_ref().map(|o| o.span("decode"));
+        let decoded: Vec<Result<DecodedFile, WarehouseError>> =
+            pool.map(inputs, |_i, (wh, file)| decode_staged_file(wh, &file));
+        drop(decode_span);
+        // A fatal (non-sanity) failure surfaces exactly as in the serial
+        // mover: the first one in input order wins.
+        for d in &decoded {
+            if let Err(e) = d {
+                return Err(e.clone().into());
+            }
+        }
+
+        // Stage 2 — merge (serial). The determinism anchor: walks decoded
+        // files in input order, applying the exact serial dedup, so the
+        // accepted payload sequence, `moved_ids`, and every counter are
+        // independent of worker count.
+        //
+        // `fresh` holds ids first seen during this move; it reaches
+        // `self.seen` only once the slide succeeds, so a failed attempt
+        // retries without its records counting as duplicates.
+        let merge_span = self.obs.as_ref().map(|o| o.span("merge"));
+        let mut fresh: HashSet<EntryId> = HashSet::new();
+        let mut accepted: Vec<Vec<u8>> = Vec::new();
+        for file in decoded {
+            match file.expect("fatal errors surfaced above") {
+                DecodedFile::Rejected => report.rejected_files += 1,
+                DecodedFile::Decoded {
+                    dropped,
+                    bytes,
+                    records,
+                } => {
+                    report.input_files += 1;
+                    report.dropped += dropped;
+                    report.decode_bytes += bytes;
+                    for (id, payload) in records {
+                        if let Some(id) = id {
+                            if self.seen.contains(&id) || !fresh.insert(id) {
+                                report.duplicates += 1;
                                 continue;
                             }
+                            report.moved_ids.push(id);
                         }
-                    } else {
-                        (None, record.as_slice())
-                    };
-                    // Sanity check: drop empty messages.
-                    if payload.is_empty() {
-                        report.dropped += 1;
-                        continue;
-                    }
-                    if let Some(id) = id {
-                        if self.seen.contains(&id) || !fresh.insert(id) {
-                            report.duplicates += 1;
-                            continue;
-                        }
-                        report.moved_ids.push(id);
-                    }
-                    if !self.taps.is_empty() {
-                        tapped.push(payload.to_vec());
-                    }
-                    if let Some(landing) = &self.landing {
-                        chunk.push(payload.to_vec());
-                        report.records += 1;
-                        if chunk.len() as u64 >= self.records_per_file {
-                            report.output_files += flush_columnar(
-                                &self.main,
-                                landing.as_ref(),
-                                &assembly_dir,
-                                out_idx,
-                                &mut chunk,
-                            )?;
-                            out_idx += 1;
-                        }
-                        continue;
-                    }
-                    if out.is_none() {
-                        let path = assembly_dir
-                            .child(&format!("part-{out_idx:05}"))
-                            .expect("valid part name");
-                        out = Some(self.main.create(&path)?);
-                        out_idx += 1;
-                    }
-                    let w = out.as_mut().expect("writer created above");
-                    w.append_record(payload);
-                    out_records += 1;
-                    report.records += 1;
-                    if out_records >= self.records_per_file {
-                        out.take().expect("writer present").finish()?;
-                        report.output_files += 1;
-                        out_records = 0;
+                        report.encode_bytes += payload.len() as u64;
+                        accepted.push(payload);
                     }
                 }
             }
         }
-        if let (Some(landing), false) = (&self.landing, chunk.is_empty()) {
-            report.output_files += flush_columnar(
+        report.records = accepted.len() as u64;
+        drop(merge_span);
+
+        // Stage 3 — land (parallel). The accepted sequence is cut into
+        // `records_per_file` chunks; chunk `i` always becomes
+        // `part-{i:05}` with exactly those payloads, so the landed bytes
+        // are a pure function of the merge output. Workers reuse pooled
+        // compressors via the warehouse, overlapping one chunk's block
+        // compression with the next chunk's encode.
+        let rpf = self.records_per_file as usize;
+        let n_chunks = accepted.len().div_ceil(rpf);
+        let chunks: Vec<(u64, std::ops::Range<usize>)> = (0..n_chunks)
+            .map(|i| (i as u64, i * rpf..((i + 1) * rpf).min(accepted.len())))
+            .collect();
+        let land_span = self.obs.as_ref().map(|o| o.span("land"));
+        let landed: Vec<Result<u64, MoveError>> = pool.map(chunks, |_i, (idx, range)| {
+            land_chunk(
                 &self.main,
-                landing.as_ref(),
+                self.landing.as_deref(),
                 &assembly_dir,
-                out_idx,
-                &mut chunk,
-            )?;
-        }
-        if let Some(w) = out.take() {
-            w.finish()?;
-            report.output_files += 1;
+                idx,
+                &accepted[range],
+            )
+        });
+        drop(land_span);
+        for files in landed {
+            report.output_files += files?;
         }
 
-        // The atomic slide: one rename makes the whole hour visible.
+        // Commit — the single serialization point. One rename makes the
+        // whole hour visible; only then do the fresh ids commit (and the
+        // seen set compact to watermarks) and the taps fire, in payload
+        // order, exactly once.
         if let Some(parent) = final_dir.parent() {
             self.main.mkdirs(&parent)?;
         }
         self.main.rename(&assembly_dir, &final_dir)?;
         self.seen.extend(fresh);
+        self.seen.compact();
         // The slide succeeded: the taps now see exactly what batch readers
         // of this hour will see.
         for tap in &mut self.taps {
-            tap.hour_delivered(partition, &tapped);
+            tap.hour_delivered(partition, &accepted);
+        }
+        if let Some(obs) = &self.obs {
+            obs.record(&report, &self.seen);
         }
         Ok(report)
     }
@@ -321,15 +460,84 @@ impl LogMover {
     }
 }
 
-/// Lands one buffered output file columnar: the codec writes what it can
-/// decode to `part-NNNNN`; rejected payloads go whole to a row-format
+/// Decode-stage worker: reads one staged file whole, applies the sanity
+/// checks, and strips envelopes. Corrupt or truncated blocks reject the
+/// file without poisoning the slide; any other failure is fatal.
+fn decode_staged_file(wh: &Warehouse, file: &WhPath) -> Result<DecodedFile, WarehouseError> {
+    let records = match wh.open(file).and_then(|r| r.read_all()) {
+        Ok(r) => r,
+        Err(WarehouseError::ChecksumMismatch { .. }) | Err(WarehouseError::Corrupt(_)) => {
+            return Ok(DecodedFile::Rejected);
+        }
+        Err(e) => return Err(e),
+    };
+    let framed = staged::is_framed(&records);
+    let body = if framed { &records[1..] } else { &records[..] };
+    let mut dropped = 0u64;
+    let mut bytes = 0u64;
+    let mut out = Vec::with_capacity(body.len());
+    for record in body {
+        bytes += record.len() as u64;
+        let (id, payload) = if framed {
+            match staged::decode(record) {
+                Some(x) => x,
+                None => {
+                    dropped += 1;
+                    continue;
+                }
+            }
+        } else {
+            (None, record.as_slice())
+        };
+        // Sanity check: drop empty messages.
+        if payload.is_empty() {
+            dropped += 1;
+            continue;
+        }
+        out.push((id, payload.to_vec()));
+    }
+    Ok(DecodedFile::Decoded {
+        dropped,
+        bytes,
+        records: out,
+    })
+}
+
+/// Land-stage worker: writes one chunk of the accepted sequence as
+/// `part-{idx:05}` (plus a row-format `-rows` sibling for payloads a
+/// columnar codec rejects). Returns the number of files written.
+fn land_chunk(
+    main: &Warehouse,
+    landing: Option<&dyn ColumnarLanding>,
+    assembly_dir: &WhPath,
+    idx: u64,
+    payloads: &[Vec<u8>],
+) -> Result<u64, MoveError> {
+    match landing {
+        Some(landing) => flush_columnar(main, landing, assembly_dir, idx, payloads),
+        None => {
+            let path = assembly_dir
+                .child(&format!("part-{idx:05}"))
+                .expect("valid part name");
+            let mut w = main.create(&path)?;
+            for p in payloads {
+                w.append_record(p);
+            }
+            w.finish()?;
+            Ok(1)
+        }
+    }
+}
+
+/// Lands one output chunk columnar: the codec writes what it can decode to
+/// `part-NNNNN`; rejected payloads go whole to a row-format
 /// `part-NNNNN-rows` sibling. Returns the number of files written.
 fn flush_columnar(
     main: &Warehouse,
     landing: &dyn ColumnarLanding,
-    assembly_dir: &uli_warehouse::WhPath,
+    assembly_dir: &WhPath,
     idx: u64,
-    chunk: &mut Vec<Vec<u8>>,
+    chunk: &[Vec<u8>],
 ) -> Result<u64, MoveError> {
     let path = assembly_dir
         .child(&format!("part-{idx:05}"))
@@ -347,7 +555,6 @@ fn flush_columnar(
         w.finish()?;
         files += 1;
     }
-    chunk.clear();
     Ok(files)
 }
 
@@ -708,6 +915,213 @@ mod tests {
             }
         }
         assert_eq!(rows, 40);
+    }
+
+    /// Tap that records every delivered payload, for dispatch-order checks.
+    struct RecordingTap(std::sync::Arc<std::sync::Mutex<Vec<Vec<u8>>>>);
+
+    impl DeliveryTap for RecordingTap {
+        fn hour_delivered(&mut self, _partition: &HourlyPartition, payloads: &[Vec<u8>]) {
+            self.0.lock().unwrap().extend(payloads.iter().cloned());
+        }
+    }
+
+    /// Canonical view of a delivered hour: sorted (path, physical digest)
+    /// pairs — byte-identical hours and nothing less.
+    fn hour_digest(main: &Warehouse, partition: &HourlyPartition) -> Vec<(String, u64)> {
+        let mut files: Vec<_> = main.list_files_recursive(&partition.main_dir()).unwrap();
+        files.sort();
+        files
+            .into_iter()
+            .map(|f| {
+                let d = main.file_digest(&f).unwrap();
+                (f.as_str().to_string(), d)
+            })
+            .collect()
+    }
+
+    /// Builds a messy staged hour — several DCs, many files, duplicates
+    /// across aggregators, empty payloads, a corrupt file — and returns the
+    /// staging warehouses.
+    fn messy_staging(p: &HourlyPartition) -> Vec<Warehouse> {
+        let mut dcs = Vec::new();
+        for dc in 0..3u64 {
+            let wh = Warehouse::new();
+            for agg in 0..4u64 {
+                let name = format!("agg-{agg}");
+                let mut records: Vec<(Option<EntryId>, Vec<u8>)> = Vec::new();
+                for r in 0..40u64 {
+                    let host = dc * 4 + agg;
+                    let payload = format!("dc{dc}-agg{agg}-rec{r}-{}", "x".repeat(r as usize % 23));
+                    records.push((Some(id(host, r)), payload.into_bytes()));
+                }
+                // Cross-aggregator duplicates (ack-loss retry shape).
+                if agg > 0 {
+                    records.push((Some(id(dc * 4 + agg - 1, 7)), b"dup".to_vec()));
+                }
+                // Unstamped and empty records.
+                records.push((None, format!("raw-{dc}-{agg}").into_bytes()));
+                records.push((Some(id(dc * 4 + agg, 40)), Vec::new()));
+                let refs: Vec<(Option<EntryId>, &[u8])> =
+                    records.iter().map(|(i, p)| (*i, p.as_slice())).collect();
+                write_framed(&wh, p, &name, &refs);
+            }
+            // One corrupt file per DC, rejected whole.
+            let damaged = p.main_dir().child("agg-bad").unwrap();
+            let mut w = wh.create(&damaged).unwrap();
+            w.append_record(staged::MAGIC);
+            w.append_record(&staged::encode(Some(id(99, dc)), b"doomed"));
+            w.finish().unwrap();
+            wh.corrupt_block(&damaged, 0).unwrap();
+            seal_hour(&wh, p).unwrap();
+            dcs.push(wh);
+        }
+        dcs
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_messy_move(
+        workers: usize,
+        columnar: bool,
+    ) -> (
+        MoveReport,
+        Vec<(String, u64)>,
+        (Vec<(u64, u64)>, Vec<EntryId>),
+        Vec<Vec<u8>>,
+    ) {
+        let p = part();
+        let dcs = messy_staging(&p);
+        let staging: Vec<(&str, &Warehouse)> = dcs
+            .iter()
+            .enumerate()
+            .map(|(i, wh)| (["dc0", "dc1", "dc2"][i], wh))
+            .collect();
+        let mut mover = LogMover::new(Warehouse::new(), 37)
+            .with_parallelism(uli_warehouse::Parallelism::fixed(workers));
+        if columnar {
+            mover.set_landing(std::sync::Arc::new(CsvLanding));
+        }
+        let tapped = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        mover.add_tap(Box::new(RecordingTap(tapped.clone())));
+        let report = mover.move_hour(&p, &staging).unwrap();
+        let digest = hour_digest(mover.main(), &p);
+        let seen = mover.seen_snapshot();
+        let payloads = tapped.lock().unwrap().clone();
+        (report, digest, seen, payloads)
+    }
+
+    #[test]
+    fn parallel_landing_is_byte_identical_to_serial() {
+        for columnar in [false, true] {
+            let serial = run_messy_move(1, columnar);
+            for workers in [4, 8] {
+                let parallel = run_messy_move(workers, columnar);
+                assert_eq!(
+                    serial.0, parallel.0,
+                    "report must not depend on workers ({workers}, columnar={columnar})"
+                );
+                assert_eq!(
+                    serial.1, parallel.1,
+                    "landed bytes must not depend on workers ({workers}, columnar={columnar})"
+                );
+                assert_eq!(
+                    serial.2, parallel.2,
+                    "seen set must not depend on workers ({workers}, columnar={columnar})"
+                );
+                assert_eq!(
+                    serial.3, parallel.3,
+                    "tap dispatch must not depend on workers ({workers}, columnar={columnar})"
+                );
+            }
+            assert!(serial.0.duplicates > 0, "the fixture must exercise dedup");
+            assert!(serial.0.rejected_files > 0 && serial.0.dropped > 0);
+            assert!(serial.0.output_files > 1, "the fixture must chunk");
+        }
+    }
+
+    #[test]
+    fn seen_set_compacts_to_watermarks_after_a_clean_hour() {
+        let p = part();
+        let wh = Warehouse::new();
+        let records: Vec<(Option<EntryId>, Vec<u8>)> = (0..30u64)
+            .map(|r| (Some(id(r % 3, r / 3)), format!("r{r}").into_bytes()))
+            .collect();
+        let refs: Vec<(Option<EntryId>, &[u8])> =
+            records.iter().map(|(i, p)| (*i, p.as_slice())).collect();
+        write_framed(&wh, &p, "agg-0", &refs);
+        seal_hour(&wh, &p).unwrap();
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
+        mover.move_hour(&p, &[("dc1", &wh)]).unwrap();
+        let (watermarks, residual) = mover.seen_snapshot();
+        assert_eq!(watermarks, vec![(0, 10), (1, 10), (2, 10)]);
+        assert!(
+            residual.is_empty(),
+            "contiguous per-host ids must fully compact"
+        );
+    }
+
+    #[test]
+    fn redelivery_of_a_compacted_hours_duplicate_is_still_squashed() {
+        let h14 = part();
+        let h15 = HourlyPartition::new("client_events", 2012, 8, 21, 15).unwrap();
+        let wh = Warehouse::new();
+        let records: Vec<(Option<EntryId>, &[u8])> = vec![
+            (Some(id(5, 0)), b"a"),
+            (Some(id(5, 1)), b"b"),
+            (Some(id(5, 2)), b"c"),
+        ];
+        write_framed(&wh, &h14, "agg-0", &records);
+        seal_hour(&wh, &h14).unwrap();
+        let mut mover = LogMover::new(Warehouse::new(), 1000);
+        mover.move_hour(&h14, &[("dc1", &wh)]).unwrap();
+        // The hour compacted: its ids live only in the host-5 watermark.
+        let (watermarks, residual) = mover.seen_snapshot();
+        assert_eq!(watermarks, vec![(5, 3)]);
+        assert!(residual.is_empty());
+
+        // The same records replay into the next hour; the watermark alone
+        // must squash them.
+        write_framed(&wh, &h15, "agg-0", &records);
+        seal_hour(&wh, &h15).unwrap();
+        let report = mover.move_hour(&h15, &[("dc1", &wh)]).unwrap();
+        assert_eq!(report.records, 0);
+        assert_eq!(report.duplicates, 3);
+    }
+
+    #[test]
+    fn landing_reuses_pooled_compressors_across_hours() {
+        let h14 = part();
+        let h15 = HourlyPartition::new("client_events", 2012, 8, 21, 15).unwrap();
+        let wh = Warehouse::new();
+        for (hour_idx, p) in [&h14, &h15].into_iter().enumerate() {
+            let records: Vec<(Option<EntryId>, Vec<u8>)> = (0..200u64)
+                .map(|r| {
+                    let seq = hour_idx as u64 * 200 + r;
+                    (Some(id(1, seq)), format!("payload-{seq}").into_bytes())
+                })
+                .collect();
+            let refs: Vec<(Option<EntryId>, &[u8])> =
+                records.iter().map(|(i, p)| (*i, p.as_slice())).collect();
+            write_framed(&wh, p, "agg-0", &refs);
+            seal_hour(&wh, p).unwrap();
+        }
+        let mut mover = LogMover::new(Warehouse::new(), 25)
+            .with_parallelism(uli_warehouse::Parallelism::fixed(4));
+        mover.move_hour(&h14, &[("dc1", &wh)]).unwrap();
+        let pool = std::sync::Arc::clone(mover.main().compressor_pool());
+        assert!(
+            pool.idle_len() > 0,
+            "finished writers must recycle their compressors"
+        );
+        mover.move_hour(&h15, &[("dc1", &wh)]).unwrap();
+        // Two hours × 8 chunks each = 16 files written, but the pool never
+        // holds more compressors than could run concurrently: every file
+        // past the first wave reused a recycled one.
+        assert!(
+            pool.idle_len() <= 4,
+            "pool must stay bounded by worker concurrency, got {}",
+            pool.idle_len()
+        );
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub struct PipelineConfig {
     pub records_per_file: u64,
     /// Batching policy applied to every host daemon's send path.
     pub batch: BatchPolicy,
+    /// Worker count for the mover's parallel decode and land stages.
+    /// Serial by default; every setting lands byte-identical hours.
+    pub workers: uli_warehouse::Parallelism,
 }
 
 impl Default for PipelineConfig {
@@ -43,6 +46,7 @@ impl Default for PipelineConfig {
             aggregators_per_dc: 4,
             records_per_file: 100_000,
             batch: BatchPolicy::default(),
+            workers: uli_warehouse::Parallelism::serial(),
         }
     }
 }
@@ -228,11 +232,16 @@ impl ScribePipeline {
             Some(o) => Warehouse::new_with_obs(&o.registry),
             None => Warehouse::new(),
         };
+        let mut mover =
+            LogMover::new(main, config.records_per_file).with_parallelism(config.workers);
+        if let Some(o) = &obs {
+            mover.attach_obs(&o.registry);
+        }
         ScribePipeline {
             coord,
             network,
             datacenters,
-            mover: LogMover::new(main, config.records_per_file),
+            mover,
             flushed: 0,
             lost_in_crashes: 0,
             accepted_by_crashed: 0,
@@ -248,6 +257,12 @@ impl ScribePipeline {
     /// Number of datacenters.
     pub fn datacenter_count(&self) -> usize {
         self.datacenters.len()
+    }
+
+    /// The mover's committed seen-set, as `(watermarks, residual)` — see
+    /// [`crate::mover::LogMover::seen_snapshot`].
+    pub fn seen_snapshot(&self) -> (Vec<(u64, u64)>, Vec<crate::message::EntryId>) {
+        self.mover.seen_snapshot()
     }
 
     /// Logs an entry on a specific host.
@@ -523,6 +538,7 @@ mod tests {
             aggregators_per_dc: 2,
             records_per_file: 50,
             batch: BatchPolicy::default(),
+            workers: uli_warehouse::Parallelism::serial(),
         }
     }
 
@@ -708,11 +724,31 @@ mod tests {
         // so its scan counters exist but stay zero until a query runs.
         assert_eq!(snap.counter_value("warehouse/records_read"), Some(0));
 
-        // Delivery phases traced: step, flush, move, in that open order.
+        // Delivery phases traced in open order: step, flush, then the move
+        // with its three pipeline stages nested inside it.
         let keys: Vec<String> = registry.finished_spans().iter().map(|s| s.key()).collect();
         assert_eq!(
             keys,
-            ["scribe/step", "scribe/flush_hour", "scribe/move_hour"]
+            [
+                "scribe/step",
+                "scribe/flush_hour",
+                "scribe/move_hour",
+                "delivery/decode",
+                "delivery/merge",
+                "delivery/land"
+            ]
+        );
+        let stages = &registry.finished_spans()[3..];
+        assert!(
+            stages.iter().all(|s| s.parent == Some(2)),
+            "delivery stages must nest under scribe/move_hour"
+        );
+
+        // The mover's delivery counters track the move it just did.
+        assert_eq!(snap.counter_value("delivery/hours_moved"), Some(1));
+        assert_eq!(
+            snap.counter_value("delivery/records_moved"),
+            Some(totals.moved)
         );
     }
 

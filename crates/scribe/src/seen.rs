@@ -1,0 +1,190 @@
+//! The mover's persistent dedup set, with watermark compaction.
+//!
+//! Exactly-once delivery dedups on [`EntryId`]s, but a naive
+//! `HashSet<EntryId>` grows without bound across a day — ~10M ids for the
+//! 1m-user scale, all retained forever even though almost every hour lands
+//! cleanly. Daemons stamp per-host sequence numbers contiguously from 0
+//! ([`crate::daemon`]), so once an hour is fully landed the seen ids for
+//! each host form a dense prefix `0..n`. [`SeenSet`] exploits that: after
+//! every commit it compacts each host's contiguous prefix into a single
+//! *watermark* (`next_seq`: every seq below it has been seen) and keeps only
+//! the out-of-order remainder as an explicit *residual* set. Membership is
+//! `seq < watermark || residual contains id`, so a duplicate from a
+//! compacted hour is still squashed — the watermark remembers it without
+//! storing it.
+//!
+//! Compaction never forgets an id and never invents one: ids only move from
+//! the residual into the region below a watermark, and the watermark only
+//! advances over ids actually present. Two sets fed the same ids are equal
+//! regardless of insertion order or when `compact` ran, so the parallel
+//! mover's seen-set commits compare bit-for-bit against serial runs.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::message::EntryId;
+
+/// Compacted set of delivered entry ids: per-host watermarks plus an
+/// out-of-order residual. See the module docs for the invariants.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SeenSet {
+    /// `host -> next_seq`: every seq strictly below the watermark is seen.
+    watermarks: HashMap<u64, u64>,
+    /// Seen ids not (yet) covered by their host's watermark.
+    residual: HashSet<EntryId>,
+}
+
+impl SeenSet {
+    /// An empty set: nothing seen, all watermarks at zero.
+    pub fn new() -> Self {
+        SeenSet::default()
+    }
+
+    /// True when `id` has been seen — either covered by its host's
+    /// watermark or held in the residual.
+    pub fn contains(&self, id: &EntryId) -> bool {
+        id.seq < self.watermarks.get(&id.host).copied().unwrap_or(0) || self.residual.contains(id)
+    }
+
+    /// Records `id` as seen. Returns `true` if it was new.
+    pub fn insert(&mut self, id: EntryId) -> bool {
+        if id.seq < self.watermarks.get(&id.host).copied().unwrap_or(0) {
+            return false;
+        }
+        self.residual.insert(id)
+    }
+
+    /// Records every id in `ids` as seen.
+    pub fn extend(&mut self, ids: impl IntoIterator<Item = EntryId>) {
+        for id in ids {
+            self.insert(id);
+        }
+    }
+
+    /// Advances each host's watermark across its contiguous residual prefix,
+    /// dropping the absorbed ids. After a fully-landed hour this collapses
+    /// that hour's ids to nothing but a bumped integer per host.
+    pub fn compact(&mut self) {
+        let hosts: HashSet<u64> = self.residual.iter().map(|id| id.host).collect();
+        for host in hosts {
+            let wm = self.watermarks.entry(host).or_insert(0);
+            while self.residual.remove(&EntryId { host, seq: *wm }) {
+                *wm += 1;
+            }
+        }
+    }
+
+    /// Number of ids still held explicitly (not absorbed by a watermark).
+    pub fn residual_len(&self) -> usize {
+        self.residual.len()
+    }
+
+    /// Number of hosts with a non-zero watermark.
+    pub fn watermarked_hosts(&self) -> usize {
+        self.watermarks.values().filter(|&&wm| wm > 0).count()
+    }
+
+    /// Total ids represented: watermark coverage plus the residual.
+    pub fn len(&self) -> u64 {
+        self.watermarks.values().sum::<u64>() + self.residual.len() as u64
+    }
+
+    /// True when no id has ever been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Canonical snapshot for identity checks: sorted `(host, next_seq)`
+    /// watermarks (zero watermarks omitted) and sorted residual ids.
+    pub fn snapshot(&self) -> (Vec<(u64, u64)>, Vec<EntryId>) {
+        let mut wms: Vec<(u64, u64)> = self
+            .watermarks
+            .iter()
+            .filter(|(_, &wm)| wm > 0)
+            .map(|(&h, &wm)| (h, wm))
+            .collect();
+        wms.sort_unstable();
+        let mut residual: Vec<EntryId> = self.residual.iter().copied().collect();
+        residual.sort_unstable();
+        (wms, residual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(host: u64, seq: u64) -> EntryId {
+        EntryId { host, seq }
+    }
+
+    #[test]
+    fn contiguous_prefix_compacts_to_watermark() {
+        let mut seen = SeenSet::new();
+        seen.extend((0..100).map(|s| id(7, s)));
+        assert_eq!(seen.residual_len(), 100);
+        seen.compact();
+        assert_eq!(seen.residual_len(), 0);
+        assert_eq!(seen.watermarked_hosts(), 1);
+        assert_eq!(seen.len(), 100);
+        for s in 0..100 {
+            assert!(seen.contains(&id(7, s)), "seq {s} lost by compaction");
+        }
+        assert!(!seen.contains(&id(7, 100)));
+        assert!(!seen.contains(&id(8, 0)));
+    }
+
+    #[test]
+    fn compacted_duplicate_is_still_squashed() {
+        let mut seen = SeenSet::new();
+        seen.extend((0..50).map(|s| id(3, s)));
+        seen.compact();
+        // Re-delivery of an id from the compacted range must not re-insert.
+        assert!(!seen.insert(id(3, 10)));
+        assert!(seen.contains(&id(3, 10)));
+        assert_eq!(seen.residual_len(), 0);
+        assert_eq!(seen.len(), 50);
+    }
+
+    #[test]
+    fn gaps_stay_residual_until_filled() {
+        let mut seen = SeenSet::new();
+        seen.extend([id(1, 0), id(1, 1), id(1, 3), id(1, 4)]);
+        seen.compact();
+        // 0 and 1 absorbed; 3 and 4 blocked by the missing 2.
+        assert_eq!(seen.residual_len(), 2);
+        assert_eq!(seen.len(), 4);
+        assert!(seen.contains(&id(1, 3)));
+        assert!(!seen.contains(&id(1, 2)));
+        seen.insert(id(1, 2));
+        seen.compact();
+        assert_eq!(seen.residual_len(), 0);
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn equality_is_insensitive_to_compaction_schedule() {
+        let ids: Vec<EntryId> = (0..20).map(|s| id(2, s)).chain([id(5, 0)]).collect();
+        let mut eager = SeenSet::new();
+        for &i in &ids {
+            eager.insert(i);
+            eager.compact();
+        }
+        let mut lazy = SeenSet::new();
+        let mut rev = ids.clone();
+        rev.reverse();
+        lazy.extend(rev);
+        lazy.compact();
+        assert_eq!(eager, lazy);
+        assert_eq!(eager.snapshot(), lazy.snapshot());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_omits_zero_watermarks() {
+        let mut seen = SeenSet::new();
+        seen.extend([id(9, 0), id(9, 1), id(4, 2), id(1, 0)]);
+        seen.compact();
+        let (wms, residual) = seen.snapshot();
+        assert_eq!(wms, vec![(1, 1), (9, 2)]);
+        assert_eq!(residual, vec![id(4, 2)]);
+    }
+}

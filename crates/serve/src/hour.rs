@@ -17,8 +17,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use uli_core::{client_event_from_group, ClientEvent};
 use uli_thrift::record::ThriftRecord;
 use uli_warehouse::{
-    sniff_columnar, ColumnarFile, HourlyPartition, Warehouse, WarehouseError, WarehouseResult,
-    WhPath,
+    sniff_columnar, ColumnarFile, HourlyPartition, Parallelism, ScanPool, Warehouse,
+    WarehouseError, WarehouseResult, WhPath,
 };
 
 /// One landed file the index knows how to address.
@@ -116,6 +116,33 @@ pub fn build_hour_index(
     category: &str,
     hour_index: u64,
 ) -> WarehouseResult<HourIndex> {
+    build_hour_index_parallel(warehouse, category, hour_index, Parallelism::serial())
+}
+
+/// One file's contribution to the hour index: a complete partial index
+/// (postings already keyed by the file's preassigned number) plus the raw
+/// per-user session-id sets, which only fold to counts once every file's
+/// partial is merged.
+struct FilePartial {
+    entry: FileEntry,
+    partial: HourIndex,
+    sessions: BTreeMap<i64, BTreeSet<String>>,
+}
+
+/// [`build_hour_index`] with the per-file scans sharded across `workers`.
+///
+/// Each file's number is preassigned from the sorted listing before any
+/// scan runs, so the postings a file contributes are identical regardless
+/// of which worker scans it or when; the merge folds partials in file
+/// order using only commutative operations (counter sums, map unions,
+/// min/max). The result is therefore equal to the serial build at any
+/// worker count — pinned by the determinism tests.
+pub fn build_hour_index_parallel(
+    warehouse: &Warehouse,
+    category: &str,
+    hour_index: u64,
+    workers: Parallelism,
+) -> WarehouseResult<HourIndex> {
     let partition = HourlyPartition::from_hour_index(category, hour_index);
     let dir = partition.main_dir();
     let mut index = HourIndex {
@@ -127,40 +154,59 @@ pub fn build_hour_index(
         Err(WarehouseError::NotFound(_)) => return Ok(index),
         Err(e) => return Err(e),
     };
-    // Distinct session ids per user, folded down to counts at the end.
+    let numbered: Vec<(u32, WhPath)> = files
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as u32, p))
+        .collect();
+    let partials = ScanPool::new(workers).map(numbered, |_i, (file_no, path)| {
+        scan_file(warehouse, &path, file_no)
+    });
+
+    // Merge in file order. Distinct session ids per user fold down to
+    // counts only after every partial is in.
     let mut sessions: BTreeMap<i64, BTreeSet<String>> = BTreeMap::new();
-    for path in files {
-        let file_no = index.files.len() as u32;
-        let name = path.name().to_string();
-        if sniff_columnar(warehouse, &path)?.is_some() {
-            let file = ColumnarFile::open(warehouse, &path)?;
-            let projection = vec![true; file.columns()];
-            for g in 0..file.group_count() {
-                let group = file.read_group(g, &projection)?;
-                for row in 0..group.rows() {
-                    index.records += 1;
-                    if let Some(ev) = client_event_from_group(&file, &group, row) {
-                        post_event(&mut index, &mut sessions, file_no, g as u32, &ev);
-                    }
-                }
-            }
-            index.files.push(FileEntry {
-                name,
-                groups: file.group_count() as u32,
-                columnar: true,
+    for partial in partials {
+        let FilePartial {
+            entry,
+            partial,
+            sessions: file_sessions,
+        } = partial?;
+        index.records += partial.records;
+        index.events += partial.events;
+        index.files.push(entry);
+        for (name, count) in partial.name_counts {
+            *index.name_counts.entry(name).or_insert(0) += count;
+        }
+        // Postings merge by plain extension: each partial only posts its
+        // own (unique) file number.
+        for (name, postings) in partial.name_postings {
+            index
+                .name_postings
+                .entry(name)
+                .or_default()
+                .extend(postings);
+        }
+        for (user, postings) in partial.user_postings {
+            index
+                .user_postings
+                .entry(user)
+                .or_default()
+                .extend(postings);
+        }
+        for (user, s) in partial.user_summaries {
+            let merged = index.user_summaries.entry(user).or_insert(UserHourSummary {
+                events: 0,
+                sessions: 0,
+                first_millis: s.first_millis,
+                last_millis: s.last_millis,
             });
-        } else {
-            for record in warehouse.open(&path)?.read_all()? {
-                index.records += 1;
-                if let Ok(ev) = ClientEvent::from_bytes(&record) {
-                    post_event(&mut index, &mut sessions, file_no, 0, &ev);
-                }
-            }
-            index.files.push(FileEntry {
-                name,
-                groups: 1,
-                columnar: false,
-            });
+            merged.events += s.events;
+            merged.first_millis = merged.first_millis.min(s.first_millis);
+            merged.last_millis = merged.last_millis.max(s.last_millis);
+        }
+        for (user, ids) in file_sessions {
+            sessions.entry(user).or_default().extend(ids);
         }
     }
     for (user, ids) in sessions {
@@ -171,6 +217,49 @@ pub fn build_hour_index(
             .sessions = ids.len() as u64;
     }
     Ok(index)
+}
+
+/// Scans one landed file into its partial index — the parallel unit of the
+/// hour build. Pure per-file work: nothing here touches shared state.
+fn scan_file(warehouse: &Warehouse, path: &WhPath, file_no: u32) -> WarehouseResult<FilePartial> {
+    let mut partial = HourIndex::default();
+    let mut sessions: BTreeMap<i64, BTreeSet<String>> = BTreeMap::new();
+    let name = path.name().to_string();
+    let entry = if sniff_columnar(warehouse, path)?.is_some() {
+        let file = ColumnarFile::open(warehouse, path)?;
+        let projection = vec![true; file.columns()];
+        for g in 0..file.group_count() {
+            let group = file.read_group(g, &projection)?;
+            for row in 0..group.rows() {
+                partial.records += 1;
+                if let Some(ev) = client_event_from_group(&file, &group, row) {
+                    post_event(&mut partial, &mut sessions, file_no, g as u32, &ev);
+                }
+            }
+        }
+        FileEntry {
+            name,
+            groups: file.group_count() as u32,
+            columnar: true,
+        }
+    } else {
+        for record in warehouse.open(path)?.read_all()? {
+            partial.records += 1;
+            if let Ok(ev) = ClientEvent::from_bytes(&record) {
+                post_event(&mut partial, &mut sessions, file_no, 0, &ev);
+            }
+        }
+        FileEntry {
+            name,
+            groups: 1,
+            columnar: false,
+        }
+    };
+    Ok(FilePartial {
+        entry,
+        partial,
+        sessions,
+    })
 }
 
 fn post_event(
@@ -454,6 +543,52 @@ mod tests {
         let idx = build_hour_index(&wh, "client_events", 3).unwrap();
         let decoded = decode(&encode(&idx)).expect("round trip");
         assert_eq!(decoded, idx);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_serial() {
+        let wh = Warehouse::new();
+        let hour = 11;
+        let dir = HourlyPartition::from_hour_index("client_events", hour).main_dir();
+        // Several columnar files plus a row-format straggler, with users,
+        // names, and sessions deliberately spanning file boundaries so the
+        // merge has real work to do.
+        for f in 0..5 {
+            let events: Vec<ClientEvent> = (0..30)
+                .map(|i| {
+                    event(
+                        (f + i) % 7,
+                        &format!("s{}", (f * 30 + i) % 11),
+                        if i % 3 == 0 {
+                            "web:home:timeline:tweet:avatar:click"
+                        } else {
+                            "iphone:search:results:query:box:submit"
+                        },
+                        f * 1000 + i * 13,
+                    )
+                })
+                .collect();
+            let path = dir.child(&format!("part-{f:05}")).unwrap();
+            write_client_events_columnar(&wh, &path, &events, true, 7).unwrap();
+        }
+        let mut row = wh.create(&dir.child("part-00009").unwrap()).unwrap();
+        for i in 0..25 {
+            row.append_record(
+                &event(i % 5, &format!("r{}", i % 4), "a:b:c:d:e:f", 9000 + i).to_bytes(),
+            );
+        }
+        row.finish().unwrap();
+
+        let serial = build_hour_index(&wh, "client_events", hour).unwrap();
+        assert_eq!(serial.files.len(), 6, "fixture should span several files");
+        assert!(serial.user_summaries.len() >= 7);
+        for workers in [1, 4, 8] {
+            let parallel =
+                build_hour_index_parallel(&wh, "client_events", hour, Parallelism::fixed(workers))
+                    .unwrap();
+            assert_eq!(parallel, serial, "divergence at {workers} workers");
+            assert_eq!(encode(&parallel), encode(&serial));
+        }
     }
 
     #[test]

@@ -24,7 +24,9 @@ use uli_obs::{Counter, Gauge, Registry};
 use uli_scribe::DeliveryTap;
 use uli_warehouse::{HourlyPartition, Warehouse, WarehouseResult, WhPath};
 
-use crate::hour::{build_hour_index, commit_hour_index, encode, load_hour_index, HourIndex};
+use crate::hour::{
+    build_hour_index_parallel, commit_hour_index, encode, load_hour_index, HourIndex,
+};
 
 /// Registry mirrors, `set_total` discipline: the maintainer state stays
 /// authoritative and the registry can only show values it computed.
@@ -67,6 +69,8 @@ pub(crate) struct Inner {
     /// Fault injection: skip this many build+commit attempts, simulating a
     /// crash between hour-land and index-commit.
     fail_commits: u64,
+    /// Worker budget for the per-file scans inside an hour build.
+    workers: uli_warehouse::Parallelism,
     obs: Option<ServeObs>,
 }
 
@@ -98,7 +102,7 @@ impl Inner {
     /// previous index for that hour wholesale.
     fn index_hour(&mut self, hour: u64) -> WarehouseResult<()> {
         let before = self.warehouse.stats();
-        let index = build_hour_index(&self.warehouse, &self.category, hour)?;
+        let index = build_hour_index_parallel(&self.warehouse, &self.category, hour, self.workers)?;
         self.build_decoded_bytes += self
             .warehouse
             .stats()
@@ -150,9 +154,19 @@ impl IndexMaintainer {
                 row_groups_pruned: 0,
                 build_decoded_bytes: 0,
                 fail_commits: 0,
+                workers: uli_warehouse::Parallelism::serial(),
                 obs,
             })),
         }
+    }
+
+    /// Shards the per-file scans inside each hour build across
+    /// `workers`. The built index is identical at any worker count —
+    /// file numbers are preassigned from the sorted listing and partials
+    /// merge in file order.
+    pub fn with_parallelism(self, workers: uli_warehouse::Parallelism) -> IndexMaintainer {
+        self.inner.lock().workers = workers;
+        self
     }
 
     /// A boxed tap sharing this maintainer's state, ready for

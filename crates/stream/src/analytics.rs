@@ -82,6 +82,10 @@ impl StreamObs {
 
 struct Inner {
     config: StreamConfig,
+    /// Worker count for the per-hour shard fold. Serial by default; every
+    /// setting produces identical shard states because routing fixes each
+    /// shard's observe sequence before any worker runs.
+    workers: uli_warehouse::Parallelism,
     /// Hour window → one [`StreamState`] per shard.
     hours: BTreeMap<u64, Vec<StreamState>>,
     /// Successful slides observed.
@@ -162,11 +166,20 @@ impl StreamAnalytics {
         StreamAnalytics {
             inner: Arc::new(Mutex::new(Inner {
                 config,
+                workers: uli_warehouse::Parallelism::serial(),
                 hours: BTreeMap::new(),
                 hours_moved: 0,
                 obs,
             })),
         }
+    }
+
+    /// Folds each delivered hour's shards across `workers`. Shard routing
+    /// stays serial (it fixes every shard's observe order), so the states
+    /// — and therefore every view — are identical at any worker count.
+    pub fn with_parallelism(self, workers: uli_warehouse::Parallelism) -> Self {
+        self.inner.lock().workers = workers;
+        self
     }
 
     /// A boxed tap sharing this handle's state, ready for
@@ -213,6 +226,7 @@ impl DeliveryTap for StreamAnalytics {
     fn hour_delivered(&mut self, partition: &HourlyPartition, payloads: &[Vec<u8>]) {
         let mut inner = self.inner.lock();
         let (shards, k) = (inner.config.shards, inner.config.trending_k);
+        let workers = inner.workers;
         inner.hours_moved += 1;
         // An hour can slide with zero records (all its data was lost,
         // dropped, or never logged); no window opens for it.
@@ -221,10 +235,22 @@ impl DeliveryTap for StreamAnalytics {
                 .hours
                 .entry(partition.hour_index())
                 .or_insert_with(|| vec![StreamState::new(k); shards]);
-            for payload in payloads {
-                let shard = (route_hash(payload) % shards as u64) as usize;
-                states[shard].observe(payload);
+            // Route serially: each shard's observe sequence is fixed here,
+            // in payload order, before any worker touches a state.
+            let mut routed: Vec<Vec<usize>> = vec![Vec::new(); shards];
+            for (i, payload) in payloads.iter().enumerate() {
+                routed[(route_hash(payload) % shards as u64) as usize].push(i);
             }
+            // Fold each shard independently — shards share nothing, so the
+            // pool only changes wall-clock, never a state.
+            let taken = std::mem::take(states);
+            let work: Vec<(StreamState, Vec<usize>)> = taken.into_iter().zip(routed).collect();
+            *states = uli_warehouse::ScanPool::new(workers).map(work, |_i, (mut state, idxs)| {
+                for i in idxs {
+                    state.observe(&payloads[i]);
+                }
+                state
+            });
         }
         inner.sync_obs();
     }
@@ -272,6 +298,29 @@ mod tests {
         assert_eq!(views[0], views[1]);
         assert_eq!(views[1], views[2]);
         assert_eq!(views[0].records(), 300);
+    }
+
+    #[test]
+    fn parallel_shard_fold_matches_serial_exactly() {
+        let payloads: Vec<Vec<u8>> = (0..400).map(payload).collect();
+        let fold = |workers: usize| {
+            let a = StreamAnalytics::new(StreamConfig {
+                shards: 8,
+                trending_k: 3,
+            })
+            .with_parallelism(uli_warehouse::Parallelism::fixed(workers));
+            deliver(&a, 2, &payloads[..250]);
+            deliver(&a, 3, &payloads[250..]);
+            (a.shard_states(2), a.shard_states(3), a.running_view())
+        };
+        let serial = fold(1);
+        for workers in [4, 8] {
+            assert_eq!(
+                serial,
+                fold(workers),
+                "per-shard states must be identical at {workers} workers"
+            );
+        }
     }
 
     #[test]

@@ -301,6 +301,45 @@ pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
     (out.len() == expected).then_some(out)
 }
 
+/// A pool of reusable [`Compressor`] instances for multi-worker writers.
+///
+/// A fresh `Compressor` pays a 32 K-entry hash table plus buffer growth; a
+/// delivery worker sealing dozens of files per hour would re-pay that per
+/// file. The pool hands out reset compressors (`checkout`) and takes them
+/// back (`recycle`) so each worker converges on one warm allocation set that
+/// survives across blocks, files, and hours. Checkout never blocks: if the
+/// pool is empty a new compressor is built on the spot.
+#[derive(Debug, Default)]
+pub struct CompressorPool {
+    idle: parking_lot::Mutex<Vec<Compressor>>,
+}
+
+impl CompressorPool {
+    /// An empty pool; compressors are created lazily on first checkout.
+    pub fn new() -> Self {
+        CompressorPool::default()
+    }
+
+    /// Takes an idle compressor, or builds a fresh one if none is available.
+    pub fn checkout(&self) -> Compressor {
+        self.idle.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a compressor to the pool for reuse. Any half-written block is
+    /// discarded so the next checkout starts clean.
+    pub fn recycle(&self, mut compressor: Compressor) {
+        if !compressor.is_empty() {
+            let _ = compressor.finish_block();
+        }
+        self.idle.lock().push(compressor);
+    }
+
+    /// Number of compressors currently idle in the pool.
+    pub fn idle_len(&self) -> usize {
+        self.idle.lock().len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +348,31 @@ mod tests {
     fn round_trip(data: &[u8]) {
         let c = compress(data);
         assert_eq!(decompress(&c).as_deref(), Some(data));
+    }
+
+    #[test]
+    fn pool_recycles_and_reused_compressor_is_byte_identical() {
+        let pool = CompressorPool::new();
+        assert_eq!(pool.idle_len(), 0);
+        let mut c = pool.checkout();
+        let data = b"the quick brown fox jumps over the quick brown fox".repeat(20);
+        c.write(&data);
+        let first = c.finish_block();
+        pool.recycle(c);
+        assert_eq!(pool.idle_len(), 1);
+        // A recycled compressor produces the same stream as a fresh one.
+        let mut c = pool.checkout();
+        assert_eq!(pool.idle_len(), 0);
+        c.write(&data);
+        assert_eq!(c.finish_block(), first);
+        assert_eq!(first, compress(&data));
+        // Recycling a dirty compressor discards the half-written block.
+        c.write(b"leftover");
+        pool.recycle(c);
+        let mut c = pool.checkout();
+        assert!(c.is_empty());
+        c.write(&data);
+        assert_eq!(c.finish_block(), first);
     }
 
     #[test]

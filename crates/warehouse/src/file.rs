@@ -113,6 +113,10 @@ pub struct RecordFileWriter {
     pub(crate) install: Box<dyn FnOnce(FileData) -> WarehouseResult<()> + Send>,
     pub(crate) block_capacity: usize,
     pub(crate) compressor: compress::Compressor,
+    /// Pool the compressor came from; `finish` hands it back so concurrent
+    /// writers converge on one warm allocation set per worker instead of
+    /// paying a fresh hash table per file.
+    pub(crate) recycle: Option<std::sync::Arc<compress::CompressorPool>>,
     pub(crate) pending_records: u64,
     pub(crate) pending_zone: ZoneMap,
     pub(crate) pending_annotated: u64,
@@ -195,11 +199,16 @@ impl RecordFileWriter {
         self.pending_annotated = 0;
     }
 
-    /// Seals the final block and installs the file in the warehouse.
+    /// Seals the final block and installs the file in the warehouse. The
+    /// writer's compressor (now reset) returns to the warehouse pool for the
+    /// next writer to reuse.
     pub fn finish(mut self) -> WarehouseResult<FileMeta> {
         self.seal_block();
         let meta = self.data.meta();
         let data = std::mem::take(&mut self.data);
+        if let Some(pool) = self.recycle.take() {
+            pool.recycle(std::mem::take(&mut self.compressor));
+        }
         (self.install)(data)?;
         Ok(meta)
     }

@@ -59,6 +59,7 @@ pub use columnar::{
     sniff_columnar, ColumnCell, ColumnGroup, ColumnarFile, ColumnarFileWriter, ColumnarLanding,
     ColumnarReader, ColumnarScanStats, ColumnarWriter, COLUMNAR_MAGIC, COLUMNAR_VERSION,
 };
+pub use compress::CompressorPool;
 pub use error::{WarehouseError, WarehouseResult};
 pub use file::{FileBlocks, RecordFileReader, RecordFileWriter};
 pub use hourly::HourlyPartition;

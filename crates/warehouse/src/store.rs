@@ -98,6 +98,7 @@ pub struct Warehouse {
     cache: Arc<BlockCache>,
     available: Arc<AtomicBool>,
     block_capacity: usize,
+    compressors: Arc<crate::compress::CompressorPool>,
 }
 
 impl Default for Warehouse {
@@ -129,6 +130,7 @@ impl Warehouse {
             cache: Arc::new(BlockCache::new(cache_capacity)),
             available: Arc::new(AtomicBool::new(true)),
             block_capacity,
+            compressors: Arc::new(crate::compress::CompressorPool::new()),
         }
     }
 
@@ -160,12 +162,19 @@ impl Warehouse {
             cache: Arc::new(BlockCache::new(cache_capacity)),
             available: Arc::new(AtomicBool::new(true)),
             block_capacity,
+            compressors: Arc::new(crate::compress::CompressorPool::new()),
         }
     }
 
     /// The configured block capacity in bytes.
     pub fn block_capacity(&self) -> usize {
         self.block_capacity
+    }
+
+    /// The shared pool of reusable block compressors backing this warehouse's
+    /// writers. Exposed so callers (and tests) can observe reuse.
+    pub fn compressor_pool(&self) -> &Arc<crate::compress::CompressorPool> {
+        &self.compressors
     }
 
     /// Counters and occupancy of the shared decompressed-block cache.
@@ -279,7 +288,8 @@ impl Warehouse {
         Ok(RecordFileWriter {
             install,
             block_capacity: self.block_capacity,
-            compressor: crate::compress::Compressor::new(),
+            compressor: self.compressors.checkout(),
+            recycle: Some(Arc::clone(&self.compressors)),
             pending_records: 0,
             pending_zone: ZoneMap::empty(),
             pending_annotated: 0,
@@ -318,6 +328,34 @@ impl Warehouse {
             Arc::clone(&self.stats),
             Arc::clone(&self.cache),
         ))
+    }
+
+    /// Deterministic FNV-1a digest of a file's physical representation:
+    /// every block's compressed bytes plus block boundaries and record
+    /// counts. Equal digests mean byte-identical block streams — the check
+    /// the parallel mover's identity tests fold across worker counts,
+    /// without exposing raw bytes or charging scan counters.
+    pub fn file_digest(&self, path: &WhPath) -> WarehouseResult<u64> {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let data = self.file_data(path)?;
+        let mut h = OFFSET;
+        let fold_u64 = |h: u64, v: u64| -> u64 {
+            let mut h = h;
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            h
+        };
+        for block in &data.blocks {
+            h = fold_u64(h, block.compressed.len() as u64);
+            h = fold_u64(h, block.uncompressed_len);
+            h = fold_u64(h, block.num_records);
+            for &b in &block.compressed {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        Ok(h)
     }
 
     /// Summary metadata of a file.

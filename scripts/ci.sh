@@ -147,4 +147,32 @@ if ! grep -q '"chaos_consistent": true' target/e22_smoke.metrics.json; then
     exit 1
 fi
 
+echo "== delivery gate (e23 smoke metrics vs golden)"
+# The parallel mover over the pinned smoke day: landed files, seen-set,
+# and tap dispatch must be byte-identical to the serial mover at workers
+# {1,4,8}, the seeded chaos sweep must stay invariant-clean and identical
+# to serial with the 8-worker mover, and the machine-independent cost
+# model must show >=3x at 8 workers. The repro binary exits nonzero if
+# any invariant fails; the greps keep the gate honest against accidental
+# gate removal.
+cargo run --release -q -p uli-bench --bin repro -- --smoke e23
+if ! diff -u crates/bench/golden/e23_smoke.golden.json target/e23_smoke.metrics.json; then
+    echo "delivery gate: smoke metrics drifted from the golden file." >&2
+    echo "If the change is intentional, refresh it with:" >&2
+    echo "  cp target/e23_smoke.metrics.json crates/bench/golden/e23_smoke.golden.json" >&2
+    exit 1
+fi
+if ! grep -q '"identical_across_workers": true' target/e23_smoke.metrics.json; then
+    echo "delivery gate: parallel delivery diverged from serial." >&2
+    exit 1
+fi
+if ! grep -q '"chaos_clean": true' target/e23_smoke.metrics.json; then
+    echo "delivery gate: a chaos seed violated a delivery invariant." >&2
+    exit 1
+fi
+if ! grep -q '"chaos_matches_serial": true' target/e23_smoke.metrics.json; then
+    echo "delivery gate: parallel chaos outcome diverged from serial." >&2
+    exit 1
+fi
+
 echo "ci: all green"

@@ -387,6 +387,7 @@ fn cmd_ingest(cli: &Cli) {
         aggregators_per_dc: 2,
         records_per_file: 10_000,
         batch: batch_policy(cli),
+        workers: parallelism(cli),
     };
     let workload = WorkloadConfig {
         users: cli.users,
@@ -454,6 +455,7 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
         aggregators_per_dc: 2,
         records_per_file: 10_000,
         batch: batch_policy(cli),
+        workers: parallelism(cli),
     };
     let workload = WorkloadConfig {
         users: cli.users,
@@ -470,7 +472,8 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
             IndexMaintainer::with_obs(pipe.main_warehouse().clone(), "client_events", registry)
         }
         None => IndexMaintainer::new(pipe.main_warehouse().clone(), "client_events"),
-    };
+    }
+    .with_parallelism(parallelism(cli));
     pipe.add_delivery_tap(maintainer.tap());
     for d in 0..cli.days {
         let day = generate_day(&workload, d);

@@ -125,6 +125,32 @@ fn same_seed_twice_is_byte_identical() {
     }
 }
 
+/// The parallel mover under chaos: 20 seeds each at 4 and 8 delivery
+/// workers, every invariant intact, and the outcome byte-identical to the
+/// serial mover's same-seed run — parallelism must be invisible to both
+/// the accounting and the delivered stream.
+#[test]
+fn sweep_parallel_mover_matches_serial_40_seeds() {
+    for workers in [4usize, 8] {
+        let mut cfg = ChaosConfig::default();
+        cfg.topology.workers = uli_warehouse::Parallelism::fixed(workers);
+        let serial_cfg = ChaosConfig::default();
+        for seed in 300..320 {
+            let o = assert_clean(seed, &cfg);
+            let s = run_chaos(seed, &serial_cfg);
+            assert_eq!(
+                o.report, s.report,
+                "seed {seed}: {workers}-worker mover diverged from serial report"
+            );
+            assert_eq!(
+                format!("{:?}", o.accounting),
+                format!("{:?}", s.accounting),
+                "seed {seed}: {workers}-worker mover diverged from serial accounting"
+            );
+        }
+    }
+}
+
 /// Negative control: a fault the harness does NOT account for (silent
 /// deletion of a staged file) must trip the checker. If this test fails,
 /// the sweep above is meaningless.
